@@ -1,0 +1,130 @@
+//! CPU-Idx: the host-only inverted index baseline (paper §VI-A2).
+//!
+//! The same inverted index GENIE uses, scanned sequentially on the host
+//! with a dense count array per query, followed by a partial selection
+//! (`select_nth_unstable`, the analogue of the paper's C++
+//! `partial_sort`/quickselect with Θ(n + k log n) behaviour).
+
+use std::time::Instant;
+
+use genie_core::index::InvertedIndex;
+use genie_core::model::Query;
+use genie_core::topk::TopHit;
+
+/// Result of a CPU-Idx batch.
+#[derive(Debug, Clone)]
+pub struct CpuIdxOutput {
+    pub results: Vec<Vec<TopHit>>,
+    /// Host wall-clock, microseconds.
+    pub host_us: f64,
+}
+
+/// Run the queries sequentially on the host index.
+pub fn search(index: &InvertedIndex, queries: &[Query], k: usize) -> CpuIdxOutput {
+    let started = Instant::now();
+    let n = index.num_objects() as usize;
+    let list = index.list_array();
+    let mut results = Vec::with_capacity(queries.len());
+    let mut counts = vec![0u32; n]; // workhorse buffer, reused per query
+
+    for query in queries {
+        counts.fill(0);
+        for item in &query.items {
+            for seg in index.segments_for_range(item.lo, item.hi) {
+                for &obj in &list[seg.start as usize..(seg.start + seg.len) as usize] {
+                    counts[obj as usize] += 1;
+                }
+            }
+        }
+        results.push(partial_top_k(&counts, k));
+    }
+
+    CpuIdxOutput {
+        results,
+        host_us: started.elapsed().as_micros() as f64,
+    }
+}
+
+/// Partial selection of the k largest nonzero counts.
+fn partial_top_k(counts: &[u32], k: usize) -> Vec<TopHit> {
+    let mut hits: Vec<TopHit> = counts
+        .iter()
+        .enumerate()
+        .filter(|(_, &c)| c > 0)
+        .map(|(id, &count)| TopHit {
+            id: id as u32,
+            count,
+        })
+        .collect();
+    if hits.len() > k {
+        // quickselect the k-th boundary, then order only the prefix
+        hits.select_nth_unstable_by(k - 1, |a, b| {
+            b.count.cmp(&a.count).then(a.id.cmp(&b.id))
+        });
+        hits.truncate(k);
+    }
+    hits.sort_unstable_by(|a, b| b.count.cmp(&a.count).then(a.id.cmp(&b.id)));
+    hits
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use genie_core::index::IndexBuilder;
+    use genie_core::model::{match_count, Object, QueryItem};
+    use genie_core::topk::reference_top_k;
+    use rand::rngs::StdRng;
+    use rand::{Rng, SeedableRng};
+
+    #[test]
+    fn cpu_index_matches_brute_force() {
+        let mut rng = StdRng::seed_from_u64(17);
+        let objects: Vec<Object> = (0..250)
+            .map(|_| {
+                let mut kws: Vec<u32> = (0..rng.random_range(1..8))
+                    .map(|_| rng.random_range(0..60u32))
+                    .collect();
+                kws.sort_unstable();
+                kws.dedup();
+                Object::new(kws)
+            })
+            .collect();
+        let mut b = IndexBuilder::new();
+        b.add_objects(objects.iter());
+        let index = b.build(None);
+
+        let queries: Vec<Query> = (0..10)
+            .map(|_| {
+                Query::new(
+                    (0..rng.random_range(1..5))
+                        .map(|_| {
+                            let lo = rng.random_range(0..60u32);
+                            QueryItem::range(lo, (lo + rng.random_range(0..4)).min(59))
+                        })
+                        .collect(),
+                )
+            })
+            .collect();
+
+        let out = search(&index, &queries, 8);
+        for (qi, q) in queries.iter().enumerate() {
+            let counts: Vec<u32> = objects.iter().map(|o| match_count(q, o)).collect();
+            assert_eq!(out.results[qi], reference_top_k(&counts, 8), "query {qi}");
+        }
+    }
+
+    #[test]
+    fn partial_selection_orders_prefix() {
+        let hits = partial_top_k(&[3, 0, 9, 9, 1, 4], 3);
+        assert_eq!(hits.len(), 3);
+        assert_eq!(hits[0].count, 9);
+        assert_eq!(hits[1].count, 9);
+        assert_eq!(hits[2].count, 4);
+    }
+
+    #[test]
+    fn fewer_hits_than_k() {
+        let hits = partial_top_k(&[0, 2, 0], 5);
+        assert_eq!(hits, vec![TopHit { id: 1, count: 2 }]);
+    }
+}

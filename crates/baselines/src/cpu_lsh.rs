@@ -1,0 +1,157 @@
+//! CPU-LSH: C2LSH-style dynamic collision counting on the host
+//! (paper §VI-A2; Gan et al. 2012).
+//!
+//! The idea the paper notes is "similar in spirit" to GENIE's counting:
+//! a point is a kNN candidate once it collides with the query on at
+//! least `αm` of the `m` hash functions. The dynamic part: if the
+//! threshold yields fewer than k candidates, it is lowered and the scan
+//! repeated until enough candidates exist, which are then verified with
+//! exact distances. Entirely sequential — the CPU yardstick for the ANN
+//! experiments.
+
+use std::collections::HashMap;
+use std::time::Instant;
+
+use genie_lsh::family::LshFamily;
+use genie_lsh::knn::{distance, Metric};
+use genie_lsh::transform::Transformer;
+
+/// A host-side LSH collision-counting index.
+pub struct CpuLsh<'a, F> {
+    transformer: &'a Transformer<F>,
+    /// bucket keyword -> point ids (the CPU "hash tables").
+    postings: HashMap<u32, Vec<u32>>,
+    points: &'a [Vec<f32>],
+    metric: Metric,
+    /// Initial collision fraction α (C2LSH's threshold).
+    alpha: f64,
+}
+
+impl<'a, F: LshFamily<[f32]>> CpuLsh<'a, F> {
+    /// Index `points` under the same transformer GENIE uses (so both see
+    /// identical hash functions).
+    pub fn build(
+        transformer: &'a Transformer<F>,
+        points: &'a [Vec<f32>],
+        metric: Metric,
+        alpha: f64,
+    ) -> Self {
+        let mut postings: HashMap<u32, Vec<u32>> = HashMap::new();
+        for (i, p) in points.iter().enumerate() {
+            for kw in transformer.to_object(&p[..]).keywords {
+                postings.entry(kw).or_default().push(i as u32);
+            }
+        }
+        Self {
+            transformer,
+            postings,
+            points,
+            metric,
+            alpha,
+        }
+    }
+
+    /// kNN of `query`: collision counting with a dynamically lowered
+    /// threshold, then exact-distance verification of the candidates.
+    pub fn knn(&self, query: &[f32], k: usize) -> Vec<(u32, f64)> {
+        let m = self.transformer.family().num_functions();
+        let mut counts: HashMap<u32, u32> = HashMap::new();
+        for kw in self.transformer.to_query(query).items {
+            if let Some(ids) = self.postings.get(&kw.lo) {
+                for &id in ids {
+                    *counts.entry(id).or_insert(0) += 1;
+                }
+            }
+        }
+        // dynamic collision threshold: start at αm, halve until at least
+        // k candidates qualify (or the threshold bottoms out)
+        let mut threshold = (self.alpha * m as f64).ceil().max(1.0) as u32;
+        let mut candidates: Vec<u32>;
+        loop {
+            candidates = counts
+                .iter()
+                .filter(|(_, &c)| c >= threshold)
+                .map(|(&id, _)| id)
+                .collect();
+            if candidates.len() >= k || threshold == 1 {
+                break;
+            }
+            threshold = (threshold / 2).max(1);
+        }
+        // verification: exact distances over the candidate set
+        let mut verified: Vec<(u32, f64)> = candidates
+            .into_iter()
+            .map(|id| {
+                (
+                    id,
+                    distance(self.metric, &self.points[id as usize], query),
+                )
+            })
+            .collect();
+        verified.sort_by(|a, b| a.1.partial_cmp(&b.1).unwrap().then(a.0.cmp(&b.0)));
+        verified.truncate(k);
+        verified
+    }
+
+    /// Batch wrapper with wall-clock timing.
+    pub fn search(&self, queries: &[Vec<f32>], k: usize) -> (Vec<Vec<(u32, f64)>>, f64) {
+        let started = Instant::now();
+        let results = queries.iter().map(|q| self.knn(q, k)).collect();
+        (results, started.elapsed().as_micros() as f64)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use genie_lsh::e2lsh::E2Lsh;
+    use genie_lsh::knn::exact_knn;
+    use rand::rngs::StdRng;
+    use rand::{Rng, SeedableRng};
+
+    fn points(n: usize, dim: usize, seed: u64) -> Vec<Vec<f32>> {
+        let mut rng = StdRng::seed_from_u64(seed);
+        (0..n)
+            .map(|i| {
+                let c = (i % 3) as f32 * 15.0;
+                (0..dim).map(|_| c + rng.random::<f32>()).collect()
+            })
+            .collect()
+    }
+
+    #[test]
+    fn finds_itself_at_distance_zero() {
+        let data = points(120, 6, 2);
+        let t = Transformer::new(E2Lsh::new(32, 6, 4.0, 3), 512);
+        let lsh = CpuLsh::build(&t, &data, Metric::L2, 0.8);
+        let res = lsh.knn(&data[7], 1);
+        assert_eq!(res[0].0, 7);
+        assert_eq!(res[0].1, 0.0);
+    }
+
+    #[test]
+    fn results_overlap_exact_knn() {
+        let data = points(200, 6, 4);
+        let t = Transformer::new(E2Lsh::new(48, 6, 6.0, 5), 1024);
+        let lsh = CpuLsh::build(&t, &data, Metric::L2, 0.5);
+        let q: Vec<f32> = data[11].iter().map(|v| v + 0.05).collect();
+        let approx = lsh.knn(&q, 5);
+        let exact = exact_knn(Metric::L2, &data, &q, 5);
+        let exact_ids: std::collections::HashSet<u32> =
+            exact.iter().map(|&(i, _)| i as u32).collect();
+        let overlap = approx.iter().filter(|(id, _)| exact_ids.contains(id)).count();
+        assert!(overlap >= 3, "overlap {overlap}/5 too low");
+    }
+
+    #[test]
+    fn threshold_lowering_recovers_candidates() {
+        // a very strict alpha would find nothing without lowering
+        let data = points(60, 4, 8);
+        let t = Transformer::new(E2Lsh::new(16, 4, 0.5, 7), 256);
+        let lsh = CpuLsh::build(&t, &data, Metric::L2, 1.0);
+        // far-ish query: exact collisions on all 16 functions unlikely
+        let q: Vec<f32> = data[0].iter().map(|v| v + 0.4).collect();
+        let res = lsh.knn(&q, 3);
+        assert!(!res.is_empty(), "dynamic threshold must yield candidates");
+    }
+}

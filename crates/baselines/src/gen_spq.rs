@@ -1,0 +1,162 @@
+//! GEN-SPQ: GENIE's inverted index + dense Count Table + SPQ selection
+//! (paper §VI-A2) — i.e. GENIE with c-PQ replaced by the baseline
+//! selector. This is the ablation behind Figure 13 (running time) and
+//! Table IV (memory per query: a full 32-bit count per object per query
+//! instead of c-PQ's packed bitmap + small hash table).
+
+
+use gpu_sim::{Device, GlobalU32, LaunchConfig};
+
+use genie_core::exec::{build_scan_tasks, DeviceIndex, Engine};
+use genie_core::model::Query;
+use genie_core::topk::TopHit;
+
+use crate::spq::spq_topk;
+
+/// Result of a GEN-SPQ batch.
+#[derive(Debug, Clone)]
+pub struct GenSpqOutput {
+    pub results: Vec<Vec<TopHit>>,
+    /// Simulated device time (match + selection + transfers).
+    pub sim_us: f64,
+    /// Device bytes per query: the dense Count Table row (Table IV).
+    pub bytes_per_query: u64,
+}
+
+/// Run the GEN-SPQ pipeline on an uploaded GENIE index.
+pub fn search(
+    engine: &Engine,
+    dindex: &DeviceIndex,
+    queries: &[Query],
+    k: usize,
+    block_dim: usize,
+) -> GenSpqOutput {
+    let device: &Device = engine.device();
+    let model = *device.cost_model();
+    let num_queries = queries.len();
+    let n = dindex.index.num_objects() as usize;
+    if num_queries == 0 || n == 0 {
+        return GenSpqOutput {
+            results: vec![Vec::new(); num_queries],
+            sim_us: 0.0,
+            bytes_per_query: 0,
+        };
+    }
+    let mut sim_us = 0.0;
+
+    // dense Count Table: one u32 per (query, object) — the memory cost
+    // c-PQ exists to remove
+    let counts = GlobalU32::zeroed(num_queries * n);
+
+    // same host-side Position-Map resolution as GENIE
+    let tasks = build_scan_tasks(&dindex.index, queries);
+    let mut words = Vec::with_capacity(tasks.len() * 3);
+    for t in &tasks {
+        words.extend_from_slice(&[t.query, t.start, t.len]);
+    }
+    let tasks_dev = GlobalU32::from_host(&words);
+    device.record_h2d(words.len() as u64 * 4);
+    sim_us += model.transfer_us(words.len() as u64 * 4);
+
+    if !tasks.is_empty() {
+        let list = &dindex.list;
+        let c = &counts;
+        let td = &tasks_dev;
+        let cfg = LaunchConfig::new(tasks.len(), block_dim);
+        let stats = device.launch("gen_spq_match", cfg, move |ctx| {
+            let t = ctx.block_idx * 3;
+            let query = td.load(ctx, t) as usize;
+            let start = td.load(ctx, t + 1) as usize;
+            let len = td.load(ctx, t + 2) as usize;
+            let mut i = ctx.thread_idx;
+            while i < len {
+                let object = list.load(ctx, start + i) as usize;
+                c.atomic_add(ctx, query * n + object, 1);
+                i += ctx.block_dim;
+            }
+        });
+        sim_us += stats.sim_us(&model);
+    }
+
+    let spq = spq_topk(device, &counts, num_queries, n, k, block_dim);
+    sim_us += spq.sim_us;
+
+    GenSpqOutput {
+        results: spq.results,
+        sim_us,
+        bytes_per_query: (n * 4) as u64,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::sync::Arc;
+
+    use genie_core::index::IndexBuilder;
+    use genie_core::model::{match_count, Object, QueryItem};
+    use genie_core::topk::reference_top_k;
+    use rand::rngs::StdRng;
+    use rand::{Rng, SeedableRng};
+
+    #[test]
+    fn gen_spq_matches_genie_and_reference() {
+        let mut rng = StdRng::seed_from_u64(21);
+        let n = 200usize;
+        let objects: Vec<Object> = (0..n)
+            .map(|_| {
+                let mut kws: Vec<u32> = (0..rng.random_range(1..6))
+                    .map(|_| rng.random_range(0..40u32))
+                    .collect();
+                kws.sort_unstable();
+                kws.dedup();
+                Object::new(kws)
+            })
+            .collect();
+        let queries: Vec<Query> = (0..8)
+            .map(|_| {
+                Query::new(
+                    (0..rng.random_range(1..5))
+                        .map(|_| {
+                            let lo = rng.random_range(0..40u32);
+                            QueryItem::range(lo, (lo + rng.random_range(0..3)).min(39))
+                        })
+                        .collect(),
+                )
+            })
+            .collect();
+
+        let mut b = IndexBuilder::new();
+        b.add_objects(objects.iter());
+        let index = Arc::new(b.build(None));
+        let engine = Engine::new(Arc::new(Device::with_defaults()));
+        let didx = engine.upload(index).unwrap();
+
+        let k = 7;
+        let out = search(&engine, &didx, &queries, k, 64);
+        let genie = engine.search(&didx, &queries, k);
+        for (qi, q) in queries.iter().enumerate() {
+            let counts: Vec<u32> = objects.iter().map(|o| match_count(q, o)).collect();
+            let expected: Vec<u32> = reference_top_k(&counts, k)
+                .iter()
+                .map(|h| h.count)
+                .collect();
+            let got: Vec<u32> = out.results[qi].iter().map(|h| h.count).collect();
+            assert_eq!(got, expected, "query {qi} vs reference");
+            let gen: Vec<u32> = genie.results[qi].iter().map(|h| h.count).collect();
+            assert_eq!(got, gen, "query {qi} vs GENIE");
+        }
+        assert_eq!(out.bytes_per_query, 200 * 4);
+        assert!(out.sim_us > 0.0);
+    }
+
+    #[test]
+    fn empty_query_batch() {
+        let mut b = IndexBuilder::new();
+        b.add_object(&Object::new(vec![1]));
+        let engine = Engine::new(Arc::new(Device::with_defaults()));
+        let didx = engine.upload(Arc::new(b.build(None))).unwrap();
+        let out = search(&engine, &didx, &[], 5, 64);
+        assert!(out.results.is_empty());
+    }
+}

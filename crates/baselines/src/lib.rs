@@ -1,0 +1,29 @@
+//! # genie-baselines — the competitors of the GENIE evaluation (§VI-A2)
+//!
+//! Every method GENIE is compared against in the paper, implemented from
+//! its cited description so the evaluation's relative shapes can be
+//! regenerated:
+//!
+//! * [`spq`] — the GPU bucket k-selection of Appendix A (Alabi et al.),
+//!   the "SPQ" component shared by two baselines;
+//! * [`gpu_spq`] — **GPU-SPQ**: full data scan computing match counts,
+//!   then SPQ top-k extraction (no inverted index at all);
+//! * [`gen_spq`] — **GEN-SPQ**: GENIE's inverted index feeding a dense
+//!   Count Table, then SPQ extraction (GENIE minus c-PQ — the Fig. 13 /
+//!   Table IV ablation);
+//! * [`cpu_idx`] — **CPU-Idx**: host inverted index + partial selection;
+//! * [`cpu_lsh`] — **CPU-LSH**: C2LSH-style dynamic collision counting
+//!   on the host;
+//! * [`gpu_lsh`] — **GPU-LSH**: bi-level LSH with one *thread* per query
+//!   and sort-based short-list selection (Pan & Manocha), on the same
+//!   simulated device;
+//! * [`app_gram`] — **AppGram**-style CPU sequence kNN with n-gram
+//!   count filtering and incremental verification.
+
+pub mod app_gram;
+pub mod cpu_idx;
+pub mod cpu_lsh;
+pub mod gen_spq;
+pub mod gpu_lsh;
+pub mod gpu_spq;
+pub mod spq;

@@ -1,0 +1,353 @@
+//! SPQ: GPU bucket k-selection from a dense count array (paper
+//! Appendix A, after Alabi et al.'s bucketSelect).
+//!
+//! Each iteration partitions every count of a query's array into
+//! `NUM_BUCKETS` equal-width value buckets (one full scan of the array),
+//! locates the bucket containing the k-th largest value, banks the
+//! counts above it and recurses into that bucket until its value range
+//! collapses. A final scan collects the ids. This is the expensive,
+//! multiple-full-scan selection that c-PQ exists to avoid: its cost is
+//! `O(iterations * n)` per query versus c-PQ's single scan of a small
+//! hash table.
+
+use gpu_sim::{Device, GlobalU32, LaunchConfig};
+
+use genie_core::topk::TopHit;
+
+/// Value buckets per iteration (the reference implementation's choice).
+pub const NUM_BUCKETS: usize = 32;
+
+/// Hard cap on iterations; with 32-wide buckets a u32 range collapses in
+/// at most 7, and bounded match counts in 2-3 (as the paper observes).
+const MAX_ITERS: usize = 12;
+
+/// Result of an SPQ selection over a `num_queries x n` count matrix.
+#[derive(Debug, Clone)]
+pub struct SpqOutput {
+    pub results: Vec<Vec<TopHit>>,
+    /// Simulated device time of all SPQ kernels and transfers.
+    pub sim_us: f64,
+    /// Bucket-partition iterations the slowest query needed.
+    pub iterations: usize,
+}
+
+/// Select the top-k counts (with ids) of each query from a dense
+/// device-resident count matrix laid out `query * n + object`.
+#[allow(clippy::needless_range_loop)] // host loops index several parallel per-query arrays
+pub fn spq_topk(
+    device: &Device,
+    counts: &GlobalU32,
+    num_queries: usize,
+    n: usize,
+    k: usize,
+    block_dim: usize,
+) -> SpqOutput {
+    assert!(k >= 1 && n >= 1);
+    let model = *device.cost_model();
+    let mut sim_us = 0.0;
+
+    // per-query selection state, host side
+    let mut lo = vec![1u32; num_queries]; // zero counts are never hits
+    let mut hi = vec![0u32; num_queries];
+    let mut k_rem = vec![k as u32; num_queries];
+    let mut done = vec![false; num_queries];
+
+    // pass 0: per-query maximum count
+    let max_buf = GlobalU32::zeroed(num_queries);
+    {
+        let c = counts;
+        let m = &max_buf;
+        let cfg = LaunchConfig::cover(num_queries * n, block_dim);
+        let stats = device.launch("spq_max", cfg, move |ctx| {
+            let gid = ctx.global_id();
+            if gid < num_queries * n {
+                let v = c.load(ctx, gid);
+                if v > 0 {
+                    m.atomic_max(ctx, gid / n, v);
+                }
+            }
+        });
+        sim_us += stats.sim_us(&model);
+    }
+    let maxes = max_buf.to_host();
+    device.record_d2h(num_queries as u64 * 4);
+    sim_us += model.transfer_us(num_queries as u64 * 4);
+    for (q, &max) in maxes.iter().enumerate() {
+        hi[q] = max;
+        if max == 0 {
+            done[q] = true; // nothing matched this query at all
+            lo[q] = 1;
+            hi[q] = 0;
+        }
+    }
+
+    // iterative bucket partition
+    let hist = GlobalU32::zeroed(num_queries * NUM_BUCKETS);
+    let state = GlobalU32::zeroed(num_queries * 3); // lo, hi, done per query
+    let mut iterations = 0;
+    for _ in 0..MAX_ITERS {
+        if done.iter().all(|&d| d) {
+            break;
+        }
+        iterations += 1;
+        // upload iteration state
+        for q in 0..num_queries {
+            state.write_host(q * 3, lo[q]);
+            state.write_host(q * 3 + 1, hi[q]);
+            state.write_host(q * 3 + 2, done[q] as u32);
+        }
+        device.record_h2d(num_queries as u64 * 12);
+        sim_us += model.transfer_us(num_queries as u64 * 12);
+        hist.clear();
+
+        let c = counts;
+        let h = &hist;
+        let s = &state;
+        let cfg = LaunchConfig::cover(num_queries * n, block_dim);
+        let stats = device.launch("spq_hist", cfg, move |ctx| {
+            let gid = ctx.global_id();
+            if gid >= num_queries * n {
+                return;
+            }
+            let q = gid / n;
+            if s.load(ctx, q * 3 + 2) != 0 {
+                return;
+            }
+            let qlo = s.load(ctx, q * 3);
+            let qhi = s.load(ctx, q * 3 + 1);
+            let v = c.load(ctx, gid);
+            if v < qlo || v > qhi {
+                return;
+            }
+            let width = (qhi - qlo) / NUM_BUCKETS as u32 + 1;
+            let bucket = ((v - qlo) / width) as usize;
+            h.atomic_add(ctx, q * NUM_BUCKETS + bucket, 1);
+        });
+        sim_us += stats.sim_us(&model);
+
+        let host_hist = hist.to_host();
+        device.record_d2h((num_queries * NUM_BUCKETS * 4) as u64);
+        sim_us += model.transfer_us((num_queries * NUM_BUCKETS * 4) as u64);
+
+        for q in 0..num_queries {
+            if done[q] {
+                continue;
+            }
+            let width = (hi[q] - lo[q]) / NUM_BUCKETS as u32 + 1;
+            let row = &host_hist[q * NUM_BUCKETS..(q + 1) * NUM_BUCKETS];
+            // scan from the top value bucket down to the one holding the
+            // k-th largest
+            let mut above = 0u32;
+            let mut chosen = None;
+            for b in (0..NUM_BUCKETS).rev() {
+                if above + row[b] >= k_rem[q] {
+                    chosen = Some(b);
+                    break;
+                }
+                above += row[b];
+            }
+            match chosen {
+                Some(b) => {
+                    k_rem[q] -= above;
+                    let new_lo = lo[q] + b as u32 * width;
+                    let new_hi = (new_lo + width - 1).min(hi[q]);
+                    lo[q] = new_lo;
+                    hi[q] = new_hi;
+                    if new_lo == new_hi {
+                        done[q] = true; // threshold found: lo[q]
+                    }
+                }
+                None => {
+                    // fewer than k_rem nonzero counts in range: threshold
+                    // collapses to the range bottom
+                    lo[q] = lo[q].saturating_sub(0);
+                    hi[q] = lo[q];
+                    done[q] = true;
+                }
+            }
+        }
+    }
+
+    // final collection: ids with count > threshold are certain; ids with
+    // count == threshold fill the remainder (ties broken arbitrarily)
+    let cap = k;
+    let sure = GlobalU64::zeroed(num_queries * cap);
+    let sure_len = GlobalU32::zeroed(num_queries);
+    let ties = GlobalU64::zeroed(num_queries * cap);
+    let ties_len = GlobalU32::zeroed(num_queries);
+    let thresh = GlobalU32::zeroed(num_queries);
+    for q in 0..num_queries {
+        thresh.write_host(q, lo[q]);
+    }
+    device.record_h2d(num_queries as u64 * 4);
+    sim_us += model.transfer_us(num_queries as u64 * 4);
+    {
+        let c = counts;
+        let t = &thresh;
+        let (s, sl) = (&sure, &sure_len);
+        let (ti, tl) = (&ties, &ties_len);
+        let cfg = LaunchConfig::cover(num_queries * n, block_dim);
+        let stats = device.launch("spq_collect", cfg, move |ctx| {
+            let gid = ctx.global_id();
+            if gid >= num_queries * n {
+                return;
+            }
+            let q = gid / n;
+            let o = (gid % n) as u32;
+            let v = c.load(ctx, gid);
+            if v == 0 {
+                return;
+            }
+            let th = t.load(ctx, q);
+            let packed = ((o as u64) << 32) | v as u64;
+            if v > th {
+                let pos = sl.atomic_add(ctx, q, 1) as usize;
+                if pos < cap {
+                    s.store(ctx, q * cap + pos, packed);
+                }
+            } else if v == th {
+                let pos = tl.atomic_add(ctx, q, 1) as usize;
+                if pos < cap {
+                    ti.store(ctx, q * cap + pos, packed);
+                }
+            }
+        });
+        sim_us += stats.sim_us(&model);
+    }
+
+    let d2h = (num_queries * cap * 16 + num_queries * 8) as u64;
+    device.record_d2h(d2h);
+    sim_us += model.transfer_us(d2h);
+
+    let sure_host = sure.to_host();
+    let sure_lens = sure_len.to_host();
+    let tie_host = ties.to_host();
+    let tie_lens = ties_len.to_host();
+    let mut results = Vec::with_capacity(num_queries);
+    for q in 0..num_queries {
+        let mut hits: Vec<TopHit> = sure_host[q * cap..q * cap + (sure_lens[q] as usize).min(cap)]
+            .iter()
+            .map(|&p| TopHit {
+                id: (p >> 32) as u32,
+                count: p as u32,
+            })
+            .collect();
+        hits.sort_unstable_by(|a, b| b.count.cmp(&a.count).then(a.id.cmp(&b.id)));
+        let mut tie_hits: Vec<TopHit> = tie_host[q * cap..q * cap + (tie_lens[q] as usize).min(cap)]
+            .iter()
+            .map(|&p| TopHit {
+                id: (p >> 32) as u32,
+                count: p as u32,
+            })
+            .collect();
+        tie_hits.sort_unstable_by_key(|a| a.id);
+        for t in tie_hits {
+            if hits.len() >= k {
+                break;
+            }
+            hits.push(t);
+        }
+        hits.truncate(k);
+        results.push(hits);
+    }
+
+    SpqOutput {
+        results,
+        sim_us,
+        iterations,
+    }
+}
+
+use gpu_sim::GlobalU64;
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use genie_core::topk::reference_top_k;
+    use rand::rngs::StdRng;
+    use rand::{Rng, SeedableRng};
+
+    #[allow(clippy::needless_range_loop)]
+    fn run_case(counts: Vec<Vec<u32>>, k: usize) {
+        let num_queries = counts.len();
+        let n = counts[0].len();
+        let flat: Vec<u32> = counts.iter().flatten().copied().collect();
+        let device = Device::with_defaults();
+        let buf = GlobalU32::from_host(&flat);
+        let out = spq_topk(&device, &buf, num_queries, n, k, 128);
+        for q in 0..num_queries {
+            let expected = reference_top_k(&counts[q], k);
+            let got = &out.results[q];
+            let got_counts: Vec<u32> = got.iter().map(|h| h.count).collect();
+            let exp_counts: Vec<u32> = expected.iter().map(|h| h.count).collect();
+            assert_eq!(got_counts, exp_counts, "query {q} count profile");
+            for h in got {
+                assert_eq!(counts[q][h.id as usize], h.count);
+            }
+        }
+    }
+
+    #[test]
+    fn selects_simple_topk() {
+        run_case(vec![vec![5, 1, 9, 3, 9, 0, 2, 7]], 3);
+    }
+
+    #[test]
+    fn handles_many_ties() {
+        run_case(vec![vec![4; 20]], 5);
+        run_case(vec![vec![1, 2, 2, 2, 2, 2, 3]], 4);
+    }
+
+    #[test]
+    fn fewer_nonzero_than_k() {
+        run_case(vec![vec![0, 0, 7, 0, 1, 0]], 5);
+    }
+
+    #[test]
+    fn all_zero_counts_yield_empty() {
+        let device = Device::with_defaults();
+        let buf = GlobalU32::from_host(&[0, 0, 0, 0]);
+        let out = spq_topk(&device, &buf, 1, 4, 3, 32);
+        assert!(out.results[0].is_empty());
+    }
+
+    #[test]
+    fn multiple_queries_are_independent() {
+        run_case(
+            vec![
+                vec![1, 2, 3, 4, 5, 6, 7, 8],
+                vec![8, 7, 6, 5, 4, 3, 2, 1],
+                vec![0, 0, 0, 0, 0, 0, 0, 9],
+            ],
+            2,
+        );
+    }
+
+    #[test]
+    fn random_matrices_match_reference() {
+        let mut rng = StdRng::seed_from_u64(3);
+        for trial in 0..5 {
+            let n = rng.random_range(50..400);
+            let q = rng.random_range(1..6);
+            let bound = [3u32, 16, 100, 5000][trial % 4];
+            let counts: Vec<Vec<u32>> = (0..q)
+                .map(|_| (0..n).map(|_| rng.random_range(0..=bound)).collect())
+                .collect();
+            run_case(counts, rng.random_range(1..20));
+        }
+    }
+
+    #[test]
+    fn converges_in_few_iterations_for_bounded_counts() {
+        // bounded counts (like real match counts) collapse quickly
+        let counts: Vec<u32> = (0..1000u32).map(|i| i % 14 + 1).collect();
+        let device = Device::with_defaults();
+        let buf = GlobalU32::from_host(&counts);
+        let out = spq_topk(&device, &buf, 1, 1000, 10, 128);
+        assert!(
+            out.iterations <= 3,
+            "paper: usually 2-3 iterations, got {}",
+            out.iterations
+        );
+    }
+}

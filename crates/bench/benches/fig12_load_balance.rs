@@ -1,0 +1,34 @@
+//! Criterion bench for the Figure 12 axis: load balance on/off on
+//! Adult-like data with a tiny query batch (where splitting long
+//! postings lists matters most).
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+
+use genie_bench::runners::GenieSession;
+use genie_bench::workloads::{adult_bundle, Scale};
+use genie_core::index::LoadBalanceConfig;
+
+fn bench_load_balance(c: &mut Criterion) {
+    let scale = Scale {
+        n: 20_000,
+        num_queries: 8,
+    };
+    let (adult, _) = adult_bundle(scale, 7);
+    let with_lb = GenieSession::new(&adult, Some(LoadBalanceConfig { max_list_len: 2048 }));
+    let without = GenieSession::new(&adult, None);
+
+    let mut group = c.benchmark_group("fig12");
+    group.sample_size(10);
+    for nq in [1usize, 4, 8] {
+        group.bench_with_input(BenchmarkId::new("lb_on", nq), &nq, |b, &nq| {
+            b.iter(|| with_lb.run(&adult.queries[..nq], 100))
+        });
+        group.bench_with_input(BenchmarkId::new("lb_off", nq), &nq, |b, &nq| {
+            b.iter(|| without.run(&adult.queries[..nq], 100))
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_load_balance);
+criterion_main!(benches);

@@ -1,0 +1,38 @@
+//! Criterion bench for the Figure 13 ablation: the same index scanned
+//! into c-PQ (GENIE) vs a dense Count Table + SPQ (GEN-SPQ).
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+
+use genie_bench::runners::{run_gen_spq, GenieSession};
+use genie_bench::workloads::{dblp_bundle, sift_bundle, Scale};
+
+fn bench_cpq(c: &mut Criterion) {
+    let scale = Scale {
+        n: 4_000,
+        num_queries: 256,
+    };
+    let (sift, _) = sift_bundle(scale, 32, 3);
+    let (dblp, _) = dblp_bundle(scale, 4);
+
+    let mut group = c.benchmark_group("fig13");
+    group.sample_size(10);
+    for (name, data) in [("sift", &sift), ("dblp", &dblp)] {
+        let session = GenieSession::new(data, None);
+        for nq in [64usize, 256] {
+            group.bench_with_input(
+                BenchmarkId::new(format!("genie_cpq_{name}"), nq),
+                &nq,
+                |b, &nq| b.iter(|| session.run(&data.queries[..nq], 100)),
+            );
+            group.bench_with_input(
+                BenchmarkId::new(format!("gen_spq_{name}"), nq),
+                &nq,
+                |b, &nq| b.iter(|| run_gen_spq(&session, &data.queries[..nq], 100)),
+            );
+        }
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_cpq);
+criterion_main!(benches);

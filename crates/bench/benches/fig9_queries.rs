@@ -1,0 +1,39 @@
+//! Criterion bench for the Figure 9 axis: GENIE vs baselines at a fixed
+//! batch size, per dataset. Measures host wall-clock of the simulated
+//! pipeline (the `repro` binary reports the cost-model time; this bench
+//! guards against performance regressions of the implementation itself).
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+
+use genie_bench::runners::{run_cpu_idx, run_gen_spq, GenieSession};
+use genie_bench::workloads::{sift_bundle, tweets_bundle, Scale};
+
+fn bench_fig9(c: &mut Criterion) {
+    let scale = Scale {
+        n: 4_000,
+        num_queries: 128,
+    };
+    let k = 50;
+
+    let (sift, _) = sift_bundle(scale, 32, 1);
+    let tweets = tweets_bundle(scale, 2);
+
+    let mut group = c.benchmark_group("fig9");
+    group.sample_size(10);
+    for (name, data) in [("sift", &sift), ("tweets", &tweets)] {
+        let session = GenieSession::new(data, None);
+        group.bench_with_input(BenchmarkId::new("genie", name), data, |b, d| {
+            b.iter(|| session.run(&d.queries, k))
+        });
+        group.bench_with_input(BenchmarkId::new("gen_spq", name), data, |b, d| {
+            b.iter(|| run_gen_spq(&session, &d.queries, k))
+        });
+        group.bench_with_input(BenchmarkId::new("cpu_idx", name), data, |b, d| {
+            b.iter(|| run_cpu_idx(&session.index, &d.queries, k))
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_fig9);
+criterion_main!(benches);

@@ -1,0 +1,83 @@
+//! `repro` — regenerate the paper's tables and figures.
+//!
+//! ```text
+//! repro --all            # everything (a few minutes)
+//! repro --fig9 --table1  # selected experiments
+//! repro --quick --all    # smaller workloads (~1 minute)
+//! ```
+
+use genie_bench::experiments as exp;
+use genie_bench::workloads::Scale;
+
+fn main() {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    if args.is_empty() {
+        eprintln!(
+            "usage: repro [--quick] [--all] [--fig8] [--fig9] [--fig10] [--fig11] \
+             [--fig12] [--fig13] [--fig14] [--table1] [--table2] [--table4] \
+             [--table5] [--table6] [--ext-structures] [--ext-tau]"
+        );
+        std::process::exit(2);
+    }
+    let has = |flag: &str| args.iter().any(|a| a == flag);
+    let all = has("--all");
+    let scale = if has("--quick") {
+        Scale {
+            n: 2_000,
+            num_queries: 1024,
+        }
+    } else {
+        Scale::default()
+    };
+
+    println!("GENIE evaluation reproduction (scaled synthetic workloads)");
+    println!(
+        "scale: n = {}, query pool = {}, m = {} hash functions",
+        scale.n,
+        scale.num_queries,
+        exp::SCALED_M
+    );
+
+    if all || has("--fig8") {
+        exp::fig8();
+    }
+    if all || has("--fig9") {
+        exp::fig9(scale);
+    }
+    if all || has("--fig10") {
+        exp::fig10(scale);
+    }
+    if all || has("--fig11") {
+        exp::fig11(scale);
+    }
+    if all || has("--fig12") {
+        exp::fig12(scale);
+    }
+    if all || has("--fig13") {
+        exp::fig13(scale);
+    }
+    if all || has("--fig14") {
+        exp::fig14(scale);
+    }
+    if all || has("--table1") {
+        exp::table1(scale);
+    }
+    if all || has("--table2") || has("--table3") {
+        exp::table2_3(scale);
+    }
+    if all || has("--table4") {
+        exp::table4(scale);
+    }
+    if all || has("--table5") {
+        exp::table5(scale);
+    }
+    if all || has("--table6") || has("--table7") {
+        exp::table6_7(scale);
+    }
+    if all || has("--ext-structures") {
+        exp::ext_structures(scale);
+    }
+    if all || has("--ext-tau") {
+        exp::ext_tau(scale);
+    }
+}

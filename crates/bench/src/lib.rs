@@ -1,0 +1,47 @@
+//! # genie-bench — the evaluation harness
+//!
+//! Regenerates every table and figure of the paper's §VI on the scaled
+//! synthetic workloads (see DESIGN.md for the experiment index and
+//! EXPERIMENTS.md for recorded paper-vs-measured outcomes).
+//!
+//! * [`workloads`] — the five dataset bundles (OCR/SIFT/DBLP/Tweets/
+//!   Adult stand-ins) in match-count form plus the raw data the LSH and
+//!   sequence baselines need;
+//! * [`runners`] — uniform "run method X on bundle Y, return its time"
+//!   wrappers around GENIE and all baselines;
+//! * [`experiments`] — one function per table/figure, printing the same
+//!   rows/series the paper reports.
+//!
+//! Device-side methods report *simulated* time (the cost model of
+//! `gpu-sim`); host-side methods report wall-clock. Comparisons across
+//! the two are shape-level, exactly as scoped in DESIGN.md.
+
+pub mod experiments;
+pub mod runners;
+pub mod workloads;
+
+/// Format a microsecond quantity as milliseconds with 2 decimals.
+pub fn ms(us: f64) -> String {
+    format!("{:.2}", us / 1000.0)
+}
+
+/// Print one row of a fixed-width table.
+pub fn row(cells: &[String], widths: &[usize]) {
+    let line: Vec<String> = cells
+        .iter()
+        .zip(widths)
+        .map(|(c, w)| format!("{c:>w$}", w = w))
+        .collect();
+    println!("{}", line.join("  "));
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn ms_formats_microseconds() {
+        assert_eq!(ms(1500.0), "1.50");
+        assert_eq!(ms(0.0), "0.00");
+    }
+}

@@ -1,0 +1,189 @@
+//! Uniform method runners: each takes a workload, runs one search
+//! batch, and reports a single comparable time plus auxiliary metrics.
+
+use std::sync::Arc;
+
+use genie_baselines::{app_gram::AppGram, cpu_idx, gen_spq, gpu_spq};
+use genie_core::exec::{Engine, EngineConfig, StageProfile};
+use genie_core::index::{IndexBuilder, InvertedIndex, LoadBalanceConfig};
+use genie_core::model::Query;
+use genie_core::topk::TopHit;
+use gpu_sim::Device;
+
+use crate::workloads::MatchData;
+
+/// One method's timing on one batch.
+#[derive(Debug, Clone, Copy, Default)]
+pub struct RunTime {
+    /// Simulated device time, microseconds (0 for host-only methods).
+    pub sim_us: f64,
+    /// Host wall-clock, microseconds.
+    pub host_us: f64,
+}
+
+impl RunTime {
+    /// The figure-of-merit: simulated time for device methods, host time
+    /// for CPU methods.
+    pub fn us(&self) -> f64 {
+        if self.sim_us > 0.0 {
+            self.sim_us
+        } else {
+            self.host_us
+        }
+    }
+}
+
+/// A reusable GENIE session: device + engine + uploaded index.
+pub struct GenieSession {
+    pub engine: Engine,
+    pub dindex: genie_core::exec::DeviceIndex,
+    pub index: Arc<InvertedIndex>,
+    /// Host index-build time, microseconds (Table I "Index build").
+    pub build_host_us: f64,
+}
+
+impl GenieSession {
+    /// Build and upload the index of `data`, optionally load-balanced.
+    pub fn new(data: &MatchData, load_balance: Option<LoadBalanceConfig>) -> Self {
+        let started = std::time::Instant::now();
+        let mut b = IndexBuilder::new();
+        b.add_objects(data.objects.iter());
+        let index = Arc::new(b.build(load_balance));
+        let build_host_us = started.elapsed().as_micros() as f64;
+        let engine = Engine::with_config(
+            Arc::new(Device::with_defaults()),
+            EngineConfig {
+                block_dim: 256,
+                count_bound: Some(data.count_bound),
+            },
+        );
+        let dindex = engine.upload(Arc::clone(&index)).expect("index fits");
+        Self {
+            engine,
+            dindex,
+            index,
+            build_host_us,
+        }
+    }
+
+    /// Run GENIE on a query prefix; returns results + times + profile.
+    pub fn run(&self, queries: &[Query], k: usize) -> (Vec<Vec<TopHit>>, RunTime, StageProfile) {
+        let started = std::time::Instant::now();
+        let out = self.engine.search(&self.dindex, queries, k);
+        let host_us = started.elapsed().as_micros() as f64;
+        (
+            out.results,
+            RunTime {
+                sim_us: out.profile.sim_total_us(),
+                host_us,
+            },
+            out.profile,
+        )
+    }
+
+    /// c-PQ bytes per query for this workload (Table IV).
+    pub fn cpq_bytes_per_query(&self, queries: &[Query], k: usize) -> u64 {
+        let out = self.engine.search(&self.dindex, &queries[..1.min(queries.len())], k);
+        out.cpq_bytes_per_query
+    }
+}
+
+/// GEN-SPQ on the session's index (GENIE minus c-PQ).
+pub fn run_gen_spq(session: &GenieSession, queries: &[Query], k: usize) -> (RunTime, u64) {
+    let started = std::time::Instant::now();
+    let out = gen_spq::search(&session.engine, &session.dindex, queries, k, 256);
+    (
+        RunTime {
+            sim_us: out.sim_us,
+            host_us: started.elapsed().as_micros() as f64,
+        },
+        out.bytes_per_query,
+    )
+}
+
+/// GPU-SPQ: full-scan match counting on a fresh device.
+pub fn run_gpu_spq(data: &MatchData, queries: &[Query], k: usize) -> RunTime {
+    let device = Device::with_defaults();
+    let store = gpu_spq::GpuSpqData::upload(&device, &data.objects);
+    let started = std::time::Instant::now();
+    let out = gpu_spq::search(&device, &store, queries, k, 256);
+    RunTime {
+        sim_us: out.sim_us,
+        host_us: started.elapsed().as_micros() as f64,
+    }
+}
+
+/// CPU-Idx on a prebuilt host index.
+pub fn run_cpu_idx(index: &InvertedIndex, queries: &[Query], k: usize) -> RunTime {
+    let out = cpu_idx::search(index, queries, k);
+    RunTime {
+        sim_us: 0.0,
+        host_us: out.host_us,
+    }
+}
+
+/// AppGram over raw sequences.
+pub fn run_app_gram(appgram: &AppGram, queries: &[Vec<u8>], k: usize) -> RunTime {
+    let (_, host_us) = appgram.search(queries, k);
+    RunTime {
+        sim_us: 0.0,
+        host_us,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::workloads::{sift_bundle, Scale};
+
+    #[test]
+    fn genie_session_round_trip() {
+        let (data, _) = sift_bundle(
+            Scale {
+                n: 400,
+                num_queries: 8,
+            },
+            16,
+            3,
+        );
+        let session = GenieSession::new(&data, None);
+        assert!(session.build_host_us > 0.0);
+        let (results, time, profile) = session.run(&data.queries, 5);
+        assert_eq!(results.len(), 8);
+        assert!(time.sim_us > 0.0);
+        assert!(profile.match_us > 0.0);
+        // a point must find itself? queries are held out, so just check
+        // non-empty hits
+        assert!(results.iter().all(|r| !r.is_empty()));
+        assert!(session.cpq_bytes_per_query(&data.queries, 5) > 0);
+    }
+
+    #[test]
+    #[allow(clippy::needless_range_loop)]
+    fn baselines_run_on_the_same_bundle() {
+        let (data, _) = sift_bundle(
+            Scale {
+                n: 200,
+                num_queries: 4,
+            },
+            8,
+            5,
+        );
+        let session = GenieSession::new(&data, None);
+        let (genie_res, _, _) = session.run(&data.queries, 3);
+        let (t, bytes) = run_gen_spq(&session, &data.queries, 3);
+        assert!(t.sim_us > 0.0);
+        assert_eq!(bytes, 200 * 4);
+        let t2 = run_gpu_spq(&data, &data.queries, 3);
+        assert!(t2.sim_us > 0.0);
+        let t3 = run_cpu_idx(&session.index, &data.queries, 3);
+        assert!(t3.us() >= 0.0);
+        // agreement across engines on count profiles
+        let cpu = cpu_idx::search(&session.index, &data.queries, 3);
+        for q in 0..4 {
+            let a: Vec<u32> = genie_res[q].iter().map(|h| h.count).collect();
+            let b: Vec<u32> = cpu.results[q].iter().map(|h| h.count).collect();
+            assert_eq!(a, b);
+        }
+    }
+}

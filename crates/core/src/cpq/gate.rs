@@ -1,0 +1,178 @@
+//! The Gate: ZipperArray + AuditThreshold (paper §III-C1).
+//!
+//! `ZA[i]` tracks `min(zc_i, k)` where `zc_i` is the number of objects
+//! whose count has reached `i`; `AT` is the smallest index with
+//! `ZA[AT] < k`. The gate's job: once k objects have reached count `i`,
+//! no object still below `i` can be a top-k candidate, so the threshold
+//! for entering the upper-level hash table rises. Lemma 3.1 guarantees
+//! `ZA[AT] < k` and `ZA[AT-1] >= k` after all updates; Theorem 3.1 then
+//! gives `MC_k = AT - 1`.
+
+use gpu_sim::{GlobalU32, ThreadCtx};
+
+/// Per-query ZipperArray + AuditThreshold in device memory.
+pub struct Gate {
+    /// Concatenated per-query ZipperArrays, `za_len` words each.
+    /// 1-based indexing: index 0 is unused padding.
+    za: GlobalU32,
+    /// One AuditThreshold word per query, initialised to 1.
+    at: GlobalU32,
+    za_len: usize,
+    k: u32,
+}
+
+impl Gate {
+    pub fn new(num_queries: usize, za_len: usize, k: u32) -> Self {
+        assert!(k >= 1, "k must be at least 1");
+        assert!(za_len >= 3, "ZA needs indices 0..=bound+1");
+        let at = GlobalU32::zeroed(num_queries);
+        at.fill(1);
+        Self {
+            za: GlobalU32::zeroed(num_queries * za_len),
+            at,
+            za_len,
+            k,
+        }
+    }
+
+    pub fn k(&self) -> u32 {
+        self.k
+    }
+
+    /// Device bytes of ZA + AT.
+    pub fn size_bytes(&self) -> u64 {
+        self.za.size_bytes() + self.at.size_bytes()
+    }
+
+    /// Current AuditThreshold of `query` (device-side).
+    #[inline]
+    pub fn audit_threshold(&self, ctx: &ThreadCtx, query: usize) -> u32 {
+        self.at.load(ctx, query)
+    }
+
+    /// Algorithm 1 lines 5-7: record that some object's count reached
+    /// `val`, then advance `AT` while `ZA[AT] >= k`.
+    ///
+    /// `val` must be within the count bound the gate was sized for; a
+    /// violation indicates an undersized [`crate::model::count_bound`]
+    /// and is clamped (debug builds assert) so device memory is never
+    /// corrupted and the advance loop always terminates.
+    #[inline]
+    pub fn bump(&self, ctx: &ThreadCtx, query: usize, val: u32) {
+        let base = query * self.za_len;
+        debug_assert!((val as usize) < self.za_len, "count exceeded the bound");
+        let val = (val as usize).min(self.za_len - 1);
+        self.za.atomic_add(ctx, base + val, 1);
+        // advance AT; the CAS loop tolerates races between lanes. AT is
+        // capped at bound + 1 (= za_len - 1): ZA there is only non-zero
+        // if the bound was violated, and advancing past it would never
+        // terminate.
+        loop {
+            let at = self.at.load(ctx, query);
+            if at as usize >= self.za_len - 1 {
+                break;
+            }
+            if self.za.load(ctx, base + at as usize) >= self.k {
+                // whether our CAS wins or another lane's does, progress
+                // was made; re-check from the new AT
+                let _ = self.at.atomic_cas(ctx, query, at, at + 1);
+            } else {
+                break;
+            }
+        }
+    }
+
+    /// Host-side read of the final AuditThreshold.
+    pub fn read_at_host(&self, query: usize) -> u32 {
+        self.at.read_host(query)
+    }
+
+    /// Host-side read of `ZA[idx]` for `query` (white-box tests).
+    pub fn read_za_host(&self, query: usize, idx: usize) -> u32 {
+        self.za.read_host(query * self.za_len + idx)
+    }
+
+    /// The raw AT buffer (the hash table reads it for expiry checks).
+    pub fn at_buffer(&self) -> &GlobalU32 {
+        &self.at
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use gpu_sim::{Device, LaunchConfig};
+
+    fn run_bumps(gate: &Gate, bumps: &[(usize, u32)]) {
+        let device = Device::with_defaults();
+        device.launch("bumps", LaunchConfig::new(1, 1), move |ctx| {
+            for &(q, v) in bumps {
+                gate.bump(ctx, q, v);
+            }
+        });
+    }
+
+    #[test]
+    fn at_starts_at_one() {
+        let gate = Gate::new(3, 10, 5);
+        for q in 0..3 {
+            assert_eq!(gate.read_at_host(q), 1);
+        }
+    }
+
+    #[test]
+    fn at_advances_when_k_objects_reach_it() {
+        let gate = Gate::new(1, 6, 2); // k = 2, bound 4
+        run_bumps(&gate, &[(0, 1)]);
+        assert_eq!(gate.read_at_host(0), 1, "one object at 1 < k");
+        run_bumps(&gate, &[(0, 1)]);
+        assert_eq!(gate.read_at_host(0), 2, "k objects reached 1");
+    }
+
+    #[test]
+    fn at_skips_multiple_levels_at_once() {
+        let gate = Gate::new(1, 6, 1); // k = 1
+        // counts reach 1, 2, 3 before AT is consulted again
+        run_bumps(&gate, &[(0, 1), (0, 2), (0, 3)]);
+        assert_eq!(gate.read_at_host(0), 4);
+    }
+
+    /// Lemma 3.1: after all updates, ZA[AT] < k and ZA[AT-1] >= k
+    /// (whenever AT > 1).
+    #[test]
+    fn lemma_3_1_invariant_holds() {
+        let gate = Gate::new(1, 12, 3);
+        let bumps: Vec<(usize, u32)> = (0..30).map(|i| (0usize, (i % 10) + 1)).collect();
+        run_bumps(&gate, &bumps);
+        let at = gate.read_at_host(0) as usize;
+        assert!(gate.read_za_host(0, at.min(11)) < 3);
+        if at > 1 {
+            assert!(gate.read_za_host(0, at - 1) >= 3);
+        }
+    }
+
+    #[test]
+    fn queries_are_independent() {
+        let gate = Gate::new(2, 6, 1);
+        run_bumps(&gate, &[(0, 1), (0, 2)]);
+        assert_eq!(gate.read_at_host(0), 3);
+        assert_eq!(gate.read_at_host(1), 1);
+    }
+
+    #[test]
+    fn concurrent_bumps_respect_lemma() {
+        let gate = Gate::new(1, 18, 4);
+        let device = Device::with_defaults();
+        let g = &gate;
+        // 512 lanes each bump values 1..=16 for distinct "objects"
+        device.launch("conc", LaunchConfig::new(16, 32), move |ctx| {
+            let v = (ctx.global_id() % 16) as u32 + 1;
+            g.bump(ctx, 0, v);
+        });
+        let at = gate.read_at_host(0) as usize;
+        // 32 objects per value level, k = 4 -> AT should reach 17
+        assert_eq!(at, 17);
+        assert!(gate.read_za_host(0, 17) < 4);
+        assert!(gate.read_za_host(0, 16) >= 4);
+    }
+}

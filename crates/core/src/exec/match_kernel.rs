@@ -1,0 +1,127 @@
+//! Scan-task construction: the host-side half of query processing.
+//!
+//! For every query item the host consults the Position Map once (the
+//! paper notes this lookup cost is negligible — our Table I reproduction
+//! confirms it) and emits one *scan task* per matched (sub)postings list.
+//! Each task becomes one block of the match kernel: the finest-grained
+//! decomposition available, which is how GENIE keeps the device saturated
+//! even for modest batch sizes.
+
+use crate::index::InvertedIndex;
+use crate::model::Query;
+
+/// One block's worth of work: scan `len` postings starting at `start` in
+/// the List Array, crediting matches to `query`.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct ScanTask {
+    pub query: u32,
+    pub start: u32,
+    pub len: u32,
+}
+
+/// Number of u32 words a task occupies in the device task buffer.
+pub(crate) const TASK_WORDS: usize = 3;
+
+/// Resolve `queries` against the Position Map into the flat task list.
+pub fn build_scan_tasks(index: &InvertedIndex, queries: &[Query]) -> Vec<ScanTask> {
+    let mut tasks = Vec::new();
+    for (qi, query) in queries.iter().enumerate() {
+        for item in &query.items {
+            for seg in index.segments_for_range(item.lo, item.hi) {
+                if seg.len > 0 {
+                    tasks.push(ScanTask {
+                        query: qi as u32,
+                        start: seg.start,
+                        len: seg.len,
+                    });
+                }
+            }
+        }
+    }
+    tasks
+}
+
+/// Flatten tasks into the u32 words uploaded to the device.
+pub(crate) fn encode_tasks(tasks: &[ScanTask]) -> Vec<u32> {
+    let mut words = Vec::with_capacity(tasks.len() * TASK_WORDS);
+    for t in tasks {
+        words.push(t.query);
+        words.push(t.start);
+        words.push(t.len);
+    }
+    words
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::index::{IndexBuilder, LoadBalanceConfig};
+    use crate::model::{Object, Query, QueryItem};
+
+    fn sample_index(lb: Option<LoadBalanceConfig>) -> InvertedIndex {
+        let mut b = IndexBuilder::new();
+        b.add_object(&Object::new(vec![1, 5]));
+        b.add_object(&Object::new(vec![1, 6]));
+        b.add_object(&Object::new(vec![2, 5]));
+        b.build(lb)
+    }
+
+    #[test]
+    fn one_task_per_matched_list() {
+        let idx = sample_index(None);
+        let q = Query::new(vec![QueryItem::range(1, 2), QueryItem::exact(5)]);
+        let tasks = build_scan_tasks(&idx, &[q]);
+        // item [1,2] matches keywords 1 and 2; item [5,5] matches 5
+        assert_eq!(tasks.len(), 3);
+        assert!(tasks.iter().all(|t| t.query == 0));
+        assert_eq!(tasks.iter().map(|t| t.len).sum::<u32>(), 2 + 1 + 2);
+    }
+
+    #[test]
+    fn tasks_carry_query_indices() {
+        let idx = sample_index(None);
+        let q0 = Query::from_keywords(&[1]);
+        let q1 = Query::from_keywords(&[5, 6]);
+        let tasks = build_scan_tasks(&idx, &[q0, q1]);
+        assert_eq!(tasks.iter().filter(|t| t.query == 0).count(), 1);
+        assert_eq!(tasks.iter().filter(|t| t.query == 1).count(), 2);
+    }
+
+    #[test]
+    fn unmatched_items_produce_no_tasks() {
+        let idx = sample_index(None);
+        let q = Query::from_keywords(&[99]);
+        assert!(build_scan_tasks(&idx, &[q]).is_empty());
+    }
+
+    #[test]
+    fn load_balanced_index_yields_more_smaller_tasks() {
+        let mut b = IndexBuilder::new();
+        for _ in 0..20 {
+            b.add_object(&Object::new(vec![7]));
+        }
+        let idx = b.build(Some(LoadBalanceConfig { max_list_len: 8 }));
+        let tasks = build_scan_tasks(&idx, &[Query::from_keywords(&[7])]);
+        assert_eq!(tasks.len(), 3);
+        assert!(tasks.iter().all(|t| t.len <= 8));
+        assert_eq!(tasks.iter().map(|t| t.len).sum::<u32>(), 20);
+    }
+
+    #[test]
+    fn encoding_is_three_words_per_task() {
+        let tasks = vec![
+            ScanTask {
+                query: 1,
+                start: 10,
+                len: 4,
+            },
+            ScanTask {
+                query: 2,
+                start: 14,
+                len: 9,
+            },
+        ];
+        let words = encode_tasks(&tasks);
+        assert_eq!(words, vec![1, 10, 4, 2, 14, 9]);
+    }
+}

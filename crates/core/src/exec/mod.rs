@@ -1,0 +1,7 @@
+//! Query execution on the device (paper §III-B, Figure 3).
+
+mod engine;
+mod match_kernel;
+
+pub use engine::{DeviceIndex, Engine, EngineConfig, SearchOutput, StageProfile};
+pub use match_kernel::{build_scan_tasks, ScanTask};

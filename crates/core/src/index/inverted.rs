@@ -1,0 +1,176 @@
+//! Frozen inverted index: flat List Array + sorted Position Map.
+
+use serde::{Deserialize, Serialize};
+
+use super::load_balance::LoadBalanceConfig;
+use crate::model::{KeywordId, ObjectId};
+
+/// One Position-Map record: keyword plus the address of one of its
+/// (sub)postings lists in the List Array. With load balancing enabled a
+/// keyword owns several consecutive entries (the one-to-many map of
+/// Figure 4).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub struct PostingsEntry {
+    pub keyword: KeywordId,
+    pub start: u32,
+    pub len: u32,
+}
+
+/// A contiguous slice of the List Array that a kernel block scans.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct PostingsSegment {
+    pub start: u32,
+    pub len: u32,
+}
+
+/// The frozen index (paper Figure 3).
+///
+/// * `list_array` lives in device global memory at query time (uploaded
+///   by the engine, which records the H2D transfer).
+/// * `entries` — the Position Map — stays in *host* memory, exactly as in
+///   the paper: the host looks up postings addresses once per query item
+///   and ships only `(start, len)` descriptors to the device.
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct InvertedIndex {
+    pub(crate) entries: Vec<PostingsEntry>,
+    pub(crate) list_array: Vec<ObjectId>,
+    pub(crate) num_objects: ObjectId,
+    pub(crate) max_object_len: usize,
+    pub(crate) longest_list: usize,
+    pub(crate) load_balance: Option<LoadBalanceConfig>,
+}
+
+impl InvertedIndex {
+    /// Number of indexed objects.
+    pub fn num_objects(&self) -> ObjectId {
+        self.num_objects
+    }
+
+    /// Length of the longest keyword element list seen at build time.
+    pub fn max_object_len(&self) -> usize {
+        self.max_object_len
+    }
+
+    /// Length of the longest (pre-split) postings list.
+    pub fn longest_list(&self) -> usize {
+        self.longest_list
+    }
+
+    /// The load-balance configuration the index was built with, if any.
+    pub fn load_balance(&self) -> Option<LoadBalanceConfig> {
+        self.load_balance
+    }
+
+    /// The flat List Array (what gets uploaded to the device).
+    pub fn list_array(&self) -> &[ObjectId] {
+        &self.list_array
+    }
+
+    /// Number of Position-Map entries (sublists count individually).
+    pub fn num_lists(&self) -> usize {
+        self.entries.len()
+    }
+
+    /// Size of the device-resident part (the List Array) in bytes.
+    pub fn device_bytes(&self) -> u64 {
+        (self.list_array.len() * std::mem::size_of::<ObjectId>()) as u64
+    }
+
+    /// Size of the host-resident Position Map in bytes.
+    pub fn host_bytes(&self) -> u64 {
+        (self.entries.len() * std::mem::size_of::<PostingsEntry>()) as u64
+    }
+
+    /// All postings segments whose keyword lies in `[lo, hi]` (inclusive).
+    /// This is the host-side Position-Map lookup done once per query item.
+    pub fn segments_for_range(
+        &self,
+        lo: KeywordId,
+        hi: KeywordId,
+    ) -> impl Iterator<Item = PostingsSegment> + '_ {
+        let from = self.entries.partition_point(|e| e.keyword < lo);
+        self.entries[from..]
+            .iter()
+            .take_while(move |e| e.keyword <= hi)
+            .map(|e| PostingsSegment {
+                start: e.start,
+                len: e.len,
+            })
+    }
+
+    /// Raw Position-Map entries (persistence codec).
+    pub fn entries_raw(&self) -> &[PostingsEntry] {
+        &self.entries
+    }
+
+    /// Reassemble an index from its raw parts (persistence codec). The
+    /// caller is responsible for structural validity; `crate::io`
+    /// validates before calling this.
+    pub fn from_parts(
+        entries: Vec<PostingsEntry>,
+        list_array: Vec<ObjectId>,
+        num_objects: ObjectId,
+        max_object_len: usize,
+        longest_list: usize,
+        load_balance: Option<LoadBalanceConfig>,
+    ) -> Self {
+        Self {
+            entries,
+            list_array,
+            num_objects,
+            max_object_len,
+            longest_list,
+            load_balance,
+        }
+    }
+
+    /// Materialised postings list of one keyword (test/debug helper).
+    pub fn postings_of(&self, kw: KeywordId) -> Vec<ObjectId> {
+        self.segments_for_range(kw, kw)
+            .flat_map(|s| self.list_array[s.start as usize..(s.start + s.len) as usize].to_vec())
+            .collect()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::index::IndexBuilder;
+    use crate::model::Object;
+
+    fn sample_index() -> InvertedIndex {
+        let mut b = IndexBuilder::new();
+        b.add_object(&Object::new(vec![10, 20])); // O0
+        b.add_object(&Object::new(vec![20, 30])); // O1
+        b.add_object(&Object::new(vec![10, 30])); // O2
+        b.build(None)
+    }
+
+    #[test]
+    fn range_lookup_returns_matching_segments() {
+        let idx = sample_index();
+        let segs: Vec<_> = idx.segments_for_range(10, 20).collect();
+        assert_eq!(segs.len(), 2);
+        let all: Vec<_> = idx.segments_for_range(0, 100).collect();
+        assert_eq!(all.len(), 3);
+        let none: Vec<_> = idx.segments_for_range(11, 19).collect();
+        assert!(none.is_empty());
+    }
+
+    #[test]
+    fn segments_address_the_list_array() {
+        let idx = sample_index();
+        let seg = idx.segments_for_range(30, 30).next().unwrap();
+        let slice = &idx.list_array()[seg.start as usize..(seg.start + seg.len) as usize];
+        assert_eq!(slice, &[1, 2]);
+    }
+
+    #[test]
+    fn sizes_are_accounted() {
+        let idx = sample_index();
+        assert_eq!(idx.device_bytes(), 6 * 4);
+        assert!(idx.host_bytes() > 0);
+        assert_eq!(idx.num_lists(), 3);
+        assert_eq!(idx.longest_list(), 2);
+    }
+}

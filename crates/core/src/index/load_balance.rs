@@ -1,0 +1,57 @@
+//! Load balancing (paper §III-B1, Figure 4).
+//!
+//! Some keywords own extremely long postings lists (low-cardinality
+//! relational attributes are the paper's example — the Adult dataset's
+//! `sex` column puts half the table in one list). A single block scanning
+//! such a list becomes the straggler of the whole launch when only a few
+//! queries are in flight. The fix is to cap sublist length at build time:
+//! each long list is split into sublists and the Position Map records all
+//! of them, so each sublist gets its own block.
+//!
+//! The paper caps sublists at 4K entries; the same default is used here.
+//! As the paper observes, the benefit fades once the batch has enough
+//! queries to saturate the device — the Fig. 12 experiment reproduces
+//! exactly that.
+
+use serde::{Deserialize, Serialize};
+
+/// Build-time load-balance settings.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub struct LoadBalanceConfig {
+    /// Maximum entries in one (sub)postings list. Paper default: 4096.
+    pub max_list_len: usize,
+}
+
+impl Default for LoadBalanceConfig {
+    fn default() -> Self {
+        Self { max_list_len: 4096 }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::index::IndexBuilder;
+    use crate::model::Object;
+
+    #[test]
+    fn default_matches_paper() {
+        assert_eq!(LoadBalanceConfig::default().max_list_len, 4096);
+    }
+
+    #[test]
+    fn split_lists_cover_exactly_the_original_postings() {
+        let mut b = IndexBuilder::new();
+        for i in 0..100u32 {
+            b.add_object(&Object::new(vec![i % 2])); // two keywords, 50 each
+        }
+        let idx = b.build(Some(LoadBalanceConfig { max_list_len: 16 }));
+        for kw in 0..2u32 {
+            let postings = idx.postings_of(kw);
+            assert_eq!(postings.len(), 50);
+            let segs: Vec<_> = idx.segments_for_range(kw, kw).collect();
+            assert_eq!(segs.len(), 4); // 16+16+16+2
+            assert!(segs.iter().all(|s| s.len <= 16));
+        }
+    }
+}

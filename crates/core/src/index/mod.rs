@@ -1,0 +1,11 @@
+//! The inverted index (paper §III-B): a flat *List Array* of postings in
+//! device global memory plus a host-resident *Position Map* from keyword
+//! to postings-list address(es).
+
+mod builder;
+mod inverted;
+mod load_balance;
+
+pub use builder::IndexBuilder;
+pub use inverted::{InvertedIndex, PostingsEntry, PostingsSegment};
+pub use load_balance::LoadBalanceConfig;

@@ -1,0 +1,258 @@
+//! Compact binary persistence for [`InvertedIndex`].
+//!
+//! Multiple loading (paper §III-D) keeps one prebuilt index per data
+//! part in host memory and swaps them through the device. For data sets
+//! whose parts are built offline, the parts need a storage format; this
+//! module provides a versioned little-endian codec over [`bytes`]
+//! buffers (far denser than generic serde encodings: the List Array is
+//! the payload and is written verbatim).
+//!
+//! Layout (all integers little-endian):
+//!
+//! ```text
+//! magic "GNIE" | version u16 | flags u16 (bit0: load-balanced)
+//! num_objects u32 | max_object_len u32 | longest_list u64
+//! [max_list_len u64]                 -- iff load-balanced
+//! num_entries u32 | entries: (keyword, start, len) u32 triples
+//! list_len u32 | list_array: u32 words
+//! ```
+
+use bytes::{Buf, BufMut, Bytes, BytesMut};
+
+use crate::index::{InvertedIndex, LoadBalanceConfig};
+
+const MAGIC: &[u8; 4] = b"GNIE";
+const VERSION: u16 = 1;
+
+/// Errors produced by [`decode_index`].
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum DecodeError {
+    /// Buffer does not start with the `GNIE` magic.
+    BadMagic,
+    /// Encoded with an unsupported format version.
+    UnsupportedVersion(u16),
+    /// Buffer ended before the declared payload.
+    Truncated,
+    /// Internal lengths are inconsistent (e.g. an entry points past the
+    /// List Array).
+    Corrupt(&'static str),
+}
+
+impl std::fmt::Display for DecodeError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            DecodeError::BadMagic => write!(f, "not a GENIE index (bad magic)"),
+            DecodeError::UnsupportedVersion(v) => write!(f, "unsupported index version {v}"),
+            DecodeError::Truncated => write!(f, "index buffer truncated"),
+            DecodeError::Corrupt(what) => write!(f, "corrupt index: {what}"),
+        }
+    }
+}
+
+impl std::error::Error for DecodeError {}
+
+/// Serialise an index into a fresh buffer.
+pub fn encode_index(index: &InvertedIndex) -> Bytes {
+    let entries = index.entries_raw();
+    let list = index.list_array();
+    let mut buf = BytesMut::with_capacity(32 + entries.len() * 12 + list.len() * 4);
+    buf.put_slice(MAGIC);
+    buf.put_u16_le(VERSION);
+    let lb = index.load_balance();
+    buf.put_u16_le(u16::from(lb.is_some()));
+    buf.put_u32_le(index.num_objects());
+    buf.put_u32_le(index.max_object_len() as u32);
+    buf.put_u64_le(index.longest_list() as u64);
+    if let Some(cfg) = lb {
+        buf.put_u64_le(cfg.max_list_len as u64);
+    }
+    buf.put_u32_le(entries.len() as u32);
+    for e in entries {
+        buf.put_u32_le(e.keyword);
+        buf.put_u32_le(e.start);
+        buf.put_u32_le(e.len);
+    }
+    buf.put_u32_le(list.len() as u32);
+    for &w in list {
+        buf.put_u32_le(w);
+    }
+    buf.freeze()
+}
+
+/// Deserialise an index previously produced by [`encode_index`].
+pub fn decode_index(mut buf: impl Buf) -> Result<InvertedIndex, DecodeError> {
+    if buf.remaining() < 8 {
+        return Err(DecodeError::Truncated);
+    }
+    let mut magic = [0u8; 4];
+    buf.copy_to_slice(&mut magic);
+    if &magic != MAGIC {
+        return Err(DecodeError::BadMagic);
+    }
+    let version = buf.get_u16_le();
+    if version != VERSION {
+        return Err(DecodeError::UnsupportedVersion(version));
+    }
+    let flags = buf.get_u16_le();
+    if buf.remaining() < 16 {
+        return Err(DecodeError::Truncated);
+    }
+    let num_objects = buf.get_u32_le();
+    let max_object_len = buf.get_u32_le() as usize;
+    let longest_list = buf.get_u64_le() as usize;
+    let load_balance = if flags & 1 != 0 {
+        if buf.remaining() < 8 {
+            return Err(DecodeError::Truncated);
+        }
+        Some(LoadBalanceConfig {
+            max_list_len: buf.get_u64_le() as usize,
+        })
+    } else {
+        None
+    };
+    if buf.remaining() < 4 {
+        return Err(DecodeError::Truncated);
+    }
+    let num_entries = buf.get_u32_le() as usize;
+    if buf.remaining() < num_entries * 12 {
+        return Err(DecodeError::Truncated);
+    }
+    let mut entries = Vec::with_capacity(num_entries);
+    for _ in 0..num_entries {
+        entries.push(crate::index::PostingsEntry {
+            keyword: buf.get_u32_le(),
+            start: buf.get_u32_le(),
+            len: buf.get_u32_le(),
+        });
+    }
+    if buf.remaining() < 4 {
+        return Err(DecodeError::Truncated);
+    }
+    let list_len = buf.get_u32_le() as usize;
+    if buf.remaining() < list_len * 4 {
+        return Err(DecodeError::Truncated);
+    }
+    let mut list_array = Vec::with_capacity(list_len);
+    for _ in 0..list_len {
+        list_array.push(buf.get_u32_le());
+    }
+    // structural validation
+    let mut last_kw = None;
+    for e in &entries {
+        if (e.start as usize + e.len as usize) > list_array.len() {
+            return Err(DecodeError::Corrupt("entry points past the List Array"));
+        }
+        if let Some(prev) = last_kw {
+            if e.keyword < prev {
+                return Err(DecodeError::Corrupt("entries not sorted by keyword"));
+            }
+        }
+        last_kw = Some(e.keyword);
+    }
+    if list_array.iter().any(|&o| o >= num_objects) && num_objects > 0 {
+        return Err(DecodeError::Corrupt("posting references unknown object"));
+    }
+    Ok(InvertedIndex::from_parts(
+        entries,
+        list_array,
+        num_objects,
+        max_object_len,
+        longest_list,
+        load_balance,
+    ))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::index::IndexBuilder;
+    use crate::model::Object;
+
+    fn sample(lb: Option<LoadBalanceConfig>) -> InvertedIndex {
+        let mut b = IndexBuilder::new();
+        for i in 0..50u32 {
+            b.add_object(&Object::new(vec![i % 7, 100 + i % 3]));
+        }
+        b.build(lb)
+    }
+
+    #[test]
+    fn round_trip_plain() {
+        let idx = sample(None);
+        let bytes = encode_index(&idx);
+        let back = decode_index(bytes).unwrap();
+        assert_eq!(back.num_objects(), idx.num_objects());
+        assert_eq!(back.list_array(), idx.list_array());
+        assert_eq!(back.postings_of(3), idx.postings_of(3));
+        assert_eq!(back.load_balance(), None);
+    }
+
+    #[test]
+    fn round_trip_load_balanced() {
+        let lb = LoadBalanceConfig { max_list_len: 4 };
+        let idx = sample(Some(lb));
+        let back = decode_index(encode_index(&idx)).unwrap();
+        assert_eq!(back.load_balance(), Some(lb));
+        assert_eq!(back.postings_of(0), idx.postings_of(0));
+        assert_eq!(back.num_lists(), idx.num_lists());
+    }
+
+    #[test]
+    fn rejects_bad_magic() {
+        assert_eq!(
+            decode_index(&b"NOPE........"[..]).unwrap_err(),
+            DecodeError::BadMagic
+        );
+    }
+
+    #[test]
+    fn rejects_truncation_everywhere() {
+        let bytes = encode_index(&sample(None));
+        // every strict prefix must fail cleanly, never panic
+        for cut in 0..bytes.len() {
+            let res = decode_index(&bytes[..cut]);
+            assert!(res.is_err(), "prefix of {cut} bytes decoded successfully");
+        }
+    }
+
+    #[test]
+    fn rejects_future_version() {
+        let mut raw = encode_index(&sample(None)).to_vec();
+        raw[4] = 0xFF; // bump version field
+        assert!(matches!(
+            decode_index(&raw[..]),
+            Err(DecodeError::UnsupportedVersion(_))
+        ));
+    }
+
+    #[test]
+    fn detects_corrupt_entry_bounds() {
+        let idx = sample(None);
+        let mut raw = encode_index(&idx).to_vec();
+        // entry table starts at offset 24 (no LB); corrupt first entry's
+        // start to point far past the list array
+        let entry_start = 24 + 4;
+        raw[entry_start..entry_start + 4].copy_from_slice(&u32::MAX.to_le_bytes());
+        assert!(matches!(
+            decode_index(&raw[..]),
+            Err(DecodeError::Corrupt(_)) | Err(DecodeError::Truncated)
+        ));
+    }
+
+    #[test]
+    fn decoded_index_searches_identically() {
+        use crate::exec::Engine;
+        use crate::model::Query;
+        use std::sync::Arc;
+
+        let idx = sample(None);
+        let back = decode_index(encode_index(&idx)).unwrap();
+        let engine = Engine::new(Arc::new(gpu_sim::Device::with_defaults()));
+        let d1 = engine.upload(Arc::new(idx)).unwrap();
+        let d2 = engine.upload(Arc::new(back)).unwrap();
+        let q = vec![Query::from_keywords(&[2, 101])];
+        let r1 = engine.search(&d1, &q, 5);
+        let r2 = engine.search(&d2, &q, 5);
+        assert_eq!(r1.results, r2.results);
+    }
+}

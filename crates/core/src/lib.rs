@@ -1,0 +1,58 @@
+//! # genie-core — the GENIE inverted-index engine
+//!
+//! Rust reproduction of the core contribution of *"A Generic Inverted
+//! Index Framework for Similarity Search on the GPU"* (ICDE 2018):
+//!
+//! * the **match-count model** ([`model`]) — the abstract similarity
+//!   interface every data type is compiled down to;
+//! * the device-resident **inverted index** ([`index`]) with host
+//!   Position Map, flat List Array and load-balanced sublists;
+//! * the **Count Priority Queue** ([`cpq`]) — bitmap counters, the
+//!   ZipperArray/AuditThreshold gate and the modified Robin Hood hash
+//!   table that make top-k selection a single table scan;
+//! * the batched **engine** ([`exec`]) that runs multi-query top-k
+//!   match-count search on a [`gpu_sim::Device`];
+//! * **multiple loading** ([`multiload`]) for data sets larger than
+//!   device memory.
+//!
+//! Higher layers map concrete data types onto this engine: `genie-lsh`
+//! (ANN search via locality-sensitive hashing) and `genie-sa` (sequences,
+//! documents and relational tables via shotgun-and-assembly).
+//!
+//! ```
+//! use std::sync::Arc;
+//! use genie_core::prelude::*;
+//!
+//! // three objects over a keyword universe
+//! let objects = vec![
+//!     Object::new(vec![1, 5]),
+//!     Object::new(vec![1, 6]),
+//!     Object::new(vec![2, 5]),
+//! ];
+//! let mut builder = IndexBuilder::new();
+//! builder.add_objects(objects.iter());
+//! let index = Arc::new(builder.build(None));
+//!
+//! let engine = Engine::new(Arc::new(gpu_sim::Device::with_defaults()));
+//! let device_index = engine.upload(index).unwrap();
+//! let query = Query::from_keywords(&[1, 5]);
+//! let out = engine.search(&device_index, &[query], 2);
+//! assert_eq!(out.results[0][0].id, 0); // object 0 matches both keywords
+//! ```
+
+pub mod cpq;
+pub mod exec;
+pub mod index;
+pub mod io;
+pub mod model;
+pub mod multiload;
+pub mod topk;
+
+/// Convenient re-exports of the types almost every user needs.
+pub mod prelude {
+    pub use crate::exec::{DeviceIndex, Engine, SearchOutput, StageProfile};
+    pub use crate::index::{IndexBuilder, InvertedIndex, LoadBalanceConfig};
+    pub use crate::model::{match_count, KeywordId, Object, ObjectId, Query, QueryItem};
+    pub use crate::multiload::{build_parts, multi_device_search, multi_load_search, IndexPart, MultiLoadReport};
+    pub use crate::topk::{reference_top_k, TopHit};
+}

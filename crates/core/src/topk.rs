@@ -1,0 +1,107 @@
+//! Top-k finalisation and the CPU reference used throughout the tests.
+
+use crate::model::ObjectId;
+
+/// One top-k hit: an object and its match count.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct TopHit {
+    pub id: ObjectId,
+    pub count: u32,
+}
+
+/// Reduce raw `(id, count)` candidates to the final top-k list.
+///
+/// Duplicate ids (the lock-free hash table can emit several entries for
+/// one key) are merged by maximum count; entries below `threshold`
+/// (`AT - 1`, per Theorem 3.1) are dropped; the survivors are sorted by
+/// count descending. The paper breaks ties randomly — we break them by
+/// ascending id so results are reproducible.
+pub fn finalize_candidates<I>(candidates: I, threshold: u32, k: usize) -> Vec<TopHit>
+where
+    I: IntoIterator<Item = (ObjectId, u32)>,
+{
+    let mut best: std::collections::HashMap<ObjectId, u32> = std::collections::HashMap::new();
+    for (id, count) in candidates {
+        if count >= threshold {
+            let e = best.entry(id).or_insert(0);
+            *e = (*e).max(count);
+        }
+    }
+    let mut hits: Vec<TopHit> = best
+        .into_iter()
+        .map(|(id, count)| TopHit { id, count })
+        .collect();
+    hits.sort_unstable_by(|a, b| b.count.cmp(&a.count).then(a.id.cmp(&b.id)));
+    hits.truncate(k);
+    hits
+}
+
+/// Brute-force reference: the top-k of a dense count array, zero counts
+/// excluded (an object no query item touches is not a candidate), ties
+/// by ascending id.
+pub fn reference_top_k(counts: &[u32], k: usize) -> Vec<TopHit> {
+    let mut hits: Vec<TopHit> = counts
+        .iter()
+        .enumerate()
+        .filter(|(_, &c)| c > 0)
+        .map(|(id, &count)| TopHit {
+            id: id as ObjectId,
+            count,
+        })
+        .collect();
+    hits.sort_unstable_by(|a, b| b.count.cmp(&a.count).then(a.id.cmp(&b.id)));
+    hits.truncate(k);
+    hits
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn finalize_merges_duplicates_by_max() {
+        let hits = finalize_candidates(vec![(1, 2), (1, 5), (2, 3)], 0, 10);
+        assert_eq!(
+            hits,
+            vec![TopHit { id: 1, count: 5 }, TopHit { id: 2, count: 3 }]
+        );
+    }
+
+    #[test]
+    fn finalize_applies_threshold_and_k() {
+        let hits = finalize_candidates(vec![(1, 1), (2, 5), (3, 4), (4, 9)], 4, 2);
+        assert_eq!(
+            hits,
+            vec![TopHit { id: 4, count: 9 }, TopHit { id: 2, count: 5 }]
+        );
+    }
+
+    #[test]
+    fn ties_break_by_ascending_id() {
+        let hits = finalize_candidates(vec![(9, 3), (2, 3), (5, 3)], 0, 2);
+        assert_eq!(hits[0].id, 2);
+        assert_eq!(hits[1].id, 5);
+    }
+
+    #[test]
+    fn reference_ignores_zero_counts() {
+        let hits = reference_top_k(&[0, 3, 0, 1], 10);
+        assert_eq!(hits.len(), 2);
+        assert_eq!(hits[0], TopHit { id: 1, count: 3 });
+    }
+
+    #[test]
+    fn reference_and_finalize_agree() {
+        let counts = [5u32, 0, 3, 3, 8, 1];
+        let pairs: Vec<(u32, u32)> = counts
+            .iter()
+            .enumerate()
+            .filter(|(_, &c)| c > 0)
+            .map(|(i, &c)| (i as u32, c))
+            .collect();
+        assert_eq!(
+            reference_top_k(&counts, 3),
+            finalize_candidates(pairs, 1, 3)
+        );
+    }
+}

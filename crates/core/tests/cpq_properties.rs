@@ -1,0 +1,111 @@
+//! Property tests of the Count Priority Queue: for arbitrary update
+//! multisets applied under full device concurrency, the hash table must
+//! contain the exact top-k and the AuditThreshold must satisfy
+//! Theorem 3.1.
+
+use genie_core::cpq::{Cpq, CpqLayout};
+use gpu_sim::{Device, LaunchConfig};
+use proptest::prelude::*;
+
+/// Apply `updates` (object ids, possibly repeated) concurrently and
+/// return (final AT, merged hash-table contents).
+fn run_cpq(updates: &[u32], num_objects: usize, bound: u32, k: usize) -> (u32, Vec<(u32, u32)>) {
+    let layout = CpqLayout {
+        num_queries: 1,
+        num_objects,
+        bound,
+        k,
+    };
+    let cpq = Cpq::new(layout);
+    let device = Device::with_defaults();
+    let n = updates.len();
+    let c = &cpq;
+    let u = updates;
+    device.launch("prop", LaunchConfig::cover(n.max(1), 64), move |ctx| {
+        let gid = ctx.global_id();
+        if gid < n {
+            c.update(ctx, 0, u[gid]);
+        }
+    });
+    let at = cpq.final_audit_threshold(0);
+    // merge duplicates by max count
+    let mut best = std::collections::HashMap::new();
+    for (id, count) in cpq.table().host_entries(0) {
+        let e = best.entry(id).or_insert(0u32);
+        *e = (*e).max(count);
+    }
+    let mut entries: Vec<(u32, u32)> = best.into_iter().collect();
+    entries.sort_unstable_by(|a, b| b.1.cmp(&a.1).then(a.0.cmp(&b.0)));
+    (at, entries)
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(48))]
+
+    #[test]
+    fn cpq_topk_equals_reference(
+        updates in proptest::collection::vec(0u32..40, 0..300),
+        k in 1usize..12,
+    ) {
+        let num_objects = 40usize;
+        // exact counts
+        let mut counts = vec![0u32; num_objects];
+        for &o in &updates {
+            counts[o as usize] += 1;
+        }
+        let bound = counts.iter().copied().max().unwrap_or(0).max(1);
+        let (at, entries) = run_cpq(&updates, num_objects, bound, k);
+
+        // Theorem 3.1: MC_k = AT - 1 (when at least k objects matched)
+        let mut sorted: Vec<u32> = counts.iter().copied().filter(|&c| c > 0).collect();
+        sorted.sort_unstable_by(|a, b| b.cmp(a));
+        if sorted.len() >= k {
+            prop_assert_eq!(at - 1, sorted[k - 1], "MC_k must equal AT - 1");
+        } else {
+            prop_assert_eq!(at, 1, "AT must stay 1 when fewer than k objects matched");
+        }
+
+        // the top-k count profile must be recoverable from the table
+        let threshold = at.saturating_sub(1);
+        let survivors: Vec<u32> = entries
+            .iter()
+            .filter(|&&(_, c)| c >= threshold)
+            .map(|&(_, c)| c)
+            .take(k)
+            .collect();
+        let expected: Vec<u32> = sorted.iter().copied().take(k).collect();
+        prop_assert_eq!(survivors, expected, "top-k count profile");
+
+        // every reported (id, count) must be truthful
+        for &(id, c) in &entries {
+            prop_assert!(c <= counts[id as usize],
+                "table reports count {} for object {} with true count {}",
+                c, id, counts[id as usize]);
+        }
+    }
+
+    /// Oversizing the bound (more bits than needed) never changes the
+    /// answer.
+    #[test]
+    fn bound_oversizing_is_harmless(
+        updates in proptest::collection::vec(0u32..20, 1..150),
+    ) {
+        let num_objects = 20usize;
+        let mut counts = vec![0u32; num_objects];
+        for &o in &updates {
+            counts[o as usize] += 1;
+        }
+        let tight = counts.iter().copied().max().unwrap().max(1);
+        let k = 5usize;
+        let (at_tight, top_tight) = run_cpq(&updates, num_objects, tight, k);
+        let (at_loose, top_loose) = run_cpq(&updates, num_objects, tight * 3 + 7, k);
+        prop_assert_eq!(at_tight, at_loose);
+        let profile = |v: &[(u32, u32)], th: u32| -> Vec<u32> {
+            v.iter().filter(|&&(_, c)| c >= th).map(|&(_, c)| c).take(k).collect()
+        };
+        prop_assert_eq!(
+            profile(&top_tight, at_tight.saturating_sub(1)),
+            profile(&top_loose, at_loose.saturating_sub(1))
+        );
+    }
+}

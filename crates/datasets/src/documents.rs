@@ -1,0 +1,93 @@
+//! Tweets-like short documents: Zipf-distributed vocabulary, short
+//! lengths — the skew (a few very common words, a long tail) is what
+//! stresses the inverted index the way the real crawl does.
+
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+
+/// Sample from a Zipf(s) distribution over `0..n` by inverse-CDF over
+/// precomputed weights.
+pub struct Zipf {
+    cdf: Vec<f64>,
+}
+
+impl Zipf {
+    pub fn new(n: usize, s: f64) -> Self {
+        assert!(n >= 1);
+        let mut cdf = Vec::with_capacity(n);
+        let mut acc = 0.0;
+        for i in 1..=n {
+            acc += 1.0 / (i as f64).powf(s);
+            cdf.push(acc);
+        }
+        let total = *cdf.last().unwrap();
+        for v in &mut cdf {
+            *v /= total;
+        }
+        Self { cdf }
+    }
+
+    pub fn sample<R: Rng>(&self, rng: &mut R) -> usize {
+        let u: f64 = rng.random();
+        self.cdf.partition_point(|&c| c < u)
+    }
+}
+
+/// Generate `n` tweet-like documents: word counts in `[min_len,
+/// max_len]`, words drawn Zipf(1.0) from a `vocab`-sized vocabulary.
+/// Words are rendered as `w<id>` strings.
+pub fn tweets_like(
+    n: usize,
+    vocab: usize,
+    min_len: usize,
+    max_len: usize,
+    seed: u64,
+) -> Vec<Vec<String>> {
+    assert!(min_len >= 1 && max_len >= min_len);
+    let mut rng = StdRng::seed_from_u64(seed);
+    let zipf = Zipf::new(vocab, 1.0);
+    (0..n)
+        .map(|_| {
+            let len = rng.random_range(min_len..=max_len);
+            (0..len).map(|_| format!("w{}", zipf.sample(&mut rng))).collect()
+        })
+        .collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn documents_have_bounded_lengths() {
+        let docs = tweets_like(100, 500, 3, 12, 9);
+        assert_eq!(docs.len(), 100);
+        assert!(docs.iter().all(|d| (3..=12).contains(&d.len())));
+        assert_eq!(docs, tweets_like(100, 500, 3, 12, 9), "deterministic");
+    }
+
+    #[test]
+    fn zipf_is_skewed_toward_small_ids() {
+        let zipf = Zipf::new(1000, 1.0);
+        let mut rng = StdRng::seed_from_u64(3);
+        let mut head = 0;
+        let n = 20_000;
+        for _ in 0..n {
+            if zipf.sample(&mut rng) < 10 {
+                head += 1;
+            }
+        }
+        // the top-10 of 1000 Zipf(1) words carry ~39% of the mass
+        let frac = head as f64 / n as f64;
+        assert!(frac > 0.3, "head mass {frac}");
+    }
+
+    #[test]
+    fn zipf_samples_stay_in_range() {
+        let zipf = Zipf::new(50, 1.2);
+        let mut rng = StdRng::seed_from_u64(4);
+        for _ in 0..1000 {
+            assert!(zipf.sample(&mut rng) < 50);
+        }
+    }
+}

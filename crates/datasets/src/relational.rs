@@ -1,0 +1,128 @@
+//! Adult-like relational rows: a census-shaped mix of low-cardinality
+//! categorical attributes (sex, workclass, ...) and wide numeric ones
+//! (age, hours, capital-gain), with the paper's 20x row duplication.
+//! The low-cardinality columns are the point: they produce postings
+//! lists holding large fractions of the table — the load-balance
+//! experiment's trigger.
+
+use genie_sa::relational::{Attribute, Value};
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+
+/// An Adult-shaped schema: `num_cat` categorical attributes of the given
+/// cardinalities and `num_num` numeric attributes discretised into
+/// `buckets` intervals (the paper uses 1024).
+pub fn adult_schema(buckets: u32) -> Vec<Attribute> {
+    vec![
+        // categorical: sex, race, workclass, education, marital,
+        // occupation, relationship, country(ish)
+        Attribute::Categorical { cardinality: 2 },
+        Attribute::Categorical { cardinality: 5 },
+        Attribute::Categorical { cardinality: 8 },
+        Attribute::Categorical { cardinality: 16 },
+        Attribute::Categorical { cardinality: 7 },
+        Attribute::Categorical { cardinality: 14 },
+        Attribute::Categorical { cardinality: 6 },
+        Attribute::Categorical { cardinality: 40 },
+        // numeric: age, fnlwgt, education-num, capital-gain,
+        // capital-loss, hours-per-week
+        Attribute::Numeric { min: 17.0, max: 90.0, buckets },
+        Attribute::Numeric { min: 0.0, max: 1_500_000.0, buckets },
+        Attribute::Numeric { min: 1.0, max: 16.0, buckets },
+        Attribute::Numeric { min: 0.0, max: 100_000.0, buckets },
+        Attribute::Numeric { min: 0.0, max: 5_000.0, buckets },
+        Attribute::Numeric { min: 1.0, max: 99.0, buckets },
+    ]
+}
+
+/// Generate `base_rows` distinct rows under `schema`, then duplicate
+/// each `duplication` times (paper: 49K rows x 20 = 0.98M instances).
+pub fn adult_like(
+    schema: &[Attribute],
+    base_rows: usize,
+    duplication: usize,
+    seed: u64,
+) -> Vec<Vec<Value>> {
+    assert!(duplication >= 1);
+    let mut rng = StdRng::seed_from_u64(seed);
+    let mut base = Vec::with_capacity(base_rows);
+    for _ in 0..base_rows {
+        let row: Vec<Value> = schema
+            .iter()
+            .map(|a| match *a {
+                Attribute::Categorical { cardinality } => {
+                    // mildly skewed categories, like census columns
+                    let r: f64 = rng.random();
+                    Value::Cat(((r * r) * cardinality as f64) as u32)
+                }
+                Attribute::Numeric { min, max, .. } => {
+                    Value::Num(min + rng.random::<f64>() * (max - min))
+                }
+            })
+            .collect();
+        base.push(row);
+    }
+    let mut rows = Vec::with_capacity(base_rows * duplication);
+    for _ in 0..duplication {
+        rows.extend(base.iter().cloned());
+    }
+    rows
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn schema_mixes_categorical_and_numeric() {
+        let schema = adult_schema(1024);
+        assert_eq!(schema.len(), 14, "Adult has 14 attributes");
+        let cats = schema
+            .iter()
+            .filter(|a| matches!(a, Attribute::Categorical { .. }))
+            .count();
+        assert_eq!(cats, 8);
+    }
+
+    #[test]
+    fn duplication_multiplies_rows() {
+        let schema = adult_schema(64);
+        let rows = adult_like(&schema, 10, 3, 1);
+        assert_eq!(rows.len(), 30);
+        assert_eq!(rows[0], rows[10]);
+        assert_eq!(rows[0], rows[20]);
+    }
+
+    #[test]
+    fn values_respect_schema() {
+        let schema = adult_schema(64);
+        let rows = adult_like(&schema, 50, 1, 2);
+        for row in &rows {
+            assert_eq!(row.len(), schema.len());
+            for (v, a) in row.iter().zip(&schema) {
+                match (v, a) {
+                    (Value::Cat(c), Attribute::Categorical { cardinality }) => {
+                        assert!(c < cardinality)
+                    }
+                    (Value::Num(x), Attribute::Numeric { min, max, .. }) => {
+                        assert!(*x >= *min && *x <= *max)
+                    }
+                    _ => panic!("type mismatch"),
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn low_cardinality_columns_are_skewed() {
+        let schema = adult_schema(64);
+        let rows = adult_like(&schema, 2000, 1, 3);
+        // first column is binary with the square-skew: category 0 should
+        // hold clearly more than half the rows
+        let zeros = rows
+            .iter()
+            .filter(|r| matches!(r[0], Value::Cat(0)))
+            .count();
+        assert!(zeros as f64 / 2000.0 > 0.6, "zeros = {zeros}");
+    }
+}

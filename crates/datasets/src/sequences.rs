@@ -1,0 +1,122 @@
+//! DBLP-like sequence generation and the controlled corruption used by
+//! the sequence-accuracy experiments (Tables VI & VII).
+
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+
+/// Vocabulary fragments that make titles look paper-ish; what matters
+/// for the experiments is realistic n-gram overlap between titles, which
+/// composing from a shared word pool produces.
+const WORDS: &[&str] = &[
+    "parallel", "generic", "inverted", "index", "similarity", "search",
+    "query", "processing", "database", "system", "graph", "tree",
+    "sequence", "mining", "learning", "distributed", "efficient",
+    "scalable", "approximate", "nearest", "neighbor", "hashing",
+    "framework", "analysis", "optimization", "stream", "spatial",
+    "temporal", "knowledge", "retrieval", "clustering", "classification",
+];
+
+/// Generate `n` DBLP-like article titles of roughly `target_len` bytes.
+pub fn dblp_like(n: usize, target_len: usize, seed: u64) -> Vec<Vec<u8>> {
+    let mut rng = StdRng::seed_from_u64(seed);
+    (0..n)
+        .map(|_| {
+            let mut title = String::new();
+            while title.len() < target_len {
+                if !title.is_empty() {
+                    title.push(' ');
+                }
+                title.push_str(WORDS[rng.random_range(0..WORDS.len())]);
+            }
+            title.truncate(target_len);
+            title.into_bytes()
+        })
+        .collect()
+}
+
+/// The paper's query corruption: modify `fraction` of the characters of
+/// `seq` (substitutions at random positions with random lowercase
+/// letters). `fraction = 0.2` reproduces the default DBLP query set.
+pub fn modify_sequence<R: Rng>(seq: &[u8], fraction: f64, rng: &mut R) -> Vec<u8> {
+    let mut out = seq.to_vec();
+    if out.is_empty() {
+        return out;
+    }
+    let edits = ((seq.len() as f64 * fraction).round() as usize).min(seq.len());
+    for _ in 0..edits {
+        let pos = rng.random_range(0..out.len());
+        let new = b'a' + rng.random_range(0..26u8);
+        out[pos] = new;
+    }
+    out
+}
+
+/// Build a (data, corrupted-queries) pair: queries are corrupted copies
+/// of randomly chosen data sequences, paired with the source indices so
+/// accuracy can be graded against ground truth.
+pub struct CorruptedQueries {
+    pub queries: Vec<Vec<u8>>,
+    /// Index of the data sequence each query was derived from.
+    pub sources: Vec<u32>,
+}
+
+pub fn corrupted_queries(
+    data: &[Vec<u8>],
+    num_queries: usize,
+    fraction: f64,
+    seed: u64,
+) -> CorruptedQueries {
+    let mut rng = StdRng::seed_from_u64(seed);
+    let mut queries = Vec::with_capacity(num_queries);
+    let mut sources = Vec::with_capacity(num_queries);
+    for _ in 0..num_queries {
+        let src = rng.random_range(0..data.len());
+        queries.push(modify_sequence(&data[src], fraction, &mut rng));
+        sources.push(src as u32);
+    }
+    CorruptedQueries { queries, sources }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use genie_sa::edit::edit_distance;
+
+    #[test]
+    fn titles_have_requested_length() {
+        let titles = dblp_like(20, 40, 5);
+        assert_eq!(titles.len(), 20);
+        assert!(titles.iter().all(|t| t.len() == 40));
+        assert_eq!(titles, dblp_like(20, 40, 5), "deterministic");
+    }
+
+    #[test]
+    fn modification_bounds_edit_distance() {
+        let mut rng = StdRng::seed_from_u64(1);
+        let titles = dblp_like(10, 40, 2);
+        for t in &titles {
+            let q = modify_sequence(t, 0.2, &mut rng);
+            assert_eq!(q.len(), t.len());
+            let d = edit_distance(t, &q);
+            assert!(d <= 8, "0.2 * 40 = 8 substitutions max, got {d}");
+        }
+    }
+
+    #[test]
+    fn zero_fraction_is_identity() {
+        let mut rng = StdRng::seed_from_u64(2);
+        let t = b"hello world".to_vec();
+        assert_eq!(modify_sequence(&t, 0.0, &mut rng), t);
+    }
+
+    #[test]
+    fn corrupted_queries_track_sources() {
+        let data = dblp_like(50, 40, 3);
+        let cq = corrupted_queries(&data, 8, 0.1, 4);
+        assert_eq!(cq.queries.len(), 8);
+        for (q, &src) in cq.queries.iter().zip(&cq.sources) {
+            let d = edit_distance(q, &data[src as usize]);
+            assert!(d <= 4, "10% of 40 chars");
+        }
+    }
+}

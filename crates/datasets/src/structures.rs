@@ -1,0 +1,161 @@
+//! Generators for tree- and graph-structured data: random labelled
+//! structures plus controlled mutations, for the tree/graph SA
+//! instantiations (paper §II-B2).
+
+use genie_sa::graph::Graph;
+use genie_sa::tree::Tree;
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+
+/// Generate `n` random recursive trees with `nodes` nodes each and
+/// labels drawn from `0..label_domain`. Each node attaches to a uniform
+/// random earlier node, the classic random-recursive-tree process.
+pub fn trees_like(n: usize, nodes: usize, label_domain: u32, seed: u64) -> Vec<Tree> {
+    assert!(nodes >= 1 && label_domain >= 1);
+    let mut rng = StdRng::seed_from_u64(seed);
+    (0..n)
+        .map(|_| {
+            let mut t = Tree::leaf(rng.random_range(0..label_domain));
+            for _ in 1..nodes {
+                let parent = rng.random_range(0..t.len());
+                t.add_child(parent, rng.random_range(0..label_domain));
+            }
+            t
+        })
+        .collect()
+}
+
+/// Mutate a tree by relabelling `edits` random nodes — an edit-distance
+/// controlled corruption (each relabel is one tree edit operation, so
+/// `ted(t, mutated) <= edits`).
+pub fn mutate_tree<R: Rng>(tree: &Tree, edits: usize, rng: &mut R, label_domain: u32) -> Tree {
+    let mut labels: Vec<u32> = (0..tree.len()).map(|i| tree.label(i)).collect();
+    for _ in 0..edits {
+        let node = rng.random_range(0..labels.len());
+        labels[node] = rng.random_range(0..label_domain);
+    }
+    // rebuild with identical shape
+    let mut out = Tree::leaf(labels[0]);
+    let mut map = vec![0usize; tree.len()];
+    fn clone_shape(
+        tree: &Tree,
+        labels: &[u32],
+        node: usize,
+        out: &mut Tree,
+        map: &mut [usize],
+    ) {
+        for &c in tree.children(node) {
+            let new = out.add_child(map[node], labels[c]);
+            map[c] = new;
+            clone_shape(tree, labels, c, out, map);
+        }
+    }
+    clone_shape(tree, &labels, 0, &mut out, &mut map);
+    out
+}
+
+/// Generate `n` random labelled graphs: `nodes` nodes, labels from
+/// `0..label_domain`, each node wired to `avg_degree` random partners.
+pub fn graphs_like(
+    n: usize,
+    nodes: usize,
+    label_domain: u32,
+    avg_degree: usize,
+    seed: u64,
+) -> Vec<Graph> {
+    assert!(nodes >= 2 && label_domain >= 1);
+    let mut rng = StdRng::seed_from_u64(seed);
+    (0..n)
+        .map(|_| {
+            let mut g = Graph::new();
+            for _ in 0..nodes {
+                g.add_node(rng.random_range(0..label_domain));
+            }
+            // a spanning path keeps the graph connected, then extra edges
+            for v in 1..nodes {
+                g.add_edge(v - 1, v);
+            }
+            let extra = nodes * avg_degree.saturating_sub(2) / 2;
+            for _ in 0..extra {
+                let a = rng.random_range(0..nodes);
+                let b = rng.random_range(0..nodes);
+                if a != b {
+                    g.add_edge(a, b);
+                }
+            }
+            g
+        })
+        .collect()
+}
+
+/// Mutate a graph by relabelling `edits` random nodes.
+pub fn mutate_graph<R: Rng>(graph: &Graph, edits: usize, rng: &mut R, label_domain: u32) -> Graph {
+    let mut g = Graph::new();
+    let mut labels: Vec<u32> = (0..graph.len()).map(|i| graph.label(i)).collect();
+    for _ in 0..edits {
+        let node = rng.random_range(0..labels.len());
+        labels[node] = rng.random_range(0..label_domain);
+    }
+    for l in &labels {
+        g.add_node(*l);
+    }
+    for v in 0..graph.len() {
+        for &u in graph.neighbors(v) {
+            if v < u {
+                g.add_edge(v, u);
+            }
+        }
+    }
+    g
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use genie_sa::tree::tree_edit_distance;
+
+    #[test]
+    fn trees_have_requested_size_and_are_deterministic() {
+        let ts = trees_like(10, 15, 6, 3);
+        assert_eq!(ts.len(), 10);
+        assert!(ts.iter().all(|t| t.len() == 15));
+        assert_eq!(ts, trees_like(10, 15, 6, 3));
+    }
+
+    #[test]
+    fn tree_mutation_bounds_edit_distance() {
+        let mut rng = StdRng::seed_from_u64(1);
+        let ts = trees_like(5, 12, 8, 7);
+        for t in &ts {
+            let m = mutate_tree(t, 3, &mut rng, 8);
+            assert_eq!(m.len(), t.len(), "shape preserved");
+            assert!(tree_edit_distance(t, &m) <= 3);
+        }
+    }
+
+    #[test]
+    fn graphs_are_connected_and_sized() {
+        let gs = graphs_like(5, 10, 4, 3, 9);
+        assert_eq!(gs.len(), 5);
+        for g in &gs {
+            assert_eq!(g.len(), 10);
+            // spanning path guarantees every node has a neighbour
+            assert!((0..g.len()).all(|v| !g.neighbors(v).is_empty()));
+        }
+    }
+
+    #[test]
+    fn graph_mutation_preserves_structure() {
+        let mut rng = StdRng::seed_from_u64(2);
+        let g = &graphs_like(1, 8, 5, 3, 11)[0];
+        let m = mutate_graph(g, 2, &mut rng, 5);
+        assert_eq!(m.len(), g.len());
+        for v in 0..g.len() {
+            let mut a: Vec<usize> = m.neighbors(v).to_vec();
+            let mut b: Vec<usize> = g.neighbors(v).to_vec();
+            a.sort_unstable();
+            b.sort_unstable();
+            assert_eq!(a, b, "edge set unchanged at node {v}");
+        }
+    }
+}

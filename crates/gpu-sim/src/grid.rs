@@ -1,0 +1,192 @@
+//! Launch geometry and the per-lane execution context.
+
+use std::cell::Cell;
+
+/// Number of lanes that execute in lock-step on the simulated hardware.
+///
+/// Matches the CUDA warp width; the cost model charges a warp the maximum
+/// work of its lanes, so divergent lanes slow their whole warp down.
+pub const WARP_WIDTH: usize = 32;
+
+/// Grid geometry for a kernel launch: `grid_dim` blocks of `block_dim`
+/// lanes each, exactly like a 1-D CUDA launch.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct LaunchConfig {
+    /// Number of blocks in the grid.
+    pub grid_dim: usize,
+    /// Number of lanes per block (CUDA `blockDim.x`). Capped at 1024 by
+    /// [`LaunchConfig::validate`], mirroring hardware limits.
+    pub block_dim: usize,
+}
+
+impl LaunchConfig {
+    /// A 1-D launch of `grid_dim` blocks with `block_dim` lanes.
+    pub fn new(grid_dim: usize, block_dim: usize) -> Self {
+        Self {
+            grid_dim,
+            block_dim,
+        }
+    }
+
+    /// Grid sized so that `total` lanes are covered by blocks of
+    /// `block_dim` lanes (the classic `(n + b - 1) / b` pattern).
+    pub fn cover(total: usize, block_dim: usize) -> Self {
+        let grid_dim = total.div_ceil(block_dim.max(1));
+        Self {
+            grid_dim: grid_dim.max(1),
+            block_dim,
+        }
+    }
+
+    /// Total number of lanes in the launch.
+    pub fn total_threads(&self) -> usize {
+        self.grid_dim * self.block_dim
+    }
+
+    /// Checks hardware-style launch limits.
+    pub fn validate(&self) -> Result<(), String> {
+        if self.block_dim == 0 || self.grid_dim == 0 {
+            return Err("launch dimensions must be non-zero".into());
+        }
+        if self.block_dim > 1024 {
+            return Err(format!(
+                "block_dim {} exceeds the 1024-lane hardware limit",
+                self.block_dim
+            ));
+        }
+        Ok(())
+    }
+}
+
+/// Per-lane execution context handed to the kernel body.
+///
+/// Carries the lane's coordinates and its *work meter*: every global
+/// memory access and every explicit [`ThreadCtx::tick`] adds simulated
+/// cycles that the cost model later folds into warp/block/device timing.
+pub struct ThreadCtx {
+    /// Index of this lane's block within the grid (`blockIdx.x`).
+    pub block_idx: usize,
+    /// Index of this lane within its block (`threadIdx.x`).
+    pub thread_idx: usize,
+    /// Lanes per block (`blockDim.x`).
+    pub block_dim: usize,
+    /// Blocks per grid (`gridDim.x`).
+    pub grid_dim: usize,
+    work: Cell<u64>,
+    atomic_retries: Cell<u64>,
+    mem_ops: Cell<u64>,
+}
+
+impl ThreadCtx {
+    pub(crate) fn new(block_idx: usize, thread_idx: usize, cfg: &LaunchConfig) -> Self {
+        Self {
+            block_idx,
+            thread_idx,
+            block_dim: cfg.block_dim,
+            grid_dim: cfg.grid_dim,
+            work: Cell::new(0),
+            atomic_retries: Cell::new(0),
+            mem_ops: Cell::new(0),
+        }
+    }
+
+    /// Global linear thread id (`blockIdx.x * blockDim.x + threadIdx.x`).
+    pub fn global_id(&self) -> usize {
+        self.block_idx * self.block_dim + self.thread_idx
+    }
+
+    /// Warp index of this lane within its block.
+    pub fn warp_idx(&self) -> usize {
+        self.thread_idx / WARP_WIDTH
+    }
+
+    /// Charge `cycles` of compute work to this lane. Kernels call this for
+    /// non-memory work (distance computations, comparisons, ...) so the
+    /// cost model sees compute-bound as well as memory-bound phases.
+    #[inline]
+    pub fn tick(&self, cycles: u64) {
+        self.work.set(self.work.get() + cycles);
+    }
+
+    #[inline]
+    pub(crate) fn charge_mem(&self, cycles: u64) {
+        self.work.set(self.work.get() + cycles);
+        self.mem_ops.set(self.mem_ops.get() + 1);
+    }
+
+    #[inline]
+    pub(crate) fn charge_retry(&self) {
+        self.atomic_retries.set(self.atomic_retries.get() + 1);
+        // a failed CAS still costs a round-trip to the memory system
+        self.work.set(self.work.get() + 4);
+    }
+
+    /// Total simulated cycles charged to this lane so far.
+    pub fn work(&self) -> u64 {
+        self.work.get()
+    }
+
+    pub(crate) fn drain(&self) -> LaneReport {
+        LaneReport {
+            work: self.work.get(),
+            atomic_retries: self.atomic_retries.get(),
+            mem_ops: self.mem_ops.get(),
+        }
+    }
+}
+
+/// What a lane reports back to the device after it finishes.
+#[derive(Debug, Clone, Copy, Default)]
+pub(crate) struct LaneReport {
+    pub work: u64,
+    pub atomic_retries: u64,
+    pub mem_ops: u64,
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn cover_rounds_up() {
+        let cfg = LaunchConfig::cover(1000, 256);
+        assert_eq!(cfg.grid_dim, 4);
+        assert_eq!(cfg.block_dim, 256);
+        assert!(cfg.total_threads() >= 1000);
+    }
+
+    #[test]
+    fn cover_never_produces_empty_grid() {
+        let cfg = LaunchConfig::cover(0, 128);
+        assert_eq!(cfg.grid_dim, 1);
+    }
+
+    #[test]
+    fn validate_rejects_oversized_block() {
+        assert!(LaunchConfig::new(1, 2048).validate().is_err());
+        assert!(LaunchConfig::new(1, 1024).validate().is_ok());
+        assert!(LaunchConfig::new(0, 32).validate().is_err());
+    }
+
+    #[test]
+    fn global_id_is_linear() {
+        let cfg = LaunchConfig::new(4, 128);
+        let ctx = ThreadCtx::new(2, 5, &cfg);
+        assert_eq!(ctx.global_id(), 2 * 128 + 5);
+        assert_eq!(ctx.warp_idx(), 0);
+        let ctx = ThreadCtx::new(0, 77, &cfg);
+        assert_eq!(ctx.warp_idx(), 2);
+    }
+
+    #[test]
+    fn work_meter_accumulates() {
+        let cfg = LaunchConfig::new(1, 1);
+        let ctx = ThreadCtx::new(0, 0, &cfg);
+        ctx.tick(3);
+        ctx.tick(7);
+        assert_eq!(ctx.work(), 10);
+        let rep = ctx.drain();
+        assert_eq!(rep.work, 10);
+        assert_eq!(rep.mem_ops, 0);
+    }
+}

@@ -1,0 +1,41 @@
+//! # gpu-sim — a software SIMT device
+//!
+//! This crate is the hardware substrate for the GENIE reproduction. The
+//! paper's system is written against the CUDA execution model: a *kernel*
+//! is launched over a *grid* of *blocks*, each block runs `block_dim`
+//! *lanes* (threads) grouped into warps of 32, and all lanes share a
+//! *global memory* that supports word-sized atomic operations.
+//!
+//! Real GPU hardware is replaced by:
+//!
+//! * [`Device`] — executes launches; blocks run in parallel on host
+//!   threads, lanes within a block run sequentially (their semantics are
+//!   identical to a lock-step execution because all cross-lane
+//!   communication goes through atomic global memory).
+//! * [`GlobalU32`] / [`GlobalU64`] — global-memory buffers of atomic
+//!   words. Every access is charged to the issuing lane so the cost model
+//!   can reconstruct warp-level SIMD timing.
+//! * [`ThreadCtx`] — the per-lane context: block/lane coordinates plus the
+//!   per-lane work meter.
+//! * A cycle-level cost model (see [`counters`]) that turns per-lane work
+//!   into a *simulated* execution time by (a) taking the max across the
+//!   lanes of each warp (SIMD lock-step: a warp is as slow as its slowest
+//!   lane — this is what warp divergence costs), (b) summing warps within
+//!   a block and (c) scheduling block costs over a fixed number of
+//!   streaming multiprocessors (makespan).
+//!
+//! The simulated time, not host wall-clock, is the primary metric reported
+//! by the benchmark harness: it preserves the *relative* costs the paper's
+//! evaluation depends on (work volume, atomic contention, divergence,
+//! degree of parallelism) independently of how many host cores happen to
+//! be available.
+
+pub mod counters;
+pub mod device;
+pub mod grid;
+pub mod memory;
+
+pub use counters::{CostModel, DeviceCounters, LaunchStats};
+pub use device::{Device, DeviceConfig};
+pub use grid::{LaunchConfig, ThreadCtx};
+pub use memory::{GlobalU32, GlobalU64, TransferStats};

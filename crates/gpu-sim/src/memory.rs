@@ -1,0 +1,230 @@
+//! Global-memory buffers with word-sized atomics and transfer accounting.
+//!
+//! All device-visible state lives in [`GlobalU32`] / [`GlobalU64`]
+//! buffers. They are shared between the host and every lane of a launch
+//! (`Arc` internally, so kernels — plain closures — simply capture clones).
+//! Every device-side access goes through a [`ThreadCtx`] so the lane is
+//! charged simulated cycles; host-side `read_*`/`write_*` accessors model
+//! H2D/D2H transfers and are tallied in [`TransferStats`].
+
+use std::sync::atomic::{AtomicU32, AtomicU64, Ordering};
+use std::sync::Arc;
+
+use crate::grid::ThreadCtx;
+
+/// Simulated cycle cost of one global-memory word access.
+pub(crate) const MEM_CYCLES: u64 = 4;
+/// Extra simulated cycle cost of an atomic read-modify-write.
+pub(crate) const ATOMIC_CYCLES: u64 = 8;
+
+/// Cumulative host<->device transfer statistics for one device.
+#[derive(Debug, Default, Clone, Copy)]
+pub struct TransferStats {
+    /// Bytes copied host -> device (buffer uploads).
+    pub h2d_bytes: u64,
+    /// Bytes copied device -> host (result downloads).
+    pub d2h_bytes: u64,
+}
+
+impl TransferStats {
+    pub fn total_bytes(&self) -> u64 {
+        self.h2d_bytes + self.d2h_bytes
+    }
+}
+
+macro_rules! global_buffer {
+    ($name:ident, $atomic:ty, $word:ty, $bytes:expr) => {
+        /// A global-memory buffer of atomic words shared by host and device.
+        #[derive(Clone)]
+        pub struct $name {
+            words: Arc<Vec<$atomic>>,
+        }
+
+        impl $name {
+            /// Allocate a zero-initialised buffer of `len` words.
+            pub fn zeroed(len: usize) -> Self {
+                let mut v = Vec::with_capacity(len);
+                v.resize_with(len, || <$atomic>::new(0));
+                Self { words: Arc::new(v) }
+            }
+
+            /// Upload a host slice into a fresh device buffer (H2D copy).
+            pub fn from_host(data: &[$word]) -> Self {
+                let v: Vec<$atomic> = data.iter().map(|&w| <$atomic>::new(w)).collect();
+                Self { words: Arc::new(v) }
+            }
+
+            /// Number of words in the buffer.
+            pub fn len(&self) -> usize {
+                self.words.len()
+            }
+
+            /// Whether the buffer holds zero words.
+            pub fn is_empty(&self) -> bool {
+                self.words.is_empty()
+            }
+
+            /// Size of the buffer in bytes (for memory accounting).
+            pub fn size_bytes(&self) -> u64 {
+                (self.words.len() * $bytes) as u64
+            }
+
+            /// Device-side load; charges the lane a memory access.
+            #[inline]
+            pub fn load(&self, ctx: &ThreadCtx, idx: usize) -> $word {
+                ctx.charge_mem(MEM_CYCLES);
+                self.words[idx].load(Ordering::Relaxed)
+            }
+
+            /// Device-side store; charges the lane a memory access.
+            #[inline]
+            pub fn store(&self, ctx: &ThreadCtx, idx: usize, val: $word) {
+                ctx.charge_mem(MEM_CYCLES);
+                self.words[idx].store(val, Ordering::Relaxed);
+            }
+
+            /// Device-side `atomicAdd`; returns the previous value.
+            #[inline]
+            pub fn atomic_add(&self, ctx: &ThreadCtx, idx: usize, val: $word) -> $word {
+                ctx.charge_mem(MEM_CYCLES + ATOMIC_CYCLES);
+                self.words[idx].fetch_add(val, Ordering::AcqRel)
+            }
+
+            /// Device-side `atomicMax`; returns the previous value.
+            #[inline]
+            pub fn atomic_max(&self, ctx: &ThreadCtx, idx: usize, val: $word) -> $word {
+                ctx.charge_mem(MEM_CYCLES + ATOMIC_CYCLES);
+                self.words[idx].fetch_max(val, Ordering::AcqRel)
+            }
+
+            /// Device-side `atomicCAS`; returns `Ok(current)` on success and
+            /// `Err(actual)` on failure. Failures charge the lane a retry.
+            #[inline]
+            pub fn atomic_cas(
+                &self,
+                ctx: &ThreadCtx,
+                idx: usize,
+                current: $word,
+                new: $word,
+            ) -> Result<$word, $word> {
+                ctx.charge_mem(MEM_CYCLES + ATOMIC_CYCLES);
+                match self.words[idx].compare_exchange(
+                    current,
+                    new,
+                    Ordering::AcqRel,
+                    Ordering::Acquire,
+                ) {
+                    Ok(v) => Ok(v),
+                    Err(v) => {
+                        ctx.charge_retry();
+                        Err(v)
+                    }
+                }
+            }
+
+            /// Host-side read of a single word (not charged to any lane).
+            pub fn read_host(&self, idx: usize) -> $word {
+                self.words[idx].load(Ordering::Acquire)
+            }
+
+            /// Host-side write of a single word.
+            pub fn write_host(&self, idx: usize, val: $word) {
+                self.words[idx].store(val, Ordering::Release);
+            }
+
+            /// Download the whole buffer to the host (D2H copy).
+            pub fn to_host(&self) -> Vec<$word> {
+                self.words.iter().map(|w| w.load(Ordering::Acquire)).collect()
+            }
+
+            /// Reset every word to zero (device-side memset).
+            pub fn clear(&self) {
+                for w in self.words.iter() {
+                    w.store(0, Ordering::Relaxed);
+                }
+            }
+
+            /// Overwrite every word with `val`.
+            pub fn fill(&self, val: $word) {
+                for w in self.words.iter() {
+                    w.store(val, Ordering::Relaxed);
+                }
+            }
+        }
+
+        impl std::fmt::Debug for $name {
+            fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+                write!(f, concat!(stringify!($name), "(len={})"), self.len())
+            }
+        }
+    };
+}
+
+global_buffer!(GlobalU32, AtomicU32, u32, 4);
+global_buffer!(GlobalU64, AtomicU64, u64, 8);
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::grid::LaunchConfig;
+
+    fn ctx() -> ThreadCtx {
+        ThreadCtx::new(0, 0, &LaunchConfig::new(1, 1))
+    }
+
+    #[test]
+    fn round_trip_host_device() {
+        let buf = GlobalU32::from_host(&[1, 2, 3]);
+        let c = ctx();
+        assert_eq!(buf.load(&c, 1), 2);
+        buf.store(&c, 1, 42);
+        assert_eq!(buf.to_host(), vec![1, 42, 3]);
+        assert_eq!(buf.size_bytes(), 12);
+    }
+
+    #[test]
+    fn atomic_add_returns_previous() {
+        let buf = GlobalU32::zeroed(1);
+        let c = ctx();
+        assert_eq!(buf.atomic_add(&c, 0, 5), 0);
+        assert_eq!(buf.atomic_add(&c, 0, 5), 5);
+        assert_eq!(buf.read_host(0), 10);
+    }
+
+    #[test]
+    fn atomic_max_keeps_maximum() {
+        let buf = GlobalU32::zeroed(1);
+        let c = ctx();
+        buf.atomic_max(&c, 0, 7);
+        buf.atomic_max(&c, 0, 3);
+        assert_eq!(buf.read_host(0), 7);
+    }
+
+    #[test]
+    fn cas_success_and_failure_are_distinguished() {
+        let buf = GlobalU64::from_host(&[10]);
+        let c = ctx();
+        assert_eq!(buf.atomic_cas(&c, 0, 10, 20), Ok(10));
+        assert_eq!(buf.atomic_cas(&c, 0, 10, 30), Err(20));
+        assert_eq!(buf.read_host(0), 20);
+    }
+
+    #[test]
+    fn memory_accesses_charge_work() {
+        let buf = GlobalU32::zeroed(4);
+        let c = ctx();
+        let before = c.work();
+        buf.load(&c, 0);
+        buf.atomic_add(&c, 0, 1);
+        assert!(c.work() > before);
+    }
+
+    #[test]
+    fn clear_and_fill() {
+        let buf = GlobalU32::from_host(&[9, 9, 9]);
+        buf.clear();
+        assert_eq!(buf.to_host(), vec![0, 0, 0]);
+        buf.fill(3);
+        assert_eq!(buf.to_host(), vec![3, 3, 3]);
+    }
+}

@@ -1,0 +1,111 @@
+//! Property tests of the simulated device: atomic linearisability under
+//! arbitrary contention patterns and cost-model invariants.
+
+use gpu_sim::{Device, DeviceConfig, GlobalU32, GlobalU64, LaunchConfig};
+use proptest::prelude::*;
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(24))]
+
+    /// Concurrent atomic adds over arbitrary target patterns lose no
+    /// updates: final counters equal the exact per-target multiplicity.
+    #[test]
+    fn atomic_adds_are_exact(
+        targets in proptest::collection::vec(0usize..32, 1..400),
+        block_dim in 1usize..192,
+    ) {
+        let device = Device::with_defaults();
+        let counters = GlobalU32::zeroed(32);
+        let n = targets.len();
+        let t = &targets;
+        let c = &counters;
+        device.launch("adds", LaunchConfig::cover(n, block_dim), move |ctx| {
+            let gid = ctx.global_id();
+            if gid < n {
+                c.atomic_add(ctx, t[gid], 1);
+            }
+        });
+        let host = counters.to_host();
+        for slot in 0..32 {
+            let expected = targets.iter().filter(|&&x| x == slot).count() as u32;
+            prop_assert_eq!(host[slot], expected, "slot {}", slot);
+        }
+    }
+
+    /// CAS-maximum over arbitrary values converges to the true maximum
+    /// regardless of interleaving.
+    #[test]
+    fn cas_loop_max_converges(values in proptest::collection::vec(0u64..1_000_000, 1..300)) {
+        let device = Device::with_defaults();
+        let cell = GlobalU64::zeroed(1);
+        let n = values.len();
+        let v = &values;
+        let c = &cell;
+        device.launch("casmax", LaunchConfig::cover(n, 64), move |ctx| {
+            let gid = ctx.global_id();
+            if gid >= n {
+                return;
+            }
+            let mine = v[gid];
+            loop {
+                let cur = c.load(ctx, 0);
+                if cur >= mine || c.atomic_cas(ctx, 0, cur, mine).is_ok() {
+                    break;
+                }
+            }
+        });
+        prop_assert_eq!(cell.read_host(0), *values.iter().max().unwrap());
+    }
+
+    /// The cost model is sane for any launch shape: total work is
+    /// conserved, the makespan is at least the per-SM average and at
+    /// most the serial sum (plus overhead).
+    #[test]
+    fn cost_model_bounds_hold(
+        grid in 1usize..40,
+        block in 1usize..200,
+        work in 1u64..200,
+    ) {
+        let device = Device::with_defaults();
+        let stats = device.launch("uniform", LaunchConfig::new(grid, block), move |ctx| {
+            ctx.tick(work);
+        });
+        let lanes = (grid * block) as u64;
+        prop_assert_eq!(stats.total_work, lanes * work);
+        let overhead = device.cost_model().launch_overhead_cycles;
+        let span = stats.makespan_cycles - overhead;
+        // never better than perfect parallelism over SMs x warp slots,
+        // never worse than fully serial SIMD time
+        prop_assert!(span * 24 * 4 * 32 + 24 * 4 * 32 > stats.total_work,
+            "span {} too small for work {}", span, stats.total_work);
+        prop_assert!(span <= stats.simd_cycles.max(work),
+            "span {} exceeds serial simd time {}", span, stats.simd_cycles);
+        prop_assert!(stats.simd_efficiency() <= 1.0 + 1e-9);
+    }
+
+    /// Single-worker execution is observationally equivalent to
+    /// parallel execution for a deterministic kernel.
+    #[test]
+    fn worker_count_is_transparent(
+        n in 1usize..500,
+        block in 1usize..128,
+    ) {
+        let par = Device::with_defaults();
+        let seq = Device::new(DeviceConfig {
+            host_workers: 1,
+            ..Default::default()
+        });
+        let out_par = GlobalU32::zeroed(n);
+        let out_seq = GlobalU32::zeroed(n);
+        for (device, out) in [(&par, &out_par), (&seq, &out_seq)] {
+            let o = out;
+            device.launch("det", LaunchConfig::cover(n, block), move |ctx| {
+                let gid = ctx.global_id();
+                if gid < n {
+                    o.store(ctx, gid, (gid as u32).wrapping_mul(2654435761));
+                }
+            });
+        }
+        prop_assert_eq!(out_par.to_host(), out_seq.to_host());
+    }
+}

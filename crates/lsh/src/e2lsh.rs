@@ -1,0 +1,184 @@
+//! E2LSH: p-stable locality-sensitive hashing for l2 distance
+//! (paper §IV-B3, Eqn. 10-12; Datar et al. 2004).
+//!
+//! `h(q) = ⌊(a·q + b) / w⌋` with `a` drawn from a 2-stable (Gaussian)
+//! distribution and `b` uniform in `[0, w)`. Collision probability is the
+//! strictly decreasing `ψ₂(Δ)` of Eqn. 11, so match counts rank points by
+//! l2 proximity — this is the family behind the SIFT experiments.
+
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+
+use crate::family::LshFamily;
+
+/// Standard-normal sample via Box–Muller (keeps us inside the sanctioned
+/// `rand` crate, which has no Gaussian distribution built in).
+pub(crate) fn sample_gaussian<R: Rng>(rng: &mut R) -> f64 {
+    loop {
+        let u1: f64 = rng.random::<f64>();
+        if u1 <= f64::MIN_POSITIVE {
+            continue;
+        }
+        let u2: f64 = rng.random::<f64>();
+        return (-2.0 * u1.ln()).sqrt() * (std::f64::consts::TAU * u2).cos();
+    }
+}
+
+/// A family of `m` p-stable (Gaussian, p = 2) hash functions for
+/// `dim`-dimensional points.
+pub struct E2Lsh {
+    /// Projection vectors, one per function, row-major `m x dim`.
+    a: Vec<f32>,
+    /// Offsets `b`, uniform in `[0, w)`.
+    b: Vec<f32>,
+    w: f32,
+    dim: usize,
+    m: usize,
+}
+
+impl E2Lsh {
+    /// Sample a family of `m` functions for `dim`-d points with bucket
+    /// width `w`, deterministically from `seed`.
+    pub fn new(m: usize, dim: usize, w: f32, seed: u64) -> Self {
+        assert!(w > 0.0, "bucket width must be positive");
+        let mut rng = StdRng::seed_from_u64(seed);
+        let a = (0..m * dim)
+            .map(|_| sample_gaussian(&mut rng) as f32)
+            .collect();
+        let b = (0..m).map(|_| rng.random::<f32>() * w).collect();
+        Self { a, b, w, dim, m }
+    }
+
+    pub fn bucket_width(&self) -> f32 {
+        self.w
+    }
+
+    pub fn dim(&self) -> usize {
+        self.dim
+    }
+
+    /// The signed bucket index of function `i` on `x` (before the u64
+    /// embedding `signature` applies).
+    pub fn bucket(&self, i: usize, x: &[f32]) -> i64 {
+        debug_assert_eq!(x.len(), self.dim);
+        let row = &self.a[i * self.dim..(i + 1) * self.dim];
+        let dot: f32 = row.iter().zip(x).map(|(a, v)| a * v).sum();
+        ((dot + self.b[i]) / self.w).floor() as i64
+    }
+}
+
+impl LshFamily<[f32]> for E2Lsh {
+    fn num_functions(&self) -> usize {
+        self.m
+    }
+
+    fn signature(&self, i: usize, x: &[f32]) -> u64 {
+        // embed the signed bucket into u64 order-preservingly
+        (self.bucket(i, x) as u64) ^ (1u64 << 63)
+    }
+}
+
+/// Collision probability `ψ₂(Δ)` of one p-stable function at l2 distance
+/// `delta` and bucket width `w` (Eqn. 11 instantiated for the Gaussian):
+///
+/// `ψ₂(Δ) = 1 - 2Φ(-w/Δ) - (2Δ/(√(2π) w)) (1 - exp(-w²/(2Δ²)))`
+///
+/// This is the similarity measure `sim_l2` of Eqn. 12: strictly
+/// decreasing in `Δ`, so ranking by collision count ranks by distance.
+pub fn collision_probability(delta: f64, w: f64) -> f64 {
+    if delta <= 0.0 {
+        return 1.0;
+    }
+    let r = w / delta;
+    let phi = normal_cdf(-r);
+    let term = (2.0 / (std::f64::consts::TAU.sqrt() * r)) * (1.0 - (-r * r / 2.0).exp());
+    (1.0 - 2.0 * phi - term).max(0.0)
+}
+
+/// Standard normal CDF via the Abramowitz–Stegun erf approximation
+/// (max abs error ~1.5e-7, plenty for similarity estimates).
+pub fn normal_cdf(x: f64) -> f64 {
+    0.5 * (1.0 + erf(x / std::f64::consts::SQRT_2))
+}
+
+fn erf(x: f64) -> f64 {
+    let sign = if x < 0.0 { -1.0 } else { 1.0 };
+    let x = x.abs();
+    let t = 1.0 / (1.0 + 0.327_591_1 * x);
+    let y = t
+        * (0.254_829_592
+            + t * (-0.284_496_736 + t * (1.421_413_741 + t * (-1.453_152_027 + t * 1.061_405_429))));
+    sign * (1.0 - y * (-x * x).exp())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::family::empirical_collision_rate;
+
+    #[test]
+    fn deterministic_under_seed() {
+        let f1 = E2Lsh::new(8, 16, 4.0, 42);
+        let f2 = E2Lsh::new(8, 16, 4.0, 42);
+        let x: Vec<f32> = (0..16).map(|i| i as f32 * 0.3).collect();
+        assert_eq!(f1.signatures(&x[..]), f2.signatures(&x[..]));
+    }
+
+    #[test]
+    fn identical_points_always_collide() {
+        let fam = E2Lsh::new(32, 8, 2.0, 1);
+        let x = [1.0f32; 8];
+        assert_eq!(empirical_collision_rate(&fam, &x[..], &x[..]), 1.0);
+    }
+
+    #[test]
+    fn collision_probability_is_monotone_decreasing() {
+        let w = 4.0;
+        let mut last = 1.0;
+        for d in [0.1, 0.5, 1.0, 2.0, 4.0, 8.0, 16.0] {
+            let p = collision_probability(d, w);
+            assert!(p <= last + 1e-12, "psi must decrease: d={d}, p={p}");
+            assert!((0.0..=1.0).contains(&p));
+            last = p;
+        }
+        assert!(collision_probability(0.0, w) == 1.0);
+    }
+
+    #[test]
+    fn empirical_rate_tracks_analytic_probability() {
+        // many functions, two points at a known distance
+        let dim = 4;
+        let w = 4.0f32;
+        let fam = E2Lsh::new(4000, dim, w, 9);
+        let a = vec![0.0f32; dim];
+        let mut b = vec![0.0f32; dim];
+        b[0] = 2.0; // l2 distance 2
+        let emp = empirical_collision_rate(&fam, &a[..], &b[..]);
+        let ana = collision_probability(2.0, w as f64);
+        assert!(
+            (emp - ana).abs() < 0.05,
+            "empirical {emp:.3} vs analytic {ana:.3}"
+        );
+    }
+
+    #[test]
+    fn closer_pairs_collide_more() {
+        let dim = 8;
+        let fam = E2Lsh::new(800, dim, 4.0, 5);
+        let origin = vec![0.0f32; dim];
+        let mut near = vec![0.0f32; dim];
+        near[0] = 1.0;
+        let mut far = vec![0.0f32; dim];
+        far[0] = 10.0;
+        let r_near = empirical_collision_rate(&fam, &origin[..], &near[..]);
+        let r_far = empirical_collision_rate(&fam, &origin[..], &far[..]);
+        assert!(r_near > r_far, "near {r_near} vs far {r_far}");
+    }
+
+    #[test]
+    fn normal_cdf_sanity() {
+        assert!((normal_cdf(0.0) - 0.5).abs() < 1e-7);
+        assert!((normal_cdf(1.96) - 0.975).abs() < 1e-3);
+        assert!(normal_cdf(-5.0) < 1e-5);
+    }
+}

@@ -1,0 +1,78 @@
+//! The LSH family abstraction (paper Eqn. 1).
+//!
+//! A family is *locality sensitive* for a similarity `sim` when
+//! `Pr[h(p) = h(q)] = sim(p, q)`. GENIE only needs this single property
+//! (Theorems 4.1/4.2); everything else — bucketing, re-hashing, counting
+//! — is family-agnostic.
+
+/// A family of `m` locality-sensitive hash functions over inputs `P`.
+///
+/// `signature(i, x)` returns the raw (possibly huge-domain) signature of
+/// function `i` on `x`; the [`crate::Transformer`] re-hashes it into the
+/// finite keyword domain (Figure 7). Implementations must be
+/// deterministic: the same `(i, x)` always yields the same signature.
+pub trait LshFamily<P: ?Sized> {
+    /// Number of hash functions `m` in the family.
+    fn num_functions(&self) -> usize;
+
+    /// Raw signature of function `i` applied to `x`.
+    fn signature(&self, i: usize, x: &P) -> u64;
+
+    /// All `m` signatures of `x` in function order.
+    fn signatures(&self, x: &P) -> Vec<u64> {
+        (0..self.num_functions())
+            .map(|i| self.signature(i, x))
+            .collect()
+    }
+}
+
+/// Estimate collision probability of two inputs under the family by
+/// counting agreeing functions — the empirical check (used in tests)
+/// that `Pr[h(p) = h(q)] ≈ sim(p, q)`.
+pub fn empirical_collision_rate<P: ?Sized, F: LshFamily<P>>(family: &F, a: &P, b: &P) -> f64 {
+    let m = family.num_functions();
+    if m == 0 {
+        return 0.0;
+    }
+    let hits = (0..m)
+        .filter(|&i| family.signature(i, a) == family.signature(i, b))
+        .count();
+    hits as f64 / m as f64
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    /// Trivial family: function i returns x mod (i + 2).
+    struct ModFamily(usize);
+    impl LshFamily<u64> for ModFamily {
+        fn num_functions(&self) -> usize {
+            self.0
+        }
+        fn signature(&self, i: usize, x: &u64) -> u64 {
+            x % (i as u64 + 2)
+        }
+    }
+
+    #[test]
+    fn signatures_enumerate_all_functions() {
+        let fam = ModFamily(3);
+        assert_eq!(fam.signatures(&7), vec![7 % 2, 7 % 3, 7 % 4]);
+    }
+
+    #[test]
+    fn identical_inputs_always_collide() {
+        let fam = ModFamily(5);
+        assert_eq!(empirical_collision_rate(&fam, &9, &9), 1.0);
+    }
+
+    #[test]
+    fn collision_rate_counts_agreements() {
+        let fam = ModFamily(2); // mod 2 and mod 3
+        // 4 vs 10: mod2 agree (0,0); mod3 differ (1,1)? 4%3=1, 10%3=1 agree
+        assert_eq!(empirical_collision_rate(&fam, &4, &10), 1.0);
+        // 4 vs 5: mod2 differ, mod3 differ
+        assert_eq!(empirical_collision_rate(&fam, &4, &5), 0.0);
+    }
+}

@@ -1,0 +1,196 @@
+//! Exact k-nearest-neighbour ground truth and evaluation metrics.
+//!
+//! Used to grade ANN results: Figure 14 plots the *approximation ratio*
+//! (Eqn. 13) — how many times farther the reported neighbours are than
+//! the true ones — and Table V uses exact 1NN labels as the reference
+//! classifier.
+
+/// Distance metric selector for ground-truth scans.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Metric {
+    L1,
+    L2,
+}
+
+/// `‖a − b‖₁`.
+pub fn l1_distance(a: &[f32], b: &[f32]) -> f64 {
+    a.iter().zip(b).map(|(x, y)| (x - y).abs() as f64).sum()
+}
+
+/// `‖a − b‖₂`.
+pub fn l2_distance(a: &[f32], b: &[f32]) -> f64 {
+    a.iter()
+        .zip(b)
+        .map(|(x, y)| {
+            let d = (x - y) as f64;
+            d * d
+        })
+        .sum::<f64>()
+        .sqrt()
+}
+
+/// Distance under `metric`.
+pub fn distance(metric: Metric, a: &[f32], b: &[f32]) -> f64 {
+    match metric {
+        Metric::L1 => l1_distance(a, b),
+        Metric::L2 => l2_distance(a, b),
+    }
+}
+
+/// Exact kNN by linear scan: returns `(index, distance)` pairs sorted by
+/// ascending distance (ties by index).
+pub fn exact_knn(metric: Metric, data: &[Vec<f32>], query: &[f32], k: usize) -> Vec<(usize, f64)> {
+    let mut dists: Vec<(usize, f64)> = data
+        .iter()
+        .enumerate()
+        .map(|(i, p)| (i, distance(metric, p, query)))
+        .collect();
+    dists.sort_by(|a, b| a.1.partial_cmp(&b.1).unwrap().then(a.0.cmp(&b.0)));
+    dists.truncate(k);
+    dists
+}
+
+/// Approximation ratio (Eqn. 13): mean over rank `i` of
+/// `‖p_i − q‖ / ‖p*_i − q‖`. Both lists must be distance-sorted; ranks
+/// where the true distance is zero contribute 1 if the reported distance
+/// is also zero (identical point found), else are skipped.
+pub fn approximation_ratio(reported: &[f64], truth: &[f64]) -> f64 {
+    let k = reported.len().min(truth.len());
+    if k == 0 {
+        return 1.0;
+    }
+    let mut total = 0.0;
+    let mut used = 0;
+    for i in 0..k {
+        if truth[i] > 0.0 {
+            total += reported[i] / truth[i];
+            used += 1;
+        } else if reported[i] == 0.0 {
+            total += 1.0;
+            used += 1;
+        }
+    }
+    if used == 0 {
+        1.0
+    } else {
+        total / used as f64
+    }
+}
+
+/// Classification scores for Table V: macro-averaged precision, recall,
+/// F1 plus overall accuracy of predicted vs. true labels.
+#[derive(Debug, Clone, Copy, Default)]
+pub struct ClassificationReport {
+    pub precision: f64,
+    pub recall: f64,
+    pub f1: f64,
+    pub accuracy: f64,
+}
+
+/// Score `predicted` against `truth` (macro averaging over the classes
+/// present in `truth`).
+pub fn classification_report(predicted: &[u32], truth: &[u32]) -> ClassificationReport {
+    assert_eq!(predicted.len(), truth.len());
+    if truth.is_empty() {
+        return ClassificationReport::default();
+    }
+    let classes: std::collections::BTreeSet<u32> = truth.iter().copied().collect();
+    let mut precision = 0.0;
+    let mut recall = 0.0;
+    let mut f1 = 0.0;
+    for &c in &classes {
+        let tp = predicted
+            .iter()
+            .zip(truth)
+            .filter(|(p, t)| **p == c && **t == c)
+            .count() as f64;
+        let fp = predicted
+            .iter()
+            .zip(truth)
+            .filter(|(p, t)| **p == c && **t != c)
+            .count() as f64;
+        let fn_ = predicted
+            .iter()
+            .zip(truth)
+            .filter(|(p, t)| **p != c && **t == c)
+            .count() as f64;
+        let p = if tp + fp > 0.0 { tp / (tp + fp) } else { 0.0 };
+        let r = if tp + fn_ > 0.0 { tp / (tp + fn_) } else { 0.0 };
+        precision += p;
+        recall += r;
+        f1 += if p + r > 0.0 { 2.0 * p * r / (p + r) } else { 0.0 };
+    }
+    let nc = classes.len() as f64;
+    let accuracy = predicted
+        .iter()
+        .zip(truth)
+        .filter(|(p, t)| p == t)
+        .count() as f64
+        / truth.len() as f64;
+    ClassificationReport {
+        precision: precision / nc,
+        recall: recall / nc,
+        f1: f1 / nc,
+        accuracy,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn distances_are_correct() {
+        let a = [0.0f32, 0.0];
+        let b = [3.0f32, 4.0];
+        assert_eq!(l1_distance(&a, &b), 7.0);
+        assert_eq!(l2_distance(&a, &b), 5.0);
+        assert_eq!(distance(Metric::L1, &a, &b), 7.0);
+    }
+
+    #[test]
+    fn exact_knn_orders_by_distance() {
+        let data = vec![vec![5.0f32], vec![1.0], vec![3.0]];
+        let knn = exact_knn(Metric::L2, &data, &[0.0], 2);
+        assert_eq!(knn[0].0, 1);
+        assert_eq!(knn[1].0, 2);
+        assert_eq!(knn.len(), 2);
+    }
+
+    #[test]
+    fn perfect_answers_have_ratio_one() {
+        assert_eq!(approximation_ratio(&[1.0, 2.0], &[1.0, 2.0]), 1.0);
+    }
+
+    #[test]
+    fn ratio_grows_with_error() {
+        let r = approximation_ratio(&[2.0, 4.0], &[1.0, 2.0]);
+        assert!((r - 2.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn ratio_handles_zero_distance_truth() {
+        // first true neighbour is the query itself
+        let r = approximation_ratio(&[0.0, 3.0], &[0.0, 2.0]);
+        assert!((r - (1.0 + 1.5) / 2.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn classification_report_perfect_prediction() {
+        let rep = classification_report(&[1, 2, 1, 3], &[1, 2, 1, 3]);
+        assert_eq!(rep.accuracy, 1.0);
+        assert_eq!(rep.precision, 1.0);
+        assert_eq!(rep.recall, 1.0);
+        assert_eq!(rep.f1, 1.0);
+    }
+
+    #[test]
+    fn classification_report_partial() {
+        // two classes; one of two "2"s misclassified
+        let rep = classification_report(&[1, 2, 1, 1], &[1, 2, 1, 2]);
+        assert_eq!(rep.accuracy, 0.75);
+        // class 1: p = 2/3, r = 1; class 2: p = 1, r = 1/2
+        assert!((rep.precision - (2.0 / 3.0 + 1.0) / 2.0).abs() < 1e-9);
+        assert!((rep.recall - 0.75).abs() < 1e-9);
+    }
+}

@@ -1,0 +1,41 @@
+//! # genie-lsh — locality-sensitive hashing schemes for GENIE
+//!
+//! Implements the LSH side of the paper (§IV): data types whose
+//! similarity measure admits an LSH family are transformed into
+//! match-count objects — one keyword per hash function, namespaced as
+//! `(function index, re-hashed signature)` — and ANN search becomes a
+//! top-k match-count query on the GENIE engine.
+//!
+//! Provided families:
+//! * [`e2lsh::E2Lsh`] — p-stable projections for l2 distance (Eqn. 10),
+//!   the SIFT experiments' family;
+//! * [`rbh::RandomBinningHash`] — Rahimi–Recht random binning for the
+//!   Laplacian kernel (Eqn. 2), the OCR experiments' family;
+//! * [`minhash::MinHash`] — Jaccard similarity over sets;
+//! * [`signrp::SignRandomProjection`] — angular similarity (SimHash).
+//!
+//! Plus the machinery around them:
+//! * [`murmur`] — MurmurHash3, the re-hashing projection `r(·)` of
+//!   Figure 7 that squashes huge signature spaces into `[0, D)`;
+//! * [`transform::Transformer`] — point → object/query conversion;
+//! * [`tau_ann`] — the τ-ANN bounds: Hoeffding's `m = 2 ln(3/δ)/ε²`
+//!   (Theorem 4.1) and the tighter binomial-tail estimate of Eqn. 9
+//!   that Figure 8 plots;
+//! * [`knn`] — exact kNN ground truth and the approximation-ratio
+//!   metric (Eqn. 13) used in Figure 14;
+//! * [`ann`] — the end-to-end ANN pipeline on the GENIE engine.
+
+pub mod ann;
+pub mod e2lsh;
+pub mod family;
+pub mod knn;
+pub mod minhash;
+pub mod murmur;
+pub mod rbh;
+pub mod signrp;
+pub mod tau_ann;
+pub mod transform;
+
+pub use ann::{AnnIndex, AnnParams};
+pub use family::LshFamily;
+pub use transform::Transformer;

@@ -1,0 +1,100 @@
+//! MinHash: the classic LSH family for Jaccard similarity over sets —
+//! the paper's example of a kernelised similarity with a generic LSH
+//! scheme (§II-B1, "Jaccard kernel for sets").
+//!
+//! `h_i(S) = min_{e in S} π_i(e)` with `π_i` a random permutation
+//! (approximated by a seeded Murmur mix); `Pr[h_i(A) = h_i(B)] = J(A,B)`.
+
+use crate::family::LshFamily;
+use crate::murmur::murmur3_32;
+
+/// A family of `m` MinHash functions over `u64` element sets.
+pub struct MinHash {
+    seeds: Vec<u32>,
+}
+
+impl MinHash {
+    pub fn new(m: usize, seed: u64) -> Self {
+        // derive per-function seeds from the master seed
+        let seeds = (0..m)
+            .map(|i| murmur3_32(&(i as u64).to_le_bytes(), seed as u32))
+            .collect();
+        Self { seeds }
+    }
+}
+
+impl LshFamily<[u64]> for MinHash {
+    fn num_functions(&self) -> usize {
+        self.seeds.len()
+    }
+
+    fn signature(&self, i: usize, set: &[u64]) -> u64 {
+        set.iter()
+            .map(|e| murmur3_32(&e.to_le_bytes(), self.seeds[i]) as u64)
+            .min()
+            .unwrap_or(u64::MAX)
+    }
+}
+
+/// Exact Jaccard similarity of two sets given as slices (duplicates
+/// ignored).
+pub fn jaccard(a: &[u64], b: &[u64]) -> f64 {
+    use std::collections::HashSet;
+    let sa: HashSet<u64> = a.iter().copied().collect();
+    let sb: HashSet<u64> = b.iter().copied().collect();
+    if sa.is_empty() && sb.is_empty() {
+        return 1.0;
+    }
+    let inter = sa.intersection(&sb).count() as f64;
+    let union = sa.union(&sb).count() as f64;
+    inter / union
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::family::empirical_collision_rate;
+
+    #[test]
+    fn identical_sets_always_collide() {
+        let fam = MinHash::new(32, 1);
+        let s = [1u64, 5, 9];
+        assert_eq!(empirical_collision_rate(&fam, &s[..], &s[..]), 1.0);
+    }
+
+    #[test]
+    fn signature_is_order_invariant() {
+        let fam = MinHash::new(16, 2);
+        let a = [3u64, 1, 4, 1, 5];
+        let b = [5u64, 4, 3, 1];
+        assert_eq!(fam.signatures(&a[..]), fam.signatures(&b[..]));
+    }
+
+    #[test]
+    fn collision_rate_estimates_jaccard() {
+        let fam = MinHash::new(4000, 7);
+        let a: Vec<u64> = (0..100).collect();
+        let b: Vec<u64> = (50..150).collect(); // J = 50/150 = 1/3
+        let j = jaccard(&a, &b);
+        assert!((j - 1.0 / 3.0).abs() < 1e-12);
+        let emp = empirical_collision_rate(&fam, &a[..], &b[..]);
+        assert!((emp - j).abs() < 0.03, "empirical {emp:.3} vs {j:.3}");
+    }
+
+    #[test]
+    fn disjoint_sets_rarely_collide() {
+        let fam = MinHash::new(500, 3);
+        let a: Vec<u64> = (0..50).collect();
+        let b: Vec<u64> = (1000..1050).collect();
+        assert!(empirical_collision_rate(&fam, &a[..], &b[..]) < 0.02);
+    }
+
+    #[test]
+    fn empty_set_is_well_defined() {
+        let fam = MinHash::new(4, 9);
+        let empty: Vec<u64> = vec![];
+        assert_eq!(fam.signature(0, &empty[..]), u64::MAX);
+        assert_eq!(jaccard(&empty, &empty), 1.0);
+        assert_eq!(jaccard(&empty, &[1]), 0.0);
+    }
+}

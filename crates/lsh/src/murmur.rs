@@ -1,0 +1,115 @@
+//! MurmurHash3 (x86 32-bit variant), implemented from the public-domain
+//! reference algorithm.
+//!
+//! The paper uses MurmurHash3 as the re-hashing random projection `r(·)`
+//! (Figure 7, §IV-A2): LSH signatures with enormous domains (random
+//! binning signatures are one integer per dimension) are projected into a
+//! finite bucket domain `[0, D)` so they can serve as inverted-index
+//! keywords. The extra collision probability this introduces is the
+//! `1/D` term of Theorem 4.1.
+
+/// MurmurHash3 x86_32 over an arbitrary byte slice.
+pub fn murmur3_32(data: &[u8], seed: u32) -> u32 {
+    const C1: u32 = 0xcc9e_2d51;
+    const C2: u32 = 0x1b87_3593;
+    let mut h = seed;
+    let mut chunks = data.chunks_exact(4);
+    for chunk in &mut chunks {
+        let mut k = u32::from_le_bytes([chunk[0], chunk[1], chunk[2], chunk[3]]);
+        k = k.wrapping_mul(C1);
+        k = k.rotate_left(15);
+        k = k.wrapping_mul(C2);
+        h ^= k;
+        h = h.rotate_left(13);
+        h = h.wrapping_mul(5).wrapping_add(0xe654_6b64);
+    }
+    let rem = chunks.remainder();
+    if !rem.is_empty() {
+        let mut k = 0u32;
+        for (i, &b) in rem.iter().enumerate() {
+            k |= (b as u32) << (8 * i);
+        }
+        k = k.wrapping_mul(C1);
+        k = k.rotate_left(15);
+        k = k.wrapping_mul(C2);
+        h ^= k;
+    }
+    h ^= data.len() as u32;
+    fmix32(h)
+}
+
+/// Murmur3 finaliser: a cheap full-avalanche mixer for single words.
+#[inline]
+pub fn fmix32(mut h: u32) -> u32 {
+    h ^= h >> 16;
+    h = h.wrapping_mul(0x85eb_ca6b);
+    h ^= h >> 13;
+    h = h.wrapping_mul(0xc2b2_ae35);
+    h ^= h >> 16;
+    h
+}
+
+/// Re-hash a raw 64-bit LSH signature into the bucket domain `[0, domain)`
+/// using function-specific `seed` — this is `r_i(h_i(x))` of Figure 7.
+#[inline]
+pub fn rehash(signature: u64, seed: u32, domain: u32) -> u32 {
+    debug_assert!(domain > 0);
+    murmur3_32(&signature.to_le_bytes(), seed) % domain
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    /// Reference vectors for MurmurHash3 x86_32 (from the canonical
+    /// implementation's test suite).
+    #[test]
+    fn matches_reference_vectors() {
+        assert_eq!(murmur3_32(b"", 0), 0);
+        assert_eq!(murmur3_32(b"", 1), 0x514E_28B7);
+        assert_eq!(murmur3_32(b"", 0xffff_ffff), 0x81F1_6F39);
+        assert_eq!(murmur3_32(b"test", 0), 0xba6b_d213);
+        assert_eq!(murmur3_32(b"Hello, world!", 0x9747b28c), 0x24884CBA);
+        assert_eq!(murmur3_32(b"The quick brown fox jumps over the lazy dog", 0x9747b28c), 0x2FA826CD);
+    }
+
+    #[test]
+    fn deterministic_and_seed_sensitive() {
+        let a = murmur3_32(b"genie", 7);
+        assert_eq!(a, murmur3_32(b"genie", 7));
+        assert_ne!(a, murmur3_32(b"genie", 8));
+    }
+
+    #[test]
+    fn rehash_stays_in_domain() {
+        for sig in [0u64, 1, u64::MAX, 123_456_789] {
+            for seed in 0..8 {
+                assert!(rehash(sig, seed, 100) < 100);
+            }
+        }
+    }
+
+    #[test]
+    fn rehash_distributes_roughly_uniformly() {
+        let domain = 16u32;
+        let mut buckets = vec![0u32; domain as usize];
+        let n = 16_000u64;
+        for sig in 0..n {
+            buckets[rehash(sig, 3, domain) as usize] += 1;
+        }
+        let expected = n as f64 / domain as f64;
+        for (b, &c) in buckets.iter().enumerate() {
+            let dev = (c as f64 - expected).abs() / expected;
+            assert!(dev < 0.15, "bucket {b} deviates {dev:.2} from uniform");
+        }
+    }
+
+    #[test]
+    fn fmix_avalanches() {
+        // flipping one input bit should flip roughly half the output bits
+        let base = fmix32(0x1234_5678);
+        let flipped = fmix32(0x1234_5679);
+        let diff = (base ^ flipped).count_ones();
+        assert!((8..=24).contains(&diff), "weak avalanche: {diff} bits");
+    }
+}

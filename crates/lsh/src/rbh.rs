@@ -1,0 +1,195 @@
+//! Random Binning Hashing for the Laplacian kernel (paper §IV-A3,
+//! Eqn. 2; Rahimi & Recht 2007).
+//!
+//! For the Laplacian kernel `k(p, q) = exp(-‖p-q‖₁ / σ)` a randomly
+//! shifted grid is imposed per function: each dimension `d` gets a pitch
+//! `g_d ~ Gamma(2, σ)` (the distribution `p(g) = g·k̈(g)` the paper
+//! derives) and a shift `u_d ~ U[0, g_d)`; the signature is the vector of
+//! cell coordinates `⌊(p_d - u_d)/g_d⌋`. Collision probability equals the
+//! kernel value — this is the family behind the OCR experiments.
+//!
+//! A raw signature is one integer per dimension (the "huge signature
+//! space" the paper's re-hashing mechanism exists for); the `u64`
+//! signature returned here is a Murmur digest of the coordinate vector,
+//! which the [`crate::Transformer`] then folds into `[0, D)`.
+
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+
+use crate::family::LshFamily;
+use crate::murmur::murmur3_32;
+
+/// One random binning grid: per-dimension pitch and shift.
+struct Grid {
+    pitch: Vec<f32>,
+    shift: Vec<f32>,
+}
+
+/// A family of `m` random binning hash functions for the Laplacian
+/// kernel of width `sigma` over `dim`-dimensional points.
+pub struct RandomBinningHash {
+    grids: Vec<Grid>,
+    dim: usize,
+}
+
+impl RandomBinningHash {
+    /// Sample the family deterministically from `seed`.
+    pub fn new(m: usize, dim: usize, sigma: f64, seed: u64) -> Self {
+        assert!(sigma > 0.0, "kernel width must be positive");
+        let mut rng = StdRng::seed_from_u64(seed);
+        let grids = (0..m)
+            .map(|_| {
+                let mut pitch = Vec::with_capacity(dim);
+                let mut shift = Vec::with_capacity(dim);
+                for _ in 0..dim {
+                    let g = sample_gamma2(&mut rng, sigma) as f32;
+                    pitch.push(g);
+                    shift.push(rng.random::<f32>() * g);
+                }
+                Grid { pitch, shift }
+            })
+            .collect();
+        Self { grids, dim }
+    }
+
+    pub fn dim(&self) -> usize {
+        self.dim
+    }
+
+    /// Grid-cell coordinates of `x` under function `i` (Eqn. 2).
+    pub fn cell(&self, i: usize, x: &[f32]) -> Vec<i32> {
+        debug_assert_eq!(x.len(), self.dim);
+        let grid = &self.grids[i];
+        x.iter()
+            .zip(grid.pitch.iter().zip(&grid.shift))
+            .map(|(&v, (&g, &u))| ((v - u) / g).floor() as i32)
+            .collect()
+    }
+}
+
+/// `Gamma(shape = 2, scale = sigma)` sample as the sum of two
+/// exponentials — the pitch distribution `p(g) = g e^{-g/σ} / σ²`.
+fn sample_gamma2<R: Rng>(rng: &mut R, sigma: f64) -> f64 {
+    let e1: f64 = -(rng.random::<f64>().max(f64::MIN_POSITIVE)).ln();
+    let e2: f64 = -(rng.random::<f64>().max(f64::MIN_POSITIVE)).ln();
+    (e1 + e2) * sigma
+}
+
+impl LshFamily<[f32]> for RandomBinningHash {
+    fn num_functions(&self) -> usize {
+        self.grids.len()
+    }
+
+    fn signature(&self, i: usize, x: &[f32]) -> u64 {
+        let cell = self.cell(i, x);
+        let mut bytes = Vec::with_capacity(cell.len() * 4);
+        for c in cell {
+            bytes.extend_from_slice(&c.to_le_bytes());
+        }
+        // two independent 32-bit digests make a 64-bit signature, keeping
+        // accidental collisions of distinct cells negligible
+        let lo = murmur3_32(&bytes, 0x5bd1_e995);
+        let hi = murmur3_32(&bytes, 0x27d4_eb2f);
+        ((hi as u64) << 32) | lo as u64
+    }
+}
+
+/// The Laplacian kernel `exp(-‖a-b‖₁/σ)` — the similarity RBH is
+/// locality-sensitive for.
+pub fn laplacian_kernel(a: &[f32], b: &[f32], sigma: f64) -> f64 {
+    let l1: f64 = a
+        .iter()
+        .zip(b)
+        .map(|(x, y)| (x - y).abs() as f64)
+        .sum();
+    (-l1 / sigma).exp()
+}
+
+/// The paper's kernel-width heuristic (§VI-D1, citing Jaakkola et al.):
+/// the mean pairwise l1 distance of a data sample.
+pub fn mean_l1_kernel_width(sample: &[Vec<f32>]) -> f64 {
+    let n = sample.len();
+    if n < 2 {
+        return 1.0;
+    }
+    let mut total = 0.0f64;
+    let mut pairs = 0u64;
+    for i in 0..n {
+        for j in (i + 1)..n {
+            total += sample[i]
+                .iter()
+                .zip(&sample[j])
+                .map(|(a, b)| (a - b).abs() as f64)
+                .sum::<f64>();
+            pairs += 1;
+        }
+    }
+    (total / pairs as f64).max(f64::MIN_POSITIVE)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::family::empirical_collision_rate;
+
+    #[test]
+    fn identical_points_always_collide() {
+        let fam = RandomBinningHash::new(64, 6, 2.0, 3);
+        let x = [0.5f32; 6];
+        assert_eq!(empirical_collision_rate(&fam, &x[..], &x[..]), 1.0);
+    }
+
+    #[test]
+    fn collision_rate_approximates_laplacian_kernel() {
+        let dim = 4;
+        let sigma = 4.0;
+        let fam = RandomBinningHash::new(6000, dim, sigma, 11);
+        let a = vec![0.0f32; dim];
+        let mut b = vec![0.0f32; dim];
+        b[0] = 1.0;
+        b[1] = 1.0; // l1 distance 2
+        let expected = laplacian_kernel(&a, &b, sigma); // e^{-0.5} ~ .606
+        let emp = empirical_collision_rate(&fam, &a[..], &b[..]);
+        assert!(
+            (emp - expected).abs() < 0.05,
+            "empirical {emp:.3} vs kernel {expected:.3}"
+        );
+    }
+
+    #[test]
+    fn nearer_points_collide_more() {
+        let dim = 8;
+        let fam = RandomBinningHash::new(500, dim, 4.0, 5);
+        let o = vec![0.0f32; dim];
+        let near = vec![0.2f32; dim];
+        let far = vec![3.0f32; dim];
+        assert!(
+            empirical_collision_rate(&fam, &o[..], &near[..])
+                > empirical_collision_rate(&fam, &o[..], &far[..])
+        );
+    }
+
+    #[test]
+    fn kernel_width_heuristic_is_positive_and_scales() {
+        let sample: Vec<Vec<f32>> = (0..10)
+            .map(|i| vec![i as f32, 2.0 * i as f32])
+            .collect();
+        let w = mean_l1_kernel_width(&sample);
+        assert!(w > 0.0);
+        let scaled: Vec<Vec<f32>> = sample
+            .iter()
+            .map(|p| p.iter().map(|v| v * 2.0).collect())
+            .collect();
+        let w2 = mean_l1_kernel_width(&scaled);
+        assert!((w2 / w - 2.0).abs() < 1e-3);
+    }
+
+    #[test]
+    fn gamma2_mean_is_two_sigma() {
+        let mut rng = rand::rngs::StdRng::seed_from_u64(1);
+        let sigma = 3.0;
+        let n = 20_000;
+        let mean: f64 = (0..n).map(|_| sample_gamma2(&mut rng, sigma)).sum::<f64>() / n as f64;
+        assert!((mean - 2.0 * sigma).abs() < 0.15, "mean {mean}");
+    }
+}

@@ -1,0 +1,94 @@
+//! Sign random projection (SimHash): the LSH family for angular
+//! similarity, `Pr[h(p) = h(q)] = 1 - θ(p,q)/π` (Charikar 2002) — the
+//! paper's canonical example of Eqn. 1 for feature sketches.
+
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+
+use crate::e2lsh::sample_gaussian;
+use crate::family::LshFamily;
+
+/// A family of `m` sign-random-projection functions for `dim`-d points.
+pub struct SignRandomProjection {
+    /// Random hyperplane normals, row-major `m x dim`.
+    planes: Vec<f32>,
+    dim: usize,
+    m: usize,
+}
+
+impl SignRandomProjection {
+    pub fn new(m: usize, dim: usize, seed: u64) -> Self {
+        let mut rng = StdRng::seed_from_u64(seed);
+        let planes = (0..m * dim)
+            .map(|_| sample_gaussian(&mut rng) as f32)
+            .collect();
+        Self { planes, dim, m }
+    }
+}
+
+impl LshFamily<[f32]> for SignRandomProjection {
+    fn num_functions(&self) -> usize {
+        self.m
+    }
+
+    fn signature(&self, i: usize, x: &[f32]) -> u64 {
+        debug_assert_eq!(x.len(), self.dim);
+        let row = &self.planes[i * self.dim..(i + 1) * self.dim];
+        let dot: f32 = row.iter().zip(x).map(|(a, v)| a * v).sum();
+        (dot >= 0.0) as u64
+    }
+}
+
+/// Angular similarity `1 - θ/π`, the measure SimHash is sensitive for.
+pub fn angular_similarity(a: &[f32], b: &[f32]) -> f64 {
+    let dot: f64 = a.iter().zip(b).map(|(x, y)| (x * y) as f64).sum();
+    let na: f64 = a.iter().map(|x| (x * x) as f64).sum::<f64>().sqrt();
+    let nb: f64 = b.iter().map(|x| (x * x) as f64).sum::<f64>().sqrt();
+    if na == 0.0 || nb == 0.0 {
+        return 0.0;
+    }
+    let cos = (dot / (na * nb)).clamp(-1.0, 1.0);
+    1.0 - cos.acos() / std::f64::consts::PI
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::family::empirical_collision_rate;
+
+    #[test]
+    fn collinear_points_always_collide() {
+        let fam = SignRandomProjection::new(64, 4, 1);
+        let a = [1.0f32, 2.0, 3.0, 4.0];
+        let b: Vec<f32> = a.iter().map(|v| v * 7.0).collect();
+        assert_eq!(empirical_collision_rate(&fam, &a[..], &b[..]), 1.0);
+    }
+
+    #[test]
+    fn orthogonal_points_collide_half_the_time() {
+        let fam = SignRandomProjection::new(4000, 2, 5);
+        let a = [1.0f32, 0.0];
+        let b = [0.0f32, 1.0];
+        let emp = empirical_collision_rate(&fam, &a[..], &b[..]);
+        assert!((emp - 0.5).abs() < 0.03, "got {emp}");
+    }
+
+    #[test]
+    fn collision_rate_matches_angular_similarity() {
+        let fam = SignRandomProjection::new(6000, 2, 9);
+        let a = vec![1.0f32, 0.0];
+        let b = vec![1.0f32, 1.0]; // 45 degrees -> sim = 0.75
+        let sim = angular_similarity(&a, &b);
+        assert!((sim - 0.75).abs() < 1e-6);
+        let emp = empirical_collision_rate(&fam, &a[..], &b[..]);
+        assert!((emp - sim).abs() < 0.03, "empirical {emp:.3} vs {sim:.3}");
+    }
+
+    #[test]
+    fn opposite_points_never_collide() {
+        let fam = SignRandomProjection::new(200, 3, 2);
+        let a = [1.0f32, -2.0, 0.5];
+        let b: Vec<f32> = a.iter().map(|v| -v).collect();
+        assert_eq!(empirical_collision_rate(&fam, &a[..], &b[..]), 0.0);
+    }
+}

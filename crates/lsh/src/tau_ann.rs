@@ -1,0 +1,183 @@
+//! τ-ANN theory (paper §IV-B, Definition 4.1, Theorems 4.1/4.2,
+//! Eqns. 8-9, Figure 8).
+//!
+//! Two ways to size the hash-function count `m`:
+//! * [`hoeffding_m`] — Theorem 4.1's worst-case bound
+//!   `m = ⌈2 ln(3/δ) / ε²⌉` (2174 at ε = δ = 0.06);
+//! * [`min_m_for_similarity`] / [`max_required_m`] — the practical,
+//!   data-independent binomial-tail estimate of Eqn. 9, whose maximum
+//!   over similarities is the paper's `m = 237` at ε = δ = 0.06
+//!   (Figure 8, peaking at s = 0.5).
+
+/// Theorem 4.1: hash functions needed so that
+/// `|c/m − sim| ≤ ε + 1/D` with probability at least `1 − δ`.
+pub fn hoeffding_m(epsilon: f64, delta: f64) -> usize {
+    assert!(epsilon > 0.0 && delta > 0.0 && delta < 1.0);
+    (2.0 * (3.0 / delta).ln() / (epsilon * epsilon)).ceil() as usize
+}
+
+/// `Pr[|c/m − s| ≤ ε]` for `c ~ Binomial(m, s)` — Eqn. 8/9: the exact
+/// probability that the match-count estimate of similarity `s` from `m`
+/// functions lands within `ε`.
+pub fn estimate_confidence(s: f64, m: usize, epsilon: f64) -> f64 {
+    assert!((0.0..=1.0).contains(&s));
+    // strict reading of |c/m − s| ≤ ε: c in [⌈(s−ε)m⌉, ⌊(s+ε)m⌋]
+    // (the paper's Eqn. 9 prints ⌊·⌋/⌈·⌉ the other way round, which would
+    // degenerately include everything at m = 1; the strict bounds agree
+    // with it for all non-trivial m)
+    let lo = ((s - epsilon) * m as f64).ceil().max(0.0) as usize;
+    let hi_f = ((s + epsilon) * m as f64).floor();
+    if hi_f < lo as f64 {
+        return 0.0;
+    }
+    let hi = (hi_f as usize).min(m);
+    (lo..=hi).map(|c| binomial_pmf(m, c, s)).sum()
+}
+
+/// Smallest `m` with `Pr[|c/m − s| ≤ ε] ≥ 1 − δ` for a given similarity
+/// `s` — one point of the Figure 8 curve.
+pub fn min_m_for_similarity(s: f64, epsilon: f64, delta: f64, max_m: usize) -> Option<usize> {
+    (1..=max_m).find(|&m| estimate_confidence(s, m, epsilon) >= 1.0 - delta)
+}
+
+/// The data-independent sizing rule: the maximum of
+/// [`min_m_for_similarity`] over a grid of similarities (the paper scans
+/// `s` and reads off the peak, 237 at ε = δ = 0.06 near s = 0.5).
+pub fn max_required_m(epsilon: f64, delta: f64, max_m: usize) -> usize {
+    let mut worst = 1;
+    let mut s = 0.02;
+    while s < 1.0 {
+        if let Some(m) = min_m_for_similarity(s, epsilon, delta, max_m) {
+            worst = worst.max(m);
+        }
+        s += 0.02;
+    }
+    worst
+}
+
+/// Binomial pmf `C(m, c) s^c (1-s)^{m-c}` computed in log space for
+/// stability at the `m` values Figure 8 needs.
+pub fn binomial_pmf(m: usize, c: usize, s: f64) -> f64 {
+    if c > m {
+        return 0.0;
+    }
+    if s <= 0.0 {
+        return if c == 0 { 1.0 } else { 0.0 };
+    }
+    if s >= 1.0 {
+        return if c == m { 1.0 } else { 0.0 };
+    }
+    let ln = ln_choose(m, c) + c as f64 * s.ln() + (m - c) as f64 * (1.0 - s).ln();
+    ln.exp()
+}
+
+fn ln_choose(n: usize, k: usize) -> f64 {
+    ln_factorial(n) - ln_factorial(k) - ln_factorial(n - k)
+}
+
+/// `ln(n!)`: exact accumulation for small n, Stirling's series beyond.
+fn ln_factorial(n: usize) -> f64 {
+    if n < 32 {
+        return (2..=n).map(|i| (i as f64).ln()).sum();
+    }
+    let x = n as f64;
+    x * x.ln() - x + 0.5 * (std::f64::consts::TAU * x).ln() + 1.0 / (12.0 * x)
+        - 1.0 / (360.0 * x * x * x)
+}
+
+/// Verdict of a τ-ANN experiment: compares achieved similarity gaps
+/// against the tolerance `2ε` of Theorem 4.2.
+#[derive(Debug, Clone, Copy)]
+pub struct TauAnnCheck {
+    /// Tolerance τ = 2ε the returned neighbour is allowed to miss by.
+    pub tau: f64,
+    /// Fraction of queries whose similarity gap was within τ.
+    pub within_tolerance: f64,
+}
+
+/// Check `|sim(p*, q) − sim(p, q)| ≤ τ` over per-query pairs of
+/// `(best_possible_sim, achieved_sim)`.
+pub fn check_tau_ann(pairs: &[(f64, f64)], tau: f64) -> TauAnnCheck {
+    if pairs.is_empty() {
+        return TauAnnCheck {
+            tau,
+            within_tolerance: 1.0,
+        };
+    }
+    let ok = pairs
+        .iter()
+        .filter(|(best, got)| best - got <= tau + 1e-12)
+        .count();
+    TauAnnCheck {
+        tau,
+        within_tolerance: ok as f64 / pairs.len() as f64,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn hoeffding_matches_paper_number() {
+        // the paper: ε = δ = 0.06 gives m = 2 ln(3/δ)/ε² = 2174
+        assert_eq!(hoeffding_m(0.06, 0.06), 2174);
+    }
+
+    #[test]
+    fn binomial_pmf_sums_to_one() {
+        let m = 50;
+        let s = 0.3;
+        let total: f64 = (0..=m).map(|c| binomial_pmf(m, c, s)).sum();
+        assert!((total - 1.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn binomial_pmf_degenerate_cases() {
+        assert_eq!(binomial_pmf(10, 0, 0.0), 1.0);
+        assert_eq!(binomial_pmf(10, 3, 0.0), 0.0);
+        assert_eq!(binomial_pmf(10, 10, 1.0), 1.0);
+        assert_eq!(binomial_pmf(10, 11, 0.5), 0.0);
+    }
+
+    #[test]
+    fn confidence_increases_with_m() {
+        let c100 = estimate_confidence(0.5, 100, 0.06);
+        let c500 = estimate_confidence(0.5, 500, 0.06);
+        assert!(c500 > c100);
+        assert!(c500 > 0.99);
+    }
+
+    #[test]
+    fn figure8_peak_is_near_the_papers_237() {
+        // the paper reads m = 237 off the peak at s = 0.5 with
+        // ε = δ = 0.06; discretisation details shift it slightly, so
+        // accept a small window around it
+        let m = max_required_m(0.06, 0.06, 400);
+        assert!(
+            (225..=250).contains(&m),
+            "expected peak near 237, got {m}"
+        );
+        // and it must be far below the Hoeffding worst case
+        assert!(m < hoeffding_m(0.06, 0.06) / 5);
+    }
+
+    #[test]
+    fn figure8_shape_peaks_at_half() {
+        let eps = 0.06;
+        let delta = 0.06;
+        let at = |s: f64| min_m_for_similarity(s, eps, delta, 400).unwrap();
+        let low = at(0.1);
+        let mid = at(0.5);
+        let high = at(0.9);
+        assert!(mid > low, "m(0.5) = {mid} should exceed m(0.1) = {low}");
+        assert!(mid > high, "m(0.5) = {mid} should exceed m(0.9) = {high}");
+    }
+
+    #[test]
+    fn tau_check_counts_misses() {
+        let pairs = [(0.9, 0.9), (0.9, 0.85), (0.9, 0.5)];
+        let res = check_tau_ann(&pairs, 0.12);
+        assert!((res.within_tolerance - 2.0 / 3.0).abs() < 1e-9);
+    }
+}

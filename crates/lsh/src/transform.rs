@@ -1,0 +1,143 @@
+//! Point → match-count object conversion (paper §IV-A1/2, Figure 7).
+//!
+//! Each of the `m` hash functions becomes an "attribute": the keyword of
+//! point `p` under function `i` is `(i, r_i(h_i(p)))`, encoded into a
+//! flat keyword id `i * D + r_i(h_i(p))` where `D` is the re-hash bucket
+//! domain. A query point is transformed identically, with one exact
+//! query item per function; its match count against a data point is then
+//! precisely the number of colliding hash functions — the quantity
+//! Theorems 4.1/4.2 bound against the true similarity.
+
+use genie_core::model::{KeywordId, Object, Query};
+
+use crate::family::LshFamily;
+use crate::murmur::rehash;
+
+/// Converts inputs into GENIE objects/queries through a family plus the
+/// re-hashing projection.
+pub struct Transformer<F> {
+    family: F,
+    /// Re-hash bucket domain `D` (the `1/D` of Theorem 4.1). The OCR
+    /// experiment uses 8192.
+    domain: u32,
+    /// Seed namespace for the per-function projections `r_i`.
+    rehash_seed: u32,
+}
+
+impl<F> Transformer<F> {
+    pub fn new(family: F, domain: u32) -> Self {
+        assert!(domain >= 2, "re-hash domain must be at least 2");
+        Self {
+            family,
+            domain,
+            rehash_seed: 0x7F4A_7C15,
+        }
+    }
+
+    pub fn domain(&self) -> u32 {
+        self.domain
+    }
+
+    pub fn family(&self) -> &F {
+        &self.family
+    }
+}
+
+impl<F> Transformer<F> {
+    /// Number of hash functions (= number of keywords per object).
+    pub fn num_functions<P: ?Sized>(&self) -> usize
+    where
+        F: LshFamily<P>,
+    {
+        self.family.num_functions()
+    }
+
+    /// Keyword of input `x` under function `i`: `i * D + r_i(h_i(x))`.
+    pub fn keyword<P: ?Sized>(&self, i: usize, x: &P) -> KeywordId
+    where
+        F: LshFamily<P>,
+    {
+        let sig = self.family.signature(i, x);
+        let bucket = rehash(sig, self.rehash_seed.wrapping_add(i as u32), self.domain);
+        i as u32 * self.domain + bucket
+    }
+
+    /// Transform a data point into an object (one keyword per function).
+    pub fn to_object<P: ?Sized>(&self, x: &P) -> Object
+    where
+        F: LshFamily<P>,
+    {
+        Object::new(
+            (0..self.family.num_functions())
+                .map(|i| self.keyword(i, x))
+                .collect(),
+        )
+    }
+
+    /// Transform a query point (one exact item per function).
+    pub fn to_query<P: ?Sized>(&self, x: &P) -> Query
+    where
+        F: LshFamily<P>,
+    {
+        Query::from_keywords(
+            &(0..self.family.num_functions())
+                .map(|i| self.keyword(i, x))
+                .collect::<Vec<_>>(),
+        )
+    }
+
+    /// Total keyword-universe size `m * D`.
+    pub fn universe_size<P: ?Sized>(&self) -> u64
+    where
+        F: LshFamily<P>,
+    {
+        self.family.num_functions() as u64 * self.domain as u64
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::e2lsh::E2Lsh;
+    use genie_core::model::match_count;
+
+    fn transformer() -> Transformer<E2Lsh> {
+        Transformer::new(E2Lsh::new(16, 4, 4.0, 3), 128)
+    }
+
+    #[test]
+    fn keywords_are_namespaced_per_function() {
+        let t = transformer();
+        let x = [0.5f32, 1.0, -0.5, 2.0];
+        let obj = t.to_object(&x[..]);
+        assert_eq!(obj.keywords.len(), 16);
+        for (i, &kw) in obj.keywords.iter().enumerate() {
+            assert!(kw >= i as u32 * 128 && kw < (i as u32 + 1) * 128);
+        }
+    }
+
+    #[test]
+    fn query_and_object_of_same_point_fully_match() {
+        let t = transformer();
+        let x = [1.0f32, 2.0, 3.0, 4.0];
+        let mc = match_count(&t.to_query(&x[..]), &t.to_object(&x[..]));
+        assert_eq!(mc, 16, "a point must collide with itself on every function");
+    }
+
+    #[test]
+    fn match_count_equals_number_of_colliding_functions() {
+        let t = transformer();
+        let a = [0.0f32; 4];
+        let mut b = [0.0f32; 4];
+        b[0] = 0.7;
+        let collisions = (0..16)
+            .filter(|&i| t.keyword(i, &a[..]) == t.keyword(i, &b[..]))
+            .count() as u32;
+        assert_eq!(match_count(&t.to_query(&a[..]), &t.to_object(&b[..])), collisions);
+    }
+
+    #[test]
+    fn universe_size_is_m_times_d() {
+        assert_eq!(transformer().universe_size(), 16 * 128);
+    }
+}

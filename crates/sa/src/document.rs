@@ -1,0 +1,158 @@
+//! Short-document search (paper §V-B; Tweets experiment).
+//!
+//! Documents are bags of words reduced to *binary* vectors (a word is in
+//! the document or not); the match count between a query document and an
+//! object document is exactly the inner product of their binary vectors
+//! — i.e. the number of shared distinct words — so GENIE's top-k *is*
+//! the vector-space top-k, no verification needed.
+
+use std::collections::HashMap;
+use std::sync::Arc;
+
+use genie_core::exec::{DeviceIndex, Engine};
+use genie_core::index::{IndexBuilder, InvertedIndex};
+use genie_core::model::{KeywordId, Object, Query};
+use genie_core::topk::TopHit;
+
+/// A word-level inverted index over a corpus of short documents.
+pub struct DocumentIndex {
+    vocab: HashMap<String, KeywordId>,
+    index: Arc<InvertedIndex>,
+    num_docs: usize,
+}
+
+impl DocumentIndex {
+    /// Index `docs`, each a pre-tokenised word list (stop words should
+    /// already be removed, as the paper does for Tweets). Duplicate
+    /// words within a document collapse to one keyword (binary model).
+    pub fn build<S: AsRef<str>>(docs: &[Vec<S>]) -> Self {
+        let mut vocab: HashMap<String, KeywordId> = HashMap::new();
+        let mut builder = IndexBuilder::new();
+        for doc in docs {
+            let mut kws: Vec<KeywordId> = doc
+                .iter()
+                .map(|w| {
+                    let next = vocab.len() as KeywordId;
+                    *vocab.entry(w.as_ref().to_owned()).or_insert(next)
+                })
+                .collect();
+            kws.sort_unstable();
+            kws.dedup();
+            builder.add_object(&Object::new(kws));
+        }
+        Self {
+            vocab,
+            index: Arc::new(builder.build(None)),
+            num_docs: docs.len(),
+        }
+    }
+
+    pub fn num_documents(&self) -> usize {
+        self.num_docs
+    }
+
+    pub fn vocabulary_size(&self) -> usize {
+        self.vocab.len()
+    }
+
+    pub fn inverted_index(&self) -> &Arc<InvertedIndex> {
+        &self.index
+    }
+
+    /// Query over the distinct known words of `doc`.
+    pub fn to_query<S: AsRef<str>>(&self, doc: &[S]) -> Query {
+        let mut kws: Vec<KeywordId> = doc
+            .iter()
+            .filter_map(|w| self.vocab.get(w.as_ref()).copied())
+            .collect();
+        kws.sort_unstable();
+        kws.dedup();
+        Query::from_keywords(&kws)
+    }
+
+    pub fn upload(&self, engine: &Engine) -> Result<DeviceIndex, String> {
+        engine.upload(Arc::clone(&self.index))
+    }
+
+    /// Batched top-k by shared-word count (= binary inner product).
+    pub fn search<S: AsRef<str>>(
+        &self,
+        engine: &Engine,
+        dindex: &DeviceIndex,
+        queries: &[Vec<S>],
+        k: usize,
+    ) -> Vec<Vec<TopHit>> {
+        let qs: Vec<Query> = queries.iter().map(|q| self.to_query(q)).collect();
+        engine.search(dindex, &qs, k).results
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use gpu_sim::Device;
+
+    fn toks(s: &str) -> Vec<String> {
+        s.split_whitespace().map(str::to_owned).collect()
+    }
+
+    fn corpus() -> Vec<Vec<String>> {
+        vec![
+            toks("singapore food joint laksa"),
+            toks("best restaurant singapore city"),
+            toks("city marathon results"),
+            toks("food review laksa restaurant"),
+            toks("gpu similarity search"),
+        ]
+    }
+
+    #[test]
+    fn top_hit_shares_most_words() {
+        let idx = DocumentIndex::build(&corpus());
+        let eng = Engine::new(Arc::new(Device::with_defaults()));
+        let didx = idx.upload(&eng).unwrap();
+        let results = idx.search(&eng, &didx, &[toks("laksa food singapore")], 3);
+        assert_eq!(results[0][0].id, 0, "doc 0 shares all three words");
+        assert_eq!(results[0][0].count, 3);
+    }
+
+    #[test]
+    fn duplicates_count_once_binary_model() {
+        let idx = DocumentIndex::build(&corpus());
+        let eng = Engine::new(Arc::new(Device::with_defaults()));
+        let didx = eng.upload(Arc::clone(idx.inverted_index())).unwrap();
+        let q = idx.to_query(&toks("laksa laksa laksa"));
+        assert_eq!(q.items.len(), 1, "query words dedupe");
+        let out = eng.search(&didx, &[q], 5);
+        for hit in &out.results[0] {
+            assert_eq!(hit.count, 1, "binary vectors: one shared word = 1");
+        }
+    }
+
+    #[test]
+    fn unknown_words_are_ignored() {
+        let idx = DocumentIndex::build(&corpus());
+        let q = idx.to_query(&toks("zzz unknown laksa"));
+        assert_eq!(q.items.len(), 1);
+    }
+
+    #[test]
+    fn match_count_is_inner_product() {
+        let docs = corpus();
+        let idx = DocumentIndex::build(&docs);
+        let eng = Engine::new(Arc::new(Device::with_defaults()));
+        let didx = idx.upload(&eng).unwrap();
+        let query = toks("restaurant city singapore");
+        let results = idx.search(&eng, &didx, std::slice::from_ref(&query), 5);
+        // brute-force binary inner product
+        use std::collections::HashSet;
+        let qset: HashSet<&str> = query.iter().map(|s| s.as_str()).collect();
+        for hit in &results[0] {
+            let dset: HashSet<&str> = docs[hit.id as usize].iter().map(|s| s.as_str()).collect();
+            let ip = qset.intersection(&dset).count() as u32;
+            assert_eq!(hit.count, ip, "doc {}", hit.id);
+        }
+        assert_eq!(results[0][0].id, 1);
+        assert_eq!(results[0][0].count, 3);
+    }
+}

@@ -1,0 +1,131 @@
+//! Edit (Levenshtein) distance: the verification metric of the sequence
+//! pipeline (paper §V-A2).
+
+/// Classic two-row DP edit distance.
+pub fn edit_distance(a: &[u8], b: &[u8]) -> usize {
+    if a.is_empty() {
+        return b.len();
+    }
+    if b.is_empty() {
+        return a.len();
+    }
+    let mut prev: Vec<usize> = (0..=b.len()).collect();
+    let mut cur = vec![0usize; b.len() + 1];
+    for (i, &ca) in a.iter().enumerate() {
+        cur[0] = i + 1;
+        for (j, &cb) in b.iter().enumerate() {
+            let cost = usize::from(ca != cb);
+            cur[j + 1] = (prev[j] + cost).min(prev[j + 1] + 1).min(cur[j] + 1);
+        }
+        std::mem::swap(&mut prev, &mut cur);
+    }
+    prev[b.len()]
+}
+
+/// Banded edit distance: returns `Some(d)` if `d <= limit`, else `None`.
+/// Only cells within `limit` of the diagonal are touched, so candidates
+/// already worse than the current k-th best are rejected in
+/// `O(limit * max(|a|,|b|))` — the workhorse of Algorithm 2.
+pub fn edit_distance_bounded(a: &[u8], b: &[u8], limit: usize) -> Option<usize> {
+    let (la, lb) = (a.len(), b.len());
+    if la.abs_diff(lb) > limit {
+        return None;
+    }
+    if la == 0 {
+        return (lb <= limit).then_some(lb);
+    }
+    if lb == 0 {
+        return (la <= limit).then_some(la);
+    }
+    const INF: usize = usize::MAX / 2;
+    let mut prev = vec![INF; lb + 1];
+    let mut cur = vec![INF; lb + 1];
+    for (j, p) in prev.iter_mut().enumerate().take(limit.min(lb) + 1) {
+        *p = j;
+    }
+    for i in 1..=la {
+        let lo = i.saturating_sub(limit).max(1);
+        let hi = (i + limit).min(lb);
+        if lo > hi {
+            return None;
+        }
+        cur[lo - 1] = if i <= limit + (lo - 1) && lo == 1 { i } else { INF };
+        let mut row_min = cur[lo - 1];
+        for j in lo..=hi {
+            let cost = usize::from(a[i - 1] != b[j - 1]);
+            let v = (prev[j - 1] + cost)
+                .min(prev[j] + 1)
+                .min(cur[j - 1] + 1);
+            cur[j] = v;
+            row_min = row_min.min(v);
+        }
+        if hi < lb {
+            cur[hi + 1..].fill(INF);
+        }
+        if row_min > limit {
+            return None;
+        }
+        std::mem::swap(&mut prev, &mut cur);
+        cur.fill(INF);
+    }
+    (prev[lb] <= limit).then_some(prev[lb])
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use proptest::prelude::*;
+
+    #[test]
+    fn textbook_cases() {
+        assert_eq!(edit_distance(b"kitten", b"sitting"), 3);
+        assert_eq!(edit_distance(b"flaw", b"lawn"), 2);
+        assert_eq!(edit_distance(b"", b"abc"), 3);
+        assert_eq!(edit_distance(b"abc", b""), 3);
+        assert_eq!(edit_distance(b"same", b"same"), 0);
+    }
+
+    #[test]
+    fn bounded_agrees_when_within_limit() {
+        assert_eq!(edit_distance_bounded(b"kitten", b"sitting", 3), Some(3));
+        assert_eq!(edit_distance_bounded(b"kitten", b"sitting", 10), Some(3));
+        assert_eq!(edit_distance_bounded(b"kitten", b"sitting", 2), None);
+    }
+
+    #[test]
+    fn bounded_short_circuits_on_length_gap() {
+        assert_eq!(edit_distance_bounded(b"a", b"aaaaaaaa", 3), None);
+        assert_eq!(edit_distance_bounded(b"", b"ab", 2), Some(2));
+        assert_eq!(edit_distance_bounded(b"", b"ab", 1), None);
+    }
+
+    proptest! {
+        #[test]
+        fn bounded_matches_full_dp(
+            a in proptest::collection::vec(0u8..5, 0..20),
+            b in proptest::collection::vec(0u8..5, 0..20),
+            limit in 0usize..12,
+        ) {
+            let full = edit_distance(&a, &b);
+            match edit_distance_bounded(&a, &b, limit) {
+                Some(d) => prop_assert_eq!(d, full),
+                None => prop_assert!(full > limit, "full={full} limit={limit}"),
+            }
+        }
+
+        #[test]
+        fn metric_properties(
+            a in proptest::collection::vec(0u8..4, 0..15),
+            b in proptest::collection::vec(0u8..4, 0..15),
+            c in proptest::collection::vec(0u8..4, 0..15),
+        ) {
+            let dab = edit_distance(&a, &b);
+            let dba = edit_distance(&b, &a);
+            prop_assert_eq!(dab, dba, "symmetry");
+            prop_assert_eq!(edit_distance(&a, &a), 0, "identity");
+            let dac = edit_distance(&a, &c);
+            let dbc = edit_distance(&b, &c);
+            prop_assert!(dac <= dab + dbc, "triangle inequality");
+        }
+    }
+}

@@ -1,0 +1,35 @@
+//! # genie-sa — shotgun-and-assembly search on GENIE
+//!
+//! The SA side of the paper (§V): complex structured data is broken into
+//! small sub-units ("shotgun"), the sub-units become inverted-index
+//! keywords, and the match count between a query's and an object's
+//! sub-units either *is* the similarity (documents: binary vector-space
+//! inner product) or lower-bounds it (sequences: the n-gram count filter
+//! for edit distance), in which case a verification step ("assembly")
+//! computes exact distances over the retrieved candidates.
+//!
+//! * [`ngram`] — ordered n-gram decomposition (Example 5.1) and the
+//!   count/edit-distance bound of Theorem 5.1;
+//! * [`edit`] — edit distance (full and bounded);
+//! * [`verify`] — Algorithm 2 with count, length and early-break filters
+//!   plus the Theorem 5.2 exactness certificate;
+//! * [`sequence`] — end-to-end sequence kNN under edit distance,
+//!   including the adaptive-K loop the paper suggests;
+//! * [`document`] — short-document search (Tweets experiment);
+//! * [`relational`] — relational tables: discretisation, keyword
+//!   encoding and range selections (Adult experiment, Figure 1).
+
+pub mod document;
+pub mod edit;
+pub mod graph;
+pub mod ngram;
+pub mod relational;
+pub mod sequence;
+pub mod tree;
+pub mod verify;
+
+pub use document::DocumentIndex;
+pub use graph::{Graph, GraphIndex};
+pub use relational::{Attribute, Condition, RelationalIndex, Value};
+pub use sequence::{SequenceIndex, SequenceSearchReport};
+pub use tree::{Tree, TreeIndex};

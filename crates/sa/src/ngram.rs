@@ -1,0 +1,144 @@
+//! Ordered n-gram decomposition (paper §V-A1, Example 5.1) and the
+//! count filter (Lemma 5.1 / Theorem 5.1).
+//!
+//! A sequence is chopped into length-n windows; because the same n-gram
+//! can recur, each occurrence is tagged with its repeat index — the
+//! *ordered* n-gram `(gram, i)`. With ordered n-grams as keywords, the
+//! match-count model computes `Σ_g min(count_S(g), count_Q(g))` exactly
+//! (Lemma 5.1), which Theorem 5.1 turns into an edit-distance filter:
+//! `ed(S, Q) = τ` implies `MC ≥ max(|S|,|Q|) − n + 1 − τ·n`.
+
+use std::collections::HashMap;
+
+/// One ordered n-gram: the window bytes plus its occurrence index within
+/// the sequence.
+#[derive(Debug, Clone, PartialEq, Eq, Hash)]
+pub struct OrderedGram {
+    pub gram: Vec<u8>,
+    pub occurrence: u32,
+}
+
+/// Decompose `seq` into ordered n-grams (Example 5.1: "aabaab" with
+/// n = 3 yields (aab,0), (aba,0), (baa,0), (aab,1)).
+pub fn ordered_ngrams(seq: &[u8], n: usize) -> Vec<OrderedGram> {
+    assert!(n >= 1, "n-gram length must be at least 1");
+    if seq.len() < n {
+        return Vec::new();
+    }
+    let mut seen: HashMap<&[u8], u32> = HashMap::new();
+    let mut out = Vec::with_capacity(seq.len() - n + 1);
+    for w in seq.windows(n) {
+        let occ = seen.entry(w).or_insert(0);
+        out.push(OrderedGram {
+            gram: w.to_vec(),
+            occurrence: *occ,
+        });
+        *occ += 1;
+    }
+    out
+}
+
+/// Lemma 5.1 reference: `Σ_g min(count_S(g), count_Q(g))` over plain
+/// (unordered) n-grams — what the match count over ordered n-grams must
+/// equal.
+pub fn common_gram_count(a: &[u8], b: &[u8], n: usize) -> u32 {
+    if a.len() < n || b.len() < n {
+        return 0;
+    }
+    let mut ca: HashMap<&[u8], u32> = HashMap::new();
+    for w in a.windows(n) {
+        *ca.entry(w).or_insert(0) += 1;
+    }
+    let mut cb: HashMap<&[u8], u32> = HashMap::new();
+    for w in b.windows(n) {
+        *cb.entry(w).or_insert(0) += 1;
+    }
+    ca.iter()
+        .map(|(g, &c)| c.min(cb.get(g).copied().unwrap_or(0)))
+        .sum()
+}
+
+/// Theorem 5.1: the minimum match count a sequence within edit distance
+/// `tau` of the query must achieve. Negative bounds clamp to 0 (the
+/// filter is vacuous there).
+pub fn count_lower_bound(len_q: usize, len_s: usize, tau: u32, n: usize) -> u32 {
+    let base = len_q.max(len_s) as i64 - n as i64 + 1 - tau as i64 * n as i64;
+    base.max(0) as u32
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::edit::edit_distance;
+    use proptest::prelude::*;
+
+    #[test]
+    fn example_5_1_from_the_paper() {
+        let grams = ordered_ngrams(b"aabaab", 3);
+        let expect = [
+            (b"aab".to_vec(), 0u32),
+            (b"aba".to_vec(), 0),
+            (b"baa".to_vec(), 0),
+            (b"aab".to_vec(), 1),
+        ];
+        assert_eq!(grams.len(), 4);
+        for (g, (bytes, occ)) in grams.iter().zip(expect.iter()) {
+            assert_eq!(&g.gram, bytes);
+            assert_eq!(g.occurrence, *occ);
+        }
+    }
+
+    #[test]
+    fn short_sequences_have_no_grams() {
+        assert!(ordered_ngrams(b"ab", 3).is_empty());
+        assert_eq!(ordered_ngrams(b"abc", 3).len(), 1);
+    }
+
+    #[test]
+    fn ordered_grams_give_min_count_semantics() {
+        // "aabaab" vs "aab": shared grams = min counts = 1 x "aab"... the
+        // ordered encoding shares (aab,0) only
+        let a: Vec<_> = ordered_ngrams(b"aabaab", 3);
+        let b: Vec<_> = ordered_ngrams(b"aab", 3);
+        let shared = a.iter().filter(|g| b.contains(g)).count() as u32;
+        assert_eq!(shared, common_gram_count(b"aabaab", b"aab", 3));
+    }
+
+    #[test]
+    fn bound_matches_paper_formula() {
+        // |Q| = 40, n = 3, tau = 2: bound = 40 - 3 + 1 - 6 = 32
+        assert_eq!(count_lower_bound(40, 40, 2, 3), 32);
+        // vacuous case clamps to zero
+        assert_eq!(count_lower_bound(5, 5, 10, 3), 0);
+    }
+
+    proptest! {
+        /// The ordered-gram intersection equals Σ min counts for random
+        /// byte strings (Lemma 5.1).
+        #[test]
+        fn ordered_intersection_equals_min_count(
+            a in proptest::collection::vec(0u8..4, 0..24),
+            b in proptest::collection::vec(0u8..4, 0..24),
+            n in 1usize..5,
+        ) {
+            let ga = ordered_ngrams(&a, n);
+            let gb = ordered_ngrams(&b, n);
+            let shared = ga.iter().filter(|g| gb.contains(g)).count() as u32;
+            prop_assert_eq!(shared, common_gram_count(&a, &b, n));
+        }
+
+        /// Theorem 5.1: for random pairs, the common-gram count respects
+        /// the edit-distance lower bound.
+        #[test]
+        fn theorem_5_1_holds(
+            a in proptest::collection::vec(0u8..6, 3..30),
+            b in proptest::collection::vec(0u8..6, 3..30),
+            n in 1usize..4,
+        ) {
+            let tau = edit_distance(&a, &b) as u32;
+            let mc = common_gram_count(&a, &b, n);
+            let bound = count_lower_bound(a.len(), b.len(), tau, n);
+            prop_assert!(mc >= bound, "mc={mc} bound={bound} tau={tau}");
+        }
+    }
+}

@@ -1,0 +1,287 @@
+//! Relational-table search (paper §II-A Figure 1, §V-C; Adult
+//! experiment).
+//!
+//! Every `(attribute, value)` pair is a keyword: categorical attributes
+//! contribute their category ids directly, continuous attributes are
+//! discretised into equal-width buckets (the paper uses 1024 for Adult).
+//! A range-selection query becomes one query item per attribute
+//! condition — a contiguous keyword range — and GENIE's top-k by match
+//! count is a top-k selection under the "number of satisfied conditions"
+//! ranking, useful for tables mixing categorical and numerical columns.
+
+use std::sync::Arc;
+
+use genie_core::exec::{DeviceIndex, Engine};
+use genie_core::index::{IndexBuilder, InvertedIndex, LoadBalanceConfig};
+use genie_core::model::{KeywordId, Object, Query, QueryItem};
+use genie_core::topk::TopHit;
+
+/// Schema of one attribute.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub enum Attribute {
+    /// Categorical with ids `0..cardinality`.
+    Categorical { cardinality: u32 },
+    /// Continuous, discretised into `buckets` equal-width intervals over
+    /// `[min, max]`.
+    Numeric { min: f64, max: f64, buckets: u32 },
+}
+
+impl Attribute {
+    fn domain(&self) -> u32 {
+        match *self {
+            Attribute::Categorical { cardinality } => cardinality,
+            Attribute::Numeric { buckets, .. } => buckets,
+        }
+    }
+}
+
+/// One cell of a row.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub enum Value {
+    Cat(u32),
+    Num(f64),
+}
+
+/// A query condition on one attribute.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub enum Condition {
+    /// Categorical equality.
+    CatEq { attr: usize, value: u32 },
+    /// Numeric range `[lo, hi]` in attribute units.
+    NumRange { attr: usize, lo: f64, hi: f64 },
+    /// Range directly in bucket space `[lo, hi]` (what the Adult
+    /// experiment's `[v−50, v+50]` discretised windows are).
+    BucketRange { attr: usize, lo: u32, hi: u32 },
+}
+
+/// A relational table indexed for GENIE.
+pub struct RelationalIndex {
+    attrs: Vec<Attribute>,
+    /// Keyword-space offset of each attribute (prefix sums of domains).
+    offsets: Vec<u32>,
+    index: Arc<InvertedIndex>,
+    num_rows: usize,
+}
+
+impl RelationalIndex {
+    /// Discretise and index `rows` under `attrs`. `load_balance` caps
+    /// postings-list length — essential for low-cardinality attributes
+    /// (the paper's Fig. 12 experiment).
+    pub fn build(
+        attrs: Vec<Attribute>,
+        rows: &[Vec<Value>],
+        load_balance: Option<LoadBalanceConfig>,
+    ) -> Self {
+        let mut offsets = Vec::with_capacity(attrs.len());
+        let mut acc = 0u32;
+        for a in &attrs {
+            offsets.push(acc);
+            acc += a.domain();
+        }
+        let mut builder = IndexBuilder::new();
+        let this = Self {
+            attrs,
+            offsets,
+            index: Arc::new(IndexBuilder::new().build(None)), // replaced below
+            num_rows: rows.len(),
+        };
+        for row in rows {
+            builder.add_object(&this.encode_row(row));
+        }
+        Self {
+            index: Arc::new(builder.build(load_balance)),
+            ..this
+        }
+    }
+
+    pub fn num_rows(&self) -> usize {
+        self.num_rows
+    }
+
+    pub fn num_attributes(&self) -> usize {
+        self.attrs.len()
+    }
+
+    pub fn inverted_index(&self) -> &Arc<InvertedIndex> {
+        &self.index
+    }
+
+    /// Bucket id of `value` under attribute `attr`.
+    pub fn bucket_of(&self, attr: usize, value: Value) -> u32 {
+        match (self.attrs[attr], value) {
+            (Attribute::Categorical { cardinality }, Value::Cat(c)) => {
+                assert!(c < cardinality, "category {c} out of range");
+                c
+            }
+            (Attribute::Numeric { min, max, buckets }, Value::Num(v)) => {
+                let span = (max - min).max(f64::MIN_POSITIVE);
+                let frac = ((v - min) / span).clamp(0.0, 1.0);
+                ((frac * buckets as f64) as u32).min(buckets - 1)
+            }
+            (a, v) => panic!("value {v:?} does not match attribute {a:?}"),
+        }
+    }
+
+    /// Keyword of `(attr, bucket)`.
+    pub fn keyword(&self, attr: usize, bucket: u32) -> KeywordId {
+        debug_assert!(bucket < self.attrs[attr].domain());
+        self.offsets[attr] + bucket
+    }
+
+    /// Encode a row as a match-count object (Example 2.1).
+    pub fn encode_row(&self, row: &[Value]) -> Object {
+        assert_eq!(row.len(), self.attrs.len(), "row arity mismatch");
+        Object::new(
+            row.iter()
+                .enumerate()
+                .map(|(a, &v)| self.keyword(a, self.bucket_of(a, v)))
+                .collect(),
+        )
+    }
+
+    /// Encode a selection query: one item per condition.
+    pub fn encode_query(&self, conditions: &[Condition]) -> Query {
+        let items = conditions
+            .iter()
+            .map(|c| match *c {
+                Condition::CatEq { attr, value } => {
+                    QueryItem::exact(self.keyword(attr, self.bucket_of(attr, Value::Cat(value))))
+                }
+                Condition::NumRange { attr, lo, hi } => {
+                    let bl = self.bucket_of(attr, Value::Num(lo));
+                    let bh = self.bucket_of(attr, Value::Num(hi));
+                    QueryItem::range(self.keyword(attr, bl), self.keyword(attr, bh))
+                }
+                Condition::BucketRange { attr, lo, hi } => {
+                    let max = self.attrs[attr].domain() - 1;
+                    QueryItem::range(self.keyword(attr, lo.min(max)), self.keyword(attr, hi.min(max)))
+                }
+            })
+            .collect();
+        Query::new(items)
+    }
+
+    pub fn upload(&self, engine: &Engine) -> Result<DeviceIndex, String> {
+        engine.upload(Arc::clone(&self.index))
+    }
+
+    /// Batched top-k selection: rows ranked by how many conditions they
+    /// satisfy.
+    pub fn search(
+        &self,
+        engine: &Engine,
+        dindex: &DeviceIndex,
+        queries: &[Vec<Condition>],
+        k: usize,
+    ) -> Vec<Vec<TopHit>> {
+        let qs: Vec<Query> = queries.iter().map(|q| self.encode_query(q)).collect();
+        engine.search(dindex, &qs, k).results
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use gpu_sim::Device;
+
+    /// The Figure 1 table: attributes A, B, C with small integer values.
+    fn fig1() -> RelationalIndex {
+        let attrs = vec![
+            Attribute::Categorical { cardinality: 4 },
+            Attribute::Categorical { cardinality: 4 },
+            Attribute::Categorical { cardinality: 4 },
+        ];
+        let rows = vec![
+            vec![Value::Cat(1), Value::Cat(2), Value::Cat(1)], // O1
+            vec![Value::Cat(2), Value::Cat(1), Value::Cat(3)], // O2
+            vec![Value::Cat(1), Value::Cat(3), Value::Cat(2)], // O3
+        ];
+        RelationalIndex::build(attrs, &rows, None)
+    }
+
+    #[test]
+    fn figure_1_query_ranks_o2_first() {
+        let rel = fig1();
+        let eng = Engine::new(Arc::new(Device::with_defaults()));
+        let didx = rel.upload(&eng).unwrap();
+        // Q1: 1 <= A <= 2, B = 1, 2 <= C <= 3
+        let q = vec![
+            Condition::BucketRange { attr: 0, lo: 1, hi: 2 },
+            Condition::CatEq { attr: 1, value: 1 },
+            Condition::BucketRange { attr: 2, lo: 2, hi: 3 },
+        ];
+        let results = rel.search(&eng, &didx, &[q], 3);
+        assert_eq!(results[0][0].id, 1, "O2 satisfies all three conditions");
+        assert_eq!(results[0][0].count, 3);
+        // O3 satisfies A and C; O1 satisfies only A
+        assert_eq!(results[0][1], TopHit { id: 2, count: 2 });
+        assert_eq!(results[0][2], TopHit { id: 0, count: 1 });
+    }
+
+    #[test]
+    fn numeric_discretisation_clamps_and_buckets() {
+        let attrs = vec![Attribute::Numeric {
+            min: 0.0,
+            max: 100.0,
+            buckets: 10,
+        }];
+        let rows = vec![
+            vec![Value::Num(5.0)],
+            vec![Value::Num(95.0)],
+            vec![Value::Num(-3.0)],
+            vec![Value::Num(120.0)],
+        ];
+        let rel = RelationalIndex::build(attrs, &rows, None);
+        assert_eq!(rel.bucket_of(0, Value::Num(5.0)), 0);
+        assert_eq!(rel.bucket_of(0, Value::Num(95.0)), 9);
+        assert_eq!(rel.bucket_of(0, Value::Num(-3.0)), 0, "clamps below");
+        assert_eq!(rel.bucket_of(0, Value::Num(120.0)), 9, "clamps above");
+    }
+
+    #[test]
+    fn numeric_range_query_hits_rows_in_window() {
+        let attrs = vec![
+            Attribute::Numeric {
+                min: 0.0,
+                max: 100.0,
+                buckets: 100,
+            },
+            Attribute::Categorical { cardinality: 2 },
+        ];
+        let rows: Vec<Vec<Value>> = (0..50)
+            .map(|i| vec![Value::Num(i as f64 * 2.0), Value::Cat(i % 2)])
+            .collect();
+        let rel = RelationalIndex::build(attrs, &rows, None);
+        let eng = Engine::new(Arc::new(Device::with_defaults()));
+        let didx = rel.upload(&eng).unwrap();
+        let q = vec![
+            Condition::NumRange {
+                attr: 0,
+                lo: 10.0,
+                hi: 20.0,
+            },
+            Condition::CatEq { attr: 1, value: 0 },
+        ];
+        let results = rel.search(&eng, &didx, &[q], 5);
+        // rows with value in [10,20]: ids 5..=10; among them even ids have
+        // Cat 0 -> count 2
+        let top = &results[0][0];
+        assert_eq!(top.count, 2);
+        assert!(top.id.is_multiple_of(2) && (5..=10).contains(&top.id));
+    }
+
+    #[test]
+    fn keyword_spaces_of_attributes_do_not_overlap() {
+        let rel = fig1();
+        assert_eq!(rel.keyword(0, 3), 3);
+        assert_eq!(rel.keyword(1, 0), 4);
+        assert_eq!(rel.keyword(2, 0), 8);
+    }
+
+    #[test]
+    #[should_panic(expected = "row arity")]
+    fn arity_mismatch_is_rejected() {
+        let rel = fig1();
+        rel.encode_row(&[Value::Cat(1)]);
+    }
+}

@@ -1,0 +1,269 @@
+//! End-to-end sequence similarity search under edit distance
+//! (paper §V-A; DBLP experiments of Tables VI & VII).
+//!
+//! Index: ordered n-grams become keywords through a build-time
+//! vocabulary. Query: the query's ordered n-grams are looked up (unknown
+//! grams match nothing), GENIE returns the K candidates with the largest
+//! shared-gram counts, and [`crate::verify`] assembles the exact top-k.
+//! Theorem 5.2 certifies whether the result is provably exact; if not,
+//! the adaptive loop re-runs with a doubled K.
+
+use std::collections::HashMap;
+use std::sync::Arc;
+
+use genie_core::exec::{DeviceIndex, Engine};
+use genie_core::index::{IndexBuilder, InvertedIndex};
+use genie_core::model::{KeywordId, Object, Query};
+
+use crate::ngram::{ordered_ngrams, OrderedGram};
+use crate::verify::{exactness_certificate, verify_candidates, Candidate, VerifiedHit};
+
+/// Result of one sequence query.
+#[derive(Debug, Clone)]
+pub struct SequenceSearchReport {
+    /// Up to k verified hits, ascending edit distance.
+    pub hits: Vec<VerifiedHit>,
+    /// Theorem 5.2: whether `hits` is provably the true top-k.
+    pub certified: bool,
+    /// K used for the candidate retrieval that produced `hits`.
+    pub k_candidates: usize,
+}
+
+/// An n-gram inverted index over a corpus of sequences.
+pub struct SequenceIndex {
+    seqs: Vec<Vec<u8>>,
+    n: usize,
+    vocab: HashMap<OrderedGram, KeywordId>,
+    index: Arc<InvertedIndex>,
+}
+
+impl SequenceIndex {
+    /// Decompose and index `seqs` with length-`n` sliding windows.
+    pub fn build(seqs: Vec<Vec<u8>>, n: usize) -> Self {
+        let mut vocab: HashMap<OrderedGram, KeywordId> = HashMap::new();
+        let mut builder = IndexBuilder::new();
+        for seq in &seqs {
+            let kws: Vec<KeywordId> = ordered_ngrams(seq, n)
+                .into_iter()
+                .map(|g| {
+                    let next = vocab.len() as KeywordId;
+                    *vocab.entry(g).or_insert(next)
+                })
+                .collect();
+            builder.add_object(&Object::new(kws));
+        }
+        Self {
+            seqs,
+            n,
+            vocab,
+            index: Arc::new(builder.build(None)),
+        }
+    }
+
+    pub fn n(&self) -> usize {
+        self.n
+    }
+
+    pub fn num_sequences(&self) -> usize {
+        self.seqs.len()
+    }
+
+    pub fn sequence(&self, id: u32) -> &[u8] {
+        &self.seqs[id as usize]
+    }
+
+    pub fn inverted_index(&self) -> &Arc<InvertedIndex> {
+        &self.index
+    }
+
+    /// Query over the grams of `q` that exist in the vocabulary.
+    pub fn to_query(&self, q: &[u8]) -> Query {
+        let kws: Vec<KeywordId> = ordered_ngrams(q, self.n)
+            .into_iter()
+            .filter_map(|g| self.vocab.get(&g).copied())
+            .collect();
+        Query::from_keywords(&kws)
+    }
+
+    /// Upload the index to the engine's device.
+    pub fn upload(&self, engine: &Engine) -> Result<DeviceIndex, String> {
+        engine.upload(Arc::clone(&self.index))
+    }
+
+    /// One search round: retrieve `k_candidates` per query by match
+    /// count, verify, certify.
+    pub fn search(
+        &self,
+        engine: &Engine,
+        dindex: &DeviceIndex,
+        queries: &[Vec<u8>],
+        k_candidates: usize,
+        k: usize,
+    ) -> Vec<SequenceSearchReport> {
+        let mc_queries: Vec<Query> = queries.iter().map(|q| self.to_query(q)).collect();
+        let out = engine.search(dindex, &mc_queries, k_candidates);
+        queries
+            .iter()
+            .zip(out.results)
+            .map(|(q, hits)| {
+                let candidates: Vec<Candidate> = hits
+                    .iter()
+                    .map(|h| Candidate {
+                        id: h.id,
+                        count: h.count,
+                    })
+                    .collect();
+                let (verified, _) =
+                    verify_candidates(q, &candidates, |id| self.sequence(id), self.n, k);
+                // c_K: the K-th candidate's count, or 0 when GENIE
+                // returned everything it had (exhaustive list)
+                let c_k_th = if candidates.len() == k_candidates {
+                    candidates.last().map(|c| c.count).unwrap_or(0)
+                } else {
+                    0
+                };
+                let certified = match verified.last() {
+                    Some(worst) => exactness_certificate(q.len(), c_k_th, worst.distance, self.n),
+                    // no candidate shared a single gram: the count filter
+                    // says nothing about the true top-k, so not certified
+                    // (unless there is no data at all)
+                    None => self.seqs.is_empty(),
+                };
+                SequenceSearchReport {
+                    hits: verified,
+                    certified,
+                    k_candidates,
+                }
+            })
+            .collect()
+    }
+
+    /// The paper's multi-round strategy: run with each K of `schedule`
+    /// in turn, keeping the first certified answer per query (the last
+    /// round's answer if none certifies).
+    pub fn search_adaptive(
+        &self,
+        engine: &Engine,
+        dindex: &DeviceIndex,
+        queries: &[Vec<u8>],
+        schedule: &[usize],
+        k: usize,
+    ) -> Vec<SequenceSearchReport> {
+        assert!(!schedule.is_empty());
+        let mut done: Vec<Option<SequenceSearchReport>> = vec![None; queries.len()];
+        for &kc in schedule {
+            let pending: Vec<usize> = (0..queries.len()).filter(|&i| done[i].is_none()).collect();
+            if pending.is_empty() {
+                break;
+            }
+            let batch: Vec<Vec<u8>> = pending.iter().map(|&i| queries[i].clone()).collect();
+            let reports = self.search(engine, dindex, &batch, kc, k);
+            for (slot, report) in pending.into_iter().zip(reports) {
+                if report.certified || kc == *schedule.last().unwrap() {
+                    done[slot] = Some(report);
+                }
+            }
+        }
+        done.into_iter().map(|r| r.unwrap()).collect()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::edit::edit_distance;
+    use gpu_sim::Device;
+
+    fn corpus() -> Vec<Vec<u8>> {
+        [
+            "approximate string matching",
+            "approximate string watching",
+            "exact string matching",
+            "inverted index framework",
+            "generic inverted index",
+            "similarity search on gpu",
+            "parallel similarity search",
+            "sequence similarity search",
+        ]
+        .iter()
+        .map(|s| s.as_bytes().to_vec())
+        .collect()
+    }
+
+    fn engine() -> Engine {
+        Engine::new(Arc::new(Device::with_defaults()))
+    }
+
+    #[test]
+    fn exact_query_returns_itself_certified() {
+        let idx = SequenceIndex::build(corpus(), 3);
+        let eng = engine();
+        let didx = idx.upload(&eng).unwrap();
+        let q = vec![b"approximate string matching".to_vec()];
+        let reports = idx.search(&eng, &didx, &q, 8, 1);
+        assert_eq!(reports[0].hits[0].id, 0);
+        assert_eq!(reports[0].hits[0].distance, 0);
+        assert!(reports[0].certified);
+    }
+
+    #[test]
+    fn near_query_finds_nearest_sequence() {
+        let idx = SequenceIndex::build(corpus(), 3);
+        let eng = engine();
+        let didx = idx.upload(&eng).unwrap();
+        // one substitution away from sequence 0
+        let q = vec![b"approximate strinG matching".to_vec()];
+        let reports = idx.search(&eng, &didx, &q, 8, 2);
+        assert_eq!(reports[0].hits[0].id, 0);
+        assert_eq!(reports[0].hits[0].distance, 1);
+        // the second hit is the "watching" variant
+        assert_eq!(reports[0].hits[1].id, 1);
+    }
+
+    #[test]
+    fn results_match_brute_force_when_certified() {
+        let data = corpus();
+        let idx = SequenceIndex::build(data.clone(), 3);
+        let eng = engine();
+        let didx = idx.upload(&eng).unwrap();
+        let queries = vec![
+            b"generic inverted indexes".to_vec(),
+            b"similarity search on cpu".to_vec(),
+        ];
+        let reports = idx.search(&eng, &didx, &queries, data.len(), 1);
+        for (q, rep) in queries.iter().zip(&reports) {
+            let best = data
+                .iter()
+                .map(|s| edit_distance(q, s) as u32)
+                .min()
+                .unwrap();
+            assert!(rep.certified, "full-K retrieval must certify");
+            assert_eq!(rep.hits[0].distance, best);
+        }
+    }
+
+    #[test]
+    fn adaptive_schedule_stops_at_first_certified_round() {
+        let idx = SequenceIndex::build(corpus(), 3);
+        let eng = engine();
+        let didx = idx.upload(&eng).unwrap();
+        let q = vec![b"approximate string matching".to_vec()];
+        let reports = idx.search_adaptive(&eng, &didx, &q, &[2, 4, 8], 1);
+        assert!(reports[0].certified);
+        assert_eq!(reports[0].hits[0].id, 0);
+    }
+
+    #[test]
+    fn unknown_grams_yield_empty_results() {
+        let idx = SequenceIndex::build(corpus(), 3);
+        let eng = engine();
+        let didx = idx.upload(&eng).unwrap();
+        let q = vec![b"@@@@@@@@".to_vec()];
+        let reports = idx.search(&eng, &didx, &q, 4, 1);
+        assert!(reports[0].hits.is_empty());
+        assert!(
+            !reports[0].certified,
+            "no shared grams means the filter proves nothing"
+        );
+    }
+}

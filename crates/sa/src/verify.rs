@@ -1,0 +1,221 @@
+//! Candidate verification — Algorithm 2 plus the Theorem 5.2 exactness
+//! certificate.
+//!
+//! GENIE returns K candidates ordered by match count; verification
+//! computes true edit distances over them, pruning with three filters:
+//!
+//! 1. *count break* (Alg. 2 line 5): once the Theorem 5.1 bound for the
+//!    current k-th best distance exceeds a candidate's count, no later
+//!    candidate (counts are descending) can improve the answer — stop;
+//! 2. *length filter* (line 7): `||Q| − |S|| > τ*` implies `ed > τ*`;
+//! 3. *banded DP*: distances are computed with a band of the current
+//!    k-th best, rejecting losers early.
+//!
+//! Afterwards, Theorem 5.2 tells us whether the verified top-k is
+//! provably the true top-k: it is when `c_K < |Q| − n + 1 − τ_k·n`,
+//! where `c_K` is the K-th candidate's count. If the certificate fails,
+//! the caller may retry with larger K (the adaptive loop in
+//! [`crate::sequence`]).
+
+use crate::edit::{edit_distance, edit_distance_bounded};
+use crate::ngram::count_lower_bound;
+
+/// A candidate produced by the match-count search, with its count.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct Candidate {
+    pub id: u32,
+    pub count: u32,
+}
+
+/// A verified hit: candidate id and its exact edit distance.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct VerifiedHit {
+    pub id: u32,
+    pub distance: u32,
+}
+
+/// Statistics of one verification pass (how hard the filters worked).
+#[derive(Debug, Clone, Copy, Default)]
+pub struct VerifyStats {
+    pub examined: usize,
+    pub skipped_by_length: usize,
+    pub rejected_by_band: usize,
+    pub stopped_early: bool,
+}
+
+/// Run Algorithm 2 (generalised from top-1 to top-k): verify
+/// `candidates` — **must be sorted by descending count** — against
+/// `query`, returning up to `k` hits sorted by ascending edit distance
+/// (ties by id) plus filter statistics.
+pub fn verify_candidates<'a, L>(
+    query: &[u8],
+    candidates: &[Candidate],
+    lookup: L,
+    n: usize,
+    k: usize,
+) -> (Vec<VerifiedHit>, VerifyStats)
+where
+    L: Fn(u32) -> &'a [u8],
+{
+    let mut stats = VerifyStats::default();
+    // current top-k as a max-heap on (distance, id): the root is the
+    // incumbent k-th best, the τ* of Algorithm 2
+    let mut heap: std::collections::BinaryHeap<(u32, u32)> = std::collections::BinaryHeap::new();
+
+    for cand in candidates {
+        let tau_star = if heap.len() == k {
+            heap.peek().map(|&(d, _)| d)
+        } else {
+            None
+        };
+        if let Some(tau) = tau_star {
+            // line 3/14: filtering bound θ = |Q| − n + 1 − n(τ* − 1);
+            // a candidate with fewer shared grams cannot beat τ* − 1
+            let theta = count_lower_bound(query.len(), query.len(), tau.saturating_sub(1), n);
+            if theta > cand.count {
+                stats.stopped_early = true;
+                break; // counts are descending: all later ones fail too
+            }
+            // line 7: length filter
+            let seq = lookup(cand.id);
+            if query.len().abs_diff(seq.len()) as u32 > tau {
+                stats.skipped_by_length += 1;
+                continue;
+            }
+            stats.examined += 1;
+            // only an improvement (distance <= τ* − 1) is useful
+            match edit_distance_bounded(query, seq, tau.saturating_sub(1) as usize) {
+                Some(d) => {
+                    heap.pop();
+                    heap.push((d as u32, cand.id));
+                }
+                None => stats.rejected_by_band += 1,
+            }
+        } else {
+            // heap not full yet: verify unconditionally
+            stats.examined += 1;
+            let seq = lookup(cand.id);
+            let d = edit_distance(query, seq) as u32;
+            heap.push((d, cand.id));
+        }
+    }
+
+    let mut hits: Vec<VerifiedHit> = heap
+        .into_iter()
+        .map(|(distance, id)| VerifiedHit { id, distance })
+        .collect();
+    hits.sort_unstable_by(|a, b| a.distance.cmp(&b.distance).then(a.id.cmp(&b.id)));
+    (hits, stats)
+}
+
+/// Theorem 5.2: the verified top-k among the K candidates is provably
+/// the global top-k iff `c_K < |Q| − n + 1 − τ_k·n`, with `c_K` the K-th
+/// candidate's match count (0 if fewer than K candidates exist — the
+/// candidate list was exhaustive) and `τ_k` the k-th verified distance.
+pub fn exactness_certificate(len_q: usize, c_k_th: u32, tau_k: u32, n: usize) -> bool {
+    let bound = len_q as i64 - n as i64 + 1 - tau_k as i64 * n as i64;
+    (c_k_th as i64) < bound
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::ngram::common_gram_count;
+
+    fn seqs() -> Vec<Vec<u8>> {
+        vec![
+            b"abcdefgh".to_vec(),   // 0
+            b"abcdefgx".to_vec(),   // 1: ed 1 from 0
+            b"abxxefgh".to_vec(),   // 2: ed 2 from 0
+            b"zzzzzzzz".to_vec(),   // 3: far
+            b"abcdefghij".to_vec(), // 4: ed 2 from 0 (2 inserts)
+        ]
+    }
+
+    fn candidates_for(query: &[u8], data: &[Vec<u8>], n: usize) -> Vec<Candidate> {
+        let mut c: Vec<Candidate> = data
+            .iter()
+            .enumerate()
+            .map(|(i, s)| Candidate {
+                id: i as u32,
+                count: common_gram_count(query, s, n),
+            })
+            .filter(|c| c.count > 0)
+            .collect();
+        c.sort_by(|a, b| b.count.cmp(&a.count).then(a.id.cmp(&b.id)));
+        c
+    }
+
+    #[test]
+    fn finds_exact_match_first() {
+        let data = seqs();
+        let q = b"abcdefgh";
+        let cands = candidates_for(q, &data, 3);
+        let (hits, _) = verify_candidates(q, &cands, |id| &data[id as usize][..], 3, 3);
+        assert_eq!(hits[0], VerifiedHit { id: 0, distance: 0 });
+        assert_eq!(hits[1], VerifiedHit { id: 1, distance: 1 });
+        assert_eq!(hits[2].distance, 2);
+    }
+
+    #[test]
+    fn early_break_engages_on_weak_tails() {
+        let data = seqs();
+        let q = b"abcdefgh";
+        // append a zero-count straggler to prove the break fires before it
+        let mut cands = candidates_for(q, &data, 3);
+        cands.push(Candidate { id: 3, count: 0 });
+        let (hits, stats) = verify_candidates(q, &cands, |id| &data[id as usize][..], 3, 1);
+        assert_eq!(hits[0].distance, 0);
+        assert!(stats.stopped_early, "θ filter must cut the tail");
+    }
+
+    #[test]
+    fn length_filter_skips_hopeless_candidates() {
+        let long = vec![b'a'; 100];
+        let data = [b"aaa".to_vec(), long.clone()];
+        let q = b"aaa";
+        let cands = vec![
+            Candidate { id: 0, count: 1 },
+            Candidate { id: 1, count: 1 },
+        ];
+        let (hits, stats) = verify_candidates(q, &cands, |id| &data[id as usize][..], 3, 1);
+        assert_eq!(hits[0].id, 0);
+        assert_eq!(stats.skipped_by_length, 1);
+    }
+
+    #[test]
+    fn returns_fewer_hits_when_candidates_scarce() {
+        let data = seqs();
+        let q = b"abcdefgh";
+        let cands = vec![Candidate { id: 0, count: 6 }];
+        let (hits, _) = verify_candidates(q, &cands, |id| &data[id as usize][..], 3, 5);
+        assert_eq!(hits.len(), 1);
+    }
+
+    #[test]
+    fn certificate_follows_theorem_5_2() {
+        // |Q| = 40, n = 3, τ_k = 1: bound = 40-3+1-3 = 35
+        assert!(exactness_certificate(40, 34, 1, 3));
+        assert!(!exactness_certificate(40, 35, 1, 3));
+        // exhaustive candidate list (c_K = 0) certifies any sane τ_k
+        assert!(exactness_certificate(40, 0, 2, 3));
+    }
+
+    #[test]
+    fn verified_topk_matches_brute_force() {
+        let data = seqs();
+        let q = b"abcdefgh";
+        let cands = candidates_for(q, &data, 3);
+        let (hits, _) = verify_candidates(q, &cands, |id| &data[id as usize][..], 3, 4);
+        // brute force over candidates
+        let mut brute: Vec<(u32, u32)> = cands
+            .iter()
+            .map(|c| (edit_distance(q, &data[c.id as usize]) as u32, c.id))
+            .collect();
+        brute.sort_unstable();
+        for (hit, (d, id)) in hits.iter().zip(brute.iter()) {
+            assert_eq!(hit.distance, *d);
+            assert_eq!(hit.id, *id);
+        }
+    }
+}

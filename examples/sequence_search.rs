@@ -1,0 +1,56 @@
+//! Sequence similarity search under edit distance (paper §V-A): the
+//! typo-correction scenario of the DBLP experiment — corrupt titles,
+//! retrieve candidates by shared n-grams, verify, certify exactness.
+//!
+//! Run with: `cargo run --release --example sequence_search`
+
+use std::sync::Arc;
+
+use genie::datasets::sequences::{corrupted_queries, dblp_like};
+use genie::prelude::*;
+
+fn main() {
+    let n = 20_000;
+    let num_queries = 32;
+
+    println!("generating {n} DBLP-like titles...");
+    let data = dblp_like(n, 40, 11);
+    // paper defaults: query length 40, 20% corrupted, n-gram length 3,
+    // K = 32 candidates, top-1
+    let cq = corrupted_queries(&data, num_queries, 0.2, 13);
+
+    println!("indexing 3-grams...");
+    let index = SequenceIndex::build(data.clone(), 3);
+    let engine = Engine::new(Arc::new(Device::with_defaults()));
+    let device_index = index.upload(&engine).expect("index fits");
+
+    println!("searching with K = 32, k = 1...");
+    let reports = index.search(&engine, &device_index, &cq.queries, 32, 1);
+
+    let mut correct = 0;
+    let mut certified = 0;
+    for ((report, &src), query) in reports.iter().zip(&cq.sources).zip(&cq.queries) {
+        if let Some(best) = report.hits.first() {
+            // the best hit must be at least as close as the source title
+            let source_dist =
+                genie::sa::edit::edit_distance(query, &data[src as usize]) as u32;
+            if best.distance <= source_dist {
+                correct += 1;
+            }
+        }
+        if report.certified {
+            certified += 1;
+        }
+    }
+    println!(
+        "top-1 as good as the corruption source: {correct}/{num_queries}; \
+         certified exact by Theorem 5.2: {certified}/{num_queries}"
+    );
+    assert!(correct as f64 / num_queries as f64 > 0.9);
+
+    // the adaptive loop: double K until the certificate holds
+    println!("re-running uncertified queries with the adaptive schedule [32, 64, 128]...");
+    let adaptive = index.search_adaptive(&engine, &device_index, &cq.queries, &[32, 64, 128], 1);
+    let certified_after = adaptive.iter().filter(|r| r.certified).count();
+    println!("certified after adaptation: {certified_after}/{num_queries}");
+}

@@ -1,0 +1,51 @@
+//! # genie — a generic inverted index framework for similarity search
+//!
+//! Rust reproduction of *"A Generic Inverted Index Framework for
+//! Similarity Search on the GPU"* (ICDE 2018). This facade crate
+//! re-exports the whole public API; see the sub-crates for details:
+//!
+//! * [`gpu_sim`] — the software SIMT device every kernel runs on;
+//! * [`core`] (`genie-core`) — match-count model, inverted index, c-PQ,
+//!   batched engine, multiple loading;
+//! * [`lsh`] (`genie-lsh`) — LSH families (E2LSH, random binning,
+//!   MinHash, SimHash), re-hashing, τ-ANN theory;
+//! * [`sa`] (`genie-sa`) — sequences under edit distance, short
+//!   documents, relational tables;
+//! * [`baselines`] (`genie-baselines`) — every competitor of the
+//!   paper's evaluation;
+//! * [`datasets`] (`genie-datasets`) — seeded synthetic corpora.
+//!
+//! ## Quickstart
+//!
+//! ```
+//! use std::sync::Arc;
+//! use genie::prelude::*;
+//!
+//! // index three objects over a keyword universe
+//! let mut builder = IndexBuilder::new();
+//! builder.add_object(&Object::new(vec![1, 5]));
+//! builder.add_object(&Object::new(vec![1, 6]));
+//! builder.add_object(&Object::new(vec![2, 5]));
+//! let index = Arc::new(builder.build(None));
+//!
+//! // run a batched top-k match-count query on the simulated device
+//! let engine = Engine::new(Arc::new(gpu_sim::Device::with_defaults()));
+//! let device_index = engine.upload(index).unwrap();
+//! let out = engine.search(&device_index, &[Query::from_keywords(&[1, 5])], 2);
+//! assert_eq!(out.results[0][0].id, 0);
+//! ```
+
+pub use genie_baselines as baselines;
+pub use genie_core as core;
+pub use genie_datasets as datasets;
+pub use genie_lsh as lsh;
+pub use genie_sa as sa;
+pub use gpu_sim;
+
+/// One-stop imports for typical use.
+pub mod prelude {
+    pub use genie_core::prelude::*;
+    pub use genie_lsh::{AnnIndex, AnnParams, Transformer};
+    pub use genie_sa::{DocumentIndex, RelationalIndex, SequenceIndex};
+    pub use gpu_sim::{Device, DeviceConfig};
+}

@@ -1,0 +1,129 @@
+//! Cross-engine agreement: GENIE (c-PQ), GEN-SPQ, GPU-SPQ and CPU-Idx
+//! must produce identical top-k count profiles on shared workloads —
+//! they implement the same match-count semantics through four different
+//! execution strategies.
+
+use std::sync::Arc;
+
+use genie::baselines::{cpu_idx, gen_spq, gpu_spq};
+use genie::core::model::match_count;
+use genie::prelude::*;
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+
+fn random_workload(
+    seed: u64,
+    n: usize,
+    universe: u32,
+    num_queries: usize,
+) -> (Vec<Object>, Vec<Query>) {
+    let mut rng = StdRng::seed_from_u64(seed);
+    let objects: Vec<Object> = (0..n)
+        .map(|_| {
+            let mut kws: Vec<u32> = (0..rng.random_range(1..9))
+                .map(|_| rng.random_range(0..universe))
+                .collect();
+            kws.sort_unstable();
+            kws.dedup();
+            Object::new(kws)
+        })
+        .collect();
+    let queries: Vec<Query> = (0..num_queries)
+        .map(|_| {
+            Query::new(
+                (0..rng.random_range(1..6))
+                    .map(|_| {
+                        let lo = rng.random_range(0..universe);
+                        let hi = (lo + rng.random_range(0..5)).min(universe - 1);
+                        genie::core::model::QueryItem::range(lo, hi)
+                    })
+                    .collect(),
+            )
+        })
+        .collect();
+    (objects, queries)
+}
+
+fn counts_of(hits: &[TopHit]) -> Vec<u32> {
+    hits.iter().map(|h| h.count).collect()
+}
+
+#[test]
+fn all_four_engines_agree_with_brute_force() {
+    let (objects, queries) = random_workload(99, 400, 80, 12);
+    let k = 9;
+
+    let mut builder = IndexBuilder::new();
+    builder.add_objects(objects.iter());
+    let index = Arc::new(builder.build(None));
+
+    let engine = Engine::new(Arc::new(Device::with_defaults()));
+    let didx = engine.upload(Arc::clone(&index)).unwrap();
+
+    let genie_out = engine.search(&didx, &queries, k);
+    let gen_spq_out = gen_spq::search(&engine, &didx, &queries, k, 128);
+    let data = gpu_spq::GpuSpqData::upload(engine.device(), &objects);
+    let gpu_spq_out = gpu_spq::search(engine.device(), &data, &queries, k, 128);
+    let cpu_out = cpu_idx::search(&index, &queries, k);
+
+    for (qi, q) in queries.iter().enumerate() {
+        let brute: Vec<u32> = {
+            let counts: Vec<u32> = objects.iter().map(|o| match_count(q, o)).collect();
+            reference_top_k(&counts, k).iter().map(|h| h.count).collect()
+        };
+        assert_eq!(counts_of(&genie_out.results[qi]), brute, "GENIE q{qi}");
+        assert_eq!(counts_of(&gen_spq_out.results[qi]), brute, "GEN-SPQ q{qi}");
+        assert_eq!(counts_of(&gpu_spq_out.results[qi]), brute, "GPU-SPQ q{qi}");
+        assert_eq!(counts_of(&cpu_out.results[qi]), brute, "CPU-Idx q{qi}");
+    }
+}
+
+#[test]
+fn load_balanced_index_returns_identical_results() {
+    let (objects, queries) = random_workload(7, 600, 10, 8); // low cardinality -> long lists
+    let k = 15;
+
+    let mut plain = IndexBuilder::new();
+    plain.add_objects(objects.iter());
+    let plain = Arc::new(plain.build(None));
+    let mut balanced = IndexBuilder::new();
+    balanced.add_objects(objects.iter());
+    let balanced = Arc::new(balanced.build(Some(LoadBalanceConfig { max_list_len: 32 })));
+
+    let engine = Engine::new(Arc::new(Device::with_defaults()));
+    let d_plain = engine.upload(plain).unwrap();
+    let d_bal = engine.upload(balanced).unwrap();
+    let out_plain = engine.search(&d_plain, &queries, k);
+    let out_bal = engine.search(&d_bal, &queries, k);
+    for qi in 0..queries.len() {
+        assert_eq!(
+            counts_of(&out_plain.results[qi]),
+            counts_of(&out_bal.results[qi]),
+            "query {qi}"
+        );
+    }
+}
+
+#[test]
+fn audit_threshold_matches_kth_count() {
+    // Theorem 3.1 end-to-end: AT - 1 equals the k-th match count
+    let (objects, queries) = random_workload(3, 300, 40, 6);
+    let k = 5;
+    let mut builder = IndexBuilder::new();
+    builder.add_objects(objects.iter());
+    let engine = Engine::new(Arc::new(Device::with_defaults()));
+    let didx = engine.upload(Arc::new(builder.build(None))).unwrap();
+    let out = engine.search(&didx, &queries, k);
+    for (qi, q) in queries.iter().enumerate() {
+        let mut counts: Vec<u32> = objects.iter().map(|o| match_count(q, o)).collect();
+        counts.sort_unstable_by(|a, b| b.cmp(a));
+        let kth = counts[k - 1];
+        if kth > 0 {
+            assert_eq!(
+                out.audit_thresholds[qi] - 1,
+                kth,
+                "query {qi}: MC_k must equal AT - 1"
+            );
+        }
+    }
+}

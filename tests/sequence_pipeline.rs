@@ -1,0 +1,96 @@
+//! Sequence-search pipeline: GENIE's candidate retrieval + verification
+//! against the AppGram CPU baseline and brute-force edit distance.
+
+use std::sync::Arc;
+
+use genie::baselines::app_gram::AppGram;
+use genie::datasets::sequences::{corrupted_queries, dblp_like};
+use genie::prelude::*;
+use genie::sa::edit::edit_distance;
+
+#[test]
+fn genie_and_appgram_agree_on_certified_queries() {
+    let data = dblp_like(800, 40, 31);
+    let cq = corrupted_queries(&data, 20, 0.2, 33);
+
+    let index = SequenceIndex::build(data.clone(), 3);
+    let engine = Engine::new(Arc::new(Device::with_defaults()));
+    let didx = index.upload(&engine).unwrap();
+    let reports = index.search(&engine, &didx, &cq.queries, 32, 1);
+
+    let appgram = AppGram::build(data.clone(), 3);
+    for (q, report) in cq.queries.iter().zip(&reports) {
+        let ag_hits = appgram.knn(q, 1);
+        if report.certified {
+            assert_eq!(
+                report.hits[0].distance, ag_hits[0].distance,
+                "certified GENIE result must match the exact baseline"
+            );
+        }
+    }
+}
+
+#[test]
+fn accuracy_degrades_gracefully_with_modification_rate() {
+    // the Table VI shape: higher corruption -> (weakly) lower accuracy,
+    // but accuracy stays high even at 40%
+    let data = dblp_like(600, 40, 41);
+    let index = SequenceIndex::build(data.clone(), 3);
+    let engine = Engine::new(Arc::new(Device::with_defaults()));
+    let didx = index.upload(&engine).unwrap();
+
+    let mut accuracies = Vec::new();
+    for (i, frac) in [0.1, 0.4].iter().enumerate() {
+        let cq = corrupted_queries(&data, 25, *frac, 50 + i as u64);
+        let reports = index.search(&engine, &didx, &cq.queries, 32, 1);
+        let correct = cq
+            .queries
+            .iter()
+            .zip(&reports)
+            .filter(|(q, r)| match r.hits.first() {
+                Some(best) => {
+                    let true_best = data.iter().map(|s| edit_distance(q, s)).min().unwrap();
+                    best.distance as usize == true_best
+                }
+                None => false,
+            })
+            .count();
+        accuracies.push(correct as f64 / 25.0);
+    }
+    assert!(accuracies[0] >= accuracies[1] - 0.12, "{accuracies:?}");
+    assert!(accuracies[1] >= 0.7, "40% corruption accuracy {:.2}", accuracies[1]);
+}
+
+#[test]
+fn larger_k_candidates_never_hurts_accuracy() {
+    // the Table VII shape: accuracy is non-decreasing in K
+    let data = dblp_like(500, 40, 61);
+    let index = SequenceIndex::build(data.clone(), 3);
+    let engine = Engine::new(Arc::new(Device::with_defaults()));
+    let didx = index.upload(&engine).unwrap();
+    let cq = corrupted_queries(&data, 20, 0.3, 63);
+
+    let mut prev_acc = 0.0;
+    for kc in [4, 16, 64] {
+        let reports = index.search(&engine, &didx, &cq.queries, kc, 1);
+        let correct = cq
+            .queries
+            .iter()
+            .zip(&reports)
+            .filter(|(q, r)| match r.hits.first() {
+                Some(best) => {
+                    let true_best = data.iter().map(|s| edit_distance(q, s)).min().unwrap();
+                    best.distance as usize == true_best
+                }
+                None => false,
+            })
+            .count();
+        let acc = correct as f64 / 20.0;
+        assert!(
+            acc + 0.101 >= prev_acc,
+            "accuracy dropped sharply from {prev_acc} to {acc} at K={kc}"
+        );
+        prev_acc = prev_acc.max(acc);
+    }
+    assert!(prev_acc >= 0.8, "best accuracy {prev_acc}");
+}

@@ -9,7 +9,7 @@ use std::time::Instant;
 
 use genie_core::index::InvertedIndex;
 use genie_core::model::Query;
-use genie_core::topk::TopHit;
+use genie_core::topk::{partial_top_k as shared_partial_top_k, TopHit};
 
 /// Result of a CPU-Idx batch.
 #[derive(Debug, Clone)]
@@ -45,9 +45,10 @@ pub fn search(index: &InvertedIndex, queries: &[Query], k: usize) -> CpuIdxOutpu
     }
 }
 
-/// Partial selection of the k largest nonzero counts.
+/// Partial selection of the k largest nonzero counts (delegates to the
+/// shared quickselect contract in [`genie_core::topk`]).
 fn partial_top_k(counts: &[u32], k: usize) -> Vec<TopHit> {
-    let mut hits: Vec<TopHit> = counts
+    let hits: Vec<TopHit> = counts
         .iter()
         .enumerate()
         .filter(|(_, &c)| c > 0)
@@ -56,15 +57,7 @@ fn partial_top_k(counts: &[u32], k: usize) -> Vec<TopHit> {
             count,
         })
         .collect();
-    if hits.len() > k {
-        // quickselect the k-th boundary, then order only the prefix
-        hits.select_nth_unstable_by(k - 1, |a, b| {
-            b.count.cmp(&a.count).then(a.id.cmp(&b.id))
-        });
-        hits.truncate(k);
-    }
-    hits.sort_unstable_by(|a, b| b.count.cmp(&a.count).then(a.id.cmp(&b.id)));
-    hits
+    shared_partial_top_k(hits, k)
 }
 
 #[cfg(test)]

@@ -81,12 +81,7 @@ impl<'a, F: LshFamily<[f32]>> CpuLsh<'a, F> {
         // verification: exact distances over the candidate set
         let mut verified: Vec<(u32, f64)> = candidates
             .into_iter()
-            .map(|id| {
-                (
-                    id,
-                    distance(self.metric, &self.points[id as usize], query),
-                )
-            })
+            .map(|id| (id, distance(self.metric, &self.points[id as usize], query)))
             .collect();
         verified.sort_by(|a, b| a.1.partial_cmp(&b.1).unwrap().then(a.0.cmp(&b.0)));
         verified.truncate(k);
@@ -139,7 +134,10 @@ mod tests {
         let exact = exact_knn(Metric::L2, &data, &q, 5);
         let exact_ids: std::collections::HashSet<u32> =
             exact.iter().map(|&(i, _)| i as u32).collect();
-        let overlap = approx.iter().filter(|(id, _)| exact_ids.contains(id)).count();
+        let overlap = approx
+            .iter()
+            .filter(|(id, _)| exact_ids.contains(id))
+            .count();
         assert!(overlap >= 3, "overlap {overlap}/5 too low");
     }
 

@@ -4,7 +4,6 @@
 //! Table IV (memory per query: a full 32-bit count per object per query
 //! instead of c-PQ's packed bitmap + small hash table).
 
-
 use gpu_sim::{Device, GlobalU32, LaunchConfig};
 
 use genie_core::exec::{build_scan_tasks, DeviceIndex, Engine};

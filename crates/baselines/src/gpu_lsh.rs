@@ -347,7 +347,10 @@ mod tests {
         let truth = exact_knn(Metric::L2, &pts, &q, 10);
         let true_ids: std::collections::HashSet<u32> =
             truth.iter().map(|&(i, _)| i as u32).collect();
-        let overlap = res[0].iter().filter(|(id, _)| true_ids.contains(id)).count();
+        let overlap = res[0]
+            .iter()
+            .filter(|(id, _)| true_ids.contains(id))
+            .count();
         assert!(overlap >= 5, "kNN overlap {overlap}/10 too low");
     }
 

@@ -182,7 +182,10 @@ mod tests {
         let out = search(&device, &data, &queries, 5, 64);
         for (qi, q) in queries.iter().enumerate() {
             let counts: Vec<u32> = objects.iter().map(|o| match_count(q, o)).collect();
-            let exp: Vec<u32> = reference_top_k(&counts, 5).iter().map(|h| h.count).collect();
+            let exp: Vec<u32> = reference_top_k(&counts, 5)
+                .iter()
+                .map(|h| h.count)
+                .collect();
             let got: Vec<u32> = out.results[qi].iter().map(|h| h.count).collect();
             assert_eq!(got, exp, "query {qi}");
         }

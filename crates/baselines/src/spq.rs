@@ -233,7 +233,8 @@ pub fn spq_topk(
             })
             .collect();
         hits.sort_unstable_by(|a, b| b.count.cmp(&a.count).then(a.id.cmp(&b.id)));
-        let mut tie_hits: Vec<TopHit> = tie_host[q * cap..q * cap + (tie_lens[q] as usize).min(cap)]
+        let mut tie_hits: Vec<TopHit> = tie_host
+            [q * cap..q * cap + (tie_lens[q] as usize).min(cap)]
             .iter()
             .map(|&p| TopHit {
                 id: (p >> 32) as u32,

@@ -13,9 +13,10 @@ use std::sync::Arc;
 
 use genie_baselines::app_gram::AppGram;
 use genie_baselines::{cpu_lsh::CpuLsh, gpu_lsh};
+use genie_core::backend::SearchBackend;
+use genie_core::exec::{Engine, EngineConfig};
 use genie_core::index::LoadBalanceConfig;
 use genie_core::multiload::{build_parts, multi_load_search};
-use genie_core::exec::{Engine, EngineConfig};
 use genie_lsh::knn::{approximation_ratio, classification_report, exact_knn, l2_distance, Metric};
 use genie_lsh::rbh::{mean_l1_kernel_width, RandomBinningHash};
 use genie_lsh::tau_ann::{hoeffding_m, min_m_for_similarity};
@@ -208,7 +209,12 @@ pub fn fig10(scale: Scale) {
         println!("\n--- {name} ---");
         let widths = [10, 10, 10, 10];
         row(
-            &["n".into(), "GENIE".into(), "GEN-SPQ".into(), "CPU-Idx".into()],
+            &[
+                "n".into(),
+                "GENIE".into(),
+                "GEN-SPQ".into(),
+                "CPU-Idx".into(),
+            ],
             &widths,
         );
         for f in fractions {
@@ -251,7 +257,10 @@ pub fn fig11(scale: Scale) {
     );
 
     let widths = [8, 12, 12];
-    row(&["queries".into(), "GENIE".into(), "GPU-LSH".into()], &widths);
+    row(
+        &["queries".into(), "GENIE".into(), "GPU-LSH".into()],
+        &widths,
+    );
     for nq in [512usize, 1024, 2048, 4096] {
         // GENIE: split into 1024-query batches, sum simulated time
         let mut genie_us = 0.0;
@@ -313,15 +322,15 @@ pub fn fig13(scale: Scale) {
         let session = GenieSession::new(&data, None);
         println!("\n--- {name} ---");
         let widths = [8, 10, 10];
-        row(&["queries".into(), "GENIE".into(), "GEN-SPQ".into()], &widths);
+        row(
+            &["queries".into(), "GENIE".into(), "GEN-SPQ".into()],
+            &widths,
+        );
         for &nq in &query_counts {
             let qs = &data.queries[..nq.min(data.queries.len())];
             let (_, genie_t, _) = session.run(qs, K);
             let (gs_t, _) = run_gen_spq(&session, qs, K);
-            row(
-                &[nq.to_string(), ms(genie_t.us()), ms(gs_t.us())],
-                &widths,
-            );
+            row(&[nq.to_string(), ms(genie_t.us()), ms(gs_t.us())], &widths);
         }
     }
 }
@@ -360,7 +369,9 @@ pub fn fig14(scale: Scale) {
     let widths = [6, 10, 10];
     row(&["k".into(), "GENIE".into(), "GPU-LSH".into()], &widths);
     for k in [1usize, 2, 4, 8, 16, 32, 64] {
-        let out = session.engine.search(&session.dindex, &sift.queries, k);
+        let out = session
+            .backend
+            .search_batch(&session.bindex, &sift.queries, k);
         let (gl_res, _) = gl.search(&device, &points.queries, k);
         let mut g_sum = 0.0;
         let mut l_sum = 0.0;
@@ -417,7 +428,7 @@ pub fn table1(scale: Scale) {
         let session = GenieSession::new(&data, None);
         let (_, _, profile) = session.run(&data.queries, K);
         build.push(ms(session.build_host_us));
-        transfer.push(ms(session.dindex.upload_sim_us));
+        transfer.push(ms(session.bindex.upload_sim_us));
         qxfer.push(ms(profile.query_transfer_us));
         match_.push(ms(profile.match_us));
         select.push(ms(profile.select_us));
@@ -557,10 +568,12 @@ pub fn table5(scale: Scale) {
             count_bound: Some(SCALED_M as u32),
         },
     );
-    let dindex = engine.upload(Arc::new(builder.build(None))).unwrap();
-    let mc_queries: Vec<genie_core::model::Query> =
-        queries.iter().map(|q| transformer.to_query(&q[..])).collect();
-    let out = engine.search(&dindex, &mc_queries, 1);
+    let dindex = SearchBackend::upload(&engine, Arc::new(builder.build(None))).unwrap();
+    let mc_queries: Vec<genie_core::model::Query> = queries
+        .iter()
+        .map(|q| transformer.to_query(&q[..]))
+        .collect();
+    let out = engine.search_batch(&dindex, &mc_queries, 1);
     let genie_pred: Vec<u32> = out
         .results
         .iter()
@@ -571,16 +584,16 @@ pub fn table5(scale: Scale) {
     // GPU-LSH (l2 family — the paper likewise reuses GPU-LSH although
     // the kernel space is l1, which is part of why it scores lower)
     let device = Device::with_defaults();
-    let gl = gpu_lsh::GpuLshIndex::build(
-        &device,
-        &data,
-        gpu_lsh::GpuLshParams::quality_matched(),
-        13,
-    );
+    let gl =
+        gpu_lsh::GpuLshIndex::build(&device, &data, gpu_lsh::GpuLshParams::quality_matched(), 13);
     let (gl_res, _) = gl.search(&device, &queries, 1);
     let gl_pred: Vec<u32> = gl_res
         .iter()
-        .map(|hits| hits.first().map(|&(id, _)| labels[id as usize]).unwrap_or(0))
+        .map(|hits| {
+            hits.first()
+                .map(|&(id, _)| labels[id as usize])
+                .unwrap_or(0)
+        })
         .collect();
     let gl_rep = classification_report(&gl_pred, &truth);
 
@@ -645,13 +658,9 @@ pub fn table6_7(scale: Scale) {
     );
     let mut query_sets = Vec::new();
     for (i, m) in mods.iter().enumerate() {
-        let cq =
-            genie_datasets::sequences::corrupted_queries(&data, nq, *m, 211 + i as u64);
+        let cq = genie_datasets::sequences::corrupted_queries(&data, nq, *m, 211 + i as u64);
         let (acc, us) = accuracy_for(&cq.queries, 32);
-        row(
-            &[format!("{m:.1}"), format!("{acc:.3}"), ms(us)],
-            &widths,
-        );
+        row(&[format!("{m:.1}"), format!("{acc:.3}"), ms(us)], &widths);
         query_sets.push(cq.queries);
     }
 
@@ -704,10 +713,13 @@ pub fn ext_structures(scale: Scale) {
     let trees = trees_like(n, 24, 12, 7);
     let tree_index = TreeIndex::build(trees.clone());
     let engine = Engine::new(Arc::new(Device::with_defaults()));
-    let didx = engine.upload(Arc::clone(tree_index.inverted_index())).unwrap();
+    let didx = SearchBackend::upload(&engine, Arc::clone(tree_index.inverted_index())).unwrap();
     let widths = [8, 10, 12];
     println!("\n--- trees ({n} indexed, 24 nodes each) ---");
-    row(&["edits".into(), "accuracy".into(), "time(ms)".into()], &widths);
+    row(
+        &["edits".into(), "accuracy".into(), "time(ms)".into()],
+        &widths,
+    );
     for edits in [1usize, 2, 4, 6] {
         let queries: Vec<_> = (0..nq)
             .map(|i| mutate_tree(&trees[(i * 37) % n], edits, &mut rng, 12))
@@ -744,9 +756,12 @@ pub fn ext_structures(scale: Scale) {
     // mapping distance?
     let graphs = graphs_like(n, 16, 8, 3, 13);
     let graph_index = GraphIndex::build(graphs.clone());
-    let didx = engine.upload(Arc::clone(graph_index.inverted_index())).unwrap();
+    let didx = SearchBackend::upload(&engine, Arc::clone(graph_index.inverted_index())).unwrap();
     println!("\n--- graphs ({n} indexed, 16 nodes each) ---");
-    row(&["edits".into(), "recall@3".into(), "time(ms)".into()], &widths);
+    row(
+        &["edits".into(), "recall@3".into(), "time(ms)".into()],
+        &widths,
+    );
     for edits in [1usize, 2, 3, 4] {
         let sources: Vec<usize> = (0..nq).map(|i| (i * 53) % n).collect();
         let queries: Vec<_> = sources
@@ -790,21 +805,14 @@ pub fn ext_tau(scale: Scale) {
 
     let widths = [8, 6, 8, 14];
     row(
-        &[
-            "eps".into(),
-            "m".into(),
-            "tau".into(),
-            "within-tau".into(),
-        ],
+        &["eps".into(), "m".into(), "tau".into(), "within-tau".into()],
         &widths,
     );
     for eps in [0.20f64, 0.12, 0.08] {
         let m = genie_lsh::tau_ann::max_required_m(eps, 0.06, 2000);
         let fam = E2Lsh::new(m, dim, w, 433);
-        let ann = genie_lsh::AnnIndex::build(
-            Transformer::new(fam, 4096),
-            data.iter().map(|p| &p[..]),
-        );
+        let ann =
+            genie_lsh::AnnIndex::build(Transformer::new(fam, 4096), data.iter().map(|p| &p[..]));
         let engine = Engine::new(Arc::new(Device::with_defaults()));
         let out = ann.search(&engine, queries.iter().map(|q| &q[..]), 1);
         let pairs: Vec<(f64, f64)> = queries

@@ -4,13 +4,24 @@
 use std::sync::Arc;
 
 use genie_baselines::{app_gram::AppGram, cpu_idx, gen_spq, gpu_spq};
-use genie_core::exec::{Engine, EngineConfig, StageProfile};
+use genie_core::backend::{BackendIndex, SearchBackend};
+use genie_core::exec::{DeviceIndex, Engine, EngineConfig, StageProfile};
 use genie_core::index::{IndexBuilder, InvertedIndex, LoadBalanceConfig};
 use genie_core::model::Query;
 use genie_core::topk::TopHit;
 use gpu_sim::Device;
 
 use crate::workloads::MatchData;
+
+/// Which clock is a method's figure of merit.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub enum TimeBasis {
+    /// A device method: compare by simulated device time.
+    #[default]
+    Device,
+    /// A host-only method: compare by host wall-clock.
+    Host,
+}
 
 /// One method's timing on one batch.
 #[derive(Debug, Clone, Copy, Default)]
@@ -19,37 +30,54 @@ pub struct RunTime {
     pub sim_us: f64,
     /// Host wall-clock, microseconds.
     pub host_us: f64,
+    /// Which of the two clocks this method is measured by. Explicit
+    /// rather than inferred from `sim_us > 0.0`: a device method whose
+    /// simulated time rounds to zero must still report device time.
+    pub basis: TimeBasis,
 }
 
 impl RunTime {
-    /// The figure-of-merit: simulated time for device methods, host time
-    /// for CPU methods.
+    /// A device-side method's timing.
+    pub fn device(sim_us: f64, host_us: f64) -> Self {
+        Self {
+            sim_us,
+            host_us,
+            basis: TimeBasis::Device,
+        }
+    }
+
+    /// A host-only method's timing.
+    pub fn host(host_us: f64) -> Self {
+        Self {
+            sim_us: 0.0,
+            host_us,
+            basis: TimeBasis::Host,
+        }
+    }
+
+    /// The figure-of-merit for the method's own basis.
     pub fn us(&self) -> f64 {
-        if self.sim_us > 0.0 {
-            self.sim_us
-        } else {
-            self.host_us
+        match self.basis {
+            TimeBasis::Device => self.sim_us,
+            TimeBasis::Host => self.host_us,
         }
     }
 }
 
-/// A reusable GENIE session: device + engine + uploaded index.
+/// A reusable GENIE session: a [`SearchBackend`] plus its prepared
+/// index. Defaults to the simulated-device engine; any backend works.
 pub struct GenieSession {
-    pub engine: Engine,
-    pub dindex: genie_core::exec::DeviceIndex,
+    pub backend: Box<dyn SearchBackend>,
+    pub bindex: BackendIndex,
     pub index: Arc<InvertedIndex>,
     /// Host index-build time, microseconds (Table I "Index build").
     pub build_host_us: f64,
 }
 
 impl GenieSession {
-    /// Build and upload the index of `data`, optionally load-balanced.
+    /// Build and upload the index of `data` to the default device
+    /// engine, optionally load-balanced.
     pub fn new(data: &MatchData, load_balance: Option<LoadBalanceConfig>) -> Self {
-        let started = std::time::Instant::now();
-        let mut b = IndexBuilder::new();
-        b.add_objects(data.objects.iter());
-        let index = Arc::new(b.build(load_balance));
-        let build_host_us = started.elapsed().as_micros() as f64;
         let engine = Engine::with_config(
             Arc::new(Device::with_defaults()),
             EngineConfig {
@@ -57,10 +85,24 @@ impl GenieSession {
                 count_bound: Some(data.count_bound),
             },
         );
-        let dindex = engine.upload(Arc::clone(&index)).expect("index fits");
+        Self::with_backend(data, load_balance, Box::new(engine))
+    }
+
+    /// Build the index of `data` and prepare it on `backend`.
+    pub fn with_backend(
+        data: &MatchData,
+        load_balance: Option<LoadBalanceConfig>,
+        backend: Box<dyn SearchBackend>,
+    ) -> Self {
+        let started = std::time::Instant::now();
+        let mut b = IndexBuilder::new();
+        b.add_objects(data.objects.iter());
+        let index = Arc::new(b.build(load_balance));
+        let build_host_us = started.elapsed().as_micros() as f64;
+        let bindex = backend.upload(Arc::clone(&index)).expect("index fits");
         Self {
-            engine,
-            dindex,
+            backend,
+            bindex,
             index,
             build_host_us,
         }
@@ -69,34 +111,44 @@ impl GenieSession {
     /// Run GENIE on a query prefix; returns results + times + profile.
     pub fn run(&self, queries: &[Query], k: usize) -> (Vec<Vec<TopHit>>, RunTime, StageProfile) {
         let started = std::time::Instant::now();
-        let out = self.engine.search(&self.dindex, queries, k);
+        let out = self.backend.search_batch(&self.bindex, queries, k);
         let host_us = started.elapsed().as_micros() as f64;
-        (
-            out.results,
-            RunTime {
-                sim_us: out.profile.sim_total_us(),
-                host_us,
-            },
-            out.profile,
-        )
+        let time = if self.backend.capabilities().reports_sim_time {
+            RunTime::device(out.profile.sim_total_us(), host_us)
+        } else {
+            RunTime::host(host_us)
+        };
+        (out.results, time, out.profile)
     }
 
     /// c-PQ bytes per query for this workload (Table IV).
     pub fn cpq_bytes_per_query(&self, queries: &[Query], k: usize) -> u64 {
-        let out = self.engine.search(&self.dindex, &queries[..1.min(queries.len())], k);
+        let out = self
+            .backend
+            .search_batch(&self.bindex, &queries[..1.min(queries.len())], k);
         out.cpq_bytes_per_query
+    }
+
+    /// The underlying device engine and its index, when this session
+    /// runs on one — baselines that scan the device-resident List Array
+    /// directly (GEN-SPQ) need the concrete types.
+    pub fn device_session(&self) -> Option<(&Engine, &DeviceIndex)> {
+        let engine = self.backend.as_any().downcast_ref::<Engine>()?;
+        let dindex = self.bindex.payload::<DeviceIndex>()?;
+        Some((engine, dindex))
     }
 }
 
-/// GEN-SPQ on the session's index (GENIE minus c-PQ).
+/// GEN-SPQ on the session's index (GENIE minus c-PQ). The session must
+/// run on the device engine: GEN-SPQ scans the device List Array.
 pub fn run_gen_spq(session: &GenieSession, queries: &[Query], k: usize) -> (RunTime, u64) {
+    let (engine, dindex) = session
+        .device_session()
+        .expect("GEN-SPQ needs a device-engine session");
     let started = std::time::Instant::now();
-    let out = gen_spq::search(&session.engine, &session.dindex, queries, k, 256);
+    let out = gen_spq::search(engine, dindex, queries, k, 256);
     (
-        RunTime {
-            sim_us: out.sim_us,
-            host_us: started.elapsed().as_micros() as f64,
-        },
+        RunTime::device(out.sim_us, started.elapsed().as_micros() as f64),
         out.bytes_per_query,
     )
 }
@@ -107,34 +159,65 @@ pub fn run_gpu_spq(data: &MatchData, queries: &[Query], k: usize) -> RunTime {
     let store = gpu_spq::GpuSpqData::upload(&device, &data.objects);
     let started = std::time::Instant::now();
     let out = gpu_spq::search(&device, &store, queries, k, 256);
-    RunTime {
-        sim_us: out.sim_us,
-        host_us: started.elapsed().as_micros() as f64,
-    }
+    RunTime::device(out.sim_us, started.elapsed().as_micros() as f64)
 }
 
 /// CPU-Idx on a prebuilt host index.
 pub fn run_cpu_idx(index: &InvertedIndex, queries: &[Query], k: usize) -> RunTime {
     let out = cpu_idx::search(index, queries, k);
-    RunTime {
-        sim_us: 0.0,
-        host_us: out.host_us,
-    }
+    RunTime::host(out.host_us)
 }
 
 /// AppGram over raw sequences.
 pub fn run_app_gram(appgram: &AppGram, queries: &[Vec<u8>], k: usize) -> RunTime {
     let (_, host_us) = appgram.search(queries, k);
-    RunTime {
-        sim_us: 0.0,
-        host_us,
-    }
+    RunTime::host(host_us)
 }
 
 #[cfg(test)]
 mod tests {
     use super::*;
     use crate::workloads::{sift_bundle, Scale};
+
+    #[test]
+    fn run_time_basis_is_explicit_not_inferred() {
+        // a device method whose simulated time rounds to 0 must still
+        // report device time, not silently fall back to host time
+        let t = RunTime::device(0.0, 840.0);
+        assert_eq!(t.us(), 0.0);
+        let t = RunTime::host(42.0);
+        assert_eq!(t.us(), 42.0);
+        assert_eq!(t.sim_us, 0.0);
+    }
+
+    #[test]
+    fn sessions_run_on_the_cpu_backend_too() {
+        let (data, _) = sift_bundle(
+            Scale {
+                n: 300,
+                num_queries: 4,
+            },
+            8,
+            9,
+        );
+        let cpu = GenieSession::with_backend(
+            &data,
+            None,
+            Box::new(genie_core::backend::CpuBackend::new()),
+        );
+        assert!(cpu.device_session().is_none(), "no device underneath");
+        let (results, time, _) = cpu.run(&data.queries, 5);
+        assert_eq!(time.basis, TimeBasis::Host);
+        // agreement with the device session's counts
+        let dev = GenieSession::new(&data, None);
+        let (dev_results, dev_time, _) = dev.run(&data.queries, 5);
+        assert_eq!(dev_time.basis, TimeBasis::Device);
+        for (c, d) in results.iter().zip(&dev_results) {
+            let a: Vec<u32> = c.iter().map(|h| h.count).collect();
+            let b: Vec<u32> = d.iter().map(|h| h.count).collect();
+            assert_eq!(a, b);
+        }
+    }
 
     #[test]
     fn genie_session_round_trip() {

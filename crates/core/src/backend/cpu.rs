@@ -1,0 +1,219 @@
+//! The pure-CPU backend: the match-count pipeline on host cores.
+//!
+//! No device simulation runs here — queries are scanned against the
+//! host-resident index with a dense count array each, in parallel over
+//! the batch via rayon. This is the latency-honest serving path: where
+//! the [`Engine`](crate::exec::Engine) reports cost-model *simulated*
+//! time, this backend's profile carries real host wall-clock only.
+//!
+//! Results are exact: every object's count comes from a full postings
+//! scan, the top-k is ordered count-descending with ascending-id ties,
+//! and the reported AuditThreshold reproduces Theorem 3.1
+//! (`AT = MC_k + 1`, or 1 when fewer than `k` objects matched). The
+//! device engine agrees on the count profile and on every returned
+//! count, but may return *different ids among objects tied at the k-th
+//! count*: its gate only admits ties that reach `MC_k` before the
+//! AuditThreshold advances past it (scan-order dependent — the paper
+//! breaks such ties randomly), whereas this backend deterministically
+//! keeps the lowest ids.
+
+use std::any::Any;
+use std::sync::Arc;
+use std::time::Instant;
+
+use rayon::prelude::*;
+
+use crate::exec::{SearchOutput, StageProfile};
+use crate::index::InvertedIndex;
+use crate::model::Query;
+use crate::topk::{audit_threshold, partial_top_k, TopHit};
+
+use super::{BackendCaps, BackendIndex, BackendKind, SearchBackend};
+
+/// Host-side execution backend.
+#[derive(Debug, Clone, Default)]
+pub struct CpuBackend {}
+
+impl CpuBackend {
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// One query's exact top-k plus its final AuditThreshold.
+    fn search_one(index: &InvertedIndex, query: &Query, k: usize) -> (Vec<TopHit>, u32) {
+        let n = index.num_objects() as usize;
+        let list = index.list_array();
+        let mut counts = vec![0u32; n];
+        for item in &query.items {
+            for seg in index.segments_for_range(item.lo, item.hi) {
+                for &obj in &list[seg.start as usize..(seg.start + seg.len) as usize] {
+                    counts[obj as usize] += 1;
+                }
+            }
+        }
+        let candidates: Vec<TopHit> = counts
+            .iter()
+            .enumerate()
+            .filter(|(_, &c)| c > 0)
+            .map(|(id, &count)| TopHit {
+                id: id as u32,
+                count,
+            })
+            .collect();
+        let hits = partial_top_k(candidates, k);
+        let at = audit_threshold(&hits, k);
+        (hits, at)
+    }
+}
+
+impl SearchBackend for CpuBackend {
+    fn capabilities(&self) -> BackendCaps {
+        BackendCaps {
+            name: "cpu",
+            kind: BackendKind::Host,
+            devices: rayon::current_num_threads(),
+            memory_bytes: None,
+            reports_sim_time: false,
+        }
+    }
+
+    fn upload(&self, index: Arc<InvertedIndex>) -> Result<BackendIndex, String> {
+        // the index is already host-resident; nothing to transfer
+        Ok(BackendIndex::new(index, 0.0, ()))
+    }
+
+    fn search_batch(&self, index: &BackendIndex, queries: &[Query], k: usize) -> SearchOutput {
+        assert!(k >= 1, "k must be at least 1");
+        let started = Instant::now();
+        let idx = index.index();
+        let per_query: Vec<(Vec<TopHit>, u32)> = queries
+            .par_iter()
+            .map(|q| Self::search_one(idx, q, k))
+            .collect();
+        let mut results = Vec::with_capacity(per_query.len());
+        let mut audit_thresholds = Vec::with_capacity(per_query.len());
+        for (hits, at) in per_query {
+            results.push(hits);
+            audit_thresholds.push(at);
+        }
+        let profile = StageProfile {
+            host_us: started.elapsed().as_micros() as f64,
+            ..Default::default()
+        };
+        SearchOutput {
+            results,
+            profile,
+            // dense count table per query — the host analogue of the
+            // Table IV memory metric
+            cpq_bytes_per_query: idx.num_objects() as u64 * 4,
+            audit_thresholds,
+        }
+    }
+
+    fn as_any(&self) -> &dyn Any {
+        self
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::exec::Engine;
+    use crate::index::IndexBuilder;
+    use crate::model::{Object, QueryItem};
+    use gpu_sim::Device;
+
+    fn index_of(objects: &[Object]) -> Arc<InvertedIndex> {
+        let mut b = IndexBuilder::new();
+        b.add_objects(objects.iter());
+        Arc::new(b.build(None))
+    }
+
+    #[test]
+    fn figure_1_example_on_the_cpu() {
+        let enc = |d: u32, v: u32| d * 4 + v;
+        let objects = vec![
+            Object::new(vec![enc(0, 1), enc(1, 2), enc(2, 1)]),
+            Object::new(vec![enc(0, 2), enc(1, 1), enc(2, 3)]),
+            Object::new(vec![enc(0, 1), enc(1, 3), enc(2, 2)]),
+        ];
+        let q1 = Query::new(vec![
+            QueryItem::range(enc(0, 1), enc(0, 2)),
+            QueryItem::range(enc(1, 1), enc(1, 1)),
+            QueryItem::range(enc(2, 2), enc(2, 3)),
+        ]);
+        let cpu = CpuBackend::new();
+        let bindex = SearchBackend::upload(&cpu, index_of(&objects)).unwrap();
+        let out = cpu.search_batch(&bindex, &[q1], 1);
+        assert_eq!(out.results[0][0].id, 1, "O2 is the top-1");
+        assert_eq!(out.results[0][0].count, 3);
+        assert_eq!(out.audit_thresholds[0], 4, "Example 3.1: AT ends at 4");
+        assert!(!out.profile.sim_total_us().is_nan());
+        assert_eq!(out.profile.sim_total_us(), 0.0, "host backend: no sim time");
+    }
+
+    #[test]
+    fn cpu_and_engine_agree_on_counts_and_audit_thresholds() {
+        use crate::model::match_count;
+        use rand::rngs::StdRng;
+        use rand::{Rng, SeedableRng};
+        let mut rng = StdRng::seed_from_u64(23);
+        let objects: Vec<Object> = (0..60)
+            .map(|_| {
+                let len = rng.random_range(1..6usize);
+                Object::new((0..len).map(|_| rng.random_range(0..25u32)).collect())
+            })
+            .collect();
+        let queries: Vec<Query> = (0..12)
+            .map(|_| {
+                let len = rng.random_range(1..5usize);
+                Query::new(
+                    (0..len)
+                        .map(|_| {
+                            let lo = rng.random_range(0..25u32);
+                            QueryItem::range(lo, (lo + rng.random_range(0..3)).min(24))
+                        })
+                        .collect(),
+                )
+            })
+            .collect();
+        let index = index_of(&objects);
+
+        let engine = Engine::new(Arc::new(Device::with_defaults()));
+        let dindex = Engine::upload(&engine, Arc::clone(&index)).unwrap();
+        let device_out = engine.search(&dindex, &queries, 7);
+
+        let cpu = CpuBackend::new();
+        let bindex = SearchBackend::upload(&cpu, index).unwrap();
+        let cpu_out = cpu.search_batch(&bindex, &queries, 7);
+
+        // ids may differ among objects tied at the k-th count (the
+        // device gate admits ties in scan order); the count profile,
+        // per-id counts and ATs must be identical
+        assert_eq!(device_out.audit_thresholds, cpu_out.audit_thresholds);
+        for (qi, q) in queries.iter().enumerate() {
+            let dev_counts: Vec<u32> = device_out.results[qi].iter().map(|h| h.count).collect();
+            let cpu_counts: Vec<u32> = cpu_out.results[qi].iter().map(|h| h.count).collect();
+            assert_eq!(dev_counts, cpu_counts, "query {qi} count profile");
+            for hit in &cpu_out.results[qi] {
+                assert_eq!(
+                    match_count(q, &objects[hit.id as usize]),
+                    hit.count,
+                    "query {qi} object {}",
+                    hit.id
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn empty_batch_and_empty_matches() {
+        let cpu = CpuBackend::new();
+        let bindex = SearchBackend::upload(&cpu, index_of(&[Object::new(vec![1])])).unwrap();
+        let out = cpu.search_batch(&bindex, &[], 3);
+        assert!(out.results.is_empty());
+        let out = cpu.search_batch(&bindex, &[Query::from_keywords(&[99])], 3);
+        assert!(out.results[0].is_empty());
+        assert_eq!(out.audit_thresholds[0], 1);
+    }
+}

@@ -132,7 +132,7 @@ mod tests {
     #[test]
     fn at_skips_multiple_levels_at_once() {
         let gate = Gate::new(1, 6, 1); // k = 1
-        // counts reach 1, 2, 3 before AT is consulted again
+                                       // counts reach 1, 2, 3 before AT is consulted again
         run_bumps(&gate, &[(0, 1), (0, 2), (0, 3)]);
         assert_eq!(gate.read_at_host(0), 4);
     }

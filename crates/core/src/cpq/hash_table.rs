@@ -292,7 +292,11 @@ mod tests {
         // 1024 lanes over 200 keys: keys 0..(1024-5*200)=24 get value 6,
         // wait: gid in 0..1024, val = gid/200+1 in 1..=6
         for key in 0..n {
-            let expected = if key < 1024 % n { 1024 / n + 1 } else { 1024 / n };
+            let expected = if key < 1024 % n {
+                1024 / n + 1
+            } else {
+                1024 / n
+            };
             assert_eq!(best.get(&key), Some(&{ expected }), "key {key}");
         }
     }

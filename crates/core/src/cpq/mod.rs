@@ -52,7 +52,9 @@ impl CpqLayout {
     /// entries by `O(k * AT) <= O(k * bound)`; a 2x cushion plus a
     /// 64-slot floor absorbs concurrent-insert overshoot.
     pub fn ht_slots_per_query(&self) -> usize {
-        (2 * self.k * self.bound as usize).next_power_of_two().max(64)
+        (2 * self.k * self.bound as usize)
+            .next_power_of_two()
+            .max(64)
     }
 
     /// ZipperArray length per query: 1-based indices `1..=bound`, plus
@@ -103,7 +105,11 @@ impl Cpq {
                 bits_for_bound(layout.bound),
             ),
             table: RobinHoodTable::new(layout.num_queries, layout.ht_slots_per_query()),
-            gate: Gate::new(layout.num_queries, layout.za_len_per_query(), layout.k as u32),
+            gate: Gate::new(
+                layout.num_queries,
+                layout.za_len_per_query(),
+                layout.k as u32,
+            ),
             layout,
         }
     }
@@ -247,16 +253,12 @@ mod tests {
         let cpq_ref = &cpq;
         let ups = &updates;
         let total = updates.len();
-        device.launch(
-            "concurrent",
-            LaunchConfig::cover(total, 64),
-            move |ctx| {
-                let gid = ctx.global_id();
-                if gid < total {
-                    cpq_ref.update(ctx, 0, ups[gid]);
-                }
-            },
-        );
+        device.launch("concurrent", LaunchConfig::cover(total, 64), move |ctx| {
+            let gid = ctx.global_id();
+            if gid < total {
+                cpq_ref.update(ctx, 0, ups[gid]);
+            }
+        });
         let at = cpq.final_audit_threshold(0);
         // expected counts: i -> (i % 16) + 1; the k-th largest count is 16
         // (objects 15,31,47,63 have 16; 14,30,46,62 have 15 ...). With

@@ -34,6 +34,9 @@ impl DeviceIndex {
 /// host wall-clock. Mirrors the row structure of Table I.
 #[derive(Debug, Clone, Copy, Default)]
 pub struct StageProfile {
+    /// H2D swapping of part indexes (only nonzero for backends that
+    /// page parts through device memory, e.g. multi-load/multi-device).
+    pub index_swap_us: f64,
     /// H2D copy of query descriptors (scan tasks).
     pub query_transfer_us: f64,
     /// The match kernel: scanning postings lists and updating c-PQ.
@@ -47,11 +50,12 @@ pub struct StageProfile {
 impl StageProfile {
     /// Simulated total (excludes host-only bookkeeping).
     pub fn sim_total_us(&self) -> f64 {
-        self.query_transfer_us + self.match_us + self.select_us
+        self.index_swap_us + self.query_transfer_us + self.match_us + self.select_us
     }
 
     /// Accumulate another profile (multiple loading sums parts).
     pub fn accumulate(&mut self, other: &StageProfile) {
+        self.index_swap_us += other.index_swap_us;
         self.query_transfer_us += other.query_transfer_us;
         self.match_us += other.match_us;
         self.select_us += other.select_us;
@@ -206,12 +210,7 @@ impl Engine {
     /// The selection stage: device kernel compacts qualifying entries
     /// (count >= AT-1), host downloads the compact candidate lists and
     /// finishes the top-k.
-    fn select(
-        &self,
-        cpq: &Cpq,
-        num_queries: usize,
-        k: usize,
-    ) -> (Vec<Vec<TopHit>>, Vec<u32>, f64) {
+    fn select(&self, cpq: &Cpq, num_queries: usize, k: usize) -> (Vec<Vec<TopHit>>, Vec<u32>, f64) {
         let slots = cpq.table().slots_per_query();
         let cap = cpq.layout().select_out_per_query();
         let out = GlobalU64::zeroed(num_queries * cap);
@@ -316,8 +315,7 @@ mod tests {
         let objects: Vec<Object> = (0..n)
             .map(|_| {
                 let len = rng.random_range(1..8usize);
-                let mut kws: Vec<u32> =
-                    (0..len).map(|_| rng.random_range(0..universe)).collect();
+                let mut kws: Vec<u32> = (0..len).map(|_| rng.random_range(0..universe)).collect();
                 kws.sort_unstable();
                 kws.dedup();
                 Object::new(kws)

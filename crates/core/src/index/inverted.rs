@@ -124,6 +124,25 @@ impl InvertedIndex {
         }
     }
 
+    /// Invert the index back into per-object keyword multisets.
+    ///
+    /// Every posting contributes one keyword occurrence to its object,
+    /// so the reconstructed objects have exactly the original keyword
+    /// multisets (in keyword order rather than insertion order — the
+    /// match-count model is order-insensitive). Backends that need to
+    /// re-partition a data set they only hold as an index (e.g. the
+    /// multi-device backend splitting into device-sized parts) use this.
+    pub fn reconstruct_objects(&self) -> Vec<crate::model::Object> {
+        let mut objects = vec![crate::model::Object::default(); self.num_objects as usize];
+        for e in &self.entries {
+            let slice = &self.list_array[e.start as usize..(e.start + e.len) as usize];
+            for &obj in slice {
+                objects[obj as usize].keywords.push(e.keyword);
+            }
+        }
+        objects
+    }
+
     /// Materialised postings list of one keyword (test/debug helper).
     pub fn postings_of(&self, kw: KeywordId) -> Vec<ObjectId> {
         self.segments_for_range(kw, kw)
@@ -163,6 +182,25 @@ mod tests {
         let seg = idx.segments_for_range(30, 30).next().unwrap();
         let slice = &idx.list_array()[seg.start as usize..(seg.start + seg.len) as usize];
         assert_eq!(slice, &[1, 2]);
+    }
+
+    #[test]
+    fn reconstruction_inverts_the_build() {
+        let idx = sample_index();
+        let objects = idx.reconstruct_objects();
+        assert_eq!(objects.len(), 3);
+        assert_eq!(objects[0].keywords, vec![10, 20]);
+        assert_eq!(objects[1].keywords, vec![20, 30]);
+        assert_eq!(objects[2].keywords, vec![10, 30]);
+    }
+
+    #[test]
+    fn reconstruction_keeps_duplicate_keywords() {
+        let mut b = IndexBuilder::new();
+        b.add_object(&Object::new(vec![5, 5, 9]));
+        let idx = b.build(None);
+        let objects = idx.reconstruct_objects();
+        assert_eq!(objects[0].keywords, vec![5, 5, 9]);
     }
 
     #[test]

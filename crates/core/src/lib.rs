@@ -15,6 +15,28 @@
 //! * **multiple loading** ([`multiload`]) for data sets larger than
 //!   device memory.
 //!
+//! ## Search backends
+//!
+//! Execution is pluggable behind the [`backend::SearchBackend`] trait
+//! (`upload` / `search_batch` / `capabilities`), with three
+//! implementations:
+//!
+//! * [`exec::Engine`] — the paper-faithful pipeline on the simulated
+//!   SIMT device, reporting per-stage cost-model time;
+//! * [`backend::CpuBackend`] — pure-host rayon execution with no
+//!   simulation overhead (exact counts, host wall-clock only);
+//! * [`backend::MultiDeviceBackend`] — several simulated devices paging
+//!   device-sized index parts through memory (the [`multiload`]
+//!   machinery behind the common interface).
+//!
+//! All backends agree with the brute-force
+//! [`model::match_count`] on counts and report AuditThresholds with the
+//! Theorem 3.1 semantics; ids may differ only among objects tied at the
+//! k-th count (the paper breaks such ties randomly). The type-mapping
+//! layers (`genie-lsh`, `genie-sa`), the bench harness and the CLI all
+//! take `&dyn SearchBackend`, and the `genie-service` crate schedules
+//! multi-client micro-batched traffic across fleets of backends.
+//!
 //! Higher layers map concrete data types onto this engine: `genie-lsh`
 //! (ANN search via locality-sensitive hashing) and `genie-sa` (sequences,
 //! documents and relational tables via shotgun-and-assembly).
@@ -40,6 +62,7 @@
 //! assert_eq!(out.results[0][0].id, 0); // object 0 matches both keywords
 //! ```
 
+pub mod backend;
 pub mod cpq;
 pub mod exec;
 pub mod index;
@@ -50,9 +73,14 @@ pub mod topk;
 
 /// Convenient re-exports of the types almost every user needs.
 pub mod prelude {
+    pub use crate::backend::{
+        BackendCaps, BackendIndex, BackendKind, CpuBackend, MultiDeviceBackend, SearchBackend,
+    };
     pub use crate::exec::{DeviceIndex, Engine, SearchOutput, StageProfile};
     pub use crate::index::{IndexBuilder, InvertedIndex, LoadBalanceConfig};
     pub use crate::model::{match_count, KeywordId, Object, ObjectId, Query, QueryItem};
-    pub use crate::multiload::{build_parts, multi_device_search, multi_load_search, IndexPart, MultiLoadReport};
+    pub use crate::multiload::{
+        build_parts, multi_device_search, multi_load_search, IndexPart, MultiLoadReport,
+    };
     pub use crate::topk::{reference_top_k, TopHit};
 }

@@ -110,7 +110,11 @@ impl Query {
 /// `C(r, O)`: the number of elements of `O` contained by item `r`
 /// (Definition 2.1).
 pub fn item_count(item: &QueryItem, object: &Object) -> u32 {
-    object.keywords.iter().filter(|&&k| item.contains(k)).count() as u32
+    object
+        .keywords
+        .iter()
+        .filter(|&&k| item.contains(k))
+        .count() as u32
 }
 
 /// Brute-force `MC(Q, O)` — the reference the whole system is tested
@@ -136,8 +140,7 @@ pub fn count_bound(queries: &[Query], max_object_len: usize) -> u32 {
         if q.items.is_empty() {
             continue;
         }
-        let mut spans: Vec<(KeywordId, KeywordId)> =
-            q.items.iter().map(|i| (i.lo, i.hi)).collect();
+        let mut spans: Vec<(KeywordId, KeywordId)> = q.items.iter().map(|i| (i.lo, i.hi)).collect();
         spans.sort_unstable();
         let disjoint = spans.windows(2).all(|w| w[0].1 < w[1].0);
         let bound = if disjoint {

@@ -128,17 +128,19 @@ pub fn multi_device_search(
 
     let mut merged: Vec<Vec<TopHit>> = vec![Vec::new(); queries.len()];
     let mut reports = Vec::with_capacity(engines.len());
-    let results: Vec<(Vec<Vec<TopHit>>, MultiLoadReport)> = crossbeam::thread::scope(|scope| {
+    let results: Vec<(Vec<Vec<TopHit>>, MultiLoadReport)> = std::thread::scope(|scope| {
         let handles: Vec<_> = engines
             .iter()
             .zip(&assignments)
             .map(|(engine, my_parts)| {
-                scope.spawn(move |_| multi_load_search(engine, my_parts, queries, k))
+                scope.spawn(move || multi_load_search(engine, my_parts, queries, k))
             })
             .collect();
-        handles.into_iter().map(|h| h.join().unwrap()).collect()
-    })
-    .expect("device driver thread panicked");
+        handles
+            .into_iter()
+            .map(|h| h.join().expect("device driver thread panicked"))
+            .collect()
+    });
 
     let merge_started = Instant::now();
     for (partial, report) in results {

@@ -36,6 +36,32 @@ where
     hits
 }
 
+/// Exact top-k of pre-scored hits: quickselect the k-th boundary by
+/// (count descending, id ascending), truncate, and order the survivors
+/// the same way. This is the one definition of the result-ordering
+/// contract shared by the CPU backend, the multi-device merge and the
+/// CPU-Idx baseline.
+pub fn partial_top_k(mut hits: Vec<TopHit>, k: usize) -> Vec<TopHit> {
+    let by_count_then_id = |a: &TopHit, b: &TopHit| b.count.cmp(&a.count).then(a.id.cmp(&b.id));
+    if hits.len() > k && k > 0 {
+        hits.select_nth_unstable_by(k - 1, by_count_then_id);
+        hits.truncate(k);
+    }
+    hits.sort_unstable_by(by_count_then_id);
+    hits
+}
+
+/// The final AuditThreshold Theorem 3.1 assigns to a finished top-k
+/// list: `MC_k + 1` when `k` objects matched, else the initial 1 (the
+/// gate never advances when fewer than `k` objects reach any count).
+pub fn audit_threshold(hits: &[TopHit], k: usize) -> u32 {
+    if hits.len() == k && k > 0 {
+        hits[k - 1].count + 1
+    } else {
+        1
+    }
+}
+
 /// Brute-force reference: the top-k of a dense count array, zero counts
 /// excluded (an object no query item touches is not a candidate), ties
 /// by ascending id.
@@ -81,6 +107,36 @@ mod tests {
         let hits = finalize_candidates(vec![(9, 3), (2, 3), (5, 3)], 0, 2);
         assert_eq!(hits[0].id, 2);
         assert_eq!(hits[1].id, 5);
+    }
+
+    #[test]
+    fn partial_top_k_matches_reference() {
+        let counts = [0u32, 4, 2, 4, 0, 1, 4];
+        let hits: Vec<TopHit> = counts
+            .iter()
+            .enumerate()
+            .filter(|(_, &c)| c > 0)
+            .map(|(id, &count)| TopHit {
+                id: id as u32,
+                count,
+            })
+            .collect();
+        for k in 1..=counts.len() {
+            assert_eq!(partial_top_k(hits.clone(), k), reference_top_k(&counts, k));
+        }
+    }
+
+    #[test]
+    fn audit_threshold_follows_theorem_3_1() {
+        let hits = vec![
+            TopHit { id: 1, count: 4 },
+            TopHit { id: 3, count: 4 },
+            TopHit { id: 2, count: 2 },
+        ];
+        assert_eq!(audit_threshold(&hits, 3), 3, "MC_3 = 2 -> AT = 3");
+        assert_eq!(audit_threshold(&hits[..2], 2), 5, "MC_2 = 4 -> AT = 5");
+        assert_eq!(audit_threshold(&hits, 5), 1, "fewer than k matched");
+        assert_eq!(audit_threshold(&[], 1), 1, "nothing matched");
     }
 
     #[test]

@@ -49,7 +49,9 @@ pub fn tweets_like(
     (0..n)
         .map(|_| {
             let len = rng.random_range(min_len..=max_len);
-            (0..len).map(|_| format!("w{}", zipf.sample(&mut rng))).collect()
+            (0..len)
+                .map(|_| format!("w{}", zipf.sample(&mut rng)))
+                .collect()
         })
         .collect()
 }

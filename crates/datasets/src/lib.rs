@@ -33,7 +33,10 @@ pub mod structures;
 /// items as the query set and removes them from the data. Returns
 /// `(data, queries)` where `queries` holds the last `num_queries` items.
 pub fn holdout<T>(mut items: Vec<T>, num_queries: usize) -> (Vec<T>, Vec<T>) {
-    assert!(num_queries < items.len(), "holdout larger than the data set");
+    assert!(
+        num_queries < items.len(),
+        "holdout larger than the data set"
+    );
     let queries = items.split_off(items.len() - num_queries);
     (items, queries)
 }

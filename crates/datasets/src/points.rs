@@ -110,10 +110,7 @@ mod tests {
         assert_eq!(a, b);
         assert_eq!(a.len(), 50);
         assert!(a.iter().all(|p| p.len() == 16));
-        assert!(a
-            .iter()
-            .flatten()
-            .all(|&v| (0.0..=127.0).contains(&v)));
+        assert!(a.iter().flatten().all(|&v| (0.0..=127.0).contains(&v)));
     }
 
     #[test]
@@ -121,7 +118,11 @@ mod tests {
         let pts = sift_like(100, 8, 2, 3);
         // points of the same cluster are far closer than across clusters
         let d = |a: &[f32], b: &[f32]| -> f32 {
-            a.iter().zip(b).map(|(x, y)| (x - y).powi(2)).sum::<f32>().sqrt()
+            a.iter()
+                .zip(b)
+                .map(|(x, y)| (x - y).powi(2))
+                .sum::<f32>()
+                .sqrt()
         };
         let same = d(&pts[0], &pts[2]); // both cluster 0
         let cross = d(&pts[0], &pts[1]); // clusters 0 vs 1
@@ -142,9 +143,8 @@ mod tests {
     fn noisier_classes_overlap_more() {
         let tight = ocr_like_with_noise(40, 30, 2, 0.2, 5);
         let loose = ocr_like_with_noise(40, 30, 2, 5.0, 5);
-        let l1 = |a: &[f32], b: &[f32]| -> f32 {
-            a.iter().zip(b).map(|(x, y)| (x - y).abs()).sum()
-        };
+        let l1 =
+            |a: &[f32], b: &[f32]| -> f32 { a.iter().zip(b).map(|(x, y)| (x - y).abs()).sum() };
         // within-class scatter must grow with the noise scale
         let scatter = |lp: &LabelledPoints| l1(&lp.points[0], &lp.points[2]);
         assert!(scatter(&loose) > scatter(&tight));
@@ -153,9 +153,8 @@ mod tests {
     #[test]
     fn ocr_like_same_class_is_nearer_in_l1() {
         let lp = ocr_like(60, 40, 3, 9);
-        let l1 = |a: &[f32], b: &[f32]| -> f32 {
-            a.iter().zip(b).map(|(x, y)| (x - y).abs()).sum()
-        };
+        let l1 =
+            |a: &[f32], b: &[f32]| -> f32 { a.iter().zip(b).map(|(x, y)| (x - y).abs()).sum() };
         // points 0 and 3 share class 0; point 1 is class 1
         let same = l1(&lp.points[0], &lp.points[3]);
         let cross = l1(&lp.points[0], &lp.points[1]);

@@ -26,12 +26,36 @@ pub fn adult_schema(buckets: u32) -> Vec<Attribute> {
         Attribute::Categorical { cardinality: 40 },
         // numeric: age, fnlwgt, education-num, capital-gain,
         // capital-loss, hours-per-week
-        Attribute::Numeric { min: 17.0, max: 90.0, buckets },
-        Attribute::Numeric { min: 0.0, max: 1_500_000.0, buckets },
-        Attribute::Numeric { min: 1.0, max: 16.0, buckets },
-        Attribute::Numeric { min: 0.0, max: 100_000.0, buckets },
-        Attribute::Numeric { min: 0.0, max: 5_000.0, buckets },
-        Attribute::Numeric { min: 1.0, max: 99.0, buckets },
+        Attribute::Numeric {
+            min: 17.0,
+            max: 90.0,
+            buckets,
+        },
+        Attribute::Numeric {
+            min: 0.0,
+            max: 1_500_000.0,
+            buckets,
+        },
+        Attribute::Numeric {
+            min: 1.0,
+            max: 16.0,
+            buckets,
+        },
+        Attribute::Numeric {
+            min: 0.0,
+            max: 100_000.0,
+            buckets,
+        },
+        Attribute::Numeric {
+            min: 0.0,
+            max: 5_000.0,
+            buckets,
+        },
+        Attribute::Numeric {
+            min: 1.0,
+            max: 99.0,
+            buckets,
+        },
     ]
 }
 

@@ -8,12 +8,38 @@ use rand::{Rng, SeedableRng};
 /// for the experiments is realistic n-gram overlap between titles, which
 /// composing from a shared word pool produces.
 const WORDS: &[&str] = &[
-    "parallel", "generic", "inverted", "index", "similarity", "search",
-    "query", "processing", "database", "system", "graph", "tree",
-    "sequence", "mining", "learning", "distributed", "efficient",
-    "scalable", "approximate", "nearest", "neighbor", "hashing",
-    "framework", "analysis", "optimization", "stream", "spatial",
-    "temporal", "knowledge", "retrieval", "clustering", "classification",
+    "parallel",
+    "generic",
+    "inverted",
+    "index",
+    "similarity",
+    "search",
+    "query",
+    "processing",
+    "database",
+    "system",
+    "graph",
+    "tree",
+    "sequence",
+    "mining",
+    "learning",
+    "distributed",
+    "efficient",
+    "scalable",
+    "approximate",
+    "nearest",
+    "neighbor",
+    "hashing",
+    "framework",
+    "analysis",
+    "optimization",
+    "stream",
+    "spatial",
+    "temporal",
+    "knowledge",
+    "retrieval",
+    "clustering",
+    "classification",
 ];
 
 /// Generate `n` DBLP-like article titles of roughly `target_len` bytes.

@@ -37,13 +37,7 @@ pub fn mutate_tree<R: Rng>(tree: &Tree, edits: usize, rng: &mut R, label_domain:
     // rebuild with identical shape
     let mut out = Tree::leaf(labels[0]);
     let mut map = vec![0usize; tree.len()];
-    fn clone_shape(
-        tree: &Tree,
-        labels: &[u32],
-        node: usize,
-        out: &mut Tree,
-        map: &mut [usize],
-    ) {
+    fn clone_shape(tree: &Tree, labels: &[u32], node: usize, out: &mut Tree, map: &mut [usize]) {
         for &c in tree.children(node) {
             let new = out.add_child(map[node], labels[c]);
             map[c] = new;

@@ -144,9 +144,9 @@ impl Device {
             }
             *results.lock() = local;
         } else {
-            crossbeam::thread::scope(|scope| {
+            std::thread::scope(|scope| {
                 for _ in 0..workers {
-                    scope.spawn(|_| {
+                    scope.spawn(|| {
                         let mut local = Vec::new();
                         loop {
                             let b = next_block.fetch_add(1, Ordering::Relaxed);
@@ -158,8 +158,7 @@ impl Device {
                         results.lock().extend(local);
                     });
                 }
-            })
-            .expect("device worker panicked");
+            });
         }
 
         let reports = results.into_inner();

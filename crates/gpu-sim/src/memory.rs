@@ -134,7 +134,10 @@ macro_rules! global_buffer {
 
             /// Download the whole buffer to the host (D2H copy).
             pub fn to_host(&self) -> Vec<$word> {
-                self.words.iter().map(|w| w.load(Ordering::Acquire)).collect()
+                self.words
+                    .iter()
+                    .map(|w| w.load(Ordering::Acquire))
+                    .collect()
             }
 
             /// Reset every word to zero (device-side memset).

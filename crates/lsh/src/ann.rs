@@ -7,7 +7,8 @@
 
 use std::sync::Arc;
 
-use genie_core::exec::{DeviceIndex, Engine, SearchOutput};
+use genie_core::backend::{BackendIndex, SearchBackend};
+use genie_core::exec::SearchOutput;
 use genie_core::index::IndexBuilder;
 use genie_core::model::Query;
 
@@ -81,9 +82,9 @@ impl<F> AnnIndex<F> {
         &self.index
     }
 
-    /// Upload the index to the engine's device.
-    pub fn upload(&self, engine: &Engine) -> Result<DeviceIndex, String> {
-        engine.upload(Arc::clone(&self.index))
+    /// Prepare the index for searching on `backend`.
+    pub fn upload(&self, backend: &dyn SearchBackend) -> Result<BackendIndex, String> {
+        backend.upload(Arc::clone(&self.index))
     }
 
     /// Transform query points into match-count queries.
@@ -100,17 +101,22 @@ impl<F> AnnIndex<F> {
     }
 
     /// Convenience: upload + transform + batched top-k search.
-    pub fn search<'a, P, I>(&self, engine: &Engine, queries: I, k: usize) -> SearchOutput
+    pub fn search<'a, P, I>(
+        &self,
+        backend: &dyn SearchBackend,
+        queries: I,
+        k: usize,
+    ) -> SearchOutput
     where
         P: ?Sized + 'a,
         F: LshFamily<P>,
         I: IntoIterator<Item = &'a P>,
     {
-        let dindex = self
-            .upload(engine)
-            .expect("ANN index exceeds device memory; use multiload");
+        let bindex = self
+            .upload(backend)
+            .expect("ANN index exceeds backend memory; use the multi-device backend");
         let qs = self.make_queries(queries);
-        engine.search(&dindex, &qs, k)
+        backend.search_batch(&bindex, &qs, k)
     }
 }
 
@@ -119,6 +125,7 @@ mod tests {
     use super::*;
     use crate::e2lsh::E2Lsh;
     use crate::knn::{exact_knn, Metric};
+    use genie_core::exec::Engine;
     use gpu_sim::Device;
     use rand::rngs::StdRng;
     use rand::{Rng, SeedableRng};
@@ -156,8 +163,7 @@ mod tests {
         let q = vec![40.5f32; 8];
         let out = ann.search(&engine, [&q[..]], 10);
         let truth = exact_knn(Metric::L2, &points, &q, 10);
-        let true_ids: std::collections::HashSet<usize> =
-            truth.iter().map(|&(i, _)| i).collect();
+        let true_ids: std::collections::HashSet<usize> = truth.iter().map(|&(i, _)| i).collect();
         // every returned id must at least be in the same cluster
         // (i % 4 == 2); most should be true kNNs
         let mut in_cluster = 0;

@@ -70,7 +70,7 @@ mod tests {
     #[test]
     fn collision_rate_counts_agreements() {
         let fam = ModFamily(2); // mod 2 and mod 3
-        // 4 vs 10: mod2 agree (0,0); mod3 differ (1,1)? 4%3=1, 10%3=1 agree
+                                // 4 vs 10: mod2 agree (0,0); mod3 differ (1,1)? 4%3=1, 10%3=1 agree
         assert_eq!(empirical_collision_rate(&fam, &4, &10), 1.0);
         // 4 vs 5: mod2 differ, mod3 differ
         assert_eq!(empirical_collision_rate(&fam, &4, &5), 0.0);

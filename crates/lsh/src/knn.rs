@@ -118,15 +118,15 @@ pub fn classification_report(predicted: &[u32], truth: &[u32]) -> Classification
         let r = if tp + fn_ > 0.0 { tp / (tp + fn_) } else { 0.0 };
         precision += p;
         recall += r;
-        f1 += if p + r > 0.0 { 2.0 * p * r / (p + r) } else { 0.0 };
+        f1 += if p + r > 0.0 {
+            2.0 * p * r / (p + r)
+        } else {
+            0.0
+        };
     }
     let nc = classes.len() as f64;
-    let accuracy = predicted
-        .iter()
-        .zip(truth)
-        .filter(|(p, t)| p == t)
-        .count() as f64
-        / truth.len() as f64;
+    let accuracy =
+        predicted.iter().zip(truth).filter(|(p, t)| p == t).count() as f64 / truth.len() as f64;
     ClassificationReport {
         precision: precision / nc,
         recall: recall / nc,

@@ -70,7 +70,10 @@ mod tests {
         assert_eq!(murmur3_32(b"", 0xffff_ffff), 0x81F1_6F39);
         assert_eq!(murmur3_32(b"test", 0), 0xba6b_d213);
         assert_eq!(murmur3_32(b"Hello, world!", 0x9747b28c), 0x24884CBA);
-        assert_eq!(murmur3_32(b"The quick brown fox jumps over the lazy dog", 0x9747b28c), 0x2FA826CD);
+        assert_eq!(
+            murmur3_32(b"The quick brown fox jumps over the lazy dog", 0x9747b28c),
+            0x2FA826CD
+        );
     }
 
     #[test]

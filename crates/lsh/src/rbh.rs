@@ -97,11 +97,7 @@ impl LshFamily<[f32]> for RandomBinningHash {
 /// The Laplacian kernel `exp(-‖a-b‖₁/σ)` — the similarity RBH is
 /// locality-sensitive for.
 pub fn laplacian_kernel(a: &[f32], b: &[f32], sigma: f64) -> f64 {
-    let l1: f64 = a
-        .iter()
-        .zip(b)
-        .map(|(x, y)| (x - y).abs() as f64)
-        .sum();
+    let l1: f64 = a.iter().zip(b).map(|(x, y)| (x - y).abs() as f64).sum();
     (-l1 / sigma).exp()
 }
 
@@ -171,9 +167,7 @@ mod tests {
 
     #[test]
     fn kernel_width_heuristic_is_positive_and_scales() {
-        let sample: Vec<Vec<f32>> = (0..10)
-            .map(|i| vec![i as f32, 2.0 * i as f32])
-            .collect();
+        let sample: Vec<Vec<f32>> = (0..10).map(|i| vec![i as f32, 2.0 * i as f32]).collect();
         let w = mean_l1_kernel_width(&sample);
         assert!(w > 0.0);
         let scaled: Vec<Vec<f32>> = sample

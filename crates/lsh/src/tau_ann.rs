@@ -154,10 +154,7 @@ mod tests {
         // ε = δ = 0.06; discretisation details shift it slightly, so
         // accept a small window around it
         let m = max_required_m(0.06, 0.06, 400);
-        assert!(
-            (225..=250).contains(&m),
-            "expected peak near 237, got {m}"
-        );
+        assert!((225..=250).contains(&m), "expected peak near 237, got {m}");
         // and it must be far below the Hoeffding worst case
         assert!(m < hoeffding_m(0.06, 0.06) / 5);
     }

@@ -133,7 +133,10 @@ mod tests {
         let collisions = (0..16)
             .filter(|&i| t.keyword(i, &a[..]) == t.keyword(i, &b[..]))
             .count() as u32;
-        assert_eq!(match_count(&t.to_query(&a[..]), &t.to_object(&b[..])), collisions);
+        assert_eq!(
+            match_count(&t.to_query(&a[..]), &t.to_object(&b[..])),
+            collisions
+        );
     }
 
     #[test]

@@ -9,7 +9,7 @@
 use std::collections::HashMap;
 use std::sync::Arc;
 
-use genie_core::exec::{DeviceIndex, Engine};
+use genie_core::backend::{BackendIndex, SearchBackend};
 use genie_core::index::{IndexBuilder, InvertedIndex};
 use genie_core::model::{KeywordId, Object, Query};
 use genie_core::topk::TopHit;
@@ -70,26 +70,27 @@ impl DocumentIndex {
         Query::from_keywords(&kws)
     }
 
-    pub fn upload(&self, engine: &Engine) -> Result<DeviceIndex, String> {
-        engine.upload(Arc::clone(&self.index))
+    pub fn upload(&self, backend: &dyn SearchBackend) -> Result<BackendIndex, String> {
+        backend.upload(Arc::clone(&self.index))
     }
 
     /// Batched top-k by shared-word count (= binary inner product).
     pub fn search<S: AsRef<str>>(
         &self,
-        engine: &Engine,
-        dindex: &DeviceIndex,
+        backend: &dyn SearchBackend,
+        bindex: &BackendIndex,
         queries: &[Vec<S>],
         k: usize,
     ) -> Vec<Vec<TopHit>> {
         let qs: Vec<Query> = queries.iter().map(|q| self.to_query(q)).collect();
-        engine.search(dindex, &qs, k).results
+        backend.search_batch(bindex, &qs, k).results
     }
 }
 
 #[cfg(test)]
 mod tests {
     use super::*;
+    use genie_core::exec::Engine;
     use gpu_sim::Device;
 
     fn toks(s: &str) -> Vec<String> {

@@ -49,13 +49,15 @@ pub fn edit_distance_bounded(a: &[u8], b: &[u8], limit: usize) -> Option<usize> 
         if lo > hi {
             return None;
         }
-        cur[lo - 1] = if i <= limit + (lo - 1) && lo == 1 { i } else { INF };
+        cur[lo - 1] = if i <= limit + (lo - 1) && lo == 1 {
+            i
+        } else {
+            INF
+        };
         let mut row_min = cur[lo - 1];
         for j in lo..=hi {
             let cost = usize::from(a[i - 1] != b[j - 1]);
-            let v = (prev[j - 1] + cost)
-                .min(prev[j] + 1)
-                .min(cur[j - 1] + 1);
+            let v = (prev[j - 1] + cost).min(prev[j] + 1).min(cur[j - 1] + 1);
             cur[j] = v;
             row_min = row_min.min(v);
         }

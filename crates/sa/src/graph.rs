@@ -278,14 +278,14 @@ impl GraphIndex {
     /// mapping distance, return the top-k per query.
     pub fn search(
         &self,
-        engine: &genie_core::exec::Engine,
-        dindex: &genie_core::exec::DeviceIndex,
+        backend: &dyn genie_core::backend::SearchBackend,
+        bindex: &genie_core::backend::BackendIndex,
         queries: &[Graph],
         k_candidates: usize,
         k: usize,
     ) -> Vec<Vec<GraphHit>> {
         let mc_queries: Vec<Query> = queries.iter().map(|q| self.to_query(q)).collect();
-        let out = engine.search(dindex, &mc_queries, k_candidates);
+        let out = backend.search_batch(bindex, &mc_queries, k_candidates);
         queries
             .iter()
             .zip(out.results)
@@ -337,20 +337,50 @@ mod tests {
     fn stars_capture_neighbourhoods() {
         let g = path3([7, 8, 9]);
         let ss = stars(&g);
-        assert_eq!(ss[0], Star { root: 7, leaves: vec![8] });
-        assert_eq!(ss[1], Star { root: 8, leaves: vec![7, 9] });
-        assert_eq!(ss[2], Star { root: 9, leaves: vec![8] });
+        assert_eq!(
+            ss[0],
+            Star {
+                root: 7,
+                leaves: vec![8]
+            }
+        );
+        assert_eq!(
+            ss[1],
+            Star {
+                root: 8,
+                leaves: vec![7, 9]
+            }
+        );
+        assert_eq!(
+            ss[2],
+            Star {
+                root: 9,
+                leaves: vec![8]
+            }
+        );
     }
 
     #[test]
     fn star_distance_cases() {
-        let a = Star { root: 1, leaves: vec![2, 3] };
+        let a = Star {
+            root: 1,
+            leaves: vec![2, 3],
+        };
         assert_eq!(star_distance(&a, &a), 0);
-        let b = Star { root: 9, leaves: vec![2, 3] };
+        let b = Star {
+            root: 9,
+            leaves: vec![2, 3],
+        };
         assert_eq!(star_distance(&a, &b), 1, "root relabel");
-        let c = Star { root: 1, leaves: vec![2] };
+        let c = Star {
+            root: 1,
+            leaves: vec![2],
+        };
         assert_eq!(star_distance(&a, &c), 2, "degree diff + missing leaf");
-        let d = Star { root: 1, leaves: vec![4, 5] };
+        let d = Star {
+            root: 1,
+            leaves: vec![4, 5],
+        };
         assert_eq!(star_distance(&a, &d), 2, "two leaf relabels");
     }
 
@@ -375,18 +405,10 @@ mod tests {
         assert_eq!(hungarian_min_cost(&[]), 0);
         assert_eq!(hungarian_min_cost(&[vec![5]]), 5);
         // classic example: optimal is 1 + 2 + 3 off-diagonal
-        let cost = vec![
-            vec![4, 1, 3],
-            vec![2, 0, 5],
-            vec![3, 2, 2],
-        ];
+        let cost = vec![vec![4, 1, 3], vec![2, 0, 5], vec![3, 2, 2]];
         assert_eq!(hungarian_min_cost(&cost), 5);
         // permutation matrix: must pick the zeros
-        let cost = vec![
-            vec![9, 0, 9],
-            vec![0, 9, 9],
-            vec![9, 9, 0],
-        ];
+        let cost = vec![vec![9, 0, 9], vec![0, 9, 9], vec![9, 9, 0]];
         assert_eq!(hungarian_min_cost(&cost), 0);
     }
 
@@ -498,7 +520,9 @@ mod tests {
         ];
         let idx = GraphIndex::build(graphs.clone());
         let engine = Engine::new(Arc::new(Device::with_defaults()));
-        let didx = engine.upload(Arc::clone(idx.inverted_index())).unwrap();
+        let didx =
+            genie_core::backend::SearchBackend::upload(&engine, Arc::clone(idx.inverted_index()))
+                .unwrap();
         let results = idx.search(&engine, &didx, &[path3([1, 2, 3])], 4, 2);
         assert_eq!(results[0][0], GraphHit { id: 0, distance: 0 });
         assert!(results[0][1].distance > 0);

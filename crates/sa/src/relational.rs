@@ -11,7 +11,7 @@
 
 use std::sync::Arc;
 
-use genie_core::exec::{DeviceIndex, Engine};
+use genie_core::backend::{BackendIndex, SearchBackend};
 use genie_core::index::{IndexBuilder, InvertedIndex, LoadBalanceConfig};
 use genie_core::model::{KeywordId, Object, Query, QueryItem};
 use genie_core::topk::TopHit;
@@ -154,34 +154,38 @@ impl RelationalIndex {
                 }
                 Condition::BucketRange { attr, lo, hi } => {
                     let max = self.attrs[attr].domain() - 1;
-                    QueryItem::range(self.keyword(attr, lo.min(max)), self.keyword(attr, hi.min(max)))
+                    QueryItem::range(
+                        self.keyword(attr, lo.min(max)),
+                        self.keyword(attr, hi.min(max)),
+                    )
                 }
             })
             .collect();
         Query::new(items)
     }
 
-    pub fn upload(&self, engine: &Engine) -> Result<DeviceIndex, String> {
-        engine.upload(Arc::clone(&self.index))
+    pub fn upload(&self, backend: &dyn SearchBackend) -> Result<BackendIndex, String> {
+        backend.upload(Arc::clone(&self.index))
     }
 
     /// Batched top-k selection: rows ranked by how many conditions they
     /// satisfy.
     pub fn search(
         &self,
-        engine: &Engine,
-        dindex: &DeviceIndex,
+        backend: &dyn SearchBackend,
+        bindex: &BackendIndex,
         queries: &[Vec<Condition>],
         k: usize,
     ) -> Vec<Vec<TopHit>> {
         let qs: Vec<Query> = queries.iter().map(|q| self.encode_query(q)).collect();
-        engine.search(dindex, &qs, k).results
+        backend.search_batch(bindex, &qs, k).results
     }
 }
 
 #[cfg(test)]
 mod tests {
     use super::*;
+    use genie_core::exec::Engine;
     use gpu_sim::Device;
 
     /// The Figure 1 table: attributes A, B, C with small integer values.
@@ -206,9 +210,17 @@ mod tests {
         let didx = rel.upload(&eng).unwrap();
         // Q1: 1 <= A <= 2, B = 1, 2 <= C <= 3
         let q = vec![
-            Condition::BucketRange { attr: 0, lo: 1, hi: 2 },
+            Condition::BucketRange {
+                attr: 0,
+                lo: 1,
+                hi: 2,
+            },
             Condition::CatEq { attr: 1, value: 1 },
-            Condition::BucketRange { attr: 2, lo: 2, hi: 3 },
+            Condition::BucketRange {
+                attr: 2,
+                lo: 2,
+                hi: 3,
+            },
         ];
         let results = rel.search(&eng, &didx, &[q], 3);
         assert_eq!(results[0][0].id, 1, "O2 satisfies all three conditions");

@@ -11,7 +11,7 @@
 use std::collections::HashMap;
 use std::sync::Arc;
 
-use genie_core::exec::{DeviceIndex, Engine};
+use genie_core::backend::{BackendIndex, SearchBackend};
 use genie_core::index::{IndexBuilder, InvertedIndex};
 use genie_core::model::{KeywordId, Object, Query};
 
@@ -85,23 +85,23 @@ impl SequenceIndex {
         Query::from_keywords(&kws)
     }
 
-    /// Upload the index to the engine's device.
-    pub fn upload(&self, engine: &Engine) -> Result<DeviceIndex, String> {
-        engine.upload(Arc::clone(&self.index))
+    /// Prepare the index for searching on `backend`.
+    pub fn upload(&self, backend: &dyn SearchBackend) -> Result<BackendIndex, String> {
+        backend.upload(Arc::clone(&self.index))
     }
 
     /// One search round: retrieve `k_candidates` per query by match
     /// count, verify, certify.
     pub fn search(
         &self,
-        engine: &Engine,
-        dindex: &DeviceIndex,
+        backend: &dyn SearchBackend,
+        bindex: &BackendIndex,
         queries: &[Vec<u8>],
         k_candidates: usize,
         k: usize,
     ) -> Vec<SequenceSearchReport> {
         let mc_queries: Vec<Query> = queries.iter().map(|q| self.to_query(q)).collect();
-        let out = engine.search(dindex, &mc_queries, k_candidates);
+        let out = backend.search_batch(bindex, &mc_queries, k_candidates);
         queries
             .iter()
             .zip(out.results)
@@ -143,8 +143,8 @@ impl SequenceIndex {
     /// round's answer if none certifies).
     pub fn search_adaptive(
         &self,
-        engine: &Engine,
-        dindex: &DeviceIndex,
+        backend: &dyn SearchBackend,
+        bindex: &BackendIndex,
         queries: &[Vec<u8>],
         schedule: &[usize],
         k: usize,
@@ -157,7 +157,7 @@ impl SequenceIndex {
                 break;
             }
             let batch: Vec<Vec<u8>> = pending.iter().map(|&i| queries[i].clone()).collect();
-            let reports = self.search(engine, dindex, &batch, kc, k);
+            let reports = self.search(backend, bindex, &batch, kc, k);
             for (slot, report) in pending.into_iter().zip(reports) {
                 if report.certified || kc == *schedule.last().unwrap() {
                     done[slot] = Some(report);
@@ -172,6 +172,7 @@ impl SequenceIndex {
 mod tests {
     use super::*;
     use crate::edit::edit_distance;
+    use genie_core::exec::Engine;
     use gpu_sim::Device;
 
     fn corpus() -> Vec<Vec<u8>> {

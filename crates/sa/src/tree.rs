@@ -84,7 +84,7 @@ pub fn binary_branches(tree: &Tree) -> Vec<BinaryBranch> {
             next_sibling[pair[0]] = tree.labels[pair[1]];
         }
     }
-    for node in 0..tree.len() {
+    for (node, &right) in next_sibling.iter().enumerate() {
         let left = tree.children[node]
             .first()
             .map(|&c| tree.labels[c])
@@ -92,7 +92,7 @@ pub fn binary_branches(tree: &Tree) -> Vec<BinaryBranch> {
         out.push(BinaryBranch {
             label: tree.labels[node],
             left,
-            right: next_sibling[node],
+            right,
         });
     }
     out
@@ -180,8 +180,8 @@ impl Postorder {
         }
         // keyroots: highest node of every distinct leftmost-leaf chain
         let mut seen: HashMap<usize, usize> = HashMap::new();
-        for post in 0..order.len() {
-            seen.insert(lml[post], post); // later (higher) wins
+        for (post, &leftmost) in lml.iter().enumerate() {
+            seen.insert(leftmost, post); // later (higher) wins
         }
         let mut keyroots: Vec<usize> = seen.into_values().collect();
         keyroots.sort_unstable();
@@ -201,8 +201,8 @@ fn forest_dist(a: &Postorder, b: &Postorder, i: usize, j: usize, tree_dist: &mut
     for (r, row) in fd.iter_mut().enumerate().skip(1) {
         row[0] = r as u32;
     }
-    for c in 1..cols {
-        fd[0][c] = c as u32;
+    for (c, cell) in fd[0].iter_mut().enumerate().skip(1) {
+        *cell = c as u32;
     }
     for r in 1..rows {
         let ai = li + r - 1;
@@ -307,14 +307,14 @@ impl TreeIndex {
     /// Zhang–Shasha distance, return the top-k per query.
     pub fn search(
         &self,
-        engine: &genie_core::exec::Engine,
-        dindex: &genie_core::exec::DeviceIndex,
+        backend: &dyn genie_core::backend::SearchBackend,
+        bindex: &genie_core::backend::BackendIndex,
         queries: &[Tree],
         k_candidates: usize,
         k: usize,
     ) -> Vec<Vec<TreeHit>> {
         let mc_queries: Vec<Query> = queries.iter().map(|q| self.to_query(q)).collect();
-        let out = engine.search(dindex, &mc_queries, k_candidates);
+        let out = backend.search_batch(bindex, &mc_queries, k_candidates);
         queries
             .iter()
             .zip(out.results)
@@ -456,8 +456,10 @@ mod tests {
         t3.add_child(0, 9);
         let idx = TreeIndex::build(vec![t1.clone(), t2.clone(), t3]);
         let engine = Engine::new(Arc::new(Device::with_defaults()));
-        let didx = engine.upload(Arc::clone(idx.inverted_index())).unwrap();
-        let results = idx.search(&engine, &didx, &[t1.clone()], 3, 2);
+        let didx =
+            genie_core::backend::SearchBackend::upload(&engine, Arc::clone(idx.inverted_index()))
+                .unwrap();
+        let results = idx.search(&engine, &didx, std::slice::from_ref(&t1), 3, 2);
         assert_eq!(results[0][0], TreeHit { id: 0, distance: 0 });
         assert_eq!(results[0][1], TreeHit { id: 1, distance: 2 });
     }

@@ -174,10 +174,7 @@ mod tests {
         let long = vec![b'a'; 100];
         let data = [b"aaa".to_vec(), long.clone()];
         let q = b"aaa";
-        let cands = vec![
-            Candidate { id: 0, count: 1 },
-            Candidate { id: 1, count: 1 },
-        ];
+        let cands = vec![Candidate { id: 0, count: 1 }, Candidate { id: 1, count: 1 }];
         let (hits, stats) = verify_candidates(q, &cands, |id| &data[id as usize][..], 3, 1);
         assert_eq!(hits[0].id, 0);
         assert_eq!(stats.skipped_by_length, 1);

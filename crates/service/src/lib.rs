@@ -1,0 +1,608 @@
+//! # genie-service — the batched query-scheduler service layer
+//!
+//! The core engine answers one synchronous batch at a time. A serving
+//! system sees something very different: many concurrent clients, each
+//! submitting a handful of queries with its *own* `k`, against a shared
+//! index. This crate bridges the two:
+//!
+//! 1. **Admission** — clients submit [`QueryRequest`]s (query + per-client
+//!    `k`); the scheduler owns the batching policy.
+//! 2. **Micro-batching** ([`plan_batches`]) — requests are grouped by `k`
+//!    (a c-PQ batch shares one `k`) and packed into device-sized batches:
+//!    at most `max_batch_queries` per batch, and, when the executing
+//!    backend has bounded memory, total c-PQ footprint within budget. The
+//!    footprint is computed from the same [`CpqLayout`] the engine
+//!    allocates, with the count bound from
+//!    [`count_bound`](genie_core::model::count_bound) — so the plan's
+//!    memory math is exactly the engine's.
+//! 3. **Dispatch** — one worker per [`SearchBackend`] drains the batch
+//!    queue concurrently (a GPU engine and the CPU backend can serve the
+//!    same traffic side by side).
+//! 4. **Routing** — per-query results are merged back into per-request
+//!    [`QueryResponse`]s in submission order, with per-stage
+//!    [`StageProfile`] totals aggregated per backend and overall.
+//!
+//! Batching is *transparent*: counts and AuditThresholds are always
+//! identical to a monolithic `Engine::search` over the same queries,
+//! and with a homogeneous deterministic fleet (e.g. single-worker
+//! engines) the returned ids are identical too — property-tested
+//! across randomized batch splits in `tests/scheduler_props.rs`. With
+//! a *mixed* fleet, ids among objects tied at the k-th count depend on
+//! which backend serves the batch (each backend breaks such ties its
+//! own way, as the paper permits), so only counts and ATs are
+//! fleet-independent.
+
+use std::collections::VecDeque;
+use std::sync::{Arc, Mutex};
+use std::time::Instant;
+
+use genie_core::backend::SearchBackend;
+use genie_core::cpq::CpqLayout;
+use genie_core::exec::StageProfile;
+use genie_core::index::InvertedIndex;
+use genie_core::model::{count_bound, Query};
+use genie_core::topk::TopHit;
+
+/// One client's query: what to search and how many results to return.
+#[derive(Debug, Clone)]
+pub struct QueryRequest {
+    /// Caller-chosen id, echoed in the response (e.g. a connection id).
+    pub client_id: u64,
+    pub query: Query,
+    pub k: usize,
+}
+
+impl QueryRequest {
+    pub fn new(client_id: u64, query: Query, k: usize) -> Self {
+        assert!(k >= 1, "k must be at least 1");
+        Self {
+            client_id,
+            query,
+            k,
+        }
+    }
+}
+
+/// The routed answer for one [`QueryRequest`].
+#[derive(Debug, Clone)]
+pub struct QueryResponse {
+    pub client_id: u64,
+    /// Up to `k` hits, count-descending.
+    pub hits: Vec<TopHit>,
+    /// Final AuditThreshold (`AT - 1` is the k-th match count).
+    pub audit_threshold: u32,
+}
+
+/// Batching policy knobs.
+#[derive(Debug, Clone, Copy)]
+pub struct SchedulerConfig {
+    /// Hard ceiling on queries per micro-batch (the paper submits 1024
+    /// queries per batch on a TITAN X).
+    pub max_batch_queries: usize,
+    /// Device-memory budget for one batch's c-PQ state. `None` derives
+    /// it from the backends' capability reports (smallest bounded
+    /// backend, minus the index's device footprint); backends that
+    /// report no bound leave batches limited by `max_batch_queries`
+    /// only.
+    pub cpq_budget_bytes: Option<u64>,
+}
+
+impl Default for SchedulerConfig {
+    fn default() -> Self {
+        Self {
+            max_batch_queries: 1024,
+            cpq_budget_bytes: None,
+        }
+    }
+}
+
+/// One planned micro-batch: positions into the request slice, all
+/// sharing `k`.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Batch {
+    pub k: usize,
+    pub requests: Vec<usize>,
+}
+
+/// Aggregated execution accounting for one [`QueryScheduler::run`].
+#[derive(Debug, Clone, Default)]
+pub struct ScheduleReport {
+    /// Micro-batches executed.
+    pub batches: usize,
+    /// Stage totals over every batch on every backend.
+    pub stages: StageProfile,
+    /// Simulated H2D time of the per-backend index uploads.
+    pub upload_sim_us: f64,
+    /// Wall-clock of the whole run (admission to routing), microseconds.
+    pub wall_us: f64,
+    pub per_backend: Vec<BackendUsage>,
+}
+
+/// A request's routed result while it waits for the rest of its wave:
+/// the hits plus the final AuditThreshold.
+type ResultSlot = Option<(Vec<TopHit>, u32)>;
+
+/// An index uploaded to every backend of a scheduler, reusable across
+/// request waves (see [`QueryScheduler::prepare`]).
+pub struct PreparedIndex {
+    index: Arc<InvertedIndex>,
+    bindexes: Vec<genie_core::backend::BackendIndex>,
+    /// Total simulated H2D time of the per-backend uploads.
+    pub upload_sim_us: f64,
+}
+
+impl PreparedIndex {
+    pub fn index(&self) -> &Arc<InvertedIndex> {
+        &self.index
+    }
+}
+
+/// One backend's share of a run.
+#[derive(Debug, Clone)]
+pub struct BackendUsage {
+    pub name: &'static str,
+    pub batches: usize,
+    pub queries: usize,
+    pub stages: StageProfile,
+}
+
+/// Group requests into executable micro-batches.
+///
+/// Requests are grouped by `k` (one c-PQ batch shares a single `k`),
+/// keeping submission order within each group, then greedily packed
+/// while both limits hold:
+///
+/// * at most `max_batch_queries` requests per batch;
+/// * when `budget` is given, the batch's total c-PQ bytes — computed
+///   with the engine's own [`CpqLayout`] under the count bound of the
+///   queries packed so far — stay within it. A single request whose
+///   lone-query footprint already exceeds the budget still gets its own
+///   batch (the engine is left to reject or absorb it; splitting can't
+///   help).
+pub fn plan_batches(
+    requests: &[QueryRequest],
+    num_objects: usize,
+    max_object_len: usize,
+    max_batch_queries: usize,
+    budget: Option<u64>,
+) -> Vec<Batch> {
+    assert!(max_batch_queries >= 1, "batches must hold at least 1 query");
+    // group by k, stable in submission order
+    let mut order: Vec<usize> = (0..requests.len()).collect();
+    order.sort_by_key(|&i| requests[i].k);
+
+    let fits = |n_queries: usize, bound: u32, k: usize| -> bool {
+        match budget {
+            None => true,
+            Some(b) => {
+                let layout = CpqLayout {
+                    num_queries: n_queries,
+                    num_objects,
+                    bound,
+                    k,
+                };
+                layout.total_bytes() <= b
+            }
+        }
+    };
+
+    let mut batches: Vec<Batch> = Vec::new();
+    let mut current: Vec<usize> = Vec::new();
+    let mut current_k = 0usize;
+    let mut current_bound = 1u32;
+
+    for &i in &order {
+        let r = &requests[i];
+        let r_bound = count_bound(std::slice::from_ref(&r.query), max_object_len);
+        let grown_bound = current_bound.max(r_bound);
+        let same_k = !current.is_empty() && r.k == current_k;
+        if same_k
+            && current.len() < max_batch_queries
+            && fits(current.len() + 1, grown_bound, current_k)
+        {
+            current.push(i);
+            current_bound = grown_bound;
+        } else {
+            if !current.is_empty() {
+                batches.push(Batch {
+                    k: current_k,
+                    requests: std::mem::take(&mut current),
+                });
+            }
+            current.push(i);
+            current_k = r.k;
+            current_bound = r_bound;
+        }
+    }
+    if !current.is_empty() {
+        batches.push(Batch {
+            k: current_k,
+            requests: current,
+        });
+    }
+    batches
+}
+
+/// The scheduler: owns a set of backends and serves request waves
+/// against a shared index.
+pub struct QueryScheduler {
+    backends: Vec<Arc<dyn SearchBackend>>,
+    config: SchedulerConfig,
+}
+
+impl QueryScheduler {
+    pub fn new(backends: Vec<Arc<dyn SearchBackend>>, config: SchedulerConfig) -> Self {
+        assert!(!backends.is_empty(), "need at least one backend");
+        Self { backends, config }
+    }
+
+    /// Single-backend scheduler with default batching policy.
+    pub fn single(backend: Arc<dyn SearchBackend>) -> Self {
+        Self::new(vec![backend], SchedulerConfig::default())
+    }
+
+    pub fn config(&self) -> &SchedulerConfig {
+        &self.config
+    }
+
+    /// The c-PQ budget one batch must respect: the configured override,
+    /// or the tightest of the backends' own batch budgets for their
+    /// prepared handles (a part-swapping backend reserves one part, not
+    /// the whole index).
+    fn effective_budget(&self, prepared: &PreparedIndex) -> Option<u64> {
+        if let Some(b) = self.config.cpq_budget_bytes {
+            return Some(b);
+        }
+        self.backends
+            .iter()
+            .zip(&prepared.bindexes)
+            .filter_map(|(backend, bindex)| backend.batch_memory_budget(bindex))
+            .min()
+    }
+
+    /// Upload `index` to every backend once. The returned handle can
+    /// serve any number of [`QueryScheduler::run_prepared`] waves —
+    /// serving loops should prepare once per index, not per wave.
+    pub fn prepare(&self, index: &Arc<InvertedIndex>) -> Result<PreparedIndex, String> {
+        let mut bindexes = Vec::with_capacity(self.backends.len());
+        let mut upload_sim_us = 0.0;
+        for backend in &self.backends {
+            let bindex = backend.upload(Arc::clone(index))?;
+            upload_sim_us += bindex.upload_sim_us;
+            bindexes.push(bindex);
+        }
+        Ok(PreparedIndex {
+            index: Arc::clone(index),
+            bindexes,
+            upload_sim_us,
+        })
+    }
+
+    /// Convenience: prepare + serve one wave. Re-pays the per-backend
+    /// index upload every call; long-lived serving should
+    /// [`prepare`](Self::prepare) once and call
+    /// [`run_prepared`](Self::run_prepared) per wave.
+    pub fn run(
+        &self,
+        index: &Arc<InvertedIndex>,
+        requests: &[QueryRequest],
+    ) -> Result<(Vec<QueryResponse>, ScheduleReport), String> {
+        let prepared = self.prepare(index)?;
+        self.run_prepared(&prepared, requests)
+    }
+
+    /// Serve one wave of requests against an index prepared with
+    /// [`prepare`](Self::prepare): plan micro-batches, dispatch them
+    /// across all backends concurrently, route merged results back in
+    /// submission order.
+    pub fn run_prepared(
+        &self,
+        prepared: &PreparedIndex,
+        requests: &[QueryRequest],
+    ) -> Result<(Vec<QueryResponse>, ScheduleReport), String> {
+        let started = Instant::now();
+        let index = &prepared.index;
+        let bindexes = &prepared.bindexes;
+        let mut report = ScheduleReport {
+            upload_sim_us: prepared.upload_sim_us,
+            ..Default::default()
+        };
+
+        let budget = self.effective_budget(prepared);
+        let batches = plan_batches(
+            requests,
+            index.num_objects() as usize,
+            index.max_object_len(),
+            self.config.max_batch_queries,
+            budget,
+        );
+        report.batches = batches.len();
+
+        // work queue + per-request result slots
+        let queue: Mutex<VecDeque<Batch>> = Mutex::new(batches.into());
+        let slots: Mutex<Vec<ResultSlot>> = Mutex::new(vec![None; requests.len()]);
+
+        let usages: Vec<BackendUsage> = std::thread::scope(|scope| {
+            let handles: Vec<_> = self
+                .backends
+                .iter()
+                .zip(bindexes)
+                .map(|(backend, bindex)| {
+                    let queue = &queue;
+                    let slots = &slots;
+                    scope.spawn(move || {
+                        let mut usage = BackendUsage {
+                            name: backend.capabilities().name,
+                            batches: 0,
+                            queries: 0,
+                            stages: StageProfile::default(),
+                        };
+                        loop {
+                            let batch = match queue.lock().expect("queue poisoned").pop_front() {
+                                Some(b) => b,
+                                None => break,
+                            };
+                            let queries: Vec<Query> = batch
+                                .requests
+                                .iter()
+                                .map(|&i| requests[i].query.clone())
+                                .collect();
+                            let out = backend.search_batch(bindex, &queries, batch.k);
+                            usage.batches += 1;
+                            usage.queries += batch.requests.len();
+                            usage.stages.accumulate(&out.profile);
+                            let mut slots = slots.lock().expect("slots poisoned");
+                            for (pos, (&req_idx, hits)) in
+                                batch.requests.iter().zip(out.results).enumerate()
+                            {
+                                slots[req_idx] = Some((hits, out.audit_thresholds[pos]));
+                            }
+                        }
+                        usage
+                    })
+                })
+                .collect();
+            handles
+                .into_iter()
+                .map(|h| h.join().expect("backend worker panicked"))
+                .collect()
+        });
+
+        for usage in &usages {
+            report.stages.accumulate(&usage.stages);
+        }
+        report.per_backend = usages;
+        report.wall_us = started.elapsed().as_micros() as f64;
+
+        let responses = slots
+            .into_inner()
+            .expect("slots poisoned")
+            .into_iter()
+            .zip(requests)
+            .map(|(slot, req)| {
+                let (hits, audit_threshold) =
+                    slot.expect("every request is a member of exactly one batch");
+                QueryResponse {
+                    client_id: req.client_id,
+                    hits,
+                    audit_threshold,
+                }
+            })
+            .collect();
+        Ok((responses, report))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use genie_core::backend::CpuBackend;
+    use genie_core::index::IndexBuilder;
+    use genie_core::model::Object;
+
+    fn requests(ks: &[usize]) -> Vec<QueryRequest> {
+        ks.iter()
+            .enumerate()
+            .map(|(i, &k)| QueryRequest::new(i as u64, Query::from_keywords(&[i as u32 % 5]), k))
+            .collect()
+    }
+
+    #[test]
+    fn batches_group_by_k_and_respect_the_size_cap() {
+        let reqs = requests(&[5, 3, 5, 3, 5, 5, 3]);
+        let batches = plan_batches(&reqs, 100, 4, 2, None);
+        // k=3 group: requests 1,3,6 -> two batches; k=5 group: 0,2,4,5 -> two
+        assert_eq!(batches.len(), 4);
+        for b in &batches {
+            assert!(b.requests.len() <= 2);
+            assert!(b.requests.windows(2).all(|w| w[0] < w[1]), "stable order");
+            for &i in &b.requests {
+                assert_eq!(reqs[i].k, b.k);
+            }
+        }
+        let mut covered: Vec<usize> = batches.iter().flat_map(|b| b.requests.clone()).collect();
+        covered.sort_unstable();
+        assert_eq!(covered, (0..7).collect::<Vec<_>>());
+    }
+
+    #[test]
+    fn batches_respect_the_cpq_memory_budget() {
+        let reqs = requests(&[4; 12]);
+        let bound = count_bound(std::slice::from_ref(&reqs[0].query), 6);
+        let per_query = CpqLayout {
+            num_queries: 1,
+            num_objects: 500,
+            bound,
+            k: 4,
+        }
+        .bytes_per_query();
+        // room for three queries per batch
+        let budget = per_query * 3;
+        let batches = plan_batches(&reqs, 500, 6, 1024, Some(budget));
+        assert_eq!(batches.len(), 4);
+        for b in &batches {
+            assert_eq!(b.requests.len(), 3);
+            let layout = CpqLayout {
+                num_queries: b.requests.len(),
+                num_objects: 500,
+                bound,
+                k: b.k,
+            };
+            assert!(layout.total_bytes() <= budget);
+        }
+    }
+
+    #[test]
+    fn an_oversized_request_still_gets_a_batch() {
+        let reqs = requests(&[4]);
+        let batches = plan_batches(&reqs, 1_000_000, 50, 1024, Some(16));
+        assert_eq!(batches.len(), 1);
+        assert_eq!(batches[0].requests, vec![0]);
+    }
+
+    #[test]
+    fn empty_request_wave_is_fine() {
+        let index = {
+            let mut b = IndexBuilder::new();
+            b.add_object(&Object::new(vec![1]));
+            Arc::new(b.build(None))
+        };
+        let scheduler = QueryScheduler::single(Arc::new(CpuBackend::new()));
+        let (responses, report) = scheduler.run(&index, &[]).unwrap();
+        assert!(responses.is_empty());
+        assert_eq!(report.batches, 0);
+    }
+
+    #[test]
+    fn prepared_index_serves_many_waves_without_reupload() {
+        use genie_core::exec::Engine;
+        use gpu_sim::Device;
+
+        let objects: Vec<Object> = (0..30).map(|i| Object::new(vec![i % 6])).collect();
+        let index = {
+            let mut b = IndexBuilder::new();
+            b.add_objects(objects.iter());
+            Arc::new(b.build(None))
+        };
+        let scheduler =
+            QueryScheduler::single(Arc::new(Engine::new(Arc::new(Device::with_defaults()))));
+        let prepared = scheduler.prepare(&index).unwrap();
+        assert!(prepared.upload_sim_us > 0.0);
+
+        let mut first_wave_upload = 0.0;
+        for wave in 0..3 {
+            let reqs = vec![QueryRequest::new(wave, Query::from_keywords(&[2]), 4)];
+            let (responses, report) = scheduler.run_prepared(&prepared, &reqs).unwrap();
+            assert_eq!(responses[0].client_id, wave);
+            assert!(!responses[0].hits.is_empty());
+            if wave == 0 {
+                first_wave_upload = report.upload_sim_us;
+            } else {
+                // the reported upload cost is the one-time prepare cost,
+                // not a growing per-wave charge
+                assert_eq!(report.upload_sim_us, first_wave_upload);
+            }
+        }
+    }
+
+    #[test]
+    fn multi_device_budget_reserves_a_part_not_the_whole_index() {
+        use genie_core::backend::{MultiDeviceBackend, SearchBackend};
+        use genie_core::exec::Engine;
+        use gpu_sim::{Device, DeviceConfig};
+
+        // whole index: 3000 objects x 2 postings x 4 B = 24000 B; a
+        // device holds 16384 B, so the full index does NOT fit on one
+        // device — the scenario this backend exists for
+        let objects: Vec<Object> = (0..3000)
+            .map(|i| Object::new(vec![i % 13, 50 + i % 5]))
+            .collect();
+        let index = {
+            let mut b = IndexBuilder::new();
+            b.add_objects(objects.iter());
+            Arc::new(b.build(None))
+        };
+        let device_mem = 16384u64;
+        assert!(index.device_bytes() > device_mem);
+
+        let small = DeviceConfig {
+            memory_bytes: device_mem,
+            ..Default::default()
+        };
+        let engines = (0..2)
+            .map(|_| Engine::new(Arc::new(Device::new(small.clone()))))
+            .collect();
+        let multi = MultiDeviceBackend::from_engines(engines, 500);
+        let bindex = SearchBackend::upload(&multi, Arc::clone(&index)).unwrap();
+        // each 500-object part is ~4000 B < 16384 B: real headroom
+        // remains (the pre-fix budget was mem - whole_index = 0)
+        let budget = multi.batch_memory_budget(&bindex).unwrap();
+        assert!(
+            budget > 0,
+            "part-swapping backend must not zero out the c-PQ budget"
+        );
+
+        // end to end: a wave of 8 requests must not degenerate into
+        // one-query batches (the pre-fix behaviour when the budget
+        // saturated to 0)
+        let scheduler = QueryScheduler::new(
+            vec![Arc::new(multi)],
+            SchedulerConfig {
+                max_batch_queries: 1024,
+                cpq_budget_bytes: None,
+            },
+        );
+        let reqs: Vec<QueryRequest> = (0..8)
+            .map(|i| QueryRequest::new(i, Query::from_keywords(&[i as u32 % 13]), 3))
+            .collect();
+        let (responses, report) = scheduler.run(&index, &reqs).unwrap();
+        assert_eq!(responses.len(), 8);
+        assert!(responses.iter().all(|r| !r.hits.is_empty()));
+        assert!(
+            report.batches <= 2,
+            "multiple queries per batch under the part-level budget, got {} batches",
+            report.batches
+        );
+    }
+
+    #[test]
+    fn responses_come_back_in_submission_order_with_client_ids() {
+        let objects: Vec<Object> = (0..20).map(|i| Object::new(vec![i % 5])).collect();
+        let index = {
+            let mut b = IndexBuilder::new();
+            b.add_objects(objects.iter());
+            Arc::new(b.build(None))
+        };
+        // interleaved ks force the scheduler to reorder internally
+        let reqs: Vec<QueryRequest> = (0..10)
+            .map(|i| {
+                QueryRequest::new(
+                    100 + i as u64,
+                    Query::from_keywords(&[i as u32 % 5]),
+                    if i % 2 == 0 { 3 } else { 7 },
+                )
+            })
+            .collect();
+        let scheduler = QueryScheduler::new(
+            vec![Arc::new(CpuBackend::new())],
+            SchedulerConfig {
+                max_batch_queries: 3,
+                cpq_budget_bytes: None,
+            },
+        );
+        let (responses, report) = scheduler.run(&index, &reqs).unwrap();
+        assert_eq!(responses.len(), 10);
+        for (i, resp) in responses.iter().enumerate() {
+            assert_eq!(resp.client_id, 100 + i as u64);
+            let expected_k = if i % 2 == 0 { 3 } else { 7 };
+            assert!(resp.hits.len() <= expected_k);
+            assert!(!resp.hits.is_empty(), "every keyword has matches");
+        }
+        assert!(report.batches >= 4, "5 + 5 requests at cap 3");
+        assert_eq!(report.per_backend.len(), 1);
+        assert_eq!(
+            report.per_backend[0].queries, 10,
+            "every query ran somewhere"
+        );
+    }
+}

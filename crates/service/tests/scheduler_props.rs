@@ -1,0 +1,234 @@
+//! Property tests: micro-batching is transparent.
+//!
+//! For arbitrary workloads and arbitrary batch-split points, the
+//! scheduler's routed per-request answers must be identical — ids,
+//! counts and AuditThresholds — to one monolithic `Engine::search` call
+//! over the same queries.
+//!
+//! The devices are pinned to one host worker so kernel blocks execute
+//! in submission order: with a deterministic scan order, the engine's
+//! tie admission (which ids enter the c-PQ at the k-th count) is a pure
+//! function of the per-query update sequence, which batch composition
+//! does not change. That makes full bit-identity the right assertion
+//! here, not just count-profile equality.
+
+use std::sync::Arc;
+
+use genie_core::backend::{CpuBackend, SearchBackend};
+use genie_core::exec::Engine;
+use genie_core::index::{IndexBuilder, InvertedIndex};
+use genie_core::model::{Object, Query, QueryItem};
+use genie_service::{plan_batches, QueryRequest, QueryScheduler, SchedulerConfig};
+use gpu_sim::{Device, DeviceConfig};
+use proptest::prelude::*;
+
+/// One-worker device: blocks run sequentially, so the engine's c-PQ
+/// update order — and therefore its tie admission — is deterministic.
+fn deterministic_engine() -> Engine {
+    Engine::new(Arc::new(Device::new(DeviceConfig {
+        host_workers: 1,
+        ..Default::default()
+    })))
+}
+
+fn index_of(objects: &[Object]) -> Arc<InvertedIndex> {
+    let mut b = IndexBuilder::new();
+    b.add_objects(objects.iter());
+    Arc::new(b.build(None))
+}
+
+fn arb_objects() -> impl Strategy<Value = Vec<Object>> {
+    proptest::collection::vec(
+        proptest::collection::vec(0u32..25, 1..6).prop_map(Object::new),
+        1..60,
+    )
+}
+
+fn arb_queries() -> impl Strategy<Value = Vec<Query>> {
+    proptest::collection::vec(
+        proptest::collection::vec((0u32..25, 0u32..4), 1..5).prop_map(|items| {
+            Query::new(
+                items
+                    .into_iter()
+                    .map(|(lo, w)| QueryItem::range(lo, (lo + w).min(24)))
+                    .collect(),
+            )
+        }),
+        1..24,
+    )
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(24))]
+
+    /// Uniform k: randomized micro-batch splits return exactly the
+    /// monolithic answer, id for id.
+    #[test]
+    fn scheduled_batches_equal_one_monolithic_search(
+        (objects, queries, k, max_batch) in (arb_objects(), arb_queries(), 1usize..10, 1usize..8),
+    ) {
+        let index = index_of(&objects);
+
+        let engine = deterministic_engine();
+        let dindex = Engine::upload(&engine, Arc::clone(&index)).unwrap();
+        let expected = engine.search(&dindex, &queries, k);
+
+        let requests: Vec<QueryRequest> = queries
+            .iter()
+            .enumerate()
+            .map(|(i, q)| QueryRequest::new(i as u64, q.clone(), k))
+            .collect();
+        let scheduler = QueryScheduler::new(
+            vec![Arc::new(deterministic_engine())],
+            SchedulerConfig {
+                max_batch_queries: max_batch,
+                cpq_budget_bytes: None,
+            },
+        );
+        let (responses, report) = scheduler.run(&index, &requests).unwrap();
+
+        let expected_batches = queries.len().div_ceil(max_batch);
+        prop_assert_eq!(report.batches, expected_batches);
+        for (qi, resp) in responses.iter().enumerate() {
+            prop_assert_eq!(&resp.hits, &expected.results[qi], "query {}", qi);
+            prop_assert_eq!(
+                resp.audit_threshold,
+                expected.audit_thresholds[qi],
+                "query {} AT",
+                qi
+            );
+        }
+    }
+
+    /// Mixed per-client k: each response equals a dedicated
+    /// single-query engine call at that client's k.
+    #[test]
+    fn per_client_k_is_honoured(
+        (objects, queries, ks) in (arb_objects(), arb_queries(), proptest::collection::vec(1usize..10, 24..25)),
+    ) {
+        let index = index_of(&objects);
+        let engine = deterministic_engine();
+        let dindex = Engine::upload(&engine, Arc::clone(&index)).unwrap();
+
+        let requests: Vec<QueryRequest> = queries
+            .iter()
+            .zip(&ks)
+            .enumerate()
+            .map(|(i, (q, &k))| QueryRequest::new(i as u64, q.clone(), k))
+            .collect();
+        let scheduler = QueryScheduler::new(
+            vec![Arc::new(deterministic_engine())],
+            SchedulerConfig {
+                max_batch_queries: 4,
+                cpq_budget_bytes: None,
+            },
+        );
+        let (responses, _) = scheduler.run(&index, &requests).unwrap();
+
+        for (req, resp) in requests.iter().zip(&responses) {
+            let solo = engine.search(&dindex, std::slice::from_ref(&req.query), req.k);
+            prop_assert_eq!(&resp.hits, &solo.results[0], "client {}", req.client_id);
+            prop_assert_eq!(resp.audit_threshold, solo.audit_thresholds[0]);
+        }
+    }
+
+    /// Heterogeneous fleet (device engine + CPU backend): counts and
+    /// ATs equal the monolithic run regardless of which backend served
+    /// which batch (ids among k-th-count ties are backend-specific).
+    #[test]
+    fn multi_backend_dispatch_preserves_counts(
+        (objects, queries, k, max_batch) in (arb_objects(), arb_queries(), 1usize..10, 1usize..6),
+    ) {
+        let index = index_of(&objects);
+        let engine = deterministic_engine();
+        let dindex = Engine::upload(&engine, Arc::clone(&index)).unwrap();
+        let expected = engine.search(&dindex, &queries, k);
+
+        let requests: Vec<QueryRequest> = queries
+            .iter()
+            .enumerate()
+            .map(|(i, q)| QueryRequest::new(i as u64, q.clone(), k))
+            .collect();
+        let backends: Vec<Arc<dyn SearchBackend>> = vec![
+            Arc::new(deterministic_engine()),
+            Arc::new(CpuBackend::new()),
+        ];
+        let scheduler = QueryScheduler::new(
+            backends,
+            SchedulerConfig {
+                max_batch_queries: max_batch,
+                cpq_budget_bytes: None,
+            },
+        );
+        let (responses, report) = scheduler.run(&index, &requests).unwrap();
+
+        let served: usize = report.per_backend.iter().map(|u| u.queries).sum();
+        prop_assert_eq!(served, queries.len());
+        for (qi, resp) in responses.iter().enumerate() {
+            let got: Vec<u32> = resp.hits.iter().map(|h| h.count).collect();
+            let want: Vec<u32> = expected.results[qi].iter().map(|h| h.count).collect();
+            prop_assert_eq!(got, want, "query {} count profile", qi);
+            prop_assert_eq!(resp.audit_threshold, expected.audit_thresholds[qi]);
+        }
+    }
+}
+
+/// The memory budget changes *where* batches split, never *what* the
+/// responses are.
+#[test]
+fn memory_budget_only_changes_the_split() {
+    let objects: Vec<Object> = (0..50)
+        .map(|i| Object::new(vec![i % 11, 50 + i % 7]))
+        .collect();
+    let index = index_of(&objects);
+    let queries: Vec<Query> = (0..16).map(|i| Query::from_keywords(&[i % 11])).collect();
+    let requests: Vec<QueryRequest> = queries
+        .iter()
+        .enumerate()
+        .map(|(i, q)| QueryRequest::new(i as u64, q.clone(), 5))
+        .collect();
+
+    let unbounded = QueryScheduler::new(
+        vec![Arc::new(deterministic_engine())],
+        SchedulerConfig {
+            max_batch_queries: 1024,
+            cpq_budget_bytes: None,
+        },
+    );
+    let (base, base_report) = unbounded.run(&index, &requests).unwrap();
+    // the default device fits all 16 queries in one batch
+    assert_eq!(base_report.batches, 1);
+
+    // budget for ~3 queries per batch
+    let per_query = genie_core::cpq::CpqLayout {
+        num_queries: 1,
+        num_objects: objects.len(),
+        bound: genie_core::model::count_bound(&queries, index.max_object_len()),
+        k: 5,
+    }
+    .bytes_per_query();
+    let tight = QueryScheduler::new(
+        vec![Arc::new(deterministic_engine())],
+        SchedulerConfig {
+            max_batch_queries: 1024,
+            cpq_budget_bytes: Some(per_query * 3),
+        },
+    );
+    let (split, split_report) = tight.run(&index, &requests).unwrap();
+    assert!(split_report.batches >= 6, "16 queries / 3 per batch");
+
+    for (a, b) in base.iter().zip(&split) {
+        assert_eq!(a.hits, b.hits);
+        assert_eq!(a.audit_threshold, b.audit_threshold);
+    }
+
+    // the plan itself respects the budget
+    let batches = plan_batches(
+        &requests,
+        objects.len(),
+        index.max_object_len(),
+        1024,
+        Some(per_query * 3),
+    );
+    assert!(batches.iter().all(|b| b.requests.len() <= 3));
+}

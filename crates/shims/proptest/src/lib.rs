@@ -1,0 +1,187 @@
+//! Offline stand-in for the `proptest` crate.
+//!
+//! Implements the subset this workspace uses: integer-range strategies,
+//! tuples, `collection::vec`, `prop_map`, the `proptest!` macro with an
+//! optional `#![proptest_config(..)]` header, and the `prop_assert*`
+//! macros. Cases are generated from a deterministic per-case seed;
+//! failures panic with the assert message. There is **no shrinking** —
+//! a failing case prints its assertion context instead of a minimised
+//! input, which is adequate for CI regression detection.
+
+pub mod strategy;
+
+pub use strategy::Strategy;
+
+/// Deterministic generator handed to strategies (SplitMix64).
+pub struct TestRng {
+    state: u64,
+}
+
+impl TestRng {
+    pub fn new(seed: u64) -> Self {
+        Self { state: seed }
+    }
+
+    pub fn next_u64(&mut self) -> u64 {
+        self.state = self.state.wrapping_add(0x9E37_79B9_7F4A_7C15);
+        let mut z = self.state;
+        z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+        z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+        z ^ (z >> 31)
+    }
+
+    /// Uniform draw from `[lo, hi)` as i128 (shared by all int widths).
+    pub fn in_range(&mut self, lo: i128, hi: i128) -> i128 {
+        assert!(lo < hi, "empty strategy range");
+        let span = (hi - lo) as u128;
+        lo + (self.next_u64() as u128 % span) as i128
+    }
+}
+
+pub mod test_runner {
+    /// Runner configuration; only `cases` is honoured.
+    #[derive(Debug, Clone)]
+    pub struct Config {
+        pub cases: u32,
+    }
+
+    impl Config {
+        pub fn with_cases(cases: u32) -> Self {
+            Self { cases }
+        }
+    }
+
+    impl Default for Config {
+        fn default() -> Self {
+            // upstream defaults to 256; trimmed because several suites
+            // drive the full simulated device per case
+            Self { cases: 32 }
+        }
+    }
+}
+
+pub mod collection {
+    use crate::strategy::Strategy;
+    use crate::TestRng;
+    use std::ops::Range;
+
+    /// Strategy for `Vec<S::Value>` with a length drawn from `size`.
+    pub fn vec<S: Strategy>(element: S, size: Range<usize>) -> VecStrategy<S> {
+        VecStrategy { element, size }
+    }
+
+    pub struct VecStrategy<S> {
+        element: S,
+        size: Range<usize>,
+    }
+
+    impl<S: Strategy> Strategy for VecStrategy<S> {
+        type Value = Vec<S::Value>;
+
+        fn generate(&self, rng: &mut TestRng) -> Self::Value {
+            let len = rng.in_range(self.size.start as i128, self.size.end as i128) as usize;
+            (0..len).map(|_| self.element.generate(rng)).collect()
+        }
+    }
+}
+
+pub mod prelude {
+    pub use crate::test_runner::Config as ProptestConfig;
+    pub use crate::Strategy;
+    pub use crate::{prop_assert, prop_assert_eq, prop_assert_ne, proptest};
+}
+
+/// Assertion macros: forwarded to `assert!`-family (no shrinking, so a
+/// failure aborts the test directly with the case's values in scope).
+#[macro_export]
+macro_rules! prop_assert {
+    ($($args:tt)*) => { assert!($($args)*) };
+}
+
+#[macro_export]
+macro_rules! prop_assert_eq {
+    ($($args:tt)*) => { assert_eq!($($args)*) };
+}
+
+#[macro_export]
+macro_rules! prop_assert_ne {
+    ($($args:tt)*) => { assert_ne!($($args)*) };
+}
+
+/// The `proptest!` block: an optional config header followed by test
+/// functions whose arguments are `pattern in strategy` bindings.
+#[macro_export]
+macro_rules! proptest {
+    (#![proptest_config($cfg:expr)] $($rest:tt)*) => {
+        $crate::__proptest_fns! { ($cfg) $($rest)* }
+    };
+    ($($rest:tt)*) => {
+        $crate::__proptest_fns! { ($crate::test_runner::Config::default()) $($rest)* }
+    };
+}
+
+#[doc(hidden)]
+#[macro_export]
+macro_rules! __proptest_fns {
+    (($cfg:expr)) => {};
+    (($cfg:expr)
+     $(#[$meta:meta])*
+     fn $name:ident($($pat:pat_param in $strat:expr),+ $(,)?) $body:block
+     $($rest:tt)*) => {
+        $(#[$meta])*
+        fn $name() {
+            let __config = $cfg;
+            // per-test stream: derived from the test's name so sibling
+            // tests do not share cases
+            let __seed = {
+                let mut h = 0xcbf2_9ce4_8422_2325u64;
+                for b in stringify!($name).bytes() {
+                    h ^= b as u64;
+                    h = h.wrapping_mul(0x1000_0000_01b3);
+                }
+                h
+            };
+            for __case in 0..__config.cases {
+                let mut __rng =
+                    $crate::TestRng::new(__seed ^ (__case as u64).wrapping_mul(0x9E37_79B9));
+                $(let $pat = $crate::Strategy::generate(&($strat), &mut __rng);)+
+                $body
+            }
+        }
+        $crate::__proptest_fns! { ($cfg) $($rest)* }
+    };
+}
+
+#[cfg(test)]
+mod tests {
+    use crate::prelude::*;
+
+    proptest! {
+        #![proptest_config(ProptestConfig::with_cases(64))]
+
+        #[test]
+        fn vec_lengths_respect_the_size_range(
+            v in crate::collection::vec(0u8..5, 2..9),
+        ) {
+            prop_assert!((2..9).contains(&v.len()));
+            prop_assert!(v.iter().all(|&x| x < 5));
+        }
+
+        #[test]
+        fn tuples_and_maps_compose(
+            (a, b) in (0u32..10, 5usize..6),
+            s in (1i64..4).prop_map(|x| x * 10),
+        ) {
+            prop_assert!(a < 10);
+            prop_assert_eq!(b, 5);
+            prop_assert!(s == 10 || s == 20 || s == 30);
+        }
+    }
+
+    proptest! {
+        #[test]
+        fn default_config_runs(x in 0u64..100) {
+            prop_assert!(x < 100);
+        }
+    }
+}

@@ -1,0 +1,222 @@
+//! Offline stand-in for the `rand` crate (0.9-style API).
+//!
+//! The build environment has no access to crates.io, so this workspace
+//! vendors the small API surface it actually uses: [`rngs::StdRng`]
+//! seeded via [`SeedableRng::seed_from_u64`], and the [`Rng`] helpers
+//! `random::<T>()` / `random_range(..)`. The generator is SplitMix64 —
+//! statistically solid for test workloads and dataset synthesis, not for
+//! cryptography. Streams differ from upstream `rand`, so seeded outputs
+//! are reproducible *within* this workspace only.
+
+use std::ops::{Bound, RangeBounds};
+
+/// Low-level entropy source: everything derives from `next_u64`.
+pub trait RngCore {
+    fn next_u64(&mut self) -> u64;
+
+    fn next_u32(&mut self) -> u32 {
+        (self.next_u64() >> 32) as u32
+    }
+}
+
+/// Construction from seeds (the subset the workspace uses).
+pub trait SeedableRng: Sized {
+    fn seed_from_u64(state: u64) -> Self;
+}
+
+/// High-level sampling helpers, blanket-implemented for every
+/// [`RngCore`].
+pub trait Rng: RngCore {
+    /// Sample from the "standard" distribution of `T` (uniform over the
+    /// type's natural domain; `[0, 1)` for floats).
+    fn random<T: SampleStandard>(&mut self) -> T
+    where
+        Self: Sized,
+    {
+        T::sample_standard(self)
+    }
+
+    /// Uniform sample from an integer or float range (`lo..hi` or
+    /// `lo..=hi`). Panics on empty ranges.
+    fn random_range<T, R>(&mut self, range: R) -> T
+    where
+        T: SampleUniform,
+        R: RangeBounds<T>,
+        Self: Sized,
+    {
+        T::sample_range(self, &range)
+    }
+
+    /// Bernoulli sample with success probability `p`.
+    fn random_bool(&mut self, p: f64) -> bool
+    where
+        Self: Sized,
+    {
+        self.random::<f64>() < p
+    }
+}
+
+impl<R: RngCore> Rng for R {}
+
+/// Types samplable by [`Rng::random`].
+pub trait SampleStandard {
+    fn sample_standard<R: RngCore>(rng: &mut R) -> Self;
+}
+
+impl SampleStandard for f64 {
+    fn sample_standard<R: RngCore>(rng: &mut R) -> Self {
+        // 53 mantissa bits -> uniform in [0, 1)
+        (rng.next_u64() >> 11) as f64 * (1.0 / (1u64 << 53) as f64)
+    }
+}
+
+impl SampleStandard for f32 {
+    fn sample_standard<R: RngCore>(rng: &mut R) -> Self {
+        (rng.next_u32() >> 8) as f32 * (1.0 / (1u32 << 24) as f32)
+    }
+}
+
+impl SampleStandard for bool {
+    fn sample_standard<R: RngCore>(rng: &mut R) -> Self {
+        rng.next_u64() & 1 == 1
+    }
+}
+
+macro_rules! standard_int {
+    ($($t:ty),*) => {$(
+        impl SampleStandard for $t {
+            fn sample_standard<R: RngCore>(rng: &mut R) -> Self {
+                rng.next_u64() as $t
+            }
+        }
+    )*};
+}
+standard_int!(u8, u16, u32, u64, usize, i8, i16, i32, i64, isize);
+
+/// Types samplable by [`Rng::random_range`].
+pub trait SampleUniform: Sized {
+    fn sample_range<R: RngCore, B: RangeBounds<Self>>(rng: &mut R, range: &B) -> Self;
+}
+
+macro_rules! uniform_int {
+    ($($t:ty),*) => {$(
+        impl SampleUniform for $t {
+            fn sample_range<R: RngCore, B: RangeBounds<Self>>(rng: &mut R, range: &B) -> Self {
+                let lo: i128 = match range.start_bound() {
+                    Bound::Included(&x) => x as i128,
+                    Bound::Excluded(&x) => x as i128 + 1,
+                    Bound::Unbounded => <$t>::MIN as i128,
+                };
+                let hi: i128 = match range.end_bound() {
+                    Bound::Included(&x) => x as i128,
+                    Bound::Excluded(&x) => x as i128 - 1,
+                    Bound::Unbounded => <$t>::MAX as i128,
+                };
+                assert!(lo <= hi, "cannot sample from an empty range");
+                let span = (hi - lo + 1) as u128;
+                // modulo draw: the bias is < 2^-64 per sample, irrelevant
+                // for test and dataset generation
+                (lo + (rng.next_u64() as u128 % span) as i128) as $t
+            }
+        }
+    )*};
+}
+uniform_int!(u8, u16, u32, u64, usize, i8, i16, i32, i64, isize);
+
+macro_rules! uniform_float {
+    ($($t:ty),*) => {$(
+        impl SampleUniform for $t {
+            fn sample_range<R: RngCore, B: RangeBounds<Self>>(rng: &mut R, range: &B) -> Self {
+                let lo = match range.start_bound() {
+                    Bound::Included(&x) | Bound::Excluded(&x) => x,
+                    Bound::Unbounded => 0.0,
+                };
+                let hi = match range.end_bound() {
+                    Bound::Included(&x) | Bound::Excluded(&x) => x,
+                    Bound::Unbounded => 1.0,
+                };
+                assert!(lo < hi, "cannot sample from an empty float range");
+                let unit = <$t as SampleStandard>::sample_standard(rng);
+                lo + (hi - lo) * unit
+            }
+        }
+    )*};
+}
+uniform_float!(f32, f64);
+
+pub mod rngs {
+    use super::{RngCore, SeedableRng};
+
+    /// The workspace's standard seeded generator: SplitMix64.
+    #[derive(Debug, Clone)]
+    pub struct StdRng {
+        state: u64,
+    }
+
+    impl SeedableRng for StdRng {
+        fn seed_from_u64(state: u64) -> Self {
+            Self { state }
+        }
+    }
+
+    impl RngCore for StdRng {
+        fn next_u64(&mut self) -> u64 {
+            self.state = self.state.wrapping_add(0x9E37_79B9_7F4A_7C15);
+            let mut z = self.state;
+            z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+            z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+            z ^ (z >> 31)
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::rngs::StdRng;
+    use super::{Rng, SeedableRng};
+
+    #[test]
+    fn seeded_streams_are_reproducible() {
+        let mut a = StdRng::seed_from_u64(42);
+        let mut b = StdRng::seed_from_u64(42);
+        for _ in 0..100 {
+            assert_eq!(a.random::<u64>(), b.random::<u64>());
+        }
+    }
+
+    #[test]
+    fn ranges_stay_in_bounds() {
+        let mut rng = StdRng::seed_from_u64(7);
+        for _ in 0..1000 {
+            let x = rng.random_range(3..17u32);
+            assert!((3..17).contains(&x));
+            let y = rng.random_range(0..=4usize);
+            assert!(y <= 4);
+            let z = rng.random_range(-5..5i64);
+            assert!((-5..5).contains(&z));
+            let f = rng.random_range(1.5..2.5f64);
+            assert!((1.5..2.5).contains(&f));
+        }
+    }
+
+    #[test]
+    fn unit_floats_cover_the_interval() {
+        let mut rng = StdRng::seed_from_u64(11);
+        let mut lo_seen = false;
+        let mut hi_seen = false;
+        for _ in 0..10_000 {
+            let f: f64 = rng.random();
+            assert!((0.0..1.0).contains(&f));
+            lo_seen |= f < 0.1;
+            hi_seen |= f > 0.9;
+        }
+        assert!(lo_seen && hi_seen, "samples should spread over [0, 1)");
+    }
+
+    #[test]
+    fn single_value_ranges_work() {
+        let mut rng = StdRng::seed_from_u64(1);
+        assert_eq!(rng.random_range(5..6u32), 5);
+        assert_eq!(rng.random_range(9..=9usize), 9);
+    }
+}

@@ -1,0 +1,15 @@
+//! Offline stand-in for `serde`.
+//!
+//! Supplies the `Serialize`/`Deserialize` names (trait + derive macro,
+//! like the real crate) so seed types keep compiling unmodified. The
+//! derives are no-ops — see the `serde_derive` shim. If real
+//! serialisation is ever needed, swap these shims for the published
+//! crates; the call sites will not change.
+
+pub use serde_derive::{Deserialize, Serialize};
+
+/// Marker stand-in for `serde::Serialize`.
+pub trait Serialize {}
+
+/// Marker stand-in for `serde::Deserialize<'de>`.
+pub trait Deserialize<'de> {}

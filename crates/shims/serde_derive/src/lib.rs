@@ -1,0 +1,19 @@
+//! Offline stand-in for `serde_derive`.
+//!
+//! The workspace cannot reach crates.io, and nothing in it calls serde's
+//! serialisation methods (the index codec in `genie_core::io` is a
+//! hand-written binary format). The derives therefore expand to nothing:
+//! `#[derive(Serialize, Deserialize)]` stays valid on every type without
+//! generating code.
+
+use proc_macro::TokenStream;
+
+#[proc_macro_derive(Serialize)]
+pub fn derive_serialize(_input: TokenStream) -> TokenStream {
+    TokenStream::new()
+}
+
+#[proc_macro_derive(Deserialize)]
+pub fn derive_deserialize(_input: TokenStream) -> TokenStream {
+    TokenStream::new()
+}

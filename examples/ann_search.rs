@@ -52,12 +52,18 @@ fn main() {
         ratios.push(approximation_ratio(&reported, &true_d));
     }
     let mean_ratio = ratios.iter().sum::<f64>() / ratios.len() as f64;
-    println!("mean approximation ratio over {} queries: {mean_ratio:.4}", ratios.len());
+    println!(
+        "mean approximation ratio over {} queries: {mean_ratio:.4}",
+        ratios.len()
+    );
     assert!(mean_ratio < 1.5, "ANN quality degraded unexpectedly");
 
     println!(
         "match stage: {:.1} us simulated, select stage: {:.1} us",
         out.profile.match_us, out.profile.select_us
     );
-    println!("c-PQ memory per query: {} KiB", out.cpq_bytes_per_query / 1024);
+    println!(
+        "c-PQ memory per query: {} KiB",
+        out.cpq_bytes_per_query / 1024
+    );
 }

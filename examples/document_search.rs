@@ -40,7 +40,10 @@ fn main() {
         for hit in hits.iter().take(3) {
             let dset: HashSet<&str> = data[hit.id as usize].iter().map(|s| s.as_str()).collect();
             let shared = qset.intersection(&dset).count();
-            println!("  doc {} shares {} words (count = {})", hit.id, shared, hit.count);
+            println!(
+                "  doc {} shares {} words (count = {})",
+                hit.id, shared, hit.count
+            );
             assert_eq!(shared as u32, hit.count, "count must equal inner product");
         }
     }

@@ -29,15 +29,27 @@ fn main() {
 
     // Q1 of the paper: 1 <= A <= 2, B = 1, 2 <= C <= 3
     let q1 = vec![
-        Condition::BucketRange { attr: 0, lo: 1, hi: 2 },
+        Condition::BucketRange {
+            attr: 0,
+            lo: 1,
+            hi: 2,
+        },
         Condition::CatEq { attr: 1, value: 1 },
-        Condition::BucketRange { attr: 2, lo: 2, hi: 3 },
+        Condition::BucketRange {
+            attr: 2,
+            lo: 2,
+            hi: 3,
+        },
     ];
 
     let results = table.search(&engine, &device_index, &[q1], 3);
     println!("top-k rows by number of satisfied conditions:");
     for hit in &results[0] {
-        println!("  row O{} satisfies {} of 3 conditions", hit.id + 1, hit.count);
+        println!(
+            "  row O{} satisfies {} of 3 conditions",
+            hit.id + 1,
+            hit.count
+        );
     }
     assert_eq!(results[0][0].id, 1, "O2 satisfies all three conditions");
 

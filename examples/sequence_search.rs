@@ -32,8 +32,7 @@ fn main() {
     for ((report, &src), query) in reports.iter().zip(&cq.sources).zip(&cq.queries) {
         if let Some(best) = report.hits.first() {
             // the best hit must be at least as close as the source title
-            let source_dist =
-                genie::sa::edit::edit_distance(query, &data[src as usize]) as u32;
+            let source_dist = genie::sa::edit::edit_distance(query, &data[src as usize]) as u32;
             if best.distance <= source_dist {
                 correct += 1;
             }

@@ -23,9 +23,7 @@ fn main() {
     println!("indexing {n} random labelled trees (binary branches)...");
     let trees = trees_like(n, 24, 12, 7);
     let tree_index = TreeIndex::build(trees.clone());
-    let didx = engine
-        .upload(Arc::clone(tree_index.inverted_index()))
-        .unwrap();
+    let didx = SearchBackend::upload(&engine, Arc::clone(tree_index.inverted_index())).unwrap();
 
     // queries: corrupted copies of known trees (<= 4 relabels)
     let queries: Vec<_> = (0..16)
@@ -58,9 +56,7 @@ fn main() {
     println!("indexing {n} random labelled graphs (stars)...");
     let graphs = graphs_like(n, 16, 8, 3, 13);
     let graph_index = GraphIndex::build(graphs.clone());
-    let didx = engine
-        .upload(Arc::clone(graph_index.inverted_index()))
-        .unwrap();
+    let didx = SearchBackend::upload(&engine, Arc::clone(graph_index.inverted_index())).unwrap();
 
     let queries: Vec<_> = (0..16)
         .map(|i| mutate_graph(&graphs[i * 7], 2, &mut rng, 8))

@@ -1,14 +1,16 @@
 //! genie-cli — command-line similarity search over plain-text files.
 //!
 //! ```text
-//! genie-cli docs  <corpus.txt> --query "<words>"  [-k 5]
-//! genie-cli fuzzy <corpus.txt> --query "<string>" [-k 3] [-K 64] [-n 3]
+//! genie-cli docs  <corpus.txt> --query "<words>"  [-k 5] [--backend sim|cpu|multi]
+//! genie-cli fuzzy <corpus.txt> --query "<string>" [-k 3] [-K 64] [-n 3] [--backend ...]
 //! ```
 //!
 //! `docs` ranks lines by the number of distinct shared words (the
 //! short-document pipeline); `fuzzy` ranks lines by edit distance via
-//! n-gram filtering plus verification (the sequence pipeline). Both run
-//! on the simulated SIMT device and print per-stage timing.
+//! n-gram filtering plus verification (the sequence pipeline). The
+//! `--backend` flag picks the execution engine: the simulated SIMT
+//! device (default, prints per-stage cost-model timing), the pure-CPU
+//! backend, or a two-device multi-load backend.
 
 use std::process::exit;
 use std::sync::Arc;
@@ -17,8 +19,8 @@ use genie::prelude::*;
 
 fn usage() -> ! {
     eprintln!(
-        "usage:\n  genie-cli docs  <corpus.txt> --query \"<words>\"  [-k N]\n  \
-         genie-cli fuzzy <corpus.txt> --query \"<string>\" [-k N] [-K CANDS] [-n NGRAM]"
+        "usage:\n  genie-cli docs  <corpus.txt> --query \"<words>\"  [-k N] [--backend sim|cpu|multi]\n  \
+         genie-cli fuzzy <corpus.txt> --query \"<string>\" [-k N] [-K CANDS] [-n NGRAM] [--backend sim|cpu|multi]"
     );
     exit(2);
 }
@@ -30,6 +32,7 @@ struct Args {
     k: usize,
     big_k: usize,
     ngram: usize,
+    backend: String,
 }
 
 fn parse_args() -> Args {
@@ -44,6 +47,7 @@ fn parse_args() -> Args {
         k: 5,
         big_k: 64,
         ngram: 3,
+        backend: "sim".to_string(),
     };
     let mut i = 2;
     while i < argv.len() {
@@ -52,17 +56,30 @@ fn parse_args() -> Args {
                 i += 1;
                 args.query = argv.get(i).unwrap_or_else(|| usage()).clone();
             }
+            "--backend" => {
+                i += 1;
+                args.backend = argv.get(i).unwrap_or_else(|| usage()).clone();
+            }
             "-k" => {
                 i += 1;
-                args.k = argv.get(i).and_then(|v| v.parse().ok()).unwrap_or_else(|| usage());
+                args.k = argv
+                    .get(i)
+                    .and_then(|v| v.parse().ok())
+                    .unwrap_or_else(|| usage());
             }
             "-K" => {
                 i += 1;
-                args.big_k = argv.get(i).and_then(|v| v.parse().ok()).unwrap_or_else(|| usage());
+                args.big_k = argv
+                    .get(i)
+                    .and_then(|v| v.parse().ok())
+                    .unwrap_or_else(|| usage());
             }
             "-n" => {
                 i += 1;
-                args.ngram = argv.get(i).and_then(|v| v.parse().ok()).unwrap_or_else(|| usage());
+                args.ngram = argv
+                    .get(i)
+                    .and_then(|v| v.parse().ok())
+                    .unwrap_or_else(|| usage());
             }
             _ => usage(),
         }
@@ -72,6 +89,18 @@ fn parse_args() -> Args {
         usage();
     }
     args
+}
+
+fn make_backend(name: &str, corpus_lines: usize) -> Box<dyn SearchBackend> {
+    match name {
+        "sim" => Box::new(Engine::new(Arc::new(Device::with_defaults()))),
+        "cpu" => Box::new(CpuBackend::new()),
+        "multi" => Box::new(MultiDeviceBackend::with_default_devices(
+            2,
+            corpus_lines.div_ceil(2).max(1),
+        )),
+        _ => usage(),
+    }
 }
 
 fn main() {
@@ -89,7 +118,14 @@ fn main() {
         exit(1);
     }
     println!("{} lines loaded from {}", lines.len(), args.corpus);
-    let engine = Engine::new(Arc::new(Device::with_defaults()));
+    let backend = make_backend(&args.backend, lines.len());
+    let caps = backend.capabilities();
+    println!(
+        "backend: {} ({} execution unit{})",
+        caps.name,
+        caps.devices,
+        if caps.devices == 1 { "" } else { "s" }
+    );
 
     match args.mode.as_str() {
         "docs" => {
@@ -105,13 +141,13 @@ fn main() {
                 index.vocabulary_size(),
                 built.elapsed()
             );
-            let dindex = engine.upload(Arc::clone(index.inverted_index())).unwrap();
+            let bindex = index.upload(&*backend).unwrap();
             let q: Vec<String> = args
                 .query
                 .split_whitespace()
                 .map(|w| w.to_lowercase())
                 .collect();
-            let results = index.search(&engine, &dindex, &[q], args.k);
+            let results = index.search(&*backend, &bindex, &[q], args.k);
             println!("\ntop-{} lines by shared words:", args.k);
             for hit in &results[0] {
                 println!("  [{} shared] {}", hit.count, lines[hit.id as usize]);
@@ -127,10 +163,10 @@ fn main() {
                 args.ngram,
                 built.elapsed()
             );
-            let dindex = index.upload(&engine).unwrap();
+            let bindex = index.upload(&*backend).unwrap();
             let reports = index.search(
-                &engine,
-                &dindex,
+                &*backend,
+                &bindex,
                 &[args.query.clone().into_bytes()],
                 args.big_k,
                 args.k,
@@ -147,11 +183,14 @@ fn main() {
         _ => usage(),
     }
 
-    let c = engine.device().counters();
-    println!(
-        "\ndevice: {} launches, {:.1} us simulated, {} B transferred",
-        c.launches,
-        c.sim_us(engine.device().cost_model()),
-        c.h2d_bytes + c.d2h_bytes
-    );
+    // device-specific counters only exist on the simulated engine
+    if let Some(engine) = backend.as_any().downcast_ref::<Engine>() {
+        let c = engine.device().counters();
+        println!(
+            "\ndevice: {} launches, {:.1} us simulated, {} B transferred",
+            c.launches,
+            c.sim_us(engine.device().cost_model()),
+            c.h2d_bytes + c.d2h_bytes
+        );
+    }
 }

@@ -13,7 +13,9 @@
 //!   documents, relational tables;
 //! * [`baselines`] (`genie-baselines`) — every competitor of the
 //!   paper's evaluation;
-//! * [`datasets`] (`genie-datasets`) — seeded synthetic corpora.
+//! * [`datasets`] (`genie-datasets`) — seeded synthetic corpora;
+//! * [`service`] (`genie-service`) — the multi-client query scheduler:
+//!   micro-batching, multi-backend dispatch, per-client routing.
 //!
 //! ## Quickstart
 //!
@@ -40,6 +42,7 @@ pub use genie_core as core;
 pub use genie_datasets as datasets;
 pub use genie_lsh as lsh;
 pub use genie_sa as sa;
+pub use genie_service as service;
 pub use gpu_sim;
 
 /// One-stop imports for typical use.
@@ -47,5 +50,8 @@ pub mod prelude {
     pub use genie_core::prelude::*;
     pub use genie_lsh::{AnnIndex, AnnParams, Transformer};
     pub use genie_sa::{DocumentIndex, RelationalIndex, SequenceIndex};
+    pub use genie_service::{
+        PreparedIndex, QueryRequest, QueryResponse, QueryScheduler, ScheduleReport, SchedulerConfig,
+    };
     pub use gpu_sim::{Device, DeviceConfig};
 }

@@ -154,7 +154,11 @@ fn ocr_1nn_classification_beats_chance_by_far() {
     let predicted: Vec<u32> = out
         .results
         .iter()
-        .map(|hits| hits.first().map(|h| train_labels[h.id as usize]).unwrap_or(0))
+        .map(|hits| {
+            hits.first()
+                .map(|h| train_labels[h.id as usize])
+                .unwrap_or(0)
+        })
         .collect();
     let report = genie::lsh::knn::classification_report(&predicted, &test_labels);
     assert!(

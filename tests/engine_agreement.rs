@@ -69,7 +69,10 @@ fn all_four_engines_agree_with_brute_force() {
     for (qi, q) in queries.iter().enumerate() {
         let brute: Vec<u32> = {
             let counts: Vec<u32> = objects.iter().map(|o| match_count(q, o)).collect();
-            reference_top_k(&counts, k).iter().map(|h| h.count).collect()
+            reference_top_k(&counts, k)
+                .iter()
+                .map(|h| h.count)
+                .collect()
         };
         assert_eq!(counts_of(&genie_out.results[qi]), brute, "GENIE q{qi}");
         assert_eq!(counts_of(&gen_spq_out.results[qi]), brute, "GEN-SPQ q{qi}");

@@ -58,7 +58,11 @@ fn accuracy_degrades_gracefully_with_modification_rate() {
         accuracies.push(correct as f64 / 25.0);
     }
     assert!(accuracies[0] >= accuracies[1] - 0.12, "{accuracies:?}");
-    assert!(accuracies[1] >= 0.7, "40% corruption accuracy {:.2}", accuracies[1]);
+    assert!(
+        accuracies[1] >= 0.7,
+        "40% corruption accuracy {:.2}",
+        accuracies[1]
+    );
 }
 
 #[test]

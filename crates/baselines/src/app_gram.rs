@@ -11,6 +11,7 @@
 use std::collections::HashMap;
 use std::time::Instant;
 
+use genie_core::exec::elapsed_us;
 use genie_sa::ngram::{ordered_ngrams, OrderedGram};
 use genie_sa::verify::{verify_candidates, Candidate, VerifiedHit};
 
@@ -65,7 +66,7 @@ impl AppGram {
     pub fn search(&self, queries: &[Vec<u8>], k: usize) -> (Vec<Vec<VerifiedHit>>, f64) {
         let started = Instant::now();
         let results = queries.iter().map(|q| self.knn(q, k)).collect();
-        (results, started.elapsed().as_micros() as f64)
+        (results, elapsed_us(started))
     }
 }
 

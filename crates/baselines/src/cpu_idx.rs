@@ -7,6 +7,7 @@
 
 use std::time::Instant;
 
+use genie_core::exec::elapsed_us;
 use genie_core::index::InvertedIndex;
 use genie_core::model::Query;
 use genie_core::topk::{partial_top_k as shared_partial_top_k, TopHit};
@@ -41,7 +42,7 @@ pub fn search(index: &InvertedIndex, queries: &[Query], k: usize) -> CpuIdxOutpu
 
     CpuIdxOutput {
         results,
-        host_us: started.elapsed().as_micros() as f64,
+        host_us: elapsed_us(started),
     }
 }
 

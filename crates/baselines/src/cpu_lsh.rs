@@ -12,6 +12,7 @@
 use std::collections::HashMap;
 use std::time::Instant;
 
+use genie_core::exec::elapsed_us;
 use genie_lsh::family::LshFamily;
 use genie_lsh::knn::{distance, Metric};
 use genie_lsh::transform::Transformer;
@@ -92,7 +93,7 @@ impl<'a, F: LshFamily<[f32]>> CpuLsh<'a, F> {
     pub fn search(&self, queries: &[Vec<f32>], k: usize) -> (Vec<Vec<(u32, f64)>>, f64) {
         let started = Instant::now();
         let results = queries.iter().map(|q| self.knn(q, k)).collect();
-        (results, started.elapsed().as_micros() as f64)
+        (results, elapsed_us(started))
     }
 }
 

@@ -7,6 +7,7 @@
 //! ```
 
 use genie_bench::experiments as exp;
+use genie_bench::serving;
 use genie_bench::workloads::Scale;
 
 fn main() {
@@ -15,7 +16,8 @@ fn main() {
         eprintln!(
             "usage: repro [--quick] [--all] [--fig8] [--fig9] [--fig10] [--fig11] \
              [--fig12] [--fig13] [--fig14] [--table1] [--table2] [--table4] \
-             [--table5] [--table6] [--ext-structures] [--ext-tau]"
+             [--table5] [--table6] [--ext-structures] [--ext-tau] [--serving] \
+             [--serving-smoke]"
         );
         std::process::exit(2);
     }
@@ -79,5 +81,13 @@ fn main() {
     }
     if all || has("--ext-tau") {
         exp::ext_tau(scale);
+    }
+    if all || has("--serving") {
+        serving::serving(scale);
+    }
+    if has("--serving-smoke") {
+        // deliberately not part of --all: a fixed-size CI gate that
+        // exercises the live serving loop with both wave triggers
+        serving::serving_smoke();
     }
 }

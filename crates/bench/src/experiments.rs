@@ -14,7 +14,7 @@ use std::sync::Arc;
 use genie_baselines::app_gram::AppGram;
 use genie_baselines::{cpu_lsh::CpuLsh, gpu_lsh};
 use genie_core::backend::SearchBackend;
-use genie_core::exec::{Engine, EngineConfig};
+use genie_core::exec::{elapsed_us, Engine, EngineConfig};
 use genie_core::index::LoadBalanceConfig;
 use genie_core::multiload::{build_parts, multi_load_search};
 use genie_lsh::knn::{approximation_ratio, classification_report, exact_knn, l2_distance, Metric};
@@ -635,7 +635,7 @@ pub fn table6_7(scale: Scale) {
     let accuracy_for = |queries: &[Vec<u8>], kc: usize| -> (f64, f64) {
         let started = std::time::Instant::now();
         let reports = index.search(&engine, &didx, queries, kc, 1);
-        let host_us = started.elapsed().as_micros() as f64;
+        let host_us = elapsed_us(started);
         let correct = queries
             .iter()
             .zip(&reports)
@@ -726,7 +726,7 @@ pub fn ext_structures(scale: Scale) {
             .collect();
         let started = std::time::Instant::now();
         let results = tree_index.search(&engine, &didx, &queries, 32, 1);
-        let us = started.elapsed().as_micros() as f64;
+        let us = elapsed_us(started);
         let correct = queries
             .iter()
             .zip(&results)
@@ -770,7 +770,7 @@ pub fn ext_structures(scale: Scale) {
             .collect();
         let started = std::time::Instant::now();
         let results = graph_index.search(&engine, &didx, &queries, 32, 3);
-        let us = started.elapsed().as_micros() as f64;
+        let us = elapsed_us(started);
         let found = sources
             .iter()
             .zip(&results)

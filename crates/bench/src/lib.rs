@@ -10,7 +10,10 @@
 //! * [`runners`] — uniform "run method X on bundle Y, return its time"
 //!   wrappers around GENIE and all baselines;
 //! * [`experiments`] — one function per table/figure, printing the same
-//!   rows/series the paper reports.
+//!   rows/series the paper reports;
+//! * [`serving`] — the always-on serving workload: concurrent
+//!   submitters against a `GenieService`, reporting p50/p95/p99 request
+//!   latency and achieved batch occupancy vs `max_queue_delay`.
 //!
 //! Device-side methods report *simulated* time (the cost model of
 //! `gpu-sim`); host-side methods report wall-clock. Comparisons across
@@ -18,6 +21,7 @@
 
 pub mod experiments;
 pub mod runners;
+pub mod serving;
 pub mod workloads;
 
 /// Format a microsecond quantity as milliseconds with 2 decimals.

@@ -5,7 +5,7 @@ use std::sync::Arc;
 
 use genie_baselines::{app_gram::AppGram, cpu_idx, gen_spq, gpu_spq};
 use genie_core::backend::{BackendIndex, SearchBackend};
-use genie_core::exec::{DeviceIndex, Engine, EngineConfig, StageProfile};
+use genie_core::exec::{elapsed_us, DeviceIndex, Engine, EngineConfig, StageProfile};
 use genie_core::index::{IndexBuilder, InvertedIndex, LoadBalanceConfig};
 use genie_core::model::Query;
 use genie_core::topk::TopHit;
@@ -98,7 +98,7 @@ impl GenieSession {
         let mut b = IndexBuilder::new();
         b.add_objects(data.objects.iter());
         let index = Arc::new(b.build(load_balance));
-        let build_host_us = started.elapsed().as_micros() as f64;
+        let build_host_us = elapsed_us(started);
         let bindex = backend.upload(Arc::clone(&index)).expect("index fits");
         Self {
             backend,
@@ -112,7 +112,7 @@ impl GenieSession {
     pub fn run(&self, queries: &[Query], k: usize) -> (Vec<Vec<TopHit>>, RunTime, StageProfile) {
         let started = std::time::Instant::now();
         let out = self.backend.search_batch(&self.bindex, queries, k);
-        let host_us = started.elapsed().as_micros() as f64;
+        let host_us = elapsed_us(started);
         let time = if self.backend.capabilities().reports_sim_time {
             RunTime::device(out.profile.sim_total_us(), host_us)
         } else {
@@ -148,7 +148,7 @@ pub fn run_gen_spq(session: &GenieSession, queries: &[Query], k: usize) -> (RunT
     let started = std::time::Instant::now();
     let out = gen_spq::search(engine, dindex, queries, k, 256);
     (
-        RunTime::device(out.sim_us, started.elapsed().as_micros() as f64),
+        RunTime::device(out.sim_us, elapsed_us(started)),
         out.bytes_per_query,
     )
 }
@@ -159,7 +159,7 @@ pub fn run_gpu_spq(data: &MatchData, queries: &[Query], k: usize) -> RunTime {
     let store = gpu_spq::GpuSpqData::upload(&device, &data.objects);
     let started = std::time::Instant::now();
     let out = gpu_spq::search(&device, &store, queries, k, 256);
-    RunTime::device(out.sim_us, started.elapsed().as_micros() as f64)
+    RunTime::device(out.sim_us, elapsed_us(started))
 }
 
 /// CPU-Idx on a prebuilt host index.

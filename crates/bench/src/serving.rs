@@ -1,0 +1,323 @@
+//! The serving-workload runner: concurrent submitter threads driving a
+//! [`GenieService`], reporting request-latency percentiles (p50/p95/
+//! p99) and achieved batch occupancy as `max_queue_delay` varies.
+//!
+//! Where [`runners`](crate::runners) measures one pre-collected batch,
+//! this module measures the *always-on* path: requests trickle in from
+//! client threads, the admission queue accumulates them, and waves are
+//! cut by the size/deadline triggers. The figure of merit is the
+//! latency a client actually observes (submit → ticket resolution) and
+//! how full the executed micro-batches were.
+
+use std::sync::Arc;
+use std::time::Duration;
+
+use genie_core::backend::CpuBackend;
+use genie_core::index::IndexBuilder;
+use genie_core::model::Query;
+pub use genie_service::percentile_us;
+use genie_service::{GenieService, QueryScheduler, SchedulerConfig, ServiceConfig, ServiceStats};
+
+use crate::workloads::{sift_bundle, MatchData, Scale};
+use crate::{ms, row};
+
+/// One serving run's shape.
+#[derive(Debug, Clone, Copy)]
+pub struct ServingWorkload {
+    /// Concurrent submitter threads.
+    pub clients: usize,
+    /// Requests each client submits.
+    pub requests_per_client: usize,
+    /// Per-client pause between submissions (the arrival process; zero
+    /// = closed-loop flood).
+    pub submit_pacing: Duration,
+    /// Deadline trigger of the service under test.
+    pub max_queue_delay: Duration,
+    /// Batch cap of the wrapped scheduler (size trigger fires when a
+    /// `k`-group can fill this).
+    pub max_batch_queries: usize,
+    /// Result-cache entries (0 disables).
+    pub cache_capacity: usize,
+    /// `k` every client asks for.
+    pub k: usize,
+}
+
+impl Default for ServingWorkload {
+    fn default() -> Self {
+        Self {
+            clients: 8,
+            requests_per_client: 64,
+            submit_pacing: Duration::ZERO,
+            max_queue_delay: Duration::from_millis(2),
+            max_batch_queries: 256,
+            cache_capacity: 0,
+            k: 10,
+        }
+    }
+}
+
+/// What one serving run measured.
+#[derive(Debug, Clone)]
+pub struct ServingReport {
+    pub total_requests: usize,
+    /// Client-observed submit→response latency percentiles, µs.
+    pub p50_us: f64,
+    pub p95_us: f64,
+    pub p99_us: f64,
+    /// Mean queries per executed micro-batch.
+    pub batch_occupancy: f64,
+    /// The service's aggregate counters at shutdown.
+    pub stats: ServiceStats,
+}
+
+/// Run `workload` over `data` on a single [`CpuBackend`] service and
+/// measure client-observed latency.
+pub fn run_serving_workload(data: &MatchData, workload: ServingWorkload) -> ServingReport {
+    let mut b = IndexBuilder::new();
+    b.add_objects(data.objects.iter());
+    let index = Arc::new(b.build(None));
+    let scheduler = QueryScheduler::new(
+        vec![Arc::new(CpuBackend::new())],
+        SchedulerConfig {
+            max_batch_queries: workload.max_batch_queries,
+            cpq_budget_bytes: None,
+        },
+    );
+    let service = GenieService::start(
+        scheduler,
+        &index,
+        ServiceConfig {
+            max_queue_delay: workload.max_queue_delay,
+            dispatchers: 1,
+            cache_capacity: workload.cache_capacity,
+        },
+    )
+    .expect("host index always fits");
+
+    // open loop: each client is a submitter thread (paced schedule,
+    // piling requests into the admission queue) plus a waiter thread
+    // resolving its tickets as responses arrive — so a ticket's latency
+    // is submit → client-observed response, not submit → end-of-schedule
+    let mut latencies: Vec<f64> = std::thread::scope(|scope| {
+        let waiters: Vec<_> = (0..workload.clients)
+            .map(|c| {
+                let service = &service;
+                let queries = &data.queries;
+                let (tx, rx) = std::sync::mpsc::channel();
+                scope.spawn(move || {
+                    for j in 0..workload.requests_per_client {
+                        let query: Query =
+                            queries[(c * workload.requests_per_client + j) % queries.len()].clone();
+                        let _ = tx.send(service.submit(query, workload.k));
+                        if !workload.submit_pacing.is_zero() {
+                            std::thread::sleep(workload.submit_pacing);
+                        }
+                    }
+                });
+                scope.spawn(move || {
+                    rx.iter()
+                        .map(|ticket| {
+                            let submitted = ticket.submitted_at();
+                            ticket.wait().expect("serving loop answers every ticket");
+                            submitted.elapsed().as_secs_f64() * 1e6
+                        })
+                        .collect::<Vec<f64>>()
+                })
+            })
+            .collect();
+        waiters
+            .into_iter()
+            .flat_map(|h| h.join().unwrap())
+            .collect()
+    });
+    let stats = service.stats();
+    drop(service);
+
+    latencies.sort_by(|a, b| a.partial_cmp(b).unwrap());
+    ServingReport {
+        total_requests: latencies.len(),
+        p50_us: percentile_us(&latencies, 0.50),
+        p95_us: percentile_us(&latencies, 0.95),
+        p99_us: percentile_us(&latencies, 0.99),
+        batch_occupancy: stats.mean_batch_occupancy(),
+        stats,
+    }
+}
+
+/// Serving experiment: p50/p95/p99 request latency and achieved batch
+/// occupancy as `max_queue_delay` sweeps — the batching-vs-latency
+/// trade-off the admission queue exists to expose.
+pub fn serving(scale: Scale) {
+    println!("\n=== Serving workload — request latency vs max_queue_delay ===");
+    let (data, _) = sift_bundle(
+        Scale {
+            n: scale.n.min(5_000),
+            num_queries: 256,
+        },
+        8,
+        77,
+    );
+    let widths = [11, 9, 9, 9, 11, 7, 9];
+    row(
+        &[
+            "delay(ms)".into(),
+            "p50(ms)".into(),
+            "p95(ms)".into(),
+            "p99(ms)".into(),
+            "occupancy".into(),
+            "waves".into(),
+            "size/ddl".into(),
+        ],
+        &widths,
+    );
+    for delay_ms in [1u64, 2, 5, 10] {
+        let report = run_serving_workload(
+            &data,
+            ServingWorkload {
+                max_queue_delay: Duration::from_millis(delay_ms),
+                // a paced arrival process: the deadline knob now trades
+                // per-request latency against batch occupancy (a flood
+                // would fill one wave regardless of the delay)
+                submit_pacing: Duration::from_micros(300),
+                ..Default::default()
+            },
+        );
+        assert!(report.stats.wall_us > 0.0 && report.stats.stages.host_us > 0.0);
+        row(
+            &[
+                delay_ms.to_string(),
+                ms(report.p50_us),
+                ms(report.p95_us),
+                ms(report.p99_us),
+                format!("{:.1}", report.batch_occupancy),
+                report.stats.waves.to_string(),
+                format!(
+                    "{}/{}",
+                    report.stats.size_triggers, report.stats.deadline_triggers
+                ),
+            ],
+            &widths,
+        );
+    }
+}
+
+/// CI smoke: a tiny dataset driven through the live serving loop with
+/// *both* triggers provably exercised. Panics (failing CI) if a ticket
+/// strands, a trigger never fires, or a timing truncates to zero.
+pub fn serving_smoke() {
+    println!("\n=== Serving smoke (CI): tiny dataset, both triggers ===");
+    let (data, _) = sift_bundle(
+        Scale {
+            n: 400,
+            num_queries: 64,
+        },
+        8,
+        77,
+    );
+
+    // phase 1 — size trigger: a flood against a tiny batch cap under an
+    // unreachable deadline
+    let flood = run_serving_workload(
+        &data,
+        ServingWorkload {
+            clients: 4,
+            requests_per_client: 16,
+            max_batch_queries: 8,
+            // generous enough that size triggers fire first, small
+            // enough that a sub-cap tail can't stall CI for long
+            max_queue_delay: Duration::from_millis(300),
+            ..Default::default()
+        },
+    );
+    assert_eq!(flood.total_requests, 64, "every ticket must resolve");
+    assert!(
+        flood.stats.size_triggers >= 1,
+        "flood under a 30 s deadline must cut waves by size: {:?}",
+        flood.stats
+    );
+
+    // phase 2 — deadline trigger: paced trickle far below the batch cap
+    let trickle = run_serving_workload(
+        &data,
+        ServingWorkload {
+            clients: 2,
+            requests_per_client: 4,
+            submit_pacing: Duration::from_millis(8),
+            max_batch_queries: 1024,
+            max_queue_delay: Duration::from_millis(2),
+            ..Default::default()
+        },
+    );
+    assert_eq!(trickle.total_requests, 8);
+    assert!(
+        trickle.stats.deadline_triggers >= 1,
+        "a trickle can never fill a 1024 batch; the deadline must cut: {:?}",
+        trickle.stats
+    );
+
+    // the timing-truncation regression, live
+    for report in [&flood, &trickle] {
+        assert!(
+            report.stats.wall_us > 0.0 && report.stats.stages.host_us > 0.0,
+            "host/wall timings must be strictly positive: {:?}",
+            report.stats
+        );
+        assert!(report.p50_us > 0.0);
+    }
+    println!(
+        "size-trigger flood: {} waves ({} size), occupancy {:.1}; \
+         deadline trickle: {} waves ({} deadline), p50 {:.2} ms",
+        flood.stats.waves,
+        flood.stats.size_triggers,
+        flood.batch_occupancy,
+        trickle.stats.waves,
+        trickle.stats.deadline_triggers,
+        trickle.p50_us / 1000.0
+    );
+    println!("serving smoke OK");
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn percentiles_are_nearest_rank() {
+        let s: Vec<f64> = (1..=100).map(|i| i as f64).collect();
+        assert_eq!(percentile_us(&s, 0.50), 51.0);
+        assert_eq!(percentile_us(&s, 0.95), 95.0);
+        assert_eq!(percentile_us(&s, 0.99), 99.0);
+        assert_eq!(percentile_us(&[], 0.5), 0.0);
+        assert_eq!(percentile_us(&[7.0], 0.99), 7.0);
+    }
+
+    #[test]
+    fn serving_workload_resolves_every_ticket_with_batching() {
+        let (data, _) = sift_bundle(
+            Scale {
+                n: 300,
+                num_queries: 32,
+            },
+            8,
+            9,
+        );
+        let report = run_serving_workload(
+            &data,
+            ServingWorkload {
+                clients: 4,
+                requests_per_client: 8,
+                max_queue_delay: Duration::from_millis(20),
+                max_batch_queries: 256,
+                ..Default::default()
+            },
+        );
+        assert_eq!(report.total_requests, 32);
+        assert!(report.p50_us > 0.0 && report.p99_us >= report.p50_us);
+        assert!(
+            report.stats.batches < 32,
+            "closed-loop flood must batch across clients: {:?}",
+            report.stats
+        );
+        assert!(report.batch_occupancy > 1.0);
+    }
+}

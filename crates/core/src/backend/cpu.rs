@@ -23,7 +23,7 @@ use std::time::Instant;
 
 use rayon::prelude::*;
 
-use crate::exec::{SearchOutput, StageProfile};
+use crate::exec::{elapsed_us, SearchOutput, StageProfile};
 use crate::index::InvertedIndex;
 use crate::model::Query;
 use crate::topk::{audit_threshold, partial_top_k, TopHit};
@@ -97,7 +97,7 @@ impl SearchBackend for CpuBackend {
             audit_thresholds.push(at);
         }
         let profile = StageProfile {
-            host_us: started.elapsed().as_micros() as f64,
+            host_us: elapsed_us(started),
             ..Default::default()
         };
         SearchOutput {
@@ -204,6 +204,20 @@ mod tests {
                 );
             }
         }
+    }
+
+    #[test]
+    fn tiny_profile_keeps_fractional_microseconds() {
+        // regression: with `as_micros() as f64` a sub-µs search
+        // truncated to exactly 0 and latency accounting went dark
+        let cpu = CpuBackend::new();
+        let bindex = SearchBackend::upload(&cpu, index_of(&[Object::new(vec![1])])).unwrap();
+        let out = cpu.search_batch(&bindex, &[Query::from_keywords(&[1])], 1);
+        assert!(
+            out.profile.host_us > 0.0,
+            "a timed profile must be strictly positive, got {}",
+            out.profile.host_us
+        );
     }
 
     #[test]

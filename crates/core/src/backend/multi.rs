@@ -15,7 +15,7 @@ use std::sync::Arc;
 use std::time::Instant;
 
 use crate::cpq::CpqLayout;
-use crate::exec::{Engine, SearchOutput, StageProfile};
+use crate::exec::{elapsed_us, Engine, SearchOutput, StageProfile};
 use crate::index::InvertedIndex;
 use crate::model::{count_bound, Query};
 use crate::multiload::{build_parts, multi_device_search, IndexPart};
@@ -109,7 +109,7 @@ impl SearchBackend for MultiDeviceBackend {
         }
         // devices ran concurrently: latency is the wall clock of this
         // call, not the sum of per-device host times
-        profile.host_us = started.elapsed().as_micros() as f64;
+        profile.host_us = elapsed_us(started);
 
         // Theorem 3.1 on the *merged* answer: AT = global MC_k + 1
         let audit_thresholds = results

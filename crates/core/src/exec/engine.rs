@@ -10,6 +10,7 @@ use crate::index::InvertedIndex;
 use crate::model::{count_bound, Query};
 use crate::topk::{finalize_candidates, TopHit};
 
+use super::elapsed_us;
 use super::match_kernel::{build_scan_tasks, encode_tasks, TASK_WORDS};
 
 /// An inverted index whose List Array has been uploaded to the device.
@@ -197,7 +198,7 @@ impl Engine {
         // --- selection: scan each query's hash table once ---------------
         let (results, audit_thresholds, select_us) = self.select(&cpq, num_queries, k);
         profile.select_us = select_us;
-        profile.host_us = started.elapsed().as_micros() as f64;
+        profile.host_us = elapsed_us(started);
 
         SearchOutput {
             results,

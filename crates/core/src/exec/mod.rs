@@ -5,3 +5,34 @@ mod match_kernel;
 
 pub use engine::{DeviceIndex, Engine, EngineConfig, SearchOutput, StageProfile};
 pub use match_kernel::{build_scan_tasks, ScanTask};
+
+/// Microseconds elapsed since `started`, keeping fractional precision.
+///
+/// `Duration::as_micros()` truncates to whole microseconds, so stages
+/// that finish in under 1 µs report exactly 0 and short profiles
+/// under-count. Every host-side timing in the workspace goes through
+/// this helper instead.
+#[inline]
+pub fn elapsed_us(started: std::time::Instant) -> f64 {
+    started.elapsed().as_secs_f64() * 1e6
+}
+
+#[cfg(test)]
+mod timing_tests {
+    use super::elapsed_us;
+    use std::time::Instant;
+
+    #[test]
+    fn elapsed_us_keeps_fractional_microseconds() {
+        // even a trivially short span must not truncate to exactly 0:
+        // do a little real work so the clock provably advances
+        let started = Instant::now();
+        let mut acc = 0u64;
+        for i in 0..1000u64 {
+            acc = acc.wrapping_add(i * i);
+        }
+        std::hint::black_box(acc);
+        let us = elapsed_us(started);
+        assert!(us > 0.0, "sub-µs spans must keep their fractional part");
+    }
+}

@@ -10,7 +10,7 @@
 use std::sync::Arc;
 use std::time::Instant;
 
-use crate::exec::{Engine, StageProfile};
+use crate::exec::{elapsed_us, Engine, StageProfile};
 use crate::index::{IndexBuilder, InvertedIndex, LoadBalanceConfig};
 use crate::model::{Object, Query};
 use crate::topk::TopHit;
@@ -103,7 +103,7 @@ pub fn multi_load_search(
         hits.sort_unstable_by(|a, b| b.count.cmp(&a.count).then(a.id.cmp(&b.id)));
         hits.truncate(k);
     }
-    report.merge_host_us = merge_started.elapsed().as_micros() as f64;
+    report.merge_host_us = elapsed_us(merge_started);
     (merged, report)
 }
 
@@ -154,7 +154,7 @@ pub fn multi_device_search(
         hits.truncate(k);
     }
     if let Some(r) = reports.last_mut() {
-        r.merge_host_us += merge_started.elapsed().as_micros() as f64;
+        r.merge_host_us += elapsed_us(merge_started);
     }
     (merged, reports)
 }

@@ -3,7 +3,18 @@
 //! The core engine answers one synchronous batch at a time. A serving
 //! system sees something very different: many concurrent clients, each
 //! submitting a handful of queries with its *own* `k`, against a shared
-//! index. This crate bridges the two:
+//! index, *over time*. This crate bridges the two at two levels:
+//!
+//! * [`GenieService`] — the **always-on front-end**: an admission queue
+//!   any thread can [`submit`](GenieService::submit) into for a
+//!   [`ResponseTicket`], with background dispatcher threads that cut
+//!   micro-batch waves on a **size trigger** (queued requests can fill
+//!   `max_batch_queries` under the c-PQ budget, detected with the same
+//!   [`plan_batches`] the scheduler executes) or a **deadline trigger**
+//!   (the oldest queued request has aged `max_queue_delay`), plus a
+//!   `(query, k)`-keyed result cache invalidated on re-prepare. See
+//!   [`service`](GenieService) for the full trigger semantics.
+//! * [`QueryScheduler`] — the synchronous wave engine underneath:
 //!
 //! 1. **Admission** — clients submit [`QueryRequest`]s (query + per-client
 //!    `k`); the scheduler owns the batching policy.
@@ -31,14 +42,36 @@
 //! which backend serves the batch (each backend breaks such ties its
 //! own way, as the paper permits), so only counts and ATs are
 //! fleet-independent.
+//!
+//! **Fault isolation**: a backend whose `search_batch` panics mid-wave
+//! no longer poisons the other in-flight clients — the worker catches
+//! the panic, hands the batch back to the queue for the surviving
+//! backends, and the backend is reported in
+//! [`BackendUsage::failed`]. Only when *no* backend can serve a batch
+//! does the wave fail, as an `Err` naming the panics.
+//!
+//! **Timing precision**: every wall-clock figure here
+//! ([`ScheduleReport::wall_us`], the per-stage
+//! [`StageProfile`](genie_core::exec::StageProfile) totals) is computed
+//! with [`genie_core::exec::elapsed_us`], which keeps *fractional*
+//! microseconds. The previous `as_micros()` conversion truncated to
+//! whole µs, collapsing sub-µs stages to exactly 0 and silently
+//! under-reporting precisely the short, highly-batched waves this
+//! serving path exists to produce.
+
+mod service;
+
+pub use service::{
+    percentile_us, GenieService, ResponseTicket, ServiceConfig, ServiceStats, Trigger,
+};
 
 use std::collections::VecDeque;
-use std::sync::{Arc, Mutex};
+use std::sync::{Arc, Condvar, Mutex};
 use std::time::Instant;
 
 use genie_core::backend::SearchBackend;
 use genie_core::cpq::CpqLayout;
-use genie_core::exec::StageProfile;
+use genie_core::exec::{elapsed_us, StageProfile};
 use genie_core::index::InvertedIndex;
 use genie_core::model::{count_bound, Query};
 use genie_core::topk::TopHit;
@@ -144,6 +177,11 @@ pub struct BackendUsage {
     pub batches: usize,
     pub queries: usize,
     pub stages: StageProfile,
+    /// `Some(panic message)` when the backend's `search_batch` panicked
+    /// mid-wave. The failing batch is handed back to the queue for the
+    /// remaining backends; this backend serves nothing further in the
+    /// wave.
+    pub failed: Option<String>,
 }
 
 /// Group requests into executable micro-batches.
@@ -231,8 +269,25 @@ pub struct QueryScheduler {
 }
 
 impl QueryScheduler {
+    /// Build a scheduler over `backends` with `config`.
+    ///
+    /// Misconfiguration fails here, at construction, not at serve time:
+    /// a `max_batch_queries` of 0 used to survive until a deep
+    /// `assert!` inside [`plan_batches`] fired on the first wave.
     pub fn new(backends: Vec<Arc<dyn SearchBackend>>, config: SchedulerConfig) -> Self {
         assert!(!backends.is_empty(), "need at least one backend");
+        assert!(
+            config.max_batch_queries >= 1,
+            "SchedulerConfig::max_batch_queries must be at least 1 \
+             (a micro-batch cannot hold zero queries)"
+        );
+        if let Some(b) = config.cpq_budget_bytes {
+            assert!(
+                b > 0,
+                "SchedulerConfig::cpq_budget_bytes must be positive when set \
+                 (use None to derive the budget from backend capabilities)"
+            );
+        }
         Self { backends, config }
     }
 
@@ -249,7 +304,7 @@ impl QueryScheduler {
     /// or the tightest of the backends' own batch budgets for their
     /// prepared handles (a part-swapping backend reserves one part, not
     /// the whole index).
-    fn effective_budget(&self, prepared: &PreparedIndex) -> Option<u64> {
+    pub(crate) fn effective_budget(&self, prepared: &PreparedIndex) -> Option<u64> {
         if let Some(b) = self.config.cpq_budget_bytes {
             return Some(b);
         }
@@ -318,8 +373,19 @@ impl QueryScheduler {
         );
         report.batches = batches.len();
 
-        // work queue + per-request result slots
-        let queue: Mutex<VecDeque<Batch>> = Mutex::new(batches.into());
+        // Work queue + per-request result slots. `in_flight` keeps idle
+        // workers parked while a busy peer might still panic and hand
+        // its batch back: a worker may only exit once the queue is
+        // empty AND no batch can return to it.
+        struct WaveQueue {
+            batches: VecDeque<Batch>,
+            in_flight: usize,
+        }
+        let queue = Mutex::new(WaveQueue {
+            batches: batches.into(),
+            in_flight: 0,
+        });
+        let queue_cv = Condvar::new();
         let slots: Mutex<Vec<ResultSlot>> = Mutex::new(vec![None; requests.len()]);
 
         let usages: Vec<BackendUsage> = std::thread::scope(|scope| {
@@ -329,6 +395,7 @@ impl QueryScheduler {
                 .zip(bindexes)
                 .map(|(backend, bindex)| {
                     let queue = &queue;
+                    let queue_cv = &queue_cv;
                     let slots = &slots;
                     scope.spawn(move || {
                         let mut usage = BackendUsage {
@@ -336,9 +403,25 @@ impl QueryScheduler {
                             batches: 0,
                             queries: 0,
                             stages: StageProfile::default(),
+                            failed: None,
                         };
                         loop {
-                            let batch = match queue.lock().expect("queue poisoned").pop_front() {
+                            let batch = {
+                                let mut q = queue.lock().expect("queue poisoned");
+                                loop {
+                                    if let Some(b) = q.batches.pop_front() {
+                                        q.in_flight += 1;
+                                        break Some(b);
+                                    }
+                                    if q.in_flight == 0 {
+                                        break None; // drained for good
+                                    }
+                                    // a busy peer may panic and return
+                                    // its batch — park, don't exit
+                                    q = queue_cv.wait(q).expect("queue poisoned");
+                                }
+                            };
+                            let batch = match batch {
                                 Some(b) => b,
                                 None => break,
                             };
@@ -347,16 +430,41 @@ impl QueryScheduler {
                                 .iter()
                                 .map(|&i| requests[i].query.clone())
                                 .collect();
-                            let out = backend.search_batch(bindex, &queries, batch.k);
+                            // a panicking backend must not poison the
+                            // whole wave: hand its batch back for the
+                            // surviving backends and retire this worker
+                            let out =
+                                match std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| {
+                                    backend.search_batch(bindex, &queries, batch.k)
+                                })) {
+                                    Ok(out) => out,
+                                    Err(payload) => {
+                                        {
+                                            let mut q = queue.lock().expect("queue poisoned");
+                                            q.in_flight -= 1;
+                                            q.batches.push_front(batch);
+                                        }
+                                        queue_cv.notify_all();
+                                        usage.failed = Some(panic_message(payload.as_ref()));
+                                        break;
+                                    }
+                                };
                             usage.batches += 1;
                             usage.queries += batch.requests.len();
                             usage.stages.accumulate(&out.profile);
-                            let mut slots = slots.lock().expect("slots poisoned");
-                            for (pos, (&req_idx, hits)) in
-                                batch.requests.iter().zip(out.results).enumerate()
                             {
-                                slots[req_idx] = Some((hits, out.audit_thresholds[pos]));
+                                let mut slots = slots.lock().expect("slots poisoned");
+                                for (pos, (&req_idx, hits)) in
+                                    batch.requests.iter().zip(out.results).enumerate()
+                                {
+                                    slots[req_idx] = Some((hits, out.audit_thresholds[pos]));
+                                }
                             }
+                            {
+                                let mut q = queue.lock().expect("queue poisoned");
+                                q.in_flight -= 1;
+                            }
+                            queue_cv.notify_all();
                         }
                         usage
                     })
@@ -372,11 +480,23 @@ impl QueryScheduler {
             report.stages.accumulate(&usage.stages);
         }
         report.per_backend = usages;
-        report.wall_us = started.elapsed().as_micros() as f64;
+        report.wall_us = elapsed_us(started);
 
+        let slots = slots.into_inner().expect("slots poisoned");
+        let unserved = slots.iter().filter(|s| s.is_none()).count();
+        if unserved > 0 {
+            let failures: Vec<String> = report
+                .per_backend
+                .iter()
+                .filter_map(|u| u.failed.as_ref().map(|m| format!("{}: {m}", u.name)))
+                .collect();
+            return Err(format!(
+                "{unserved} request(s) left unserved: every backend able to take their \
+                 batches failed [{}]",
+                failures.join("; ")
+            ));
+        }
         let responses = slots
-            .into_inner()
-            .expect("slots poisoned")
             .into_iter()
             .zip(requests)
             .map(|(slot, req)| {
@@ -390,6 +510,17 @@ impl QueryScheduler {
             })
             .collect();
         Ok((responses, report))
+    }
+}
+
+/// Best-effort extraction of a panic payload's message.
+fn panic_message(payload: &(dyn std::any::Any + Send)) -> String {
+    if let Some(s) = payload.downcast_ref::<&str>() {
+        (*s).to_string()
+    } else if let Some(s) = payload.downcast_ref::<String>() {
+        s.clone()
+    } else {
+        "backend panicked".to_string()
     }
 }
 

@@ -1,0 +1,722 @@
+//! The always-on serving front-end: an admission queue over the
+//! [`QueryScheduler`].
+//!
+//! [`QueryScheduler::run_prepared`] serves one *pre-collected* wave; a
+//! real serving system instead sees requests trickle in from many
+//! threads over time, and the paper's throughput premise (§III: one
+//! c-PQ batch of up to 1024 queries per device pass) only pays off if
+//! those trickles are accumulated into big batches. [`GenieService`]
+//! does exactly that:
+//!
+//! * **Admission** — any thread calls [`GenieService::submit`]; the
+//!   request lands in a queue and the caller gets a [`ResponseTicket`]
+//!   it can block on ([`ResponseTicket::wait`]) or poll
+//!   ([`ResponseTicket::try_take`]).
+//! * **Wave cutting** — background dispatcher threads cut the queue
+//!   into a wave when either trigger fires:
+//!   - **size trigger**: the queued requests are enough to fill a
+//!     micro-batch — some `k`-group reaches
+//!     [`SchedulerConfig::max_batch_queries`], or the c-PQ memory
+//!     budget closes a batch early (both detected with the same
+//!     [`plan_batches`] the scheduler executes);
+//!   - **deadline trigger**: the *oldest* queued request has waited
+//!     [`ServiceConfig::max_queue_delay`] — a lone request is never
+//!     stranded longer than the configured delay.
+//! * **Execution** — the wave runs through
+//!   [`QueryScheduler::run_prepared`] against the service's
+//!   [`PreparedIndex`] (uploaded once, swappable via
+//!   [`GenieService::swap_index`]).
+//! * **Result cache** — answers are memoised by `(query, k)`;
+//!   a repeated query short-circuits admission entirely and returns
+//!   bit-identical hits. The cache is invalidated when the index is
+//!   re-prepared.
+//!
+//! Shutdown is graceful: dropping the service flushes every queued
+//! request through one final wave before the dispatchers exit, so no
+//! ticket is ever left dangling.
+
+use std::collections::{HashMap, VecDeque};
+use std::sync::atomic::{AtomicU64, AtomicUsize, Ordering};
+use std::sync::mpsc::{channel, Receiver, RecvTimeoutError, Sender, TryRecvError};
+use std::sync::{Arc, Condvar, Mutex, RwLock};
+use std::thread::JoinHandle;
+use std::time::{Duration, Instant};
+
+use genie_core::index::InvertedIndex;
+use genie_core::model::Query;
+use genie_core::topk::TopHit;
+
+use crate::{
+    plan_batches, Batch, PreparedIndex, QueryRequest, QueryResponse, QueryScheduler, StageProfile,
+};
+
+/// Knobs of the serving loop (batching policy itself lives in the
+/// wrapped scheduler's [`SchedulerConfig`](crate::SchedulerConfig)).
+#[derive(Debug, Clone, Copy)]
+pub struct ServiceConfig {
+    /// Longest the oldest queued request may wait before a wave is cut
+    /// regardless of batch occupancy (the deadline trigger).
+    pub max_queue_delay: Duration,
+    /// Background dispatcher threads cutting and serving waves. One is
+    /// enough for most fleets (a wave already fans out across all
+    /// backends); more overlap wave planning with execution.
+    pub dispatchers: usize,
+    /// Entries the `(query, k)` result cache holds (FIFO eviction);
+    /// 0 disables caching.
+    pub cache_capacity: usize,
+}
+
+impl Default for ServiceConfig {
+    fn default() -> Self {
+        Self {
+            max_queue_delay: Duration::from_millis(5),
+            dispatchers: 1,
+            cache_capacity: 1024,
+        }
+    }
+}
+
+/// Why a wave was cut.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Trigger {
+    /// Queued requests could fill a micro-batch.
+    Size,
+    /// The oldest queued request aged past `max_queue_delay`.
+    Deadline,
+    /// Service shutdown flushed the remaining queue.
+    Shutdown,
+}
+
+/// Aggregate serving counters, readable at any time via
+/// [`GenieService::stats`].
+#[derive(Debug, Clone, Copy, Default)]
+pub struct ServiceStats {
+    /// Requests admitted through `submit`.
+    pub submitted: u64,
+    /// Requests answered successfully (scheduler-served + cache hits).
+    pub served: u64,
+    /// Requests that only received an error (their wave failed).
+    pub failed_requests: u64,
+    /// Requests answered straight from the result cache.
+    pub cache_hits: u64,
+    /// Waves cut by each trigger.
+    pub size_triggers: u64,
+    pub deadline_triggers: u64,
+    pub shutdown_flushes: u64,
+    /// Waves executed (including shutdown flushes).
+    pub waves: u64,
+    /// Waves whose scheduler run failed (every ticket got the error).
+    pub failed_waves: u64,
+    /// Micro-batches executed across all waves.
+    pub batches: u64,
+    /// Requests that went through the scheduler (excludes cache hits) —
+    /// `batched_requests / batches` is the achieved batch occupancy.
+    pub batched_requests: u64,
+    /// Scheduler wall-clock summed over waves, microseconds.
+    pub wall_us: f64,
+    /// Stage totals summed over waves.
+    pub stages: StageProfile,
+}
+
+impl ServiceStats {
+    /// Mean queries per executed micro-batch.
+    pub fn mean_batch_occupancy(&self) -> f64 {
+        if self.batches == 0 {
+            0.0
+        } else {
+            self.batched_requests as f64 / self.batches as f64
+        }
+    }
+}
+
+/// What a ticket resolves to: the routed response, or the error that
+/// stopped its wave.
+pub type TicketResult = Result<QueryResponse, String>;
+
+/// A claim on one submitted request's future response.
+///
+/// Resolve it blocking ([`wait`](Self::wait) /
+/// [`wait_timeout`](Self::wait_timeout)) or by polling
+/// ([`try_take`](Self::try_take)).
+pub struct ResponseTicket {
+    client_id: u64,
+    submitted_at: Instant,
+    rx: Receiver<TicketResult>,
+}
+
+impl ResponseTicket {
+    /// The client id the response will carry.
+    pub fn client_id(&self) -> u64 {
+        self.client_id
+    }
+
+    /// When the request was admitted (for client-side latency).
+    pub fn submitted_at(&self) -> Instant {
+        self.submitted_at
+    }
+
+    /// Block until the response arrives.
+    pub fn wait(self) -> TicketResult {
+        self.rx
+            .recv()
+            .unwrap_or_else(|_| Err("service dropped the request without serving it".into()))
+    }
+
+    /// Block up to `timeout`; `None` means not served yet.
+    pub fn wait_timeout(&self, timeout: Duration) -> Option<TicketResult> {
+        match self.rx.recv_timeout(timeout) {
+            Ok(r) => Some(r),
+            Err(RecvTimeoutError::Timeout) => None,
+            Err(RecvTimeoutError::Disconnected) => {
+                Some(Err("service dropped the request without serving it".into()))
+            }
+        }
+    }
+
+    /// Non-blocking poll; `None` means not served yet.
+    pub fn try_take(&self) -> Option<TicketResult> {
+        match self.rx.try_recv() {
+            Ok(r) => Some(r),
+            Err(TryRecvError::Empty) => None,
+            Err(TryRecvError::Disconnected) => {
+                Some(Err("service dropped the request without serving it".into()))
+            }
+        }
+    }
+}
+
+/// One admitted request waiting for its wave.
+struct Pending {
+    request: QueryRequest,
+    enqueued_at: Instant,
+    tx: Sender<TicketResult>,
+}
+
+struct QueueState {
+    pending: VecDeque<Pending>,
+    shutdown: bool,
+}
+
+/// `(query items, k)` — the memoisation key of the result cache.
+type CacheKey = (Vec<(u32, u32)>, usize);
+
+fn cache_key(query: &Query, k: usize) -> CacheKey {
+    (query.items.iter().map(|it| (it.lo, it.hi)).collect(), k)
+}
+
+/// Bounded `(query, k) -> (hits, AT)` map with FIFO eviction.
+///
+/// `generation` counts invalidations: a wave computed against
+/// generation `g` may only insert while the cache is still at `g`, so
+/// results from an old index can never repopulate a cache that
+/// [`GenieService::swap_index`] cleared mid-wave.
+struct ResultCache {
+    capacity: usize,
+    generation: u64,
+    map: HashMap<CacheKey, (Vec<TopHit>, u32)>,
+    order: VecDeque<CacheKey>,
+}
+
+impl ResultCache {
+    fn new(capacity: usize) -> Self {
+        Self {
+            capacity,
+            generation: 0,
+            map: HashMap::new(),
+            order: VecDeque::new(),
+        }
+    }
+
+    fn get(&self, key: &CacheKey) -> Option<&(Vec<TopHit>, u32)> {
+        self.map.get(key)
+    }
+
+    fn insert(&mut self, key: CacheKey, value: (Vec<TopHit>, u32)) {
+        if self.capacity == 0 || self.map.contains_key(&key) {
+            return;
+        }
+        if self.map.len() >= self.capacity {
+            if let Some(evicted) = self.order.pop_front() {
+                self.map.remove(&evicted);
+            }
+        }
+        self.order.push_back(key.clone());
+        self.map.insert(key, value);
+    }
+
+    fn clear(&mut self) {
+        self.map.clear();
+        self.order.clear();
+        self.generation += 1;
+    }
+}
+
+struct ServiceInner {
+    scheduler: QueryScheduler,
+    prepared: RwLock<PreparedIndex>,
+    queue: Mutex<QueueState>,
+    wakeup: Condvar,
+    cache: Mutex<ResultCache>,
+    stats: Mutex<ServiceStats>,
+    max_queue_delay: Duration,
+    /// Largest backlog length the budget-aware size check has already
+    /// planned and found *not* triggering. The backlog only grows
+    /// between waves (waves drain it whole), so re-planning below this
+    /// length cannot change the answer — this bounds the `plan_batches`
+    /// calls under the queue lock to one per new backlog length.
+    planned_len: AtomicUsize,
+}
+
+impl ServiceInner {
+    /// Does the queued backlog already fill a micro-batch? Detected
+    /// with the scheduler's own [`plan_batches`]: a planned batch at
+    /// the query cap, or a same-`k` group spilling into a second batch
+    /// (closed early by the c-PQ memory budget), means waiting longer
+    /// cannot improve occupancy of the first batch.
+    fn size_trigger(&self, pending: &VecDeque<Pending>) -> bool {
+        let cap = self.scheduler.config().max_batch_queries;
+        if pending.len() < cap.min(2) {
+            return false;
+        }
+        // cheap pre-check without planning: some k-group reaches the cap
+        let mut per_k: HashMap<usize, usize> = HashMap::new();
+        for p in pending {
+            let c = per_k.entry(p.request.k).or_insert(0);
+            *c += 1;
+            if *c >= cap {
+                return true;
+            }
+        }
+        if pending.len() <= self.planned_len.load(Ordering::Relaxed) {
+            return false; // already planned at this backlog size
+        }
+        let prepared = self.prepared.read().expect("prepared lock");
+        let budget = self.scheduler.effective_budget(&prepared);
+        if budget.is_none() {
+            return false; // only the cap can close a batch
+        }
+        let requests: Vec<QueryRequest> = pending.iter().map(|p| p.request.clone()).collect();
+        let batches = plan_batches(
+            &requests,
+            prepared.index().num_objects() as usize,
+            prepared.index().max_object_len(),
+            cap,
+            budget,
+        );
+        if batches_closed_by_budget(&batches) {
+            true
+        } else {
+            self.planned_len.store(pending.len(), Ordering::Relaxed);
+            false
+        }
+    }
+
+    /// Serve one cut wave: answer cache hits, run the rest through the
+    /// scheduler, memoise, route everything back through the tickets.
+    fn serve_wave(&self, wave: Vec<Pending>, trigger: Trigger) {
+        let total = wave.len() as u64;
+        let mut misses: Vec<Pending> = Vec::new();
+        let mut hits: Vec<(Pending, (Vec<TopHit>, u32))> = Vec::new();
+        {
+            let cache = self.cache.lock().expect("cache lock");
+            for p in wave {
+                match cache.get(&cache_key(&p.request.query, p.request.k)) {
+                    Some(v) => hits.push((p, v.clone())),
+                    None => misses.push(p),
+                }
+            }
+        }
+        let cache_hits = hits.len() as u64;
+
+        let mut wave_batches = 0u64;
+        let mut wave_wall_us = 0.0;
+        let mut wave_stages = StageProfile::default();
+        let mut failed = false;
+        let mut outcome: Option<Result<Vec<QueryResponse>, String>> = None;
+        if !misses.is_empty() {
+            let requests: Vec<QueryRequest> = misses.iter().map(|p| p.request.clone()).collect();
+            // remember which cache generation this wave computes
+            // against *while holding the index lock*: swap_index cannot
+            // invalidate between the generation read and the run
+            let (run, wave_generation) = {
+                let prepared = self.prepared.read().expect("prepared lock");
+                let generation = self.cache.lock().expect("cache lock").generation;
+                (
+                    self.scheduler.run_prepared(&prepared, &requests),
+                    generation,
+                )
+            };
+            outcome = Some(match run {
+                Ok((responses, report)) => {
+                    wave_batches = report.batches as u64;
+                    wave_wall_us = report.wall_us;
+                    wave_stages = report.stages;
+                    let mut cache = self.cache.lock().expect("cache lock");
+                    // a swap_index mid-wave bumped the generation:
+                    // these answers describe the old index and must
+                    // not repopulate the cleared cache
+                    if cache.generation == wave_generation {
+                        for (p, resp) in misses.iter().zip(&responses) {
+                            cache.insert(
+                                cache_key(&p.request.query, p.request.k),
+                                (resp.hits.clone(), resp.audit_threshold),
+                            );
+                        }
+                    }
+                    Ok(responses)
+                }
+                Err(e) => {
+                    failed = true;
+                    Err(e)
+                }
+            });
+        }
+
+        // account the wave *before* resolving any ticket: a client that
+        // sees its response must also see the wave in `stats()`
+        {
+            let misses_total = total - cache_hits;
+            let mut stats = self.stats.lock().expect("stats lock");
+            stats.waves += 1;
+            stats.cache_hits += cache_hits;
+            stats.batches += wave_batches;
+            stats.wall_us += wave_wall_us;
+            stats.stages.accumulate(&wave_stages);
+            if failed {
+                // the misses only received an error: they were neither
+                // served nor batched, and counting them would inflate
+                // mean_batch_occupancy (batched_requests / 0 batches)
+                stats.served += cache_hits;
+                stats.failed_requests += misses_total;
+                stats.failed_waves += 1;
+            } else {
+                stats.served += total;
+                stats.batched_requests += misses_total;
+            }
+            match trigger {
+                Trigger::Size => stats.size_triggers += 1,
+                Trigger::Deadline => stats.deadline_triggers += 1,
+                Trigger::Shutdown => stats.shutdown_flushes += 1,
+            }
+        }
+
+        for (p, (cached_hits, at)) in hits {
+            let _ = p.tx.send(Ok(QueryResponse {
+                client_id: p.request.client_id,
+                hits: cached_hits,
+                audit_threshold: at,
+            }));
+        }
+        match outcome {
+            Some(Ok(responses)) => {
+                for (p, resp) in misses.into_iter().zip(responses) {
+                    let _ = p.tx.send(Ok(resp));
+                }
+            }
+            Some(Err(e)) => {
+                for p in misses {
+                    let _ = p.tx.send(Err(e.clone()));
+                }
+            }
+            None => {}
+        }
+    }
+
+    fn dispatcher_loop(&self) {
+        loop {
+            let (wave, trigger) = {
+                let mut q = self.queue.lock().expect("queue lock");
+                let trigger = loop {
+                    if q.pending.is_empty() {
+                        if q.shutdown {
+                            return;
+                        }
+                        q = self.wakeup.wait(q).expect("queue lock");
+                        continue;
+                    }
+                    if q.shutdown {
+                        break Trigger::Shutdown;
+                    }
+                    let oldest_age = q.pending.front().expect("non-empty").enqueued_at.elapsed();
+                    if oldest_age >= self.max_queue_delay {
+                        break Trigger::Deadline;
+                    }
+                    if self.size_trigger(&q.pending) {
+                        break Trigger::Size;
+                    }
+                    let remaining = self.max_queue_delay - oldest_age;
+                    let (guard, _) = self.wakeup.wait_timeout(q, remaining).expect("queue lock");
+                    q = guard;
+                };
+                // the backlog restarts from empty: the size check must
+                // plan again from scratch for the next wave
+                self.planned_len.store(0, Ordering::Relaxed);
+                (q.pending.drain(..).collect::<Vec<_>>(), trigger)
+            };
+            self.serve_wave(wave, trigger);
+        }
+    }
+}
+
+/// `plan_batches` emits batches in ascending-`k` order, so a same-`k`
+/// group split across adjacent batches means the first one was closed
+/// by the memory budget — it is as full as it can get.
+fn batches_closed_by_budget(batches: &[Batch]) -> bool {
+    batches.windows(2).any(|w| w[0].k == w[1].k)
+}
+
+/// Nearest-rank percentile over an ascending-sorted latency sample —
+/// the one shared definition every serving surface (bench runner, CLI
+/// `serve`, examples) reports p50/p95/p99 with.
+pub fn percentile_us(sorted_us: &[f64], p: f64) -> f64 {
+    if sorted_us.is_empty() {
+        return 0.0;
+    }
+    let idx = ((sorted_us.len() - 1) as f64 * p).round() as usize;
+    sorted_us[idx.min(sorted_us.len() - 1)]
+}
+
+/// The always-on serving front-end: admission queue + dispatcher
+/// threads over a [`QueryScheduler`] and its [`PreparedIndex`]. See the
+/// [module docs](self) for the trigger semantics.
+pub struct GenieService {
+    inner: Arc<ServiceInner>,
+    dispatchers: Vec<JoinHandle<()>>,
+    next_client: AtomicU64,
+}
+
+impl std::fmt::Debug for GenieService {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("GenieService")
+            .field("dispatchers", &self.dispatchers.len())
+            .field("queue_len", &self.queue_len())
+            .field("stats", &self.stats())
+            .finish()
+    }
+}
+
+impl GenieService {
+    /// Upload `index` to every backend of `scheduler` and start the
+    /// dispatcher threads. Fails with a clear message on misconfigured
+    /// knobs or if any backend rejects the index.
+    pub fn start(
+        scheduler: QueryScheduler,
+        index: &Arc<InvertedIndex>,
+        config: ServiceConfig,
+    ) -> Result<Self, String> {
+        if scheduler.config().max_batch_queries == 0 {
+            // unreachable through QueryScheduler::new, which validates
+            // the same invariant — kept so *this* constructor also
+            // fails closed if scheduler construction ever changes
+            return Err(
+                "GenieService needs max_batch_queries >= 1 (a micro-batch cannot hold zero \
+                 queries)"
+                    .into(),
+            );
+        }
+        if config.dispatchers == 0 {
+            return Err("GenieService needs at least one dispatcher thread".into());
+        }
+        if config.max_queue_delay.is_zero() {
+            return Err(
+                "max_queue_delay must be positive: a zero deadline cuts a wave per request \
+                 and defeats batching"
+                    .into(),
+            );
+        }
+        let prepared = scheduler.prepare(index)?;
+        let inner = Arc::new(ServiceInner {
+            scheduler,
+            prepared: RwLock::new(prepared),
+            queue: Mutex::new(QueueState {
+                pending: VecDeque::new(),
+                shutdown: false,
+            }),
+            wakeup: Condvar::new(),
+            cache: Mutex::new(ResultCache::new(config.cache_capacity)),
+            stats: Mutex::new(ServiceStats::default()),
+            max_queue_delay: config.max_queue_delay,
+            planned_len: AtomicUsize::new(0),
+        });
+        let dispatchers = (0..config.dispatchers)
+            .map(|i| {
+                let inner = Arc::clone(&inner);
+                std::thread::Builder::new()
+                    .name(format!("genie-dispatch-{i}"))
+                    .spawn(move || inner.dispatcher_loop())
+                    .map_err(|e| format!("cannot spawn dispatcher: {e}"))
+            })
+            .collect::<Result<Vec<_>, _>>()?;
+        Ok(Self {
+            inner,
+            dispatchers,
+            next_client: AtomicU64::new(0),
+        })
+    }
+
+    /// Convenience: single-backend service with default configs.
+    pub fn single(
+        backend: Arc<dyn genie_core::backend::SearchBackend>,
+        index: &Arc<InvertedIndex>,
+    ) -> Result<Self, String> {
+        Self::start(
+            QueryScheduler::single(backend),
+            index,
+            ServiceConfig::default(),
+        )
+    }
+
+    /// Admit one query from any thread; the returned ticket resolves
+    /// when its wave is served (or errs if the service shuts down
+    /// first). Client ids are assigned in admission order.
+    pub fn submit(&self, query: Query, k: usize) -> ResponseTicket {
+        let client_id = self.next_client.fetch_add(1, Ordering::Relaxed);
+        self.submit_request(QueryRequest::new(client_id, query, k))
+    }
+
+    /// [`submit`](Self::submit) with a caller-chosen client id.
+    pub fn submit_request(&self, request: QueryRequest) -> ResponseTicket {
+        let (tx, rx) = channel();
+        let client_id = request.client_id;
+        let submitted_at = Instant::now();
+        {
+            let mut q = self.inner.queue.lock().expect("queue lock");
+            if q.shutdown {
+                let _ = tx.send(Err("service is shutting down".into()));
+            } else {
+                q.pending.push_back(Pending {
+                    request,
+                    enqueued_at: submitted_at,
+                    tx,
+                });
+                self.inner.stats.lock().expect("stats lock").submitted += 1;
+            }
+        }
+        self.inner.wakeup.notify_one();
+        ResponseTicket {
+            client_id,
+            submitted_at,
+            rx,
+        }
+    }
+
+    /// Re-prepare a (new) index on every backend and swap it in. The
+    /// result cache is invalidated: entries computed against the old
+    /// index must not answer queries against the new one. Returns the
+    /// simulated upload time.
+    pub fn swap_index(&self, index: &Arc<InvertedIndex>) -> Result<f64, String> {
+        let prepared = self.inner.scheduler.prepare(index)?;
+        let upload_sim_us = prepared.upload_sim_us;
+        {
+            let mut slot = self.inner.prepared.write().expect("prepared lock");
+            *slot = prepared;
+        }
+        self.inner.cache.lock().expect("cache lock").clear();
+        Ok(upload_sim_us)
+    }
+
+    /// Snapshot of the serving counters.
+    pub fn stats(&self) -> ServiceStats {
+        *self.inner.stats.lock().expect("stats lock")
+    }
+
+    /// Requests currently queued (admitted, wave not yet cut).
+    pub fn queue_len(&self) -> usize {
+        self.inner.queue.lock().expect("queue lock").pending.len()
+    }
+
+    /// The wrapped scheduler (read-only).
+    pub fn scheduler(&self) -> &QueryScheduler {
+        &self.inner.scheduler
+    }
+}
+
+impl Drop for GenieService {
+    /// Graceful shutdown: flush the remaining queue through one final
+    /// wave, then join the dispatchers. No ticket is left dangling.
+    fn drop(&mut self) {
+        {
+            let mut q = self.inner.queue.lock().expect("queue lock");
+            q.shutdown = true;
+        }
+        self.inner.wakeup.notify_all();
+        for handle in self.dispatchers.drain(..) {
+            let _ = handle.join();
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use genie_core::backend::CpuBackend;
+    use genie_core::index::IndexBuilder;
+    use genie_core::model::Object;
+
+    fn tiny_index() -> Arc<InvertedIndex> {
+        let mut b = IndexBuilder::new();
+        for i in 0..50u32 {
+            b.add_object(&Object::new(vec![i % 7]));
+        }
+        Arc::new(b.build(None))
+    }
+
+    #[test]
+    fn constructor_rejects_bad_knobs() {
+        let index = tiny_index();
+        let mk = || QueryScheduler::single(Arc::new(CpuBackend::new()));
+        let err = GenieService::start(
+            mk(),
+            &index,
+            ServiceConfig {
+                dispatchers: 0,
+                ..Default::default()
+            },
+        )
+        .unwrap_err();
+        assert!(err.contains("dispatcher"), "{err}");
+        let err = GenieService::start(
+            mk(),
+            &index,
+            ServiceConfig {
+                max_queue_delay: Duration::ZERO,
+                ..Default::default()
+            },
+        )
+        .unwrap_err();
+        assert!(err.contains("max_queue_delay"), "{err}");
+    }
+
+    #[test]
+    fn cache_evicts_fifo_and_clears() {
+        let mut cache = ResultCache::new(2);
+        let key = |i: u32| cache_key(&Query::from_keywords(&[i]), 3);
+        cache.insert(key(1), (vec![], 1));
+        cache.insert(key(2), (vec![], 1));
+        cache.insert(key(3), (vec![], 1)); // evicts key(1)
+        assert!(cache.get(&key(1)).is_none());
+        assert!(cache.get(&key(2)).is_some());
+        assert!(cache.get(&key(3)).is_some());
+        cache.clear();
+        assert!(cache.get(&key(2)).is_none());
+    }
+
+    #[test]
+    fn zero_capacity_cache_never_stores() {
+        let mut cache = ResultCache::new(0);
+        let key = cache_key(&Query::from_keywords(&[1]), 3);
+        cache.insert(key.clone(), (vec![], 1));
+        assert!(cache.get(&key).is_none());
+    }
+
+    #[test]
+    fn budget_closed_batches_are_detected() {
+        let b = |k: usize| Batch {
+            k,
+            requests: vec![0],
+        };
+        assert!(batches_closed_by_budget(&[b(3), b(3)]));
+        assert!(!batches_closed_by_budget(&[b(3), b(5)]));
+        assert!(!batches_closed_by_budget(&[b(3)]));
+    }
+}

@@ -1,16 +1,18 @@
-//! Serve a multi-client wave of queries through the scheduler.
+//! Serve concurrent clients through the always-on `GenieService`.
 //!
-//! Simulates the serving scenario the service layer exists for: many
-//! clients submit queries with their own `k` against one shared index;
-//! the scheduler packs them into device-sized micro-batches, dispatches
-//! across a heterogeneous backend fleet (simulated GPU + CPU), and
-//! routes the merged results back per client.
+//! Demonstrates the serving scenario the service layer exists for: many
+//! client *threads* trickle queries in over time, the admission queue
+//! accumulates them, and a dispatcher cuts micro-batch waves when
+//! either enough requests are queued to fill a batch (size trigger) or
+//! the oldest request has waited `max_queue_delay` (deadline trigger).
+//! Repeated queries short-circuit through the result cache.
 //!
 //! ```text
 //! cargo run --example query_service
 //! ```
 
 use std::sync::Arc;
+use std::time::{Duration, Instant};
 
 use genie::core::backend::{CpuBackend, SearchBackend};
 use genie::prelude::*;
@@ -25,15 +27,6 @@ fn main() {
     }
     let index = Arc::new(builder.build(None));
 
-    // a wave of 256 clients, each with its own query and k
-    let requests: Vec<QueryRequest> = (0..256)
-        .map(|c| {
-            let q = Query::from_keywords(&[c % 97, 100 + c % 31]);
-            QueryRequest::new(c as u64, q, 1 + (c as usize % 4) * 5)
-        })
-        .collect();
-    println!("admitting {} client requests...", requests.len());
-
     // heterogeneous fleet: one simulated device + the host CPU path
     let backends: Vec<Arc<dyn SearchBackend>> = vec![
         Arc::new(Engine::new(Arc::new(Device::with_defaults()))),
@@ -46,42 +39,75 @@ fn main() {
             cpq_budget_bytes: None,
         },
     );
+    let service = GenieService::start(
+        scheduler,
+        &index,
+        ServiceConfig {
+            max_queue_delay: Duration::from_millis(3),
+            dispatchers: 1,
+            cache_capacity: 512,
+        },
+    )
+    .expect("index fits on every backend");
 
-    let (responses, report) = scheduler.run(&index, &requests).expect("upload fits");
+    // 8 client threads x 64 requests each, submitted from their own
+    // threads; ~25% of the traffic repeats an earlier query to show the
+    // result cache working
+    const CLIENTS: usize = 8;
+    const PER_CLIENT: usize = 64;
+    println!("serving {CLIENTS} client threads x {PER_CLIENT} requests...");
+    let mut latencies_us: Vec<f64> = std::thread::scope(|scope| {
+        let handles: Vec<_> = (0..CLIENTS)
+            .map(|c| {
+                let service = &service;
+                scope.spawn(move || {
+                    let mut mine = Vec::with_capacity(PER_CLIENT);
+                    for j in 0..PER_CLIENT {
+                        let unique = (c * PER_CLIENT + j) as u32;
+                        let kw = if j % 4 == 3 { 1 } else { unique % 97 };
+                        let query = Query::from_keywords(&[kw, 100 + unique % 31]);
+                        let submitted = Instant::now();
+                        let ticket = service.submit(query, 1 + j % 10);
+                        let response = ticket.wait().expect("wave served");
+                        mine.push(submitted.elapsed().as_secs_f64() * 1e6);
+                        assert!(response.hits.len() <= 1 + j % 10);
+                    }
+                    mine
+                })
+            })
+            .collect();
+        handles
+            .into_iter()
+            .flat_map(|h| h.join().unwrap())
+            .collect()
+    });
 
+    latencies_us.sort_by(|a, b| a.partial_cmp(b).unwrap());
+    let pct = |p: f64| percentile_us(&latencies_us, p);
+    let stats = service.stats();
     println!(
-        "\n{} micro-batches over {} backends, {:.2} ms wall",
-        report.batches,
-        report.per_backend.len(),
-        report.wall_us / 1000.0
+        "\n{} requests over {} waves ({} size-triggered, {} deadline-triggered), {} micro-batches",
+        stats.served, stats.waves, stats.size_triggers, stats.deadline_triggers, stats.batches
     );
-    for usage in &report.per_backend {
-        println!(
-            "  {:>12}: {:>3} batches, {:>4} queries, {:>10.1} us host",
-            usage.name, usage.batches, usage.queries, usage.stages.host_us
-        );
-    }
     println!(
-        "stage totals: swap {:.1} us, query xfer {:.1} us, match {:.1} us, select {:.1} us (simulated)",
-        report.stages.index_swap_us,
-        report.stages.query_transfer_us,
-        report.stages.match_us,
-        report.stages.select_us
+        "cache: {} hits / {} requests; mean batch occupancy {:.1} queries/batch",
+        stats.cache_hits,
+        stats.served,
+        stats.mean_batch_occupancy()
     );
-
-    // responses come back in submission order with client ids attached
-    let r0 = &responses[0];
     println!(
-        "\nclient {}: top hit object {} with {} matching keywords (AT = {})",
-        r0.client_id, r0.hits[0].id, r0.hits[0].count, r0.audit_threshold
+        "request latency: p50 {:.0} us, p95 {:.0} us, p99 {:.0} us",
+        pct(0.50),
+        pct(0.95),
+        pct(0.99)
     );
-    assert_eq!(responses.len(), requests.len());
-    for (req, resp) in requests.iter().zip(&responses) {
-        assert_eq!(req.client_id, resp.client_id);
-        assert!(resp.hits.len() <= req.k);
-    }
     println!(
-        "all {} responses routed back in submission order",
-        responses.len()
+        "scheduler wall {:.2} ms total; host stage time {:.2} ms (both strictly > 0 \
+         thanks to fractional-µs timing)",
+        stats.wall_us / 1000.0,
+        stats.stages.host_us / 1000.0
     );
+    assert!(stats.wall_us > 0.0 && stats.stages.host_us > 0.0);
+    assert_eq!(stats.served, (CLIENTS * PER_CLIENT) as u64);
+    println!("all {} tickets resolved", stats.served);
 }

@@ -3,14 +3,18 @@
 //! ```text
 //! genie-cli docs  <corpus.txt> --query "<words>"  [-k 5] [--backend sim|cpu|multi]
 //! genie-cli fuzzy <corpus.txt> --query "<string>" [-k 3] [-K 64] [-n 3] [--backend ...]
+//! genie-cli serve <corpus.txt> [--clients 8] [--requests 32] [--delay-ms 3] [-k 5] [--backend ...]
 //! ```
 //!
 //! `docs` ranks lines by the number of distinct shared words (the
 //! short-document pipeline); `fuzzy` ranks lines by edit distance via
-//! n-gram filtering plus verification (the sequence pipeline). The
-//! `--backend` flag picks the execution engine: the simulated SIMT
-//! device (default, prints per-stage cost-model timing), the pure-CPU
-//! backend, or a two-device multi-load backend.
+//! n-gram filtering plus verification (the sequence pipeline); `serve`
+//! starts the always-on `GenieService` over the corpus and drives it
+//! with concurrent submitter threads (each line doubles as a query),
+//! reporting per-request latency percentiles, wave triggers and batch
+//! occupancy. The `--backend` flag picks the execution engine: the
+//! simulated SIMT device (default, prints per-stage cost-model timing),
+//! the pure-CPU backend, or a two-device multi-load backend.
 
 use std::process::exit;
 use std::sync::Arc;
@@ -20,7 +24,8 @@ use genie::prelude::*;
 fn usage() -> ! {
     eprintln!(
         "usage:\n  genie-cli docs  <corpus.txt> --query \"<words>\"  [-k N] [--backend sim|cpu|multi]\n  \
-         genie-cli fuzzy <corpus.txt> --query \"<string>\" [-k N] [-K CANDS] [-n NGRAM] [--backend sim|cpu|multi]"
+         genie-cli fuzzy <corpus.txt> --query \"<string>\" [-k N] [-K CANDS] [-n NGRAM] [--backend sim|cpu|multi]\n  \
+         genie-cli serve <corpus.txt> [--clients N] [--requests M] [--delay-ms D] [-k N] [--backend sim|cpu|multi]"
     );
     exit(2);
 }
@@ -33,6 +38,9 @@ struct Args {
     big_k: usize,
     ngram: usize,
     backend: String,
+    clients: usize,
+    requests: usize,
+    delay_ms: u64,
 }
 
 fn parse_args() -> Args {
@@ -48,6 +56,9 @@ fn parse_args() -> Args {
         big_k: 64,
         ngram: 3,
         backend: "sim".to_string(),
+        clients: 8,
+        requests: 32,
+        delay_ms: 3,
     };
     let mut i = 2;
     while i < argv.len() {
@@ -81,11 +92,32 @@ fn parse_args() -> Args {
                     .and_then(|v| v.parse().ok())
                     .unwrap_or_else(|| usage());
             }
+            "--clients" => {
+                i += 1;
+                args.clients = argv
+                    .get(i)
+                    .and_then(|v| v.parse().ok())
+                    .unwrap_or_else(|| usage());
+            }
+            "--requests" => {
+                i += 1;
+                args.requests = argv
+                    .get(i)
+                    .and_then(|v| v.parse().ok())
+                    .unwrap_or_else(|| usage());
+            }
+            "--delay-ms" => {
+                i += 1;
+                args.delay_ms = argv
+                    .get(i)
+                    .and_then(|v| v.parse().ok())
+                    .unwrap_or_else(|| usage());
+            }
             _ => usage(),
         }
         i += 1;
     }
-    if args.query.is_empty() {
+    if args.query.is_empty() && args.mode != "serve" {
         usage();
     }
     args
@@ -153,6 +185,10 @@ fn main() {
                 println!("  [{} shared] {}", hit.count, lines[hit.id as usize]);
             }
         }
+        "serve" => {
+            serve(&args, &lines, backend);
+            return;
+        }
         "fuzzy" => {
             let seqs: Vec<Vec<u8>> = lines.iter().map(|l| l.as_bytes().to_vec()).collect();
             let built = std::time::Instant::now();
@@ -183,6 +219,11 @@ fn main() {
         _ => usage(),
     }
 
+    device_counters(&*backend);
+}
+
+/// Print the simulated device's counters, when the backend has one.
+fn device_counters(backend: &dyn SearchBackend) {
     // device-specific counters only exist on the simulated engine
     if let Some(engine) = backend.as_any().downcast_ref::<Engine>() {
         let c = engine.device().counters();
@@ -193,4 +234,96 @@ fn main() {
             c.h2d_bytes + c.d2h_bytes
         );
     }
+}
+
+/// `serve`: index the corpus as short documents, start the always-on
+/// service, and drive it from `--clients` concurrent submitter threads
+/// (each request queries with one of the corpus lines itself).
+fn serve(args: &Args, lines: &[&str], backend: Box<dyn SearchBackend>) {
+    use std::time::Duration;
+
+    let docs: Vec<Vec<String>> = lines
+        .iter()
+        .map(|l| l.split_whitespace().map(|w| w.to_lowercase()).collect())
+        .collect();
+    let index = DocumentIndex::build(&docs);
+    println!(
+        "indexed {} docs / {} distinct words; serving with {} client threads x {} requests \
+         (deadline {} ms)",
+        index.num_documents(),
+        index.vocabulary_size(),
+        args.clients,
+        args.requests,
+        args.delay_ms
+    );
+    let service = match GenieService::start(
+        QueryScheduler::single(Arc::from(backend)),
+        index.inverted_index(),
+        ServiceConfig {
+            max_queue_delay: Duration::from_millis(args.delay_ms.max(1)),
+            dispatchers: 1,
+            cache_capacity: 1024,
+        },
+    ) {
+        Ok(s) => s,
+        Err(e) => {
+            eprintln!("cannot start service: {e}");
+            exit(1);
+        }
+    };
+
+    let mut latencies_us: Vec<f64> = std::thread::scope(|scope| {
+        let handles: Vec<_> = (0..args.clients)
+            .map(|c| {
+                let service = &service;
+                let index = &index;
+                let docs = &docs;
+                scope.spawn(move || {
+                    let tickets: Vec<_> = (0..args.requests)
+                        .map(|j| {
+                            let doc = &docs[(c * args.requests + j) % docs.len()];
+                            service.submit(index.to_query(doc), args.k)
+                        })
+                        .collect();
+                    tickets
+                        .into_iter()
+                        .map(|t| {
+                            let submitted = t.submitted_at();
+                            t.wait().expect("service answers every ticket");
+                            submitted.elapsed().as_secs_f64() * 1e6
+                        })
+                        .collect::<Vec<f64>>()
+                })
+            })
+            .collect();
+        handles
+            .into_iter()
+            .flat_map(|h| h.join().unwrap())
+            .collect()
+    });
+    latencies_us.sort_by(|a, b| a.partial_cmp(b).unwrap());
+    let pct = |p: f64| percentile_us(&latencies_us, p);
+    let stats = service.stats();
+    println!(
+        "\n{} requests over {} waves ({} size / {} deadline triggered), {} micro-batches, \
+         occupancy {:.1} queries/batch",
+        stats.served,
+        stats.waves,
+        stats.size_triggers,
+        stats.deadline_triggers,
+        stats.batches,
+        stats.mean_batch_occupancy()
+    );
+    println!(
+        "cache: {} hits / {} requests; scheduler wall {:.2} ms",
+        stats.cache_hits,
+        stats.served,
+        stats.wall_us / 1000.0
+    );
+    println!(
+        "request latency: p50 {:.2} ms, p95 {:.2} ms, p99 {:.2} ms",
+        pct(0.50) / 1000.0,
+        pct(0.95) / 1000.0,
+        pct(0.99) / 1000.0
+    );
 }

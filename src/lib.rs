@@ -14,8 +14,10 @@
 //! * [`baselines`] (`genie-baselines`) — every competitor of the
 //!   paper's evaluation;
 //! * [`datasets`] (`genie-datasets`) — seeded synthetic corpora;
-//! * [`service`] (`genie-service`) — the multi-client query scheduler:
-//!   micro-batching, multi-backend dispatch, per-client routing.
+//! * [`service`] (`genie-service`) — the multi-client serving stack:
+//!   the always-on `GenieService` admission queue (size/deadline wave
+//!   triggers, result cache) over the micro-batching `QueryScheduler`
+//!   with multi-backend dispatch and per-client routing.
 //!
 //! ## Quickstart
 //!
@@ -51,7 +53,8 @@ pub mod prelude {
     pub use genie_lsh::{AnnIndex, AnnParams, Transformer};
     pub use genie_sa::{DocumentIndex, RelationalIndex, SequenceIndex};
     pub use genie_service::{
-        PreparedIndex, QueryRequest, QueryResponse, QueryScheduler, ScheduleReport, SchedulerConfig,
+        percentile_us, GenieService, PreparedIndex, QueryRequest, QueryResponse, QueryScheduler,
+        ResponseTicket, ScheduleReport, SchedulerConfig, ServiceConfig, ServiceStats,
     };
     pub use gpu_sim::{Device, DeviceConfig};
 }

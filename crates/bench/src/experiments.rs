@@ -31,6 +31,32 @@ use crate::workloads::{
 };
 use crate::{ms, row};
 
+/// The direct domain path the accuracy experiments measure: encode a
+/// batch of typed specs with the domain adapter, run one raw
+/// `search_batch` on `backend` at candidate count `k_candidates`,
+/// decode each answer. (Raw-batch timing is what these tables compare;
+/// the served path through `GenieDb` is property-tested identical in
+/// `genie-service`.)
+fn domain_search<D: genie_core::domain::Domain>(
+    domain: &D,
+    backend: &dyn SearchBackend,
+    bindex: &genie_core::backend::BackendIndex,
+    specs: &[D::QuerySpec],
+    k_candidates: usize,
+    k: usize,
+) -> Vec<D::Response> {
+    let queries: Vec<genie_core::model::Query> = specs
+        .iter()
+        .map(|s| domain.encode(s).expect("bench specs are valid"))
+        .collect();
+    let out = backend.search_batch(bindex, &queries, k_candidates);
+    specs
+        .iter()
+        .zip(out.results.into_iter().zip(out.audit_thresholds))
+        .map(|(s, (hits, at))| domain.decode(s, hits, at, k_candidates, k))
+        .collect()
+}
+
 /// Number of LSH functions used by the scaled OCR/SIFT bundles (the
 /// paper uses 237 from the ε = δ = 0.06 rule; 64 keeps the simulated
 /// full-scan baselines tractable while preserving every comparison).
@@ -629,12 +655,12 @@ pub fn table6_7(scale: Scale) {
     let data = genie_datasets::sequences::dblp_like(scale.n, 40, 201);
     let index = SequenceIndex::build(data.clone(), 3);
     let engine = Engine::new(Arc::new(Device::with_defaults()));
-    let didx = index.upload(&engine).unwrap();
+    let didx = SearchBackend::upload(&engine, Arc::clone(index.inverted_index())).unwrap();
     let nq = 256;
 
     let accuracy_for = |queries: &[Vec<u8>], kc: usize| -> (f64, f64) {
         let started = std::time::Instant::now();
-        let reports = index.search(&engine, &didx, queries, kc, 1);
+        let reports = domain_search(&index, &engine, &didx, queries, kc, 1);
         let host_us = elapsed_us(started);
         let correct = queries
             .iter()
@@ -725,7 +751,7 @@ pub fn ext_structures(scale: Scale) {
             .map(|i| mutate_tree(&trees[(i * 37) % n], edits, &mut rng, 12))
             .collect();
         let started = std::time::Instant::now();
-        let results = tree_index.search(&engine, &didx, &queries, 32, 1);
+        let results = domain_search(&tree_index, &engine, &didx, &queries, 32, 1);
         let us = elapsed_us(started);
         let correct = queries
             .iter()
@@ -769,7 +795,7 @@ pub fn ext_structures(scale: Scale) {
             .map(|&s| mutate_graph(&graphs[s], edits, &mut rng, 8))
             .collect();
         let started = std::time::Instant::now();
-        let results = graph_index.search(&engine, &didx, &queries, 32, 3);
+        let results = domain_search(&graph_index, &engine, &didx, &queries, 32, 3);
         let us = elapsed_us(started);
         let found = sources
             .iter()
@@ -814,14 +840,16 @@ pub fn ext_tau(scale: Scale) {
         let ann =
             genie_lsh::AnnIndex::build(Transformer::new(fam, 4096), data.iter().map(|p| &p[..]));
         let engine = Engine::new(Arc::new(Device::with_defaults()));
-        let out = ann.search(&engine, queries.iter().map(|q| &q[..]), 1);
+        let bindex = SearchBackend::upload(&engine, Arc::clone(ann.inverted_index())).unwrap();
+        let answers = domain_search(&ann, &engine, &bindex, &queries, 1, 1);
         let pairs: Vec<(f64, f64)> = queries
             .iter()
-            .zip(&out.results)
-            .map(|(q, hits)| {
+            .zip(&answers)
+            .map(|(q, answer)| {
                 let truth = exact_knn(Metric::L2, &data, q, 1);
                 let best = collision_probability(truth[0].1, w as f64);
-                let got = hits
+                let got = answer
+                    .hits
                     .first()
                     .map(|h| collision_probability(l2_distance(&data[h.id as usize], q), w as f64))
                     .unwrap_or(0.0);

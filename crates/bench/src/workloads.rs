@@ -232,6 +232,7 @@ pub fn adult_bundle(scale: Scale, seed: u64) -> (MatchData, RelationalIndex) {
                 })
                 .collect();
             rel.encode_query(&conds)
+                .expect("window conditions over sampled rows are valid")
         })
         .collect();
     (

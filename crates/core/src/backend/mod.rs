@@ -20,7 +20,7 @@
 //! All three return the engine's [`SearchOutput`] shape: per-query
 //! [`TopHit`](crate::topk::TopHit) lists with deterministic
 //! (count-descending, id-ascending) ordering, final AuditThresholds and
-//! a per-stage [`StageProfile`].
+//! a per-stage [`StageProfile`](crate::exec::StageProfile).
 
 mod cpu;
 mod multi;

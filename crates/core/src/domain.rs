@@ -1,0 +1,223 @@
+//! The domain adapter trait behind the typed `GenieDb` facade.
+//!
+//! The paper's central claim is *genericity*: one inverted-index
+//! match-count engine serves sequence, document, relational, tree/graph
+//! and τ-ANN similarity search. [`Domain`] is that claim as a trait —
+//! the *only* contract a data type has to implement to be served by the
+//! whole stack (engine, scheduler, admission service, typed facade):
+//!
+//! 1. **decompose** its items into match-count
+//!    [`Object`](crate::model::Object)s and freeze them into an
+//!    [`InvertedIndex`] (`create` / `index`);
+//! 2. **encode** a typed query spec into a match-count [`Query`]
+//!    (`encode`, validated — malformed specs are a typed
+//!    [`QueryBuildError`], not a deep assert);
+//! 3. **decode** the engine's raw top-k hits back into typed results
+//!    (`decode`, which is where shotgun-and-assembly domains run their
+//!    verification step).
+//!
+//! The `genie-service` crate's `GenieDb`/`Collection<D>` route every
+//! implementation through one shared scheduler/admission stack; the
+//! implementations live next to their data types (`genie-sa` for the
+//! five SA domains, `genie-lsh` for τ-ANN).
+//!
+//! ```
+//! use std::sync::Arc;
+//! use genie_core::domain::{Domain, MatchHits};
+//! use genie_core::index::{IndexBuilder, InvertedIndex};
+//! use genie_core::model::{Query, QueryBuildError};
+//! use genie_core::topk::TopHit;
+//!
+//! /// A toy domain: items are keyword lists, queries are keyword lists.
+//! struct Keywords {
+//!     index: Arc<InvertedIndex>,
+//!     universe: u32,
+//! }
+//!
+//! impl Domain for Keywords {
+//!     type Config = u32; // universe size
+//!     type Item = Vec<u32>;
+//!     type QuerySpec = Vec<u32>;
+//!     type Response = MatchHits;
+//!
+//!     fn name() -> &'static str {
+//!         "keywords"
+//!     }
+//!     fn create(universe: u32, items: Vec<Vec<u32>>) -> Self {
+//!         let mut b = IndexBuilder::new();
+//!         for kws in &items {
+//!             b.add_object(&kws.clone().into());
+//!         }
+//!         Self {
+//!             index: Arc::new(b.build(None)),
+//!             universe,
+//!         }
+//!     }
+//!     fn index(&self) -> &Arc<InvertedIndex> {
+//!         &self.index
+//!     }
+//!     fn encode(&self, spec: &Vec<u32>) -> Result<Query, QueryBuildError> {
+//!         Query::try_from_keywords(spec, self.universe)
+//!     }
+//!     fn decode(&self, _spec: &Vec<u32>, hits: Vec<TopHit>, at: u32, _kc: usize, _k: usize) -> MatchHits {
+//!         MatchHits {
+//!             hits,
+//!             audit_threshold: at,
+//!         }
+//!     }
+//! }
+//!
+//! let d = Keywords::create(10, vec![vec![1, 5], vec![1, 6]]);
+//! assert!(d.encode(&vec![]).is_err(), "empty spec is a typed error");
+//! assert!(d.encode(&vec![99]).is_err(), "out-of-universe keyword too");
+//! assert_eq!(d.encode(&vec![1, 5]).unwrap().len(), 2);
+//! ```
+
+use std::sync::Arc;
+
+use crate::index::InvertedIndex;
+use crate::model::{Query, QueryBuildError};
+use crate::topk::TopHit;
+
+/// The typed response of a pure match-count domain (documents,
+/// relational selections, τ-ANN): the engine's top-k hits *are* the
+/// answer — no verification pass — plus the final AuditThreshold
+/// (`AT − 1` is the k-th match count, Theorem 3.1).
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct MatchHits {
+    /// Up to `k` hits, count-descending with ascending-id tie-breaks.
+    pub hits: Vec<TopHit>,
+    /// Final AuditThreshold of the query.
+    pub audit_threshold: u32,
+}
+
+/// An adapter that maps one data type onto the match-count model.
+///
+/// Implementations are *stateful*: `create` builds whatever encoding
+/// state the domain needs (vocabularies, discretisation schemas, LSH
+/// transformers) alongside the frozen [`InvertedIndex`], and `encode` /
+/// `decode` consult that state. See the [module docs](self) for the
+/// three-step contract and a runnable toy implementation; the real
+/// implementations live in `genie-sa` and `genie-lsh`.
+pub trait Domain: Send + Sync + Sized + 'static {
+    /// Build-time parameters beyond the items themselves (n-gram
+    /// length, relational schema, LSH transformer, `()` when none).
+    type Config;
+    /// One indexable data item.
+    type Item;
+    /// One typed query.
+    type QuerySpec: Send;
+    /// The typed answer to one query.
+    type Response: Send + 'static;
+
+    /// Stable human-readable domain name ("document", "tau-ann", ...).
+    fn name() -> &'static str;
+
+    /// Decompose and index `items`.
+    fn create(config: Self::Config, items: Vec<Self::Item>) -> Self;
+
+    /// The frozen inverted index every backend uploads.
+    fn index(&self) -> &Arc<InvertedIndex>;
+
+    /// Encode a typed spec into a match-count query, validating it:
+    /// empty specs, empty ranges, out-of-range keywords/values and
+    /// non-finite numbers all surface here as [`QueryBuildError`]s.
+    fn encode(&self, spec: &Self::QuerySpec) -> Result<Query, QueryBuildError>;
+
+    /// How many raw candidates to retrieve for a final top-`k`.
+    /// Filter-and-verify domains over-fetch (the paper's `K ≥ k`);
+    /// pure match-count domains keep the default `k`.
+    fn candidates_for(&self, k: usize) -> usize {
+        k
+    }
+
+    /// Turn the engine's raw hits for `spec` into the typed response.
+    /// `k_candidates` is the candidate count the hits were retrieved
+    /// with (what [`candidates_for`](Self::candidates_for) returned, or
+    /// a caller override); `k` is the final answer size.
+    fn decode(
+        &self,
+        spec: &Self::QuerySpec,
+        hits: Vec<TopHit>,
+        audit_threshold: u32,
+        k_candidates: usize,
+        k: usize,
+    ) -> Self::Response;
+
+    /// Whether `response` is provably exact (drives the adaptive
+    /// retrieval loop: exact answers stop the candidate-doubling
+    /// schedule early). Pure match-count domains are always exact.
+    fn is_exact(_response: &Self::Response) -> bool {
+        true
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::index::IndexBuilder;
+
+    struct Tiny {
+        index: Arc<InvertedIndex>,
+    }
+
+    impl Domain for Tiny {
+        type Config = ();
+        type Item = Vec<u32>;
+        type QuerySpec = Vec<u32>;
+        type Response = MatchHits;
+
+        fn name() -> &'static str {
+            "tiny"
+        }
+        fn create(_: (), items: Vec<Vec<u32>>) -> Self {
+            let mut b = IndexBuilder::new();
+            for kws in &items {
+                b.add_object(&kws.clone().into());
+            }
+            Self {
+                index: Arc::new(b.build(None)),
+            }
+        }
+        fn index(&self) -> &Arc<InvertedIndex> {
+            &self.index
+        }
+        fn encode(&self, spec: &Vec<u32>) -> Result<Query, QueryBuildError> {
+            Query::try_from_keywords(spec, 100)
+        }
+        fn decode(
+            &self,
+            _spec: &Vec<u32>,
+            hits: Vec<TopHit>,
+            audit_threshold: u32,
+            _kc: usize,
+            _k: usize,
+        ) -> MatchHits {
+            MatchHits {
+                hits,
+                audit_threshold,
+            }
+        }
+    }
+
+    #[test]
+    fn defaults_are_the_pure_match_count_behaviour() {
+        let d = Tiny::create((), vec![vec![1, 2], vec![2, 3]]);
+        assert_eq!(Tiny::name(), "tiny");
+        assert_eq!(d.candidates_for(7), 7);
+        let resp = d.decode(&vec![2], vec![TopHit { id: 0, count: 1 }], 2, 7, 7);
+        assert!(Tiny::is_exact(&resp));
+        assert_eq!(resp.audit_threshold, 2);
+        assert_eq!(d.index().num_objects(), 2);
+    }
+
+    #[test]
+    fn encode_surfaces_typed_errors() {
+        let d = Tiny::create((), vec![vec![1]]);
+        assert_eq!(d.encode(&vec![]), Err(QueryBuildError::EmptyQuery));
+        assert!(matches!(
+            d.encode(&vec![100]),
+            Err(QueryBuildError::KeywordOutOfRange { .. })
+        ));
+    }
+}

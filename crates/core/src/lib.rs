@@ -64,6 +64,7 @@
 
 pub mod backend;
 pub mod cpq;
+pub mod domain;
 pub mod exec;
 pub mod index;
 pub mod io;
@@ -76,9 +77,12 @@ pub mod prelude {
     pub use crate::backend::{
         BackendCaps, BackendIndex, BackendKind, CpuBackend, MultiDeviceBackend, SearchBackend,
     };
+    pub use crate::domain::{Domain, MatchHits};
     pub use crate::exec::{DeviceIndex, Engine, SearchOutput, StageProfile};
     pub use crate::index::{IndexBuilder, InvertedIndex, LoadBalanceConfig};
-    pub use crate::model::{match_count, KeywordId, Object, ObjectId, Query, QueryItem};
+    pub use crate::model::{
+        match_count, KeywordId, Object, ObjectId, Query, QueryBuildError, QueryItem,
+    };
     pub use crate::multiload::{
         build_parts, multi_device_search, multi_load_search, IndexPart, MultiLoadReport,
     };

@@ -53,6 +53,81 @@ impl From<Vec<KeywordId>> for Object {
     }
 }
 
+/// Why a query could not be encoded. Returned by the validated
+/// constructors ([`QueryItem::try_range`], [`Query::try_new`]) and by
+/// every `Domain::encode` implementation, so malformed specs surface as
+/// a typed error at *encode* time instead of tripping `debug_assert`s
+/// (or producing silently-wrong counts) deep inside the match kernel.
+#[derive(Debug, Clone, PartialEq)]
+pub enum QueryBuildError {
+    /// The query spec has no dimensions/items at all.
+    EmptyQuery,
+    /// An item's keyword range is empty (`lo > hi`).
+    EmptyRange { lo: KeywordId, hi: KeywordId },
+    /// A keyword id lies outside the universe the index was built over.
+    KeywordOutOfRange {
+        keyword: KeywordId,
+        universe: KeywordId,
+    },
+    /// A numeric input that must be finite is NaN or infinite.
+    NonFinite { what: &'static str },
+    /// A weight/value that must be non-negative is negative.
+    Negative { what: &'static str },
+    /// An item's numeric range is empty (`lo > hi`), in attribute
+    /// units.
+    EmptyNumericRange { attr: usize, lo: f64, hi: f64 },
+    /// A condition names an attribute the schema does not have.
+    UnknownAttribute { attr: usize, num_attributes: usize },
+    /// A condition's kind does not match its attribute's kind (e.g. a
+    /// numeric range over a categorical attribute).
+    TypeMismatch { attr: usize, expected: &'static str },
+    /// A categorical value beyond its attribute's cardinality.
+    ValueOutOfRange {
+        attr: usize,
+        value: u32,
+        cardinality: u32,
+    },
+}
+
+impl std::fmt::Display for QueryBuildError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            Self::EmptyQuery => write!(f, "query spec has no items"),
+            Self::EmptyRange { lo, hi } => {
+                write!(f, "empty keyword range [{lo}, {hi}] (lo > hi)")
+            }
+            Self::KeywordOutOfRange { keyword, universe } => {
+                write!(f, "keyword {keyword} outside the universe 0..{universe}")
+            }
+            Self::NonFinite { what } => write!(f, "{what} must be finite (got NaN or infinity)"),
+            Self::Negative { what } => write!(f, "{what} must be non-negative"),
+            Self::EmptyNumericRange { attr, lo, hi } => {
+                write!(f, "empty numeric range [{lo}, {hi}] on attribute {attr}")
+            }
+            Self::TypeMismatch { attr, expected } => {
+                write!(f, "attribute {attr} is not {expected}")
+            }
+            Self::UnknownAttribute {
+                attr,
+                num_attributes,
+            } => write!(
+                f,
+                "attribute {attr} out of range (schema has {num_attributes})"
+            ),
+            Self::ValueOutOfRange {
+                attr,
+                value,
+                cardinality,
+            } => write!(
+                f,
+                "value {value} out of range for attribute {attr} (cardinality {cardinality})"
+            ),
+        }
+    }
+}
+
+impl std::error::Error for QueryBuildError {}
+
 /// One query item: an inclusive range `[lo, hi]` of keyword ids.
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
 pub struct QueryItem {
@@ -70,6 +145,15 @@ impl QueryItem {
     pub fn range(lo: KeywordId, hi: KeywordId) -> Self {
         debug_assert!(lo <= hi, "query item range must be non-empty");
         Self { lo, hi }
+    }
+
+    /// Validated [`range`](Self::range): an empty range (`lo > hi`) is a
+    /// typed error instead of a `debug_assert`.
+    pub fn try_range(lo: KeywordId, hi: KeywordId) -> Result<Self, QueryBuildError> {
+        if lo > hi {
+            return Err(QueryBuildError::EmptyRange { lo, hi });
+        }
+        Ok(Self { lo, hi })
     }
 
     /// Whether `kw` falls inside this item.
@@ -91,11 +175,51 @@ impl Query {
         Self { items }
     }
 
+    /// Validated construction: rejects a query with no items
+    /// ([`QueryBuildError::EmptyQuery`]) and any item whose range is
+    /// empty ([`QueryBuildError::EmptyRange`]). The unvalidated
+    /// [`new`](Self::new) stays available for internal paths that
+    /// construct items they already know are well-formed.
+    pub fn try_new(items: Vec<QueryItem>) -> Result<Self, QueryBuildError> {
+        if items.is_empty() {
+            return Err(QueryBuildError::EmptyQuery);
+        }
+        for item in &items {
+            if item.lo > item.hi {
+                return Err(QueryBuildError::EmptyRange {
+                    lo: item.lo,
+                    hi: item.hi,
+                });
+            }
+        }
+        Ok(Self { items })
+    }
+
     /// Query whose items each match exactly one of `keywords`.
     pub fn from_keywords(keywords: &[KeywordId]) -> Self {
         Self {
             items: keywords.iter().map(|&k| QueryItem::exact(k)).collect(),
         }
+    }
+
+    /// [`from_keywords`](Self::from_keywords) validated against a
+    /// keyword universe of size `universe`: a keyword at or beyond the
+    /// universe is a typed error, and an empty keyword list is
+    /// [`QueryBuildError::EmptyQuery`].
+    pub fn try_from_keywords(
+        keywords: &[KeywordId],
+        universe: KeywordId,
+    ) -> Result<Self, QueryBuildError> {
+        if keywords.is_empty() {
+            return Err(QueryBuildError::EmptyQuery);
+        }
+        if let Some(&bad) = keywords.iter().find(|&&k| k >= universe) {
+            return Err(QueryBuildError::KeywordOutOfRange {
+                keyword: bad,
+                universe,
+            });
+        }
+        Ok(Self::from_keywords(keywords))
     }
 
     pub fn len(&self) -> usize {
@@ -210,6 +334,65 @@ mod tests {
     fn from_keywords_builds_exact_items() {
         let q = Query::from_keywords(&[3, 9]);
         assert_eq!(q.items, vec![QueryItem::exact(3), QueryItem::exact(9)]);
+    }
+
+    #[test]
+    fn try_range_rejects_empty_ranges() {
+        assert_eq!(QueryItem::try_range(4, 4), Ok(QueryItem::exact(4)));
+        assert_eq!(QueryItem::try_range(2, 9), Ok(QueryItem::range(2, 9)));
+        assert_eq!(
+            QueryItem::try_range(5, 3),
+            Err(QueryBuildError::EmptyRange { lo: 5, hi: 3 })
+        );
+    }
+
+    #[test]
+    fn try_new_validates_items_and_emptiness() {
+        assert_eq!(Query::try_new(vec![]), Err(QueryBuildError::EmptyQuery));
+        let bad = QueryItem { lo: 7, hi: 2 };
+        assert_eq!(
+            Query::try_new(vec![QueryItem::exact(1), bad]),
+            Err(QueryBuildError::EmptyRange { lo: 7, hi: 2 })
+        );
+        let ok = Query::try_new(vec![QueryItem::range(1, 3)]).unwrap();
+        assert_eq!(ok, Query::new(vec![QueryItem::range(1, 3)]));
+    }
+
+    #[test]
+    fn try_from_keywords_checks_the_universe() {
+        assert_eq!(
+            Query::try_from_keywords(&[], 10),
+            Err(QueryBuildError::EmptyQuery)
+        );
+        assert_eq!(
+            Query::try_from_keywords(&[3, 10], 10),
+            Err(QueryBuildError::KeywordOutOfRange {
+                keyword: 10,
+                universe: 10
+            })
+        );
+        assert_eq!(
+            Query::try_from_keywords(&[3, 9], 10).unwrap(),
+            Query::from_keywords(&[3, 9])
+        );
+    }
+
+    #[test]
+    fn query_build_errors_display_their_cause() {
+        let shown = format!("{}", QueryBuildError::EmptyQuery);
+        assert!(shown.contains("no items"), "{shown}");
+        let shown = format!(
+            "{}",
+            QueryBuildError::ValueOutOfRange {
+                attr: 1,
+                value: 9,
+                cardinality: 4
+            }
+        );
+        assert!(
+            shown.contains("attribute 1") && shown.contains('9'),
+            "{shown}"
+        );
     }
 
     #[test]

@@ -5,13 +5,19 @@
 //! object document is exactly the inner product of their binary vectors
 //! — i.e. the number of shared distinct words — so GENIE's top-k *is*
 //! the vector-space top-k, no verification needed.
+//!
+//! [`DocumentIndex`] implements [`Domain`], so a corpus is served
+//! through the typed facade (`GenieDb::create_collection::<DocumentIndex>`)
+//! like every other domain; the direct path is
+//! [`Domain::encode`] → [`SearchBackend::search_batch`](genie_core::backend::SearchBackend::search_batch)
+//! → [`Domain::decode`].
 
 use std::collections::HashMap;
 use std::sync::Arc;
 
-use genie_core::backend::{BackendIndex, SearchBackend};
+use genie_core::domain::{Domain, MatchHits};
 use genie_core::index::{IndexBuilder, InvertedIndex};
-use genie_core::model::{KeywordId, Object, Query};
+use genie_core::model::{KeywordId, Object, Query, QueryBuildError};
 use genie_core::topk::TopHit;
 
 /// A word-level inverted index over a corpus of short documents.
@@ -59,7 +65,8 @@ impl DocumentIndex {
         &self.index
     }
 
-    /// Query over the distinct known words of `doc`.
+    /// Query over the distinct known words of `doc` (unknown words
+    /// match nothing and are skipped).
     pub fn to_query<S: AsRef<str>>(&self, doc: &[S]) -> Query {
         let mut kws: Vec<KeywordId> = doc
             .iter()
@@ -69,27 +76,56 @@ impl DocumentIndex {
         kws.dedup();
         Query::from_keywords(&kws)
     }
+}
 
-    pub fn upload(&self, backend: &dyn SearchBackend) -> Result<BackendIndex, String> {
-        backend.upload(Arc::clone(&self.index))
+impl Domain for DocumentIndex {
+    type Config = ();
+    type Item = Vec<String>;
+    type QuerySpec = Vec<String>;
+    type Response = MatchHits;
+
+    fn name() -> &'static str {
+        "document"
     }
 
-    /// Batched top-k by shared-word count (= binary inner product).
-    pub fn search<S: AsRef<str>>(
+    fn create(_config: (), items: Vec<Vec<String>>) -> Self {
+        Self::build(&items)
+    }
+
+    fn index(&self) -> &Arc<InvertedIndex> {
+        &self.index
+    }
+
+    /// A query with no words at all is a typed error; words outside the
+    /// vocabulary are legal and simply match nothing.
+    fn encode(&self, spec: &Vec<String>) -> Result<Query, QueryBuildError> {
+        if spec.is_empty() {
+            return Err(QueryBuildError::EmptyQuery);
+        }
+        Ok(self.to_query(spec))
+    }
+
+    fn decode(
         &self,
-        backend: &dyn SearchBackend,
-        bindex: &BackendIndex,
-        queries: &[Vec<S>],
+        _spec: &Vec<String>,
+        hits: Vec<TopHit>,
+        audit_threshold: u32,
+        _k_candidates: usize,
         k: usize,
-    ) -> Vec<Vec<TopHit>> {
-        let qs: Vec<Query> = queries.iter().map(|q| self.to_query(q)).collect();
-        backend.search_batch(bindex, &qs, k).results
+    ) -> MatchHits {
+        let mut hits = hits;
+        hits.truncate(k);
+        MatchHits {
+            hits,
+            audit_threshold,
+        }
     }
 }
 
 #[cfg(test)]
 mod tests {
     use super::*;
+    use genie_core::backend::SearchBackend;
     use genie_core::exec::Engine;
     use gpu_sim::Device;
 
@@ -107,34 +143,51 @@ mod tests {
         ]
     }
 
+    /// The direct (facade-free) path every domain test drives: encode,
+    /// one backend batch, decode.
+    fn search(
+        idx: &DocumentIndex,
+        backend: &dyn SearchBackend,
+        queries: &[Vec<String>],
+        k: usize,
+    ) -> Vec<MatchHits> {
+        let bindex = backend.upload(Arc::clone(Domain::index(idx))).unwrap();
+        let qs: Vec<Query> = queries.iter().map(|q| idx.encode(q).unwrap()).collect();
+        let out = backend.search_batch(&bindex, &qs, idx.candidates_for(k));
+        queries
+            .iter()
+            .zip(out.results.into_iter().zip(out.audit_thresholds))
+            .map(|(q, (hits, at))| idx.decode(q, hits, at, idx.candidates_for(k), k))
+            .collect()
+    }
+
     #[test]
     fn top_hit_shares_most_words() {
         let idx = DocumentIndex::build(&corpus());
         let eng = Engine::new(Arc::new(Device::with_defaults()));
-        let didx = idx.upload(&eng).unwrap();
-        let results = idx.search(&eng, &didx, &[toks("laksa food singapore")], 3);
-        assert_eq!(results[0][0].id, 0, "doc 0 shares all three words");
-        assert_eq!(results[0][0].count, 3);
+        let results = search(&idx, &eng, &[toks("laksa food singapore")], 3);
+        assert_eq!(results[0].hits[0].id, 0, "doc 0 shares all three words");
+        assert_eq!(results[0].hits[0].count, 3);
     }
 
     #[test]
     fn duplicates_count_once_binary_model() {
         let idx = DocumentIndex::build(&corpus());
         let eng = Engine::new(Arc::new(Device::with_defaults()));
-        let didx = eng.upload(Arc::clone(idx.inverted_index())).unwrap();
-        let q = idx.to_query(&toks("laksa laksa laksa"));
+        let q = idx.encode(&toks("laksa laksa laksa")).unwrap();
         assert_eq!(q.items.len(), 1, "query words dedupe");
-        let out = eng.search(&didx, &[q], 5);
-        for hit in &out.results[0] {
+        let results = search(&idx, &eng, &[toks("laksa laksa laksa")], 5);
+        for hit in &results[0].hits {
             assert_eq!(hit.count, 1, "binary vectors: one shared word = 1");
         }
     }
 
     #[test]
-    fn unknown_words_are_ignored() {
+    fn unknown_words_are_ignored_but_empty_specs_error() {
         let idx = DocumentIndex::build(&corpus());
-        let q = idx.to_query(&toks("zzz unknown laksa"));
+        let q = idx.encode(&toks("zzz unknown laksa")).unwrap();
         assert_eq!(q.items.len(), 1);
+        assert_eq!(idx.encode(&vec![]), Err(QueryBuildError::EmptyQuery));
     }
 
     #[test]
@@ -142,18 +195,19 @@ mod tests {
         let docs = corpus();
         let idx = DocumentIndex::build(&docs);
         let eng = Engine::new(Arc::new(Device::with_defaults()));
-        let didx = idx.upload(&eng).unwrap();
         let query = toks("restaurant city singapore");
-        let results = idx.search(&eng, &didx, std::slice::from_ref(&query), 5);
+        let results = search(&idx, &eng, std::slice::from_ref(&query), 5);
         // brute-force binary inner product
         use std::collections::HashSet;
         let qset: HashSet<&str> = query.iter().map(|s| s.as_str()).collect();
-        for hit in &results[0] {
+        for hit in &results[0].hits {
             let dset: HashSet<&str> = docs[hit.id as usize].iter().map(|s| s.as_str()).collect();
             let ip = qset.intersection(&dset).count() as u32;
             assert_eq!(hit.count, ip, "doc {}", hit.id);
         }
-        assert_eq!(results[0][0].id, 1);
-        assert_eq!(results[0][0].count, 3);
+        assert_eq!(results[0].hits[0].id, 1);
+        assert_eq!(results[0].hits[0].count, 3);
+        // Theorem 3.1: AT - 1 is the k-th count when k objects matched
+        assert!(results[0].audit_threshold >= 1);
     }
 }

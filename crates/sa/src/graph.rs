@@ -273,35 +273,61 @@ impl GraphIndex {
             .collect();
         Query::from_keywords(&kws)
     }
+}
 
-    /// Retrieve `k_candidates` by shared stars, verify with the star
-    /// mapping distance, return the top-k per query.
-    pub fn search(
+impl genie_core::domain::Domain for GraphIndex {
+    type Config = ();
+    type Item = Graph;
+    type QuerySpec = Graph;
+    type Response = Vec<GraphHit>;
+
+    fn name() -> &'static str {
+        "graph"
+    }
+
+    fn create(_config: (), items: Vec<Graph>) -> Self {
+        Self::build(items)
+    }
+
+    fn index(&self) -> &std::sync::Arc<genie_core::index::InvertedIndex> {
+        &self.index
+    }
+
+    /// A graph with no nodes is a typed error; unknown stars match
+    /// nothing and are skipped.
+    fn encode(&self, spec: &Graph) -> Result<Query, genie_core::model::QueryBuildError> {
+        if spec.is_empty() {
+            return Err(genie_core::model::QueryBuildError::EmptyQuery);
+        }
+        Ok(self.to_query(spec))
+    }
+
+    /// Over-fetch candidates for the verify step (shared-star counts
+    /// only *filter* for the star mapping distance).
+    fn candidates_for(&self, k: usize) -> usize {
+        (k * 8).max(32)
+    }
+
+    /// Verify the retrieved candidates with the Hungarian star-mapping
+    /// distance and keep the top-k (ascending distance, ascending id).
+    fn decode(
         &self,
-        backend: &dyn genie_core::backend::SearchBackend,
-        bindex: &genie_core::backend::BackendIndex,
-        queries: &[Graph],
-        k_candidates: usize,
+        spec: &Graph,
+        hits: Vec<genie_core::topk::TopHit>,
+        _audit_threshold: u32,
+        _k_candidates: usize,
         k: usize,
-    ) -> Vec<Vec<GraphHit>> {
-        let mc_queries: Vec<Query> = queries.iter().map(|q| self.to_query(q)).collect();
-        let out = backend.search_batch(bindex, &mc_queries, k_candidates);
-        queries
+    ) -> Vec<GraphHit> {
+        let mut verified: Vec<GraphHit> = hits
             .iter()
-            .zip(out.results)
-            .map(|(q, hits)| {
-                let mut verified: Vec<GraphHit> = hits
-                    .iter()
-                    .map(|h| GraphHit {
-                        id: h.id,
-                        distance: star_mapping_distance(q, &self.graphs[h.id as usize]),
-                    })
-                    .collect();
-                verified.sort_unstable_by(|a, b| a.distance.cmp(&b.distance).then(a.id.cmp(&b.id)));
-                verified.truncate(k);
-                verified
+            .map(|h| GraphHit {
+                id: h.id,
+                distance: star_mapping_distance(spec, &self.graphs[h.id as usize]),
             })
-            .collect()
+            .collect();
+        verified.sort_unstable_by(|a, b| a.distance.cmp(&b.distance).then(a.id.cmp(&b.id)));
+        verified.truncate(k);
+        verified
     }
 }
 
@@ -508,6 +534,8 @@ mod tests {
 
     #[test]
     fn end_to_end_graph_search() {
+        use genie_core::backend::SearchBackend;
+        use genie_core::domain::Domain;
         use genie_core::exec::Engine;
         use gpu_sim::Device;
         use std::sync::Arc;
@@ -520,12 +548,17 @@ mod tests {
         ];
         let idx = GraphIndex::build(graphs.clone());
         let engine = Engine::new(Arc::new(Device::with_defaults()));
-        let didx =
-            genie_core::backend::SearchBackend::upload(&engine, Arc::clone(idx.inverted_index()))
-                .unwrap();
-        let results = idx.search(&engine, &didx, &[path3([1, 2, 3])], 4, 2);
-        assert_eq!(results[0][0], GraphHit { id: 0, distance: 0 });
-        assert!(results[0][1].distance > 0);
-        assert_ne!(results[0][1].id, 3, "disjoint-label triangle is farthest");
+        let didx = SearchBackend::upload(&engine, Arc::clone(Domain::index(&idx))).unwrap();
+        let spec = path3([1, 2, 3]);
+        let q = idx.encode(&spec).unwrap();
+        let out = SearchBackend::search_batch(&engine, &didx, &[q], 4);
+        let hits = idx.decode(&spec, out.results[0].clone(), out.audit_thresholds[0], 4, 2);
+        assert_eq!(hits[0], GraphHit { id: 0, distance: 0 });
+        assert!(hits[1].distance > 0);
+        assert_ne!(hits[1].id, 3, "disjoint-label triangle is farthest");
+        assert!(
+            idx.encode(&Graph::new()).is_err(),
+            "empty graph is a typed error"
+        );
     }
 }

@@ -29,7 +29,7 @@ pub mod tree;
 pub mod verify;
 
 pub use document::DocumentIndex;
-pub use graph::{Graph, GraphIndex};
-pub use relational::{Attribute, Condition, RelationalIndex, Value};
+pub use graph::{Graph, GraphHit, GraphIndex};
+pub use relational::{Attribute, Condition, RelationalIndex, RelationalSchema, Value};
 pub use sequence::{SequenceIndex, SequenceSearchReport};
-pub use tree::{Tree, TreeIndex};
+pub use tree::{Tree, TreeHit, TreeIndex};

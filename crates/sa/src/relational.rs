@@ -8,12 +8,17 @@
 //! condition — a contiguous keyword range — and GENIE's top-k by match
 //! count is a top-k selection under the "number of satisfied conditions"
 //! ranking, useful for tables mixing categorical and numerical columns.
+//!
+//! [`RelationalIndex`] implements [`Domain`]; its `encode` validates
+//! conditions up front — unknown attributes, out-of-cardinality
+//! categories, NaN/infinite numeric bounds and inverted ranges are typed
+//! [`QueryBuildError`]s instead of panics inside the encoding maths.
 
 use std::sync::Arc;
 
-use genie_core::backend::{BackendIndex, SearchBackend};
+use genie_core::domain::{Domain, MatchHits};
 use genie_core::index::{IndexBuilder, InvertedIndex, LoadBalanceConfig};
-use genie_core::model::{KeywordId, Object, Query, QueryItem};
+use genie_core::model::{KeywordId, Object, Query, QueryBuildError, QueryItem};
 use genie_core::topk::TopHit;
 
 /// Schema of one attribute.
@@ -50,8 +55,19 @@ pub enum Condition {
     /// Numeric range `[lo, hi]` in attribute units.
     NumRange { attr: usize, lo: f64, hi: f64 },
     /// Range directly in bucket space `[lo, hi]` (what the Adult
-    /// experiment's `[v−50, v+50]` discretised windows are).
+    /// experiment's `[v−50, v+50]` discretised windows are). Clamped
+    /// into the attribute's bucket domain, window-style.
     BucketRange { attr: usize, lo: u32, hi: u32 },
+}
+
+/// The schema a relational collection is created with: the attribute
+/// list plus the optional postings-list length cap.
+#[derive(Debug, Clone, Default)]
+pub struct RelationalSchema {
+    pub attrs: Vec<Attribute>,
+    /// Caps postings-list length — essential for low-cardinality
+    /// attributes (the paper's Fig. 12 experiment).
+    pub load_balance: Option<LoadBalanceConfig>,
 }
 
 /// A relational table indexed for GENIE.
@@ -65,8 +81,7 @@ pub struct RelationalIndex {
 
 impl RelationalIndex {
     /// Discretise and index `rows` under `attrs`. `load_balance` caps
-    /// postings-list length — essential for low-cardinality attributes
-    /// (the paper's Fig. 12 experiment).
+    /// postings-list length.
     pub fn build(
         attrs: Vec<Attribute>,
         rows: &[Vec<Value>],
@@ -139,52 +154,125 @@ impl RelationalIndex {
         )
     }
 
-    /// Encode a selection query: one item per condition.
-    pub fn encode_query(&self, conditions: &[Condition]) -> Query {
+    /// The attribute behind condition index `attr`, validated.
+    fn attribute(&self, attr: usize) -> Result<Attribute, QueryBuildError> {
+        self.attrs
+            .get(attr)
+            .copied()
+            .ok_or(QueryBuildError::UnknownAttribute {
+                attr,
+                num_attributes: self.attrs.len(),
+            })
+    }
+
+    /// Encode one validated condition into a query item.
+    fn encode_condition(&self, c: &Condition) -> Result<QueryItem, QueryBuildError> {
+        match *c {
+            Condition::CatEq { attr, value } => {
+                let Attribute::Categorical { cardinality } = self.attribute(attr)? else {
+                    return Err(QueryBuildError::TypeMismatch {
+                        attr,
+                        expected: "categorical",
+                    });
+                };
+                if value >= cardinality {
+                    return Err(QueryBuildError::ValueOutOfRange {
+                        attr,
+                        value,
+                        cardinality,
+                    });
+                }
+                Ok(QueryItem::exact(self.keyword(attr, value)))
+            }
+            Condition::NumRange { attr, lo, hi } => {
+                if !matches!(self.attribute(attr)?, Attribute::Numeric { .. }) {
+                    return Err(QueryBuildError::TypeMismatch {
+                        attr,
+                        expected: "numeric",
+                    });
+                }
+                if !lo.is_finite() || !hi.is_finite() {
+                    return Err(QueryBuildError::NonFinite {
+                        what: "numeric range bound",
+                    });
+                }
+                if lo > hi {
+                    return Err(QueryBuildError::EmptyNumericRange { attr, lo, hi });
+                }
+                let bl = self.bucket_of(attr, Value::Num(lo));
+                let bh = self.bucket_of(attr, Value::Num(hi));
+                QueryItem::try_range(self.keyword(attr, bl), self.keyword(attr, bh))
+            }
+            Condition::BucketRange { attr, lo, hi } => {
+                let a = self.attribute(attr)?;
+                if lo > hi {
+                    return Err(QueryBuildError::EmptyRange { lo, hi });
+                }
+                let max = a.domain() - 1;
+                QueryItem::try_range(
+                    self.keyword(attr, lo.min(max)),
+                    self.keyword(attr, hi.min(max)),
+                )
+            }
+        }
+    }
+
+    /// Encode a selection query: one item per condition, validated.
+    pub fn encode_query(&self, conditions: &[Condition]) -> Result<Query, QueryBuildError> {
+        if conditions.is_empty() {
+            return Err(QueryBuildError::EmptyQuery);
+        }
         let items = conditions
             .iter()
-            .map(|c| match *c {
-                Condition::CatEq { attr, value } => {
-                    QueryItem::exact(self.keyword(attr, self.bucket_of(attr, Value::Cat(value))))
-                }
-                Condition::NumRange { attr, lo, hi } => {
-                    let bl = self.bucket_of(attr, Value::Num(lo));
-                    let bh = self.bucket_of(attr, Value::Num(hi));
-                    QueryItem::range(self.keyword(attr, bl), self.keyword(attr, bh))
-                }
-                Condition::BucketRange { attr, lo, hi } => {
-                    let max = self.attrs[attr].domain() - 1;
-                    QueryItem::range(
-                        self.keyword(attr, lo.min(max)),
-                        self.keyword(attr, hi.min(max)),
-                    )
-                }
-            })
-            .collect();
-        Query::new(items)
+            .map(|c| self.encode_condition(c))
+            .collect::<Result<Vec<_>, _>>()?;
+        Ok(Query::new(items))
+    }
+}
+
+impl Domain for RelationalIndex {
+    type Config = RelationalSchema;
+    type Item = Vec<Value>;
+    type QuerySpec = Vec<Condition>;
+    type Response = MatchHits;
+
+    fn name() -> &'static str {
+        "relational"
     }
 
-    pub fn upload(&self, backend: &dyn SearchBackend) -> Result<BackendIndex, String> {
-        backend.upload(Arc::clone(&self.index))
+    fn create(config: RelationalSchema, items: Vec<Vec<Value>>) -> Self {
+        Self::build(config.attrs, &items, config.load_balance)
     }
 
-    /// Batched top-k selection: rows ranked by how many conditions they
-    /// satisfy.
-    pub fn search(
+    fn index(&self) -> &Arc<InvertedIndex> {
+        &self.index
+    }
+
+    fn encode(&self, spec: &Vec<Condition>) -> Result<Query, QueryBuildError> {
+        self.encode_query(spec)
+    }
+
+    fn decode(
         &self,
-        backend: &dyn SearchBackend,
-        bindex: &BackendIndex,
-        queries: &[Vec<Condition>],
+        _spec: &Vec<Condition>,
+        hits: Vec<TopHit>,
+        audit_threshold: u32,
+        _k_candidates: usize,
         k: usize,
-    ) -> Vec<Vec<TopHit>> {
-        let qs: Vec<Query> = queries.iter().map(|q| self.encode_query(q)).collect();
-        backend.search_batch(bindex, &qs, k).results
+    ) -> MatchHits {
+        let mut hits = hits;
+        hits.truncate(k);
+        MatchHits {
+            hits,
+            audit_threshold,
+        }
     }
 }
 
 #[cfg(test)]
 mod tests {
     use super::*;
+    use genie_core::backend::SearchBackend;
     use genie_core::exec::Engine;
     use gpu_sim::Device;
 
@@ -203,11 +291,26 @@ mod tests {
         RelationalIndex::build(attrs, &rows, None)
     }
 
+    fn search(
+        rel: &RelationalIndex,
+        backend: &dyn SearchBackend,
+        queries: &[Vec<Condition>],
+        k: usize,
+    ) -> Vec<MatchHits> {
+        let bindex = backend.upload(Arc::clone(Domain::index(rel))).unwrap();
+        let qs: Vec<Query> = queries.iter().map(|q| rel.encode(q).unwrap()).collect();
+        let out = backend.search_batch(&bindex, &qs, k);
+        queries
+            .iter()
+            .zip(out.results.into_iter().zip(out.audit_thresholds))
+            .map(|(q, (hits, at))| rel.decode(q, hits, at, k, k))
+            .collect()
+    }
+
     #[test]
     fn figure_1_query_ranks_o2_first() {
         let rel = fig1();
         let eng = Engine::new(Arc::new(Device::with_defaults()));
-        let didx = rel.upload(&eng).unwrap();
         // Q1: 1 <= A <= 2, B = 1, 2 <= C <= 3
         let q = vec![
             Condition::BucketRange {
@@ -222,12 +325,14 @@ mod tests {
                 hi: 3,
             },
         ];
-        let results = rel.search(&eng, &didx, &[q], 3);
-        assert_eq!(results[0][0].id, 1, "O2 satisfies all three conditions");
-        assert_eq!(results[0][0].count, 3);
+        let results = search(&rel, &eng, &[q], 3);
+        assert_eq!(results[0].hits[0].id, 1, "O2 satisfies all three");
+        assert_eq!(results[0].hits[0].count, 3);
         // O3 satisfies A and C; O1 satisfies only A
-        assert_eq!(results[0][1], TopHit { id: 2, count: 2 });
-        assert_eq!(results[0][2], TopHit { id: 0, count: 1 });
+        assert_eq!(results[0].hits[1], TopHit { id: 2, count: 2 });
+        assert_eq!(results[0].hits[2], TopHit { id: 0, count: 1 });
+        // AT - 1 = third-best count = 1
+        assert_eq!(results[0].audit_threshold, 2);
     }
 
     #[test]
@@ -265,7 +370,6 @@ mod tests {
             .collect();
         let rel = RelationalIndex::build(attrs, &rows, None);
         let eng = Engine::new(Arc::new(Device::with_defaults()));
-        let didx = rel.upload(&eng).unwrap();
         let q = vec![
             Condition::NumRange {
                 attr: 0,
@@ -274,10 +378,10 @@ mod tests {
             },
             Condition::CatEq { attr: 1, value: 0 },
         ];
-        let results = rel.search(&eng, &didx, &[q], 5);
+        let results = search(&rel, &eng, &[q], 5);
         // rows with value in [10,20]: ids 5..=10; among them even ids have
         // Cat 0 -> count 2
-        let top = &results[0][0];
+        let top = &results[0].hits[0];
         assert_eq!(top.count, 2);
         assert!(top.id.is_multiple_of(2) && (5..=10).contains(&top.id));
     }
@@ -295,5 +399,131 @@ mod tests {
     fn arity_mismatch_is_rejected() {
         let rel = fig1();
         rel.encode_row(&[Value::Cat(1)]);
+    }
+
+    #[test]
+    fn malformed_conditions_are_typed_errors_not_panics() {
+        let rel = fig1();
+        assert_eq!(rel.encode(&vec![]), Err(QueryBuildError::EmptyQuery));
+        // unknown attribute
+        assert_eq!(
+            rel.encode(&vec![Condition::CatEq { attr: 9, value: 0 }]),
+            Err(QueryBuildError::UnknownAttribute {
+                attr: 9,
+                num_attributes: 3
+            })
+        );
+        // category beyond cardinality (used to be an assert deep in
+        // bucket_of)
+        assert_eq!(
+            rel.encode(&vec![Condition::CatEq { attr: 1, value: 7 }]),
+            Err(QueryBuildError::ValueOutOfRange {
+                attr: 1,
+                value: 7,
+                cardinality: 4
+            })
+        );
+        // inverted bucket range
+        assert_eq!(
+            rel.encode(&vec![Condition::BucketRange {
+                attr: 0,
+                lo: 3,
+                hi: 1
+            }]),
+            Err(QueryBuildError::EmptyRange { lo: 3, hi: 1 })
+        );
+        // NaN numeric bound on a numeric attribute
+        let attrs = vec![Attribute::Numeric {
+            min: 0.0,
+            max: 1.0,
+            buckets: 8,
+        }];
+        let rel = RelationalIndex::build(attrs, &[vec![Value::Num(0.5)]], None);
+        assert_eq!(
+            rel.encode(&vec![Condition::NumRange {
+                attr: 0,
+                lo: f64::NAN,
+                hi: 0.5
+            }]),
+            Err(QueryBuildError::NonFinite {
+                what: "numeric range bound"
+            })
+        );
+        // inverted numeric range reports the real bounds in attribute
+        // units
+        assert_eq!(
+            rel.encode(&vec![Condition::NumRange {
+                attr: 0,
+                lo: 0.9,
+                hi: 0.1
+            }]),
+            Err(QueryBuildError::EmptyNumericRange {
+                attr: 0,
+                lo: 0.9,
+                hi: 0.1
+            })
+        );
+    }
+
+    #[test]
+    fn condition_kind_must_match_attribute_kind() {
+        // one categorical + one numeric attribute
+        let rel = RelationalIndex::build(
+            vec![
+                Attribute::Categorical { cardinality: 4 },
+                Attribute::Numeric {
+                    min: 0.0,
+                    max: 1.0,
+                    buckets: 8,
+                },
+            ],
+            &[vec![Value::Cat(1), Value::Num(0.5)]],
+            None,
+        );
+        // a numeric range over the categorical attribute used to panic
+        // inside bucket_of; now a typed error
+        assert_eq!(
+            rel.encode(&vec![Condition::NumRange {
+                attr: 0,
+                lo: 0.0,
+                hi: 1.0
+            }]),
+            Err(QueryBuildError::TypeMismatch {
+                attr: 0,
+                expected: "numeric"
+            })
+        );
+        // a categorical equality over the numeric attribute used to be
+        // silently reinterpreted as a bucket index; now a typed error
+        assert_eq!(
+            rel.encode(&vec![Condition::CatEq { attr: 1, value: 3 }]),
+            Err(QueryBuildError::TypeMismatch {
+                attr: 1,
+                expected: "categorical"
+            })
+        );
+        // BucketRange is kind-agnostic (bucket space exists for both)
+        assert!(rel
+            .encode(&vec![Condition::BucketRange {
+                attr: 1,
+                lo: 0,
+                hi: 3
+            }])
+            .is_ok());
+    }
+
+    #[test]
+    fn bucket_ranges_clamp_window_style() {
+        let rel = fig1();
+        // hi beyond the domain clamps (the Adult experiment's v+50
+        // windows run off the edge routinely)
+        let q = rel
+            .encode(&vec![Condition::BucketRange {
+                attr: 0,
+                lo: 2,
+                hi: 99,
+            }])
+            .unwrap();
+        assert_eq!(q.items[0], QueryItem::range(2, 3));
     }
 }

@@ -7,13 +7,21 @@
 //! shared-gram counts, and [`crate::verify`] assembles the exact top-k.
 //! Theorem 5.2 certifies whether the result is provably exact; if not,
 //! the adaptive loop re-runs with a doubled K.
+//!
+//! [`SequenceIndex`] implements [`Domain`]: `encode` maps a query
+//! sequence onto its known grams, `candidates_for` over-fetches (the
+//! paper's `K ≥ k`), and `decode` runs the verify-and-certify assembly.
+//! `is_exact` exposes the Theorem 5.2 certificate, so the facade's
+//! generic adaptive loop doubles K exactly like the paper's multi-round
+//! strategy.
 
 use std::collections::HashMap;
 use std::sync::Arc;
 
-use genie_core::backend::{BackendIndex, SearchBackend};
+use genie_core::domain::Domain;
 use genie_core::index::{IndexBuilder, InvertedIndex};
-use genie_core::model::{KeywordId, Object, Query};
+use genie_core::model::{KeywordId, Object, Query, QueryBuildError};
+use genie_core::topk::TopHit;
 
 use crate::ngram::{ordered_ngrams, OrderedGram};
 use crate::verify::{exactness_certificate, verify_candidates, Candidate, VerifiedHit};
@@ -84,87 +92,84 @@ impl SequenceIndex {
             .collect();
         Query::from_keywords(&kws)
     }
+}
 
-    /// Prepare the index for searching on `backend`.
-    pub fn upload(&self, backend: &dyn SearchBackend) -> Result<BackendIndex, String> {
-        backend.upload(Arc::clone(&self.index))
+impl Domain for SequenceIndex {
+    /// n-gram length.
+    type Config = usize;
+    type Item = Vec<u8>;
+    type QuerySpec = Vec<u8>;
+    type Response = SequenceSearchReport;
+
+    fn name() -> &'static str {
+        "sequence"
     }
 
-    /// One search round: retrieve `k_candidates` per query by match
-    /// count, verify, certify.
-    pub fn search(
+    fn create(n: usize, items: Vec<Vec<u8>>) -> Self {
+        Self::build(items, n)
+    }
+
+    fn index(&self) -> &Arc<InvertedIndex> {
+        &self.index
+    }
+
+    /// An empty query sequence is a typed error; a non-empty sequence
+    /// whose grams are all unknown encodes to a query matching nothing
+    /// (the count filter then proves nothing, so the report is
+    /// uncertified).
+    fn encode(&self, spec: &Vec<u8>) -> Result<Query, QueryBuildError> {
+        if spec.is_empty() {
+            return Err(QueryBuildError::EmptyQuery);
+        }
+        Ok(self.to_query(spec))
+    }
+
+    /// The paper retrieves `K ≥ k` candidates and verifies; default to
+    /// the K = 32 the DBLP experiments use, scaled up for larger `k`.
+    fn candidates_for(&self, k: usize) -> usize {
+        (k * 8).max(32)
+    }
+
+    fn decode(
         &self,
-        backend: &dyn SearchBackend,
-        bindex: &BackendIndex,
-        queries: &[Vec<u8>],
+        spec: &Vec<u8>,
+        hits: Vec<TopHit>,
+        _audit_threshold: u32,
         k_candidates: usize,
         k: usize,
-    ) -> Vec<SequenceSearchReport> {
-        let mc_queries: Vec<Query> = queries.iter().map(|q| self.to_query(q)).collect();
-        let out = backend.search_batch(bindex, &mc_queries, k_candidates);
-        queries
+    ) -> SequenceSearchReport {
+        let candidates: Vec<Candidate> = hits
             .iter()
-            .zip(out.results)
-            .map(|(q, hits)| {
-                let candidates: Vec<Candidate> = hits
-                    .iter()
-                    .map(|h| Candidate {
-                        id: h.id,
-                        count: h.count,
-                    })
-                    .collect();
-                let (verified, _) =
-                    verify_candidates(q, &candidates, |id| self.sequence(id), self.n, k);
-                // c_K: the K-th candidate's count, or 0 when GENIE
-                // returned everything it had (exhaustive list)
-                let c_k_th = if candidates.len() == k_candidates {
-                    candidates.last().map(|c| c.count).unwrap_or(0)
-                } else {
-                    0
-                };
-                let certified = match verified.last() {
-                    Some(worst) => exactness_certificate(q.len(), c_k_th, worst.distance, self.n),
-                    // no candidate shared a single gram: the count filter
-                    // says nothing about the true top-k, so not certified
-                    // (unless there is no data at all)
-                    None => self.seqs.is_empty(),
-                };
-                SequenceSearchReport {
-                    hits: verified,
-                    certified,
-                    k_candidates,
-                }
+            .map(|h| Candidate {
+                id: h.id,
+                count: h.count,
             })
-            .collect()
+            .collect();
+        let (verified, _) = verify_candidates(spec, &candidates, |id| self.sequence(id), self.n, k);
+        // c_K: the K-th candidate's count, or 0 when GENIE returned
+        // everything it had (exhaustive list)
+        let c_k_th = if candidates.len() == k_candidates {
+            candidates.last().map(|c| c.count).unwrap_or(0)
+        } else {
+            0
+        };
+        let certified = match verified.last() {
+            Some(worst) => exactness_certificate(spec.len(), c_k_th, worst.distance, self.n),
+            // no candidate shared a single gram: the count filter
+            // says nothing about the true top-k, so not certified
+            // (unless there is no data at all)
+            None => self.seqs.is_empty(),
+        };
+        SequenceSearchReport {
+            hits: verified,
+            certified,
+            k_candidates,
+        }
     }
 
-    /// The paper's multi-round strategy: run with each K of `schedule`
-    /// in turn, keeping the first certified answer per query (the last
-    /// round's answer if none certifies).
-    pub fn search_adaptive(
-        &self,
-        backend: &dyn SearchBackend,
-        bindex: &BackendIndex,
-        queries: &[Vec<u8>],
-        schedule: &[usize],
-        k: usize,
-    ) -> Vec<SequenceSearchReport> {
-        assert!(!schedule.is_empty());
-        let mut done: Vec<Option<SequenceSearchReport>> = vec![None; queries.len()];
-        for &kc in schedule {
-            let pending: Vec<usize> = (0..queries.len()).filter(|&i| done[i].is_none()).collect();
-            if pending.is_empty() {
-                break;
-            }
-            let batch: Vec<Vec<u8>> = pending.iter().map(|&i| queries[i].clone()).collect();
-            let reports = self.search(backend, bindex, &batch, kc, k);
-            for (slot, report) in pending.into_iter().zip(reports) {
-                if report.certified || kc == *schedule.last().unwrap() {
-                    done[slot] = Some(report);
-                }
-            }
-        }
-        done.into_iter().map(|r| r.unwrap()).collect()
+    /// Theorem 5.2's exactness certificate drives the adaptive loop.
+    fn is_exact(response: &SequenceSearchReport) -> bool {
+        response.certified
     }
 }
 
@@ -172,6 +177,7 @@ impl SequenceIndex {
 mod tests {
     use super::*;
     use crate::edit::edit_distance;
+    use genie_core::backend::SearchBackend;
     use genie_core::exec::Engine;
     use gpu_sim::Device;
 
@@ -195,26 +201,43 @@ mod tests {
         Engine::new(Arc::new(Device::with_defaults()))
     }
 
+    /// Direct path: encode, one backend batch at an explicit K, decode.
+    fn search(
+        idx: &SequenceIndex,
+        backend: &dyn SearchBackend,
+        queries: &[Vec<u8>],
+        k_candidates: usize,
+        k: usize,
+    ) -> Vec<SequenceSearchReport> {
+        let bindex = backend.upload(Arc::clone(Domain::index(idx))).unwrap();
+        let qs: Vec<Query> = queries.iter().map(|q| idx.to_query(q)).collect();
+        let out = backend.search_batch(&bindex, &qs, k_candidates);
+        queries
+            .iter()
+            .zip(out.results.into_iter().zip(out.audit_thresholds))
+            .map(|(q, (hits, at))| idx.decode(q, hits, at, k_candidates, k))
+            .collect()
+    }
+
     #[test]
     fn exact_query_returns_itself_certified() {
         let idx = SequenceIndex::build(corpus(), 3);
         let eng = engine();
-        let didx = idx.upload(&eng).unwrap();
         let q = vec![b"approximate string matching".to_vec()];
-        let reports = idx.search(&eng, &didx, &q, 8, 1);
+        let reports = search(&idx, &eng, &q, 8, 1);
         assert_eq!(reports[0].hits[0].id, 0);
         assert_eq!(reports[0].hits[0].distance, 0);
         assert!(reports[0].certified);
+        assert!(SequenceIndex::is_exact(&reports[0]));
     }
 
     #[test]
     fn near_query_finds_nearest_sequence() {
         let idx = SequenceIndex::build(corpus(), 3);
         let eng = engine();
-        let didx = idx.upload(&eng).unwrap();
         // one substitution away from sequence 0
         let q = vec![b"approximate strinG matching".to_vec()];
-        let reports = idx.search(&eng, &didx, &q, 8, 2);
+        let reports = search(&idx, &eng, &q, 8, 2);
         assert_eq!(reports[0].hits[0].id, 0);
         assert_eq!(reports[0].hits[0].distance, 1);
         // the second hit is the "watching" variant
@@ -226,12 +249,11 @@ mod tests {
         let data = corpus();
         let idx = SequenceIndex::build(data.clone(), 3);
         let eng = engine();
-        let didx = idx.upload(&eng).unwrap();
         let queries = vec![
             b"generic inverted indexes".to_vec(),
             b"similarity search on cpu".to_vec(),
         ];
-        let reports = idx.search(&eng, &didx, &queries, data.len(), 1);
+        let reports = search(&idx, &eng, &queries, data.len(), 1);
         for (q, rep) in queries.iter().zip(&reports) {
             let best = data
                 .iter()
@@ -244,27 +266,24 @@ mod tests {
     }
 
     #[test]
-    fn adaptive_schedule_stops_at_first_certified_round() {
+    fn unknown_grams_yield_empty_uncertified_results() {
         let idx = SequenceIndex::build(corpus(), 3);
         let eng = engine();
-        let didx = idx.upload(&eng).unwrap();
-        let q = vec![b"approximate string matching".to_vec()];
-        let reports = idx.search_adaptive(&eng, &didx, &q, &[2, 4, 8], 1);
-        assert!(reports[0].certified);
-        assert_eq!(reports[0].hits[0].id, 0);
-    }
-
-    #[test]
-    fn unknown_grams_yield_empty_results() {
-        let idx = SequenceIndex::build(corpus(), 3);
-        let eng = engine();
-        let didx = idx.upload(&eng).unwrap();
         let q = vec![b"@@@@@@@@".to_vec()];
-        let reports = idx.search(&eng, &didx, &q, 4, 1);
+        let reports = search(&idx, &eng, &q, 4, 1);
         assert!(reports[0].hits.is_empty());
         assert!(
             !reports[0].certified,
             "no shared grams means the filter proves nothing"
         );
+        // but an empty query sequence is a typed encode error
+        assert_eq!(idx.encode(&vec![]), Err(QueryBuildError::EmptyQuery));
+    }
+
+    #[test]
+    fn candidate_sizing_over_fetches() {
+        let idx = SequenceIndex::build(corpus(), 3);
+        assert_eq!(idx.candidates_for(1), 32);
+        assert_eq!(idx.candidates_for(10), 80);
     }
 }

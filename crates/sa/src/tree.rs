@@ -302,35 +302,61 @@ impl TreeIndex {
     pub fn to_query(&self, q: &Tree) -> Query {
         Query::from_keywords(&self.lookup_keywords(q))
     }
+}
 
-    /// Retrieve `k_candidates` by shared branches, verify with the
-    /// Zhang–Shasha distance, return the top-k per query.
-    pub fn search(
+impl genie_core::domain::Domain for TreeIndex {
+    type Config = ();
+    type Item = Tree;
+    type QuerySpec = Tree;
+    type Response = Vec<TreeHit>;
+
+    fn name() -> &'static str {
+        "tree"
+    }
+
+    fn create(_config: (), items: Vec<Tree>) -> Self {
+        Self::build(items)
+    }
+
+    fn index(&self) -> &std::sync::Arc<genie_core::index::InvertedIndex> {
+        &self.index
+    }
+
+    /// An empty query tree is a typed error; a tree whose branches are
+    /// all unknown encodes to a query matching nothing.
+    fn encode(&self, spec: &Tree) -> Result<Query, genie_core::model::QueryBuildError> {
+        if spec.is_empty() {
+            return Err(genie_core::model::QueryBuildError::EmptyQuery);
+        }
+        Ok(self.to_query(spec))
+    }
+
+    /// Over-fetch candidates for the verify step (shared-branch counts
+    /// only *filter* for tree edit distance).
+    fn candidates_for(&self, k: usize) -> usize {
+        (k * 8).max(32)
+    }
+
+    /// Verify the retrieved candidates with the Zhang–Shasha distance
+    /// and keep the top-k (ascending distance, ascending id).
+    fn decode(
         &self,
-        backend: &dyn genie_core::backend::SearchBackend,
-        bindex: &genie_core::backend::BackendIndex,
-        queries: &[Tree],
-        k_candidates: usize,
+        spec: &Tree,
+        hits: Vec<genie_core::topk::TopHit>,
+        _audit_threshold: u32,
+        _k_candidates: usize,
         k: usize,
-    ) -> Vec<Vec<TreeHit>> {
-        let mc_queries: Vec<Query> = queries.iter().map(|q| self.to_query(q)).collect();
-        let out = backend.search_batch(bindex, &mc_queries, k_candidates);
-        queries
+    ) -> Vec<TreeHit> {
+        let mut verified: Vec<TreeHit> = hits
             .iter()
-            .zip(out.results)
-            .map(|(q, hits)| {
-                let mut verified: Vec<TreeHit> = hits
-                    .iter()
-                    .map(|h| TreeHit {
-                        id: h.id,
-                        distance: tree_edit_distance(q, &self.trees[h.id as usize]),
-                    })
-                    .collect();
-                verified.sort_unstable_by(|a, b| a.distance.cmp(&b.distance).then(a.id.cmp(&b.id)));
-                verified.truncate(k);
-                verified
+            .map(|h| TreeHit {
+                id: h.id,
+                distance: tree_edit_distance(spec, &self.trees[h.id as usize]),
             })
-            .collect()
+            .collect();
+        verified.sort_unstable_by(|a, b| a.distance.cmp(&b.distance).then(a.id.cmp(&b.id)));
+        verified.truncate(k);
+        verified
     }
 }
 
@@ -447,6 +473,8 @@ mod tests {
 
     #[test]
     fn end_to_end_tree_search_finds_exact_tree() {
+        use genie_core::backend::SearchBackend;
+        use genie_core::domain::Domain;
         use genie_core::exec::Engine;
         use gpu_sim::Device;
         use std::sync::Arc;
@@ -456,11 +484,12 @@ mod tests {
         t3.add_child(0, 9);
         let idx = TreeIndex::build(vec![t1.clone(), t2.clone(), t3]);
         let engine = Engine::new(Arc::new(Device::with_defaults()));
-        let didx =
-            genie_core::backend::SearchBackend::upload(&engine, Arc::clone(idx.inverted_index()))
-                .unwrap();
-        let results = idx.search(&engine, &didx, std::slice::from_ref(&t1), 3, 2);
-        assert_eq!(results[0][0], TreeHit { id: 0, distance: 0 });
-        assert_eq!(results[0][1], TreeHit { id: 1, distance: 2 });
+        let didx = SearchBackend::upload(&engine, Arc::clone(Domain::index(&idx))).unwrap();
+        let q = idx.encode(&t1).unwrap();
+        let out = SearchBackend::search_batch(&engine, &didx, &[q], 3);
+        let hits = idx.decode(&t1, out.results[0].clone(), out.audit_thresholds[0], 3, 2);
+        assert_eq!(hits[0], TreeHit { id: 0, distance: 0 });
+        assert_eq!(hits[1], TreeHit { id: 1, distance: 2 });
+        assert!(TreeIndex::encode(&idx, &Tree::leaf(1)).is_ok());
     }
 }

@@ -1,10 +1,17 @@
-//! # genie-service — the batched query-scheduler service layer
+//! # genie-service — the serving stack: typed facade, admission, scheduling
 //!
 //! The core engine answers one synchronous batch at a time. A serving
 //! system sees something very different: many concurrent clients, each
-//! submitting a handful of queries with its *own* `k`, against a shared
-//! index, *over time*. This crate bridges the two at two levels:
+//! submitting *typed* queries (documents, rows, sequences, trees,
+//! graphs, points) with its *own* `k`, against many indexed data sets,
+//! *over time*. This crate bridges the two at three levels:
 //!
+//! * [`GenieDb`] / [`Collection`] — the **typed facade**: one database
+//!   over a backend fleet; every
+//!   [`Domain`](genie_core::domain::Domain) implementation becomes a
+//!   [`Collection`] whose `search`/`submit` speak the domain's own
+//!   types and route through the shared service. No caller assembles a
+//!   raw [`Query`].
 //! * [`GenieService`] — the **always-on front-end**: an admission queue
 //!   any thread can [`submit`](GenieService::submit) into for a
 //!   [`ResponseTicket`], with background dispatcher threads that cut
@@ -12,8 +19,10 @@
 //!   `max_batch_queries` under the c-PQ budget, detected with the same
 //!   [`plan_batches`] the scheduler executes) or a **deadline trigger**
 //!   (the oldest queued request has aged `max_queue_delay`), plus a
-//!   `(query, k)`-keyed result cache invalidated on re-prepare. See
-//!   [`service`](GenieService) for the full trigger semantics.
+//!   `(collection, query, k)`-keyed result cache invalidated per
+//!   collection on swap, and per-backend lifetime health counters
+//!   ([`BackendHealth`]). See [`GenieService`] for the full trigger
+//!   semantics.
 //! * [`QueryScheduler`] — the synchronous wave engine underneath:
 //!
 //! 1. **Admission** — clients submit [`QueryRequest`]s (query + per-client
@@ -24,7 +33,7 @@
 //!    backend has bounded memory, total c-PQ footprint within budget. The
 //!    footprint is computed from the same [`CpqLayout`] the engine
 //!    allocates, with the count bound from
-//!    [`count_bound`](genie_core::model::count_bound) — so the plan's
+//!    [`genie_core::model::count_bound`] — so the plan's
 //!    memory math is exactly the engine's.
 //! 3. **Dispatch** — one worker per [`SearchBackend`] drains the batch
 //!    queue concurrently (a GPU engine and the CPU backend can serve the
@@ -52,17 +61,20 @@
 //!
 //! **Timing precision**: every wall-clock figure here
 //! ([`ScheduleReport::wall_us`], the per-stage
-//! [`StageProfile`](genie_core::exec::StageProfile) totals) is computed
+//! [`StageProfile`] totals) is computed
 //! with [`genie_core::exec::elapsed_us`], which keeps *fractional*
 //! microseconds. The previous `as_micros()` conversion truncated to
 //! whole µs, collapsing sub-µs stages to exactly 0 and silently
 //! under-reporting precisely the short, highly-batched waves this
 //! serving path exists to produce.
 
+mod db;
 mod service;
 
+pub use db::{Collection, GenieDb, SearchError, TypedTicket};
 pub use service::{
-    percentile_us, GenieService, ResponseTicket, ServiceConfig, ServiceStats, Trigger,
+    percentile_us, BackendHealth, CollectionId, GenieService, ResponseTicket, ServiceConfig,
+    ServiceStats, Trigger, DEFAULT_COLLECTION,
 };
 
 use std::collections::VecDeque;
@@ -298,6 +310,11 @@ impl QueryScheduler {
 
     pub fn config(&self) -> &SchedulerConfig {
         &self.config
+    }
+
+    /// The fleet this scheduler dispatches over, in construction order.
+    pub fn backends(&self) -> &[Arc<dyn SearchBackend>] {
+        &self.backends
     }
 
     /// The c-PQ budget one batch must respect: the configured override,

@@ -1,35 +1,49 @@
 //! The always-on serving front-end: an admission queue over the
-//! [`QueryScheduler`].
+//! [`QueryScheduler`], serving any number of named *collections*.
 //!
-//! [`QueryScheduler::run_prepared`] serves one *pre-collected* wave; a
-//! real serving system instead sees requests trickle in from many
-//! threads over time, and the paper's throughput premise (§III: one
-//! c-PQ batch of up to 1024 queries per device pass) only pays off if
-//! those trickles are accumulated into big batches. [`GenieService`]
-//! does exactly that:
+//! [`QueryScheduler::run_prepared`] serves one *pre-collected* wave
+//! against one index; a real serving system instead sees requests
+//! trickle in from many threads over time, against *many* indexed data
+//! sets, and the paper's throughput premise (§III: one c-PQ batch of up
+//! to 1024 queries per device pass) only pays off if those trickles are
+//! accumulated into big batches. [`GenieService`] does exactly that:
 //!
-//! * **Admission** — any thread calls [`GenieService::submit`]; the
+//! * **Collections** — each [`add_collection`](GenieService::add_collection)
+//!   prepares one [`InvertedIndex`] on every backend and registers it
+//!   under a [`CollectionId`]. Collections are swapped independently
+//!   ([`swap_collection`](GenieService::swap_collection)): re-indexing
+//!   one data set invalidates only *its* cache entries, never its
+//!   neighbours' — the per-collection routing the sharded-serving plan
+//!   builds on.
+//! * **Admission** — any thread calls
+//!   [`submit_to`](GenieService::submit_to) (or
+//!   [`submit`](GenieService::submit) for the default collection); the
 //!   request lands in a queue and the caller gets a [`ResponseTicket`]
 //!   it can block on ([`ResponseTicket::wait`]) or poll
 //!   ([`ResponseTicket::try_take`]).
 //! * **Wave cutting** — background dispatcher threads cut the queue
 //!   into a wave when either trigger fires:
 //!   - **size trigger**: the queued requests are enough to fill a
-//!     micro-batch — some `k`-group reaches
-//!     [`SchedulerConfig::max_batch_queries`], or the c-PQ memory
-//!     budget closes a batch early (both detected with the same
-//!     [`plan_batches`] the scheduler executes);
+//!     micro-batch — some `(collection, k)`-group reaches
+//!     [`SchedulerConfig::max_batch_queries`](crate::SchedulerConfig::max_batch_queries),
+//!     or the c-PQ memory budget closes a batch early (detected with
+//!     the same [`plan_batches`] the scheduler executes);
 //!   - **deadline trigger**: the *oldest* queued request has waited
 //!     [`ServiceConfig::max_queue_delay`] — a lone request is never
 //!     stranded longer than the configured delay.
-//! * **Execution** — the wave runs through
-//!   [`QueryScheduler::run_prepared`] against the service's
-//!   [`PreparedIndex`] (uploaded once, swappable via
-//!   [`GenieService::swap_index`]).
-//! * **Result cache** — answers are memoised by `(query, k)`;
-//!   a repeated query short-circuits admission entirely and returns
-//!   bit-identical hits. The cache is invalidated when the index is
-//!   re-prepared.
+//! * **Execution** — the wave is split by collection and each group
+//!   runs through [`QueryScheduler::run_prepared`] against its
+//!   collection's prepared index.
+//! * **Result cache** — answers are memoised by
+//!   `(collection, query, k)`; a repeated query short-circuits
+//!   admission entirely and returns bit-identical hits. Swapping a
+//!   collection's index invalidates exactly that collection's entries.
+//! * **Backend health** — per-backend usage and failure counts
+//!   accumulate across waves for the service's lifetime
+//!   ([`backend_health`](GenieService::backend_health)): the
+//!   groundwork for cross-wave circuit breaking (a backend repeatedly
+//!   reported [`failed`](crate::BackendUsage::failed) is a retirement
+//!   candidate; no retirement logic yet).
 //!
 //! Shutdown is graceful: dropping the service flushes every queued
 //! request through one final wave before the dispatchers exit, so no
@@ -50,6 +64,14 @@ use crate::{
     plan_batches, Batch, PreparedIndex, QueryRequest, QueryResponse, QueryScheduler, StageProfile,
 };
 
+/// Identifier of one registered collection (assigned by
+/// [`GenieService::add_collection`] in registration order).
+pub type CollectionId = u64;
+
+/// The collection [`GenieService::start`] registers its index under and
+/// [`GenieService::submit`] targets.
+pub const DEFAULT_COLLECTION: CollectionId = 0;
+
 /// Knobs of the serving loop (batching policy itself lives in the
 /// wrapped scheduler's [`SchedulerConfig`](crate::SchedulerConfig)).
 #[derive(Debug, Clone, Copy)]
@@ -61,8 +83,8 @@ pub struct ServiceConfig {
     /// enough for most fleets (a wave already fans out across all
     /// backends); more overlap wave planning with execution.
     pub dispatchers: usize,
-    /// Entries the `(query, k)` result cache holds (FIFO eviction);
-    /// 0 disables caching.
+    /// Entries the `(collection, query, k)` result cache holds (FIFO
+    /// eviction); 0 disables caching.
     pub cache_capacity: usize,
 }
 
@@ -91,11 +113,12 @@ pub enum Trigger {
 /// [`GenieService::stats`].
 #[derive(Debug, Clone, Copy, Default)]
 pub struct ServiceStats {
-    /// Requests admitted through `submit`.
+    /// Requests admitted through `submit`/`submit_to`.
     pub submitted: u64,
     /// Requests answered successfully (scheduler-served + cache hits).
     pub served: u64,
-    /// Requests that only received an error (their wave failed).
+    /// Requests that only received an error (their run failed or their
+    /// collection is unknown).
     pub failed_requests: u64,
     /// Requests answered straight from the result cache.
     pub cache_hits: u64,
@@ -103,9 +126,10 @@ pub struct ServiceStats {
     pub size_triggers: u64,
     pub deadline_triggers: u64,
     pub shutdown_flushes: u64,
-    /// Waves executed (including shutdown flushes).
+    /// Waves executed (including shutdown flushes). One wave may span
+    /// several collections (one scheduler run per collection group).
     pub waves: u64,
-    /// Waves whose scheduler run failed (every ticket got the error).
+    /// Waves in which at least one collection's scheduler run failed.
     pub failed_waves: u64,
     /// Micro-batches executed across all waves.
     pub batches: u64,
@@ -127,6 +151,27 @@ impl ServiceStats {
             self.batched_requests as f64 / self.batches as f64
         }
     }
+}
+
+/// One backend's cumulative share of the service's lifetime — the
+/// across-wave accumulation of the per-run
+/// [`BackendUsage`](crate::BackendUsage) reports, kept so persistent
+/// misbehaviour is visible beyond the single wave that observed it
+/// (the circuit-breaker groundwork).
+#[derive(Debug, Clone)]
+pub struct BackendHealth {
+    /// The backend's capability name ("gpu-sim", "cpu", ...), in fleet
+    /// order.
+    pub name: &'static str,
+    /// Micro-batches this backend served.
+    pub batches: u64,
+    /// Queries this backend served.
+    pub queries: u64,
+    /// Scheduler runs in which this backend was reported `failed`
+    /// (its worker panicked and the batch failed over).
+    pub failed: u64,
+    /// Message of the most recent failure, if any.
+    pub last_error: Option<String>,
 }
 
 /// What a ticket resolves to: the routed response, or the error that
@@ -187,6 +232,7 @@ impl ResponseTicket {
 
 /// One admitted request waiting for its wave.
 struct Pending {
+    collection: CollectionId,
     request: QueryRequest,
     enqueued_at: Instant,
     tx: Sender<TicketResult>,
@@ -197,22 +243,30 @@ struct QueueState {
     shutdown: bool,
 }
 
-/// `(query items, k)` — the memoisation key of the result cache.
-type CacheKey = (Vec<(u32, u32)>, usize);
+/// `(collection, query items, k)` — the memoisation key of the result
+/// cache.
+type CacheKey = (CollectionId, Vec<(u32, u32)>, usize);
 
-fn cache_key(query: &Query, k: usize) -> CacheKey {
-    (query.items.iter().map(|it| (it.lo, it.hi)).collect(), k)
+fn cache_key(collection: CollectionId, query: &Query, k: usize) -> CacheKey {
+    (
+        collection,
+        query.items.iter().map(|it| (it.lo, it.hi)).collect(),
+        k,
+    )
 }
 
-/// Bounded `(query, k) -> (hits, AT)` map with FIFO eviction.
+/// Bounded `(collection, query, k) -> (hits, AT)` map with FIFO
+/// eviction.
 ///
-/// `generation` counts invalidations: a wave computed against
-/// generation `g` may only insert while the cache is still at `g`, so
-/// results from an old index can never repopulate a cache that
-/// [`GenieService::swap_index`] cleared mid-wave.
+/// Each collection has its own `generation`, bumped on invalidation: a
+/// run computed against generation `g` may only insert while the
+/// collection is still at `g`, so results from an old index can never
+/// repopulate entries [`GenieService::swap_collection`] cleared
+/// mid-wave. Invalidation is *per collection* — swapping one index
+/// leaves every other collection's entries (and hit rates) intact.
 struct ResultCache {
     capacity: usize,
-    generation: u64,
+    generations: HashMap<CollectionId, u64>,
     map: HashMap<CacheKey, (Vec<TopHit>, u32)>,
     order: VecDeque<CacheKey>,
 }
@@ -221,10 +275,14 @@ impl ResultCache {
     fn new(capacity: usize) -> Self {
         Self {
             capacity,
-            generation: 0,
+            generations: HashMap::new(),
             map: HashMap::new(),
             order: VecDeque::new(),
         }
+    }
+
+    fn generation(&self, collection: CollectionId) -> u64 {
+        self.generations.get(&collection).copied().unwrap_or(0)
     }
 
     fn get(&self, key: &CacheKey) -> Option<&(Vec<TopHit>, u32)> {
@@ -244,20 +302,32 @@ impl ResultCache {
         self.map.insert(key, value);
     }
 
-    fn clear(&mut self) {
-        self.map.clear();
-        self.order.clear();
-        self.generation += 1;
+    /// Drop exactly `collection`'s entries and bump its generation.
+    fn invalidate_collection(&mut self, collection: CollectionId) {
+        self.map.retain(|k, _| k.0 != collection);
+        self.order.retain(|k| k.0 != collection);
+        *self.generations.entry(collection).or_insert(0) += 1;
     }
+}
+
+/// One registered collection: its prepared (uploaded) index.
+struct CollectionEntry {
+    name: String,
+    prepared: PreparedIndex,
 }
 
 struct ServiceInner {
     scheduler: QueryScheduler,
-    prepared: RwLock<PreparedIndex>,
+    /// Registered collections. The outer lock is held only for
+    /// registry lookups/registration (never across a scheduler run);
+    /// the per-entry lock is read-held while a run executes against
+    /// the entry's prepared index and write-held by swaps.
+    collections: RwLock<HashMap<CollectionId, Arc<RwLock<CollectionEntry>>>>,
     queue: Mutex<QueueState>,
     wakeup: Condvar,
     cache: Mutex<ResultCache>,
     stats: Mutex<ServiceStats>,
+    health: Mutex<Vec<BackendHealth>>,
     max_queue_delay: Duration,
     /// Largest backlog length the budget-aware size check has already
     /// planned and found *not* triggering. The backlog only grows
@@ -268,20 +338,30 @@ struct ServiceInner {
 }
 
 impl ServiceInner {
+    fn entry(&self, collection: CollectionId) -> Option<Arc<RwLock<CollectionEntry>>> {
+        self.collections
+            .read()
+            .expect("collections lock")
+            .get(&collection)
+            .cloned()
+    }
+
     /// Does the queued backlog already fill a micro-batch? Detected
     /// with the scheduler's own [`plan_batches`]: a planned batch at
     /// the query cap, or a same-`k` group spilling into a second batch
     /// (closed early by the c-PQ memory budget), means waiting longer
-    /// cannot improve occupancy of the first batch.
+    /// cannot improve occupancy of the first batch. Batches never span
+    /// collections, so both checks group by `(collection, k)`.
     fn size_trigger(&self, pending: &VecDeque<Pending>) -> bool {
         let cap = self.scheduler.config().max_batch_queries;
         if pending.len() < cap.min(2) {
             return false;
         }
-        // cheap pre-check without planning: some k-group reaches the cap
-        let mut per_k: HashMap<usize, usize> = HashMap::new();
+        // cheap pre-check without planning: some (collection, k)-group
+        // reaches the cap
+        let mut per_group: HashMap<(CollectionId, usize), usize> = HashMap::new();
         for p in pending {
-            let c = per_k.entry(p.request.k).or_insert(0);
+            let c = per_group.entry((p.collection, p.request.k)).or_insert(0);
             *c += 1;
             if *c >= cap {
                 return true;
@@ -290,37 +370,48 @@ impl ServiceInner {
         if pending.len() <= self.planned_len.load(Ordering::Relaxed) {
             return false; // already planned at this backlog size
         }
-        let prepared = self.prepared.read().expect("prepared lock");
-        let budget = self.scheduler.effective_budget(&prepared);
-        if budget.is_none() {
-            return false; // only the cap can close a batch
+        // budget-aware check, one plan per collection present
+        let mut by_collection: HashMap<CollectionId, Vec<QueryRequest>> = HashMap::new();
+        for p in pending {
+            by_collection
+                .entry(p.collection)
+                .or_default()
+                .push(p.request.clone());
         }
-        let requests: Vec<QueryRequest> = pending.iter().map(|p| p.request.clone()).collect();
-        let batches = plan_batches(
-            &requests,
-            prepared.index().num_objects() as usize,
-            prepared.index().max_object_len(),
-            cap,
-            budget,
-        );
-        if batches_closed_by_budget(&batches) {
-            true
-        } else {
-            self.planned_len.store(pending.len(), Ordering::Relaxed);
-            false
+        for (cid, requests) in by_collection {
+            let Some(entry) = self.entry(cid) else {
+                continue; // unknown collection: resolved to errors at serve time
+            };
+            let entry = entry.read().expect("collection lock");
+            let Some(budget) = self.scheduler.effective_budget(&entry.prepared) else {
+                continue; // unbounded: only the cap can close a batch
+            };
+            let batches = plan_batches(
+                &requests,
+                entry.prepared.index().num_objects() as usize,
+                entry.prepared.index().max_object_len(),
+                cap,
+                Some(budget),
+            );
+            if batches_closed_by_budget(&batches) {
+                return true;
+            }
         }
+        self.planned_len.store(pending.len(), Ordering::Relaxed);
+        false
     }
 
-    /// Serve one cut wave: answer cache hits, run the rest through the
-    /// scheduler, memoise, route everything back through the tickets.
+    /// Serve one cut wave: answer cache hits, split the misses by
+    /// collection, run each group through the scheduler against its
+    /// collection's index, memoise, route everything back through the
+    /// tickets.
     fn serve_wave(&self, wave: Vec<Pending>, trigger: Trigger) {
-        let total = wave.len() as u64;
         let mut misses: Vec<Pending> = Vec::new();
         let mut hits: Vec<(Pending, (Vec<TopHit>, u32))> = Vec::new();
         {
             let cache = self.cache.lock().expect("cache lock");
             for p in wave {
-                match cache.get(&cache_key(&p.request.query, p.request.k)) {
+                match cache.get(&cache_key(p.collection, &p.request.query, p.request.k)) {
                     Some(v) => hits.push((p, v.clone())),
                     None => misses.push(p),
                 }
@@ -328,70 +419,93 @@ impl ServiceInner {
         }
         let cache_hits = hits.len() as u64;
 
+        // group misses by collection, preserving admission order inside
+        // each group
+        let mut group_order: Vec<CollectionId> = Vec::new();
+        let mut groups: HashMap<CollectionId, Vec<Pending>> = HashMap::new();
+        for p in misses {
+            if !groups.contains_key(&p.collection) {
+                group_order.push(p.collection);
+            }
+            groups.entry(p.collection).or_default().push(p);
+        }
+
         let mut wave_batches = 0u64;
         let mut wave_wall_us = 0.0;
         let mut wave_stages = StageProfile::default();
-        let mut failed = false;
-        let mut outcome: Option<Result<Vec<QueryResponse>, String>> = None;
-        if !misses.is_empty() {
-            let requests: Vec<QueryRequest> = misses.iter().map(|p| p.request.clone()).collect();
-            // remember which cache generation this wave computes
-            // against *while holding the index lock*: swap_index cannot
+        let mut served_misses = 0u64;
+        let mut failed_misses = 0u64;
+        let mut any_failed = false;
+        // (group, outcome) pairs resolved after stats are accounted
+        type GroupOutcome = (Vec<Pending>, Result<Vec<QueryResponse>, String>);
+        let mut outcomes: Vec<GroupOutcome> = Vec::new();
+
+        for cid in group_order {
+            let group = groups.remove(&cid).expect("grouped above");
+            let Some(entry) = self.entry(cid) else {
+                failed_misses += group.len() as u64;
+                any_failed = true;
+                outcomes.push((group, Err(format!("unknown collection id {cid}"))));
+                continue;
+            };
+            let requests: Vec<QueryRequest> = group.iter().map(|p| p.request.clone()).collect();
+            // remember which cache generation this run computes against
+            // *while holding the entry lock*: swap_collection cannot
             // invalidate between the generation read and the run
-            let (run, wave_generation) = {
-                let prepared = self.prepared.read().expect("prepared lock");
-                let generation = self.cache.lock().expect("cache lock").generation;
+            let (run, run_generation) = {
+                let entry = entry.read().expect("collection lock");
+                let generation = self.cache.lock().expect("cache lock").generation(cid);
                 (
-                    self.scheduler.run_prepared(&prepared, &requests),
+                    self.scheduler.run_prepared(&entry.prepared, &requests),
                     generation,
                 )
             };
-            outcome = Some(match run {
+            match run {
                 Ok((responses, report)) => {
-                    wave_batches = report.batches as u64;
-                    wave_wall_us = report.wall_us;
-                    wave_stages = report.stages;
+                    wave_batches += report.batches as u64;
+                    wave_wall_us += report.wall_us;
+                    wave_stages.accumulate(&report.stages);
+                    served_misses += group.len() as u64;
+                    self.accumulate_health(&report.per_backend);
                     let mut cache = self.cache.lock().expect("cache lock");
-                    // a swap_index mid-wave bumped the generation:
-                    // these answers describe the old index and must
-                    // not repopulate the cleared cache
-                    if cache.generation == wave_generation {
-                        for (p, resp) in misses.iter().zip(&responses) {
+                    // a swap_collection mid-run bumped the generation:
+                    // these answers describe the old index and must not
+                    // repopulate the cleared entries
+                    if cache.generation(cid) == run_generation {
+                        for (p, resp) in group.iter().zip(&responses) {
                             cache.insert(
-                                cache_key(&p.request.query, p.request.k),
+                                cache_key(cid, &p.request.query, p.request.k),
                                 (resp.hits.clone(), resp.audit_threshold),
                             );
                         }
                     }
-                    Ok(responses)
+                    drop(cache);
+                    outcomes.push((group, Ok(responses)));
                 }
                 Err(e) => {
-                    failed = true;
-                    Err(e)
+                    failed_misses += group.len() as u64;
+                    any_failed = true;
+                    outcomes.push((group, Err(e)));
                 }
-            });
+            }
         }
 
         // account the wave *before* resolving any ticket: a client that
         // sees its response must also see the wave in `stats()`
         {
-            let misses_total = total - cache_hits;
             let mut stats = self.stats.lock().expect("stats lock");
             stats.waves += 1;
             stats.cache_hits += cache_hits;
             stats.batches += wave_batches;
             stats.wall_us += wave_wall_us;
             stats.stages.accumulate(&wave_stages);
-            if failed {
-                // the misses only received an error: they were neither
-                // served nor batched, and counting them would inflate
-                // mean_batch_occupancy (batched_requests / 0 batches)
-                stats.served += cache_hits;
-                stats.failed_requests += misses_total;
+            stats.served += cache_hits + served_misses;
+            // failed requests were neither served nor batched; counting
+            // them as batched would inflate mean_batch_occupancy
+            stats.batched_requests += served_misses;
+            stats.failed_requests += failed_misses;
+            if any_failed {
                 stats.failed_waves += 1;
-            } else {
-                stats.served += total;
-                stats.batched_requests += misses_total;
             }
             match trigger {
                 Trigger::Size => stats.size_triggers += 1,
@@ -407,18 +521,32 @@ impl ServiceInner {
                 audit_threshold: at,
             }));
         }
-        match outcome {
-            Some(Ok(responses)) => {
-                for (p, resp) in misses.into_iter().zip(responses) {
-                    let _ = p.tx.send(Ok(resp));
+        for (group, outcome) in outcomes {
+            match outcome {
+                Ok(responses) => {
+                    for (p, resp) in group.into_iter().zip(responses) {
+                        let _ = p.tx.send(Ok(resp));
+                    }
+                }
+                Err(e) => {
+                    for p in group {
+                        let _ = p.tx.send(Err(e.clone()));
+                    }
                 }
             }
-            Some(Err(e)) => {
-                for p in misses {
-                    let _ = p.tx.send(Err(e.clone()));
-                }
+        }
+    }
+
+    /// Fold one run's per-backend usage into the lifetime health table.
+    fn accumulate_health(&self, usages: &[crate::BackendUsage]) {
+        let mut health = self.health.lock().expect("health lock");
+        for (slot, usage) in health.iter_mut().zip(usages) {
+            slot.batches += usage.batches as u64;
+            slot.queries += usage.queries as u64;
+            if let Some(msg) = &usage.failed {
+                slot.failed += 1;
+                slot.last_error = Some(msg.clone());
             }
-            None => {}
         }
     }
 
@@ -477,18 +605,21 @@ pub fn percentile_us(sorted_us: &[f64], p: f64) -> f64 {
 }
 
 /// The always-on serving front-end: admission queue + dispatcher
-/// threads over a [`QueryScheduler`] and its [`PreparedIndex`]. See the
-/// [module docs](self) for the trigger semantics.
+/// threads over a [`QueryScheduler`] and its registered collections.
+/// See the [crate docs](crate) for the trigger semantics. The typed
+/// per-domain surface over this is [`GenieDb`](crate::GenieDb).
 pub struct GenieService {
     inner: Arc<ServiceInner>,
     dispatchers: Vec<JoinHandle<()>>,
     next_client: AtomicU64,
+    next_collection: AtomicU64,
 }
 
 impl std::fmt::Debug for GenieService {
     fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
         f.debug_struct("GenieService")
             .field("dispatchers", &self.dispatchers.len())
+            .field("collections", &self.collection_names())
             .field("queue_len", &self.queue_len())
             .field("stats", &self.stats())
             .finish()
@@ -496,14 +627,11 @@ impl std::fmt::Debug for GenieService {
 }
 
 impl GenieService {
-    /// Upload `index` to every backend of `scheduler` and start the
-    /// dispatcher threads. Fails with a clear message on misconfigured
-    /// knobs or if any backend rejects the index.
-    pub fn start(
-        scheduler: QueryScheduler,
-        index: &Arc<InvertedIndex>,
-        config: ServiceConfig,
-    ) -> Result<Self, String> {
+    /// Start the dispatcher threads with *no* collections registered
+    /// yet; [`add_collection`](Self::add_collection) brings data sets
+    /// online one by one. Fails with a clear message on misconfigured
+    /// knobs.
+    pub fn start_empty(scheduler: QueryScheduler, config: ServiceConfig) -> Result<Self, String> {
         if scheduler.config().max_batch_queries == 0 {
             // unreachable through QueryScheduler::new, which validates
             // the same invariant — kept so *this* constructor also
@@ -524,10 +652,20 @@ impl GenieService {
                     .into(),
             );
         }
-        let prepared = scheduler.prepare(index)?;
+        let health = scheduler
+            .backends()
+            .iter()
+            .map(|b| BackendHealth {
+                name: b.capabilities().name,
+                batches: 0,
+                queries: 0,
+                failed: 0,
+                last_error: None,
+            })
+            .collect();
         let inner = Arc::new(ServiceInner {
             scheduler,
-            prepared: RwLock::new(prepared),
+            collections: RwLock::new(HashMap::new()),
             queue: Mutex::new(QueueState {
                 pending: VecDeque::new(),
                 shutdown: false,
@@ -535,6 +673,7 @@ impl GenieService {
             wakeup: Condvar::new(),
             cache: Mutex::new(ResultCache::new(config.cache_capacity)),
             stats: Mutex::new(ServiceStats::default()),
+            health: Mutex::new(health),
             max_queue_delay: config.max_queue_delay,
             planned_len: AtomicUsize::new(0),
         });
@@ -551,7 +690,21 @@ impl GenieService {
             inner,
             dispatchers,
             next_client: AtomicU64::new(0),
+            next_collection: AtomicU64::new(0),
         })
+    }
+
+    /// Start with `index` registered as the
+    /// [`DEFAULT_COLLECTION`] — the single-collection serving setup.
+    pub fn start(
+        scheduler: QueryScheduler,
+        index: &Arc<InvertedIndex>,
+        config: ServiceConfig,
+    ) -> Result<Self, String> {
+        let service = Self::start_empty(scheduler, config)?;
+        let id = service.add_collection("default", index)?;
+        debug_assert_eq!(id, DEFAULT_COLLECTION);
+        Ok(service)
     }
 
     /// Convenience: single-backend service with default configs.
@@ -566,16 +719,100 @@ impl GenieService {
         )
     }
 
-    /// Admit one query from any thread; the returned ticket resolves
-    /// when its wave is served (or errs if the service shuts down
-    /// first). Client ids are assigned in admission order.
-    pub fn submit(&self, query: Query, k: usize) -> ResponseTicket {
-        let client_id = self.next_client.fetch_add(1, Ordering::Relaxed);
-        self.submit_request(QueryRequest::new(client_id, query, k))
+    /// Prepare `index` on every backend and register it as a new
+    /// collection. Returns the id requests target via
+    /// [`submit_to`](Self::submit_to).
+    pub fn add_collection(
+        &self,
+        name: &str,
+        index: &Arc<InvertedIndex>,
+    ) -> Result<CollectionId, String> {
+        let prepared = self.inner.scheduler.prepare(index)?;
+        let id = self.next_collection.fetch_add(1, Ordering::Relaxed);
+        self.inner
+            .collections
+            .write()
+            .expect("collections lock")
+            .insert(
+                id,
+                Arc::new(RwLock::new(CollectionEntry {
+                    name: name.to_owned(),
+                    prepared,
+                })),
+            );
+        Ok(id)
     }
 
-    /// [`submit`](Self::submit) with a caller-chosen client id.
-    pub fn submit_request(&self, request: QueryRequest) -> ResponseTicket {
+    /// Re-prepare a (new) index on every backend and swap it into
+    /// `collection`. Exactly that collection's cache entries are
+    /// invalidated — every other collection keeps its entries and its
+    /// hit rate. Returns the simulated upload time.
+    pub fn swap_collection(
+        &self,
+        collection: CollectionId,
+        index: &Arc<InvertedIndex>,
+    ) -> Result<f64, String> {
+        let entry = self
+            .inner
+            .entry(collection)
+            .ok_or_else(|| format!("unknown collection id {collection}"))?;
+        let prepared = self.inner.scheduler.prepare(index)?;
+        let upload_sim_us = prepared.upload_sim_us;
+        {
+            let mut slot = entry.write().expect("collection lock");
+            slot.prepared = prepared;
+        }
+        self.inner
+            .cache
+            .lock()
+            .expect("cache lock")
+            .invalidate_collection(collection);
+        // index dimensions changed: the cached no-trigger verdict may
+        // no longer hold
+        self.inner.planned_len.store(0, Ordering::Relaxed);
+        Ok(upload_sim_us)
+    }
+
+    /// [`swap_collection`](Self::swap_collection) on the
+    /// [`DEFAULT_COLLECTION`].
+    pub fn swap_index(&self, index: &Arc<InvertedIndex>) -> Result<f64, String> {
+        self.swap_collection(DEFAULT_COLLECTION, index)
+    }
+
+    /// Registered collections as `(id, name)` pairs, id-ascending.
+    pub fn collection_names(&self) -> Vec<(CollectionId, String)> {
+        let mut out: Vec<(CollectionId, String)> = self
+            .inner
+            .collections
+            .read()
+            .expect("collections lock")
+            .iter()
+            .map(|(id, e)| (*id, e.read().expect("collection lock").name.clone()))
+            .collect();
+        out.sort_unstable_by_key(|(id, _)| *id);
+        out
+    }
+
+    /// Admit one query against the [`DEFAULT_COLLECTION`]; the returned
+    /// ticket resolves when its wave is served (or errs if the service
+    /// shuts down first). Client ids are assigned in admission order.
+    pub fn submit(&self, query: Query, k: usize) -> ResponseTicket {
+        self.submit_to(DEFAULT_COLLECTION, query, k)
+    }
+
+    /// Admit one query against `collection` from any thread. Unknown
+    /// collection ids resolve the ticket with an error at wave time.
+    pub fn submit_to(&self, collection: CollectionId, query: Query, k: usize) -> ResponseTicket {
+        let client_id = self.next_client.fetch_add(1, Ordering::Relaxed);
+        self.submit_request(collection, QueryRequest::new(client_id, query, k))
+    }
+
+    /// [`submit_to`](Self::submit_to) with a caller-chosen client id.
+    pub fn submit_request(
+        &self,
+        collection: CollectionId,
+        request: QueryRequest,
+    ) -> ResponseTicket {
         let (tx, rx) = channel();
         let client_id = request.client_id;
         let submitted_at = Instant::now();
@@ -585,6 +822,7 @@ impl GenieService {
                 let _ = tx.send(Err("service is shutting down".into()));
             } else {
                 q.pending.push_back(Pending {
+                    collection,
                     request,
                     enqueued_at: submitted_at,
                     tx,
@@ -600,24 +838,15 @@ impl GenieService {
         }
     }
 
-    /// Re-prepare a (new) index on every backend and swap it in. The
-    /// result cache is invalidated: entries computed against the old
-    /// index must not answer queries against the new one. Returns the
-    /// simulated upload time.
-    pub fn swap_index(&self, index: &Arc<InvertedIndex>) -> Result<f64, String> {
-        let prepared = self.inner.scheduler.prepare(index)?;
-        let upload_sim_us = prepared.upload_sim_us;
-        {
-            let mut slot = self.inner.prepared.write().expect("prepared lock");
-            *slot = prepared;
-        }
-        self.inner.cache.lock().expect("cache lock").clear();
-        Ok(upload_sim_us)
-    }
-
     /// Snapshot of the serving counters.
     pub fn stats(&self) -> ServiceStats {
         *self.inner.stats.lock().expect("stats lock")
+    }
+
+    /// Per-backend lifetime usage and failure counts (fleet order) —
+    /// see [`BackendHealth`].
+    pub fn backend_health(&self) -> Vec<BackendHealth> {
+        self.inner.health.lock().expect("health lock").clone()
     }
 
     /// Requests currently queued (admitted, wave not yet cut).
@@ -688,23 +917,31 @@ mod tests {
     }
 
     #[test]
-    fn cache_evicts_fifo_and_clears() {
-        let mut cache = ResultCache::new(2);
-        let key = |i: u32| cache_key(&Query::from_keywords(&[i]), 3);
-        cache.insert(key(1), (vec![], 1));
-        cache.insert(key(2), (vec![], 1));
-        cache.insert(key(3), (vec![], 1)); // evicts key(1)
-        assert!(cache.get(&key(1)).is_none());
-        assert!(cache.get(&key(2)).is_some());
-        assert!(cache.get(&key(3)).is_some());
-        cache.clear();
-        assert!(cache.get(&key(2)).is_none());
+    fn cache_evicts_fifo_and_invalidates_per_collection() {
+        let mut cache = ResultCache::new(3);
+        let key = |cid: CollectionId, i: u32| cache_key(cid, &Query::from_keywords(&[i]), 3);
+        cache.insert(key(0, 1), (vec![], 1));
+        cache.insert(key(1, 1), (vec![], 1));
+        cache.insert(key(0, 2), (vec![], 1));
+        cache.insert(key(0, 3), (vec![], 1)); // evicts key(0, 1)
+        assert!(cache.get(&key(0, 1)).is_none());
+        assert!(cache.get(&key(1, 1)).is_some());
+        assert!(cache.get(&key(0, 2)).is_some());
+        // invalidating collection 0 leaves collection 1's entry alone
+        let g0 = cache.generation(0);
+        let g1 = cache.generation(1);
+        cache.invalidate_collection(0);
+        assert!(cache.get(&key(0, 2)).is_none());
+        assert!(cache.get(&key(0, 3)).is_none());
+        assert!(cache.get(&key(1, 1)).is_some(), "other collection kept");
+        assert_eq!(cache.generation(0), g0 + 1);
+        assert_eq!(cache.generation(1), g1, "other generation untouched");
     }
 
     #[test]
     fn zero_capacity_cache_never_stores() {
         let mut cache = ResultCache::new(0);
-        let key = cache_key(&Query::from_keywords(&[1]), 3);
+        let key = cache_key(0, &Query::from_keywords(&[1]), 3);
         cache.insert(key.clone(), (vec![], 1));
         assert!(cache.get(&key).is_none());
     }
@@ -718,5 +955,60 @@ mod tests {
         assert!(batches_closed_by_budget(&[b(3), b(3)]));
         assert!(!batches_closed_by_budget(&[b(3), b(5)]));
         assert!(!batches_closed_by_budget(&[b(3)]));
+    }
+
+    #[test]
+    fn unknown_collection_resolves_to_an_error_ticket() {
+        let index = tiny_index();
+        let service =
+            GenieService::single(Arc::new(CpuBackend::new()), &index).expect("index fits");
+        let err = service
+            .submit_to(99, Query::from_keywords(&[1]), 3)
+            .wait()
+            .unwrap_err();
+        assert!(err.contains("unknown collection"), "{err}");
+        let stats = service.stats();
+        assert_eq!(stats.failed_requests, 1);
+        assert_eq!(stats.served, 0);
+    }
+
+    #[test]
+    fn collections_are_registered_in_order() {
+        let scheduler = QueryScheduler::single(Arc::new(CpuBackend::new()));
+        let service =
+            GenieService::start_empty(scheduler, ServiceConfig::default()).expect("starts");
+        assert!(service.collection_names().is_empty());
+        let a = service.add_collection("alpha", &tiny_index()).unwrap();
+        let b = service.add_collection("beta", &tiny_index()).unwrap();
+        assert_eq!((a, b), (0, 1));
+        assert_eq!(
+            service.collection_names(),
+            vec![(0, "alpha".to_string()), (1, "beta".to_string())]
+        );
+        // submits against both collections are served
+        let ta = service.submit_to(a, Query::from_keywords(&[1]), 2);
+        let tb = service.submit_to(b, Query::from_keywords(&[1]), 2);
+        assert!(ta.wait().is_ok());
+        assert!(tb.wait().is_ok());
+    }
+
+    #[test]
+    fn backend_health_starts_clean_and_counts_usage() {
+        let index = tiny_index();
+        let service =
+            GenieService::single(Arc::new(CpuBackend::new()), &index).expect("index fits");
+        let health = service.backend_health();
+        assert_eq!(health.len(), 1);
+        assert_eq!(health[0].name, "cpu");
+        assert_eq!((health[0].batches, health[0].failed), (0, 0));
+        service
+            .submit(Query::from_keywords(&[1]), 2)
+            .wait()
+            .unwrap();
+        let health = service.backend_health();
+        assert_eq!(health[0].batches, 1);
+        assert_eq!(health[0].queries, 1);
+        assert_eq!(health[0].failed, 0);
+        assert!(health[0].last_error.is_none());
     }
 }

@@ -1,6 +1,7 @@
 //! ANN search with LSH (paper §IV): index SIFT-like descriptors under
-//! E2LSH, run a batch of queries, and grade the answers against exact
-//! kNN with the approximation ratio of Eqn. 13.
+//! E2LSH as a typed τ-ANN collection, run a batch of queries through
+//! the facade, and grade the answers against exact kNN with the
+//! approximation ratio of Eqn. 13.
 //!
 //! Run with: `cargo run --release --example ann_search`
 
@@ -27,21 +28,32 @@ fn main() {
     let family = E2Lsh::new(64, dim, 16.0, 7);
     let transformer = Transformer::new(family, 4096);
     println!("building the LSH inverted index (m = 64, D = 4096)...");
-    let ann = AnnIndex::build(transformer, data.iter().map(|p| &p[..]));
+    let db = GenieDb::single(Arc::new(Engine::new(Arc::new(Device::with_defaults()))))
+        .expect("db opens");
+    let ann = db
+        .create_collection::<AnnIndex<E2Lsh>>("sift", transformer, data.clone())
+        .expect("index fits");
 
-    let engine = Engine::new(Arc::new(Device::with_defaults()));
     println!("searching {num_queries} queries, k = {k}...");
-    let out = ann.search(&engine, queries.iter().map(|q| &q[..]), k);
+    let tickets: Vec<_> = queries
+        .iter()
+        .map(|q| ann.submit(q.clone(), k).expect("finite query point"))
+        .collect();
+    let answers: Vec<_> = tickets
+        .into_iter()
+        .map(|t| t.wait().expect("wave served"))
+        .collect();
 
     // grade with the approximation ratio (Eqn. 13)
     let mut ratios = Vec::new();
-    for (q, hits) in queries.iter().zip(&out.results) {
-        if hits.is_empty() {
+    for (q, answer) in queries.iter().zip(&answers) {
+        if answer.hits.is_empty() {
             continue;
         }
-        let truth = exact_knn(Metric::L2, &data, q, hits.len());
+        let truth = exact_knn(Metric::L2, &data, q, answer.hits.len());
         let reported: Vec<f64> = {
-            let mut d: Vec<f64> = hits
+            let mut d: Vec<f64> = answer
+                .hits
                 .iter()
                 .map(|h| l2_distance(&data[h.id as usize], q))
                 .collect();
@@ -58,12 +70,11 @@ fn main() {
     );
     assert!(mean_ratio < 1.5, "ANN quality degraded unexpectedly");
 
+    let stats = db.stats();
     println!(
-        "match stage: {:.1} us simulated, select stage: {:.1} us",
-        out.profile.match_us, out.profile.select_us
-    );
-    println!(
-        "c-PQ memory per query: {} KiB",
-        out.cpq_bytes_per_query / 1024
+        "served {} requests in {} waves; device match+select time {:.1} us simulated",
+        stats.served,
+        stats.waves,
+        stats.stages.match_us + stats.stages.select_us
     );
 }

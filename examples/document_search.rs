@@ -1,6 +1,7 @@
 //! Short-document search (paper §V-B): the Tweets scenario — find the
 //! documents sharing the most words with a query document (binary
-//! vector-space inner product), in one batched device pass.
+//! vector-space inner product), batched through the typed facade's
+//! async tickets.
 //!
 //! Run with: `cargo run --release --example document_search`
 
@@ -19,25 +20,35 @@ fn main() {
     let (data, queries) = genie::datasets::holdout(all, num_queries);
 
     println!("building the word inverted index...");
-    let index = DocumentIndex::build(&data);
+    let engine = Arc::new(Engine::new(Arc::new(Device::with_defaults())));
+    let db = GenieDb::single(engine.clone()).expect("db opens");
+    let docs = db
+        .create_collection::<DocumentIndex>("tweets", (), data.clone())
+        .expect("index fits");
     println!(
         "  {} documents, vocabulary of {} words",
-        index.num_documents(),
-        index.vocabulary_size()
+        docs.domain().num_documents(),
+        docs.domain().vocabulary_size()
     );
 
-    let engine = Engine::new(Arc::new(Device::with_defaults()));
-    let device_index = index.upload(&engine).expect("index fits");
-
+    // submit all queries as typed tickets; the admission queue batches
+    // them into micro-batch waves behind the scenes
     println!("searching {num_queries} queries, k = {k}...");
-    let results = index.search(&engine, &device_index, &queries, k);
+    let tickets: Vec<_> = queries
+        .iter()
+        .map(|q| docs.submit(q.clone(), k).expect("non-empty query"))
+        .collect();
+    let results: Vec<_> = tickets
+        .into_iter()
+        .map(|t| t.wait().expect("wave served"))
+        .collect();
 
     // spot-check the top answer of the first few queries on the host
     use std::collections::HashSet;
-    for (qi, (query, hits)) in queries.iter().zip(&results).take(3).enumerate() {
+    for (qi, (query, answer)) in queries.iter().zip(&results).take(3).enumerate() {
         let qset: HashSet<&str> = query.iter().map(|s| s.as_str()).collect();
         println!("query {qi}: {} words, top hits:", qset.len());
-        for hit in hits.iter().take(3) {
+        for hit in answer.hits.iter().take(3) {
             let dset: HashSet<&str> = data[hit.id as usize].iter().map(|s| s.as_str()).collect();
             let shared = qset.intersection(&dset).count();
             println!(
@@ -48,9 +59,17 @@ fn main() {
         }
     }
 
+    let stats = db.stats();
+    println!(
+        "\nserved {} requests in {} waves / {} micro-batches (occupancy {:.1})",
+        stats.served,
+        stats.waves,
+        stats.batches,
+        stats.mean_batch_occupancy()
+    );
     let c = engine.device().counters();
     println!(
-        "\n{} launches, {:.1} us simulated device time",
+        "{} launches, {:.1} us simulated device time",
         c.launches,
         c.sim_us(engine.device().cost_model())
     );

@@ -1,11 +1,14 @@
 //! Multiple loading (paper §III-D): searching a data set whose index
-//! exceeds device memory by swapping index parts through the device and
-//! merging per-part top-k on the host — the Table II/III scenario.
+//! exceeds device memory by swapping index parts through the device —
+//! the Table II/III scenario — then the same data served through the
+//! typed facade on a multi-device backend, where part swapping hides
+//! behind `Collection::search` entirely.
 //!
 //! Run with: `cargo run --release --example multi_load`
 
 use std::sync::Arc;
 
+use genie::core::domain::Domain;
 use genie::core::multiload::{build_parts, multi_load_search};
 use genie::datasets::points::sift_like;
 use genie::lsh::e2lsh::E2Lsh;
@@ -21,11 +24,13 @@ fn main() {
     let all = sift_like(n + num_queries, dim, 40, 3);
     let (data, query_points) = genie::datasets::holdout(all, num_queries);
 
+    // the τ-ANN domain adapter does every point -> object/query
+    // conversion; no raw query assembly anywhere
     let transformer = Transformer::new(E2Lsh::new(32, dim, 12.0, 5), 2048);
-    let objects: Vec<Object> = data.iter().map(|p| transformer.to_object(&p[..])).collect();
+    let ann = AnnIndex::create(transformer, data.clone());
     let queries: Vec<Query> = query_points
         .iter()
-        .map(|p| transformer.to_query(&p[..]))
+        .map(|p| ann.encode(p).expect("finite point"))
         .collect();
 
     // a deliberately tiny device: the whole index will not fit
@@ -33,12 +38,10 @@ fn main() {
         memory_bytes: 3 * 1024 * 1024, // 3 MiB
         ..Default::default()
     };
-    let engine = Engine::new(Arc::new(Device::new(config)));
+    let engine = Engine::new(Arc::new(Device::new(config.clone())));
 
     // whole-index upload must fail...
-    let mut whole = IndexBuilder::new();
-    whole.add_objects(objects.iter());
-    let whole = Arc::new(whole.build(None));
+    let whole = Arc::clone(ann.index());
     assert!(
         engine.upload(Arc::clone(&whole)).is_err(),
         "the full index should exceed the 3 MiB device"
@@ -49,6 +52,7 @@ fn main() {
     );
 
     // ...so split into parts that do fit and run the multi-load search
+    let objects = whole.reconstruct_objects();
     let parts = build_parts(&objects, 10_000, None);
     println!("running {} parts through the device...", parts.len());
     let (results, report) = multi_load_search(&engine, &parts, &queries, k);
@@ -68,4 +72,30 @@ fn main() {
         assert_eq!(mc, sc, "query {q}: multi-load must equal single-load");
     }
     println!("multi-load results verified identical to single-load.");
+
+    // the serving view of the same trick: a two-small-device backend
+    // inside a GenieDb pages the parts transparently — callers just
+    // search the typed collection
+    println!("\nserving the same points through GenieDb on 2 small devices...");
+    let multi = MultiDeviceBackend::from_engines(
+        (0..2)
+            .map(|_| Engine::new(Arc::new(Device::new(config.clone()))))
+            .collect(),
+        10_000,
+    );
+    let db = GenieDb::single(Arc::new(multi)).expect("db opens");
+    let points = db
+        .create_collection::<AnnIndex<E2Lsh>>(
+            "sift",
+            Transformer::new(E2Lsh::new(32, dim, 12.0, 5), 2048),
+            data,
+        )
+        .expect("parts fit the devices");
+    let served = points
+        .search(&query_points[0].clone(), k)
+        .expect("finite point");
+    let expected: Vec<u32> = single.results[0].iter().map(|h| h.count).collect();
+    let got: Vec<u32> = served.hits.iter().map(|h| h.count).collect();
+    assert_eq!(got, expected, "facade counts equal the single-load counts");
+    println!("typed facade over part-swapping devices verified.");
 }

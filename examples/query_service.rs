@@ -1,11 +1,13 @@
-//! Serve concurrent clients through the always-on `GenieService`.
+//! Serve concurrent clients through the typed `GenieDb` facade.
 //!
 //! Demonstrates the serving scenario the service layer exists for: many
-//! client *threads* trickle queries in over time, the admission queue
-//! accumulates them, and a dispatcher cuts micro-batch waves when
-//! either enough requests are queued to fill a batch (size trigger) or
-//! the oldest request has waited `max_queue_delay` (deadline trigger).
-//! Repeated queries short-circuit through the result cache.
+//! client *threads* trickle typed queries into a document collection,
+//! the admission queue accumulates them, and a dispatcher cuts
+//! micro-batch waves when either enough requests are queued to fill a
+//! batch (size trigger) or the oldest request has waited
+//! `max_queue_delay` (deadline trigger). Repeated queries
+//! short-circuit through the per-collection result cache; no client
+//! ever assembles a raw `Query`.
 //!
 //! ```text
 //! cargo run --example query_service
@@ -14,41 +16,43 @@
 use std::sync::Arc;
 use std::time::{Duration, Instant};
 
-use genie::core::backend::{CpuBackend, SearchBackend};
+use genie::core::backend::CpuBackend;
 use genie::prelude::*;
 
 fn main() {
-    // one shared index: objects with a few keywords each
+    // one shared corpus: short documents with a few words each
     let n = 20_000u32;
-    println!("indexing {n} objects...");
-    let mut builder = IndexBuilder::new();
-    for i in 0..n {
-        builder.add_object(&Object::new(vec![i % 97, 100 + i % 31, 200 + i % 7]));
-    }
-    let index = Arc::new(builder.build(None));
+    println!("indexing {n} documents...");
+    let docs: Vec<Vec<String>> = (0..n)
+        .map(|i| {
+            vec![
+                format!("w{}", i % 97),
+                format!("x{}", i % 31),
+                format!("y{}", i % 7),
+            ]
+        })
+        .collect();
 
     // heterogeneous fleet: one simulated device + the host CPU path
-    let backends: Vec<Arc<dyn SearchBackend>> = vec![
-        Arc::new(Engine::new(Arc::new(Device::with_defaults()))),
-        Arc::new(CpuBackend::new()),
-    ];
-    let scheduler = QueryScheduler::new(
-        backends,
+    let db = GenieDb::open(
+        vec![
+            Arc::new(Engine::new(Arc::new(Device::with_defaults()))),
+            Arc::new(CpuBackend::new()),
+        ],
         SchedulerConfig {
             max_batch_queries: 64,
             cpq_budget_bytes: None,
         },
-    );
-    let service = GenieService::start(
-        scheduler,
-        &index,
         ServiceConfig {
             max_queue_delay: Duration::from_millis(3),
             dispatchers: 1,
             cache_capacity: 512,
         },
     )
-    .expect("index fits on every backend");
+    .expect("db opens");
+    let collection = db
+        .create_collection::<DocumentIndex>("docs", (), docs)
+        .expect("index fits on every backend");
 
     // 8 client threads x 64 requests each, submitted from their own
     // threads; ~25% of the traffic repeats an earlier query to show the
@@ -59,18 +63,19 @@ fn main() {
     let mut latencies_us: Vec<f64> = std::thread::scope(|scope| {
         let handles: Vec<_> = (0..CLIENTS)
             .map(|c| {
-                let service = &service;
+                let collection = collection.clone();
                 scope.spawn(move || {
                     let mut mine = Vec::with_capacity(PER_CLIENT);
                     for j in 0..PER_CLIENT {
                         let unique = (c * PER_CLIENT + j) as u32;
-                        let kw = if j % 4 == 3 { 1 } else { unique % 97 };
-                        let query = Query::from_keywords(&[kw, 100 + unique % 31]);
+                        let w = if j % 4 == 3 { 1 } else { unique % 97 };
+                        let spec = vec![format!("w{w}"), format!("x{}", unique % 31)];
+                        let k = 1 + j % 10;
                         let submitted = Instant::now();
-                        let ticket = service.submit(query, 1 + j % 10);
-                        let response = ticket.wait().expect("wave served");
+                        let ticket = collection.submit(spec, k).expect("non-empty query");
+                        let answer = ticket.wait().expect("wave served");
                         mine.push(submitted.elapsed().as_secs_f64() * 1e6);
-                        assert!(response.hits.len() <= 1 + j % 10);
+                        assert!(answer.hits.len() <= k);
                     }
                     mine
                 })
@@ -84,7 +89,7 @@ fn main() {
 
     latencies_us.sort_by(|a, b| a.partial_cmp(b).unwrap());
     let pct = |p: f64| percentile_us(&latencies_us, p);
-    let stats = service.stats();
+    let stats = db.stats();
     println!(
         "\n{} requests over {} waves ({} size-triggered, {} deadline-triggered), {} micro-batches",
         stats.served, stats.waves, stats.size_triggers, stats.deadline_triggers, stats.batches
@@ -101,12 +106,12 @@ fn main() {
         pct(0.95),
         pct(0.99)
     );
-    println!(
-        "scheduler wall {:.2} ms total; host stage time {:.2} ms (both strictly > 0 \
-         thanks to fractional-µs timing)",
-        stats.wall_us / 1000.0,
-        stats.stages.host_us / 1000.0
-    );
+    for h in db.backend_health() {
+        println!(
+            "backend {}: {} batches / {} queries, {} failures",
+            h.name, h.batches, h.queries, h.failed
+        );
+    }
     assert!(stats.wall_us > 0.0 && stats.stages.host_us > 0.0);
     assert_eq!(stats.served, (CLIENTS * PER_CLIENT) as u64);
     println!("all {} tickets resolved", stats.served);

@@ -1,31 +1,37 @@
 //! Quickstart: the match-count model end to end on the Figure 1 running
-//! example — a tiny relational table, one range query, top-k by number
-//! of satisfied conditions.
+//! example — a tiny relational table served through the typed `GenieDb`
+//! facade, one range query, top-k by number of satisfied conditions.
 //!
 //! Run with: `cargo run --release --example quickstart`
 
 use std::sync::Arc;
 
 use genie::prelude::*;
-use genie::sa::relational::{Attribute, Condition, RelationalIndex, Value};
+use genie::sa::relational::{Attribute, Condition, RelationalIndex, RelationalSchema, Value};
 
 fn main() {
     // the Figure 1 table: attributes A, B, C with values 0..=3
-    let attrs = vec![
-        Attribute::Categorical { cardinality: 4 },
-        Attribute::Categorical { cardinality: 4 },
-        Attribute::Categorical { cardinality: 4 },
-    ];
+    let schema = RelationalSchema {
+        attrs: vec![
+            Attribute::Categorical { cardinality: 4 },
+            Attribute::Categorical { cardinality: 4 },
+            Attribute::Categorical { cardinality: 4 },
+        ],
+        load_balance: None,
+    };
     let rows = vec![
         vec![Value::Cat(1), Value::Cat(2), Value::Cat(1)], // O1
         vec![Value::Cat(2), Value::Cat(1), Value::Cat(3)], // O2
         vec![Value::Cat(1), Value::Cat(3), Value::Cat(2)], // O3
     ];
-    let table = RelationalIndex::build(attrs, &rows, None);
 
-    // a simulated SIMT device plays the role of the GPU
-    let engine = Engine::new(Arc::new(Device::with_defaults()));
-    let device_index = table.upload(&engine).expect("index fits device memory");
+    // a simulated SIMT device plays the role of the GPU; the GenieDb
+    // facade owns the admission/scheduling stack on top of it
+    let db = GenieDb::single(Arc::new(Engine::new(Arc::new(Device::with_defaults()))))
+        .expect("db opens");
+    let table = db
+        .create_collection::<RelationalIndex>("figure1", schema, rows)
+        .expect("index fits device memory");
 
     // Q1 of the paper: 1 <= A <= 2, B = 1, 2 <= C <= 3
     let q1 = vec![
@@ -42,21 +48,19 @@ fn main() {
         },
     ];
 
-    let results = table.search(&engine, &device_index, &[q1], 3);
+    let answer = table.search(&q1, 3).expect("well-formed query");
     println!("top-k rows by number of satisfied conditions:");
-    for hit in &results[0] {
+    for hit in &answer.hits {
         println!(
             "  row O{} satisfies {} of 3 conditions",
             hit.id + 1,
             hit.count
         );
     }
-    assert_eq!(results[0][0].id, 1, "O2 satisfies all three conditions");
+    assert_eq!(answer.hits[0].id, 1, "O2 satisfies all three conditions");
+    assert_eq!(answer.hits[0].count, 3);
 
-    let counters = engine.device().counters();
-    println!(
-        "\ndevice: {} kernel launches, {:.1} us simulated time",
-        counters.launches,
-        counters.sim_us(engine.device().cost_model())
-    );
+    // malformed queries are typed errors at encode time, not panics:
+    let bad = table.search(&vec![Condition::CatEq { attr: 7, value: 0 }], 1);
+    println!("\nquerying attribute 7: {}", bad.unwrap_err());
 }

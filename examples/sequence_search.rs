@@ -1,6 +1,7 @@
 //! Sequence similarity search under edit distance (paper §V-A): the
 //! typo-correction scenario of the DBLP experiment — corrupt titles,
-//! retrieve candidates by shared n-grams, verify, certify exactness.
+//! retrieve candidates by shared n-grams, verify, certify exactness —
+//! through the typed `GenieDb` facade.
 //!
 //! Run with: `cargo run --release --example sequence_search`
 
@@ -20,12 +21,22 @@ fn main() {
     let cq = corrupted_queries(&data, num_queries, 0.2, 13);
 
     println!("indexing 3-grams...");
-    let index = SequenceIndex::build(data.clone(), 3);
-    let engine = Engine::new(Arc::new(Device::with_defaults()));
-    let device_index = index.upload(&engine).expect("index fits");
+    let db = GenieDb::single(Arc::new(Engine::new(Arc::new(Device::with_defaults()))))
+        .expect("db opens");
+    let titles = db
+        .create_collection::<SequenceIndex>("dblp", 3, data.clone())
+        .expect("index fits");
 
     println!("searching with K = 32, k = 1...");
-    let reports = index.search(&engine, &device_index, &cq.queries, 32, 1);
+    let reports: Vec<_> = cq
+        .queries
+        .iter()
+        .map(|q| {
+            titles
+                .search_with_candidates(q, 32, 1)
+                .expect("non-empty query")
+        })
+        .collect();
 
     let mut correct = 0;
     let mut certified = 0;
@@ -47,9 +58,19 @@ fn main() {
     );
     assert!(correct as f64 / num_queries as f64 > 0.9);
 
-    // the adaptive loop: double K until the certificate holds
-    println!("re-running uncertified queries with the adaptive schedule [32, 64, 128]...");
-    let adaptive = index.search_adaptive(&engine, &device_index, &cq.queries, &[32, 64, 128], 1);
-    let certified_after = adaptive.iter().filter(|r| r.certified).count();
+    // the adaptive loop: double K until Theorem 5.2's certificate holds
+    // (the facade stops each query's schedule at its first certified
+    // round)
+    println!("re-running with the adaptive schedule [32, 64, 128]...");
+    let certified_after = cq
+        .queries
+        .iter()
+        .filter(|q| {
+            titles
+                .search_adaptive(q, &[32, 64, 128], 1)
+                .expect("non-empty query")
+                .certified
+        })
+        .count();
     println!("certified after adaptation: {certified_after}/{num_queries}");
 }

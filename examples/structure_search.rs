@@ -2,6 +2,8 @@
 //! structured data — binary branches for ordered trees, stars for
 //! labelled graphs — with exact verification (Zhang–Shasha tree edit
 //! distance / Hungarian star-mapping distance) over GENIE candidates.
+//! Both data sets live as sibling collections of one `GenieDb`, served
+//! by the same device through the same admission stack.
 //!
 //! Run with: `cargo run --release --example structure_search`
 
@@ -15,23 +17,27 @@ use rand::rngs::StdRng;
 use rand::SeedableRng;
 
 fn main() {
-    let engine = Engine::new(Arc::new(Device::with_defaults()));
+    let db = GenieDb::single(Arc::new(Engine::new(Arc::new(Device::with_defaults()))))
+        .expect("db opens");
     let mut rng = StdRng::seed_from_u64(99);
 
     // ---- trees -----------------------------------------------------
     let n = 3_000;
     println!("indexing {n} random labelled trees (binary branches)...");
     let trees = trees_like(n, 24, 12, 7);
-    let tree_index = TreeIndex::build(trees.clone());
-    let didx = SearchBackend::upload(&engine, Arc::clone(tree_index.inverted_index())).unwrap();
+    let forest = db
+        .create_collection::<TreeIndex>("trees", (), trees.clone())
+        .expect("index fits");
 
     // queries: corrupted copies of known trees (<= 4 relabels)
     let queries: Vec<_> = (0..16)
         .map(|i| mutate_tree(&trees[i * 10], 4, &mut rng, 12))
         .collect();
-    let results = tree_index.search(&engine, &didx, &queries, 32, 1);
     let mut exact = 0;
-    for (i, (q, hits)) in queries.iter().zip(&results).enumerate() {
+    for (i, q) in queries.iter().enumerate() {
+        let hits = forest
+            .search_with_candidates(q, 32, 1)
+            .expect("non-empty tree");
         let best = &hits[0];
         let true_best = trees
             .iter()
@@ -55,15 +61,18 @@ fn main() {
     let n = 3_000;
     println!("indexing {n} random labelled graphs (stars)...");
     let graphs = graphs_like(n, 16, 8, 3, 13);
-    let graph_index = GraphIndex::build(graphs.clone());
-    let didx = SearchBackend::upload(&engine, Arc::clone(graph_index.inverted_index())).unwrap();
+    let netdb = db
+        .create_collection::<GraphIndex>("graphs", (), graphs.clone())
+        .expect("index fits");
 
     let queries: Vec<_> = (0..16)
         .map(|i| mutate_graph(&graphs[i * 7], 2, &mut rng, 8))
         .collect();
-    let results = graph_index.search(&engine, &didx, &queries, 32, 3);
     let mut source_found = 0;
-    for (i, hits) in results.iter().enumerate() {
+    for (i, q) in queries.iter().enumerate() {
+        let hits = netdb
+            .search_with_candidates(q, 32, 3)
+            .expect("non-empty graph");
         if hits.iter().any(|h| h.id as usize == i * 7) {
             source_found += 1;
         }
@@ -71,10 +80,10 @@ fn main() {
     println!("graph search: {source_found}/16 queries rank their source graph in the top-3");
     assert!(source_found >= 14);
 
-    let c = engine.device().counters();
+    let stats = db.stats();
     println!(
-        "\ndevice totals: {} launches, {:.1} ms simulated",
-        c.launches,
-        c.sim_us(engine.device().cost_model()) / 1000.0
+        "\nboth domains through one service: {} requests, {} waves, {} micro-batches",
+        stats.served, stats.waves, stats.batches
     );
+    assert_eq!(db.service().collection_names().len(), 2);
 }

@@ -1,31 +1,35 @@
-//! genie-cli — command-line similarity search over plain-text files.
+//! genie-cli — command-line similarity search over plain-text files,
+//! on the typed `GenieDb` facade.
 //!
 //! ```text
 //! genie-cli docs  <corpus.txt> --query "<words>"  [-k 5] [--backend sim|cpu|multi]
 //! genie-cli fuzzy <corpus.txt> --query "<string>" [-k 3] [-K 64] [-n 3] [--backend ...]
-//! genie-cli serve <corpus.txt> [--clients 8] [--requests 32] [--delay-ms 3] [-k 5] [--backend ...]
+//! genie-cli serve <corpus.txt> [--domain docs|fuzzy] [--clients 8] [--requests 32]
+//!                              [--delay-ms 3] [-k 5] [--backend ...]
 //! ```
 //!
 //! `docs` ranks lines by the number of distinct shared words (the
-//! short-document pipeline); `fuzzy` ranks lines by edit distance via
-//! n-gram filtering plus verification (the sequence pipeline); `serve`
-//! starts the always-on `GenieService` over the corpus and drives it
-//! with concurrent submitter threads (each line doubles as a query),
-//! reporting per-request latency percentiles, wave triggers and batch
-//! occupancy. The `--backend` flag picks the execution engine: the
-//! simulated SIMT device (default, prints per-stage cost-model timing),
-//! the pure-CPU backend, or a two-device multi-load backend.
+//! short-document collection); `fuzzy` ranks lines by edit distance via
+//! n-gram filtering plus verification (the sequence collection);
+//! `serve` starts the always-on service over the corpus — indexed under
+//! the `--domain` of choice — and drives it with concurrent submitter
+//! threads (each line doubles as a query), reporting per-request
+//! latency percentiles, wave triggers, batch occupancy and backend
+//! health. The `--backend` flag picks the execution engine: the
+//! simulated SIMT device (default, prints device counters), the
+//! pure-CPU backend, or a two-device multi-load backend.
 
 use std::process::exit;
 use std::sync::Arc;
 
 use genie::prelude::*;
+use genie::sa::SequenceSearchReport;
 
 fn usage() -> ! {
     eprintln!(
         "usage:\n  genie-cli docs  <corpus.txt> --query \"<words>\"  [-k N] [--backend sim|cpu|multi]\n  \
          genie-cli fuzzy <corpus.txt> --query \"<string>\" [-k N] [-K CANDS] [-n NGRAM] [--backend sim|cpu|multi]\n  \
-         genie-cli serve <corpus.txt> [--clients N] [--requests M] [--delay-ms D] [-k N] [--backend sim|cpu|multi]"
+         genie-cli serve <corpus.txt> [--domain docs|fuzzy] [--clients N] [--requests M] [--delay-ms D] [-k N] [--backend sim|cpu|multi]"
     );
     exit(2);
 }
@@ -38,6 +42,7 @@ struct Args {
     big_k: usize,
     ngram: usize,
     backend: String,
+    domain: String,
     clients: usize,
     requests: usize,
     delay_ms: u64,
@@ -56,6 +61,7 @@ fn parse_args() -> Args {
         big_k: 64,
         ngram: 3,
         backend: "sim".to_string(),
+        domain: "docs".to_string(),
         clients: 8,
         requests: 32,
         delay_ms: 3,
@@ -70,6 +76,10 @@ fn parse_args() -> Args {
             "--backend" => {
                 i += 1;
                 args.backend = argv.get(i).unwrap_or_else(|| usage()).clone();
+            }
+            "--domain" => {
+                i += 1;
+                args.domain = argv.get(i).unwrap_or_else(|| usage()).clone();
             }
             "-k" => {
                 i += 1;
@@ -120,19 +130,54 @@ fn parse_args() -> Args {
     if args.query.is_empty() && args.mode != "serve" {
         usage();
     }
+    if args.domain != "docs" && args.domain != "fuzzy" {
+        usage();
+    }
     args
 }
 
-fn make_backend(name: &str, corpus_lines: usize) -> Box<dyn SearchBackend> {
+fn make_backend(name: &str, corpus_lines: usize) -> Arc<dyn SearchBackend> {
     match name {
-        "sim" => Box::new(Engine::new(Arc::new(Device::with_defaults()))),
-        "cpu" => Box::new(CpuBackend::new()),
-        "multi" => Box::new(MultiDeviceBackend::with_default_devices(
+        "sim" => Arc::new(Engine::new(Arc::new(Device::with_defaults()))),
+        "cpu" => Arc::new(CpuBackend::new()),
+        "multi" => Arc::new(MultiDeviceBackend::with_default_devices(
             2,
             corpus_lines.div_ceil(2).max(1),
         )),
         _ => usage(),
     }
+}
+
+fn tokenize(line: &str) -> Vec<String> {
+    line.split_whitespace().map(|w| w.to_lowercase()).collect()
+}
+
+fn open_db(args: &Args, lines: usize) -> (GenieDb, Arc<dyn SearchBackend>) {
+    let backend = make_backend(&args.backend, lines);
+    let caps = backend.capabilities();
+    println!(
+        "backend: {} ({} execution unit{})",
+        caps.name,
+        caps.devices,
+        if caps.devices == 1 { "" } else { "s" }
+    );
+    let db = GenieDb::open(
+        vec![Arc::clone(&backend)],
+        SchedulerConfig {
+            max_batch_queries: 256,
+            cpq_budget_bytes: None,
+        },
+        ServiceConfig {
+            max_queue_delay: std::time::Duration::from_millis(args.delay_ms.max(1)),
+            dispatchers: 1,
+            cache_capacity: 1024,
+        },
+    )
+    .unwrap_or_else(|e| {
+        eprintln!("cannot open GenieDb: {e}");
+        exit(1);
+    });
+    (db, backend)
 }
 
 fn main() {
@@ -150,70 +195,71 @@ fn main() {
         exit(1);
     }
     println!("{} lines loaded from {}", lines.len(), args.corpus);
-    let backend = make_backend(&args.backend, lines.len());
-    let caps = backend.capabilities();
-    println!(
-        "backend: {} ({} execution unit{})",
-        caps.name,
-        caps.devices,
-        if caps.devices == 1 { "" } else { "s" }
-    );
+    let (db, backend) = open_db(&args, lines.len());
 
     match args.mode.as_str() {
         "docs" => {
-            let docs: Vec<Vec<String>> = lines
-                .iter()
-                .map(|l| l.split_whitespace().map(|w| w.to_lowercase()).collect())
-                .collect();
+            let docs: Vec<Vec<String>> = lines.iter().map(|l| tokenize(l)).collect();
             let built = std::time::Instant::now();
-            let index = DocumentIndex::build(&docs);
+            let col = db
+                .create_collection::<DocumentIndex>("corpus", (), docs)
+                .unwrap_or_else(|e| {
+                    eprintln!("cannot index corpus: {e}");
+                    exit(1);
+                });
+            let domain = col.domain();
             println!(
                 "indexed {} docs / {} distinct words in {:?}",
-                index.num_documents(),
-                index.vocabulary_size(),
+                domain.num_documents(),
+                domain.vocabulary_size(),
                 built.elapsed()
             );
-            let bindex = index.upload(&*backend).unwrap();
-            let q: Vec<String> = args
-                .query
-                .split_whitespace()
-                .map(|w| w.to_lowercase())
-                .collect();
-            let results = index.search(&*backend, &bindex, &[q], args.k);
-            println!("\ntop-{} lines by shared words:", args.k);
-            for hit in &results[0] {
-                println!("  [{} shared] {}", hit.count, lines[hit.id as usize]);
+            match col.search(&tokenize(&args.query), args.k) {
+                Ok(found) => {
+                    println!("\ntop-{} lines by shared words:", args.k);
+                    for hit in &found.hits {
+                        println!("  [{} shared] {}", hit.count, lines[hit.id as usize]);
+                    }
+                }
+                Err(e) => {
+                    eprintln!("query rejected: {e}");
+                    exit(1);
+                }
             }
         }
         "serve" => {
-            serve(&args, &lines, backend);
+            serve(&args, &lines, &db);
             return;
         }
         "fuzzy" => {
             let seqs: Vec<Vec<u8>> = lines.iter().map(|l| l.as_bytes().to_vec()).collect();
             let built = std::time::Instant::now();
-            let index = SequenceIndex::build(seqs, args.ngram);
+            let col = db
+                .create_collection::<SequenceIndex>("corpus", args.ngram, seqs)
+                .unwrap_or_else(|e| {
+                    eprintln!("cannot index corpus: {e}");
+                    exit(1);
+                });
             println!(
                 "indexed {} sequences ({}–grams) in {:?}",
-                index.num_sequences(),
+                col.domain().num_sequences(),
                 args.ngram,
                 built.elapsed()
             );
-            let bindex = index.upload(&*backend).unwrap();
-            let reports = index.search(
-                &*backend,
-                &bindex,
-                &[args.query.clone().into_bytes()],
-                args.big_k,
-                args.k,
-            );
-            let report = &reports[0];
-            println!(
-                "\ntop-{} lines by edit distance (K = {}, provably exact: {}):",
-                args.k, args.big_k, report.certified
-            );
-            for hit in &report.hits {
-                println!("  [ed {}] {}", hit.distance, lines[hit.id as usize]);
+            match col.search_with_candidates(&args.query.clone().into_bytes(), args.big_k, args.k) {
+                Ok(report) => {
+                    println!(
+                        "\ntop-{} lines by edit distance (K = {}, provably exact: {}):",
+                        args.k, args.big_k, report.certified
+                    );
+                    for hit in &report.hits {
+                        println!("  [ed {}] {}", hit.distance, lines[hit.id as usize]);
+                    }
+                }
+                Err(e) => {
+                    eprintln!("query rejected: {e}");
+                    exit(1);
+                }
             }
         }
         _ => usage(),
@@ -236,62 +282,27 @@ fn device_counters(backend: &dyn SearchBackend) {
     }
 }
 
-/// `serve`: index the corpus as short documents, start the always-on
-/// service, and drive it from `--clients` concurrent submitter threads
-/// (each request queries with one of the corpus lines itself).
-fn serve(args: &Args, lines: &[&str], backend: Box<dyn SearchBackend>) {
-    use std::time::Duration;
-
-    let docs: Vec<Vec<String>> = lines
-        .iter()
-        .map(|l| l.split_whitespace().map(|w| w.to_lowercase()).collect())
-        .collect();
-    let index = DocumentIndex::build(&docs);
-    println!(
-        "indexed {} docs / {} distinct words; serving with {} client threads x {} requests \
-         (deadline {} ms)",
-        index.num_documents(),
-        index.vocabulary_size(),
-        args.clients,
-        args.requests,
-        args.delay_ms
-    );
-    let service = match GenieService::start(
-        QueryScheduler::single(Arc::from(backend)),
-        index.inverted_index(),
-        ServiceConfig {
-            max_queue_delay: Duration::from_millis(args.delay_ms.max(1)),
-            dispatchers: 1,
-            cache_capacity: 1024,
-        },
-    ) {
-        Ok(s) => s,
-        Err(e) => {
-            eprintln!("cannot start service: {e}");
-            exit(1);
-        }
-    };
-
+/// Drive one typed collection with `--clients` concurrent submitter
+/// threads; each request queries with one of the corpus lines itself.
+/// `resolve` turns a line into a typed submit + wait and returns
+/// whether the answer was non-trivial.
+fn drive<S, W>(args: &Args, lines: usize, submit: S, wait: W) -> Vec<f64>
+where
+    S: Fn(usize) -> Option<W::Ticket> + Sync,
+    W: Resolver + Sync,
+{
     let mut latencies_us: Vec<f64> = std::thread::scope(|scope| {
         let handles: Vec<_> = (0..args.clients)
             .map(|c| {
-                let service = &service;
-                let index = &index;
-                let docs = &docs;
+                let submit = &submit;
+                let wait = &wait;
                 scope.spawn(move || {
                     let tickets: Vec<_> = (0..args.requests)
-                        .map(|j| {
-                            let doc = &docs[(c * args.requests + j) % docs.len()];
-                            service.submit(index.to_query(doc), args.k)
-                        })
+                        .filter_map(|j| submit((c * args.requests + j) % lines))
                         .collect();
                     tickets
                         .into_iter()
-                        .map(|t| {
-                            let submitted = t.submitted_at();
-                            t.wait().expect("service answers every ticket");
-                            submitted.elapsed().as_secs_f64() * 1e6
-                        })
+                        .map(|t| wait.resolve(t))
                         .collect::<Vec<f64>>()
                 })
             })
@@ -302,8 +313,85 @@ fn serve(args: &Args, lines: &[&str], backend: Box<dyn SearchBackend>) {
             .collect()
     });
     latencies_us.sort_by(|a, b| a.partial_cmp(b).unwrap());
+    latencies_us
+}
+
+/// How a serve-mode domain resolves its typed tickets into latencies.
+trait Resolver {
+    type Ticket;
+    fn resolve(&self, ticket: Self::Ticket) -> f64;
+}
+
+struct DocResolver;
+impl Resolver for DocResolver {
+    type Ticket = TypedTicket<DocumentIndex>;
+    fn resolve(&self, t: Self::Ticket) -> f64 {
+        let submitted = t.submitted_at();
+        t.wait().expect("service answers every ticket");
+        submitted.elapsed().as_secs_f64() * 1e6
+    }
+}
+
+struct SeqResolver;
+impl Resolver for SeqResolver {
+    type Ticket = TypedTicket<SequenceIndex>;
+    fn resolve(&self, t: Self::Ticket) -> f64 {
+        let submitted = t.submitted_at();
+        // lines shorter than the n-gram length legitimately match
+        // nothing, so only the ticket resolution is asserted
+        let _report: SequenceSearchReport = t.wait().expect("service answers every ticket");
+        submitted.elapsed().as_secs_f64() * 1e6
+    }
+}
+
+/// `serve`: index the corpus under `--domain`, start the shared
+/// service, drive it concurrently, report latency/occupancy/health.
+fn serve(args: &Args, lines: &[&str], db: &GenieDb) {
+    println!(
+        "serving domain '{}' with {} client threads x {} requests (deadline {} ms)",
+        args.domain, args.clients, args.requests, args.delay_ms
+    );
+    let latencies_us = match args.domain.as_str() {
+        "docs" => {
+            let docs: Vec<Vec<String>> = lines.iter().map(|l| tokenize(l)).collect();
+            let col = db
+                .create_collection::<DocumentIndex>("corpus", (), docs.clone())
+                .unwrap_or_else(|e| {
+                    eprintln!("cannot index corpus: {e}");
+                    exit(1);
+                });
+            println!(
+                "indexed {} docs / {} distinct words",
+                col.domain().num_documents(),
+                col.domain().vocabulary_size()
+            );
+            drive(
+                args,
+                docs.len(),
+                |i| col.submit(docs[i].clone(), args.k).ok(),
+                DocResolver,
+            )
+        }
+        _ => {
+            let seqs: Vec<Vec<u8>> = lines.iter().map(|l| l.as_bytes().to_vec()).collect();
+            let col = db
+                .create_collection::<SequenceIndex>("corpus", args.ngram, seqs.clone())
+                .unwrap_or_else(|e| {
+                    eprintln!("cannot index corpus: {e}");
+                    exit(1);
+                });
+            println!("indexed {} sequences ({}-grams)", seqs.len(), args.ngram);
+            drive(
+                args,
+                seqs.len(),
+                |i| col.submit(seqs[i].clone(), args.k).ok(),
+                SeqResolver,
+            )
+        }
+    };
+
     let pct = |p: f64| percentile_us(&latencies_us, p);
-    let stats = service.stats();
+    let stats = db.stats();
     println!(
         "\n{} requests over {} waves ({} size / {} deadline triggered), {} micro-batches, \
          occupancy {:.1} queries/batch",
@@ -326,4 +414,17 @@ fn serve(args: &Args, lines: &[&str], backend: Box<dyn SearchBackend>) {
         pct(0.95) / 1000.0,
         pct(0.99) / 1000.0
     );
+    for h in db.backend_health() {
+        println!(
+            "backend {}: {} batches / {} queries served, {} failures{}",
+            h.name,
+            h.batches,
+            h.queries,
+            h.failed,
+            h.last_error
+                .as_deref()
+                .map(|e| format!(" (last: {e})"))
+                .unwrap_or_default()
+        );
+    }
 }

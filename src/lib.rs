@@ -6,37 +6,45 @@
 //!
 //! * [`gpu_sim`] — the software SIMT device every kernel runs on;
 //! * [`core`] (`genie-core`) — match-count model, inverted index, c-PQ,
-//!   batched engine, multiple loading;
+//!   batched engine, multiple loading, and the [`Domain`] adapter trait
+//!   every data type implements;
 //! * [`lsh`] (`genie-lsh`) — LSH families (E2LSH, random binning,
 //!   MinHash, SimHash), re-hashing, τ-ANN theory;
 //! * [`sa`] (`genie-sa`) — sequences under edit distance, short
-//!   documents, relational tables;
+//!   documents, relational tables, trees and graphs;
 //! * [`baselines`] (`genie-baselines`) — every competitor of the
 //!   paper's evaluation;
 //! * [`datasets`] (`genie-datasets`) — seeded synthetic corpora;
-//! * [`service`] (`genie-service`) — the multi-client serving stack:
-//!   the always-on `GenieService` admission queue (size/deadline wave
-//!   triggers, result cache) over the micro-batching `QueryScheduler`
-//!   with multi-backend dispatch and per-client routing.
+//! * [`service`] (`genie-service`) — the serving stack: the typed
+//!   [`GenieDb`]/[`Collection`] facade over the always-on
+//!   `GenieService` admission queue (size/deadline wave triggers,
+//!   per-collection result cache) over the micro-batching
+//!   `QueryScheduler` with multi-backend dispatch.
 //!
 //! ## Quickstart
+//!
+//! One `GenieDb` serves every domain the paper claims — the same
+//! admission queue, scheduler and cache behind typed collections:
 //!
 //! ```
 //! use std::sync::Arc;
 //! use genie::prelude::*;
+//! use genie::sa::DocumentIndex;
 //!
-//! // index three objects over a keyword universe
-//! let mut builder = IndexBuilder::new();
-//! builder.add_object(&Object::new(vec![1, 5]));
-//! builder.add_object(&Object::new(vec![1, 6]));
-//! builder.add_object(&Object::new(vec![2, 5]));
-//! let index = Arc::new(builder.build(None));
-//!
-//! // run a batched top-k match-count query on the simulated device
-//! let engine = Engine::new(Arc::new(gpu_sim::Device::with_defaults()));
-//! let device_index = engine.upload(index).unwrap();
-//! let out = engine.search(&device_index, &[Query::from_keywords(&[1, 5])], 2);
-//! assert_eq!(out.results[0][0].id, 0);
+//! let db = GenieDb::single(Arc::new(CpuBackend::new())).unwrap();
+//! let toks = |s: &str| s.split_whitespace().map(String::from).collect::<Vec<_>>();
+//! let docs = db
+//!     .create_collection::<DocumentIndex>(
+//!         "docs",
+//!         (),
+//!         vec![
+//!             toks("inverted index framework"),
+//!             toks("similarity search on gpu"),
+//!         ],
+//!     )
+//!     .unwrap();
+//! let found = docs.search(&toks("generic inverted index"), 1).unwrap();
+//! assert_eq!(found.hits[0].id, 0);
 //! ```
 
 pub use genie_baselines as baselines;
@@ -47,14 +55,20 @@ pub use genie_sa as sa;
 pub use genie_service as service;
 pub use gpu_sim;
 
+#[doc(inline)]
+pub use genie_core::domain::Domain;
+#[doc(inline)]
+pub use genie_service::{Collection, GenieDb};
+
 /// One-stop imports for typical use.
 pub mod prelude {
     pub use genie_core::prelude::*;
     pub use genie_lsh::{AnnIndex, AnnParams, Transformer};
-    pub use genie_sa::{DocumentIndex, RelationalIndex, SequenceIndex};
+    pub use genie_sa::{DocumentIndex, RelationalIndex, RelationalSchema, SequenceIndex};
     pub use genie_service::{
-        percentile_us, GenieService, PreparedIndex, QueryRequest, QueryResponse, QueryScheduler,
-        ResponseTicket, ScheduleReport, SchedulerConfig, ServiceConfig, ServiceStats,
+        percentile_us, BackendHealth, Collection, CollectionId, GenieDb, GenieService,
+        PreparedIndex, QueryRequest, QueryResponse, QueryScheduler, ResponseTicket, ScheduleReport,
+        SchedulerConfig, SearchError, ServiceConfig, ServiceStats, TypedTicket,
     };
     pub use gpu_sim::{Device, DeviceConfig};
 }

@@ -1,16 +1,44 @@
-//! End-to-end ANN pipeline tests: GENIE-LSH vs exact kNN, the τ-ANN
-//! tolerance of Theorem 4.2, and cross-checks against the CPU-LSH and
-//! GPU-LSH baselines on the same data.
+//! End-to-end ANN pipeline tests through the typed facade: GENIE-LSH
+//! vs exact kNN, the τ-ANN tolerance of Theorem 4.2, and cross-checks
+//! against the CPU-LSH and GPU-LSH baselines on the same data.
 
 use std::sync::Arc;
 
 use genie::baselines::{cpu_lsh::CpuLsh, gpu_lsh};
+use genie::core::domain::MatchHits;
 use genie::datasets::points::{ocr_like, sift_like};
 use genie::lsh::e2lsh::{collision_probability, E2Lsh};
+use genie::lsh::family::LshFamily;
 use genie::lsh::knn::{exact_knn, l2_distance, Metric};
 use genie::lsh::rbh::{laplacian_kernel, mean_l1_kernel_width, RandomBinningHash};
 use genie::lsh::tau_ann::check_tau_ann;
 use genie::prelude::*;
+
+/// Index `data` as a τ-ANN collection on a fresh simulated device and
+/// answer `queries` through the typed facade.
+fn ann_collection<F>(transformer: Transformer<F>, data: &[Vec<f32>]) -> Collection<AnnIndex<F>>
+where
+    F: LshFamily<[f32]> + Send + Sync + 'static,
+{
+    let db = GenieDb::single(Arc::new(Engine::new(Arc::new(Device::with_defaults()))))
+        .expect("db opens");
+    db.create_collection::<AnnIndex<F>>("points", transformer, data.to_vec())
+        .expect("index fits")
+}
+
+fn search_all<F>(col: &Collection<AnnIndex<F>>, queries: &[Vec<f32>], k: usize) -> Vec<MatchHits>
+where
+    F: LshFamily<[f32]> + Send + Sync + 'static,
+{
+    let tickets: Vec<_> = queries
+        .iter()
+        .map(|q| col.submit(q.clone(), k).expect("finite point"))
+        .collect();
+    tickets
+        .into_iter()
+        .map(|t| t.wait().expect("wave served"))
+        .collect()
+}
 
 #[test]
 fn genie_lsh_tau_ann_holds_on_sift_like_data() {
@@ -19,10 +47,8 @@ fn genie_lsh_tau_ann_holds_on_sift_like_data() {
     let (data, queries) = genie::datasets::holdout(all, 24);
     let w = 16.0f32;
     let m = 96;
-    let transformer = Transformer::new(E2Lsh::new(m, dim, w, 9), 4096);
-    let ann = AnnIndex::build(transformer, data.iter().map(|p| &p[..]));
-    let engine = Engine::new(Arc::new(Device::with_defaults()));
-    let out = ann.search(&engine, queries.iter().map(|q| &q[..]), 1);
+    let col = ann_collection(Transformer::new(E2Lsh::new(m, dim, w, 9), 4096), &data);
+    let answers = search_all(&col, &queries, 1);
 
     // similarity = collision probability psi(l2 distance); Theorem 4.2
     // says the top return is within tau = 2*eps of the best similarity.
@@ -30,10 +56,10 @@ fn genie_lsh_tau_ann_holds_on_sift_like_data() {
     // delta=0.06; use the empirical-confidence tau of 0.2 and demand the
     // overwhelming majority within it.
     let mut pairs = Vec::new();
-    for (q, hits) in queries.iter().zip(&out.results) {
+    for (q, answer) in queries.iter().zip(&answers) {
         let truth = exact_knn(Metric::L2, &data, q, 1);
         let best_sim = collision_probability(truth[0].1, w as f64);
-        let got_sim = match hits.first() {
+        let got_sim = match answer.hits.first() {
             Some(h) => collision_probability(l2_distance(&data[h.id as usize], q), w as f64),
             None => 0.0,
         };
@@ -54,15 +80,14 @@ fn genie_rbh_matches_laplacian_kernel_ranking() {
     let (data, queries) = genie::datasets::holdout(lp.points, 16);
     let sigma = mean_l1_kernel_width(&data[..100.min(data.len())]);
     let fam = RandomBinningHash::new(64, 48, sigma, 3);
-    let ann = AnnIndex::build(Transformer::new(fam, 8192), data.iter().map(|p| &p[..]));
-    let engine = Engine::new(Arc::new(Device::with_defaults()));
-    let out = ann.search(&engine, queries.iter().map(|q| &q[..]), 1);
+    let col = ann_collection(Transformer::new(fam, 8192), &data);
+    let answers = search_all(&col, &queries, 1);
 
     let mut kernel_gap = Vec::new();
-    for (q, hits) in queries.iter().zip(&out.results) {
+    for (q, answer) in queries.iter().zip(&answers) {
         let truth = exact_knn(Metric::L1, &data, q, 1);
         let best = laplacian_kernel(&data[truth[0].0], q, sigma);
-        if let Some(h) = hits.first() {
+        if let Some(h) = answer.hits.first() {
             let got = laplacian_kernel(&data[h.id as usize], q, sigma);
             kernel_gap.push((best, got));
         }
@@ -83,11 +108,9 @@ fn three_ann_engines_find_similar_quality() {
     let (data, queries) = genie::datasets::holdout(all, 16);
     let k = 5;
 
-    // GENIE
-    let transformer = Transformer::new(E2Lsh::new(64, dim, 16.0, 13), 2048);
-    let ann = AnnIndex::build(transformer, data.iter().map(|p| &p[..]));
-    let engine = Engine::new(Arc::new(Device::with_defaults()));
-    let genie_out = ann.search(&engine, queries.iter().map(|q| &q[..]), k);
+    // GENIE, through the typed facade
+    let col = ann_collection(Transformer::new(E2Lsh::new(64, dim, 16.0, 13), 2048), &data);
+    let genie_answers = search_all(&col, &queries, k);
 
     // CPU-LSH over the same transformer family
     let t2 = Transformer::new(E2Lsh::new(64, dim, 16.0, 13), 2048);
@@ -119,7 +142,7 @@ fn three_ann_engines_find_similar_quality() {
 
     let mut ratios = [0.0f64; 3];
     for (qi, q) in queries.iter().enumerate() {
-        let genie_ids: Vec<u32> = genie_out.results[qi].iter().map(|h| h.id).collect();
+        let genie_ids: Vec<u32> = genie_answers[qi].hits.iter().map(|h| h.id).collect();
         ratios[0] += ratio_of(&genie_ids, q);
         let cpu_ids: Vec<u32> = cpu.knn(q, k).iter().map(|&(id, _)| id).collect();
         ratios[1] += ratio_of(&cpu_ids, q);
@@ -147,15 +170,15 @@ fn ocr_1nn_classification_beats_chance_by_far() {
 
     let sigma = mean_l1_kernel_width(&data[..100]);
     let fam = RandomBinningHash::new(48, 40, sigma, 29);
-    let ann = AnnIndex::build(Transformer::new(fam, 8192), data.iter().map(|p| &p[..]));
-    let engine = Engine::new(Arc::new(Device::with_defaults()));
-    let out = ann.search(&engine, queries.iter().map(|q| &q[..]), 1);
+    let col = ann_collection(Transformer::new(fam, 8192), &data);
+    let answers = search_all(&col, &queries, 1);
 
-    let predicted: Vec<u32> = out
-        .results
+    let predicted: Vec<u32> = answers
         .iter()
-        .map(|hits| {
-            hits.first()
+        .map(|answer| {
+            answer
+                .hits
+                .first()
                 .map(|h| train_labels[h.id as usize])
                 .unwrap_or(0)
         })

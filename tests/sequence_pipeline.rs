@@ -1,5 +1,6 @@
-//! Sequence-search pipeline: GENIE's candidate retrieval + verification
-//! against the AppGram CPU baseline and brute-force edit distance.
+//! Sequence-search pipeline through the typed facade: GENIE's candidate
+//! retrieval + verification against the AppGram CPU baseline and
+//! brute-force edit distance.
 
 use std::sync::Arc;
 
@@ -7,16 +8,37 @@ use genie::baselines::app_gram::AppGram;
 use genie::datasets::sequences::{corrupted_queries, dblp_like};
 use genie::prelude::*;
 use genie::sa::edit::edit_distance;
+use genie::sa::SequenceSearchReport;
+
+fn sequence_collection(data: &[Vec<u8>]) -> Collection<SequenceIndex> {
+    let db = GenieDb::single(Arc::new(Engine::new(Arc::new(Device::with_defaults()))))
+        .expect("db opens");
+    db.create_collection::<SequenceIndex>("seqs", 3, data.to_vec())
+        .expect("index fits")
+}
+
+fn search_all(
+    col: &Collection<SequenceIndex>,
+    queries: &[Vec<u8>],
+    k_candidates: usize,
+    k: usize,
+) -> Vec<SequenceSearchReport> {
+    queries
+        .iter()
+        .map(|q| {
+            col.search_with_candidates(q, k_candidates, k)
+                .expect("non-empty query")
+        })
+        .collect()
+}
 
 #[test]
 fn genie_and_appgram_agree_on_certified_queries() {
     let data = dblp_like(800, 40, 31);
     let cq = corrupted_queries(&data, 20, 0.2, 33);
 
-    let index = SequenceIndex::build(data.clone(), 3);
-    let engine = Engine::new(Arc::new(Device::with_defaults()));
-    let didx = index.upload(&engine).unwrap();
-    let reports = index.search(&engine, &didx, &cq.queries, 32, 1);
+    let col = sequence_collection(&data);
+    let reports = search_all(&col, &cq.queries, 32, 1);
 
     let appgram = AppGram::build(data.clone(), 3);
     for (q, report) in cq.queries.iter().zip(&reports) {
@@ -35,14 +57,12 @@ fn accuracy_degrades_gracefully_with_modification_rate() {
     // the Table VI shape: higher corruption -> (weakly) lower accuracy,
     // but accuracy stays high even at 40%
     let data = dblp_like(600, 40, 41);
-    let index = SequenceIndex::build(data.clone(), 3);
-    let engine = Engine::new(Arc::new(Device::with_defaults()));
-    let didx = index.upload(&engine).unwrap();
+    let col = sequence_collection(&data);
 
     let mut accuracies = Vec::new();
     for (i, frac) in [0.1, 0.4].iter().enumerate() {
         let cq = corrupted_queries(&data, 25, *frac, 50 + i as u64);
-        let reports = index.search(&engine, &didx, &cq.queries, 32, 1);
+        let reports = search_all(&col, &cq.queries, 32, 1);
         let correct = cq
             .queries
             .iter()
@@ -69,14 +89,12 @@ fn accuracy_degrades_gracefully_with_modification_rate() {
 fn larger_k_candidates_never_hurts_accuracy() {
     // the Table VII shape: accuracy is non-decreasing in K
     let data = dblp_like(500, 40, 61);
-    let index = SequenceIndex::build(data.clone(), 3);
-    let engine = Engine::new(Arc::new(Device::with_defaults()));
-    let didx = index.upload(&engine).unwrap();
+    let col = sequence_collection(&data);
     let cq = corrupted_queries(&data, 20, 0.3, 63);
 
     let mut prev_acc = 0.0;
     for kc in [4, 16, 64] {
-        let reports = index.search(&engine, &didx, &cq.queries, kc, 1);
+        let reports = search_all(&col, &cq.queries, kc, 1);
         let correct = cq
             .queries
             .iter()

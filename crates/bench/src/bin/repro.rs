@@ -17,11 +17,26 @@ fn main() {
             "usage: repro [--quick] [--all] [--fig8] [--fig9] [--fig10] [--fig11] \
              [--fig12] [--fig13] [--fig14] [--table1] [--table2] [--table4] \
              [--table5] [--table6] [--ext-structures] [--ext-tau] [--serving] \
-             [--serving-smoke]"
+             [--serving-smoke] [--shards N]"
         );
         std::process::exit(2);
     }
     let has = |flag: &str| args.iter().any(|a| a == flag);
+    // `--shards N`: how many index shards the serving smoke splits its
+    // collection across (N > 1 exercises the sharded fan-out + merge).
+    // A malformed value must fail loudly — silently falling back to 1
+    // would let the CI sharded-smoke gate pass without ever running
+    // the sharded path it exists to test.
+    let shards: usize = match args.iter().position(|a| a == "--shards") {
+        None => 1,
+        Some(i) => match args.get(i + 1).and_then(|v| v.parse().ok()) {
+            Some(n) if n >= 1 => n,
+            _ => {
+                eprintln!("--shards needs a positive integer");
+                std::process::exit(2);
+            }
+        },
+    };
     let all = has("--all");
     let scale = if has("--quick") {
         Scale {
@@ -88,6 +103,6 @@ fn main() {
     if has("--serving-smoke") {
         // deliberately not part of --all: a fixed-size CI gate that
         // exercises the live serving loop with both wave triggers
-        serving::serving_smoke();
+        serving::serving_smoke(shards);
     }
 }

@@ -40,6 +40,9 @@ pub struct ServingWorkload {
     pub cache_capacity: usize,
     /// `k` every client asks for.
     pub k: usize,
+    /// Index shards the collection is split across (1 = unsharded; >1
+    /// fans every wave out to one scheduler run per shard and merges).
+    pub shards: usize,
 }
 
 impl Default for ServingWorkload {
@@ -52,6 +55,7 @@ impl Default for ServingWorkload {
             max_batch_queries: 256,
             cache_capacity: 0,
             k: 10,
+            shards: 1,
         }
     }
 }
@@ -83,16 +87,19 @@ pub fn run_serving_workload(data: &MatchData, workload: ServingWorkload) -> Serv
             cpq_budget_bytes: None,
         },
     );
-    let service = GenieService::start(
+    let service = GenieService::start_empty(
         scheduler,
-        &index,
         ServiceConfig {
             max_queue_delay: workload.max_queue_delay,
             dispatchers: 1,
             cache_capacity: workload.cache_capacity,
+            ..Default::default()
         },
     )
-    .expect("host index always fits");
+    .expect("config is valid");
+    let collection = service
+        .add_collection_sharded("bench", &index, workload.shards.max(1))
+        .expect("host index always fits");
 
     // open loop: each client is a submitter thread (paced schedule,
     // piling requests into the admission queue) plus a waiter thread
@@ -108,7 +115,7 @@ pub fn run_serving_workload(data: &MatchData, workload: ServingWorkload) -> Serv
                     for j in 0..workload.requests_per_client {
                         let query: Query =
                             queries[(c * workload.requests_per_client + j) % queries.len()].clone();
-                        let _ = tx.send(service.submit(query, workload.k));
+                        let _ = tx.send(service.submit_to(collection, query, workload.k));
                         if !workload.submit_pacing.is_zero() {
                             std::thread::sleep(workload.submit_pacing);
                         }
@@ -199,13 +206,53 @@ pub fn serving(scale: Scale) {
             &widths,
         );
     }
+
+    println!("\n=== Sharded serving — request latency vs shard count ===");
+    let widths = [7, 9, 9, 9, 11, 7, 11];
+    row(
+        &[
+            "shards".into(),
+            "p50(ms)".into(),
+            "p95(ms)".into(),
+            "p99(ms)".into(),
+            "occupancy".into(),
+            "waves".into(),
+            "shard runs".into(),
+        ],
+        &widths,
+    );
+    for shards in [1usize, 2, 4, 8] {
+        let report = run_serving_workload(
+            &data,
+            ServingWorkload {
+                shards,
+                submit_pacing: Duration::from_micros(300),
+                ..Default::default()
+            },
+        );
+        assert!(report.stats.wall_us > 0.0);
+        row(
+            &[
+                shards.to_string(),
+                ms(report.p50_us),
+                ms(report.p95_us),
+                ms(report.p99_us),
+                format!("{:.1}", report.batch_occupancy),
+                report.stats.waves.to_string(),
+                report.stats.shard_runs.to_string(),
+            ],
+            &widths,
+        );
+    }
 }
 
 /// CI smoke: a tiny dataset driven through the live serving loop with
-/// *both* triggers provably exercised. Panics (failing CI) if a ticket
-/// strands, a trigger never fires, or a timing truncates to zero.
-pub fn serving_smoke() {
-    println!("\n=== Serving smoke (CI): tiny dataset, both triggers ===");
+/// *both* triggers provably exercised, over `shards` index shards
+/// (`> 1` drives the sharded fan-out + merge dispatcher path). Panics
+/// (failing CI) if a ticket strands, a trigger never fires, a timing
+/// truncates to zero, or — when sharded — the shard fan-out never ran.
+pub fn serving_smoke(shards: usize) {
+    println!("\n=== Serving smoke (CI): tiny dataset, both triggers, {shards} shard(s) ===");
     let (data, _) = sift_bundle(
         Scale {
             n: 400,
@@ -226,6 +273,7 @@ pub fn serving_smoke() {
             // generous enough that size triggers fire first, small
             // enough that a sub-cap tail can't stall CI for long
             max_queue_delay: Duration::from_millis(300),
+            shards,
             ..Default::default()
         },
     );
@@ -245,6 +293,7 @@ pub fn serving_smoke() {
             submit_pacing: Duration::from_millis(8),
             max_batch_queries: 1024,
             max_queue_delay: Duration::from_millis(2),
+            shards,
             ..Default::default()
         },
     );
@@ -254,6 +303,15 @@ pub fn serving_smoke() {
         "a trickle can never fill a 1024 batch; the deadline must cut: {:?}",
         trickle.stats
     );
+    if shards > 1 {
+        for report in [&flood, &trickle] {
+            assert!(
+                report.stats.shard_runs >= report.stats.waves * shards as u64,
+                "every wave must fan out to one scheduler run per shard: {:?}",
+                report.stats
+            );
+        }
+    }
 
     // the timing-truncation regression, live
     for report in [&flood, &trickle] {

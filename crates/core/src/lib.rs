@@ -13,7 +13,11 @@
 //! * the batched **engine** ([`exec`]) that runs multi-query top-k
 //!   match-count search on a [`gpu_sim::Device`];
 //! * **multiple loading** ([`multiload`]) for data sets larger than
-//!   device memory.
+//!   device memory;
+//! * **intra-collection sharding** ([`shard`]) — split one collection
+//!   across self-contained index shards (local→global id maps) and
+//!   merge per-shard top-k into the global answer with the Theorem 3.1
+//!   certificate, for the serving layer's shard fan-out.
 //!
 //! ## Search backends
 //!
@@ -70,6 +74,7 @@ pub mod index;
 pub mod io;
 pub mod model;
 pub mod multiload;
+pub mod shard;
 pub mod topk;
 
 /// Convenient re-exports of the types almost every user needs.
@@ -86,5 +91,6 @@ pub mod prelude {
     pub use crate::multiload::{
         build_parts, multi_device_search, multi_load_search, IndexPart, MultiLoadReport,
     };
+    pub use crate::shard::{merge_shard_topk, Shard, ShardPlan};
     pub use crate::topk::{reference_top_k, TopHit};
 }

@@ -170,8 +170,48 @@ impl GenieDb {
         config: D::Config,
         items: Vec<D::Item>,
     ) -> Result<Collection<D>, String> {
+        self.create_collection_sharded(name, config, items, 1)
+    }
+
+    /// [`create_collection`](Self::create_collection) with the indexed
+    /// data set split across `shards` self-contained index shards
+    /// (clamped to the number of objects; `<= 1` is the unsharded
+    /// path). Queries are unchanged for callers: every wave fans out to
+    /// one scheduler run per shard and the per-shard top-k lists are
+    /// merged into the global answer with the Theorem 3.1 certificate
+    /// on the merged list (see [`genie_core::shard`]).
+    /// [`Collection::reindex`] keeps the shard count.
+    ///
+    /// ```
+    /// use std::sync::Arc;
+    /// use genie_core::backend::CpuBackend;
+    /// use genie_sa::DocumentIndex;
+    /// use genie_service::GenieDb;
+    ///
+    /// let toks = |s: &str| s.split_whitespace().map(String::from).collect::<Vec<_>>();
+    /// let docs: Vec<Vec<String>> = (0..64)
+    ///     .map(|i| toks(&format!("doc number {} of shard demo corpus", i % 7)))
+    ///     .collect();
+    /// let db = GenieDb::single(Arc::new(CpuBackend::new())).unwrap();
+    /// let sharded = db
+    ///     .create_collection_sharded::<DocumentIndex>("docs", (), docs.clone(), 4)
+    ///     .unwrap();
+    /// assert_eq!(sharded.shard_count(), 4);
+    /// let found = sharded.search(&toks("shard demo corpus"), 3).unwrap();
+    /// assert_eq!(found.hits.len(), 3);
+    /// assert_eq!(found.hits[0].count, 3, "all three words shared");
+    /// ```
+    pub fn create_collection_sharded<D: Domain>(
+        &self,
+        name: &str,
+        config: D::Config,
+        items: Vec<D::Item>,
+        shards: usize,
+    ) -> Result<Collection<D>, String> {
         let domain = D::create(config, items);
-        let id = self.service.add_collection(name, domain.index())?;
+        let id = self
+            .service
+            .add_collection_sharded(name, domain.index(), shards)?;
         Ok(Collection {
             inner: Arc::new(CollectionInner {
                 name: name.to_owned(),
@@ -270,6 +310,14 @@ impl<D: Domain> Collection<D> {
     /// The service-level collection id.
     pub fn id(&self) -> CollectionId {
         self.inner.id
+    }
+
+    /// Index shards this collection is served from (1 = unsharded).
+    pub fn shard_count(&self) -> usize {
+        self.inner
+            .service
+            .collection_shards(self.inner.id)
+            .unwrap_or(1)
     }
 
     /// The current domain adapter (encoding state + frozen index).

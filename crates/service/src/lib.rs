@@ -372,6 +372,30 @@ impl QueryScheduler {
         prepared: &PreparedIndex,
         requests: &[QueryRequest],
     ) -> Result<(Vec<QueryResponse>, ScheduleReport), String> {
+        self.run_prepared_active(prepared, requests, &vec![true; self.backends.len()])
+    }
+
+    /// [`run_prepared`](Self::run_prepared) restricted to the backends
+    /// `active` marks `true` (fleet order). Inactive backends spawn no
+    /// worker and appear in [`ScheduleReport::per_backend`] with an
+    /// all-zero idle [`BackendUsage`], so reports stay fleet-indexed.
+    /// This is the dispatch surface of the service's circuit breaker: a
+    /// retired backend is masked out of a run without rebuilding the
+    /// scheduler. At least one backend must be active.
+    pub fn run_prepared_active(
+        &self,
+        prepared: &PreparedIndex,
+        requests: &[QueryRequest],
+        active: &[bool],
+    ) -> Result<(Vec<QueryResponse>, ScheduleReport), String> {
+        assert_eq!(
+            active.len(),
+            self.backends.len(),
+            "active mask must cover the whole fleet"
+        );
+        if !active.iter().any(|&a| a) {
+            return Err("no active backend: the mask retired the entire fleet".into());
+        }
         let started = Instant::now();
         let index = &prepared.index;
         let bindexes = &prepared.bindexes;
@@ -410,11 +434,15 @@ impl QueryScheduler {
                 .backends
                 .iter()
                 .zip(bindexes)
-                .map(|(backend, bindex)| {
+                .zip(active)
+                .map(|((backend, bindex), &is_active)| {
+                    if !is_active {
+                        return None;
+                    }
                     let queue = &queue;
                     let queue_cv = &queue_cv;
                     let slots = &slots;
-                    scope.spawn(move || {
+                    Some(scope.spawn(move || {
                         let mut usage = BackendUsage {
                             name: backend.capabilities().name,
                             batches: 0,
@@ -484,12 +512,23 @@ impl QueryScheduler {
                             queue_cv.notify_all();
                         }
                         usage
-                    })
+                    }))
                 })
                 .collect();
             handles
                 .into_iter()
-                .map(|h| h.join().expect("backend worker panicked"))
+                .zip(&self.backends)
+                .map(|(h, backend)| match h {
+                    Some(h) => h.join().expect("backend worker panicked"),
+                    // masked out: an idle, fleet-ordered placeholder
+                    None => BackendUsage {
+                        name: backend.capabilities().name,
+                        batches: 0,
+                        queries: 0,
+                        stages: StageProfile::default(),
+                        failed: None,
+                    },
+                })
                 .collect()
         });
 

@@ -13,8 +13,20 @@
 //!   under a [`CollectionId`]. Collections are swapped independently
 //!   ([`swap_collection`](GenieService::swap_collection)): re-indexing
 //!   one data set invalidates only *its* cache entries, never its
-//!   neighbours' — the per-collection routing the sharded-serving plan
-//!   builds on.
+//!   neighbours'.
+//! * **Sharding** — a collection may be split across `S` self-contained
+//!   index shards
+//!   ([`add_collection_sharded`](GenieService::add_collection_sharded),
+//!   or an explicit [`ShardPlan`] via
+//!   [`add_collection_plan`](GenieService::add_collection_plan)): each
+//!   shard is prepared on every backend, a wave's requests fan out to
+//!   one scheduler run per shard (concurrently), and a merge stage
+//!   recombines the per-shard `(count, id)` top-k into the global
+//!   answer with the Theorem 3.1 certificate computed on the *merged*
+//!   list (`AT = MC_k + 1`) — see
+//!   [`genie_core::shard`] for the merge invariants. Swapping a sharded
+//!   collection re-shards the new index at the same shard count, and
+//!   cache invalidation stays per-collection.
 //! * **Admission** — any thread calls
 //!   [`submit_to`](GenieService::submit_to) (or
 //!   [`submit`](GenieService::submit) for the default collection); the
@@ -38,12 +50,21 @@
 //!   `(collection, query, k)`; a repeated query short-circuits
 //!   admission entirely and returns bit-identical hits. Swapping a
 //!   collection's index invalidates exactly that collection's entries.
-//! * **Backend health** — per-backend usage and failure counts
-//!   accumulate across waves for the service's lifetime
-//!   ([`backend_health`](GenieService::backend_health)): the
-//!   groundwork for cross-wave circuit breaking (a backend repeatedly
-//!   reported [`failed`](crate::BackendUsage::failed) is a retirement
-//!   candidate; no retirement logic yet).
+//! * **Backend health & circuit breaking** — per-backend usage and
+//!   failure counts accumulate across waves for the service's lifetime
+//!   ([`backend_health`](GenieService::backend_health)). A backend
+//!   reported [`failed`](crate::BackendUsage::failed) in
+//!   [`ServiceConfig::failure_threshold`] scheduler runs since its last
+//!   (re-)admission is **retired**: masked out of every subsequent run
+//!   instead of being handed batches it will drop. Every
+//!   [`ServiceConfig::probe_after_runs`] runs, a retired backend gets
+//!   one re-admission probe — it rejoins the fleet for that run, comes
+//!   back for good if it reports no failure, and goes straight back to
+//!   retirement if it fails again (one probe per backend in flight at
+//!   a time). Whenever no non-retired backend is available for a run,
+//!   the service fails open (serves with every backend) rather than
+//!   stranding tickets or letting a lone probe's failure reach
+//!   clients.
 //!
 //! Shutdown is graceful: dropping the service flushes every queued
 //! request through one final wave before the dispatchers exit, so no
@@ -58,10 +79,12 @@ use std::time::{Duration, Instant};
 
 use genie_core::index::InvertedIndex;
 use genie_core::model::Query;
+use genie_core::shard::{merge_shard_topk, Shard, ShardPlan};
 use genie_core::topk::TopHit;
 
 use crate::{
-    plan_batches, Batch, PreparedIndex, QueryRequest, QueryResponse, QueryScheduler, StageProfile,
+    plan_batches, Batch, PreparedIndex, QueryRequest, QueryResponse, QueryScheduler,
+    ScheduleReport, StageProfile,
 };
 
 /// Identifier of one registered collection (assigned by
@@ -78,6 +101,13 @@ pub const DEFAULT_COLLECTION: CollectionId = 0;
 pub struct ServiceConfig {
     /// Longest the oldest queued request may wait before a wave is cut
     /// regardless of batch occupancy (the deadline trigger).
+    ///
+    /// **Zero means "cut immediately"**: a wave is cut as soon as the
+    /// queue is non-empty, so no request ever waits for company.
+    /// Requests that arrive together (or while a wave is executing)
+    /// still share a wave and its micro-batches — only *waiting* for
+    /// batching is disabled, and the dispatcher still parks on the
+    /// queue condvar when idle (no busy spin).
     pub max_queue_delay: Duration,
     /// Background dispatcher threads cutting and serving waves. One is
     /// enough for most fleets (a wave already fans out across all
@@ -86,6 +116,15 @@ pub struct ServiceConfig {
     /// Entries the `(collection, query, k)` result cache holds (FIFO
     /// eviction); 0 disables caching.
     pub cache_capacity: usize,
+    /// Circuit breaker: retire a backend once it has been reported
+    /// `failed` in this many scheduler runs since its last
+    /// (re-)admission. 0 disables retirement (failures are still
+    /// counted in [`backend_health`](GenieService::backend_health)).
+    pub failure_threshold: u64,
+    /// Scheduler runs a retired backend sits out before it is granted
+    /// one re-admission probe run (a probe that fails re-retires it on
+    /// the spot; a probe with no failure re-admits it).
+    pub probe_after_runs: u64,
 }
 
 impl Default for ServiceConfig {
@@ -94,6 +133,8 @@ impl Default for ServiceConfig {
             max_queue_delay: Duration::from_millis(5),
             dispatchers: 1,
             cache_capacity: 1024,
+            failure_threshold: 3,
+            probe_after_runs: 8,
         }
     }
 }
@@ -133,6 +174,10 @@ pub struct ServiceStats {
     pub failed_waves: u64,
     /// Micro-batches executed across all waves.
     pub batches: u64,
+    /// Scheduler runs executed for shards of sharded collections (an
+    /// unsharded group contributes 0; a group over an S-shard
+    /// collection contributes S).
+    pub shard_runs: u64,
     /// Requests that went through the scheduler (excludes cache hits) —
     /// `batched_requests / batches` is the achieved batch occupancy.
     pub batched_requests: u64,
@@ -172,6 +217,29 @@ pub struct BackendHealth {
     pub failed: u64,
     /// Message of the most recent failure, if any.
     pub last_error: Option<String>,
+    /// Whether the circuit breaker currently masks this backend out of
+    /// scheduler runs (it reached
+    /// [`ServiceConfig::failure_threshold`] failures since its last
+    /// admission and has not yet passed a re-admission probe).
+    pub retired: bool,
+    /// Re-admission probe runs this backend has been granted while
+    /// retired.
+    pub probes: u64,
+}
+
+/// Private circuit-breaker state tracked next to one backend's public
+/// [`BackendHealth`].
+#[derive(Debug, Default, Clone, Copy)]
+struct Breaker {
+    /// `failed` count at the moment the backend was last (re-)admitted;
+    /// the breaker trips on `failed - baseline`.
+    baseline: u64,
+    /// Scheduler runs sat out since retirement (reset by each probe).
+    runs_since_retired: u64,
+    /// A probe run was granted and has not reported back yet. Guards
+    /// against concurrent shard runs granting the same backend several
+    /// simultaneous probes (whose verdicts would race each other).
+    probe_in_flight: bool,
 }
 
 /// What a ticket resolves to: the routed response, or the error that
@@ -290,6 +358,10 @@ impl ResultCache {
     }
 
     fn insert(&mut self, key: CacheKey, value: (Vec<TopHit>, u32)) {
+        // map and queue must shrink together on invalidation; a stale
+        // key left in `order` would keep occupying capacity and make
+        // eviction pop ghosts instead of live entries
+        debug_assert_eq!(self.order.len(), self.map.len());
         if self.capacity == 0 || self.map.contains_key(&key) {
             return;
         }
@@ -302,7 +374,10 @@ impl ResultCache {
         self.map.insert(key, value);
     }
 
-    /// Drop exactly `collection`'s entries and bump its generation.
+    /// Drop exactly `collection`'s entries — from the map AND the FIFO
+    /// queue, so the freed capacity is immediately reusable and later
+    /// evictions cannot land on a sibling collection's live entries
+    /// while ghosts of this one age out — and bump its generation.
     fn invalidate_collection(&mut self, collection: CollectionId) {
         self.map.retain(|k, _| k.0 != collection);
         self.order.retain(|k| k.0 != collection);
@@ -310,10 +385,56 @@ impl ResultCache {
     }
 }
 
-/// One registered collection: its prepared (uploaded) index.
+/// One shard of a sharded collection, prepared on every backend: the
+/// plan's [`Shard`] (index + local→global id map) plus its per-backend
+/// prepared handles.
+struct PreparedShard {
+    prepared: PreparedIndex,
+    shard: Shard,
+}
+
+/// How one collection is served: one prepared index, or a fan-out over
+/// prepared shards whose answers are merged per request.
+enum CollectionServing {
+    Single(PreparedIndex),
+    Sharded(Vec<PreparedShard>),
+}
+
+impl CollectionServing {
+    /// The prepared index the size trigger plans against: the single
+    /// index, or the largest shard — per-shard c-PQ footprints grow
+    /// with shard size, so the largest shard's batches close earliest
+    /// and waiting longer cannot improve *its* first batch.
+    fn planning_index(&self) -> &PreparedIndex {
+        match self {
+            Self::Single(prepared) => prepared,
+            Self::Sharded(shards) => {
+                &shards
+                    .iter()
+                    .max_by_key(|s| s.prepared.index().num_objects())
+                    .expect("a sharded collection has at least one shard")
+                    .prepared
+            }
+        }
+    }
+
+    fn num_shards(&self) -> usize {
+        match self {
+            Self::Single(_) => 1,
+            Self::Sharded(shards) => shards.len(),
+        }
+    }
+}
+
+/// One registered collection: its serving state (prepared index or
+/// shard fan-out) and the shard count swaps must preserve.
 struct CollectionEntry {
     name: String,
-    prepared: PreparedIndex,
+    /// Shard count this collection was registered with;
+    /// [`GenieService::swap_collection`] re-shards new indexes at this
+    /// count.
+    configured_shards: usize,
+    serving: CollectionServing,
 }
 
 struct ServiceInner {
@@ -327,14 +448,23 @@ struct ServiceInner {
     wakeup: Condvar,
     cache: Mutex<ResultCache>,
     stats: Mutex<ServiceStats>,
-    health: Mutex<Vec<BackendHealth>>,
+    health: Mutex<HealthState>,
     max_queue_delay: Duration,
+    /// Circuit-breaker knobs (see [`ServiceConfig`]).
+    failure_threshold: u64,
+    probe_after_runs: u64,
     /// Largest backlog length the budget-aware size check has already
     /// planned and found *not* triggering. The backlog only grows
     /// between waves (waves drain it whole), so re-planning below this
     /// length cannot change the answer — this bounds the `plan_batches`
     /// calls under the queue lock to one per new backlog length.
     planned_len: AtomicUsize,
+}
+
+/// The lifetime health table plus the breaker state riding beside it.
+struct HealthState {
+    slots: Vec<BackendHealth>,
+    breakers: Vec<Breaker>,
 }
 
 impl ServiceInner {
@@ -383,13 +513,16 @@ impl ServiceInner {
                 continue; // unknown collection: resolved to errors at serve time
             };
             let entry = entry.read().expect("collection lock");
-            let Some(budget) = self.scheduler.effective_budget(&entry.prepared) else {
+            // sharded collections plan against their largest shard:
+            // that shard's per-query c-PQ footprint is the binding one
+            let prepared = entry.serving.planning_index();
+            let Some(budget) = self.scheduler.effective_budget(prepared) else {
                 continue; // unbounded: only the cap can close a batch
             };
             let batches = plan_batches(
                 &requests,
-                entry.prepared.index().num_objects() as usize,
-                entry.prepared.index().max_object_len(),
+                prepared.index().num_objects() as usize,
+                prepared.index().max_object_len(),
                 cap,
                 Some(budget),
             );
@@ -431,6 +564,7 @@ impl ServiceInner {
         }
 
         let mut wave_batches = 0u64;
+        let mut wave_shard_runs = 0u64;
         let mut wave_wall_us = 0.0;
         let mut wave_stages = StageProfile::default();
         let mut served_misses = 0u64;
@@ -455,18 +589,15 @@ impl ServiceInner {
             let (run, run_generation) = {
                 let entry = entry.read().expect("collection lock");
                 let generation = self.cache.lock().expect("cache lock").generation(cid);
-                (
-                    self.scheduler.run_prepared(&entry.prepared, &requests),
-                    generation,
-                )
+                (self.run_group(&entry.serving, &requests), generation)
             };
             match run {
                 Ok((responses, report)) => {
-                    wave_batches += report.batches as u64;
+                    wave_batches += report.batches;
+                    wave_shard_runs += report.shard_runs;
                     wave_wall_us += report.wall_us;
                     wave_stages.accumulate(&report.stages);
                     served_misses += group.len() as u64;
-                    self.accumulate_health(&report.per_backend);
                     let mut cache = self.cache.lock().expect("cache lock");
                     // a swap_collection mid-run bumped the generation:
                     // these answers describe the old index and must not
@@ -497,6 +628,7 @@ impl ServiceInner {
             stats.waves += 1;
             stats.cache_hits += cache_hits;
             stats.batches += wave_batches;
+            stats.shard_runs += wave_shard_runs;
             stats.wall_us += wave_wall_us;
             stats.stages.accumulate(&wave_stages);
             stats.served += cache_hits + served_misses;
@@ -537,15 +669,198 @@ impl ServiceInner {
         }
     }
 
-    /// Fold one run's per-backend usage into the lifetime health table.
-    fn accumulate_health(&self, usages: &[crate::BackendUsage]) {
+    /// Serve one collection group: a single scheduler run for an
+    /// unsharded collection, or a concurrent fan-out of one scheduler
+    /// run per shard whose per-request top-k lists are translated to
+    /// global ids and recombined by [`merge_shard_topk`] — the merged
+    /// list ordered (count desc, id asc), truncated to each request's
+    /// own `k`, and certified with `AT = MC_k + 1` on the merged
+    /// answer. Any shard failing fails the whole group (a partial
+    /// answer would violate the count contract).
+    fn run_group(
+        &self,
+        serving: &CollectionServing,
+        requests: &[QueryRequest],
+    ) -> Result<(Vec<QueryResponse>, GroupReport), String> {
+        match serving {
+            CollectionServing::Single(prepared) => {
+                let (responses, report) = self.run_scheduler(prepared, requests)?;
+                Ok((
+                    responses,
+                    GroupReport {
+                        batches: report.batches as u64,
+                        shard_runs: 0,
+                        wall_us: report.wall_us,
+                        stages: report.stages,
+                    },
+                ))
+            }
+            CollectionServing::Sharded(shards) => {
+                let started = Instant::now();
+                let per_shard: Vec<Result<(Vec<QueryResponse>, ScheduleReport), String>> =
+                    std::thread::scope(|scope| {
+                        let handles: Vec<_> = shards
+                            .iter()
+                            .map(|shard| {
+                                scope.spawn(move || self.run_scheduler(&shard.prepared, requests))
+                            })
+                            .collect();
+                        handles
+                            .into_iter()
+                            .map(|h| h.join().expect("shard driver thread panicked"))
+                            .collect()
+                    });
+
+                let mut report = GroupReport {
+                    batches: 0,
+                    shard_runs: shards.len() as u64,
+                    wall_us: 0.0,
+                    stages: StageProfile::default(),
+                };
+                // per request: one global-id hit list per shard
+                let mut gathered: Vec<Vec<Vec<TopHit>>> =
+                    vec![Vec::with_capacity(shards.len()); requests.len()];
+                for (shard, run) in shards.iter().zip(per_shard) {
+                    let (responses, shard_report) = run?;
+                    report.batches += shard_report.batches as u64;
+                    report.stages.accumulate(&shard_report.stages);
+                    for (slot, resp) in gathered.iter_mut().zip(responses) {
+                        slot.push(shard.shard.to_global(&resp.hits));
+                    }
+                }
+                let responses = requests
+                    .iter()
+                    .zip(gathered)
+                    .map(|(req, lists)| {
+                        let (hits, audit_threshold) = merge_shard_topk(lists, req.k);
+                        QueryResponse {
+                            client_id: req.client_id,
+                            hits,
+                            audit_threshold,
+                        }
+                    })
+                    .collect();
+                // shards ran concurrently: the group's latency is this
+                // fan-out's wall clock, not the sum over shards
+                report.wall_us = genie_core::exec::elapsed_us(started);
+                Ok((responses, report))
+            }
+        }
+    }
+
+    /// One breaker-aware scheduler run: compute the admitted-backend
+    /// mask (granting due probes), execute, and fold the run's
+    /// per-backend usage back into health and breaker state.
+    fn run_scheduler(
+        &self,
+        prepared: &PreparedIndex,
+        requests: &[QueryRequest],
+    ) -> Result<(Vec<QueryResponse>, ScheduleReport), String> {
+        let (active, probing) = self.admit_backends();
+        let run = self
+            .scheduler
+            .run_prepared_active(prepared, requests, &active);
+        match &run {
+            Ok((_, report)) => self.accumulate_health(&report.per_backend, &active, &probing),
+            // the run died without per-backend usage: release any probe
+            // it carried (leaving it in flight would block all future
+            // probes and retire the backend forever), verdictless
+            Err(_) => self.abort_probes(&probing),
+        }
+        run
+    }
+
+    /// Clear the in-flight flag of probes whose run never reported
+    /// back; the backend stays retired and will be probed again.
+    fn abort_probes(&self, probing: &[bool]) {
+        if !probing.iter().any(|&p| p) {
+            return;
+        }
         let mut health = self.health.lock().expect("health lock");
-        for (slot, usage) in health.iter_mut().zip(usages) {
+        for (breaker, &probed) in health.breakers.iter_mut().zip(probing) {
+            if probed {
+                breaker.probe_in_flight = false;
+            }
+        }
+    }
+
+    /// The breaker's admission decision for one scheduler run: every
+    /// non-retired backend, plus any retired backend that has sat out
+    /// [`ServiceConfig::probe_after_runs`] runs (granted a probe; at
+    /// most one probe per backend is in flight at a time, so
+    /// concurrent shard runs cannot race probe verdicts). If no
+    /// non-retired backend would serve the run — the whole fleet is
+    /// retired, probe due or not — the service fails open and admits
+    /// everyone (keeping a granted probe's verdict): a wave must never
+    /// be unservable, or fail for clients, by policy alone.
+    fn admit_backends(&self) -> (Vec<bool>, Vec<bool>) {
+        let mut health = self.health.lock().expect("health lock");
+        let n = health.slots.len();
+        if self.failure_threshold == 0 {
+            return (vec![true; n], vec![false; n]);
+        }
+        let mut active = vec![false; n];
+        let mut probing = vec![false; n];
+        let state = &mut *health;
+        for (i, (slot, breaker)) in state.slots.iter_mut().zip(&mut state.breakers).enumerate() {
+            if !slot.retired {
+                active[i] = true;
+            } else {
+                breaker.runs_since_retired += 1;
+                if !breaker.probe_in_flight
+                    && breaker.runs_since_retired >= self.probe_after_runs.max(1)
+                {
+                    breaker.runs_since_retired = 0;
+                    breaker.probe_in_flight = true;
+                    slot.probes += 1;
+                    active[i] = true;
+                    probing[i] = true;
+                }
+            }
+        }
+        // fail open unless some *non-probe* backend is active: a run
+        // carried by a probe alone would turn the probed backend's
+        // failure into client-visible errors even though retired (but
+        // possibly healthy) peers exist as failover
+        if !active.iter().zip(&probing).any(|(&a, &p)| a && !p) {
+            return (vec![true; n], probing);
+        }
+        (active, probing)
+    }
+
+    /// Fold one run's per-backend usage into the lifetime health table
+    /// and advance the circuit breaker: a failure trips retirement once
+    /// `failure_threshold` failures accumulate since the backend's last
+    /// admission (and instantly re-retires a probing backend); a probe
+    /// run with no failure re-admits.
+    fn accumulate_health(&self, usages: &[crate::BackendUsage], active: &[bool], probing: &[bool]) {
+        let mut health = self.health.lock().expect("health lock");
+        let state = &mut *health;
+        for (i, (slot, usage)) in state.slots.iter_mut().zip(usages).enumerate() {
             slot.batches += usage.batches as u64;
             slot.queries += usage.queries as u64;
+            if !active[i] {
+                continue; // masked out: the idle placeholder proves nothing
+            }
+            let breaker = &mut state.breakers[i];
             if let Some(msg) = &usage.failed {
                 slot.failed += 1;
                 slot.last_error = Some(msg.clone());
+                if self.failure_threshold > 0
+                    && (probing[i] || slot.failed - breaker.baseline >= self.failure_threshold)
+                {
+                    slot.retired = true;
+                    breaker.runs_since_retired = 0;
+                }
+            } else if probing[i] {
+                // the probe saw no failure: re-admit with a clean slate
+                // (an unused probe counts as success — no evidence of
+                // misbehaviour is how healthy backends look too)
+                slot.retired = false;
+                breaker.baseline = slot.failed;
+            }
+            if probing[i] {
+                breaker.probe_in_flight = false; // the probe reported back
             }
         }
     }
@@ -584,6 +899,15 @@ impl ServiceInner {
             self.serve_wave(wave, trigger);
         }
     }
+}
+
+/// Aggregated accounting for one collection group's execution inside a
+/// wave (one scheduler run, or a shard fan-out's merged totals).
+struct GroupReport {
+    batches: u64,
+    shard_runs: u64,
+    wall_us: f64,
+    stages: StageProfile,
 }
 
 /// `plan_batches` emits batches in ascending-`k` order, so a same-`k`
@@ -645,14 +969,10 @@ impl GenieService {
         if config.dispatchers == 0 {
             return Err("GenieService needs at least one dispatcher thread".into());
         }
-        if config.max_queue_delay.is_zero() {
-            return Err(
-                "max_queue_delay must be positive: a zero deadline cuts a wave per request \
-                 and defeats batching"
-                    .into(),
-            );
-        }
-        let health = scheduler
+        // a zero max_queue_delay is legal: it means "cut a wave as soon
+        // as the queue is non-empty" (no cross-time batching; the
+        // dispatcher still parks on the condvar when idle)
+        let slots: Vec<BackendHealth> = scheduler
             .backends()
             .iter()
             .map(|b| BackendHealth {
@@ -661,8 +981,14 @@ impl GenieService {
                 queries: 0,
                 failed: 0,
                 last_error: None,
+                retired: false,
+                probes: 0,
             })
             .collect();
+        let health = HealthState {
+            breakers: vec![Breaker::default(); slots.len()],
+            slots,
+        };
         let inner = Arc::new(ServiceInner {
             scheduler,
             collections: RwLock::new(HashMap::new()),
@@ -675,6 +1001,8 @@ impl GenieService {
             stats: Mutex::new(ServiceStats::default()),
             health: Mutex::new(health),
             max_queue_delay: config.max_queue_delay,
+            failure_threshold: config.failure_threshold,
+            probe_after_runs: config.probe_after_runs,
             planned_len: AtomicUsize::new(0),
         });
         let dispatchers = (0..config.dispatchers)
@@ -720,14 +1048,48 @@ impl GenieService {
     }
 
     /// Prepare `index` on every backend and register it as a new
-    /// collection. Returns the id requests target via
+    /// (unsharded) collection. Returns the id requests target via
     /// [`submit_to`](Self::submit_to).
     pub fn add_collection(
         &self,
         name: &str,
         index: &Arc<InvertedIndex>,
     ) -> Result<CollectionId, String> {
-        let prepared = self.inner.scheduler.prepare(index)?;
+        self.add_collection_sharded(name, index, 1)
+    }
+
+    /// Register `index`'s data set split across `shards` self-contained
+    /// index shards (a contiguous near-even [`ShardPlan`]; the count is
+    /// clamped to the number of objects). Every shard is prepared on
+    /// every backend; at serve time a wave fans out to one scheduler
+    /// run per shard and the per-shard top-k lists are merged into the
+    /// global answer with `AT = MC_k + 1` on the merged list. `shards
+    /// <= 1` registers a plain unsharded collection.
+    pub fn add_collection_sharded(
+        &self,
+        name: &str,
+        index: &Arc<InvertedIndex>,
+        shards: usize,
+    ) -> Result<CollectionId, String> {
+        let serving = self.prepare_serving(index, shards)?;
+        Ok(self.register(name, shards.max(1), serving))
+    }
+
+    /// Register a collection from an explicit [`ShardPlan`] (arbitrary
+    /// object→shard assignment). A later
+    /// [`swap_collection`](Self::swap_collection) re-shards the new
+    /// index *contiguously* at the same shard count — a custom
+    /// assignment is not remembered across swaps.
+    pub fn add_collection_plan(
+        &self,
+        name: &str,
+        plan: &ShardPlan,
+    ) -> Result<CollectionId, String> {
+        let serving = self.prepare_plan(plan)?;
+        Ok(self.register(name, plan.num_shards(), serving))
+    }
+
+    fn register(&self, name: &str, shards: usize, serving: CollectionServing) -> CollectionId {
         let id = self.next_collection.fetch_add(1, Ordering::Relaxed);
         self.inner
             .collections
@@ -737,14 +1099,46 @@ impl GenieService {
                 id,
                 Arc::new(RwLock::new(CollectionEntry {
                     name: name.to_owned(),
-                    prepared,
+                    configured_shards: shards,
+                    serving,
                 })),
             );
-        Ok(id)
+        id
+    }
+
+    /// Prepare the serving state for one index at `shards` shards (1 =
+    /// the plain single-index path).
+    fn prepare_serving(
+        &self,
+        index: &Arc<InvertedIndex>,
+        shards: usize,
+    ) -> Result<CollectionServing, String> {
+        if shards <= 1 {
+            return Ok(CollectionServing::Single(
+                self.inner.scheduler.prepare(index)?,
+            ));
+        }
+        self.prepare_plan(&ShardPlan::from_index(index, shards))
+    }
+
+    fn prepare_plan(&self, plan: &ShardPlan) -> Result<CollectionServing, String> {
+        let mut shards = Vec::with_capacity(plan.num_shards());
+        for shard in plan.shards() {
+            shards.push(PreparedShard {
+                prepared: self.inner.scheduler.prepare(&shard.index)?,
+                shard: shard.clone(),
+            });
+        }
+        if shards.is_empty() {
+            return Err("a shard plan must hold at least one shard".into());
+        }
+        Ok(CollectionServing::Sharded(shards))
     }
 
     /// Re-prepare a (new) index on every backend and swap it into
-    /// `collection`. Exactly that collection's cache entries are
+    /// `collection`, preserving the collection's shard count (a sharded
+    /// collection re-shards the new index contiguously at the same
+    /// count). Exactly that collection's cache entries are
     /// invalidated — every other collection keeps its entries and its
     /// hit rate. Returns the simulated upload time.
     pub fn swap_collection(
@@ -756,11 +1150,15 @@ impl GenieService {
             .inner
             .entry(collection)
             .ok_or_else(|| format!("unknown collection id {collection}"))?;
-        let prepared = self.inner.scheduler.prepare(index)?;
-        let upload_sim_us = prepared.upload_sim_us;
+        let shards = entry.read().expect("collection lock").configured_shards;
+        let serving = self.prepare_serving(index, shards)?;
+        let upload_sim_us = match &serving {
+            CollectionServing::Single(p) => p.upload_sim_us,
+            CollectionServing::Sharded(s) => s.iter().map(|p| p.prepared.upload_sim_us).sum(),
+        };
         {
             let mut slot = entry.write().expect("collection lock");
-            slot.prepared = prepared;
+            slot.serving = serving;
         }
         self.inner
             .cache
@@ -791,6 +1189,14 @@ impl GenieService {
             .collect();
         out.sort_unstable_by_key(|(id, _)| *id);
         out
+    }
+
+    /// Number of index shards `collection` is currently served from
+    /// (1 for unsharded collections, `None` for unknown ids).
+    pub fn collection_shards(&self, collection: CollectionId) -> Option<usize> {
+        self.inner
+            .entry(collection)
+            .map(|e| e.read().expect("collection lock").serving.num_shards())
     }
 
     /// Admit one query against the [`DEFAULT_COLLECTION`]; the returned
@@ -846,7 +1252,7 @@ impl GenieService {
     /// Per-backend lifetime usage and failure counts (fleet order) —
     /// see [`BackendHealth`].
     pub fn backend_health(&self) -> Vec<BackendHealth> {
-        self.inner.health.lock().expect("health lock").clone()
+        self.inner.health.lock().expect("health lock").slots.clone()
     }
 
     /// Requests currently queued (admitted, wave not yet cut).
@@ -904,16 +1310,37 @@ mod tests {
         )
         .unwrap_err();
         assert!(err.contains("dispatcher"), "{err}");
-        let err = GenieService::start(
-            mk(),
+    }
+
+    /// `max_queue_delay = 0` is "cut immediately when non-empty", not a
+    /// misconfiguration (and not a busy spin: the dispatcher parks on
+    /// the condvar whenever the queue is empty).
+    #[test]
+    fn zero_queue_delay_cuts_immediately() {
+        let index = tiny_index();
+        let service = GenieService::start(
+            QueryScheduler::single(Arc::new(CpuBackend::new())),
             &index,
             ServiceConfig {
                 max_queue_delay: Duration::ZERO,
+                cache_capacity: 0,
                 ..Default::default()
             },
         )
-        .unwrap_err();
-        assert!(err.contains("max_queue_delay"), "{err}");
+        .expect("zero deadline is a legal configuration");
+        for i in 0..4 {
+            let resp = service
+                .submit(Query::from_keywords(&[i % 7]), 3)
+                .wait()
+                .expect("zero-delay service answers every ticket");
+            assert!(!resp.hits.is_empty());
+        }
+        let stats = service.stats();
+        assert_eq!(stats.served, 4);
+        assert!(
+            stats.deadline_triggers >= 1,
+            "an aged-zero request must cut by deadline: {stats:?}"
+        );
     }
 
     #[test]
@@ -936,6 +1363,42 @@ mod tests {
         assert!(cache.get(&key(1, 1)).is_some(), "other collection kept");
         assert_eq!(cache.generation(0), g0 + 1);
         assert_eq!(cache.generation(1), g1, "other generation untouched");
+    }
+
+    /// Regression: invalidation must purge a collection's keys from the
+    /// FIFO `order` queue, not only the map. A leaky invalidate left
+    /// ghost keys occupying `cache_capacity`, so one hot collection's
+    /// swaps made eviction pop siblings' *live* entries (and let the
+    /// map outgrow its capacity once eviction started landing on
+    /// ghosts).
+    #[test]
+    fn invalidation_frees_queue_capacity_and_spares_siblings() {
+        let capacity = 3;
+        let mut cache = ResultCache::new(capacity);
+        let key = |cid: CollectionId, i: u32| cache_key(cid, &Query::from_keywords(&[i]), 3);
+        // a sibling entry that must survive collection 0's churn
+        cache.insert(key(1, 1), (vec![], 1));
+        for round in 0..10u32 {
+            cache.insert(key(0, 100 + round), (vec![], 1));
+            cache.invalidate_collection(0);
+            assert_eq!(
+                cache.order.len(),
+                cache.map.len(),
+                "round {round}: ghost keys left in the FIFO queue"
+            );
+        }
+        assert!(
+            cache.get(&key(1, 1)).is_some(),
+            "sibling evicted by a hot collection's swap churn"
+        );
+        // the freed capacity is actually reusable: the sibling plus two
+        // fresh entries fit without any eviction
+        cache.insert(key(0, 7), (vec![], 1));
+        cache.insert(key(0, 8), (vec![], 1));
+        assert!(cache.get(&key(1, 1)).is_some());
+        assert!(cache.get(&key(0, 7)).is_some());
+        assert!(cache.get(&key(0, 8)).is_some());
+        assert!(cache.map.len() <= capacity, "map outgrew its capacity");
     }
 
     #[test]
@@ -990,6 +1453,53 @@ mod tests {
         let tb = service.submit_to(b, Query::from_keywords(&[1]), 2);
         assert!(ta.wait().is_ok());
         assert!(tb.wait().is_ok());
+    }
+
+    /// An admission where only a probe would be active fails open: the
+    /// retired (but possibly healthy) peers serve as failover so a
+    /// failing probe never becomes a client-visible wave error. And a
+    /// backend whose probe is still in flight is not granted a second
+    /// concurrent probe.
+    #[test]
+    fn probe_only_admission_fails_open_and_probes_are_exclusive() {
+        let scheduler = QueryScheduler::new(
+            vec![Arc::new(CpuBackend::new()), Arc::new(CpuBackend::new())],
+            crate::SchedulerConfig::default(),
+        );
+        let service = GenieService::start_empty(
+            scheduler,
+            ServiceConfig {
+                failure_threshold: 1,
+                probe_after_runs: 3,
+                ..Default::default()
+            },
+        )
+        .unwrap();
+        {
+            let mut health = service.inner.health.lock().unwrap();
+            for slot in &mut health.slots {
+                slot.retired = true;
+            }
+            // backend 1 is due for a probe on the next run
+            health.breakers[1].runs_since_retired = 10;
+        }
+        let (active, probing) = service.inner.admit_backends();
+        assert_eq!(active, vec![true, true], "fail open: peers back the probe");
+        assert_eq!(probing, vec![false, true]);
+        // while that probe is in flight, a concurrent admission must
+        // not grant backend 1 another one
+        let (active2, probing2) = service.inner.admit_backends();
+        assert_eq!(probing2, vec![false, false]);
+        assert_eq!(active2, vec![true, true], "still failing open");
+        assert_eq!(service.backend_health()[1].probes, 1);
+        // an erroring probe run reports no verdict but releases the
+        // in-flight flag so the backend can be probed again
+        service.inner.abort_probes(&probing);
+        assert!(!service.inner.health.lock().unwrap().breakers[1].probe_in_flight);
+        assert!(
+            service.backend_health()[1].retired,
+            "verdictless: stays out"
+        );
     }
 
     #[test]

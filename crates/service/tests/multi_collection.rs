@@ -40,6 +40,7 @@ fn service() -> GenieService {
             max_queue_delay: Duration::from_micros(300),
             dispatchers: 1,
             cache_capacity: 256,
+            ..Default::default()
         },
     )
     .expect("service starts")
@@ -211,6 +212,7 @@ fn backend_failures_accumulate_across_waves() {
             max_queue_delay: Duration::from_micros(200),
             dispatchers: 1,
             cache_capacity: 0, // every request must reach the scheduler
+            ..Default::default()
         },
     )
     .expect("service starts");

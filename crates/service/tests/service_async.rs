@@ -47,6 +47,7 @@ fn n_submitters_m_requests_resolve_and_match_monolithic_run() {
             max_queue_delay: Duration::from_millis(40),
             dispatchers: 1,
             cache_capacity: 0, // isolate batching behaviour from caching
+            ..Default::default()
         },
     )
     .unwrap();
@@ -126,6 +127,7 @@ fn cache_hits_return_bit_identical_results() {
             max_queue_delay: Duration::from_millis(5),
             dispatchers: 1,
             cache_capacity: 64,
+            ..Default::default()
         },
     )
     .unwrap();
@@ -160,6 +162,7 @@ fn swap_index_invalidates_the_cache() {
             max_queue_delay: Duration::from_millis(5),
             dispatchers: 1,
             cache_capacity: 64,
+            ..Default::default()
         },
     )
     .unwrap();
@@ -191,6 +194,7 @@ fn deadline_trigger_serves_a_lone_request() {
             max_queue_delay: delay,
             dispatchers: 1,
             cache_capacity: 0,
+            ..Default::default()
         },
     )
     .unwrap();
@@ -231,6 +235,7 @@ fn size_trigger_cuts_a_full_batch_before_the_deadline() {
             max_queue_delay: Duration::from_secs(600), // deadline can't be the trigger
             dispatchers: 1,
             cache_capacity: 0,
+            ..Default::default()
         },
     )
     .unwrap();
@@ -363,6 +368,7 @@ fn service_survives_a_panicking_fleet_member() {
             max_queue_delay: Duration::from_millis(20),
             dispatchers: 1,
             cache_capacity: 0,
+            ..Default::default()
         },
     )
     .unwrap();
@@ -374,6 +380,121 @@ fn service_survives_a_panicking_fleet_member() {
         assert!(!resp.hits.is_empty());
     }
     assert_eq!(service.stats().failed_waves, 0);
+}
+
+/// Circuit breaker: a backend that keeps panicking is retired after
+/// `failure_threshold` failing runs and stops being handed batches —
+/// its failure count freezes while the healthy peer keeps serving.
+#[test]
+fn circuit_breaker_retires_a_repeatedly_failing_backend() {
+    let index = index_of_mod(100, 13);
+    let scheduler = QueryScheduler::new(
+        vec![
+            Arc::new(PanickyBackend::always()),
+            Arc::new(CpuBackend::new()),
+        ],
+        SchedulerConfig {
+            // one query per batch: a wave of 8 requests is 8 batches,
+            // so the panicky worker always gets to grab (and drop) one
+            max_batch_queries: 1,
+            cpq_budget_bytes: None,
+        },
+    );
+    let service = GenieService::start(
+        scheduler,
+        &index,
+        ServiceConfig {
+            max_queue_delay: Duration::from_millis(2),
+            cache_capacity: 0,
+            failure_threshold: 2,
+            probe_after_runs: 1_000_000, // no probe during this test
+            ..Default::default()
+        },
+    )
+    .unwrap();
+
+    for round in 0..12u32 {
+        let tickets: Vec<_> = (0..8)
+            .map(|i| service.submit(Query::from_keywords(&[(round * 8 + i) % 13]), 3))
+            .collect();
+        for t in tickets {
+            assert!(!t
+                .wait()
+                .expect("failover keeps clients whole")
+                .hits
+                .is_empty());
+        }
+    }
+
+    let health = service.backend_health();
+    let panicky = health.iter().find(|h| h.name == "panicky").unwrap();
+    let cpu = health.iter().find(|h| h.name == "cpu").unwrap();
+    assert!(panicky.retired, "threshold reached: must be retired");
+    assert_eq!(
+        panicky.failed, 2,
+        "a retired backend is masked out, so its failure count freezes at the threshold"
+    );
+    assert_eq!(panicky.probes, 0, "probe interval was out of reach");
+    assert!(!cpu.retired);
+    assert!(cpu.queries >= 12 * 8 - 2, "cpu served (almost) everything");
+    assert_eq!(service.stats().failed_waves, 0, "clients never noticed");
+}
+
+/// Re-admission probes: a backend that recovers after its first crashes
+/// is probed while retired and rejoins the fleet once a probe run
+/// passes without a failure.
+#[test]
+fn probe_readmits_a_recovered_backend() {
+    let index = index_of_mod(100, 13);
+    let flaky = Arc::new(PanickyBackend {
+        calls: AtomicUsize::new(0),
+        healthy_after: 2, // crashes twice, healthy from the third call on
+    });
+    let scheduler = QueryScheduler::new(
+        vec![flaky, Arc::new(CpuBackend::new())],
+        SchedulerConfig {
+            max_batch_queries: 1,
+            cpq_budget_bytes: None,
+        },
+    );
+    let service = GenieService::start(
+        scheduler,
+        &index,
+        ServiceConfig {
+            max_queue_delay: Duration::from_millis(2),
+            cache_capacity: 0,
+            failure_threshold: 1, // first crash retires it
+            probe_after_runs: 2,  // probed every other run
+            ..Default::default()
+        },
+    )
+    .unwrap();
+
+    // keep serving waves until the breaker has walked the whole cycle:
+    // retire -> failing probe (stays retired) -> passing probe -> back
+    let mut recovered = false;
+    for round in 0..40u32 {
+        let tickets: Vec<_> = (0..8)
+            .map(|i| service.submit(Query::from_keywords(&[(round * 8 + i) % 13]), 3))
+            .collect();
+        for t in tickets {
+            t.wait().expect("every ticket resolves");
+        }
+        let h = service.backend_health();
+        let flaky = h.iter().find(|h| h.name == "panicky").unwrap();
+        if !flaky.retired && flaky.probes >= 1 && flaky.failed >= 2 {
+            recovered = true;
+            break;
+        }
+    }
+    assert!(recovered, "recovered backend was never re-admitted");
+    let health = service.backend_health();
+    let flaky = health.iter().find(|h| h.name == "panicky").unwrap();
+    assert_eq!(flaky.failed, 2, "exactly the two scripted crashes");
+    assert!(
+        flaky.probes >= 2,
+        "the first probe fails (second scripted crash), a later one passes"
+    );
 }
 
 /// Misconfiguration fails at construction, not at serve time.
@@ -401,6 +522,7 @@ fn shutdown_flushes_queued_requests() {
             max_queue_delay: Duration::from_secs(600),
             dispatchers: 1,
             cache_capacity: 0,
+            ..Default::default()
         },
     )
     .unwrap();

@@ -86,6 +86,7 @@ pub mod collection {
 }
 
 pub mod prelude {
+    pub use crate::strategy::Just;
     pub use crate::test_runner::Config as ProptestConfig;
     pub use crate::Strategy;
     pub use crate::{prop_assert, prop_assert_eq, prop_assert_ne, proptest};

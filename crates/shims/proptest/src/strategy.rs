@@ -18,6 +18,37 @@ pub trait Strategy {
     {
         Map { inner: self, f }
     }
+
+    /// Derive a dependent strategy from each generated value (upstream
+    /// `prop_flat_map`) — e.g. a vector whose length depends on an
+    /// earlier draw. Without value trees this is just generate-then-
+    /// generate.
+    fn prop_flat_map<S, F>(self, f: F) -> FlatMap<Self, F>
+    where
+        Self: Sized,
+        S: Strategy,
+        F: Fn(Self::Value) -> S,
+    {
+        FlatMap { inner: self, f }
+    }
+}
+
+pub struct FlatMap<S, F> {
+    inner: S,
+    f: F,
+}
+
+impl<S, F, S2> Strategy for FlatMap<S, F>
+where
+    S: Strategy,
+    S2: Strategy,
+    F: Fn(S::Value) -> S2,
+{
+    type Value = S2::Value;
+
+    fn generate(&self, rng: &mut TestRng) -> Self::Value {
+        (self.f)(self.inner.generate(rng)).generate(rng)
+    }
 }
 
 pub struct Map<S, F> {

@@ -47,6 +47,7 @@ fn main() {
             max_queue_delay: Duration::from_millis(3),
             dispatchers: 1,
             cache_capacity: 512,
+            ..Default::default()
         },
     )
     .expect("db opens");

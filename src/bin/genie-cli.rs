@@ -5,7 +5,7 @@
 //! genie-cli docs  <corpus.txt> --query "<words>"  [-k 5] [--backend sim|cpu|multi]
 //! genie-cli fuzzy <corpus.txt> --query "<string>" [-k 3] [-K 64] [-n 3] [--backend ...]
 //! genie-cli serve <corpus.txt> [--domain docs|fuzzy] [--clients 8] [--requests 32]
-//!                              [--delay-ms 3] [-k 5] [--backend ...]
+//!                              [--delay-ms 3] [--shards 1] [-k 5] [--backend ...]
 //! ```
 //!
 //! `docs` ranks lines by the number of distinct shared words (the
@@ -15,7 +15,11 @@
 //! the `--domain` of choice — and drives it with concurrent submitter
 //! threads (each line doubles as a query), reporting per-request
 //! latency percentiles, wave triggers, batch occupancy and backend
-//! health. The `--backend` flag picks the execution engine: the
+//! health. `--shards N` splits the served collection across `N` index
+//! shards: every wave fans out to one scheduler run per shard and the
+//! per-shard top-k lists are merged into the global answer
+//! (bit-compatible counts, `AT = MC_k + 1` on the merged list).
+//! `--delay-ms 0` cuts a wave as soon as any request is queued. The `--backend` flag picks the execution engine: the
 //! simulated SIMT device (default, prints device counters), the
 //! pure-CPU backend, or a two-device multi-load backend.
 
@@ -29,7 +33,7 @@ fn usage() -> ! {
     eprintln!(
         "usage:\n  genie-cli docs  <corpus.txt> --query \"<words>\"  [-k N] [--backend sim|cpu|multi]\n  \
          genie-cli fuzzy <corpus.txt> --query \"<string>\" [-k N] [-K CANDS] [-n NGRAM] [--backend sim|cpu|multi]\n  \
-         genie-cli serve <corpus.txt> [--domain docs|fuzzy] [--clients N] [--requests M] [--delay-ms D] [-k N] [--backend sim|cpu|multi]"
+         genie-cli serve <corpus.txt> [--domain docs|fuzzy] [--clients N] [--requests M] [--delay-ms D] [--shards S] [-k N] [--backend sim|cpu|multi]"
     );
     exit(2);
 }
@@ -46,6 +50,7 @@ struct Args {
     clients: usize,
     requests: usize,
     delay_ms: u64,
+    shards: usize,
 }
 
 fn parse_args() -> Args {
@@ -65,6 +70,7 @@ fn parse_args() -> Args {
         clients: 8,
         requests: 32,
         delay_ms: 3,
+        shards: 1,
     };
     let mut i = 2;
     while i < argv.len() {
@@ -123,6 +129,14 @@ fn parse_args() -> Args {
                     .and_then(|v| v.parse().ok())
                     .unwrap_or_else(|| usage());
             }
+            "--shards" => {
+                i += 1;
+                args.shards = argv
+                    .get(i)
+                    .and_then(|v| v.parse().ok())
+                    .filter(|&s: &usize| s >= 1)
+                    .unwrap_or_else(|| usage());
+            }
             _ => usage(),
         }
         i += 1;
@@ -168,9 +182,11 @@ fn open_db(args: &Args, lines: usize) -> (GenieDb, Arc<dyn SearchBackend>) {
             cpq_budget_bytes: None,
         },
         ServiceConfig {
-            max_queue_delay: std::time::Duration::from_millis(args.delay_ms.max(1)),
+            // 0 is meaningful: cut a wave as soon as anything is queued
+            max_queue_delay: std::time::Duration::from_millis(args.delay_ms),
             dispatchers: 1,
             cache_capacity: 1024,
+            ..Default::default()
         },
     )
     .unwrap_or_else(|e| {
@@ -348,22 +364,28 @@ impl Resolver for SeqResolver {
 /// service, drive it concurrently, report latency/occupancy/health.
 fn serve(args: &Args, lines: &[&str], db: &GenieDb) {
     println!(
-        "serving domain '{}' with {} client threads x {} requests (deadline {} ms)",
-        args.domain, args.clients, args.requests, args.delay_ms
+        "serving domain '{}' with {} client threads x {} requests (deadline {} ms, {} shard{})",
+        args.domain,
+        args.clients,
+        args.requests,
+        args.delay_ms,
+        args.shards,
+        if args.shards == 1 { "" } else { "s" }
     );
     let latencies_us = match args.domain.as_str() {
         "docs" => {
             let docs: Vec<Vec<String>> = lines.iter().map(|l| tokenize(l)).collect();
             let col = db
-                .create_collection::<DocumentIndex>("corpus", (), docs.clone())
+                .create_collection_sharded::<DocumentIndex>("corpus", (), docs.clone(), args.shards)
                 .unwrap_or_else(|e| {
                     eprintln!("cannot index corpus: {e}");
                     exit(1);
                 });
             println!(
-                "indexed {} docs / {} distinct words",
+                "indexed {} docs / {} distinct words across {} shard(s)",
                 col.domain().num_documents(),
-                col.domain().vocabulary_size()
+                col.domain().vocabulary_size(),
+                col.shard_count()
             );
             drive(
                 args,
@@ -375,12 +397,22 @@ fn serve(args: &Args, lines: &[&str], db: &GenieDb) {
         _ => {
             let seqs: Vec<Vec<u8>> = lines.iter().map(|l| l.as_bytes().to_vec()).collect();
             let col = db
-                .create_collection::<SequenceIndex>("corpus", args.ngram, seqs.clone())
+                .create_collection_sharded::<SequenceIndex>(
+                    "corpus",
+                    args.ngram,
+                    seqs.clone(),
+                    args.shards,
+                )
                 .unwrap_or_else(|e| {
                     eprintln!("cannot index corpus: {e}");
                     exit(1);
                 });
-            println!("indexed {} sequences ({}-grams)", seqs.len(), args.ngram);
+            println!(
+                "indexed {} sequences ({}-grams) across {} shard(s)",
+                seqs.len(),
+                args.ngram,
+                col.shard_count()
+            );
             drive(
                 args,
                 seqs.len(),
@@ -402,6 +434,12 @@ fn serve(args: &Args, lines: &[&str], db: &GenieDb) {
         stats.batches,
         stats.mean_batch_occupancy()
     );
+    if stats.shard_runs > 0 {
+        println!(
+            "sharded dispatch: {} scheduler runs across {} shards",
+            stats.shard_runs, args.shards
+        );
+    }
     println!(
         "cache: {} hits / {} requests; scheduler wall {:.2} ms",
         stats.cache_hits,
@@ -416,11 +454,12 @@ fn serve(args: &Args, lines: &[&str], db: &GenieDb) {
     );
     for h in db.backend_health() {
         println!(
-            "backend {}: {} batches / {} queries served, {} failures{}",
+            "backend {}: {} batches / {} queries served, {} failures{}{}",
             h.name,
             h.batches,
             h.queries,
             h.failed,
+            if h.retired { " [RETIRED]" } else { "" },
             h.last_error
                 .as_deref()
                 .map(|e| format!(" (last: {e})"))

@@ -31,7 +31,9 @@ pub fn search(index: &InvertedIndex, queries: &[Query], k: usize) -> CpuIdxOutpu
     for query in queries {
         counts.fill(0);
         for item in &query.items {
-            for seg in index.segments_for_range(item.lo, item.hi) {
+            // adjacent segments merged into contiguous runs: the same
+            // host-scan coalescing the CPU backend's kernel uses
+            for seg in index.coalesced_segments_for_range(item.lo, item.hi) {
                 for &obj in &list[seg.start as usize..(seg.start + seg.len) as usize] {
                     counts[obj as usize] += 1;
                 }

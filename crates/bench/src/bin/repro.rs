@@ -6,6 +6,7 @@
 //! repro --quick --all    # smaller workloads (~1 minute)
 //! ```
 
+use genie_bench::cpu_kernel;
 use genie_bench::experiments as exp;
 use genie_bench::serving;
 use genie_bench::workloads::Scale;
@@ -17,7 +18,7 @@ fn main() {
             "usage: repro [--quick] [--all] [--fig8] [--fig9] [--fig10] [--fig11] \
              [--fig12] [--fig13] [--fig14] [--table1] [--table2] [--table4] \
              [--table5] [--table6] [--ext-structures] [--ext-tau] [--serving] \
-             [--serving-smoke] [--shards N]"
+             [--serving-smoke] [--shards N] [--cpu-kernel [--smoke]]"
         );
         std::process::exit(2);
     }
@@ -99,6 +100,15 @@ fn main() {
     }
     if all || has("--serving") {
         serving::serving(scale);
+    }
+    if all || has("--cpu-kernel") {
+        // `--smoke` (and `--quick`, for consistency with every other
+        // experiment) shrinks the sweep to the CI-gate size: correctness
+        // + regime selection asserted, timings recorded not asserted,
+        // output routed to the gitignored BENCH_cpu_kernel_smoke.json.
+        // Only the full run enforces the >= 2x sparse speedup bar and
+        // refreshes the checked-in BENCH_cpu_kernel.json baseline.
+        cpu_kernel::cpu_kernel(has("--smoke") || has("--quick"));
     }
     if has("--serving-smoke") {
         // deliberately not part of --all: a fixed-size CI gate that

@@ -1,0 +1,333 @@
+//! The CPU-kernel sweep: seed dense path vs the sparse-aware scratch
+//! kernel, on workloads spanning the selectivity spectrum.
+//!
+//! `repro --cpu-kernel` measures **single-query latency** (waves of
+//! size 1 — the `max_queue_delay = 0` serving shape) and **batch
+//! throughput** for both paths on three synthetic workloads:
+//!
+//! * `sparse` — selective queries over a huge keyword universe: a few
+//!   dozen postings touch a handful of objects out of `n >= 100k`. The
+//!   seed path still paid `O(n)` per query (fresh dense table + full
+//!   candidate sweep); the kernel pays `O(postings + matched)`.
+//! * `mid`    — moderately selective: thousands of postings, ~1% of
+//!   objects touched; still sparse-finalised.
+//! * `dense`  — range queries that stream more postings than objects:
+//!   the kernel must detect the regime and fall back to the dense sweep
+//!   with *no* regression against the seed path.
+//!
+//! Every timed query is first checked bit-identical against
+//! [`kernel::reference_search_one`], so the sweep can never report a
+//! speedup for wrong answers. Alongside the human table the run emits a
+//! machine-readable baseline — `BENCH_cpu_kernel.json` (full run,
+//! checked in) or `BENCH_cpu_kernel_smoke.json` (`--smoke`, the CI
+//! gate's artifact) — so future PRs have a perf trajectory to diff
+//! against instead of re-reading tables out of CI logs.
+
+use std::sync::Arc;
+use std::time::Instant;
+
+use genie_core::backend::kernel::{self, KernelStatsSnapshot};
+use genie_core::backend::{CpuBackend, SearchBackend};
+use genie_core::exec::elapsed_us;
+use genie_core::index::{IndexBuilder, InvertedIndex};
+use genie_core::model::{Object, Query, QueryItem};
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+
+use crate::json::Json;
+use crate::row;
+
+const K: usize = 10;
+
+struct Workload {
+    name: &'static str,
+    objects: Vec<Object>,
+    queries: Vec<Query>,
+}
+
+/// `n` objects of `kw_per_obj` keywords drawn from `universe`; queries
+/// of `items` range items of `item_width` consecutive keywords.
+fn synth(
+    n: usize,
+    kw_per_obj: usize,
+    universe: u32,
+    items: usize,
+    item_width: u32,
+    num_queries: usize,
+    seed: u64,
+) -> (Vec<Object>, Vec<Query>) {
+    let mut rng = StdRng::seed_from_u64(seed);
+    let objects: Vec<Object> = (0..n)
+        .map(|_| {
+            Object::new(
+                (0..kw_per_obj)
+                    .map(|_| rng.random_range(0..universe))
+                    .collect(),
+            )
+        })
+        .collect();
+    let queries: Vec<Query> = (0..num_queries)
+        .map(|_| {
+            Query::new(
+                (0..items)
+                    .map(|_| {
+                        let lo = rng.random_range(0..universe);
+                        QueryItem::range(lo, (lo + item_width - 1).min(universe - 1))
+                    })
+                    .collect(),
+            )
+        })
+        .collect();
+    (objects, queries)
+}
+
+fn index_of(objects: &[Object]) -> Arc<InvertedIndex> {
+    let mut b = IndexBuilder::new();
+    b.add_objects(objects.iter());
+    Arc::new(b.build(None))
+}
+
+struct SweepRow {
+    name: &'static str,
+    n: usize,
+    queries: usize,
+    postings_per_query: f64,
+    candidates_per_query: f64,
+    seed_us: f64,
+    kernel_us: f64,
+    batch_us: f64,
+    stats: KernelStatsSnapshot,
+}
+
+impl SweepRow {
+    fn speedup(&self) -> f64 {
+        if self.kernel_us > 0.0 {
+            self.seed_us / self.kernel_us
+        } else {
+            f64::INFINITY
+        }
+    }
+}
+
+fn diff(after: KernelStatsSnapshot, before: KernelStatsSnapshot) -> KernelStatsSnapshot {
+    KernelStatsSnapshot {
+        queries: after.queries - before.queries,
+        sparse_finalize: after.sparse_finalize - before.sparse_finalize,
+        dense_finalize: after.dense_finalize - before.dense_finalize,
+        parallel_queries: after.parallel_queries - before.parallel_queries,
+        postings_scanned: after.postings_scanned - before.postings_scanned,
+        candidates: after.candidates - before.candidates,
+    }
+}
+
+fn sweep_one(workload: &Workload, reps: usize) -> SweepRow {
+    let index = index_of(&workload.objects);
+    let cpu = CpuBackend::new();
+    let bindex = SearchBackend::upload(&cpu, Arc::clone(&index)).unwrap();
+
+    // correctness gate before any timing: the kernel may never be
+    // credited with a speedup for different answers
+    let before = cpu.kernel_stats();
+    for q in &workload.queries {
+        let expected = kernel::reference_search_one(&index, q, K);
+        let out = cpu.search_batch(&bindex, std::slice::from_ref(q), K);
+        assert_eq!(
+            (out.results[0].clone(), out.audit_thresholds[0]),
+            expected,
+            "kernel deviates from the seed path on {}",
+            workload.name
+        );
+    }
+    let stats = diff(cpu.kernel_stats(), before);
+
+    // single-query latency, seed dense path
+    let started = Instant::now();
+    for _ in 0..reps {
+        for q in &workload.queries {
+            std::hint::black_box(kernel::reference_search_one(&index, q, K));
+        }
+    }
+    let seed_us = elapsed_us(started) / (reps * workload.queries.len()) as f64;
+
+    // single-query latency, new kernel through the real serving path
+    // (waves of size 1, scratch pool warm)
+    let started = Instant::now();
+    for _ in 0..reps {
+        for q in &workload.queries {
+            std::hint::black_box(cpu.search_batch(&bindex, std::slice::from_ref(q), K));
+        }
+    }
+    let kernel_us = elapsed_us(started) / (reps * workload.queries.len()) as f64;
+
+    // whole-batch throughput on the new kernel
+    let started = Instant::now();
+    for _ in 0..reps {
+        std::hint::black_box(cpu.search_batch(&bindex, &workload.queries, K));
+    }
+    let batch_us = elapsed_us(started) / (reps * workload.queries.len()) as f64;
+
+    SweepRow {
+        name: workload.name,
+        n: workload.objects.len(),
+        queries: workload.queries.len(),
+        postings_per_query: stats.postings_scanned as f64 / stats.queries.max(1) as f64,
+        candidates_per_query: stats.candidates as f64 / stats.queries.max(1) as f64,
+        seed_us,
+        kernel_us,
+        batch_us,
+        stats,
+    }
+}
+
+fn json_row(r: &SweepRow) -> Json {
+    Json::obj(vec![
+        ("workload", Json::str(r.name)),
+        ("n", Json::int(r.n as u64)),
+        ("queries", Json::int(r.queries as u64)),
+        ("k", Json::int(K as u64)),
+        ("postings_per_query", Json::num(r.postings_per_query)),
+        ("candidates_per_query", Json::num(r.candidates_per_query)),
+        ("seed_dense_us_per_query", Json::num(r.seed_us)),
+        ("kernel_us_per_query", Json::num(r.kernel_us)),
+        ("kernel_batch_us_per_query", Json::num(r.batch_us)),
+        ("speedup_single_query", Json::num(r.speedup())),
+        ("sparse_finalize", Json::int(r.stats.sparse_finalize)),
+        ("dense_finalize", Json::int(r.stats.dense_finalize)),
+        ("parallel_queries", Json::int(r.stats.parallel_queries)),
+    ])
+}
+
+/// Run the sweep. `smoke` shrinks the workloads to a CI-sized gate that
+/// asserts correctness and regime selection (timings are recorded, not
+/// asserted — CI machines are noisy); the full run additionally asserts
+/// the acceptance bar: >= 2x single-query speedup on the sparse
+/// workload at `n >= 100k`, no regression on the dense workload.
+pub fn cpu_kernel(smoke: bool) {
+    let (n, num_queries, reps) = if smoke {
+        (8_000, 32, 2)
+    } else {
+        (100_000, 64, 4)
+    };
+    let threads = CpuBackend::new().capabilities().devices;
+    println!(
+        "\n=== CPU kernel sweep — seed dense path vs sparse-aware kernel \
+         (n = {n}, k = {K}, {threads} host thread(s)) ==="
+    );
+
+    let workload = |name, universe, items, item_width, seed| {
+        let (objects, queries) = synth(n, 8, universe, items, item_width, num_queries, seed);
+        Workload {
+            name,
+            objects,
+            queries,
+        }
+    };
+    let workloads = [
+        // a few postings out of hundreds of thousands: the selective
+        // regime the admission queue's low-latency mode actually serves
+        workload("sparse", n as u32 * 4, 8, 1, 11),
+        workload("mid", (n / 25) as u32, 6, 2, 22),
+        // more postings than objects: must fall back to the dense sweep
+        workload("dense", 50, 4, 8, 33),
+    ];
+
+    let widths = [8, 9, 12, 12, 11, 11, 11, 9, 14];
+    row(
+        &[
+            "workload".into(),
+            "n".into(),
+            "postings/q".into(),
+            "matched/q".into(),
+            "seed(us)".into(),
+            "kernel(us)".into(),
+            "batch(us)".into(),
+            "speedup".into(),
+            "finalize".into(),
+        ],
+        &widths,
+    );
+    let mut rows = Vec::new();
+    for w in &workloads {
+        let r = sweep_one(w, reps);
+        row(
+            &[
+                r.name.into(),
+                r.n.to_string(),
+                format!("{:.0}", r.postings_per_query),
+                format!("{:.0}", r.candidates_per_query),
+                format!("{:.1}", r.seed_us),
+                format!("{:.1}", r.kernel_us),
+                format!("{:.1}", r.batch_us),
+                format!("{:.1}x", r.speedup()),
+                format!("{}sp/{}de", r.stats.sparse_finalize, r.stats.dense_finalize),
+            ],
+            &widths,
+        );
+        rows.push(r);
+    }
+
+    // regime selection must hold at any scale: selective queries
+    // finalise sparse, saturating ones fall back to the dense sweep
+    let sparse = &rows[0];
+    let dense = &rows[2];
+    assert!(
+        sparse.stats.dense_finalize == 0 && sparse.stats.sparse_finalize > 0,
+        "selective workload must stay on the sparse path: {:?}",
+        sparse.stats
+    );
+    assert!(
+        dense.stats.sparse_finalize == 0 && dense.stats.dense_finalize > 0,
+        "saturating workload must fall back to the dense sweep: {:?}",
+        dense.stats
+    );
+
+    let path = if smoke {
+        "BENCH_cpu_kernel_smoke.json"
+    } else {
+        "BENCH_cpu_kernel.json"
+    };
+    let config = genie_core::backend::kernel::KernelConfig::default();
+    let doc = Json::obj(vec![
+        ("bench", Json::str("cpu_kernel")),
+        ("smoke", Json::Bool(smoke)),
+        ("threads", Json::int(threads as u64)),
+        (
+            "kernel_config",
+            Json::obj(vec![
+                (
+                    "dense_postings_per_object",
+                    Json::num(config.dense_postings_per_object),
+                ),
+                (
+                    "dense_touched_fraction",
+                    Json::num(config.dense_touched_fraction),
+                ),
+                (
+                    "parallel_min_postings",
+                    Json::int(config.parallel_min_postings),
+                ),
+            ]),
+        ),
+        ("rows", Json::arr(rows.iter().map(json_row).collect())),
+    ]);
+    doc.write_to_file(path)
+        .unwrap_or_else(|e| panic!("cannot write {path}: {e}"));
+    println!("baseline written to {path}");
+
+    if !smoke {
+        assert!(
+            sparse.n >= 100_000,
+            "the acceptance bar is defined at n >= 100k"
+        );
+        assert!(
+            sparse.speedup() >= 2.0,
+            "sparse single-query speedup fell below the 2x acceptance bar: {:.2}x",
+            sparse.speedup()
+        );
+        assert!(
+            dense.speedup() >= 0.8,
+            "dense workload regressed past the noise floor: {:.2}x",
+            dense.speedup()
+        );
+    }
+}

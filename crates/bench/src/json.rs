@@ -1,0 +1,161 @@
+//! A minimal JSON value + writer, so the bench runners can emit
+//! machine-readable baselines next to their human tables.
+//!
+//! The offline `serde` shim carries no serialisation (see
+//! `crates/shims/serde`), and the baselines only need numbers, strings,
+//! arrays and objects — a ~100-line tree type keeps the JSON honest
+//! (escaped, finite, deterministic key order) without a new dependency.
+//! Files written here (`BENCH_cpu_kernel.json`, `BENCH_serving.json`)
+//! are the perf trajectory future PRs diff against, and what CI uploads
+//! as artifacts.
+
+use std::fmt::Write as _;
+
+/// One JSON value. Build objects with [`Json::obj`] and arrays with
+/// [`Json::arr`]; keys keep their insertion order so output is
+/// deterministic run to run.
+#[derive(Debug, Clone, PartialEq)]
+pub enum Json {
+    Null,
+    Bool(bool),
+    /// Finite numbers render as shortest-round-trip decimals; NaN and
+    /// infinities (meaningless in a baseline) render as `null`.
+    Num(f64),
+    Str(String),
+    Arr(Vec<Json>),
+    Obj(Vec<(String, Json)>),
+}
+
+impl Json {
+    pub fn obj(fields: Vec<(&str, Json)>) -> Json {
+        Json::Obj(
+            fields
+                .into_iter()
+                .map(|(k, v)| (k.to_string(), v))
+                .collect(),
+        )
+    }
+
+    pub fn arr(items: Vec<Json>) -> Json {
+        Json::Arr(items)
+    }
+
+    pub fn str(s: impl Into<String>) -> Json {
+        Json::Str(s.into())
+    }
+
+    pub fn num(n: f64) -> Json {
+        Json::Num(n)
+    }
+
+    pub fn int(n: u64) -> Json {
+        Json::Num(n as f64)
+    }
+
+    /// Render with two-space indentation (stable, diff-friendly).
+    pub fn render(&self) -> String {
+        let mut out = String::new();
+        self.render_into(&mut out, 0);
+        out.push('\n');
+        out
+    }
+
+    /// Render to `path`, replacing any previous baseline.
+    pub fn write_to_file(&self, path: &str) -> std::io::Result<()> {
+        std::fs::write(path, self.render())
+    }
+
+    fn render_into(&self, out: &mut String, depth: usize) {
+        let pad = |out: &mut String, d: usize| {
+            for _ in 0..d {
+                out.push_str("  ");
+            }
+        };
+        match self {
+            Json::Null => out.push_str("null"),
+            Json::Bool(b) => {
+                let _ = write!(out, "{b}");
+            }
+            Json::Num(n) if n.is_finite() => {
+                let _ = write!(out, "{n}");
+            }
+            Json::Num(_) => out.push_str("null"),
+            Json::Str(s) => {
+                out.push('"');
+                for c in s.chars() {
+                    match c {
+                        '"' => out.push_str("\\\""),
+                        '\\' => out.push_str("\\\\"),
+                        '\n' => out.push_str("\\n"),
+                        '\r' => out.push_str("\\r"),
+                        '\t' => out.push_str("\\t"),
+                        c if (c as u32) < 0x20 => {
+                            let _ = write!(out, "\\u{:04x}", c as u32);
+                        }
+                        c => out.push(c),
+                    }
+                }
+                out.push('"');
+            }
+            Json::Arr(items) if items.is_empty() => out.push_str("[]"),
+            Json::Arr(items) => {
+                out.push_str("[\n");
+                for (i, item) in items.iter().enumerate() {
+                    pad(out, depth + 1);
+                    item.render_into(out, depth + 1);
+                    out.push_str(if i + 1 < items.len() { ",\n" } else { "\n" });
+                }
+                pad(out, depth);
+                out.push(']');
+            }
+            Json::Obj(fields) if fields.is_empty() => out.push_str("{}"),
+            Json::Obj(fields) => {
+                out.push_str("{\n");
+                for (i, (key, value)) in fields.iter().enumerate() {
+                    pad(out, depth + 1);
+                    Json::Str(key.clone()).render_into(out, depth + 1);
+                    out.push_str(": ");
+                    value.render_into(out, depth + 1);
+                    out.push_str(if i + 1 < fields.len() { ",\n" } else { "\n" });
+                }
+                pad(out, depth);
+                out.push('}');
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn renders_nested_structures_deterministically() {
+        let v = Json::obj(vec![
+            ("name", Json::str("cpu_kernel")),
+            ("rows", Json::arr(vec![Json::int(1), Json::num(2.5)])),
+            ("empty", Json::arr(vec![])),
+            ("nested", Json::obj(vec![("ok", Json::Bool(true))])),
+        ]);
+        let out = v.render();
+        assert_eq!(
+            out,
+            "{\n  \"name\": \"cpu_kernel\",\n  \"rows\": [\n    1,\n    2.5\n  ],\n  \
+             \"empty\": [],\n  \"nested\": {\n    \"ok\": true\n  }\n}\n"
+        );
+        assert_eq!(v.render(), out, "rendering is deterministic");
+    }
+
+    #[test]
+    fn escapes_strings_and_nulls_non_finite_numbers() {
+        let v = Json::arr(vec![
+            Json::str("a\"b\\c\nd\u{1}"),
+            Json::num(f64::NAN),
+            Json::num(f64::INFINITY),
+            Json::Null,
+        ]);
+        let out = v.render();
+        assert!(out.contains("\"a\\\"b\\\\c\\nd\\u0001\""));
+        assert_eq!(out.matches("null").count(), 3);
+    }
+}

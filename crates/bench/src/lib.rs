@@ -13,13 +13,20 @@
 //!   rows/series the paper reports;
 //! * [`serving`] — the always-on serving workload: concurrent
 //!   submitters against a `GenieService`, reporting p50/p95/p99 request
-//!   latency and achieved batch occupancy vs `max_queue_delay`.
+//!   latency and achieved batch occupancy vs `max_queue_delay`;
+//! * [`cpu_kernel`] — the host counting-kernel sweep: seed dense path
+//!   vs the sparse-aware scratch kernel across selectivity regimes;
+//! * [`json`] — the machine-readable baseline writer behind
+//!   `BENCH_cpu_kernel.json` / `BENCH_serving.json`, the perf
+//!   trajectory future PRs diff against.
 //!
 //! Device-side methods report *simulated* time (the cost model of
 //! `gpu-sim`); host-side methods report wall-clock. Comparisons across
 //! the two are shape-level, exactly as scoped in DESIGN.md.
 
+pub mod cpu_kernel;
 pub mod experiments;
+pub mod json;
 pub mod runners;
 pub mod serving;
 pub mod workloads;

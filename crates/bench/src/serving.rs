@@ -12,12 +12,14 @@
 use std::sync::Arc;
 use std::time::Duration;
 
+use genie_core::backend::kernel::KernelStatsSnapshot;
 use genie_core::backend::CpuBackend;
 use genie_core::index::IndexBuilder;
 use genie_core::model::Query;
 pub use genie_service::percentile_us;
 use genie_service::{GenieService, QueryScheduler, SchedulerConfig, ServiceConfig, ServiceStats};
 
+use crate::json::Json;
 use crate::workloads::{sift_bundle, MatchData, Scale};
 use crate::{ms, row};
 
@@ -72,6 +74,9 @@ pub struct ServingReport {
     pub batch_occupancy: f64,
     /// The service's aggregate counters at shutdown.
     pub stats: ServiceStats,
+    /// The CPU backend's kernel-decision counters for this run (sparse
+    /// vs dense finalisation, intra-query parallel queries).
+    pub kernel: KernelStatsSnapshot,
 }
 
 /// Run `workload` over `data` on a single [`CpuBackend`] service and
@@ -80,8 +85,9 @@ pub fn run_serving_workload(data: &MatchData, workload: ServingWorkload) -> Serv
     let mut b = IndexBuilder::new();
     b.add_objects(data.objects.iter());
     let index = Arc::new(b.build(None));
+    let backend = Arc::new(CpuBackend::new());
     let scheduler = QueryScheduler::new(
-        vec![Arc::new(CpuBackend::new())],
+        vec![Arc::clone(&backend) as Arc<dyn genie_core::backend::SearchBackend>],
         SchedulerConfig {
             max_batch_queries: workload.max_batch_queries,
             cpq_budget_bytes: None,
@@ -148,12 +154,45 @@ pub fn run_serving_workload(data: &MatchData, workload: ServingWorkload) -> Serv
         p99_us: percentile_us(&latencies, 0.99),
         batch_occupancy: stats.mean_batch_occupancy(),
         stats,
+        kernel: backend.kernel_stats(),
     }
+}
+
+fn serving_json_row(key: &str, value: u64, report: &ServingReport) -> Json {
+    Json::obj(vec![
+        (key, Json::int(value)),
+        ("requests", Json::int(report.total_requests as u64)),
+        ("p50_us", Json::num(report.p50_us)),
+        ("p95_us", Json::num(report.p95_us)),
+        ("p99_us", Json::num(report.p99_us)),
+        ("batch_occupancy", Json::num(report.batch_occupancy)),
+        ("waves", Json::int(report.stats.waves)),
+        ("size_triggers", Json::int(report.stats.size_triggers)),
+        (
+            "deadline_triggers",
+            Json::int(report.stats.deadline_triggers),
+        ),
+        ("shard_runs", Json::int(report.stats.shard_runs)),
+        ("cache_hits", Json::int(report.stats.cache_hits)),
+        (
+            "kernel_sparse_finalize",
+            Json::int(report.kernel.sparse_finalize),
+        ),
+        (
+            "kernel_dense_finalize",
+            Json::int(report.kernel.dense_finalize),
+        ),
+        (
+            "kernel_parallel_queries",
+            Json::int(report.kernel.parallel_queries),
+        ),
+    ])
 }
 
 /// Serving experiment: p50/p95/p99 request latency and achieved batch
 /// occupancy as `max_queue_delay` sweeps — the batching-vs-latency
-/// trade-off the admission queue exists to expose.
+/// trade-off the admission queue exists to expose. Emits the
+/// machine-readable `BENCH_serving.json` baseline alongside the tables.
 pub fn serving(scale: Scale) {
     println!("\n=== Serving workload — request latency vs max_queue_delay ===");
     let (data, _) = sift_bundle(
@@ -177,6 +216,8 @@ pub fn serving(scale: Scale) {
         ],
         &widths,
     );
+    let mut delay_rows = Vec::new();
+    let mut shard_rows = Vec::new();
     for delay_ms in [1u64, 2, 5, 10] {
         let report = run_serving_workload(
             &data,
@@ -190,6 +231,7 @@ pub fn serving(scale: Scale) {
             },
         );
         assert!(report.stats.wall_us > 0.0 && report.stats.stages.host_us > 0.0);
+        delay_rows.push(serving_json_row("delay_ms", delay_ms, &report));
         row(
             &[
                 delay_ms.to_string(),
@@ -231,6 +273,7 @@ pub fn serving(scale: Scale) {
             },
         );
         assert!(report.stats.wall_us > 0.0);
+        shard_rows.push(serving_json_row("shards", shards as u64, &report));
         row(
             &[
                 shards.to_string(),
@@ -244,6 +287,35 @@ pub fn serving(scale: Scale) {
             &widths,
         );
     }
+
+    // `--quick` numbers are not comparable with the checked-in
+    // full-scale baseline: route them to a separate (gitignored) file,
+    // and record the effective scale in the document either way
+    let full_scale = scale.n >= Scale::default().n;
+    let path = if full_scale {
+        "BENCH_serving.json"
+    } else {
+        "BENCH_serving_quick.json"
+    };
+    let doc = Json::obj(vec![
+        ("bench", Json::str("serving")),
+        ("n", Json::int(data.objects.len() as u64)),
+        ("query_pool", Json::int(data.queries.len() as u64)),
+        ("quick", Json::Bool(!full_scale)),
+        (
+            "clients",
+            Json::int(ServingWorkload::default().clients as u64),
+        ),
+        (
+            "requests_per_client",
+            Json::int(ServingWorkload::default().requests_per_client as u64),
+        ),
+        ("delay_sweep", Json::arr(delay_rows)),
+        ("shard_sweep", Json::arr(shard_rows)),
+    ]);
+    doc.write_to_file(path)
+        .unwrap_or_else(|e| panic!("cannot write {path}: {e}"));
+    println!("\nbaseline written to {path}");
 }
 
 /// CI smoke: a tiny dataset driven through the live serving loop with

@@ -1,0 +1,890 @@
+//! The host counting kernel behind [`CpuBackend`](super::CpuBackend).
+//!
+//! Match-count top-k is a *counting* problem: throughput is bounded by
+//! how fast postings can be streamed into a per-query counter structure
+//! and the touched counters reduced to a top-k list. The seed CPU path
+//! paid three `O(n)` taxes per query that have nothing to do with the
+//! postings actually scanned: allocating a fresh dense `vec![0u32; n]`,
+//! zeroing it, and sweeping all `n` slots to collect candidates. This
+//! module replaces that loop with a kernel whose cost tracks
+//! `O(postings scanned + objects matched)`:
+//!
+//! * **Epoch-stamped scratch** ([`CountScratch`]) — every counter cell
+//!   carries the epoch that last wrote it. A new query bumps the epoch
+//!   (one integer increment); stale cells from earlier queries are
+//!   *logically* zero because their stamp no longer matches, so nothing
+//!   is ever re-zeroed and nothing is allocated after warm-up. Scratches
+//!   live in a per-index [`ScratchPool`] and are reused across queries,
+//!   batches and worker threads.
+//! * **Sparse candidate harvesting** — the first posting that touches an
+//!   object records its id in a touched list; finalisation walks that
+//!   list instead of sweeping all `n` slots. When a query turns out to
+//!   be dense after all (the touched fraction crosses
+//!   [`KernelConfig::dense_touched_fraction`], checked once per counted
+//!   chunk), harvesting switches off mid-scan and finalisation falls
+//!   back to the dense epoch-filtered sweep — the adaptive regime keeps
+//!   the worst case at seed cost while selective queries skip the `O(n)`
+//!   work entirely. Queries whose postings volume alone predicts a dense
+//!   outcome ([`KernelConfig::dense_postings_per_object`]) skip
+//!   harvesting up front and count into a plain reused `u32` array (the
+//!   seed path's exact layout and inner loop, minus the allocation):
+//!   stamped bumps carry twice the memory traffic, which is the right
+//!   trade only while the stamps are actually saving an `O(n)` reset.
+//! * **Segment coalescing + chunked counting** — postings runs come from
+//!   [`InvertedIndex::coalesced_segments_for_range`], which merges
+//!   segments adjacent in the List Array (including load-balanced
+//!   sublists, whose split only exists to balance *device* blocks) into
+//!   single contiguous slices. Each run is counted in fixed-width chunks
+//!   ([`CHUNK`] postings) so the inner loop is branch-light and
+//!   unrollable; the adaptive harvest check runs per chunk, not per
+//!   posting.
+//! * **Intra-query segment parallelism** ([`search_one_parallel`]) — a
+//!   wave smaller than the host fleet leaves cores idle if parallelism
+//!   stops at the batch level (the `max_queue_delay = 0` low-latency
+//!   serving mode cuts waves of size ~1). For *sparse-predicted* queries
+//!   with at least [`KernelConfig::parallel_min_postings`] postings, the
+//!   coalesced runs are split into near-equal postings spans, each span
+//!   is counted into its own pool scratch on its own worker, and the
+//!   partial counts are merged by epoch into a primary scratch before
+//!   one final top-k reduction. Counting is pure addition, so any split
+//!   of the postings multiset yields bit-identical counts.
+//!   Dense-predicted queries stay sequential: their sequential merge
+//!   would replay up to `workers * n` adds on one thread and lose to
+//!   the zeroed dense kernel (see [`search_one_parallel`]).
+//!
+//! ## Contract
+//!
+//! The kernel is result-identical to the seed dense path (kept
+//! executable as [`reference_search_one`]): counts equal brute-force
+//! [`match_count`](crate::model::match_count), hits are ordered (count
+//! descending, id ascending), and the final AuditThreshold follows
+//! Theorem 3.1 (`AT = MC_k + 1`, or 1 when fewer than `k` objects
+//! matched). Property tests in `crates/core/tests/kernel_props.rs` prove
+//! bit-identity (ids, counts, AT) across randomized workloads.
+//!
+//! ## Scratch-epoch invariants
+//!
+//! * A stamped cell's `count` is meaningful if and only if
+//!   `stamp == epoch`.
+//! * `CountScratch::begin` bumps the epoch for stamped (harvesting)
+//!   queries; on wrap-around (once per `u32::MAX` queries) every cell
+//!   is physically re-zeroed so stale stamps can never alias the
+//!   restarted epoch. A dense-up-front query instead memsets the
+//!   separate plain array and leaves the stamped table (and its epoch
+//!   discipline) untouched.
+//! * The touched list holds exactly the ids first-touched while
+//!   harvesting was on; if harvesting was switched off at any point the
+//!   list is incomplete and finalisation *must* use the dense sweep
+//!   (tracked by the `harvesting` flag).
+//! * Scratches may only be shared across queries of the *same* index
+//!   (the pool lives in the per-upload
+//!   [`BackendIndex`](super::BackendIndex) payload, which pins it to one
+//!   index and one object-id space).
+
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::Mutex;
+
+use rayon::prelude::*;
+
+use crate::index::{InvertedIndex, PostingsSegment};
+use crate::model::{ObjectId, Query};
+use crate::topk::{audit_threshold, finalize_unique_candidates, partial_top_k, TopHit};
+
+/// Width of the fixed-size counting chunks: long enough to amortise the
+/// per-chunk adaptive check and give the compiler an unrollable body,
+/// short enough that harvesting reacts to a dense query within a few
+/// hundred postings.
+pub const CHUNK: usize = 64;
+
+/// Tuning knobs of the adaptive kernel. The defaults were measured with
+/// `repro --cpu-kernel` (see `BENCH_cpu_kernel.json` for the recorded
+/// sweep): selective workloads are insensitive to the exact values, and
+/// dense workloads regress once harvesting is kept on past roughly half
+/// the object universe.
+#[derive(Debug, Clone, Copy)]
+pub struct KernelConfig {
+    /// Skip harvesting up front when the query's total postings volume
+    /// reaches this many postings *per indexed object* (the scan will
+    /// touch most objects anyway, so recording first-touches is wasted
+    /// work on top of the unavoidable dense sweep).
+    pub dense_postings_per_object: f64,
+    /// Abort harvesting mid-scan once more than this fraction of the
+    /// object universe has been touched; finalisation falls back to the
+    /// dense epoch-filtered sweep.
+    pub dense_touched_fraction: f64,
+    /// Minimum postings a query must scan before intra-query
+    /// parallelism is worth its merge step.
+    pub parallel_min_postings: u64,
+}
+
+impl Default for KernelConfig {
+    fn default() -> Self {
+        Self {
+            dense_postings_per_object: 1.0,
+            dense_touched_fraction: 0.5,
+            parallel_min_postings: 8_192,
+        }
+    }
+}
+
+impl KernelConfig {
+    fn harvest_up_front(&self, total_postings: u64, num_objects: usize) -> bool {
+        (total_postings as f64) < self.dense_postings_per_object * num_objects as f64
+    }
+
+    fn touched_limit(&self, num_objects: usize) -> usize {
+        (self.dense_touched_fraction * num_objects as f64) as usize
+    }
+}
+
+/// Lifetime counters of one [`CpuBackend`](super::CpuBackend)'s kernel
+/// decisions, kept on atomics so worker threads record without
+/// coordination. Snapshot with [`KernelStats::snapshot`].
+#[derive(Debug, Default)]
+pub struct KernelStats {
+    queries: AtomicU64,
+    sparse_finalize: AtomicU64,
+    dense_finalize: AtomicU64,
+    parallel_queries: AtomicU64,
+    postings_scanned: AtomicU64,
+    candidates: AtomicU64,
+}
+
+/// One consistent read of [`KernelStats`].
+#[derive(Debug, Clone, Copy, Default, PartialEq)]
+pub struct KernelStatsSnapshot {
+    /// Queries the kernel served.
+    pub queries: u64,
+    /// Queries finalised from the harvested touched list.
+    pub sparse_finalize: u64,
+    /// Queries finalised with the dense epoch-filtered sweep (chosen up
+    /// front or by the mid-scan fallback).
+    pub dense_finalize: u64,
+    /// Queries counted by more than one worker (intra-query
+    /// parallelism).
+    pub parallel_queries: u64,
+    /// Postings streamed through the counting loops.
+    pub postings_scanned: u64,
+    /// Candidate objects that reached finalisation.
+    pub candidates: u64,
+}
+
+impl KernelStats {
+    fn record(&self, sparse: bool, parallel: bool, postings: u64, candidates: u64) {
+        self.queries.fetch_add(1, Ordering::Relaxed);
+        if sparse {
+            self.sparse_finalize.fetch_add(1, Ordering::Relaxed);
+        } else {
+            self.dense_finalize.fetch_add(1, Ordering::Relaxed);
+        }
+        if parallel {
+            self.parallel_queries.fetch_add(1, Ordering::Relaxed);
+        }
+        self.postings_scanned.fetch_add(postings, Ordering::Relaxed);
+        self.candidates.fetch_add(candidates, Ordering::Relaxed);
+    }
+
+    pub fn snapshot(&self) -> KernelStatsSnapshot {
+        KernelStatsSnapshot {
+            queries: self.queries.load(Ordering::Relaxed),
+            sparse_finalize: self.sparse_finalize.load(Ordering::Relaxed),
+            dense_finalize: self.dense_finalize.load(Ordering::Relaxed),
+            parallel_queries: self.parallel_queries.load(Ordering::Relaxed),
+            postings_scanned: self.postings_scanned.load(Ordering::Relaxed),
+            candidates: self.candidates.load(Ordering::Relaxed),
+        }
+    }
+}
+
+/// One counter cell: `count` is valid only while `stamp` equals the
+/// scratch's current epoch.
+#[derive(Debug, Clone, Copy, Default)]
+struct Cell {
+    count: u32,
+    stamp: u32,
+}
+
+/// Reusable per-query counting state: the epoch-stamped counter table,
+/// the harvested touched list and the coalesced-run buffer. Acquire from
+/// a [`ScratchPool`]; never share across different indexes.
+#[derive(Debug, Default)]
+pub struct CountScratch {
+    cells: Vec<Cell>,
+    epoch: u32,
+    /// Objects the scratch's counters currently describe (the table may
+    /// be longer after reuse, but never shorter).
+    active: usize,
+    touched: Vec<ObjectId>,
+    harvesting: bool,
+    /// Dense-up-front mode: counting runs on the plain `u32` array
+    /// `dense` (the seed path's exact layout and inner loop, half the
+    /// memory traffic of a stamped bump), zeroed at `begin` but reused
+    /// across queries instead of freshly allocated.
+    zeroed: bool,
+    /// The zeroed-mode counter array; allocated lazily, only if a
+    /// dense-up-front query ever arrives at this scratch.
+    dense: Vec<u32>,
+    touched_limit: usize,
+    runs: Vec<PostingsSegment>,
+    /// Bytes already folded into the owning pool's tracked footprint
+    /// (maintained by [`ScratchPool::release`]).
+    accounted_bytes: u64,
+}
+
+impl CountScratch {
+    /// Start a new query over `num_objects` objects.
+    ///
+    /// With `harvesting` on, the epoch is bumped (a single increment
+    /// logically zeroes every counter) and first-touches are recorded;
+    /// cells are physically re-zeroed only on epoch wrap-around. With
+    /// `harvesting` off the query was predicted dense up front: the
+    /// counters are memset instead (a reused buffer, so still no
+    /// allocation) and counting runs the cheaper unstamped loop.
+    fn begin(&mut self, num_objects: usize, harvesting: bool, touched_limit: usize) {
+        if self.cells.len() < num_objects {
+            self.cells.resize(num_objects, Cell::default());
+        }
+        self.active = num_objects;
+        self.zeroed = !harvesting;
+        if self.zeroed {
+            // the stamped table is untouched (its epochs stay valid);
+            // only the plain dense array is re-zeroed, one memset
+            if self.dense.len() < num_objects {
+                self.dense.resize(num_objects, 0);
+            }
+            self.dense[..num_objects].fill(0);
+        } else if self.epoch == u32::MAX {
+            self.cells.fill(Cell::default());
+            self.epoch = 1;
+        } else {
+            self.epoch += 1;
+        }
+        self.touched.clear();
+        self.harvesting = harvesting;
+        self.touched_limit = touched_limit;
+    }
+
+    #[inline]
+    fn bump_harvest(&mut self, obj: ObjectId) {
+        let cell = &mut self.cells[obj as usize];
+        if cell.stamp == self.epoch {
+            cell.count += 1;
+        } else {
+            cell.stamp = self.epoch;
+            cell.count = 1;
+            self.touched.push(obj);
+        }
+    }
+
+    #[inline]
+    fn bump(&mut self, obj: ObjectId) {
+        let cell = &mut self.cells[obj as usize];
+        if cell.stamp == self.epoch {
+            cell.count += 1;
+        } else {
+            cell.stamp = self.epoch;
+            cell.count = 1;
+        }
+    }
+
+    /// Stream one contiguous postings run through the counters in
+    /// [`CHUNK`]-wide pieces. The adaptive dense fallback is evaluated
+    /// between chunks so the three inner loops stay branch-light.
+    fn count_run(&mut self, run: &[ObjectId]) {
+        if self.zeroed {
+            // dense up front: the seed path's unstamped increment
+            for chunk in run.chunks(CHUNK) {
+                for &obj in chunk {
+                    self.dense[obj as usize] += 1;
+                }
+            }
+            return;
+        }
+        for chunk in run.chunks(CHUNK) {
+            if self.harvesting {
+                for &obj in chunk {
+                    self.bump_harvest(obj);
+                }
+                if self.touched.len() > self.touched_limit {
+                    // too dense to stay sparse: the touched list is now
+                    // incomplete, so finalisation must sweep
+                    self.harvesting = false;
+                }
+            } else {
+                for &obj in chunk {
+                    self.bump(obj);
+                }
+            }
+        }
+    }
+
+    /// Add `delta` pre-counted matches for `obj` (merging another
+    /// worker's partial counts), with the same first-touch bookkeeping
+    /// as counting.
+    #[inline]
+    fn add(&mut self, obj: ObjectId, delta: u32) {
+        if self.zeroed {
+            self.dense[obj as usize] += delta;
+            return;
+        }
+        let cell = &mut self.cells[obj as usize];
+        if cell.stamp == self.epoch {
+            cell.count += delta;
+        } else {
+            cell.stamp = self.epoch;
+            cell.count = delta;
+            if self.harvesting {
+                self.touched.push(obj);
+                if self.touched.len() > self.touched_limit {
+                    self.harvesting = false;
+                }
+            }
+        }
+    }
+
+    /// Visit every `(object, count)` this query touched — from the
+    /// harvested list when it is complete, else by the dense sweep
+    /// (count-filtered in zeroed mode, epoch-filtered otherwise).
+    fn for_each_candidate(&self, mut f: impl FnMut(ObjectId, u32)) {
+        if self.harvesting {
+            for &id in &self.touched {
+                f(id, self.cells[id as usize].count);
+            }
+        } else if self.zeroed {
+            for (id, &count) in self.dense[..self.active].iter().enumerate() {
+                if count > 0 {
+                    f(id as ObjectId, count);
+                }
+            }
+        } else {
+            for (id, cell) in self.cells[..self.active].iter().enumerate() {
+                if cell.stamp == self.epoch {
+                    f(id as ObjectId, cell.count);
+                }
+            }
+        }
+    }
+
+    /// Fold this scratch's counts into `main` (intra-query merge).
+    fn merge_into(&self, main: &mut CountScratch) {
+        self.for_each_candidate(|id, count| main.add(id, count));
+    }
+
+    /// Reduce the touched counters to the final `(top-k, AT)` answer.
+    /// Returns the candidate count alongside for stats.
+    fn finalize(&self, k: usize) -> (Vec<TopHit>, u32, u64) {
+        let (hits, candidates) = if self.harvesting {
+            let hits = finalize_unique_candidates(
+                self.touched
+                    .iter()
+                    .map(|&id| (id, self.cells[id as usize].count)),
+                1,
+                k,
+            );
+            (hits, self.touched.len() as u64)
+        } else {
+            let mut dense: Vec<TopHit> = Vec::new();
+            self.for_each_candidate(|id, count| dense.push(TopHit { id, count }));
+            let candidates = dense.len() as u64;
+            (partial_top_k(dense, k), candidates)
+        };
+        let at = audit_threshold(&hits, k);
+        (hits, at, candidates)
+    }
+
+    /// Resident bytes of this scratch (counter table + touched list +
+    /// run buffer capacities).
+    pub fn bytes(&self) -> u64 {
+        (self.cells.capacity() * std::mem::size_of::<Cell>()
+            + self.dense.capacity() * std::mem::size_of::<u32>()
+            + self.touched.capacity() * std::mem::size_of::<ObjectId>()
+            + self.runs.capacity() * std::mem::size_of::<PostingsSegment>()) as u64
+    }
+}
+
+/// A pool of [`CountScratch`]es shared by every query run against one
+/// uploaded index. The pool grows to the peak number of concurrently
+/// counting workers and then stays flat — per-query allocation and
+/// zeroing are gone after warm-up, which is the whole point. Its
+/// resident footprint is what
+/// [`SearchOutput::cpq_bytes_per_query`](crate::exec::SearchOutput)
+/// reports (amortised over the batch), the honest host analogue of the
+/// paper's Table IV memory column.
+#[derive(Debug, Default)]
+pub struct ScratchPool {
+    free: Mutex<Vec<CountScratch>>,
+    /// Bytes of every scratch this pool owns — including scratches
+    /// currently loaned to a worker (at their size as of last release).
+    /// A pure free-list sum would nondeterministically undercount when
+    /// concurrent batches (`dispatchers > 1`) hold scratches checked
+    /// out while a sibling batch reads the footprint.
+    tracked_bytes: AtomicU64,
+}
+
+impl ScratchPool {
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Take a scratch (reusing a warmed one when available). The
+    /// scratch stays accounted in [`resident_bytes`](Self::resident_bytes)
+    /// while loaned out.
+    pub fn acquire(&self) -> CountScratch {
+        self.lock().pop().unwrap_or_default()
+    }
+
+    /// Return a scratch for reuse, folding any growth since it was last
+    /// accounted into the pool's tracked footprint.
+    pub fn release(&self, mut scratch: CountScratch) {
+        let bytes = scratch.bytes();
+        let grown = bytes.saturating_sub(scratch.accounted_bytes);
+        scratch.accounted_bytes = bytes;
+        if grown > 0 {
+            self.tracked_bytes.fetch_add(grown, Ordering::Relaxed);
+        }
+        self.lock().push(scratch);
+    }
+
+    /// Total bytes of every scratch this pool owns (free or loaned, the
+    /// latter at their last-released size): the kernel's whole resident
+    /// scratch footprint, stable even while sibling batches are
+    /// mid-flight on the same index.
+    pub fn resident_bytes(&self) -> u64 {
+        self.tracked_bytes.load(Ordering::Relaxed)
+    }
+
+    /// Number of scratches currently in the free list.
+    pub fn resident_scratches(&self) -> usize {
+        self.lock().len()
+    }
+
+    fn lock(&self) -> std::sync::MutexGuard<'_, Vec<CountScratch>> {
+        // a poisoned pool only means a worker panicked mid-count; the
+        // scratches themselves are epoch-guarded, so reuse stays sound
+        self.free
+            .lock()
+            .unwrap_or_else(std::sync::PoisonError::into_inner)
+    }
+}
+
+/// Resolve `query` against the Position Map into coalesced contiguous
+/// runs (stored in `runs`), returning the total postings volume.
+fn gather_runs(index: &InvertedIndex, query: &Query, runs: &mut Vec<PostingsSegment>) -> u64 {
+    runs.clear();
+    let mut total = 0u64;
+    for item in &query.items {
+        for seg in index.coalesced_segments_for_range(item.lo, item.hi) {
+            total += seg.len as u64;
+            runs.push(seg);
+        }
+    }
+    total
+}
+
+/// One query's exact top-k plus its final AuditThreshold, counted on a
+/// single worker with `scratch`.
+pub fn search_one(
+    index: &InvertedIndex,
+    query: &Query,
+    k: usize,
+    scratch: &mut CountScratch,
+    config: &KernelConfig,
+    stats: &KernelStats,
+) -> (Vec<TopHit>, u32) {
+    let mut runs = std::mem::take(&mut scratch.runs);
+    let total = gather_runs(index, query, &mut runs);
+    let out = search_gathered(index, &runs, total, k, scratch, config, stats);
+    scratch.runs = runs;
+    out
+}
+
+/// The sequential kernel body over pre-gathered coalesced runs: the
+/// Position Map is consulted exactly once per query, whichever entry
+/// point ([`search_one`] or the [`search_one_parallel`] fallback)
+/// resolved it.
+fn search_gathered(
+    index: &InvertedIndex,
+    runs: &[PostingsSegment],
+    total: u64,
+    k: usize,
+    scratch: &mut CountScratch,
+    config: &KernelConfig,
+    stats: &KernelStats,
+) -> (Vec<TopHit>, u32) {
+    let n = index.num_objects() as usize;
+    let list = index.list_array();
+    scratch.begin(
+        n,
+        config.harvest_up_front(total, n),
+        config.touched_limit(n),
+    );
+    for seg in runs {
+        scratch.count_run(&list[seg.start as usize..(seg.start + seg.len) as usize]);
+    }
+    let (hits, at, candidates) = scratch.finalize(k);
+    stats.record(scratch.harvesting, false, total, candidates);
+    (hits, at)
+}
+
+/// [`search_one`] with intra-query parallelism: the query's coalesced
+/// runs are split into up to `workers` near-equal postings spans, each
+/// counted into its own pool scratch concurrently, and the partial
+/// counts merged by epoch before one final reduction. Falls back to the
+/// single-worker kernel when the query is too small
+/// ([`KernelConfig::parallel_min_postings`]), `workers <= 1`, or the
+/// postings volume predicts a *dense* outcome: the merge step is
+/// sequential over each worker's candidates, so fanning out a query
+/// that touches most of the object universe would replay up to
+/// `workers * n` adds on one thread — slower than the sequential
+/// dense kernel it replaces. Sparse-predicted queries (bounded
+/// candidates per span) are where the fan-out pays.
+///
+/// Counts are bit-identical to the sequential kernel for any split:
+/// counting is addition over the postings multiset, and the merge
+/// preserves the adaptive sparse/dense decision per scratch.
+pub fn search_one_parallel(
+    index: &InvertedIndex,
+    query: &Query,
+    k: usize,
+    pool: &ScratchPool,
+    workers: usize,
+    config: &KernelConfig,
+    stats: &KernelStats,
+) -> (Vec<TopHit>, u32) {
+    let mut main = pool.acquire();
+    let n = index.num_objects() as usize;
+    let mut runs = std::mem::take(&mut main.runs);
+    let total = gather_runs(index, query, &mut runs);
+
+    let harvest = config.harvest_up_front(total, n);
+    if workers <= 1 || total < config.parallel_min_postings || !harvest {
+        let out = search_gathered(index, &runs, total, k, &mut main, config, stats);
+        main.runs = runs;
+        pool.release(main);
+        return out;
+    }
+
+    let spans = split_runs(&runs, workers, total);
+    let limit = config.touched_limit(n);
+    let list = index.list_array();
+    let parts: Vec<CountScratch> = spans
+        .par_iter()
+        .map(|span| {
+            let mut scratch = pool.acquire();
+            scratch.begin(n, harvest, limit);
+            for seg in span {
+                scratch.count_run(&list[seg.start as usize..(seg.start + seg.len) as usize]);
+            }
+            scratch
+        })
+        .collect();
+
+    main.begin(n, harvest, limit);
+    for part in &parts {
+        part.merge_into(&mut main);
+    }
+    for part in parts {
+        pool.release(part);
+    }
+    let (hits, at, candidates) = main.finalize(k);
+    stats.record(main.harvesting, true, total, candidates);
+    runs.clear();
+    main.runs = runs;
+    pool.release(main);
+    (hits, at)
+}
+
+/// Split coalesced runs into at most `workers` spans of near-equal
+/// postings volume, cutting *inside* runs where needed so one giant
+/// coalesced run still spreads across the fleet.
+fn split_runs(runs: &[PostingsSegment], workers: usize, total: u64) -> Vec<Vec<PostingsSegment>> {
+    let target = total.div_ceil(workers.max(1) as u64).max(1);
+    let mut spans: Vec<Vec<PostingsSegment>> = vec![Vec::new()];
+    let mut in_span = 0u64;
+    for seg in runs {
+        let mut start = seg.start;
+        let mut remaining = seg.len;
+        while remaining > 0 {
+            if in_span >= target {
+                spans.push(Vec::new());
+                in_span = 0;
+            }
+            let take = (remaining as u64).min(target - in_span) as u32;
+            spans
+                .last_mut()
+                .expect("spans starts non-empty")
+                .push(PostingsSegment { start, len: take });
+            start += take;
+            remaining -= take;
+            in_span += take as u64;
+        }
+    }
+    spans
+}
+
+/// The seed dense counting path, kept executable as the reference the
+/// optimised kernel is property-tested bit-identical against (and the
+/// baseline `repro --cpu-kernel` measures speedups over): fresh dense
+/// `vec![0u32; n]` per query, full postings scan over uncoalesced
+/// segments, `O(n)` candidate sweep, shared top-k finalisation.
+pub fn reference_search_one(index: &InvertedIndex, query: &Query, k: usize) -> (Vec<TopHit>, u32) {
+    let n = index.num_objects() as usize;
+    let list = index.list_array();
+    let mut counts = vec![0u32; n];
+    for item in &query.items {
+        for seg in index.segments_for_range(item.lo, item.hi) {
+            for &obj in &list[seg.start as usize..(seg.start + seg.len) as usize] {
+                counts[obj as usize] += 1;
+            }
+        }
+    }
+    let candidates: Vec<TopHit> = counts
+        .iter()
+        .enumerate()
+        .filter(|(_, &c)| c > 0)
+        .map(|(id, &count)| TopHit {
+            id: id as ObjectId,
+            count,
+        })
+        .collect();
+    let hits = partial_top_k(candidates, k);
+    let at = audit_threshold(&hits, k);
+    (hits, at)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::index::IndexBuilder;
+    use crate::model::{Object, QueryItem};
+    use std::sync::Arc;
+
+    fn index_of(objects: &[Object]) -> Arc<InvertedIndex> {
+        let mut b = IndexBuilder::new();
+        b.add_objects(objects.iter());
+        Arc::new(b.build(None))
+    }
+
+    fn clustered_objects(n: u32) -> Vec<Object> {
+        (0..n)
+            .map(|i| Object::new(vec![i % 7, 100 + i % 3, 200 + (i % 11)]))
+            .collect()
+    }
+
+    #[test]
+    fn kernel_matches_reference_in_both_modes() {
+        let objects = clustered_objects(500);
+        let index = index_of(&objects);
+        let config = KernelConfig::default();
+        let stats = KernelStats::default();
+        let mut scratch = CountScratch::default();
+        let queries = [
+            Query::from_keywords(&[3, 101]),            // selective
+            Query::new(vec![QueryItem::range(0, 300)]), // touches everything
+            Query::new(vec![QueryItem::range(50, 90)]), // matches nothing
+            Query::new(vec![QueryItem::range(0, 6), QueryItem::range(3, 6)]), // overlap
+        ];
+        for (qi, q) in queries.iter().enumerate() {
+            for k in [1, 5, 1000] {
+                let expected = reference_search_one(&index, q, k);
+                let got = search_one(&index, q, k, &mut scratch, &config, &stats);
+                assert_eq!(expected, got, "query {qi}, k {k}");
+            }
+        }
+        let snap = stats.snapshot();
+        assert_eq!(snap.queries, 12);
+        assert!(snap.sparse_finalize > 0 && snap.dense_finalize > 0);
+    }
+
+    #[test]
+    fn epoch_reuse_never_leaks_previous_counts() {
+        let objects = clustered_objects(100);
+        let index = index_of(&objects);
+        let config = KernelConfig::default();
+        let stats = KernelStats::default();
+        let mut scratch = CountScratch::default();
+        // a heavy query stamps nearly every cell...
+        search_one(
+            &index,
+            &Query::new(vec![QueryItem::range(0, 300)]),
+            10,
+            &mut scratch,
+            &config,
+            &stats,
+        );
+        // ...then a disjoint selective query must see pristine counters
+        let q = Query::from_keywords(&[205]);
+        let got = search_one(&index, &q, 100, &mut scratch, &config, &stats);
+        assert_eq!(got, reference_search_one(&index, &q, 100));
+        assert!(got.0.iter().all(|h| h.count == 1));
+    }
+
+    #[test]
+    fn epoch_wraparound_rezeroes_physically() {
+        let objects = clustered_objects(50);
+        let index = index_of(&objects);
+        let config = KernelConfig::default();
+        let stats = KernelStats::default();
+        let mut scratch = CountScratch::default();
+        let q = Query::from_keywords(&[3]);
+        let expected = reference_search_one(&index, &q, 50);
+        search_one(&index, &q, 50, &mut scratch, &config, &stats);
+        // force the wrap: the next begin() must re-zero, not alias
+        scratch.epoch = u32::MAX;
+        let got = search_one(&index, &q, 50, &mut scratch, &config, &stats);
+        assert_eq!(got, expected);
+        assert_eq!(scratch.epoch, 1);
+        let again = search_one(&index, &q, 50, &mut scratch, &config, &stats);
+        assert_eq!(again, expected);
+    }
+
+    #[test]
+    fn mid_scan_fallback_switches_to_dense_finalize() {
+        let objects = clustered_objects(400);
+        let index = index_of(&objects);
+        // postings volume predicts sparse, but every object matches:
+        // harvesting must abort mid-scan and the dense sweep must agree
+        let config = KernelConfig {
+            dense_postings_per_object: 100.0, // never dense up front
+            dense_touched_fraction: 0.1,      // overflow almost at once
+            ..Default::default()
+        };
+        let stats = KernelStats::default();
+        let mut scratch = CountScratch::default();
+        let q = Query::new(vec![QueryItem::range(0, 300)]);
+        let got = search_one(&index, &q, 25, &mut scratch, &config, &stats);
+        assert_eq!(got, reference_search_one(&index, &q, 25));
+        assert_eq!(stats.snapshot().dense_finalize, 1);
+    }
+
+    #[test]
+    fn parallel_split_and_merge_is_bit_identical() {
+        let objects = clustered_objects(3_000);
+        let index = index_of(&objects);
+        let config = KernelConfig {
+            parallel_min_postings: 1, // force the parallel path
+            ..Default::default()
+        };
+        let stats = KernelStats::default();
+        let pool = ScratchPool::new();
+        for workers in [2, 3, 8, 64] {
+            for q in [
+                Query::from_keywords(&[2, 101, 203]),
+                Query::new(vec![QueryItem::range(0, 210)]),
+                Query::new(vec![QueryItem::range(400, 500)]),
+            ] {
+                let expected = reference_search_one(&index, &q, 17);
+                let got = search_one_parallel(&index, &q, 17, &pool, workers, &config, &stats);
+                assert_eq!(expected, got, "workers {workers}");
+            }
+        }
+        assert!(stats.snapshot().parallel_queries > 0);
+        // every scratch went back to the pool
+        assert!(pool.resident_scratches() >= 2);
+        assert!(pool.resident_bytes() > 0);
+    }
+
+    #[test]
+    fn parallel_path_falls_back_for_small_queries() {
+        let objects = clustered_objects(60);
+        let index = index_of(&objects);
+        let config = KernelConfig::default(); // parallel_min_postings = 8192
+        let stats = KernelStats::default();
+        let pool = ScratchPool::new();
+        let q = Query::from_keywords(&[5]);
+        let got = search_one_parallel(&index, &q, 5, &pool, 8, &config, &stats);
+        assert_eq!(got, reference_search_one(&index, &q, 5));
+        assert_eq!(stats.snapshot().parallel_queries, 0);
+        assert_eq!(pool.resident_scratches(), 1, "fallback uses one scratch");
+    }
+
+    #[test]
+    fn split_runs_covers_every_posting_exactly_once() {
+        let runs = vec![
+            PostingsSegment { start: 0, len: 10 },
+            PostingsSegment { start: 10, len: 1 },
+            PostingsSegment {
+                start: 50,
+                len: 100,
+            },
+        ];
+        for workers in 1..12 {
+            let spans = split_runs(&runs, workers, 111);
+            assert!(spans.len() <= workers.max(1));
+            let mut covered: Vec<(u32, u32)> =
+                spans.iter().flatten().map(|s| (s.start, s.len)).collect();
+            assert!(covered.iter().all(|&(_, len)| len > 0));
+            covered.sort_unstable();
+            let total: u32 = covered.iter().map(|&(_, len)| len).sum();
+            assert_eq!(total, 111, "workers {workers}");
+            // spans tile the original runs without overlap
+            let mut flat: Vec<u32> = Vec::new();
+            for &(start, len) in &covered {
+                flat.extend(start..start + len);
+            }
+            let mut expected: Vec<u32> = Vec::new();
+            for r in &runs {
+                expected.extend(r.start..r.start + r.len);
+            }
+            flat.sort_unstable();
+            expected.sort_unstable();
+            assert_eq!(flat, expected);
+        }
+    }
+
+    #[test]
+    fn pool_reuses_scratches_across_queries() {
+        let objects = clustered_objects(200);
+        let index = index_of(&objects);
+        let config = KernelConfig::default();
+        let stats = KernelStats::default();
+        let pool = ScratchPool::new();
+        for i in 0..20 {
+            let mut scratch = pool.acquire();
+            search_one(
+                &index,
+                &Query::from_keywords(&[i % 7]),
+                3,
+                &mut scratch,
+                &config,
+                &stats,
+            );
+            pool.release(scratch);
+        }
+        assert_eq!(
+            pool.resident_scratches(),
+            1,
+            "sequential queries share one scratch"
+        );
+    }
+
+    #[test]
+    fn empty_query_and_empty_index() {
+        let config = KernelConfig::default();
+        let stats = KernelStats::default();
+        let mut scratch = CountScratch::default();
+        let empty_index = IndexBuilder::new().build(None);
+        let (hits, at) = search_one(
+            &empty_index,
+            &Query::from_keywords(&[1]),
+            3,
+            &mut scratch,
+            &config,
+            &stats,
+        );
+        assert!(hits.is_empty());
+        assert_eq!(at, 1);
+
+        let index = index_of(&clustered_objects(10));
+        let (hits, at) = search_one(
+            &index,
+            &Query::new(vec![]),
+            3,
+            &mut scratch,
+            &config,
+            &stats,
+        );
+        assert!(hits.is_empty());
+        assert_eq!(at, 1);
+    }
+}

@@ -9,9 +9,11 @@
 //! * [`Engine`] — the paper-faithful gpu-sim pipeline (c-PQ on the
 //!   simulated device, per-stage cost-model timing);
 //! * [`CpuBackend`] — a pure-host rayon implementation with no device
-//!   simulation overhead: dense per-query count arrays plus the same
-//!   deterministic top-k finalisation (the "as fast as the hardware
-//!   allows" serving path);
+//!   simulation overhead, built on the sparse-aware counting kernel of
+//!   [`kernel`] (epoch-stamped reusable scratch, coalesced chunked
+//!   postings scans, adaptive sparse/dense finalisation, intra-query
+//!   parallelism for small waves) plus the same deterministic top-k
+//!   finalisation (the "as fast as the hardware allows" serving path);
 //! * [`MultiDeviceBackend`] — multiple simulated devices, each paging
 //!   device-sized index parts through memory (absorbing the multiple
 //!   loading / multi-device fan-out of [`crate::multiload`] behind the
@@ -23,6 +25,7 @@
 //! a per-stage [`StageProfile`](crate::exec::StageProfile).
 
 mod cpu;
+pub mod kernel;
 mod multi;
 
 pub use cpu::CpuBackend;

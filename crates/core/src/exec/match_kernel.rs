@@ -23,17 +23,51 @@ pub struct ScanTask {
 pub(crate) const TASK_WORDS: usize = 3;
 
 /// Resolve `queries` against the Position Map into the flat task list.
+///
+/// Adjacent segments of one item are merged — the same List-Array
+/// contiguity the CPU kernel exploits via
+/// [`coalesced_segments_for_range`](InvertedIndex::coalesced_segments_for_range)
+/// — but *capped*: one task is one device block on one simulated SM, so
+/// an unbounded merge would serialize a whole range item on a single SM
+/// and inflate the match-stage makespan. The cap keeps every merged
+/// block at most as long as the longest single postings list, which was
+/// already the makespan contributor before merging; what remains is the
+/// real win, folding runs of tiny adjacent lists (relational bucket
+/// ranges, sparse vocabularies) into fewer blocks and fewer uploaded
+/// task words. Load-balanced indexes skip merging entirely: their split
+/// sublists exist precisely to spread one hot list across blocks
+/// (Figure 4).
 pub fn build_scan_tasks(index: &InvertedIndex, queries: &[Query]) -> Vec<ScanTask> {
+    let cap = index.longest_list().max(1) as u32;
+    let coalesce = index.load_balance().is_none();
     let mut tasks = Vec::new();
     for (qi, query) in queries.iter().enumerate() {
+        let mut push = |start: u32, len: u32| {
+            if len > 0 {
+                tasks.push(ScanTask {
+                    query: qi as u32,
+                    start,
+                    len,
+                });
+            }
+        };
         for item in &query.items {
-            for seg in index.segments_for_range(item.lo, item.hi) {
-                if seg.len > 0 {
-                    tasks.push(ScanTask {
-                        query: qi as u32,
-                        start: seg.start,
-                        len: seg.len,
-                    });
+            if coalesce {
+                // one shared merge implementation (the index's), then
+                // re-split each contiguous run into cap-sized blocks
+                for seg in index.coalesced_segments_for_range(item.lo, item.hi) {
+                    let mut start = seg.start;
+                    let mut remaining = seg.len;
+                    while remaining > 0 {
+                        let take = remaining.min(cap);
+                        push(start, take);
+                        start += take;
+                        remaining -= take;
+                    }
+                }
+            } else {
+                for seg in index.segments_for_range(item.lo, item.hi) {
+                    push(seg.start, seg.len);
                 }
             }
         }
@@ -67,14 +101,38 @@ mod tests {
     }
 
     #[test]
-    fn one_task_per_matched_list() {
+    fn one_task_per_matched_list_when_merging_would_exceed_the_cap() {
         let idx = sample_index(None);
         let q = Query::new(vec![QueryItem::range(1, 2), QueryItem::exact(5)]);
         let tasks = build_scan_tasks(&idx, &[q]);
-        // item [1,2] matches keywords 1 and 2; item [5,5] matches 5
+        // item [1,2] matches keywords 1 (len 2) and 2 (len 1): the
+        // merged run (len 3) exceeds the longest single list (len 2),
+        // so it is re-split at the cap into two blocks; item [5,5]
+        // matches 5
         assert_eq!(tasks.len(), 3);
         assert!(tasks.iter().all(|t| t.query == 0));
         assert_eq!(tasks.iter().map(|t| t.len).sum::<u32>(), 2 + 1 + 2);
+    }
+
+    #[test]
+    fn tiny_adjacent_lists_coalesce_up_to_the_longest_list() {
+        // lists: 1 -> [0] (len 1), 2 -> [1] (len 1), 7 -> [2,3] (len 2),
+        // 8 -> [2,3] (len 2); longest single list = 2 = the merge cap
+        let mut b = IndexBuilder::new();
+        b.add_object(&Object::new(vec![1]));
+        b.add_object(&Object::new(vec![2]));
+        b.add_object(&Object::new(vec![7, 8]));
+        b.add_object(&Object::new(vec![7, 8]));
+        let idx = b.build(None);
+        // two singleton lists merge into one block of exactly cap size
+        let merged = build_scan_tasks(&idx, &[Query::new(vec![QueryItem::range(1, 2)])]);
+        assert_eq!(merged.len(), 1);
+        assert_eq!(merged[0].len, 2);
+        // two cap-sized lists stay two blocks: merging would build a
+        // block longer than any the index had before coalescing
+        let capped = build_scan_tasks(&idx, &[Query::new(vec![QueryItem::range(7, 8)])]);
+        assert_eq!(capped.len(), 2);
+        assert!(capped.iter().all(|t| t.len == 2));
     }
 
     #[test]
@@ -84,6 +142,8 @@ mod tests {
         let q1 = Query::from_keywords(&[5, 6]);
         let tasks = build_scan_tasks(&idx, &[q0, q1]);
         assert_eq!(tasks.iter().filter(|t| t.query == 0).count(), 1);
+        // two *items* stay two tasks — coalescing works within one
+        // item's Position-Map run, never across items
         assert_eq!(tasks.iter().filter(|t| t.query == 1).count(), 2);
     }
 

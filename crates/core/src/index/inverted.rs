@@ -98,6 +98,35 @@ impl InvertedIndex {
             })
     }
 
+    /// Like [`segments_for_range`](Self::segments_for_range), but with
+    /// segments that are *adjacent in the List Array* merged into one
+    /// [`PostingsSegment`].
+    ///
+    /// The builder lays consecutive keywords' postings lists (and a
+    /// load-balanced keyword's sublists) out back-to-back, so a range
+    /// item usually resolves to one long contiguous run instead of many
+    /// short segments. Host scan loops want exactly that: one bounds
+    /// check and one hot loop per run, long enough for the chunked
+    /// counting kernel to amortise its setup. Load-balanced sublists are
+    /// deliberately merged back together here — the split exists to
+    /// balance *device blocks*, which host kernels do not have.
+    ///
+    /// Yields no zero-length segments; the postings visited (and their
+    /// order) are identical to the uncoalesced iteration.
+    pub fn coalesced_segments_for_range(
+        &self,
+        lo: KeywordId,
+        hi: KeywordId,
+    ) -> CoalescedSegments<'_> {
+        let from = self.entries.partition_point(|e| e.keyword < lo);
+        CoalescedSegments {
+            entries: &self.entries[from..],
+            pos: 0,
+            hi,
+            pending: None,
+        }
+    }
+
     /// Raw Position-Map entries (persistence codec).
     pub fn entries_raw(&self) -> &[PostingsEntry] {
         &self.entries
@@ -151,6 +180,47 @@ impl InvertedIndex {
     }
 }
 
+/// Iterator of [`InvertedIndex::coalesced_segments_for_range`]: walks the
+/// in-range Position-Map entries, folding each segment that starts where
+/// the previous one ended into a single growing run.
+pub struct CoalescedSegments<'a> {
+    entries: &'a [PostingsEntry],
+    pos: usize,
+    hi: KeywordId,
+    pending: Option<PostingsSegment>,
+}
+
+impl Iterator for CoalescedSegments<'_> {
+    type Item = PostingsSegment;
+
+    fn next(&mut self) -> Option<PostingsSegment> {
+        while self.pos < self.entries.len() && self.entries[self.pos].keyword <= self.hi {
+            let e = self.entries[self.pos];
+            self.pos += 1;
+            if e.len == 0 {
+                continue;
+            }
+            match self.pending {
+                Some(ref mut p) if p.start + p.len == e.start => p.len += e.len,
+                Some(p) => {
+                    self.pending = Some(PostingsSegment {
+                        start: e.start,
+                        len: e.len,
+                    });
+                    return Some(p);
+                }
+                None => {
+                    self.pending = Some(PostingsSegment {
+                        start: e.start,
+                        len: e.len,
+                    });
+                }
+            }
+        }
+        self.pending.take()
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -201,6 +271,61 @@ mod tests {
         let idx = b.build(None);
         let objects = idx.reconstruct_objects();
         assert_eq!(objects[0].keywords, vec![5, 5, 9]);
+    }
+
+    #[test]
+    fn coalescing_merges_adjacent_segments() {
+        let idx = sample_index();
+        // keywords 10, 20, 30 occupy the List Array back-to-back, so a
+        // full-range lookup collapses to one segment covering it all
+        let all: Vec<_> = idx.coalesced_segments_for_range(0, 100).collect();
+        assert_eq!(
+            all,
+            vec![PostingsSegment {
+                start: 0,
+                len: idx.list_array().len() as u32
+            }]
+        );
+        // a sub-range coalesces only its own entries
+        let lohi: Vec<_> = idx.coalesced_segments_for_range(10, 20).collect();
+        assert_eq!(lohi, vec![PostingsSegment { start: 0, len: 4 }]);
+        // and an empty range yields nothing
+        assert!(idx.coalesced_segments_for_range(11, 19).next().is_none());
+    }
+
+    #[test]
+    fn coalescing_visits_the_same_postings_in_the_same_order() {
+        let idx = sample_index();
+        for (lo, hi) in [(0, 100), (10, 20), (20, 30), (30, 30), (11, 19)] {
+            let plain: Vec<u32> = idx
+                .segments_for_range(lo, hi)
+                .flat_map(|s| {
+                    idx.list_array()[s.start as usize..(s.start + s.len) as usize].to_vec()
+                })
+                .collect();
+            let coalesced: Vec<u32> = idx
+                .coalesced_segments_for_range(lo, hi)
+                .flat_map(|s| {
+                    idx.list_array()[s.start as usize..(s.start + s.len) as usize].to_vec()
+                })
+                .collect();
+            assert_eq!(plain, coalesced, "range [{lo}, {hi}]");
+        }
+    }
+
+    #[test]
+    fn coalescing_merges_load_balanced_sublists() {
+        use crate::index::LoadBalanceConfig;
+        let mut b = IndexBuilder::new();
+        for _ in 0..20 {
+            b.add_object(&Object::new(vec![7]));
+        }
+        let idx = b.build(Some(LoadBalanceConfig { max_list_len: 8 }));
+        // the balanced index splits keyword 7 into three sublists...
+        assert_eq!(idx.segments_for_range(7, 7).count(), 3);
+        // ...which the host view folds back into one contiguous run
+        let merged: Vec<_> = idx.coalesced_segments_for_range(7, 7).collect();
+        assert_eq!(merged, vec![PostingsSegment { start: 0, len: 20 }]);
     }
 
     #[test]

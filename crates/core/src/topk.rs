@@ -16,24 +16,60 @@ pub struct TopHit {
 /// (`AT - 1`, per Theorem 3.1) are dropped; the survivors are sorted by
 /// count descending. The paper breaks ties randomly — we break them by
 /// ascending id so results are reproducible.
+///
+/// The merge map is pre-sized from the candidate iterator's size hint,
+/// so the device-engine path (whose candidate download knows its exact
+/// length) never rehashes mid-merge. Callers whose candidate stream is
+/// already duplicate-free should use [`finalize_unique_candidates`],
+/// which skips the map entirely.
 pub fn finalize_candidates<I>(candidates: I, threshold: u32, k: usize) -> Vec<TopHit>
 where
     I: IntoIterator<Item = (ObjectId, u32)>,
 {
-    let mut best: std::collections::HashMap<ObjectId, u32> = std::collections::HashMap::new();
+    let candidates = candidates.into_iter();
+    let (lower, upper) = candidates.size_hint();
+    let mut best: std::collections::HashMap<ObjectId, u32> =
+        std::collections::HashMap::with_capacity(upper.unwrap_or(lower));
     for (id, count) in candidates {
         if count >= threshold {
             let e = best.entry(id).or_insert(0);
             *e = (*e).max(count);
         }
     }
-    let mut hits: Vec<TopHit> = best
+    let hits: Vec<TopHit> = best
         .into_iter()
         .map(|(id, count)| TopHit { id, count })
         .collect();
-    hits.sort_unstable_by(|a, b| b.count.cmp(&a.count).then(a.id.cmp(&b.id)));
-    hits.truncate(k);
-    hits
+    partial_top_k(hits, k)
+}
+
+/// [`finalize_candidates`] for candidate streams that are already
+/// duplicate-free — one entry per object, as the CPU kernel's sparse
+/// harvest and dense sweep both guarantee. No merge map is built: the
+/// survivors go straight into the shared quickselect, so finalisation
+/// costs `O(candidates + k log k)` with no hashing at all.
+///
+/// Feeding duplicates in violates the contract and double-lists the
+/// object (checked by `debug_assert` in test builds); use
+/// [`finalize_candidates`] for streams that can repeat ids.
+pub fn finalize_unique_candidates<I>(candidates: I, threshold: u32, k: usize) -> Vec<TopHit>
+where
+    I: IntoIterator<Item = (ObjectId, u32)>,
+{
+    let hits: Vec<TopHit> = candidates
+        .into_iter()
+        .filter(|&(_, count)| count >= threshold)
+        .map(|(id, count)| TopHit { id, count })
+        .collect();
+    debug_assert!(
+        {
+            let mut ids: Vec<ObjectId> = hits.iter().map(|h| h.id).collect();
+            ids.sort_unstable();
+            ids.windows(2).all(|w| w[0] != w[1])
+        },
+        "finalize_unique_candidates fed duplicate ids"
+    );
+    partial_top_k(hits, k)
 }
 
 /// Exact top-k of pre-scored hits: quickselect the k-th boundary by
@@ -42,8 +78,12 @@ where
 /// contract shared by the CPU backend, the multi-device merge and the
 /// CPU-Idx baseline.
 pub fn partial_top_k(mut hits: Vec<TopHit>, k: usize) -> Vec<TopHit> {
+    if k == 0 {
+        hits.clear();
+        return hits;
+    }
     let by_count_then_id = |a: &TopHit, b: &TopHit| b.count.cmp(&a.count).then(a.id.cmp(&b.id));
-    if hits.len() > k && k > 0 {
+    if hits.len() > k {
         hits.select_nth_unstable_by(k - 1, by_count_then_id);
         hits.truncate(k);
     }
@@ -91,6 +131,36 @@ mod tests {
             hits,
             vec![TopHit { id: 1, count: 5 }, TopHit { id: 2, count: 3 }]
         );
+    }
+
+    #[test]
+    fn engine_path_still_merges_duplicates_after_presizing() {
+        // regression for the pre-sized merge map: the lock-free hash
+        // table can emit one object several times (chain displacement),
+        // and the engine path must still keep the maximum count even
+        // when duplicates push past the size hint's unique-id count
+        let raw: Vec<(u32, u32)> = (0..64)
+            .flat_map(|id| (1..=3).map(move |c| (id % 8, c)))
+            .collect();
+        let hits = finalize_candidates(raw, 1, 8);
+        assert_eq!(hits.len(), 8);
+        assert!(hits.iter().all(|h| h.count == 3), "max count per id wins");
+        let ids: Vec<u32> = hits.iter().map(|h| h.id).collect();
+        assert_eq!(ids, (0..8).collect::<Vec<u32>>());
+    }
+
+    #[test]
+    fn unique_variant_matches_general_on_duplicate_free_input() {
+        let pairs: Vec<(u32, u32)> = vec![(4, 9), (1, 1), (2, 5), (3, 4), (9, 5)];
+        for threshold in 0..6 {
+            for k in 1..6 {
+                assert_eq!(
+                    finalize_unique_candidates(pairs.clone(), threshold, k),
+                    finalize_candidates(pairs.clone(), threshold, k),
+                    "threshold {threshold}, k {k}"
+                );
+            }
+        }
     }
 
     #[test]

@@ -17,6 +17,9 @@ use genie_core::index::{IndexBuilder, InvertedIndex};
 use genie_core::model::{Object, Query};
 use genie_service::{GenieService, QueryScheduler, SchedulerConfig, ServiceConfig};
 
+mod common;
+use common::SlowCpu;
+
 /// An index where keyword `kw` maps to objects `kw % modulus == id % modulus`
 /// — shifted by `offset` so two builds are distinguishable.
 fn index_shifted(n: u32, modulus: u32, offset: u32) -> Arc<InvertedIndex> {
@@ -194,12 +197,11 @@ impl SearchBackend for AlwaysPanics {
 
 #[test]
 fn backend_failures_accumulate_across_waves() {
-    // a substantial index: CPU batches take real time, so the flaky
-    // worker always manages to pop (and panic on) a batch per wave
-    // before the CPU worker drains the queue
-    let index = index_shifted(40_000, 5, 0);
+    // the slow CPU peer guarantees the flaky worker pops (and panics
+    // on) a batch per wave before the queue drains
+    let index = index_shifted(4_000, 5, 0);
     let scheduler = QueryScheduler::new(
-        vec![Arc::new(CpuBackend::new()), Arc::new(AlwaysPanics)],
+        vec![Arc::new(SlowCpu::new()), Arc::new(AlwaysPanics)],
         SchedulerConfig {
             max_batch_queries: 4,
             cpq_budget_bytes: None,

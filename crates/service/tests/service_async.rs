@@ -13,6 +13,9 @@ use genie_core::model::{Object, Query};
 use genie_service::{GenieService, QueryRequest, QueryScheduler, SchedulerConfig, ServiceConfig};
 use gpu_sim::Device;
 
+mod common;
+use common::SlowCpu;
+
 fn index_of_mod(n: u32, modulus: u32) -> Arc<InvertedIndex> {
     let mut b = IndexBuilder::new();
     for i in 0..n {
@@ -284,7 +287,9 @@ impl SearchBackend for PanickyBackend {
     }
 
     fn upload(&self, index: Arc<InvertedIndex>) -> Result<BackendIndex, String> {
-        Ok(BackendIndex::new(index, 0.0, ()))
+        // delegate: the healthy phase serves through a CpuBackend, which
+        // needs its scratch-pool payload on the prepared index
+        SearchBackend::upload(&CpuBackend::new(), index)
     }
 
     fn search_batch(&self, index: &BackendIndex, queries: &[Query], k: usize) -> SearchOutput {
@@ -306,10 +311,7 @@ impl SearchBackend for PanickyBackend {
 fn worker_panic_fails_over_to_surviving_backends() {
     let index = index_of_mod(100, 13);
     let scheduler = QueryScheduler::new(
-        vec![
-            Arc::new(PanickyBackend::always()),
-            Arc::new(CpuBackend::new()),
-        ],
+        vec![Arc::new(PanickyBackend::always()), Arc::new(SlowCpu::new())],
         SchedulerConfig {
             max_batch_queries: 4,
             cpq_budget_bytes: None,
@@ -389,13 +391,11 @@ fn service_survives_a_panicking_fleet_member() {
 fn circuit_breaker_retires_a_repeatedly_failing_backend() {
     let index = index_of_mod(100, 13);
     let scheduler = QueryScheduler::new(
-        vec![
-            Arc::new(PanickyBackend::always()),
-            Arc::new(CpuBackend::new()),
-        ],
+        vec![Arc::new(PanickyBackend::always()), Arc::new(SlowCpu::new())],
         SchedulerConfig {
             // one query per batch: a wave of 8 requests is 8 batches,
             // so the panicky worker always gets to grab (and drop) one
+            // while the slow peer sleeps
             max_batch_queries: 1,
             cpq_budget_bytes: None,
         },
@@ -451,7 +451,7 @@ fn probe_readmits_a_recovered_backend() {
         healthy_after: 2, // crashes twice, healthy from the third call on
     });
     let scheduler = QueryScheduler::new(
-        vec![flaky, Arc::new(CpuBackend::new())],
+        vec![flaky, Arc::new(SlowCpu::new())],
         SchedulerConfig {
             max_batch_queries: 1,
             cpq_budget_bytes: None,

@@ -296,3 +296,64 @@ fn sharded_waves_honour_per_request_k() {
         assert!(resp.hits.iter().all(|h| h.count == 1));
     }
 }
+
+/// Facade-level: sharded + cached serving on the new CPU counting
+/// kernel is unchanged. Every answer routed through `GenieDb` — shard
+/// fan-out, merge, result cache and all — must be bit-identical to the
+/// seed dense reference path
+/// ([`genie_core::backend::kernel::reference_search_one`]) decoded by
+/// the same domain adapter, on the first (scheduler) and second
+/// (cache-served) passes alike.
+#[test]
+fn facade_sharded_cached_serving_matches_the_seed_reference() {
+    use genie_core::backend::kernel;
+    use genie_core::domain::Domain;
+    use genie_sa::DocumentIndex;
+    use genie_service::GenieDb;
+
+    let words = |ids: &[u32]| ids.iter().map(|i| format!("w{i}")).collect::<Vec<String>>();
+    let docs: Vec<Vec<String>> = (0..120u32)
+        .map(|i| words(&[i % 13, 13 + i % 7, 20 + i % 3]))
+        .collect();
+    let db = GenieDb::open(
+        vec![Arc::new(CpuBackend::new())],
+        SchedulerConfig {
+            max_batch_queries: 8,
+            cpq_budget_bytes: None,
+        },
+        ServiceConfig {
+            max_queue_delay: std::time::Duration::from_micros(200),
+            cache_capacity: 256,
+            ..Default::default()
+        },
+    )
+    .expect("db opens");
+    let col = db
+        .create_collection_sharded::<DocumentIndex>("docs", (), docs, 3)
+        .expect("collection builds");
+    assert_eq!(col.shard_count(), 3);
+
+    let k = 5;
+    let specs: Vec<Vec<String>> = (0..20u32)
+        .map(|i| words(&[i % 13, 13 + (i + 1) % 7]))
+        .collect();
+    let first: Vec<_> = specs.iter().map(|s| col.search(s, k).unwrap()).collect();
+    let second: Vec<_> = specs.iter().map(|s| col.search(s, k).unwrap()).collect();
+    assert!(
+        db.stats().cache_hits >= specs.len() as u64,
+        "the second pass must be served from the cache: {:?}",
+        db.stats()
+    );
+
+    let domain = col.domain();
+    let kc = domain.candidates_for(k);
+    for ((spec, f), s) in specs.iter().zip(&first).zip(&second) {
+        let query = domain.encode(spec).expect("valid spec");
+        let (hits, at) = kernel::reference_search_one(domain.index(), &query, kc);
+        let expected = domain.decode(spec, hits, at, kc, k);
+        assert_eq!(f.hits, expected.hits, "sharded facade vs seed reference");
+        assert_eq!(f.audit_threshold, expected.audit_threshold);
+        assert_eq!(f.hits, s.hits, "cached pass must be bit-identical");
+        assert_eq!(f.audit_threshold, s.audit_threshold);
+    }
+}

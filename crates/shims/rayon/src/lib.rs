@@ -14,10 +14,17 @@ pub mod prelude {
 }
 
 /// Number of worker threads parallel operations will use.
+///
+/// Memoised: `available_parallelism` is a syscall (it may read cgroup
+/// limits), and hot paths ask per batch — real rayon reads its
+/// constructed pool size, which is equally a cached value.
 pub fn current_num_threads() -> usize {
-    std::thread::available_parallelism()
-        .map(|n| n.get())
-        .unwrap_or(1)
+    static THREADS: std::sync::OnceLock<usize> = std::sync::OnceLock::new();
+    *THREADS.get_or_init(|| {
+        std::thread::available_parallelism()
+            .map(|n| n.get())
+            .unwrap_or(1)
+    })
 }
 
 /// Run two closures, potentially in parallel, returning both results.

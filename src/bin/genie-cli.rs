@@ -245,6 +245,7 @@ fn main() {
         }
         "serve" => {
             serve(&args, &lines, &db);
+            device_counters(&*backend);
             return;
         }
         "fuzzy" => {
@@ -284,7 +285,8 @@ fn main() {
     device_counters(&*backend);
 }
 
-/// Print the simulated device's counters, when the backend has one.
+/// Print the simulated device's counters or the host kernel's decision
+/// stats, depending on what the backend is.
 fn device_counters(backend: &dyn SearchBackend) {
     // device-specific counters only exist on the simulated engine
     if let Some(engine) = backend.as_any().downcast_ref::<Engine>() {
@@ -294,6 +296,20 @@ fn device_counters(backend: &dyn SearchBackend) {
             c.launches,
             c.sim_us(engine.device().cost_model()),
             c.h2d_bytes + c.d2h_bytes
+        );
+    }
+    // the host path reports how its adaptive counting kernel ran
+    if let Some(cpu) = backend.as_any().downcast_ref::<CpuBackend>() {
+        let s = cpu.kernel_stats();
+        println!(
+            "\ncpu kernel: {} queries ({} sparse / {} dense finalize, {} intra-parallel), \
+             {} postings scanned, {} candidates",
+            s.queries,
+            s.sparse_finalize,
+            s.dense_finalize,
+            s.parallel_queries,
+            s.postings_scanned,
+            s.candidates
         );
     }
 }

@@ -1,10 +1,21 @@
 //! `repro` — regenerate the paper's tables and figures.
 //!
 //! ```text
-//! repro --all            # everything (a few minutes)
-//! repro --fig9 --table1  # selected experiments
-//! repro --quick --all    # smaller workloads (~1 minute)
+//! repro --all                    # everything (a few minutes)
+//! repro --fig9 --table1          # selected experiments
+//! repro --quick --all            # smaller workloads (~1 minute)
+//! repro --cpu-kernel --check     # perf-regression gate vs baseline
+//! repro --serving-smoke --check  # CI serving gate + baseline audit
 //! ```
+//!
+//! `--check` flips the bench runners from *recording* baselines to
+//! *gating against* them: the workload is re-run several times, each
+//! gated metric is summarised as median ± MAD, and the process exits
+//! nonzero if any row regresses beyond its noise band vs the checked-in
+//! `BENCH_*.json` (see `genie_bench::check`). Setting
+//! `GENIE_BENCH_INJECT_REGRESSION=1` spins inside the timed kernel
+//! loops; CI runs the gate once with it set and asserts failure, so the
+//! band can never silently widen past a real regression.
 
 use genie_bench::cpu_kernel;
 use genie_bench::experiments as exp;
@@ -18,7 +29,7 @@ fn main() {
             "usage: repro [--quick] [--all] [--fig8] [--fig9] [--fig10] [--fig11] \
              [--fig12] [--fig13] [--fig14] [--table1] [--table2] [--table4] \
              [--table5] [--table6] [--ext-structures] [--ext-tau] [--serving] \
-             [--serving-smoke] [--shards N] [--cpu-kernel [--smoke]]"
+             [--serving-smoke] [--shards N] [--cpu-kernel [--smoke]] [--check]"
         );
         std::process::exit(2);
     }
@@ -98,21 +109,44 @@ fn main() {
     if all || has("--ext-tau") {
         exp::ext_tau(scale);
     }
+    // in --check mode each selected bench *gates* instead of recording;
+    // a single failed gate turns the whole invocation red
+    let checking = has("--check");
+    let mut all_checks_passed = true;
+
     if all || has("--serving") {
-        serving::serving(scale);
+        if checking {
+            all_checks_passed &= serving::serving_check();
+        } else {
+            serving::serving(scale);
+        }
     }
     if all || has("--cpu-kernel") {
         // `--smoke` (and `--quick`, for consistency with every other
         // experiment) shrinks the sweep to the CI-gate size: correctness
         // + regime selection asserted, timings recorded not asserted,
         // output routed to the gitignored BENCH_cpu_kernel_smoke.json.
-        // Only the full run enforces the >= 2x sparse speedup bar and
-        // refreshes the checked-in BENCH_cpu_kernel.json baseline.
-        cpu_kernel::cpu_kernel(has("--smoke") || has("--quick"));
+        // Only the full run enforces the >= 2x sparse/dense speedup bars
+        // and refreshes the checked-in BENCH_cpu_kernel.json baseline.
+        let smoke = has("--smoke") || has("--quick");
+        if checking {
+            all_checks_passed &= cpu_kernel::cpu_kernel_check(smoke);
+        } else {
+            cpu_kernel::cpu_kernel(smoke);
+        }
     }
     if has("--serving-smoke") {
         // deliberately not part of --all: a fixed-size CI gate that
         // exercises the live serving loop with both wave triggers
-        serving::serving_smoke(shards);
+        if checking {
+            all_checks_passed &= serving::serving_smoke_check(shards);
+        } else {
+            serving::serving_smoke(shards);
+        }
+    }
+
+    if !all_checks_passed {
+        eprintln!("perf-regression check FAILED — see CHECK_*.json for the banded verdicts");
+        std::process::exit(1);
     }
 }

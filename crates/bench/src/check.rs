@@ -1,0 +1,268 @@
+//! The `--check` perf-regression gate: noise-banded comparison of a
+//! fresh re-run against the checked-in baselines.
+//!
+//! `repro --cpu-kernel --check` re-runs the sweep several times,
+//! summarises each gated metric as **median ± MAD** across the trials,
+//! and fails (nonzero exit) if any row regresses beyond its noise band
+//! vs `BENCH_cpu_kernel.json`. Only *dimensionless* metrics are gated —
+//! speedup ratios, batch occupancy, structural counters — because raw
+//! microseconds are host-specific and a baseline recorded on one
+//! machine would spuriously gate another.
+//!
+//! The band is deliberately two-sided-generous: a row passes when
+//!
+//! ```text
+//! median(trials) >= floor * baseline - slack_mad * MAD(trials)
+//! ```
+//!
+//! where `floor` absorbs host-to-host variation (and, in smoke mode,
+//! the smaller-`n` workloads) and the MAD term absorbs run-to-run
+//! jitter measured *on this host, right now*. A genuine regression —
+//! e.g. the dense path losing its vectorised sweep — moves the median
+//! far below any plausible band, which the injected-regression
+//! self-test in CI demonstrates (`GENIE_BENCH_INJECT_REGRESSION=1`
+//! must make this gate fail).
+//!
+//! Every check writes a machine-readable report
+//! (`CHECK_cpu_kernel.json` / `CHECK_serving.json`, gitignored; CI
+//! uploads them as artifacts) recording trials, medians, MADs, bands
+//! and verdicts, so a red gate in CI is diagnosable from the artifact
+//! alone.
+
+use crate::json::Json;
+
+/// Median of a sample (mean-of-middle-two for even sizes).
+pub fn median(samples: &[f64]) -> f64 {
+    assert!(!samples.is_empty(), "median of an empty sample");
+    let mut s = samples.to_vec();
+    s.sort_by(|a, b| a.partial_cmp(b).expect("non-finite sample"));
+    let mid = s.len() / 2;
+    if s.len() % 2 == 1 {
+        s[mid]
+    } else {
+        (s[mid - 1] + s[mid]) / 2.0
+    }
+}
+
+/// Median absolute deviation — the robust spread estimate behind the
+/// noise band (unlike stddev, one cold-cache outlier barely moves it).
+pub fn mad(samples: &[f64]) -> f64 {
+    let m = median(samples);
+    let dev: Vec<f64> = samples.iter().map(|s| (s - m).abs()).collect();
+    median(&dev)
+}
+
+/// One gated metric: its fresh trials vs the baseline value.
+#[derive(Debug, Clone)]
+pub struct GateRow {
+    /// `"<row>/<metric>"`, e.g. `"sparse/speedup_single_query"`.
+    pub name: String,
+    pub baseline: f64,
+    pub trials: Vec<f64>,
+    /// Relative floor: the fraction of `baseline` the median must
+    /// reach before MAD slack is added (host / scale headroom).
+    pub floor: f64,
+}
+
+/// The verdict for one gate row.
+#[derive(Debug, Clone)]
+pub struct GateVerdict {
+    pub row: GateRow,
+    pub median: f64,
+    pub mad: f64,
+    /// `floor * baseline - SLACK_MADS * mad`: the pass threshold.
+    pub threshold: f64,
+    pub pass: bool,
+}
+
+/// How many MADs of same-host jitter the band tolerates on top of the
+/// relative floor.
+pub const SLACK_MADS: f64 = 3.0;
+
+/// Judge one metric: median of the trials against the banded floor.
+pub fn judge(row: GateRow) -> GateVerdict {
+    let med = median(&row.trials);
+    let spread = mad(&row.trials);
+    let threshold = row.floor * row.baseline - SLACK_MADS * spread;
+    GateVerdict {
+        median: med,
+        mad: spread,
+        threshold,
+        pass: med >= threshold,
+        row,
+    }
+}
+
+/// Print the verdict table, write the machine-readable report to
+/// `report_path`, and return whether every row passed.
+pub fn report(check_name: &str, verdicts: &[GateVerdict], report_path: &str) -> bool {
+    let widths = [34, 10, 10, 10, 10, 6];
+    crate::row(
+        &[
+            "gate".into(),
+            "baseline".into(),
+            "median".into(),
+            "mad".into(),
+            "threshold".into(),
+            "ok".into(),
+        ],
+        &widths,
+    );
+    for v in verdicts {
+        crate::row(
+            &[
+                v.row.name.clone(),
+                format!("{:.3}", v.row.baseline),
+                format!("{:.3}", v.median),
+                format!("{:.3}", v.mad),
+                format!("{:.3}", v.threshold),
+                if v.pass { "yes" } else { "NO" }.into(),
+            ],
+            &widths,
+        );
+    }
+
+    let all_pass = verdicts.iter().all(|v| v.pass);
+    let doc = Json::obj(vec![
+        ("check", Json::str(check_name)),
+        ("slack_mads", Json::num(SLACK_MADS)),
+        ("pass", Json::Bool(all_pass)),
+        (
+            "gates",
+            Json::arr(
+                verdicts
+                    .iter()
+                    .map(|v| {
+                        Json::obj(vec![
+                            ("name", Json::str(v.row.name.clone())),
+                            ("baseline", Json::num(v.row.baseline)),
+                            ("floor", Json::num(v.row.floor)),
+                            (
+                                "trials",
+                                Json::arr(v.row.trials.iter().map(|&t| Json::num(t)).collect()),
+                            ),
+                            ("median", Json::num(v.median)),
+                            ("mad", Json::num(v.mad)),
+                            ("threshold", Json::num(v.threshold)),
+                            ("pass", Json::Bool(v.pass)),
+                        ])
+                    })
+                    .collect(),
+            ),
+        ),
+    ]);
+    doc.write_to_file(report_path)
+        .unwrap_or_else(|e| panic!("cannot write {report_path}: {e}"));
+    println!(
+        "check report written to {report_path} — {}",
+        if all_pass { "PASS" } else { "FAIL" }
+    );
+    all_pass
+}
+
+/// Load a checked-in baseline, or explain exactly what to run.
+pub fn load_baseline(path: &str) -> Json {
+    let text = std::fs::read_to_string(path).unwrap_or_else(|e| {
+        panic!("cannot read baseline {path}: {e} — run the bench without --check to create it")
+    });
+    Json::parse(&text).unwrap_or_else(|e| panic!("corrupt baseline {path}: {e}"))
+}
+
+/// Find the row of `rows` whose `key` field equals `value`.
+pub fn find_row<'a>(rows: &'a [Json], key: &str, value: &str) -> &'a Json {
+    rows.iter()
+        .find(|r| r.get(key).and_then(Json::as_str) == Some(value))
+        .unwrap_or_else(|| panic!("baseline has no row with {key} == {value:?}"))
+}
+
+/// Read a required numeric field out of a baseline row.
+pub fn field(row: &Json, name: &str) -> f64 {
+    row.get(name)
+        .and_then(Json::as_f64)
+        .unwrap_or_else(|| panic!("baseline row missing numeric field {name:?}"))
+}
+
+/// True when the injected-regression self-test hook is armed. The
+/// bench runners consult this inside their timed loops; CI sets it and
+/// asserts the gate *fails*, proving the band cannot mask a real
+/// slowdown.
+pub fn regression_injected() -> bool {
+    std::env::var("GENIE_BENCH_INJECT_REGRESSION").is_ok_and(|v| !v.is_empty() && v != "0")
+}
+
+/// Busy-wait ~`us` microseconds inside a timed region (the injected
+/// "regression"). Spins rather than sleeps so the cost lands in the
+/// measured wall-clock exactly like slow kernel code would.
+pub fn inject_spin(us: u64) {
+    let start = std::time::Instant::now();
+    while start.elapsed().as_micros() < us as u128 {
+        std::hint::spin_loop();
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn median_and_mad_are_robust_to_one_outlier() {
+        let samples = [8.0, 8.2, 7.9, 8.1, 42.0];
+        assert_eq!(median(&samples), 8.1);
+        assert!(mad(&samples) < 0.3, "mad = {}", mad(&samples));
+    }
+
+    #[test]
+    fn median_of_even_sample_averages_the_middle() {
+        assert_eq!(median(&[1.0, 3.0]), 2.0);
+        assert_eq!(median(&[4.0]), 4.0);
+    }
+
+    #[test]
+    fn judge_passes_within_band_and_fails_far_below() {
+        let ok = judge(GateRow {
+            name: "sparse/speedup".into(),
+            baseline: 8.0,
+            trials: vec![7.0, 7.2, 6.9],
+            floor: 0.6,
+        });
+        assert!(ok.pass, "{ok:?}");
+
+        let bad = judge(GateRow {
+            name: "sparse/speedup".into(),
+            baseline: 8.0,
+            trials: vec![1.1, 1.0, 1.2],
+            floor: 0.6,
+        });
+        assert!(!bad.pass, "{bad:?}");
+    }
+
+    #[test]
+    fn mad_slack_tolerates_genuinely_noisy_metrics() {
+        // trials straddle the floor but their own spread widens the band
+        let v = judge(GateRow {
+            name: "mid/speedup".into(),
+            baseline: 3.0,
+            trials: vec![2.0, 1.4, 2.6],
+            floor: 0.7,
+        });
+        // floor alone: 2.1 > median 2.0 — but MAD slack (0.6 * 3) saves it
+        assert!(v.pass, "{v:?}");
+    }
+
+    #[test]
+    fn report_writes_a_parseable_verdict_file() {
+        let v = judge(GateRow {
+            name: "dense/speedup".into(),
+            baseline: 2.5,
+            trials: vec![2.4, 2.6, 2.5],
+            floor: 0.6,
+        });
+        let path = std::env::temp_dir().join("genie_check_report_test.json");
+        let path = path.to_str().unwrap();
+        assert!(report("unit_test", &[v], path));
+        let doc = Json::parse(&std::fs::read_to_string(path).unwrap()).unwrap();
+        assert_eq!(doc.get("check").and_then(Json::as_str), Some("unit_test"));
+        assert_eq!(doc.get("pass"), Some(&Json::Bool(true)));
+        let _ = std::fs::remove_file(path);
+    }
+}

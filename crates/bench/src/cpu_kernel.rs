@@ -22,6 +22,14 @@
 //! checked in) or `BENCH_cpu_kernel_smoke.json` (`--smoke`, the CI
 //! gate's artifact) — so future PRs have a perf trajectory to diff
 //! against instead of re-reading tables out of CI logs.
+//!
+//! `--check` (see [`crate::check`]) re-runs the sweep several times
+//! and gates each row's **speedup ratio** — not raw microseconds, so
+//! the gate is portable across hosts — against the checked-in
+//! baseline with a median ± MAD noise band, exiting nonzero on
+//! regression. `GENIE_BENCH_INJECT_REGRESSION=1` spins ~200 µs per
+//! query inside the timed kernel loops, which collapses every speedup
+//! and must make the gate fail (CI asserts exactly that).
 
 use std::sync::Arc;
 use std::time::Instant;
@@ -34,6 +42,7 @@ use genie_core::model::{Object, Query, QueryItem};
 use rand::rngs::StdRng;
 use rand::{Rng, SeedableRng};
 
+use crate::check::{self, GateRow};
 use crate::json::Json;
 use crate::row;
 
@@ -120,7 +129,19 @@ fn diff(after: KernelStatsSnapshot, before: KernelStatsSnapshot) -> KernelStatsS
     }
 }
 
-fn sweep_one(workload: &Workload, reps: usize) -> SweepRow {
+/// A workload with its index built, backend warm, and answers already
+/// verified bit-identical against the seed path — ready for (repeated)
+/// timing. The split from [`measure`] lets `--check` run several
+/// trials without re-paying the index build or correctness sweep.
+struct Prepared {
+    workload: Workload,
+    index: Arc<InvertedIndex>,
+    cpu: CpuBackend,
+    bindex: genie_core::backend::BackendIndex,
+    stats: KernelStatsSnapshot,
+}
+
+fn prepare(workload: Workload) -> Prepared {
     let index = index_of(&workload.objects);
     let cpu = CpuBackend::new();
     let bindex = SearchBackend::upload(&cpu, Arc::clone(&index)).unwrap();
@@ -140,42 +161,64 @@ fn sweep_one(workload: &Workload, reps: usize) -> SweepRow {
     }
     let stats = diff(cpu.kernel_stats(), before);
 
+    Prepared {
+        workload,
+        index,
+        cpu,
+        bindex,
+        stats,
+    }
+}
+
+fn measure(p: &Prepared, reps: usize) -> SweepRow {
+    let queries = &p.workload.queries;
+    // the injected-regression self-test: spin inside the *kernel*
+    // timed loops only, so every speedup collapses and `--check` must
+    // go red (CI asserts it does)
+    let inject = check::regression_injected();
+
     // single-query latency, seed dense path
     let started = Instant::now();
     for _ in 0..reps {
-        for q in &workload.queries {
-            std::hint::black_box(kernel::reference_search_one(&index, q, K));
+        for q in queries {
+            std::hint::black_box(kernel::reference_search_one(&p.index, q, K));
         }
     }
-    let seed_us = elapsed_us(started) / (reps * workload.queries.len()) as f64;
+    let seed_us = elapsed_us(started) / (reps * queries.len()) as f64;
 
     // single-query latency, new kernel through the real serving path
     // (waves of size 1, scratch pool warm)
     let started = Instant::now();
     for _ in 0..reps {
-        for q in &workload.queries {
-            std::hint::black_box(cpu.search_batch(&bindex, std::slice::from_ref(q), K));
+        for q in queries {
+            std::hint::black_box(p.cpu.search_batch(&p.bindex, std::slice::from_ref(q), K));
+            if inject {
+                check::inject_spin(200);
+            }
         }
     }
-    let kernel_us = elapsed_us(started) / (reps * workload.queries.len()) as f64;
+    let kernel_us = elapsed_us(started) / (reps * queries.len()) as f64;
 
     // whole-batch throughput on the new kernel
     let started = Instant::now();
     for _ in 0..reps {
-        std::hint::black_box(cpu.search_batch(&bindex, &workload.queries, K));
+        std::hint::black_box(p.cpu.search_batch(&p.bindex, queries, K));
+        if inject {
+            check::inject_spin(200 * queries.len() as u64);
+        }
     }
-    let batch_us = elapsed_us(started) / (reps * workload.queries.len()) as f64;
+    let batch_us = elapsed_us(started) / (reps * queries.len()) as f64;
 
     SweepRow {
-        name: workload.name,
-        n: workload.objects.len(),
-        queries: workload.queries.len(),
-        postings_per_query: stats.postings_scanned as f64 / stats.queries.max(1) as f64,
-        candidates_per_query: stats.candidates as f64 / stats.queries.max(1) as f64,
+        name: p.workload.name,
+        n: p.workload.objects.len(),
+        queries: queries.len(),
+        postings_per_query: p.stats.postings_scanned as f64 / p.stats.queries.max(1) as f64,
+        candidates_per_query: p.stats.candidates as f64 / p.stats.queries.max(1) as f64,
         seed_us,
         kernel_us,
         batch_us,
-        stats,
+        stats: p.stats,
     }
 }
 
@@ -197,23 +240,18 @@ fn json_row(r: &SweepRow) -> Json {
     ])
 }
 
-/// Run the sweep. `smoke` shrinks the workloads to a CI-sized gate that
-/// asserts correctness and regime selection (timings are recorded, not
-/// asserted — CI machines are noisy); the full run additionally asserts
-/// the acceptance bar: >= 2x single-query speedup on the sparse
-/// workload at `n >= 100k`, no regression on the dense workload.
-pub fn cpu_kernel(smoke: bool) {
-    let (n, num_queries, reps) = if smoke {
+/// Workload scale for one mode: `(n, num_queries, reps)`.
+fn scale(smoke: bool) -> (usize, usize, usize) {
+    if smoke {
         (8_000, 32, 2)
     } else {
         (100_000, 64, 4)
-    };
-    let threads = CpuBackend::new().capabilities().devices;
-    println!(
-        "\n=== CPU kernel sweep — seed dense path vs sparse-aware kernel \
-         (n = {n}, k = {K}, {threads} host thread(s)) ==="
-    );
+    }
+}
 
+/// The three selectivity regimes at scale `n`, identical between the
+/// baseline run and `--check` trials so their speedups are comparable.
+fn build_workloads(n: usize, num_queries: usize) -> [Workload; 3] {
     let workload = |name, universe, items, item_width, seed| {
         let (objects, queries) = synth(n, 8, universe, items, item_width, num_queries, seed);
         Workload {
@@ -222,14 +260,85 @@ pub fn cpu_kernel(smoke: bool) {
             queries,
         }
     };
-    let workloads = [
+    [
         // a few postings out of hundreds of thousands: the selective
         // regime the admission queue's low-latency mode actually serves
         workload("sparse", n as u32 * 4, 8, 1, 11),
         workload("mid", (n / 25) as u32, 6, 2, 22),
         // more postings than objects: must fall back to the dense sweep
         workload("dense", 50, 4, 8, 33),
-    ];
+    ]
+}
+
+/// Short git revision for baseline provenance ("unknown" outside a
+/// work tree, e.g. from an unpacked source artifact).
+fn git_revision() -> String {
+    std::process::Command::new("git")
+        .args(["rev-parse", "--short", "HEAD"])
+        .output()
+        .ok()
+        .filter(|o| o.status.success())
+        .and_then(|o| String::from_utf8(o.stdout).ok())
+        .map(|s| s.trim().to_string())
+        .filter(|s| !s.is_empty())
+        .unwrap_or_else(|| "unknown".into())
+}
+
+/// Logical CPUs visible to the process (what `std::thread` can use),
+/// alongside `threads` (what the backend actually spawns).
+fn host_parallelism() -> u64 {
+    std::thread::available_parallelism()
+        .map(|p| p.get() as u64)
+        .unwrap_or(1)
+}
+
+/// Shared provenance fields for both bench JSONs.
+pub fn meta_fields(threads: usize) -> Vec<(&'static str, Json)> {
+    vec![
+        ("threads", Json::int(threads as u64)),
+        ("host_parallelism", Json::int(host_parallelism())),
+        ("git_revision", Json::str(git_revision())),
+    ]
+}
+
+/// Measured [`kernel::merge_dense`] throughput in counts/µs.
+///
+/// This is the bench-side SIMD verification the lane-merge relies on:
+/// the loop autovectorises to `movdqu`/`paddd` (or wider), which on
+/// any x86-64 host sustains well over 1000 u32 adds per µs. A scalar
+/// fallback (one add per iteration plus bounds bookkeeping) lands far
+/// below vector throughput, so the full run's floor assertion catches
+/// a codegen regression that silently de-vectorises the merge.
+fn merge_dense_throughput() -> f64 {
+    const LANE: usize = 1 << 20;
+    const REPS: usize = 64;
+    let src: Vec<u32> = (0..LANE as u32).collect();
+    let mut dst = vec![0u32; LANE];
+    // warm the cache so the measurement is compute-, not fault-bound
+    kernel::merge_dense(&mut dst, &src);
+    let started = Instant::now();
+    for _ in 0..REPS {
+        kernel::merge_dense(&mut dst, &src);
+        std::hint::black_box(&mut dst);
+    }
+    (LANE * REPS) as f64 / elapsed_us(started)
+}
+
+/// Run the sweep. `smoke` shrinks the workloads to a CI-sized gate that
+/// asserts correctness and regime selection (timings are recorded, not
+/// asserted — CI machines are noisy); the full run additionally asserts
+/// the acceptance bar: >= 2x single-query speedup on the sparse AND
+/// dense workloads at `n >= 100k`, plus vector-class `merge_dense`
+/// throughput.
+pub fn cpu_kernel(smoke: bool) {
+    let (n, num_queries, reps) = scale(smoke);
+    let threads = CpuBackend::new().capabilities().devices;
+    println!(
+        "\n=== CPU kernel sweep — seed dense path vs sparse-aware kernel \
+         (n = {n}, k = {K}, {threads} host thread(s)) ==="
+    );
+
+    let workloads = build_workloads(n, num_queries);
 
     let widths = [8, 9, 12, 12, 11, 11, 11, 9, 14];
     row(
@@ -247,8 +356,8 @@ pub fn cpu_kernel(smoke: bool) {
         &widths,
     );
     let mut rows = Vec::new();
-    for w in &workloads {
-        let r = sweep_one(w, reps);
+    for w in workloads {
+        let r = measure(&prepare(w), reps);
         row(
             &[
                 r.name.into(),
@@ -286,11 +395,16 @@ pub fn cpu_kernel(smoke: bool) {
     } else {
         "BENCH_cpu_kernel.json"
     };
+    let merge_throughput = merge_dense_throughput();
+    println!("merge_dense throughput: {merge_throughput:.0} counts/us");
+
     let config = genie_core::backend::kernel::KernelConfig::default();
-    let doc = Json::obj(vec![
+    let mut fields = vec![
         ("bench", Json::str("cpu_kernel")),
         ("smoke", Json::Bool(smoke)),
-        ("threads", Json::int(threads as u64)),
+    ];
+    fields.extend(meta_fields(threads));
+    fields.extend(vec![
         (
             "kernel_config",
             Json::obj(vec![
@@ -306,10 +420,18 @@ pub fn cpu_kernel(smoke: bool) {
                     "parallel_min_postings",
                     Json::int(config.parallel_min_postings),
                 ),
+                ("dense_lanes", Json::int(config.dense_lanes as u64)),
             ]),
         ),
+        ("merge_dense_counts_per_us", Json::num(merge_throughput)),
         ("rows", Json::arr(rows.iter().map(json_row).collect())),
     ]);
+    let doc = Json::Obj(
+        fields
+            .into_iter()
+            .map(|(k, v)| (k.to_string(), v))
+            .collect(),
+    );
     doc.write_to_file(path)
         .unwrap_or_else(|e| panic!("cannot write {path}: {e}"));
     println!("baseline written to {path}");
@@ -325,9 +447,128 @@ pub fn cpu_kernel(smoke: bool) {
             sparse.speedup()
         );
         assert!(
-            dense.speedup() >= 0.8,
-            "dense workload regressed past the noise floor: {:.2}x",
+            dense.speedup() >= 2.0,
+            "dense single-query speedup fell below the 2x acceptance bar \
+             (is the lane-split sweep still vectorised?): {:.2}x",
             dense.speedup()
         );
+        // vector-class merge throughput: a de-vectorised merge_dense
+        // (scalar add + bookkeeping per count) measures well under
+        // this floor on any host this bar is refreshed on
+        assert!(
+            merge_throughput >= 1_000.0,
+            "merge_dense throughput {merge_throughput:.0} counts/us is scalar-class, \
+             not vector-class — check the autovectorizer kept movdqu/paddd"
+        );
     }
+}
+
+/// The `--cpu-kernel --check` gate: `trials` re-runs of the sweep on
+/// freshly built workloads, gating each row's single-query speedup —
+/// a host-portable ratio — against the checked-in full baseline with
+/// a median ± MAD band. Returns true when every gate passed.
+///
+/// The relative floor is 0.5 for a full-scale check; `--smoke` runs
+/// 12.5x-smaller workloads, so the floor is per-row: the sparse
+/// speedup grows with `n` (the seed path is `O(n)` per query, the
+/// kernel is `O(postings + matched)`; a 100k-object baseline of ~38x
+/// is legitimately ~5-6x at n = 8k), so its smoke floor is 0.08, mid
+/// 0.25, and dense — whose both paths are `O(n)`-dominated, making
+/// the ratio nearly scale-invariant — keeps 0.5. The injected
+/// regression (~200 µs/query) still lands one to two orders of
+/// magnitude below every floor. Regime selection is asserted at exact
+/// equality — the adaptive predictor's sparse/dense split is
+/// scale-invariant by construction.
+pub fn cpu_kernel_check(smoke: bool) -> bool {
+    let baseline = check::load_baseline("BENCH_cpu_kernel.json");
+    let base_rows = baseline
+        .get("rows")
+        .and_then(Json::as_arr)
+        .expect("baseline has no rows array");
+
+    let (n, num_queries, _) = scale(smoke);
+    let (trials, reps) = if smoke { (3, 2) } else { (5, 2) };
+    let floor = |name: &str| -> f64 {
+        if !smoke {
+            0.5
+        } else {
+            match name {
+                "sparse" => 0.08,
+                "mid" => 0.25,
+                _ => 0.5,
+            }
+        }
+    };
+    println!(
+        "\n=== CPU kernel check — {trials} trials at n = {n} vs checked-in \
+         BENCH_cpu_kernel.json ==="
+    );
+
+    let prepared: Vec<Prepared> = build_workloads(n, num_queries)
+        .into_iter()
+        .map(prepare)
+        .collect();
+
+    let mut speedups: Vec<Vec<f64>> = vec![Vec::new(); prepared.len()];
+    let mut merges: Vec<f64> = Vec::new();
+    for t in 0..trials {
+        for (i, p) in prepared.iter().enumerate() {
+            let r = measure(p, reps);
+            println!(
+                "trial {}/{trials} {}: seed {:.1} us, kernel {:.1} us, {:.2}x",
+                t + 1,
+                r.name,
+                r.seed_us,
+                r.kernel_us,
+                r.speedup()
+            );
+            speedups[i].push(r.speedup());
+        }
+        merges.push(merge_dense_throughput());
+    }
+
+    let mut verdicts = Vec::new();
+    for (i, p) in prepared.iter().enumerate() {
+        let base_row = check::find_row(base_rows, "workload", p.workload.name);
+        verdicts.push(check::judge(GateRow {
+            name: format!("{}/speedup_single_query", p.workload.name),
+            baseline: check::field(base_row, "speedup_single_query"),
+            trials: speedups[i].clone(),
+            floor: floor(p.workload.name),
+        }));
+        // regime selection is structural, not noisy: the fraction of
+        // queries finalised on each path must not fall below the
+        // baseline's (deterministic single trial, so the MAD term is
+        // zero and the band has zero width). A sparse row flipping to
+        // the dense sweep drops its sparse_finalize fraction from 1.0
+        // and goes red here even if the timing gates stay green.
+        let base_queries = check::field(base_row, "queries");
+        for metric in ["sparse_finalize", "dense_finalize"] {
+            let fresh = match metric {
+                "sparse_finalize" => p.stats.sparse_finalize as f64,
+                _ => p.stats.dense_finalize as f64,
+            } / num_queries as f64;
+            verdicts.push(check::judge(GateRow {
+                name: format!("{}/{metric}_fraction", p.workload.name),
+                baseline: check::field(base_row, metric) / base_queries,
+                trials: vec![fresh],
+                floor: 1.0,
+            }));
+        }
+    }
+    verdicts.push(check::judge(GateRow {
+        name: "merge_dense/counts_per_us".into(),
+        baseline: check::field(&baseline, "merge_dense_counts_per_us"),
+        trials: merges,
+        // absolute-throughput gate, so give cross-host headroom; a
+        // de-vectorised merge is ~4-8x slower and still trips it
+        floor: 0.25,
+    }));
+
+    let path = if smoke {
+        "CHECK_cpu_kernel_smoke.json"
+    } else {
+        "CHECK_cpu_kernel.json"
+    };
+    check::report("cpu_kernel", &verdicts, path)
 }

@@ -13,7 +13,8 @@ use std::fmt::Write as _;
 
 /// One JSON value. Build objects with [`Json::obj`] and arrays with
 /// [`Json::arr`]; keys keep their insertion order so output is
-/// deterministic run to run.
+/// deterministic run to run. [`Json::parse`] reads a baseline back so
+/// `--check` runs can diff fresh measurements against it.
 #[derive(Debug, Clone, PartialEq)]
 pub enum Json {
     Null,
@@ -63,6 +64,52 @@ impl Json {
     /// Render to `path`, replacing any previous baseline.
     pub fn write_to_file(&self, path: &str) -> std::io::Result<()> {
         std::fs::write(path, self.render())
+    }
+
+    /// Parse a baseline file previously written by [`Json::render`].
+    ///
+    /// This is a strict parser for the subset this module emits (it
+    /// accepts any whitespace and rejects trailing garbage); errors
+    /// carry the byte offset so a corrupt baseline is loud, not a
+    /// silently-passing check.
+    pub fn parse(text: &str) -> Result<Json, String> {
+        let bytes = text.as_bytes();
+        let mut pos = 0usize;
+        let value = parse_value(bytes, &mut pos)?;
+        skip_ws(bytes, &mut pos);
+        if pos != bytes.len() {
+            return Err(format!("trailing data at byte {pos}"));
+        }
+        Ok(value)
+    }
+
+    /// Look up a key in an object; `None` for absent keys or non-objects.
+    pub fn get(&self, key: &str) -> Option<&Json> {
+        match self {
+            Json::Obj(fields) => fields.iter().find(|(k, _)| k == key).map(|(_, v)| v),
+            _ => None,
+        }
+    }
+
+    pub fn as_f64(&self) -> Option<f64> {
+        match self {
+            Json::Num(n) => Some(*n),
+            _ => None,
+        }
+    }
+
+    pub fn as_str(&self) -> Option<&str> {
+        match self {
+            Json::Str(s) => Some(s),
+            _ => None,
+        }
+    }
+
+    pub fn as_arr(&self) -> Option<&[Json]> {
+        match self {
+            Json::Arr(items) => Some(items),
+            _ => None,
+        }
     }
 
     fn render_into(&self, out: &mut String, depth: usize) {
@@ -125,6 +172,136 @@ impl Json {
     }
 }
 
+fn skip_ws(bytes: &[u8], pos: &mut usize) {
+    while *pos < bytes.len() && bytes[*pos].is_ascii_whitespace() {
+        *pos += 1;
+    }
+}
+
+fn expect(bytes: &[u8], pos: &mut usize, b: u8) -> Result<(), String> {
+    if bytes.get(*pos) == Some(&b) {
+        *pos += 1;
+        Ok(())
+    } else {
+        Err(format!("expected '{}' at byte {}", b as char, *pos))
+    }
+}
+
+fn parse_value(bytes: &[u8], pos: &mut usize) -> Result<Json, String> {
+    skip_ws(bytes, pos);
+    match bytes.get(*pos) {
+        None => Err("unexpected end of input".into()),
+        Some(b'n') => parse_lit(bytes, pos, "null", Json::Null),
+        Some(b't') => parse_lit(bytes, pos, "true", Json::Bool(true)),
+        Some(b'f') => parse_lit(bytes, pos, "false", Json::Bool(false)),
+        Some(b'"') => parse_string(bytes, pos).map(Json::Str),
+        Some(b'[') => {
+            *pos += 1;
+            let mut items = Vec::new();
+            skip_ws(bytes, pos);
+            if bytes.get(*pos) == Some(&b']') {
+                *pos += 1;
+                return Ok(Json::Arr(items));
+            }
+            loop {
+                items.push(parse_value(bytes, pos)?);
+                skip_ws(bytes, pos);
+                match bytes.get(*pos) {
+                    Some(b',') => *pos += 1,
+                    Some(b']') => {
+                        *pos += 1;
+                        return Ok(Json::Arr(items));
+                    }
+                    _ => return Err(format!("expected ',' or ']' at byte {}", *pos)),
+                }
+            }
+        }
+        Some(b'{') => {
+            *pos += 1;
+            let mut fields = Vec::new();
+            skip_ws(bytes, pos);
+            if bytes.get(*pos) == Some(&b'}') {
+                *pos += 1;
+                return Ok(Json::Obj(fields));
+            }
+            loop {
+                skip_ws(bytes, pos);
+                let key = parse_string(bytes, pos)?;
+                skip_ws(bytes, pos);
+                expect(bytes, pos, b':')?;
+                fields.push((key, parse_value(bytes, pos)?));
+                skip_ws(bytes, pos);
+                match bytes.get(*pos) {
+                    Some(b',') => *pos += 1,
+                    Some(b'}') => {
+                        *pos += 1;
+                        return Ok(Json::Obj(fields));
+                    }
+                    _ => return Err(format!("expected ',' or '}}' at byte {}", *pos)),
+                }
+            }
+        }
+        Some(_) => parse_number(bytes, pos),
+    }
+}
+
+fn parse_lit(bytes: &[u8], pos: &mut usize, lit: &str, value: Json) -> Result<Json, String> {
+    if bytes[*pos..].starts_with(lit.as_bytes()) {
+        *pos += lit.len();
+        Ok(value)
+    } else {
+        Err(format!("bad literal at byte {}", *pos))
+    }
+}
+
+fn parse_number(bytes: &[u8], pos: &mut usize) -> Result<Json, String> {
+    let start = *pos;
+    while *pos < bytes.len()
+        && matches!(bytes[*pos], b'0'..=b'9' | b'-' | b'+' | b'.' | b'e' | b'E')
+    {
+        *pos += 1;
+    }
+    std::str::from_utf8(&bytes[start..*pos])
+        .ok()
+        .and_then(|s| s.parse::<f64>().ok())
+        .map(Json::Num)
+        .ok_or_else(|| format!("bad number at byte {start}"))
+}
+
+fn parse_string(bytes: &[u8], pos: &mut usize) -> Result<String, String> {
+    expect(bytes, pos, b'"')?;
+    let mut out = String::new();
+    let text = std::str::from_utf8(bytes).map_err(|_| "invalid utf-8".to_string())?;
+    let mut chars = text[*pos..].char_indices().peekable();
+    while let Some((i, c)) = chars.next() {
+        match c {
+            '"' => {
+                *pos += i + 1;
+                return Ok(out);
+            }
+            '\\' => match chars.next() {
+                Some((_, '"')) => out.push('"'),
+                Some((_, '\\')) => out.push('\\'),
+                Some((_, 'n')) => out.push('\n'),
+                Some((_, 'r')) => out.push('\r'),
+                Some((_, 't')) => out.push('\t'),
+                Some((_, '/')) => out.push('/'),
+                Some((j, 'u')) => {
+                    let hex = text[*pos..].get(j + 1..j + 5).ok_or("truncated \\u")?;
+                    let code = u32::from_str_radix(hex, 16).map_err(|_| "bad \\u escape")?;
+                    out.push(char::from_u32(code).ok_or("bad \\u codepoint")?);
+                    for _ in 0..4 {
+                        chars.next();
+                    }
+                }
+                other => return Err(format!("bad escape {other:?}")),
+            },
+            c => out.push(c),
+        }
+    }
+    Err("unterminated string".into())
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -157,5 +334,55 @@ mod tests {
         let out = v.render();
         assert!(out.contains("\"a\\\"b\\\\c\\nd\\u0001\""));
         assert_eq!(out.matches("null").count(), 3);
+    }
+
+    #[test]
+    fn parse_round_trips_what_render_emits() {
+        let v = Json::obj(vec![
+            ("bench", Json::str("cpu_kernel")),
+            ("smoke", Json::Bool(false)),
+            ("threads", Json::int(8)),
+            (
+                "rows",
+                Json::arr(vec![Json::obj(vec![
+                    ("workload", Json::str("sparse")),
+                    ("speedup_single_query", Json::num(8.25)),
+                    ("negative", Json::num(-0.5)),
+                    ("nothing", Json::Null),
+                ])]),
+            ),
+            ("escaped", Json::str("a\"b\\c\nd\u{1}")),
+            ("empty_arr", Json::arr(vec![])),
+            ("empty_obj", Json::obj(vec![])),
+        ]);
+        let parsed = Json::parse(&v.render()).unwrap();
+        assert_eq!(parsed, v);
+    }
+
+    #[test]
+    fn accessors_navigate_parsed_baselines() {
+        let doc =
+            Json::parse("{\"rows\": [{\"workload\": \"dense\", \"speedup_single_query\": 2.5}]}")
+                .unwrap();
+        let rows = doc.get("rows").and_then(Json::as_arr).unwrap();
+        assert_eq!(
+            rows[0].get("workload").and_then(Json::as_str),
+            Some("dense")
+        );
+        assert_eq!(
+            rows[0].get("speedup_single_query").and_then(Json::as_f64),
+            Some(2.5)
+        );
+        assert_eq!(doc.get("missing"), None);
+        assert_eq!(rows[0].get("workload").and_then(Json::as_f64), None);
+    }
+
+    #[test]
+    fn parse_rejects_garbage_loudly() {
+        assert!(Json::parse("{\"a\": }").is_err());
+        assert!(Json::parse("[1, 2").is_err());
+        assert!(Json::parse("{} trailing").is_err());
+        assert!(Json::parse("\"unterminated").is_err());
+        assert!(Json::parse("nul").is_err());
     }
 }

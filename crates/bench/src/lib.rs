@@ -16,14 +16,19 @@
 //!   latency and achieved batch occupancy vs `max_queue_delay`;
 //! * [`cpu_kernel`] — the host counting-kernel sweep: seed dense path
 //!   vs the sparse-aware scratch kernel across selectivity regimes;
-//! * [`json`] — the machine-readable baseline writer behind
+//! * [`json`] — the machine-readable baseline writer/parser behind
 //!   `BENCH_cpu_kernel.json` / `BENCH_serving.json`, the perf
-//!   trajectory future PRs diff against.
+//!   trajectory future PRs diff against;
+//! * [`check`] — the `--check` perf-regression gate: re-runs a
+//!   workload several times, forms median ± MAD noise bands per gated
+//!   metric, and exits nonzero if any row regresses beyond its band
+//!   vs the checked-in baseline.
 //!
 //! Device-side methods report *simulated* time (the cost model of
 //! `gpu-sim`); host-side methods report wall-clock. Comparisons across
 //! the two are shape-level, exactly as scoped in DESIGN.md.
 
+pub mod check;
 pub mod cpu_kernel;
 pub mod experiments;
 pub mod json;

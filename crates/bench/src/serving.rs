@@ -13,12 +13,14 @@ use std::sync::Arc;
 use std::time::Duration;
 
 use genie_core::backend::kernel::KernelStatsSnapshot;
-use genie_core::backend::CpuBackend;
+use genie_core::backend::{CpuBackend, SearchBackend};
 use genie_core::index::IndexBuilder;
 use genie_core::model::Query;
 pub use genie_service::percentile_us;
 use genie_service::{GenieService, QueryScheduler, SchedulerConfig, ServiceConfig, ServiceStats};
 
+use crate::check::{self, GateRow};
+use crate::cpu_kernel::meta_fields;
 use crate::json::Json;
 use crate::workloads::{sift_bundle, MatchData, Scale};
 use crate::{ms, row};
@@ -45,6 +47,11 @@ pub struct ServingWorkload {
     /// Index shards the collection is split across (1 = unsharded; >1
     /// fans every wave out to one scheduler run per shard and merges).
     pub shards: usize,
+    /// Hot-key mix: every `hot_every`-th request of each client re-asks
+    /// the pool's first query (0 disables). With a nonzero
+    /// `cache_capacity` this is what makes the result cache — and its
+    /// `cache_hits` counter — actually exercise in a baseline run.
+    pub hot_every: usize,
 }
 
 impl Default for ServingWorkload {
@@ -58,6 +65,7 @@ impl Default for ServingWorkload {
             cache_capacity: 0,
             k: 10,
             shards: 1,
+            hot_every: 0,
         }
     }
 }
@@ -91,6 +99,7 @@ pub fn run_serving_workload(data: &MatchData, workload: ServingWorkload) -> Serv
         SchedulerConfig {
             max_batch_queries: workload.max_batch_queries,
             cpq_budget_bytes: None,
+            ..Default::default()
         },
     );
     let service = GenieService::start_empty(
@@ -119,8 +128,12 @@ pub fn run_serving_workload(data: &MatchData, workload: ServingWorkload) -> Serv
                 let (tx, rx) = std::sync::mpsc::channel();
                 scope.spawn(move || {
                     for j in 0..workload.requests_per_client {
-                        let query: Query =
-                            queries[(c * workload.requests_per_client + j) % queries.len()].clone();
+                        let query: Query = if workload.hot_every > 0 && j % workload.hot_every == 0
+                        {
+                            queries[0].clone()
+                        } else {
+                            queries[(c * workload.requests_per_client + j) % queries.len()].clone()
+                        };
                         let _ = tx.send(service.submit_to(collection, query, workload.k));
                         if !workload.submit_pacing.is_zero() {
                             std::thread::sleep(workload.submit_pacing);
@@ -175,6 +188,11 @@ fn serving_json_row(key: &str, value: u64, report: &ServingReport) -> Json {
         ("shard_runs", Json::int(report.stats.shard_runs)),
         ("cache_hits", Json::int(report.stats.cache_hits)),
         (
+            "predicted_cost_us",
+            Json::num(report.stats.predicted_cost_us),
+        ),
+        ("actual_cost_us", Json::num(report.stats.actual_cost_us)),
+        (
             "kernel_sparse_finalize",
             Json::int(report.kernel.sparse_finalize),
         ),
@@ -189,12 +207,50 @@ fn serving_json_row(key: &str, value: u64, report: &ServingReport) -> Json {
     ])
 }
 
-/// Serving experiment: p50/p95/p99 request latency and achieved batch
-/// occupancy as `max_queue_delay` sweeps — the batching-vs-latency
-/// trade-off the admission queue exists to expose. Emits the
-/// machine-readable `BENCH_serving.json` baseline alongside the tables.
-pub fn serving(scale: Scale) {
-    println!("\n=== Serving workload — request latency vs max_queue_delay ===");
+/// The paced delay-sweep shape: the deadline knob trades per-request
+/// latency against batch occupancy (a flood would fill one wave
+/// regardless of the delay).
+fn delay_workload(delay_ms: u64) -> ServingWorkload {
+    ServingWorkload {
+        max_queue_delay: Duration::from_millis(delay_ms),
+        submit_pacing: Duration::from_micros(300),
+        ..Default::default()
+    }
+}
+
+fn shard_workload(shards: usize) -> ServingWorkload {
+    ServingWorkload {
+        shards,
+        submit_pacing: Duration::from_micros(300),
+        ..Default::default()
+    }
+}
+
+/// The burst phase: a fast trickle against a small batch cap under a
+/// generous deadline, with the result cache on and a hot-key mix. This
+/// is the shape that exercises the *size* trigger (arrivals fill
+/// same-`k` groups to the 32-cap long before the 20 ms deadline) and
+/// the result cache (`hot_every > 0` re-asks one query) in the
+/// checked-in baseline — both counters were permanently zero under the
+/// paced sweeps above. The pacing is slight but deliberately nonzero:
+/// the cache is consulted when a wave is *cut*, so a pure closed-loop
+/// flood lands every request in wave 1 before anything is cached and
+/// can never hit; a 200 µs trickle spreads the run across many
+/// size-cut waves, and hot keys re-asked after their first wave
+/// resolve from the cache.
+fn burst_workload(hot_every: usize) -> ServingWorkload {
+    ServingWorkload {
+        submit_pacing: Duration::from_micros(200),
+        max_batch_queries: 32,
+        max_queue_delay: Duration::from_millis(20),
+        cache_capacity: 256,
+        hot_every,
+        ..Default::default()
+    }
+}
+
+/// The dataset every serving phase (and `--check` trial) runs over.
+fn serving_data(scale: Scale) -> MatchData {
     let (data, _) = sift_bundle(
         Scale {
             n: scale.n.min(5_000),
@@ -203,6 +259,18 @@ pub fn serving(scale: Scale) {
         8,
         77,
     );
+    data
+}
+
+/// Serving experiment: p50/p95/p99 request latency and achieved batch
+/// occupancy as `max_queue_delay` sweeps — the batching-vs-latency
+/// trade-off the admission queue exists to expose — plus a hot-key
+/// burst phase exercising the size trigger and the result cache. Emits
+/// the machine-readable `BENCH_serving.json` baseline alongside the
+/// tables.
+pub fn serving(scale: Scale) {
+    println!("\n=== Serving workload — request latency vs max_queue_delay ===");
+    let data = serving_data(scale);
     let widths = [11, 9, 9, 9, 11, 7, 9];
     row(
         &[
@@ -218,18 +286,9 @@ pub fn serving(scale: Scale) {
     );
     let mut delay_rows = Vec::new();
     let mut shard_rows = Vec::new();
+    let mut burst_rows = Vec::new();
     for delay_ms in [1u64, 2, 5, 10] {
-        let report = run_serving_workload(
-            &data,
-            ServingWorkload {
-                max_queue_delay: Duration::from_millis(delay_ms),
-                // a paced arrival process: the deadline knob now trades
-                // per-request latency against batch occupancy (a flood
-                // would fill one wave regardless of the delay)
-                submit_pacing: Duration::from_micros(300),
-                ..Default::default()
-            },
-        );
+        let report = run_serving_workload(&data, delay_workload(delay_ms));
         assert!(report.stats.wall_us > 0.0 && report.stats.stages.host_us > 0.0);
         delay_rows.push(serving_json_row("delay_ms", delay_ms, &report));
         row(
@@ -264,14 +323,7 @@ pub fn serving(scale: Scale) {
         &widths,
     );
     for shards in [1usize, 2, 4, 8] {
-        let report = run_serving_workload(
-            &data,
-            ServingWorkload {
-                shards,
-                submit_pacing: Duration::from_micros(300),
-                ..Default::default()
-            },
-        );
+        let report = run_serving_workload(&data, shard_workload(shards));
         assert!(report.stats.wall_us > 0.0);
         shard_rows.push(serving_json_row("shards", shards as u64, &report));
         row(
@@ -288,6 +340,55 @@ pub fn serving(scale: Scale) {
         );
     }
 
+    println!("\n=== Burst serving — hot-key flood, size trigger + result cache ===");
+    let widths = [12, 9, 9, 11, 7, 9, 11];
+    row(
+        &[
+            "hot(%)".into(),
+            "p50(ms)".into(),
+            "p99(ms)".into(),
+            "occupancy".into(),
+            "waves".into(),
+            "size/ddl".into(),
+            "cache hits".into(),
+        ],
+        &widths,
+    );
+    for (hot_percent, hot_every) in [(0u64, 0usize), (25, 4), (50, 2)] {
+        let report = run_serving_workload(&data, burst_workload(hot_every));
+        assert!(report.stats.wall_us > 0.0);
+        // the whole point of this phase: the checked-in baseline must
+        // show both counters actually firing
+        assert!(
+            report.stats.size_triggers >= 1,
+            "a flood against a 32-cap must cut waves by size: {:?}",
+            report.stats
+        );
+        if hot_every > 0 {
+            assert!(
+                report.stats.cache_hits >= 1,
+                "a hot-key mix with the cache on must hit: {:?}",
+                report.stats
+            );
+        }
+        burst_rows.push(serving_json_row("hot_percent", hot_percent, &report));
+        row(
+            &[
+                hot_percent.to_string(),
+                ms(report.p50_us),
+                ms(report.p99_us),
+                format!("{:.1}", report.batch_occupancy),
+                report.stats.waves.to_string(),
+                format!(
+                    "{}/{}",
+                    report.stats.size_triggers, report.stats.deadline_triggers
+                ),
+                report.stats.cache_hits.to_string(),
+            ],
+            &widths,
+        );
+    }
+
     // `--quick` numbers are not comparable with the checked-in
     // full-scale baseline: route them to a separate (gitignored) file,
     // and record the effective scale in the document either way
@@ -297,11 +398,15 @@ pub fn serving(scale: Scale) {
     } else {
         "BENCH_serving_quick.json"
     };
-    let doc = Json::obj(vec![
+    let threads = CpuBackend::new().capabilities().devices;
+    let mut fields = vec![
         ("bench", Json::str("serving")),
         ("n", Json::int(data.objects.len() as u64)),
         ("query_pool", Json::int(data.queries.len() as u64)),
         ("quick", Json::Bool(!full_scale)),
+    ];
+    fields.extend(meta_fields(threads));
+    fields.extend(vec![
         (
             "clients",
             Json::int(ServingWorkload::default().clients as u64),
@@ -312,7 +417,14 @@ pub fn serving(scale: Scale) {
         ),
         ("delay_sweep", Json::arr(delay_rows)),
         ("shard_sweep", Json::arr(shard_rows)),
+        ("burst_sweep", Json::arr(burst_rows)),
     ]);
+    let doc = Json::Obj(
+        fields
+            .into_iter()
+            .map(|(k, v)| (k.to_string(), v))
+            .collect(),
+    );
     doc.write_to_file(path)
         .unwrap_or_else(|e| panic!("cannot write {path}: {e}"));
     println!("\nbaseline written to {path}");
@@ -405,6 +517,177 @@ pub fn serving_smoke(shards: usize) {
         trickle.p50_us / 1000.0
     );
     println!("serving smoke OK");
+}
+
+/// One fresh run of every baseline row's workload, returning
+/// `(row_key, occupancy, stats-derived indicators)` keyed exactly like
+/// the baseline arrays so `serving_check` can line trials up.
+fn check_trial(data: &MatchData) -> Vec<(String, ServingReport)> {
+    let mut out = Vec::new();
+    for delay_ms in [1u64, 2, 5, 10] {
+        out.push((
+            format!("delay_ms={delay_ms}"),
+            run_serving_workload(data, delay_workload(delay_ms)),
+        ));
+    }
+    for shards in [1usize, 2, 4, 8] {
+        out.push((
+            format!("shards={shards}"),
+            run_serving_workload(data, shard_workload(shards)),
+        ));
+    }
+    for (hot_percent, hot_every) in [(0u64, 0usize), (25, 4), (50, 2)] {
+        out.push((
+            format!("hot_percent={hot_percent}"),
+            run_serving_workload(data, burst_workload(hot_every)),
+        ));
+    }
+    out
+}
+
+/// Look up the baseline row matching a `key=value` trial key.
+fn baseline_row<'a>(baseline: &'a Json, key: &str) -> &'a Json {
+    let (field_name, value) = key.split_once('=').expect("trial keys are key=value");
+    let sweep = match field_name {
+        "delay_ms" => "delay_sweep",
+        "shards" => "shard_sweep",
+        _ => "burst_sweep",
+    };
+    let rows = baseline
+        .get(sweep)
+        .and_then(Json::as_arr)
+        .unwrap_or_else(|| panic!("baseline has no {sweep} array — re-run --serving to refresh"));
+    rows.iter()
+        .find(|r| {
+            r.get(field_name)
+                .and_then(Json::as_f64)
+                .is_some_and(|v| v == value.parse::<f64>().unwrap())
+        })
+        .unwrap_or_else(|| panic!("baseline {sweep} has no row {key}"))
+}
+
+/// The `--serving --check` gate: several fresh runs of every baseline
+/// row's workload vs `BENCH_serving.json`, gating
+///
+/// * **completeness** — every submitted ticket resolved (exact);
+/// * **structure** — rows whose baseline shows the size trigger or the
+///   result cache firing must still fire them (indicator gate: the
+///   median trial must be nonzero);
+/// * **occupancy** — mean batch occupancy within a median ± MAD band
+///   of the baseline (floor 0.4: wave cuts on a loaded host shift
+///   occupancy, but losing batching altogether drops it to ~1).
+///
+/// Raw latencies are deliberately *not* gated — they are host property,
+/// recorded for trend reading only. Returns true when every gate held.
+pub fn serving_check() -> bool {
+    let baseline = check::load_baseline("BENCH_serving.json");
+    const TRIALS: usize = 3;
+    println!("\n=== Serving check — {TRIALS} trials vs checked-in BENCH_serving.json ===");
+    let data = serving_data(Scale::default());
+
+    let mut trials: Vec<Vec<(String, ServingReport)>> = Vec::new();
+    for t in 0..TRIALS {
+        println!("trial {}/{TRIALS} ...", t + 1);
+        trials.push(check_trial(&data));
+    }
+
+    let mut verdicts = Vec::new();
+    for (i, (key, _)) in trials[0].iter().enumerate() {
+        let base = baseline_row(&baseline, key);
+        let reports: Vec<&ServingReport> = trials.iter().map(|t| &t[i].1).collect();
+
+        let expected = check::field(base, "requests");
+        verdicts.push(check::judge(GateRow {
+            name: format!("{key}/all_tickets_resolved"),
+            baseline: 1.0,
+            trials: reports
+                .iter()
+                .map(|r| (r.total_requests as f64 == expected) as u64 as f64)
+                .collect(),
+            floor: 1.0,
+        }));
+
+        for counter in ["size_triggers", "cache_hits"] {
+            if check::field(base, counter) > 0.0 {
+                verdicts.push(check::judge(GateRow {
+                    name: format!("{key}/{counter}_nonzero"),
+                    baseline: 1.0,
+                    trials: reports
+                        .iter()
+                        .map(|r| {
+                            let fresh = match counter {
+                                "size_triggers" => r.stats.size_triggers,
+                                _ => r.stats.cache_hits,
+                            };
+                            (fresh > 0) as u64 as f64
+                        })
+                        .collect(),
+                    floor: 1.0,
+                }));
+            }
+        }
+
+        verdicts.push(check::judge(GateRow {
+            name: format!("{key}/batch_occupancy"),
+            baseline: check::field(base, "batch_occupancy"),
+            trials: reports.iter().map(|r| r.batch_occupancy).collect(),
+            floor: 0.4,
+        }));
+    }
+
+    check::report("serving", &verdicts, "CHECK_serving.json")
+}
+
+/// The `--serving-smoke --check` gate for CI: run the live smoke (its
+/// own asserts cover the triggers and sharded fan-out), then validate
+/// the *checked-in* `BENCH_serving.json` still carries the structural
+/// invariants a healthy full run produces — every row resolved all its
+/// tickets, the burst phase fired the size trigger, and the hot-key
+/// rows hit the cache. This catches a stale or hand-mangled baseline
+/// without paying for a full-scale re-run in CI.
+pub fn serving_smoke_check(shards: usize) -> bool {
+    serving_smoke(shards);
+
+    let baseline = check::load_baseline("BENCH_serving.json");
+    let mut verdicts = Vec::new();
+    let mut structural = |name: String, ok: bool| {
+        verdicts.push(check::judge(GateRow {
+            name,
+            baseline: 1.0,
+            trials: vec![ok as u64 as f64],
+            floor: 1.0,
+        }));
+    };
+
+    let clients = check::field(&baseline, "clients");
+    let per_client = check::field(&baseline, "requests_per_client");
+    for sweep in ["delay_sweep", "shard_sweep", "burst_sweep"] {
+        let rows = baseline
+            .get(sweep)
+            .and_then(Json::as_arr)
+            .unwrap_or_else(|| panic!("baseline has no {sweep} array"));
+        structural(format!("baseline/{sweep}_nonempty"), !rows.is_empty());
+        for row in rows {
+            structural(
+                format!("baseline/{sweep}_all_tickets_resolved"),
+                check::field(row, "requests") == clients * per_client,
+            );
+        }
+    }
+    for row in baseline.get("burst_sweep").and_then(Json::as_arr).unwrap() {
+        structural(
+            "baseline/burst_size_triggers_nonzero".into(),
+            check::field(row, "size_triggers") > 0.0,
+        );
+        if check::field(row, "hot_percent") > 0.0 {
+            structural(
+                "baseline/burst_cache_hits_nonzero".into(),
+                check::field(row, "cache_hits") > 0.0,
+            );
+        }
+    }
+
+    check::report("serving_smoke", &verdicts, "CHECK_serving_smoke.json")
 }
 
 #[cfg(test)]

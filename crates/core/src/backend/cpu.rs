@@ -104,11 +104,12 @@ impl SearchBackend for CpuBackend {
         // dimension (waves of any size keep at least the seed's
         // one-core-per-query occupancy). When the wave is smaller than
         // the fleet, the spare threads/Q workers additionally fan out
-        // INSIDE each query ([`kernel::search_one_parallel`]); queries
-        // that decline the fan-out (too small, or dense-predicted —
-        // their sequential merge would lose) degrade to the plain
-        // per-query kernel on their own batch worker, never to a
-        // single-core wave.
+        // INSIDE each query ([`kernel::search_one_parallel`]) — sparse
+        // spans merging by epoch, dense spans element-wise over their
+        // lane arrays; queries that decline the fan-out (too small, or
+        // dense with too few postings per object to amortise the
+        // per-span zero + merge) degrade to the plain per-query kernel
+        // on their own batch worker, never to a single-core wave.
         let workers_per_query = if queries.is_empty() {
             1
         } else {

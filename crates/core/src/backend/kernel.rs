@@ -21,15 +21,36 @@
 //!   list instead of sweeping all `n` slots. When a query turns out to
 //!   be dense after all (the touched fraction crosses
 //!   [`KernelConfig::dense_touched_fraction`], checked once per counted
-//!   chunk), harvesting switches off mid-scan and finalisation falls
-//!   back to the dense epoch-filtered sweep — the adaptive regime keeps
-//!   the worst case at seed cost while selective queries skip the `O(n)`
-//!   work entirely. Queries whose postings volume alone predicts a dense
-//!   outcome ([`KernelConfig::dense_postings_per_object`]) skip
-//!   harvesting up front and count into a plain reused `u32` array (the
-//!   seed path's exact layout and inner loop, minus the allocation):
-//!   stamped bumps carry twice the memory traffic, which is the right
-//!   trade only while the stamps are actually saving an `O(n)` reset.
+//!   chunk), harvesting switches off mid-scan: the harvested counts are
+//!   replayed into the plain dense array and the rest of the scan
+//!   continues on the lane-split dense path below — the adaptive regime
+//!   keeps the worst case at dense-kernel cost while selective queries
+//!   skip the `O(n)` work entirely. Queries whose postings volume alone
+//!   predicts a dense outcome
+//!   ([`KernelConfig::dense_postings_per_object`]) skip harvesting up
+//!   front and count into the dense array directly: stamped bumps carry
+//!   twice the memory traffic, which is the right trade only while the
+//!   stamps are actually saving an `O(n)` reset.
+//! * **Lane-split dense counting** — the dense scatter
+//!   (`counts[obj] += 1`) cannot be vectorized (the increments conflict
+//!   on arbitrary addresses), and on wide out-of-order cores it is not
+//!   bandwidth-bound either: a single increment chain leaves the store
+//!   pipeline idle waiting on counter-line latency. The dense path
+//!   therefore splits every postings run into
+//!   [`KernelConfig::dense_lanes`] equal contiguous sub-runs advanced in
+//!   lockstep — `L` independent load-increment-store chains per
+//!   iteration, far enough apart to never collide on a cache line —
+//!   with the `run.len() % lanes` remainder counted scalar. Measured on
+//!   the baseline host this takes the saturating-workload scatter from
+//!   ~1.9 to ~1.0 cycles per posting (see `BENCH_cpu_kernel.json`).
+//!   Finalisation no longer collects every nonzero counter into a
+//!   `partial_top_k` quickselect: a 4-lane count histogram (lanes again
+//!   break the store-forward stalls on hot buckets) finds the k-th
+//!   boundary count, and a [`screen_chunk`]-vectorized scan collects
+//!   only the few qualifying objects. Counts beyond the histogram range
+//!   fall back to the full sweep — either way the result is
+//!   bit-identical to [`partial_top_k`] (count descending, id
+//!   ascending, same boundary ties).
 //! * **Segment coalescing + chunked counting** — postings runs come from
 //!   [`InvertedIndex::coalesced_segments_for_range`], which merges
 //!   segments adjacent in the List Array (including load-balanced
@@ -41,16 +62,18 @@
 //! * **Intra-query segment parallelism** ([`search_one_parallel`]) — a
 //!   wave smaller than the host fleet leaves cores idle if parallelism
 //!   stops at the batch level (the `max_queue_delay = 0` low-latency
-//!   serving mode cuts waves of size ~1). For *sparse-predicted* queries
-//!   with at least [`KernelConfig::parallel_min_postings`] postings, the
-//!   coalesced runs are split into near-equal postings spans, each span
-//!   is counted into its own pool scratch on its own worker, and the
-//!   partial counts are merged by epoch into a primary scratch before
-//!   one final top-k reduction. Counting is pure addition, so any split
-//!   of the postings multiset yields bit-identical counts.
-//!   Dense-predicted queries stay sequential: their sequential merge
-//!   would replay up to `workers * n` adds on one thread and lose to
-//!   the zeroed dense kernel (see [`search_one_parallel`]).
+//!   serving mode cuts waves of size ~1). For queries with at least
+//!   [`KernelConfig::parallel_min_postings`] postings, the coalesced
+//!   runs are split into near-equal postings spans, each span is
+//!   counted into its own pool scratch on its own worker, and the
+//!   partial counts merged into a primary scratch before one final
+//!   top-k reduction. Sparse-predicted spans merge by epoch (per
+//!   harvested candidate); dense-predicted spans count into per-span
+//!   lane arrays and merge element-wise through the vectorized
+//!   [`merge_dense`], with the worker count capped at the query's
+//!   `postings / n` ratio so each span's counting still outweighs its
+//!   `O(n)` zero + merge. Counting is pure addition, so any split of
+//!   the postings multiset yields bit-identical counts.
 //!
 //! ## Contract
 //!
@@ -97,24 +120,66 @@ use crate::topk::{audit_threshold, finalize_unique_candidates, partial_top_k, To
 pub const CHUNK: usize = 64;
 
 /// Tuning knobs of the adaptive kernel. The defaults were measured with
-/// `repro --cpu-kernel` (see `BENCH_cpu_kernel.json` for the recorded
-/// sweep): selective workloads are insensitive to the exact values, and
-/// dense workloads regress once harvesting is kept on past roughly half
-/// the object universe.
+/// `repro --cpu-kernel` on the baseline host (Xeon @ 2.1 GHz, AVX-512;
+/// see `BENCH_cpu_kernel.json` for the recorded sweep); the measured
+/// crossover points below are per-field.
 #[derive(Debug, Clone, Copy)]
 pub struct KernelConfig {
     /// Skip harvesting up front when the query's total postings volume
     /// reaches this many postings *per indexed object* (the scan will
     /// touch most objects anyway, so recording first-touches is wasted
     /// work on top of the unavoidable dense sweep).
+    ///
+    /// **Tuning.** The trade is stamped-bump traffic (two words per
+    /// counter) plus a wasted touched list against one `O(n)` memset.
+    /// On the baseline host the sparse workload (~16 postings/query,
+    /// `n = 100k`) runs at ~11 µs/query harvested vs ~800 µs dense,
+    /// while the saturating workload (~4.7 postings/object) regresses
+    /// ~35% if forced to harvest. The regimes separate cleanly around
+    /// one posting per object; values in `[0.5, 2.0]` measure within
+    /// noise of each other, so the default sits at `1.0`.
     pub dense_postings_per_object: f64,
     /// Abort harvesting mid-scan once more than this fraction of the
-    /// object universe has been touched; finalisation falls back to the
-    /// dense epoch-filtered sweep.
+    /// object universe has been touched; the harvested counts are
+    /// replayed into the dense lane array and the scan continues on the
+    /// vectorized dense path.
+    ///
+    /// **Tuning.** Only mispredicted queries (sparse postings volume,
+    /// dense touch pattern) ever reach this limit, and the flip now
+    /// *switches* regimes rather than merely degrading, so the knob is
+    /// forgiving: it must only stop the touched list before its
+    /// replay-into-dense cost (one store per touched id) rivals the
+    /// counting itself. Half the universe keeps the replay under one
+    /// memset-equivalent; measured end-to-end latency on mispredicted
+    /// queries is flat within noise for fractions in `[0.25, 0.75]`.
     pub dense_touched_fraction: f64,
     /// Minimum postings a query must scan before intra-query
     /// parallelism is worth its merge step.
+    ///
+    /// **Tuning.** The fan-out costs one scratch `begin` per worker
+    /// plus the merge of each span's candidates; at the default the
+    /// smallest fanned-out span (~4k postings on 2 workers) still scans
+    /// an order of magnitude more postings than the merge replays.
+    /// Sparse queries below ~8k postings finish in single-digit
+    /// microseconds sequentially — fan-out overhead (thread wake + two
+    /// pool round-trips) measures larger than the whole query there.
     pub parallel_min_postings: u64,
+    /// Number of independent increment chains the dense counting path
+    /// drives per postings run (each run is split into this many equal
+    /// contiguous sub-runs advanced in lockstep; the remainder is
+    /// counted scalar). Values are clamped to the nearest of
+    /// `{1, 2, 4, 8}`.
+    ///
+    /// **Tuning.** The dense scatter is latency-bound, not
+    /// bandwidth-bound: one chain leaves the store pipeline idle on
+    /// counter-line round-trips. Measured on the baseline host's
+    /// saturating workload (~470k postings/query, `n = 100k`):
+    /// 1 lane ≈ 1.9 cycles/posting, 2 lanes ≈ 1.25, 4 lanes ≈ 1.0,
+    /// 8 lanes within noise of 4 (the four extra chains only add
+    /// sub-run bookkeeping once the load/store ports saturate). The
+    /// crossover to diminishing returns sits at 4 on every core wide
+    /// enough to retire 2 loads + 1 store per cycle.
+    pub dense_lanes: usize,
 }
 
 impl Default for KernelConfig {
@@ -123,6 +188,7 @@ impl Default for KernelConfig {
             dense_postings_per_object: 1.0,
             dense_touched_fraction: 0.5,
             parallel_min_postings: 8_192,
+            dense_lanes: 4,
         }
     }
 }
@@ -134,6 +200,17 @@ impl KernelConfig {
 
     fn touched_limit(&self, num_objects: usize) -> usize {
         (self.dense_touched_fraction * num_objects as f64) as usize
+    }
+
+    /// `dense_lanes` clamped to the lane counts the counting loop is
+    /// actually compiled for.
+    fn effective_lanes(&self) -> usize {
+        match self.dense_lanes {
+            0 | 1 => 1,
+            2 | 3 => 2,
+            4..=7 => 4,
+            _ => 8,
+        }
     }
 }
 
@@ -216,15 +293,18 @@ pub struct CountScratch {
     active: usize,
     touched: Vec<ObjectId>,
     harvesting: bool,
-    /// Dense-up-front mode: counting runs on the plain `u32` array
-    /// `dense` (the seed path's exact layout and inner loop, half the
-    /// memory traffic of a stamped bump), zeroed at `begin` but reused
-    /// across queries instead of freshly allocated.
+    /// Dense mode (up-front prediction or mid-scan flip): counting runs
+    /// on the plain `u32` array `dense` through the lane-split scatter
+    /// (half the memory traffic of a stamped bump), zeroed at `begin`
+    /// but reused across queries instead of freshly allocated.
     zeroed: bool,
     /// The zeroed-mode counter array; allocated lazily, only if a
-    /// dense-up-front query ever arrives at this scratch.
+    /// dense query ever arrives at this scratch.
     dense: Vec<u32>,
     touched_limit: usize,
+    /// Independent increment chains of the dense scatter
+    /// ([`KernelConfig::dense_lanes`], normalized).
+    lanes: usize,
     runs: Vec<PostingsSegment>,
     /// Bytes already folded into the owning pool's tracked footprint
     /// (maintained by [`ScratchPool::release`]).
@@ -240,7 +320,7 @@ impl CountScratch {
     /// `harvesting` off the query was predicted dense up front: the
     /// counters are memset instead (a reused buffer, so still no
     /// allocation) and counting runs the cheaper unstamped loop.
-    fn begin(&mut self, num_objects: usize, harvesting: bool, touched_limit: usize) {
+    fn begin(&mut self, num_objects: usize, harvesting: bool, config: &KernelConfig) {
         if self.cells.len() < num_objects {
             self.cells.resize(num_objects, Cell::default());
         }
@@ -261,7 +341,26 @@ impl CountScratch {
         }
         self.touched.clear();
         self.harvesting = harvesting;
-        self.touched_limit = touched_limit;
+        self.touched_limit = config.touched_limit(num_objects);
+        self.lanes = config.effective_lanes();
+    }
+
+    /// The mid-scan sparse→dense flip: the touched list is complete up
+    /// to this point, so the harvested counts are replayed into the
+    /// dense array and the rest of the scan lands on the vectorized
+    /// lane path (instead of limping on with stamped bumps and an
+    /// `O(n)` epoch-filtered sweep at the end).
+    fn switch_to_dense(&mut self) {
+        self.harvesting = false;
+        if self.dense.len() < self.active {
+            self.dense.resize(self.active, 0);
+        }
+        self.dense[..self.active].fill(0);
+        for &id in &self.touched {
+            self.dense[id as usize] = self.cells[id as usize].count;
+        }
+        self.touched.clear();
+        self.zeroed = true;
     }
 
     #[inline]
@@ -276,45 +375,37 @@ impl CountScratch {
         }
     }
 
-    #[inline]
-    fn bump(&mut self, obj: ObjectId) {
-        let cell = &mut self.cells[obj as usize];
-        if cell.stamp == self.epoch {
-            cell.count += 1;
-        } else {
-            cell.stamp = self.epoch;
-            cell.count = 1;
-        }
-    }
-
-    /// Stream one contiguous postings run through the counters in
-    /// [`CHUNK`]-wide pieces. The adaptive dense fallback is evaluated
-    /// between chunks so the three inner loops stay branch-light.
+    /// Stream one contiguous postings run through the counters.
+    /// Harvesting counts in [`CHUNK`]-wide pieces with the adaptive
+    /// dense check between chunks; dense mode (up front or after the
+    /// flip) runs the lane-split scatter.
     fn count_run(&mut self, run: &[ObjectId]) {
-        if self.zeroed {
-            // dense up front: the seed path's unstamped increment
+        let mut rest = run;
+        if self.harvesting {
+            let mut consumed = 0;
             for chunk in run.chunks(CHUNK) {
-                for &obj in chunk {
-                    self.dense[obj as usize] += 1;
-                }
-            }
-            return;
-        }
-        for chunk in run.chunks(CHUNK) {
-            if self.harvesting {
                 for &obj in chunk {
                     self.bump_harvest(obj);
                 }
+                consumed += chunk.len();
                 if self.touched.len() > self.touched_limit {
-                    // too dense to stay sparse: the touched list is now
-                    // incomplete, so finalisation must sweep
-                    self.harvesting = false;
-                }
-            } else {
-                for &obj in chunk {
-                    self.bump(obj);
+                    // too dense to stay sparse: replay the (complete)
+                    // harvest into the dense array and continue there
+                    self.switch_to_dense();
+                    break;
                 }
             }
+            if self.harvesting {
+                return;
+            }
+            rest = &run[consumed..];
+        }
+        debug_assert!(self.zeroed, "non-harvesting counting is always dense");
+        match self.lanes {
+            8 => count_lanes::<8>(&mut self.dense, rest),
+            4 => count_lanes::<4>(&mut self.dense, rest),
+            2 => count_lanes::<2>(&mut self.dense, rest),
+            _ => count_lanes::<1>(&mut self.dense, rest),
         }
     }
 
@@ -333,40 +424,41 @@ impl CountScratch {
         } else {
             cell.stamp = self.epoch;
             cell.count = delta;
-            if self.harvesting {
-                self.touched.push(obj);
-                if self.touched.len() > self.touched_limit {
-                    self.harvesting = false;
-                }
+            self.touched.push(obj);
+            if self.touched.len() > self.touched_limit {
+                self.switch_to_dense();
             }
         }
     }
 
     /// Visit every `(object, count)` this query touched — from the
-    /// harvested list when it is complete, else by the dense sweep
-    /// (count-filtered in zeroed mode, epoch-filtered otherwise).
+    /// harvested list when it is complete, else by the count-filtered
+    /// dense sweep.
     fn for_each_candidate(&self, mut f: impl FnMut(ObjectId, u32)) {
         if self.harvesting {
             for &id in &self.touched {
                 f(id, self.cells[id as usize].count);
             }
-        } else if self.zeroed {
+        } else {
+            debug_assert!(self.zeroed, "non-harvesting scratches are dense");
             for (id, &count) in self.dense[..self.active].iter().enumerate() {
                 if count > 0 {
                     f(id as ObjectId, count);
-                }
-            }
-        } else {
-            for (id, cell) in self.cells[..self.active].iter().enumerate() {
-                if cell.stamp == self.epoch {
-                    f(id as ObjectId, cell.count);
                 }
             }
         }
     }
 
     /// Fold this scratch's counts into `main` (intra-query merge).
+    /// Two dense scratches merge element-wise through the vectorized
+    /// [`merge_dense`]; any other combination replays candidates
+    /// through the epoch-stamped [`add`](Self::add).
     fn merge_into(&self, main: &mut CountScratch) {
+        if self.zeroed && main.zeroed {
+            debug_assert_eq!(self.active, main.active);
+            merge_dense(&mut main.dense[..main.active], &self.dense[..self.active]);
+            return;
+        }
         self.for_each_candidate(|id, count| main.add(id, count));
     }
 
@@ -382,7 +474,11 @@ impl CountScratch {
                 k,
             );
             (hits, self.touched.len() as u64)
+        } else if let Some(out) = self.finalize_dense_hist(k) {
+            out
         } else {
+            // a count overflowed the histogram range: fall back to the
+            // full collect + quickselect (bit-identical, just slower)
             let mut dense: Vec<TopHit> = Vec::new();
             self.for_each_candidate(|id, count| dense.push(TopHit { id, count }));
             let candidates = dense.len() as u64;
@@ -390,6 +486,95 @@ impl CountScratch {
         };
         let at = audit_threshold(&hits, k);
         (hits, at, candidates)
+    }
+
+    /// Dense finalisation without the `O(candidates)` quickselect: a
+    /// 4-lane count histogram locates the k-th boundary count, then a
+    /// [`screen_chunk`]-vectorized scan collects only the qualifying
+    /// objects (all counts above the boundary, plus the lowest-id ties
+    /// exactly as [`partial_top_k`] would keep them). Returns `None`
+    /// when some count reaches the histogram's clamp bucket — the
+    /// caller then takes the sweeping fallback.
+    fn finalize_dense_hist(&self, k: usize) -> Option<(Vec<TopHit>, u64)> {
+        const HB: usize = HIST_BUCKETS;
+        let counts = &self.dense[..self.active];
+        // four interleaved histograms: saturating workloads hammer a
+        // handful of buckets, and a single histogram serializes on
+        // store-to-load forwarding of those hot counters
+        let mut hist = [[0u32; HB]; 4];
+        let quarter = counts.len() / 4;
+        for i in 0..quarter {
+            hist[0][(counts[i] as usize).min(HB - 1)] += 1;
+            hist[1][(counts[quarter + i] as usize).min(HB - 1)] += 1;
+            hist[2][(counts[2 * quarter + i] as usize).min(HB - 1)] += 1;
+            hist[3][(counts[3 * quarter + i] as usize).min(HB - 1)] += 1;
+        }
+        for &c in &counts[4 * quarter..] {
+            hist[0][(c as usize).min(HB - 1)] += 1;
+        }
+        let [h0, h1, h2, h3] = &mut hist;
+        for b in 0..HB {
+            h0[b] += h1[b] + h2[b] + h3[b];
+        }
+        if h0[HB - 1] > 0 {
+            // the clamp bucket mixes counts >= HB-1: boundary order
+            // inside it is unknown, so this path cannot stay exact
+            return None;
+        }
+        let candidates = (counts.len() - h0[0] as usize) as u64;
+
+        // walk down to the k-th boundary: after the loop, `thresh` is
+        // the k-th largest count and `quota` how many boundary ties the
+        // top-k has room for (0/0 when fewer than k objects matched)
+        let mut need = k;
+        let mut thresh = 0usize;
+        let mut quota = 0usize;
+        for c in (1..HB - 1).rev() {
+            let at_c = h0[c] as usize;
+            if at_c >= need {
+                thresh = c;
+                quota = need;
+                break;
+            }
+            need -= at_c;
+        }
+
+        let screen = thresh.max(1) as u32;
+        let mut hits: Vec<TopHit> = Vec::with_capacity(k.min(candidates as usize));
+        let mut ties = 0usize;
+        let mut base = 0usize;
+        for chunk in counts.chunks(CHUNK) {
+            if screen_chunk(chunk, screen) {
+                for (off, &count) in chunk.iter().enumerate() {
+                    let c = count as usize;
+                    if c > thresh {
+                        hits.push(TopHit {
+                            id: (base + off) as ObjectId,
+                            count,
+                        });
+                    } else if c == thresh && thresh > 0 && ties < quota {
+                        // ascending scan order = lowest-id ties first,
+                        // exactly the quickselect's boundary choice
+                        hits.push(TopHit {
+                            id: (base + off) as ObjectId,
+                            count,
+                        });
+                        ties += 1;
+                    }
+                }
+            }
+            base += chunk.len();
+        }
+        hits.sort_unstable_by(|a, b| b.count.cmp(&a.count).then(a.id.cmp(&b.id)));
+        Some((hits, candidates))
+    }
+
+    /// Test-only hook: force the stamped table's epoch so integration
+    /// tests can drive the wrap-around re-zero path without running
+    /// `u32::MAX` queries first.
+    #[doc(hidden)]
+    pub fn force_epoch(&mut self, epoch: u32) {
+        self.epoch = epoch;
     }
 
     /// Resident bytes of this scratch (counter table + touched list +
@@ -467,6 +652,55 @@ impl ScratchPool {
     }
 }
 
+/// Buckets of the dense finalisation histogram: counts in
+/// `[0, HIST_BUCKETS - 2]` resolve exactly; any count reaching the top
+/// (clamp) bucket sends finalisation to the sweeping fallback.
+const HIST_BUCKETS: usize = 256;
+
+/// The lane-split dense scatter: `run` is divided into `L` equal
+/// contiguous sub-runs advanced in lockstep, giving the core `L`
+/// independent load-increment-store chains per iteration (the scatter
+/// itself cannot be vectorized — increments conflict on arbitrary
+/// addresses — but it is latency-bound, and contiguous sub-runs keep
+/// the chains on distinct cache lines). The `run.len() % L` remainder
+/// is counted scalar.
+fn count_lanes<const L: usize>(dense: &mut [u32], run: &[ObjectId]) {
+    let part = run.len() / L;
+    for i in 0..part {
+        for l in 0..L {
+            dense[run[l * part + i] as usize] += 1;
+        }
+    }
+    for &obj in &run[L * part..] {
+        dense[obj as usize] += 1;
+    }
+}
+
+/// Element-wise merge of a worker's dense lane array into the primary
+/// (`dst[i] += src[i]`): the loop the autovectorizer must keep SIMD —
+/// `repro --cpu-kernel` (full run) asserts its measured throughput
+/// stays above any scalar plausibility. `#[inline(never)]` keeps it a
+/// single inspectable symbol.
+#[inline(never)]
+pub fn merge_dense(dst: &mut [u32], src: &[u32]) {
+    for (d, &s) in dst.iter_mut().zip(src) {
+        *d += s;
+    }
+}
+
+/// Branch-free "does any count in `chunk` reach `screen`?" test used to
+/// skip whole chunks during dense candidate collection; written as a
+/// reduction over the chunk so the autovectorizer turns it into wide
+/// compares (asserted alongside [`merge_dense`] by the bench).
+#[inline(never)]
+pub fn screen_chunk(chunk: &[u32], screen: u32) -> bool {
+    let mut any = false;
+    for &c in chunk {
+        any |= c >= screen;
+    }
+    any
+}
+
 /// Resolve `query` against the Position Map into coalesced contiguous
 /// runs (stored in `runs`), returning the total postings volume.
 fn gather_runs(index: &InvertedIndex, query: &Query, runs: &mut Vec<PostingsSegment>) -> u64 {
@@ -513,11 +747,7 @@ fn search_gathered(
 ) -> (Vec<TopHit>, u32) {
     let n = index.num_objects() as usize;
     let list = index.list_array();
-    scratch.begin(
-        n,
-        config.harvest_up_front(total, n),
-        config.touched_limit(n),
-    );
+    scratch.begin(n, config.harvest_up_front(total, n), config);
     for seg in runs {
         scratch.count_run(&list[seg.start as usize..(seg.start + seg.len) as usize]);
     }
@@ -529,15 +759,15 @@ fn search_gathered(
 /// [`search_one`] with intra-query parallelism: the query's coalesced
 /// runs are split into up to `workers` near-equal postings spans, each
 /// counted into its own pool scratch concurrently, and the partial
-/// counts merged by epoch before one final reduction. Falls back to the
-/// single-worker kernel when the query is too small
-/// ([`KernelConfig::parallel_min_postings`]), `workers <= 1`, or the
-/// postings volume predicts a *dense* outcome: the merge step is
-/// sequential over each worker's candidates, so fanning out a query
-/// that touches most of the object universe would replay up to
-/// `workers * n` adds on one thread — slower than the sequential
-/// dense kernel it replaces. Sparse-predicted queries (bounded
-/// candidates per span) are where the fan-out pays.
+/// counts merged before one final reduction — sparse spans by epoch
+/// (per harvested candidate), dense spans element-wise through the
+/// vectorized [`merge_dense`] over per-span lane arrays. Falls back to
+/// the single-worker kernel when the query is too small
+/// ([`KernelConfig::parallel_min_postings`]) or `workers <= 1`.
+/// Dense-predicted queries participate with the worker count
+/// additionally capped at `total_postings / n`: each dense span pays
+/// an `O(n)` zero + merge, so the fan-out only holds as long as every
+/// span still scans more postings than it zeroes and merges.
 ///
 /// Counts are bit-identical to the sequential kernel for any split:
 /// counting is addition over the postings multiset, and the merge
@@ -557,7 +787,12 @@ pub fn search_one_parallel(
     let total = gather_runs(index, query, &mut runs);
 
     let harvest = config.harvest_up_front(total, n);
-    if workers <= 1 || total < config.parallel_min_postings || !harvest {
+    let workers = if harvest {
+        workers
+    } else {
+        workers.min((total / n.max(1) as u64).max(1) as usize)
+    };
+    if workers <= 1 || total < config.parallel_min_postings {
         let out = search_gathered(index, &runs, total, k, &mut main, config, stats);
         main.runs = runs;
         pool.release(main);
@@ -565,13 +800,12 @@ pub fn search_one_parallel(
     }
 
     let spans = split_runs(&runs, workers, total);
-    let limit = config.touched_limit(n);
     let list = index.list_array();
     let parts: Vec<CountScratch> = spans
         .par_iter()
         .map(|span| {
             let mut scratch = pool.acquire();
-            scratch.begin(n, harvest, limit);
+            scratch.begin(n, harvest, config);
             for seg in span {
                 scratch.count_run(&list[seg.start as usize..(seg.start + seg.len) as usize]);
             }
@@ -579,7 +813,7 @@ pub fn search_one_parallel(
         })
         .collect();
 
-    main.begin(n, harvest, limit);
+    main.begin(n, harvest, config);
     for part in &parts {
         part.merge_into(&mut main);
     }
@@ -743,7 +977,8 @@ mod tests {
         let objects = clustered_objects(400);
         let index = index_of(&objects);
         // postings volume predicts sparse, but every object matches:
-        // harvesting must abort mid-scan and the dense sweep must agree
+        // harvesting must abort mid-scan, replay onto the dense lane
+        // path, and the dense finalisation must agree
         let config = KernelConfig {
             dense_postings_per_object: 100.0, // never dense up front
             dense_touched_fraction: 0.1,      // overflow almost at once
@@ -755,6 +990,105 @@ mod tests {
         let got = search_one(&index, &q, 25, &mut scratch, &config, &stats);
         assert_eq!(got, reference_search_one(&index, &q, 25));
         assert_eq!(stats.snapshot().dense_finalize, 1);
+        assert!(scratch.zeroed, "the flip must land on the dense path");
+        assert!(!scratch.harvesting);
+    }
+
+    #[test]
+    fn every_lane_config_counts_identically() {
+        let objects = clustered_objects(700);
+        let index = index_of(&objects);
+        let stats = KernelStats::default();
+        // force the dense path so the lane scatter is what's under test
+        for lanes in [0, 1, 2, 3, 4, 5, 7, 8, 9, 64] {
+            let config = KernelConfig {
+                dense_postings_per_object: 0.0,
+                dense_lanes: lanes,
+                ..Default::default()
+            };
+            let mut scratch = CountScratch::default();
+            for q in [
+                Query::new(vec![QueryItem::range(0, 300)]),
+                Query::from_keywords(&[3, 101]),
+                Query::new(vec![QueryItem::range(50, 90)]), // matches nothing
+            ] {
+                let expected = reference_search_one(&index, &q, 9);
+                let got = search_one(&index, &q, 9, &mut scratch, &config, &stats);
+                assert_eq!(expected, got, "lanes = {lanes}");
+            }
+        }
+        assert_eq!(stats.snapshot().sparse_finalize, 0);
+    }
+
+    #[test]
+    fn histogram_overflow_falls_back_to_the_sweep() {
+        // one object matched more times than the histogram can bucket:
+        // finalisation must take the clamp fallback and stay exact
+        let mut objects = vec![Object::new(vec![5; 2 * HIST_BUCKETS])];
+        objects.extend((0..6).map(|i| Object::new(vec![i])));
+        let index = index_of(&objects);
+        let config = KernelConfig::default();
+        let stats = KernelStats::default();
+        let mut scratch = CountScratch::default();
+        let q = Query::new(vec![QueryItem::range(0, 10)]);
+        let got = search_one(&index, &q, 3, &mut scratch, &config, &stats);
+        assert_eq!(got, reference_search_one(&index, &q, 3));
+        assert_eq!(got.0[0].count, 2 * HIST_BUCKETS as u32);
+        assert_eq!(stats.snapshot().dense_finalize, 1, "dense up front");
+    }
+
+    #[test]
+    fn boundary_ties_keep_the_lowest_ids() {
+        // 40 objects all tied at count 2 in dense mode: the histogram
+        // path must pick the same lowest-id boundary ties as the
+        // quickselect it replaces
+        let objects: Vec<Object> = (0..40).map(|_| Object::new(vec![1, 2])).collect();
+        let index = index_of(&objects);
+        let config = KernelConfig::default();
+        let stats = KernelStats::default();
+        let mut scratch = CountScratch::default();
+        let q = Query::new(vec![QueryItem::range(1, 2)]);
+        for k in [1, 7, 39, 40, 50] {
+            let got = search_one(&index, &q, k, &mut scratch, &config, &stats);
+            assert_eq!(got, reference_search_one(&index, &q, k), "k = {k}");
+            let ids: Vec<u32> = got.0.iter().map(|h| h.id).collect();
+            let want: Vec<u32> = (0..k.min(40) as u32).collect();
+            assert_eq!(ids, want, "k = {k}");
+        }
+        assert!(stats.snapshot().dense_finalize > 0);
+    }
+
+    #[test]
+    fn dense_queries_fan_out_and_merge_elementwise() {
+        let objects = clustered_objects(2_000);
+        let index = index_of(&objects);
+        let config = KernelConfig {
+            parallel_min_postings: 1,
+            ..Default::default()
+        };
+        let stats = KernelStats::default();
+        let pool = ScratchPool::new();
+        // ~3 postings per object: dense up front, worker cap total/n = 3
+        let q = Query::new(vec![QueryItem::range(0, 300)]);
+        for workers in [2, 3, 8] {
+            let expected = reference_search_one(&index, &q, 12);
+            let got = search_one_parallel(&index, &q, 12, &pool, workers, &config, &stats);
+            assert_eq!(expected, got, "workers {workers}");
+        }
+        let snap = stats.snapshot();
+        assert!(snap.parallel_queries > 0, "dense queries must fan out");
+        assert_eq!(snap.sparse_finalize, 0);
+    }
+
+    #[test]
+    fn simd_helpers_compute_what_the_scalar_loops_would() {
+        let mut dst: Vec<u32> = (0..1000).collect();
+        let src: Vec<u32> = (0..1000).map(|i| i * 3).collect();
+        merge_dense(&mut dst, &src);
+        assert!(dst.iter().enumerate().all(|(i, &v)| v as usize == i * 4));
+        assert!(!screen_chunk(&[0, 1, 2, 3], 4));
+        assert!(screen_chunk(&[0, 1, 2, 4], 4));
+        assert!(!screen_chunk(&[], 1));
     }
 
     #[test]

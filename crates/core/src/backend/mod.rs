@@ -104,6 +104,16 @@ impl BackendIndex {
     pub fn payload<T: 'static>(&self) -> Option<&T> {
         self.payload.downcast_ref::<T>()
     }
+
+    /// Postings a counting scan of `query` visits on this prepared
+    /// index — the per-query scan-cost statistic
+    /// (see [`InvertedIndex::predicted_postings`]) that the service
+    /// scheduler's cost-aware wave packing turns into predicted
+    /// microseconds. Surfaced on the prepared handle so schedulers
+    /// price queries against exactly the index a backend will scan.
+    pub fn predicted_scan_postings(&self, query: &Query) -> u64 {
+        self.index.predicted_postings(query)
+    }
 }
 
 /// A search execution engine: upload an index once, run top-k

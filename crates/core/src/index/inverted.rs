@@ -127,6 +127,35 @@ impl InvertedIndex {
         }
     }
 
+    /// Total postings whose keyword lies in `[lo, hi]` (inclusive) —
+    /// the size of the List Array slice a counting scan of that range
+    /// visits. Computed on the fly from the Position Map
+    /// (`O(log lists + lists in range)`), so it needs no extra
+    /// serialized state and stays correct for any index the
+    /// persistence codec can produce.
+    pub fn postings_in_range(&self, lo: KeywordId, hi: KeywordId) -> u64 {
+        let from = self.entries.partition_point(|e| e.keyword < lo);
+        self.entries[from..]
+            .iter()
+            .take_while(|e| e.keyword <= hi)
+            .map(|e| e.len as u64)
+            .sum()
+    }
+
+    /// Postings a full counting scan of `query` visits: the sum of
+    /// [`postings_in_range`](Self::postings_in_range) over its items.
+    /// This is the per-query scan-cost statistic the service's
+    /// cost-aware wave packing consumes — match counting is one
+    /// increment per posting, so predicted scan time is linear in this
+    /// number.
+    pub fn predicted_postings(&self, query: &crate::model::Query) -> u64 {
+        query
+            .items
+            .iter()
+            .map(|it| self.postings_in_range(it.lo, it.hi))
+            .sum()
+    }
+
     /// Raw Position-Map entries (persistence codec).
     pub fn entries_raw(&self) -> &[PostingsEntry] {
         &self.entries
@@ -326,6 +355,42 @@ mod tests {
         // ...which the host view folds back into one contiguous run
         let merged: Vec<_> = idx.coalesced_segments_for_range(7, 7).collect();
         assert_eq!(merged, vec![PostingsSegment { start: 0, len: 20 }]);
+    }
+
+    #[test]
+    fn postings_in_range_sums_the_scanned_lists() {
+        let idx = sample_index();
+        // keywords 10, 20, 30 hold 2 postings each
+        assert_eq!(idx.postings_in_range(10, 10), 2);
+        assert_eq!(idx.postings_in_range(10, 20), 4);
+        assert_eq!(idx.postings_in_range(0, 100), 6);
+        assert_eq!(idx.postings_in_range(11, 19), 0);
+        // the statistic is exactly the postings the scan visits
+        for (lo, hi) in [(0, 100), (10, 20), (20, 30), (30, 30), (11, 19)] {
+            let visited: u64 = idx.segments_for_range(lo, hi).map(|s| s.len as u64).sum();
+            assert_eq!(idx.postings_in_range(lo, hi), visited);
+        }
+    }
+
+    #[test]
+    fn predicted_postings_sums_over_query_items() {
+        use crate::model::{Query, QueryItem};
+        let idx = sample_index();
+        let q = Query::new(vec![
+            QueryItem { lo: 10, hi: 20 },
+            QueryItem { lo: 30, hi: 30 },
+            QueryItem { lo: 99, hi: 99 },
+        ]);
+        assert_eq!(idx.predicted_postings(&q), 4 + 2);
+        assert_eq!(idx.predicted_postings(&Query::default()), 0);
+        // a load-balanced keyword's sublists all count
+        use crate::index::LoadBalanceConfig;
+        let mut b = IndexBuilder::new();
+        for _ in 0..20 {
+            b.add_object(&Object::new(vec![7]));
+        }
+        let balanced = b.build(Some(LoadBalanceConfig { max_list_len: 8 }));
+        assert_eq!(balanced.postings_in_range(7, 7), 20);
     }
 
     #[test]

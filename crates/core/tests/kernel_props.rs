@@ -86,6 +86,38 @@ proptest! {
         }
     }
 
+    /// The lane-split dense scatter handles every run-length residue:
+    /// forcing the dense path (`dense_postings_per_object: 0`) over
+    /// tiny object sets sweeps runs shorter than the lane count, runs
+    /// whose length is not a lane multiple (scalar tail), and empty
+    /// runs — all of which must stay bit-identical to the seed path
+    /// at every configured lane count (including out-of-range values
+    /// the config clamps).
+    #[test]
+    fn dense_lane_split_is_bit_identical_at_any_run_length(
+        objects in proptest::collection::vec(
+            proptest::collection::vec(0u32..UNIVERSE, 1..7), 1..40,
+        ).prop_map(|sets| sets.into_iter().map(Object::new).collect::<Vec<Object>>()),
+        queries in proptest::collection::vec(query_strategy(), 1..5),
+        k in 1usize..20,
+        lanes in 0usize..10,
+    ) {
+        let index = index_of(&objects, None);
+        let config = KernelConfig {
+            dense_postings_per_object: 0.0, // predict dense up front
+            dense_lanes: lanes,
+            ..Default::default()
+        };
+        let stats = KernelStats::default();
+        let mut scratch = CountScratch::default();
+        for q in &queries {
+            let expected = kernel::reference_search_one(&index, q, k);
+            let got = kernel::search_one(&index, q, k, &mut scratch, &config, &stats);
+            prop_assert_eq!(&expected, &got, "lanes = {}, n = {}", lanes, objects.len());
+        }
+        prop_assert_eq!(stats.snapshot().sparse_finalize, 0, "dense was forced");
+    }
+
     #[test]
     fn backend_batches_match_the_seed_path_query_by_query(
         objects in objects_strategy(),
@@ -132,6 +164,80 @@ fn one_object_credited_through_many_segments_and_items() {
     assert_eq!(hits[0].id, 0);
     assert_eq!(hits[0].count, 38);
     assert_eq!(at, 39);
+}
+
+/// Explicit lane-boundary object counts: below the 4-lane width, one
+/// off a lane multiple, prime, and a query mixing matching items with
+/// an item that matches nothing (an empty postings range).
+#[test]
+fn lane_boundary_sizes_and_empty_runs_stay_bit_identical() {
+    let stats = KernelStats::default();
+    for n in [1usize, 2, 3, 4, 5, 7, 8, 9, 31, 33] {
+        let objects: Vec<Object> = (0..n).map(|i| Object::new(vec![i as u32 % 7, 7])).collect();
+        let index = index_of(&objects, None);
+        // keyword 40 is indexed by nobody: its range contributes zero
+        // postings runs between two contributing items
+        let q = Query::new(vec![
+            QueryItem::range(0, 6),
+            QueryItem::range(40, 50),
+            QueryItem::range(7, 7),
+        ]);
+        for lanes in [1usize, 2, 4, 8] {
+            let config = KernelConfig {
+                dense_postings_per_object: 0.0,
+                dense_lanes: lanes,
+                ..Default::default()
+            };
+            let mut scratch = CountScratch::default();
+            for k in [1, 2, n, n + 3] {
+                let expected = kernel::reference_search_one(&index, &q, k);
+                let got = kernel::search_one(&index, &q, k, &mut scratch, &config, &stats);
+                assert_eq!(expected, got, "n = {n}, lanes = {lanes}, k = {k}");
+            }
+        }
+    }
+}
+
+/// Epoch wrap-around of the reused scratch is transparent: counters
+/// stamped by pre-wrap queries must never leak into post-wrap answers,
+/// including when dense-mode queries (which bypass the epoch) are
+/// interleaved right across the wrap.
+#[test]
+fn epoch_wrap_of_the_reused_scratch_is_transparent() {
+    let objects: Vec<Object> = (0..60)
+        .map(|i| Object::new(vec![i % 13, 13 + i % 5, 20]))
+        .collect();
+    let index = index_of(&objects, None);
+    let stats = KernelStats::default();
+    let sparse_config = KernelConfig::default();
+    let dense_config = KernelConfig {
+        dense_postings_per_object: 0.0,
+        ..Default::default()
+    };
+
+    let mut scratch = CountScratch::default();
+    // a first query allocates and stamps the table, then the test hook
+    // parks the epoch two steps short of the wrap
+    let warm = Query::from_keywords(&[1, 20]);
+    let _ = kernel::search_one(&index, &warm, 5, &mut scratch, &sparse_config, &stats);
+    scratch.force_epoch(u32::MAX - 2);
+
+    // each sparse `begin` advances the epoch: MAX - 1, MAX, then the
+    // wrap (full re-zero, epoch 1) — with dense queries in between so
+    // both counting modes cross the boundary in one scratch
+    for round in 0u32..6 {
+        for (cfg, name) in [(&sparse_config, "sparse"), (&dense_config, "dense")] {
+            let q = Query::new(vec![
+                QueryItem::range(round % 13, (round % 13) + 2),
+                QueryItem::range(20, 20),
+            ]);
+            for k in [1, 7, 100] {
+                let expected = kernel::reference_search_one(&index, &q, k);
+                let got = kernel::search_one(&index, &q, k, &mut scratch, cfg, &stats);
+                assert_eq!(expected, got, "round {round}, {name} config, k = {k}");
+            }
+        }
+    }
 }
 
 #[test]

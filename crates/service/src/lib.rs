@@ -34,7 +34,20 @@
 //!    footprint is computed from the same [`CpqLayout`] the engine
 //!    allocates, with the count bound from
 //!    [`genie_core::model::count_bound`] — so the plan's
-//!    memory math is exactly the engine's.
+//!    memory math is exactly the engine's. Packing can additionally be
+//!    **cost-aware** ([`plan_batches_with_cost`], enabled by
+//!    [`SchedulerConfig::batch_cost_budget_us`]): each request carries a
+//!    *predicted scan cost* in microseconds — its postings count from
+//!    the index Position Map
+//!    ([`BackendIndex::predicted_scan_postings`](genie_core::backend::BackendIndex::predicted_scan_postings)),
+//!    priced by a [`ScanCostModel`] — and a batch also closes when the
+//!    next request would push its summed predicted cost past the
+//!    budget. Per-query scan cost varies by orders of magnitude between
+//!    sparse and dense regimes, so cutting waves by predicted
+//!    microseconds rather than query count keeps wave latency bounded
+//!    regardless of regime mix. Cost packing changes only the
+//!    *grouping*; the results are bit-identical to count-packed plans
+//!    (property-tested in `tests/scheduler_props.rs`).
 //! 3. **Dispatch** — one worker per [`SearchBackend`] drains the batch
 //!    queue concurrently (a GPU engine and the CPU backend can serve the
 //!    same traffic side by side).
@@ -130,6 +143,20 @@ pub struct SchedulerConfig {
     /// report no bound leave batches limited by `max_batch_queries`
     /// only.
     pub cpq_budget_bytes: Option<u64>,
+    /// Predicted-scan-cost budget for one micro-batch, in microseconds.
+    /// `Some(b)` closes a batch once the *predicted* scan cost of its
+    /// requests (postings counts priced by [`ScanCostModel`]) would
+    /// exceed `b` — the size trigger then cuts waves by predicted scan
+    /// microseconds rather than query count, so one dense-regime query
+    /// (100k+ postings) no longer rides in the same batch as a thousand
+    /// sparse ones. `None` (the default) packs by count and memory
+    /// only. Cost packing never changes results, only grouping.
+    pub batch_cost_budget_us: Option<f64>,
+    /// How predicted postings are priced into microseconds; only
+    /// consulted when [`batch_cost_budget_us`](Self::batch_cost_budget_us)
+    /// is set (and by the predicted-vs-actual accounting in
+    /// [`ScheduleReport`]).
+    pub cost_model: ScanCostModel,
 }
 
 impl Default for SchedulerConfig {
@@ -137,7 +164,48 @@ impl Default for SchedulerConfig {
         Self {
             max_batch_queries: 1024,
             cpq_budget_bytes: None,
+            batch_cost_budget_us: None,
+            cost_model: ScanCostModel::default(),
         }
+    }
+}
+
+/// Linear scan-cost model: `predicted_us = base_us + us_per_posting *
+/// postings`. Match counting is one table increment per posting, so a
+/// linear model captures the dominant term; `base_us` absorbs the
+/// per-query fixed overhead (Position-Map lookups, scratch reset,
+/// top-k finalisation floor) that dominates sparse queries.
+///
+/// The defaults are calibrated against `BENCH_cpu_kernel.json` on the
+/// bench host: the dense row scans ~512k postings in ~290 µs
+/// (≈ 0.0006 µs/posting) and the sparse row answers ~16-posting
+/// queries in ~1 µs. Absolute accuracy is *not* required — the model
+/// only decides grouping, never results, and [`ScheduleReport`]'s
+/// predicted-vs-actual columns exist precisely to observe and refit
+/// it.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct ScanCostModel {
+    /// Fixed per-query cost, microseconds.
+    pub base_us: f64,
+    /// Marginal cost per scanned posting, microseconds.
+    pub us_per_posting: f64,
+}
+
+impl Default for ScanCostModel {
+    fn default() -> Self {
+        Self {
+            base_us: 1.0,
+            us_per_posting: 0.0006,
+        }
+    }
+}
+
+impl ScanCostModel {
+    /// Predicted scan microseconds for a query visiting `postings`
+    /// postings (see
+    /// [`BackendIndex::predicted_scan_postings`](genie_core::backend::BackendIndex::predicted_scan_postings)).
+    pub fn predict_us(&self, postings: u64) -> f64 {
+        self.base_us + self.us_per_posting * postings as f64
     }
 }
 
@@ -160,6 +228,16 @@ pub struct ScheduleReport {
     pub upload_sim_us: f64,
     /// Wall-clock of the whole run (admission to routing), microseconds.
     pub wall_us: f64,
+    /// Summed [`ScanCostModel`] prediction over every served batch —
+    /// what the planner *believed* this wave would cost. Compare with
+    /// [`actual_cost_us`](Self::actual_cost_us) to observe model fit
+    /// (fleet-routing groundwork).
+    pub predicted_cost_us: f64,
+    /// Summed host wall-clock of the `search_batch` calls that served
+    /// this wave, microseconds. Unlike [`wall_us`](Self::wall_us) this
+    /// excludes planning and routing, so it is the directly comparable
+    /// "actual" to [`predicted_cost_us`](Self::predicted_cost_us).
+    pub actual_cost_us: f64,
     pub per_backend: Vec<BackendUsage>,
 }
 
@@ -180,6 +258,19 @@ impl PreparedIndex {
     pub fn index(&self) -> &Arc<InvertedIndex> {
         &self.index
     }
+
+    /// Predicted scan cost of each request in microseconds: its
+    /// postings count, read off the prepared handle
+    /// ([`BackendIndex::predicted_scan_postings`](genie_core::backend::BackendIndex::predicted_scan_postings)),
+    /// priced by `model`. This is the `predicted_cost_us` argument
+    /// [`plan_batches_with_cost`] consumes.
+    pub fn predicted_costs(&self, requests: &[QueryRequest], model: &ScanCostModel) -> Vec<f64> {
+        let bindex = &self.bindexes[0]; // every backend shares the index
+        requests
+            .iter()
+            .map(|r| model.predict_us(bindex.predicted_scan_postings(&r.query)))
+            .collect()
+    }
 }
 
 /// One backend's share of a run.
@@ -189,6 +280,12 @@ pub struct BackendUsage {
     pub batches: usize,
     pub queries: usize,
     pub stages: StageProfile,
+    /// Predicted scan cost of the batches this backend served,
+    /// microseconds (see [`ScheduleReport::predicted_cost_us`]).
+    pub predicted_cost_us: f64,
+    /// Host wall-clock its `search_batch` calls actually took,
+    /// microseconds.
+    pub actual_cost_us: f64,
     /// `Some(panic message)` when the backend's `search_batch` panicked
     /// mid-wave. The failing batch is handed back to the queue for the
     /// remaining backends; this backend serves nothing further in the
@@ -209,6 +306,8 @@ pub struct BackendUsage {
 ///   lone-query footprint already exceeds the budget still gets its own
 ///   batch (the engine is left to reject or absorb it; splitting can't
 ///   help).
+///
+/// This is [`plan_batches_with_cost`] with cost packing disabled.
 pub fn plan_batches(
     requests: &[QueryRequest],
     num_objects: usize,
@@ -216,7 +315,51 @@ pub fn plan_batches(
     max_batch_queries: usize,
     budget: Option<u64>,
 ) -> Vec<Batch> {
+    plan_batches_with_cost(
+        requests,
+        num_objects,
+        max_object_len,
+        max_batch_queries,
+        budget,
+        None,
+        None,
+    )
+}
+
+/// [`plan_batches`] with an additional *predicted-scan-cost* limit.
+///
+/// `predicted_cost_us` gives each request's predicted scan cost in
+/// microseconds (same indexing as `requests`; typically
+/// [`PreparedIndex::predicted_costs`]); `cost_budget_us` is the ceiling
+/// one batch's summed predicted cost may reach. A batch then closes on
+/// whichever limit binds first — query count, c-PQ bytes, or predicted
+/// microseconds. A lone request whose own predicted cost already
+/// exceeds the budget still gets its own batch (splitting a single
+/// query can't help), mirroring the memory-budget rule. When either
+/// cost argument is `None`, cost packing is off and the plan is
+/// exactly [`plan_batches`]'s.
+///
+/// Any cost budget produces the *same results* as any other (only the
+/// grouping differs): batching is transparent, so responses are
+/// bit-identical to count-packed plans — property-tested in
+/// `tests/scheduler_props.rs`.
+pub fn plan_batches_with_cost(
+    requests: &[QueryRequest],
+    num_objects: usize,
+    max_object_len: usize,
+    max_batch_queries: usize,
+    budget: Option<u64>,
+    predicted_cost_us: Option<&[f64]>,
+    cost_budget_us: Option<f64>,
+) -> Vec<Batch> {
     assert!(max_batch_queries >= 1, "batches must hold at least 1 query");
+    if let Some(costs) = predicted_cost_us {
+        assert_eq!(
+            costs.len(),
+            requests.len(),
+            "one predicted cost per request"
+        );
+    }
     // group by k, stable in submission order
     let mut order: Vec<usize> = (0..requests.len()).collect();
     order.sort_by_key(|&i| requests[i].k);
@@ -235,11 +378,19 @@ pub fn plan_batches(
             }
         }
     };
+    let cost_of = |i: usize| -> f64 { predicted_cost_us.map_or(0.0, |costs| costs[i]) };
+    let cost_fits = |batch_cost: f64| -> bool {
+        match cost_budget_us {
+            None => true,
+            Some(b) => batch_cost <= b,
+        }
+    };
 
     let mut batches: Vec<Batch> = Vec::new();
     let mut current: Vec<usize> = Vec::new();
     let mut current_k = 0usize;
     let mut current_bound = 1u32;
+    let mut current_cost = 0.0f64;
 
     for &i in &order {
         let r = &requests[i];
@@ -249,9 +400,11 @@ pub fn plan_batches(
         if same_k
             && current.len() < max_batch_queries
             && fits(current.len() + 1, grown_bound, current_k)
+            && cost_fits(current_cost + cost_of(i))
         {
             current.push(i);
             current_bound = grown_bound;
+            current_cost += cost_of(i);
         } else {
             if !current.is_empty() {
                 batches.push(Batch {
@@ -262,6 +415,7 @@ pub fn plan_batches(
             current.push(i);
             current_k = r.k;
             current_bound = r_bound;
+            current_cost = cost_of(i);
         }
     }
     if !current.is_empty() {
@@ -298,6 +452,13 @@ impl QueryScheduler {
                 b > 0,
                 "SchedulerConfig::cpq_budget_bytes must be positive when set \
                  (use None to derive the budget from backend capabilities)"
+            );
+        }
+        if let Some(b) = config.batch_cost_budget_us {
+            assert!(
+                b > 0.0 && b.is_finite(),
+                "SchedulerConfig::batch_cost_budget_us must be positive and finite when set \
+                 (use None to pack by count and memory only)"
             );
         }
         Self { backends, config }
@@ -405,12 +566,17 @@ impl QueryScheduler {
         };
 
         let budget = self.effective_budget(prepared);
-        let batches = plan_batches(
+        // per-request predicted scan cost: drives cost packing when the
+        // budget is set, and the predicted-vs-actual report either way
+        let costs = prepared.predicted_costs(requests, &self.config.cost_model);
+        let batches = plan_batches_with_cost(
             requests,
             index.num_objects() as usize,
             index.max_object_len(),
             self.config.max_batch_queries,
             budget,
+            Some(&costs),
+            self.config.batch_cost_budget_us,
         );
         report.batches = batches.len();
 
@@ -442,12 +608,15 @@ impl QueryScheduler {
                     let queue = &queue;
                     let queue_cv = &queue_cv;
                     let slots = &slots;
+                    let costs = &costs;
                     Some(scope.spawn(move || {
                         let mut usage = BackendUsage {
                             name: backend.capabilities().name,
                             batches: 0,
                             queries: 0,
                             stages: StageProfile::default(),
+                            predicted_cost_us: 0.0,
+                            actual_cost_us: 0.0,
                             failed: None,
                         };
                         loop {
@@ -478,6 +647,7 @@ impl QueryScheduler {
                             // a panicking backend must not poison the
                             // whole wave: hand its batch back for the
                             // surviving backends and retire this worker
+                            let batch_started = Instant::now();
                             let out =
                                 match std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| {
                                     backend.search_batch(bindex, &queries, batch.k)
@@ -494,6 +664,9 @@ impl QueryScheduler {
                                         break;
                                     }
                                 };
+                            usage.actual_cost_us += elapsed_us(batch_started);
+                            usage.predicted_cost_us +=
+                                batch.requests.iter().map(|&i| costs[i]).sum::<f64>();
                             usage.batches += 1;
                             usage.queries += batch.requests.len();
                             usage.stages.accumulate(&out.profile);
@@ -526,6 +699,8 @@ impl QueryScheduler {
                         batches: 0,
                         queries: 0,
                         stages: StageProfile::default(),
+                        predicted_cost_us: 0.0,
+                        actual_cost_us: 0.0,
                         failed: None,
                     },
                 })
@@ -534,6 +709,8 @@ impl QueryScheduler {
 
         for usage in &usages {
             report.stages.accumulate(&usage.stages);
+            report.predicted_cost_us += usage.predicted_cost_us;
+            report.actual_cost_us += usage.actual_cost_us;
         }
         report.per_backend = usages;
         report.wall_us = elapsed_us(started);
@@ -648,6 +825,55 @@ mod tests {
     }
 
     #[test]
+    fn cost_budget_closes_batches_by_predicted_microseconds() {
+        let reqs = requests(&[3; 6]);
+        // two cheap, one expensive, three cheap: the expensive request
+        // must not share a batch with anything under a 5 µs budget
+        let costs = [2.0, 2.0, 40.0, 2.0, 2.0, 2.0];
+        let batches = plan_batches_with_cost(&reqs, 100, 4, 1024, None, Some(&costs), Some(5.0));
+        for b in &batches {
+            let total: f64 = b.requests.iter().map(|&i| costs[i]).sum();
+            assert!(
+                total <= 5.0 || b.requests.len() == 1,
+                "batch {:?} predicted {total} µs over budget",
+                b.requests
+            );
+        }
+        // the 40 µs request rides alone even though it exceeds the
+        // budget by itself (splitting one query can't help)
+        assert!(batches.iter().any(|b| b.requests == vec![2]));
+        // every request is covered exactly once
+        let mut covered: Vec<usize> = batches.iter().flat_map(|b| b.requests.clone()).collect();
+        covered.sort_unstable();
+        assert_eq!(covered, (0..6).collect::<Vec<_>>());
+    }
+
+    #[test]
+    fn disabled_cost_packing_is_plain_plan_batches() {
+        let reqs = requests(&[5, 3, 5, 3, 5, 5, 3]);
+        let costs = vec![1000.0; reqs.len()]; // huge, but no budget set
+        assert_eq!(
+            plan_batches_with_cost(&reqs, 100, 4, 2, None, Some(&costs), None),
+            plan_batches(&reqs, 100, 4, 2, None)
+        );
+        assert_eq!(
+            plan_batches_with_cost(&reqs, 100, 4, 2, None, None, Some(0.5)),
+            plan_batches(&reqs, 100, 4, 2, None),
+            "a budget without per-request costs has nothing to bind on"
+        );
+    }
+
+    #[test]
+    fn scan_cost_model_is_linear_in_postings() {
+        let model = ScanCostModel {
+            base_us: 2.0,
+            us_per_posting: 0.5,
+        };
+        assert_eq!(model.predict_us(0), 2.0);
+        assert_eq!(model.predict_us(10), 7.0);
+    }
+
+    #[test]
     fn empty_request_wave_is_fine() {
         let index = {
             let mut b = IndexBuilder::new();
@@ -737,6 +963,7 @@ mod tests {
             SchedulerConfig {
                 max_batch_queries: 1024,
                 cpq_budget_bytes: None,
+                ..Default::default()
             },
         );
         let reqs: Vec<QueryRequest> = (0..8)
@@ -775,6 +1002,7 @@ mod tests {
             SchedulerConfig {
                 max_batch_queries: 3,
                 cpq_budget_bytes: None,
+                ..Default::default()
             },
         );
         let (responses, report) = scheduler.run(&index, &reqs).unwrap();
@@ -790,6 +1018,19 @@ mod tests {
         assert_eq!(
             report.per_backend[0].queries, 10,
             "every query ran somewhere"
+        );
+        // cost accounting rides along even without a cost budget: the
+        // prediction covers every request (>= base_us each) and the
+        // actual is the measured search_batch wall-clock
+        assert!(
+            report.predicted_cost_us >= 10.0 * ScanCostModel::default().base_us,
+            "predicted {} µs",
+            report.predicted_cost_us
+        );
+        assert!(report.actual_cost_us > 0.0);
+        assert_eq!(
+            report.predicted_cost_us,
+            report.per_backend[0].predicted_cost_us
         );
     }
 }

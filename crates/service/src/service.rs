@@ -38,8 +38,13 @@
 //!   - **size trigger**: the queued requests are enough to fill a
 //!     micro-batch — some `(collection, k)`-group reaches
 //!     [`SchedulerConfig::max_batch_queries`](crate::SchedulerConfig::max_batch_queries),
-//!     or the c-PQ memory budget closes a batch early (detected with
-//!     the same [`plan_batches`] the scheduler executes);
+//!     or the c-PQ memory budget — or, when
+//!     [`SchedulerConfig::batch_cost_budget_us`](crate::SchedulerConfig::batch_cost_budget_us)
+//!     is set, the predicted-scan-cost budget — closes a batch early
+//!     (detected with the same cost-aware
+//!     [`plan_batches_with_cost`] the scheduler executes, so a backlog
+//!     of few-but-expensive dense queries cuts a wave as readily as
+//!     many cheap ones);
 //!   - **deadline trigger**: the *oldest* queued request has waited
 //!     [`ServiceConfig::max_queue_delay`] — a lone request is never
 //!     stranded longer than the configured delay.
@@ -83,7 +88,7 @@ use genie_core::shard::{merge_shard_topk, Shard, ShardPlan};
 use genie_core::topk::TopHit;
 
 use crate::{
-    plan_batches, Batch, PreparedIndex, QueryRequest, QueryResponse, QueryScheduler,
+    plan_batches_with_cost, Batch, PreparedIndex, QueryRequest, QueryResponse, QueryScheduler,
     ScheduleReport, StageProfile,
 };
 
@@ -183,6 +188,14 @@ pub struct ServiceStats {
     pub batched_requests: u64,
     /// Scheduler wall-clock summed over waves, microseconds.
     pub wall_us: f64,
+    /// Predicted scan cost of all served batches summed over waves,
+    /// microseconds (the planner's [`ScanCostModel`](crate::ScanCostModel)
+    /// view — see [`ScheduleReport::predicted_cost_us`]).
+    pub predicted_cost_us: f64,
+    /// Host wall-clock the `search_batch` calls actually took, summed
+    /// over waves, microseconds. `predicted_cost_us / actual_cost_us`
+    /// is the cost model's lifetime fit on this traffic.
+    pub actual_cost_us: f64,
     /// Stage totals summed over waves.
     pub stages: StageProfile,
 }
@@ -477,13 +490,19 @@ impl ServiceInner {
     }
 
     /// Does the queued backlog already fill a micro-batch? Detected
-    /// with the scheduler's own [`plan_batches`]: a planned batch at
-    /// the query cap, or a same-`k` group spilling into a second batch
-    /// (closed early by the c-PQ memory budget), means waiting longer
-    /// cannot improve occupancy of the first batch. Batches never span
-    /// collections, so both checks group by `(collection, k)`.
+    /// with the scheduler's own [`plan_batches_with_cost`]: a planned
+    /// batch at the query cap, or a same-`k` group spilling into a
+    /// second batch (closed early by the c-PQ memory budget or the
+    /// predicted-scan-cost budget), means waiting longer cannot improve
+    /// occupancy of the first batch. With a cost budget configured, the
+    /// trigger thereby cuts waves by predicted scan *microseconds*, not
+    /// query count: a handful of dense-regime queries whose summed
+    /// predicted cost fills a batch fires it just like a thousand
+    /// sparse ones. Batches never span collections, so all checks group
+    /// by `(collection, k)`.
     fn size_trigger(&self, pending: &VecDeque<Pending>) -> bool {
         let cap = self.scheduler.config().max_batch_queries;
+        let cost_budget = self.scheduler.config().batch_cost_budget_us;
         if pending.len() < cap.min(2) {
             return false;
         }
@@ -516,15 +535,20 @@ impl ServiceInner {
             // sharded collections plan against their largest shard:
             // that shard's per-query c-PQ footprint is the binding one
             let prepared = entry.serving.planning_index();
-            let Some(budget) = self.scheduler.effective_budget(prepared) else {
+            let budget = self.scheduler.effective_budget(prepared);
+            if budget.is_none() && cost_budget.is_none() {
                 continue; // unbounded: only the cap can close a batch
-            };
-            let batches = plan_batches(
+            }
+            let costs = cost_budget
+                .map(|_| prepared.predicted_costs(&requests, &self.scheduler.config().cost_model));
+            let batches = plan_batches_with_cost(
                 &requests,
                 prepared.index().num_objects() as usize,
                 prepared.index().max_object_len(),
                 cap,
-                Some(budget),
+                budget,
+                costs.as_deref(),
+                cost_budget,
             );
             if batches_closed_by_budget(&batches) {
                 return true;
@@ -566,6 +590,8 @@ impl ServiceInner {
         let mut wave_batches = 0u64;
         let mut wave_shard_runs = 0u64;
         let mut wave_wall_us = 0.0;
+        let mut wave_predicted_us = 0.0;
+        let mut wave_actual_us = 0.0;
         let mut wave_stages = StageProfile::default();
         let mut served_misses = 0u64;
         let mut failed_misses = 0u64;
@@ -596,6 +622,8 @@ impl ServiceInner {
                     wave_batches += report.batches;
                     wave_shard_runs += report.shard_runs;
                     wave_wall_us += report.wall_us;
+                    wave_predicted_us += report.predicted_cost_us;
+                    wave_actual_us += report.actual_cost_us;
                     wave_stages.accumulate(&report.stages);
                     served_misses += group.len() as u64;
                     let mut cache = self.cache.lock().expect("cache lock");
@@ -630,6 +658,8 @@ impl ServiceInner {
             stats.batches += wave_batches;
             stats.shard_runs += wave_shard_runs;
             stats.wall_us += wave_wall_us;
+            stats.predicted_cost_us += wave_predicted_us;
+            stats.actual_cost_us += wave_actual_us;
             stats.stages.accumulate(&wave_stages);
             stats.served += cache_hits + served_misses;
             // failed requests were neither served nor batched; counting
@@ -691,6 +721,8 @@ impl ServiceInner {
                         batches: report.batches as u64,
                         shard_runs: 0,
                         wall_us: report.wall_us,
+                        predicted_cost_us: report.predicted_cost_us,
+                        actual_cost_us: report.actual_cost_us,
                         stages: report.stages,
                     },
                 ))
@@ -715,6 +747,8 @@ impl ServiceInner {
                     batches: 0,
                     shard_runs: shards.len() as u64,
                     wall_us: 0.0,
+                    predicted_cost_us: 0.0,
+                    actual_cost_us: 0.0,
                     stages: StageProfile::default(),
                 };
                 // per request: one global-id hit list per shard
@@ -723,6 +757,8 @@ impl ServiceInner {
                 for (shard, run) in shards.iter().zip(per_shard) {
                     let (responses, shard_report) = run?;
                     report.batches += shard_report.batches as u64;
+                    report.predicted_cost_us += shard_report.predicted_cost_us;
+                    report.actual_cost_us += shard_report.actual_cost_us;
                     report.stages.accumulate(&shard_report.stages);
                     for (slot, resp) in gathered.iter_mut().zip(responses) {
                         slot.push(shard.shard.to_global(&resp.hits));
@@ -907,6 +943,8 @@ struct GroupReport {
     batches: u64,
     shard_runs: u64,
     wall_us: f64,
+    predicted_cost_us: f64,
+    actual_cost_us: f64,
     stages: StageProfile,
 }
 
@@ -1500,6 +1538,45 @@ mod tests {
             service.backend_health()[1].retired,
             "verdictless: stays out"
         );
+    }
+
+    /// With a predicted-scan-cost budget, a backlog whose *predicted
+    /// microseconds* (not query count) fill a batch cuts a size wave —
+    /// here two ~1 µs requests against a 1.5 µs budget, far below any
+    /// count or memory limit.
+    #[test]
+    fn cost_budget_fires_the_size_trigger() {
+        let index = tiny_index();
+        let scheduler = QueryScheduler::new(
+            vec![Arc::new(CpuBackend::new())],
+            crate::SchedulerConfig {
+                batch_cost_budget_us: Some(1.5),
+                ..Default::default()
+            },
+        );
+        let service = GenieService::start(
+            scheduler,
+            &index,
+            ServiceConfig {
+                // only the size trigger can cut before this deadline
+                max_queue_delay: Duration::from_secs(30),
+                cache_capacity: 0,
+                ..Default::default()
+            },
+        )
+        .unwrap();
+        let t1 = service.submit(Query::from_keywords(&[1]), 3);
+        let t2 = service.submit(Query::from_keywords(&[2]), 3);
+        assert!(t1.wait().is_ok());
+        assert!(t2.wait().is_ok());
+        let stats = service.stats();
+        assert!(
+            stats.size_triggers >= 1,
+            "two over-budget requests must cut by predicted cost: {stats:?}"
+        );
+        assert_eq!(stats.deadline_triggers, 0, "{stats:?}");
+        assert!(stats.predicted_cost_us > 0.0);
+        assert!(stats.actual_cost_us > 0.0);
     }
 
     #[test]

@@ -37,6 +37,7 @@ fn service() -> GenieService {
             SchedulerConfig {
                 max_batch_queries: 64,
                 cpq_budget_bytes: None,
+                ..Default::default()
             },
         ),
         ServiceConfig {
@@ -205,6 +206,7 @@ fn backend_failures_accumulate_across_waves() {
         SchedulerConfig {
             max_batch_queries: 4,
             cpq_budget_bytes: None,
+            ..Default::default()
         },
     );
     let service = GenieService::start(

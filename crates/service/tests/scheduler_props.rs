@@ -18,7 +18,10 @@ use genie_core::backend::{CpuBackend, SearchBackend};
 use genie_core::exec::Engine;
 use genie_core::index::{IndexBuilder, InvertedIndex};
 use genie_core::model::{Object, Query, QueryItem};
-use genie_service::{plan_batches, QueryRequest, QueryScheduler, SchedulerConfig};
+use genie_service::{
+    plan_batches, plan_batches_with_cost, QueryRequest, QueryScheduler, ScanCostModel,
+    SchedulerConfig,
+};
 use gpu_sim::{Device, DeviceConfig};
 use proptest::prelude::*;
 
@@ -83,6 +86,7 @@ proptest! {
             SchedulerConfig {
                 max_batch_queries: max_batch,
                 cpq_budget_bytes: None,
+                ..Default::default()
             },
         );
         let (responses, report) = scheduler.run(&index, &requests).unwrap();
@@ -121,6 +125,7 @@ proptest! {
             SchedulerConfig {
                 max_batch_queries: 4,
                 cpq_budget_bytes: None,
+                ..Default::default()
             },
         );
         let (responses, _) = scheduler.run(&index, &requests).unwrap();
@@ -130,6 +135,82 @@ proptest! {
             prop_assert_eq!(&resp.hits, &solo.results[0], "client {}", req.client_id);
             prop_assert_eq!(resp.audit_threshold, solo.audit_thresholds[0]);
         }
+    }
+
+    /// Cost-aware packing is transparent: for any cost budget, the
+    /// routed answers are bit-identical (ids, counts, ATs) to the
+    /// count-packed plan's — only the grouping may differ.
+    #[test]
+    fn cost_packed_plans_return_identical_results(
+        (objects, queries, k, budget_us) in (
+            arb_objects(),
+            arb_queries(),
+            1usize..10,
+            // from "every request alone" (below one base_us) up to
+            // "everything together": the whole grouping spectrum
+            (1u64..16).prop_map(|b| b as f64 * 0.5),
+        ),
+    ) {
+        let index = index_of(&objects);
+        let requests: Vec<QueryRequest> = queries
+            .iter()
+            .enumerate()
+            .map(|(i, q)| QueryRequest::new(i as u64, q.clone(), k))
+            .collect();
+
+        let count_packed = QueryScheduler::new(
+            vec![Arc::new(deterministic_engine())],
+            SchedulerConfig {
+                max_batch_queries: 1024,
+                ..Default::default()
+            },
+        );
+        let (base, base_report) = count_packed.run(&index, &requests).unwrap();
+
+        let cost_packed = QueryScheduler::new(
+            vec![Arc::new(deterministic_engine())],
+            SchedulerConfig {
+                max_batch_queries: 1024,
+                batch_cost_budget_us: Some(budget_us),
+                ..Default::default()
+            },
+        );
+        let (split, split_report) = cost_packed.run(&index, &requests).unwrap();
+
+        prop_assert!(split_report.batches >= base_report.batches);
+        for (qi, (a, b)) in base.iter().zip(&split).enumerate() {
+            prop_assert_eq!(&a.hits, &b.hits, "query {}", qi);
+            prop_assert_eq!(a.audit_threshold, b.audit_threshold, "query {} AT", qi);
+        }
+
+        // and the cost plan itself respects the budget (singletons may
+        // exceed it: one query cannot be split)
+        let model = ScanCostModel::default();
+        let costs: Vec<f64> = requests
+            .iter()
+            .map(|r| model.predict_us(index.predicted_postings(&r.query)))
+            .collect();
+        let batches = plan_batches_with_cost(
+            &requests,
+            objects.len(),
+            index.max_object_len(),
+            1024,
+            None,
+            Some(&costs),
+            Some(budget_us),
+        );
+        for b in &batches {
+            let total: f64 = b.requests.iter().map(|&i| costs[i]).sum();
+            prop_assert!(
+                total <= budget_us || b.requests.len() == 1,
+                "batch {:?}: {} µs over the {} µs budget",
+                &b.requests, total, budget_us
+            );
+        }
+        let mut covered: Vec<usize> =
+            batches.iter().flat_map(|b| b.requests.clone()).collect();
+        covered.sort_unstable();
+        prop_assert_eq!(covered, (0..requests.len()).collect::<Vec<_>>());
     }
 
     /// Heterogeneous fleet (device engine + CPU backend): counts and
@@ -158,6 +239,7 @@ proptest! {
             SchedulerConfig {
                 max_batch_queries: max_batch,
                 cpq_budget_bytes: None,
+                ..Default::default()
             },
         );
         let (responses, report) = scheduler.run(&index, &requests).unwrap();
@@ -193,6 +275,7 @@ fn memory_budget_only_changes_the_split() {
         SchedulerConfig {
             max_batch_queries: 1024,
             cpq_budget_bytes: None,
+            ..Default::default()
         },
     );
     let (base, base_report) = unbounded.run(&index, &requests).unwrap();
@@ -212,6 +295,7 @@ fn memory_budget_only_changes_the_split() {
         SchedulerConfig {
             max_batch_queries: 1024,
             cpq_budget_bytes: Some(per_query * 3),
+            ..Default::default()
         },
     );
     let (split, split_report) = tight.run(&index, &requests).unwrap();

@@ -231,6 +231,7 @@ fn size_trigger_cuts_a_full_batch_before_the_deadline() {
             SchedulerConfig {
                 max_batch_queries: cap,
                 cpq_budget_bytes: None,
+                ..Default::default()
             },
         ),
         &index,
@@ -315,6 +316,7 @@ fn worker_panic_fails_over_to_surviving_backends() {
         SchedulerConfig {
             max_batch_queries: 4,
             cpq_budget_bytes: None,
+            ..Default::default()
         },
     );
     let requests: Vec<QueryRequest> = (0..16)
@@ -398,6 +400,7 @@ fn circuit_breaker_retires_a_repeatedly_failing_backend() {
             // while the slow peer sleeps
             max_batch_queries: 1,
             cpq_budget_bytes: None,
+            ..Default::default()
         },
     );
     let service = GenieService::start(
@@ -455,6 +458,7 @@ fn probe_readmits_a_recovered_backend() {
         SchedulerConfig {
             max_batch_queries: 1,
             cpq_budget_bytes: None,
+            ..Default::default()
         },
     );
     let service = GenieService::start(
@@ -506,6 +510,7 @@ fn zero_batch_cap_fails_at_scheduler_construction() {
         SchedulerConfig {
             max_batch_queries: 0,
             cpq_budget_bytes: None,
+            ..Default::default()
         },
     );
 }

@@ -53,6 +53,7 @@ fn service_over(backend: Arc<dyn genie_core::backend::SearchBackend>) -> GenieSe
             SchedulerConfig {
                 max_batch_queries: 8,
                 cpq_budget_bytes: None,
+                ..Default::default()
             },
         ),
         ServiceConfig {
@@ -320,6 +321,7 @@ fn facade_sharded_cached_serving_matches_the_seed_reference() {
         SchedulerConfig {
             max_batch_queries: 8,
             cpq_budget_bytes: None,
+            ..Default::default()
         },
         ServiceConfig {
             max_queue_delay: std::time::Duration::from_micros(200),

@@ -42,6 +42,7 @@ fn main() {
         SchedulerConfig {
             max_batch_queries: 64,
             cpq_budget_bytes: None,
+            ..Default::default()
         },
         ServiceConfig {
             max_queue_delay: Duration::from_millis(3),

@@ -180,6 +180,7 @@ fn open_db(args: &Args, lines: usize) -> (GenieDb, Arc<dyn SearchBackend>) {
         SchedulerConfig {
             max_batch_queries: 256,
             cpq_budget_bytes: None,
+            ..Default::default()
         },
         ServiceConfig {
             // 0 is meaningful: cut a wave as soon as anything is queued

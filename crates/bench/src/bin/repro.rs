@@ -19,6 +19,7 @@
 
 use genie_bench::cpu_kernel;
 use genie_bench::experiments as exp;
+use genie_bench::mutations;
 use genie_bench::serving;
 use genie_bench::workloads::Scale;
 
@@ -29,7 +30,8 @@ fn main() {
             "usage: repro [--quick] [--all] [--fig8] [--fig9] [--fig10] [--fig11] \
              [--fig12] [--fig13] [--fig14] [--table1] [--table2] [--table4] \
              [--table5] [--table6] [--ext-structures] [--ext-tau] [--serving] \
-             [--serving-smoke] [--shards N] [--cpu-kernel [--smoke]] [--check]"
+             [--serving-smoke] [--shards N] [--cpu-kernel [--smoke]] \
+             [--mutations [--smoke]] [--check]"
         );
         std::process::exit(2);
     }
@@ -133,6 +135,19 @@ fn main() {
             all_checks_passed &= cpu_kernel::cpu_kernel_check(smoke);
         } else {
             cpu_kernel::cpu_kernel(smoke);
+        }
+    }
+    if all || has("--mutations") {
+        // the live-mutation workload: delta shards, tombstones and
+        // compaction under interleaved searches, audited against a
+        // from-scratch rebuild. `--smoke`/`--quick` routes the CI-sized
+        // run to the gitignored BENCH_mutations_smoke.json; only the
+        // full run refreshes the checked-in BENCH_mutations.json.
+        let smoke = has("--smoke") || has("--quick");
+        if checking {
+            all_checks_passed &= mutations::mutations_check(smoke);
+        } else {
+            mutations::mutations(smoke);
         }
     }
     if has("--serving-smoke") {

@@ -32,6 +32,7 @@ pub mod check;
 pub mod cpu_kernel;
 pub mod experiments;
 pub mod json;
+pub mod mutations;
 pub mod runners;
 pub mod serving;
 pub mod workloads;

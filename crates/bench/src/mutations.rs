@@ -1,0 +1,534 @@
+//! The live-mutation workload runner: interleaved mutation batches and
+//! searches driving a [`GenieService`] collection through the delta
+//! shard / tombstone / compaction path, reporting mutation batch cost,
+//! search latency under accumulated debt, and — the property the whole
+//! subsystem is sold on — **rebuild equivalence**: after the dust
+//! settles, every query answers exactly as a from-scratch rebuild over
+//! the surviving objects would.
+//!
+//! Like the serving bench, raw microseconds are recorded for trend
+//! reading but never gated; the `--check` gates are dimensionless
+//! indicators (tickets resolved, compactions fired, debt folded,
+//! answers equal to the rebuild) that hold on any host.
+
+use std::collections::VecDeque;
+use std::sync::Arc;
+use std::time::{Duration, Instant};
+
+use genie_core::backend::{CpuBackend, SearchBackend};
+use genie_core::index::IndexBuilder;
+use genie_core::model::{Object, ObjectId};
+use genie_service::{
+    percentile_us, GenieService, MutationStatus, QueryScheduler, SchedulerConfig, ServiceConfig,
+    ServiceStats,
+};
+
+use crate::check::{self, GateRow};
+use crate::cpu_kernel::meta_fields;
+use crate::json::Json;
+use crate::workloads::{sift_bundle, MatchData, Scale};
+use crate::{ms, row};
+
+/// One mutation run's shape.
+#[derive(Debug, Clone, Copy)]
+pub struct MutationWorkload {
+    /// Objects indexed before the first mutation.
+    pub initial: usize,
+    /// Mutation batches applied.
+    pub batches: usize,
+    pub inserts_per_batch: usize,
+    pub deletes_per_batch: usize,
+    /// Searches submitted after each batch (measured under debt).
+    pub searches_per_batch: usize,
+    pub k: usize,
+    /// Base shards of the collection.
+    pub shards: usize,
+    /// Auto-compaction threshold handed to the service (0 = manual
+    /// compaction only).
+    pub compact_after: usize,
+}
+
+/// What one mutation run measured.
+#[derive(Debug, Clone)]
+pub struct MutationReport {
+    pub mutate_p50_us: f64,
+    pub mutate_p95_us: f64,
+    pub search_p50_us: f64,
+    pub search_p95_us: f64,
+    pub searches_expected: usize,
+    pub searches_resolved: usize,
+    /// Every compared query answered exactly like a from-scratch
+    /// rebuild over the surviving objects (ids translated, counts and
+    /// `AT` equal).
+    pub equivalent_to_rebuild: bool,
+    /// Debt state after the final explicit compaction.
+    pub final_status: MutationStatus,
+    pub stats: ServiceStats,
+}
+
+fn service_for(
+    objects: &[Object],
+    shards: usize,
+    compact_after: usize,
+) -> (GenieService, genie_service::CollectionId) {
+    let mut b = IndexBuilder::new();
+    b.add_objects(objects.iter());
+    let index = Arc::new(b.build(None));
+    let scheduler = QueryScheduler::new(
+        vec![Arc::new(CpuBackend::new()) as Arc<dyn genie_core::backend::SearchBackend>],
+        SchedulerConfig::default(),
+    );
+    let service = GenieService::start_empty(
+        scheduler,
+        ServiceConfig {
+            max_queue_delay: Duration::from_millis(2),
+            dispatchers: 1,
+            cache_capacity: 0,
+            compact_after,
+            ..Default::default()
+        },
+    )
+    .expect("config is valid");
+    let collection = service
+        .add_collection_sharded("live", &index, shards.max(1))
+        .expect("host index always fits");
+    (service, collection)
+}
+
+/// Run `workload` over `data`: interleave mutation batches with
+/// searches, compact, then audit every answer against a from-scratch
+/// rebuild.
+pub fn run_mutation_workload(data: &MatchData, workload: MutationWorkload) -> MutationReport {
+    let objects = &data.objects;
+    let initial = workload.initial.min(objects.len());
+    let (service, collection) =
+        service_for(&objects[..initial], workload.shards, workload.compact_after);
+
+    // the model: surviving (stable id, object-pool index), ascending id
+    let mut live: VecDeque<(ObjectId, usize)> = (0..initial).map(|i| (i as ObjectId, i)).collect();
+    let mut pool_next = initial;
+    let mut mutate_us = Vec::with_capacity(workload.batches);
+    let mut search_us = Vec::new();
+    let mut expected = 0usize;
+    let mut resolved = 0usize;
+
+    for batch in 0..workload.batches {
+        let deletes: Vec<ObjectId> = (0..workload.deletes_per_batch)
+            .map_while(|_| (live.len() > 1).then(|| live.pop_front().expect("nonempty").0))
+            .collect();
+        let mut inserted_from = Vec::with_capacity(workload.inserts_per_batch);
+        let inserts: Vec<Object> = (0..workload.inserts_per_batch)
+            .map(|_| {
+                let idx = pool_next % objects.len();
+                pool_next += 1;
+                inserted_from.push(idx);
+                objects[idx].clone()
+            })
+            .collect();
+        let started = Instant::now();
+        let ids = service
+            .mutate_collection(collection, &deletes, inserts, &mut |_, _| {})
+            .expect("valid batch applies");
+        mutate_us.push(started.elapsed().as_secs_f64() * 1e6);
+        live.extend(ids.into_iter().zip(inserted_from));
+
+        for j in 0..workload.searches_per_batch {
+            let q = data.queries[(batch * workload.searches_per_batch + j) % data.queries.len()]
+                .clone();
+            expected += 1;
+            let ticket = service.submit_to(collection, q, workload.k);
+            let submitted = ticket.submitted_at();
+            if ticket.wait().is_ok() {
+                resolved += 1;
+                search_us.push(submitted.elapsed().as_secs_f64() * 1e6);
+            }
+        }
+    }
+
+    // fold whatever debt is left, then audit against a rebuild
+    service
+        .compact_collection(collection)
+        .expect("compaction runs");
+    let final_status = service
+        .mutation_status(collection)
+        .expect("collection is registered");
+    let live_sorted: Vec<(ObjectId, usize)> = live.into_iter().collect();
+    let survivors: Vec<Object> = live_sorted
+        .iter()
+        .map(|&(_, idx)| objects[idx].clone())
+        .collect();
+    let (fresh, fresh_col) = service_for(&survivors, 1, 0);
+    let mut equivalent = true;
+    for q in data.queries.iter().take(64) {
+        let a = service
+            .submit_to(collection, q.clone(), workload.k)
+            .wait()
+            .expect("live search serves");
+        let b = fresh
+            .submit_to(fresh_col, q.clone(), workload.k)
+            .wait()
+            .expect("fresh search serves");
+        let translated: Vec<(u32, u32)> = a
+            .hits
+            .iter()
+            .map(|h| {
+                let rank = live_sorted
+                    .binary_search_by_key(&h.id, |&(id, _)| id)
+                    .expect("every returned id is live") as u32;
+                (rank, h.count)
+            })
+            .collect();
+        let fresh_pairs: Vec<(u32, u32)> = b.hits.iter().map(|h| (h.id, h.count)).collect();
+        if translated != fresh_pairs || a.audit_threshold != b.audit_threshold {
+            equivalent = false;
+        }
+    }
+    let stats = service.stats();
+
+    mutate_us.sort_by(|a, b| a.partial_cmp(b).expect("finite"));
+    search_us.sort_by(|a, b| a.partial_cmp(b).expect("finite"));
+    MutationReport {
+        mutate_p50_us: percentile_us(&mutate_us, 0.50),
+        mutate_p95_us: percentile_us(&mutate_us, 0.95),
+        search_p50_us: percentile_us(&search_us, 0.50),
+        search_p95_us: percentile_us(&search_us, 0.95),
+        searches_expected: expected,
+        searches_resolved: resolved,
+        equivalent_to_rebuild: equivalent,
+        final_status,
+        stats,
+    }
+}
+
+/// Search latency as a function of accumulated (uncompacted) debt: one
+/// batch of `debt` inserts, no compaction, then a measured search
+/// phase. The extra cost of the delta shard fan-out is what automatic
+/// compaction exists to bound.
+fn debt_probe(data: &MatchData, initial: usize, debt: usize, k: usize) -> (f64, ServiceStats) {
+    let objects = &data.objects;
+    let initial = initial.min(objects.len().saturating_sub(debt.max(1)));
+    let (service, collection) = service_for(&objects[..initial], 2, 0);
+    if debt > 0 {
+        let inserts: Vec<Object> = (0..debt)
+            .map(|i| objects[(initial + i) % objects.len()].clone())
+            .collect();
+        service
+            .mutate_collection(collection, &[], inserts, &mut |_, _| {})
+            .expect("insert batch applies");
+    }
+    let mut latencies = Vec::new();
+    for q in data.queries.iter().take(128) {
+        let ticket = service.submit_to(collection, q.clone(), k);
+        let submitted = ticket.submitted_at();
+        ticket.wait().expect("search serves");
+        latencies.push(submitted.elapsed().as_secs_f64() * 1e6);
+    }
+    latencies.sort_by(|a, b| a.partial_cmp(b).expect("finite"));
+    (percentile_us(&latencies, 0.50), service.stats())
+}
+
+fn workload_for(smoke: bool) -> MutationWorkload {
+    if smoke {
+        MutationWorkload {
+            initial: 512,
+            batches: 8,
+            inserts_per_batch: 8,
+            deletes_per_batch: 4,
+            searches_per_batch: 8,
+            k: 10,
+            shards: 2,
+            compact_after: 24,
+        }
+    } else {
+        MutationWorkload {
+            initial: 4_000,
+            batches: 32,
+            inserts_per_batch: 16,
+            deletes_per_batch: 8,
+            searches_per_batch: 16,
+            k: 10,
+            shards: 4,
+            compact_after: 128,
+        }
+    }
+}
+
+fn mutation_data(smoke: bool) -> MatchData {
+    let (data, _) = sift_bundle(
+        Scale {
+            n: if smoke { 1_000 } else { 5_000 },
+            num_queries: 256,
+        },
+        8,
+        77,
+    );
+    data
+}
+
+fn report_json(report: &MutationReport) -> Json {
+    Json::obj(vec![
+        ("mutate_p50_us", Json::num(report.mutate_p50_us)),
+        ("mutate_p95_us", Json::num(report.mutate_p95_us)),
+        ("search_p50_us", Json::num(report.search_p50_us)),
+        ("search_p95_us", Json::num(report.search_p95_us)),
+        (
+            "searches_expected",
+            Json::int(report.searches_expected as u64),
+        ),
+        (
+            "searches_resolved",
+            Json::int(report.searches_resolved as u64),
+        ),
+        (
+            "equivalent_to_rebuild",
+            Json::Bool(report.equivalent_to_rebuild),
+        ),
+        ("final_live", Json::int(report.final_status.live as u64)),
+        ("final_delta", Json::int(report.final_status.delta as u64)),
+        (
+            "final_tombstones",
+            Json::int(report.final_status.tombstones as u64),
+        ),
+        (
+            "base_shards",
+            Json::int(report.final_status.base_shards as u64),
+        ),
+        ("mutation_batches", Json::int(report.stats.mutation_batches)),
+        ("inserted", Json::int(report.stats.inserted)),
+        ("deleted", Json::int(report.stats.deleted)),
+        ("compactions", Json::int(report.stats.compactions)),
+        (
+            "stale_compactions",
+            Json::int(report.stats.stale_compactions),
+        ),
+    ])
+}
+
+/// The structural assertions both the recording run and every check
+/// trial must satisfy — a mutation run that loses a ticket, diverges
+/// from the rebuild, or never compacts is broken regardless of timing.
+fn assert_run_sane(report: &MutationReport, workload: &MutationWorkload) {
+    assert_eq!(
+        report.searches_resolved, report.searches_expected,
+        "every search under mutation must resolve"
+    );
+    assert!(
+        report.equivalent_to_rebuild,
+        "mutated collection diverged from the from-scratch rebuild"
+    );
+    assert_eq!(
+        report.stats.mutation_batches, workload.batches as u64,
+        "every batch must commit"
+    );
+    assert!(
+        report.stats.compactions >= 1,
+        "the final explicit compaction (at least) must fold: {:?}",
+        report.stats
+    );
+    assert_eq!(report.final_status.delta, 0, "debt must fold");
+    assert_eq!(report.final_status.tombstones, 0, "tombstones must fold");
+}
+
+/// Mutation experiment: interleaved mutate/search phases plus a
+/// debt-size sweep. Emits `BENCH_mutations.json` (full run, checked
+/// in) or `BENCH_mutations_smoke.json` (CI smoke, gitignored).
+pub fn mutations(smoke: bool) {
+    let workload = workload_for(smoke);
+    let data = mutation_data(smoke);
+    println!(
+        "\n=== Live mutations — {} batches of +{}/-{} over n = {}, {} shard(s) ===",
+        workload.batches,
+        workload.inserts_per_batch,
+        workload.deletes_per_batch,
+        workload.initial,
+        workload.shards
+    );
+    let report = run_mutation_workload(&data, workload);
+    assert_run_sane(&report, &workload);
+    let widths = [13, 13, 13, 13, 12, 12];
+    row(
+        &[
+            "mutate p50".into(),
+            "mutate p95".into(),
+            "search p50".into(),
+            "search p95".into(),
+            "compactions".into(),
+            "rebuild==".into(),
+        ],
+        &widths,
+    );
+    row(
+        &[
+            ms(report.mutate_p50_us),
+            ms(report.mutate_p95_us),
+            ms(report.search_p50_us),
+            ms(report.search_p95_us),
+            report.stats.compactions.to_string(),
+            report.equivalent_to_rebuild.to_string(),
+        ],
+        &widths,
+    );
+
+    println!("\n=== Debt sweep — search p50 vs uncompacted delta size ===");
+    let widths = [8, 11, 12];
+    row(
+        &["debt".into(), "p50(ms)".into(), "shard runs".into()],
+        &widths,
+    );
+    let mut debt_rows = Vec::new();
+    for debt in [0usize, 64, 256] {
+        let (p50, stats) = debt_probe(&data, workload.initial, debt, workload.k);
+        debt_rows.push(Json::obj(vec![
+            ("debt", Json::int(debt as u64)),
+            ("p50_us", Json::num(p50)),
+            ("shard_runs", Json::int(stats.shard_runs)),
+        ]));
+        row(
+            &[debt.to_string(), ms(p50), stats.shard_runs.to_string()],
+            &widths,
+        );
+    }
+
+    let path = if smoke {
+        "BENCH_mutations_smoke.json"
+    } else {
+        "BENCH_mutations.json"
+    };
+    let threads = CpuBackend::new().capabilities().devices;
+    let mut fields = vec![
+        ("bench", Json::str("mutations")),
+        ("smoke", Json::Bool(smoke)),
+        ("initial", Json::int(workload.initial as u64)),
+        ("batches", Json::int(workload.batches as u64)),
+        (
+            "inserts_per_batch",
+            Json::int(workload.inserts_per_batch as u64),
+        ),
+        (
+            "deletes_per_batch",
+            Json::int(workload.deletes_per_batch as u64),
+        ),
+        ("shards", Json::int(workload.shards as u64)),
+        ("compact_after", Json::int(workload.compact_after as u64)),
+    ];
+    fields.extend(meta_fields(threads));
+    fields.extend(vec![
+        ("run", report_json(&report)),
+        ("debt_sweep", Json::arr(debt_rows)),
+    ]);
+    let doc = Json::Obj(
+        fields
+            .into_iter()
+            .map(|(k, v)| (k.to_string(), v))
+            .collect(),
+    );
+    doc.write_to_file(path)
+        .unwrap_or_else(|e| panic!("cannot write {path}: {e}"));
+    println!("\nbaseline written to {path}");
+}
+
+/// The `--mutations --check` gate: several fresh runs vs the
+/// checked-in `BENCH_mutations.json`, gating only dimensionless
+/// structural indicators — every search resolved, answers equal the
+/// from-scratch rebuild, compactions fired and folded all debt. Raw
+/// latencies are host property and are recorded, not gated. In smoke
+/// mode the (smaller) smoke workload runs but gates against the same
+/// checked-in full baseline: every gated indicator is scale-invariant.
+pub fn mutations_check(smoke: bool) -> bool {
+    let baseline = check::load_baseline("BENCH_mutations.json");
+    let base_run = baseline.get("run").expect("baseline has a run object");
+    let trials = if smoke { 2 } else { 3 };
+    println!("\n=== Mutations check — {trials} trials vs checked-in BENCH_mutations.json ===");
+    let workload = workload_for(smoke);
+    let data = mutation_data(smoke);
+
+    let mut reports = Vec::new();
+    for t in 0..trials {
+        println!("trial {}/{trials} ...", t + 1);
+        let report = run_mutation_workload(&data, workload);
+        assert_run_sane(&report, &workload);
+        reports.push(report);
+    }
+
+    let mut verdicts = Vec::new();
+    let indicator = |name: &str, baseline_ok: bool, ok: Vec<bool>| GateRow {
+        name: name.into(),
+        baseline: baseline_ok as u64 as f64,
+        trials: ok.into_iter().map(|b| b as u64 as f64).collect(),
+        floor: 1.0,
+    };
+    verdicts.push(check::judge(indicator(
+        "mutations/all_searches_resolved",
+        check::field(base_run, "searches_resolved") == check::field(base_run, "searches_expected"),
+        reports
+            .iter()
+            .map(|r| r.searches_resolved == r.searches_expected)
+            .collect(),
+    )));
+    verdicts.push(check::judge(indicator(
+        "mutations/equivalent_to_rebuild",
+        base_run
+            .get("equivalent_to_rebuild")
+            .and_then(Json::as_bool)
+            .unwrap_or(false),
+        reports.iter().map(|r| r.equivalent_to_rebuild).collect(),
+    )));
+    verdicts.push(check::judge(indicator(
+        "mutations/compactions_fired",
+        check::field(base_run, "compactions") >= 1.0,
+        reports.iter().map(|r| r.stats.compactions >= 1).collect(),
+    )));
+    verdicts.push(check::judge(indicator(
+        "mutations/debt_folded",
+        check::field(base_run, "final_delta") == 0.0
+            && check::field(base_run, "final_tombstones") == 0.0,
+        reports
+            .iter()
+            .map(|r| r.final_status.delta == 0 && r.final_status.tombstones == 0)
+            .collect(),
+    )));
+
+    let path = if smoke {
+        "CHECK_mutations_smoke.json"
+    } else {
+        "CHECK_mutations.json"
+    };
+    check::report("mutations", &verdicts, path)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn smoke_workload_is_equivalent_and_folds() {
+        let data = mutation_data(true);
+        let workload = MutationWorkload {
+            initial: 200,
+            batches: 3,
+            inserts_per_batch: 4,
+            deletes_per_batch: 2,
+            searches_per_batch: 4,
+            k: 5,
+            shards: 2,
+            compact_after: 0,
+        };
+        let report = run_mutation_workload(&data, workload);
+        assert_eq!(report.searches_resolved, report.searches_expected);
+        assert!(report.equivalent_to_rebuild);
+        assert_eq!(report.final_status.delta, 0);
+        assert_eq!(report.final_status.tombstones, 0);
+        assert_eq!(report.stats.mutation_batches, 3);
+        assert!(report.stats.compactions >= 1);
+    }
+
+    #[test]
+    fn debt_probe_fans_out_over_the_delta() {
+        let data = mutation_data(true);
+        let (p50_frozen, stats_frozen) = debt_probe(&data, 200, 0, 5);
+        let (p50_debt, stats_debt) = debt_probe(&data, 200, 32, 5);
+        assert!(p50_frozen > 0.0 && p50_debt > 0.0);
+        // the delta shard adds one more scheduler run per wave
+        assert!(stats_debt.shard_runs > stats_frozen.shard_runs);
+    }
+}

@@ -7,7 +7,7 @@
 //! whole stack (engine, scheduler, admission service, typed facade):
 //!
 //! 1. **decompose** its items into match-count
-//!    [`Object`](crate::model::Object)s and freeze them into an
+//!    [`Object`]s and freeze them into an
 //!    [`InvertedIndex`] (`create` / `index`);
 //! 2. **encode** a typed query spec into a match-count [`Query`]
 //!    (`encode`, validated — malformed specs are a typed
@@ -25,7 +25,7 @@
 //! use std::sync::Arc;
 //! use genie_core::domain::{Domain, MatchHits};
 //! use genie_core::index::{IndexBuilder, InvertedIndex};
-//! use genie_core::model::{Query, QueryBuildError};
+//! use genie_core::model::{Object, Query, QueryBuildError};
 //! use genie_core::topk::TopHit;
 //!
 //! /// A toy domain: items are keyword lists, queries are keyword lists.
@@ -59,6 +59,16 @@
 //!     fn encode(&self, spec: &Vec<u32>) -> Result<Query, QueryBuildError> {
 //!         Query::try_from_keywords(spec, self.universe)
 //!     }
+//!     // one item -> one Object, validated like a query (live inserts)
+//!     fn decompose(&self, item: &Vec<u32>) -> Result<Object, QueryBuildError> {
+//!         if let Some(&kw) = item.iter().find(|&&kw| kw >= self.universe) {
+//!             return Err(QueryBuildError::KeywordOutOfRange {
+//!                 keyword: kw,
+//!                 universe: self.universe,
+//!             });
+//!         }
+//!         Ok(Object::new(item.clone()))
+//!     }
 //!     fn decode(&self, _spec: &Vec<u32>, hits: Vec<TopHit>, at: u32, _kc: usize, _k: usize) -> MatchHits {
 //!         MatchHits {
 //!             hits,
@@ -71,12 +81,14 @@
 //! assert!(d.encode(&vec![]).is_err(), "empty spec is a typed error");
 //! assert!(d.encode(&vec![99]).is_err(), "out-of-universe keyword too");
 //! assert_eq!(d.encode(&vec![1, 5]).unwrap().len(), 2);
+//! assert!(d.decompose(&vec![99]).is_err(), "items validate like queries");
+//! assert_eq!(d.decompose(&vec![2, 7]).unwrap().keywords, vec![2, 7]);
 //! ```
 
 use std::sync::Arc;
 
 use crate::index::InvertedIndex;
-use crate::model::{Query, QueryBuildError};
+use crate::model::{Object, ObjectId, Query, QueryBuildError};
 use crate::topk::TopHit;
 
 /// The typed response of a pure match-count domain (documents,
@@ -123,6 +135,29 @@ pub trait Domain: Send + Sync + Sized + 'static {
     /// empty specs, empty ranges, out-of-range keywords/values and
     /// non-finite numbers all surface here as [`QueryBuildError`]s.
     fn encode(&self, spec: &Self::QuerySpec) -> Result<Query, QueryBuildError>;
+
+    /// Decompose ONE item into its match-count [`Object`], exactly as
+    /// [`create`](Self::create) decomposes each of its items — this is
+    /// what makes live *inserts* possible: a new item is decomposed
+    /// here, absorbed into a collection's delta shard and served
+    /// identically to a from-scratch rebuild that had included it.
+    ///
+    /// Validation mirrors `encode`: malformed items (wrong relational
+    /// arity, non-finite coordinates, ...) are a typed
+    /// [`QueryBuildError`], never a panic. Domains with an encoding
+    /// vocabulary may **grow** it here (interior mutability behind
+    /// `&self`) — never shrink, reorder or reassign existing entries,
+    /// or previously returned `Object`s would change meaning.
+    fn decompose(&self, item: &Self::Item) -> Result<Object, QueryBuildError>;
+
+    /// Persist an inserted item under its assigned stable id, for
+    /// domains whose [`decode`](Self::decode) needs the original item
+    /// (the shotgun-and-assembly verification step). Called after id
+    /// assignment but before any search can return `id`; ids arrive
+    /// dense and ascending, and are never reused — even across
+    /// compaction — so an id-indexed store only ever appends. Pure
+    /// match-count domains keep the default no-op.
+    fn store_item(&self, _id: ObjectId, _item: Self::Item) {}
 
     /// How many raw candidates to retrieve for a final top-`k`.
     /// Filter-and-verify domains over-fetch (the paper's `K ≥ k`);
@@ -184,6 +219,9 @@ mod tests {
         }
         fn encode(&self, spec: &Vec<u32>) -> Result<Query, QueryBuildError> {
             Query::try_from_keywords(spec, 100)
+        }
+        fn decompose(&self, item: &Vec<u32>) -> Result<Object, QueryBuildError> {
+            Ok(Object::new(item.clone()))
         }
         fn decode(
             &self,

@@ -17,7 +17,12 @@
 //! * **intra-collection sharding** ([`shard`]) — split one collection
 //!   across self-contained index shards (local→global id maps) and
 //!   merge per-shard top-k into the global answer with the Theorem 3.1
-//!   certificate, for the serving layer's shard fan-out.
+//!   certificate, for the serving layer's shard fan-out;
+//! * **live mutations** ([`delta`]) — an LSM-style mutable delta shard
+//!   plus tombstone set over the immutable base shards, with a
+//!   snapshot/compact/apply background-compaction protocol, so
+//!   collections absorb inserts and deletes with search results
+//!   provably identical to a from-scratch rebuild.
 //!
 //! ## Search backends
 //!
@@ -68,6 +73,7 @@
 
 pub mod backend;
 pub mod cpq;
+pub mod delta;
 pub mod domain;
 pub mod exec;
 pub mod index;
@@ -82,6 +88,7 @@ pub mod prelude {
     pub use crate::backend::{
         BackendCaps, BackendIndex, BackendKind, CpuBackend, MultiDeviceBackend, SearchBackend,
     };
+    pub use crate::delta::{CompactionSnapshot, DeltaPlan};
     pub use crate::domain::{Domain, MatchHits};
     pub use crate::exec::{DeviceIndex, Engine, SearchOutput, StageProfile};
     pub use crate::index::{IndexBuilder, InvertedIndex, LoadBalanceConfig};
@@ -91,6 +98,8 @@ pub mod prelude {
     pub use crate::multiload::{
         build_parts, multi_device_search, multi_load_search, IndexPart, MultiLoadReport,
     };
-    pub use crate::shard::{merge_shard_topk, Shard, ShardPlan};
+    pub use crate::shard::{
+        merge_shard_topk, merge_shard_topk_filtered, Shard, ShardError, ShardPlan,
+    };
     pub use crate::topk::{reference_top_k, TopHit};
 }

@@ -87,6 +87,9 @@ pub enum QueryBuildError {
         value: u32,
         cardinality: u32,
     },
+    /// An inserted row has a different number of cells than the schema
+    /// has attributes (live-mutation item validation).
+    RowArity { got: usize, expected: usize },
 }
 
 impl std::fmt::Display for QueryBuildError {
@@ -121,6 +124,10 @@ impl std::fmt::Display for QueryBuildError {
             } => write!(
                 f,
                 "value {value} out of range for attribute {attr} (cardinality {cardinality})"
+            ),
+            Self::RowArity { got, expected } => write!(
+                f,
+                "row has {got} cells but the schema has {expected} attributes"
             ),
         }
     }

@@ -35,11 +35,52 @@
 //!   ([`ShardPlan`] assigns objects to shards in scan order, so every
 //!   local→global map is strictly increasing).
 
+use std::collections::HashSet;
 use std::sync::Arc;
 
 use crate::index::{IndexBuilder, InvertedIndex, LoadBalanceConfig};
 use crate::model::{Object, ObjectId};
 use crate::topk::{audit_threshold, partial_top_k, TopHit};
+
+/// Why a shard plan could not be built.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum ShardError {
+    /// `num_shards == 0` was requested; a plan needs at least one shard.
+    ZeroShards,
+    /// The explicit assignment names a different number of objects than
+    /// the collection holds.
+    AssignmentLength {
+        /// Objects the assignment names.
+        named: usize,
+        /// Objects the collection holds.
+        have: usize,
+    },
+    /// The assignment routes an object to a shard outside the plan.
+    ShardOutOfRange {
+        /// The offending shard id.
+        shard: usize,
+        /// Shards in the plan.
+        num_shards: usize,
+    },
+}
+
+impl std::fmt::Display for ShardError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            ShardError::ZeroShards => write!(f, "need at least one shard"),
+            ShardError::AssignmentLength { named, have } => write!(
+                f,
+                "assignment names {named} objects but the collection has {have}"
+            ),
+            ShardError::ShardOutOfRange { shard, num_shards } => write!(
+                f,
+                "assignment names shard {shard} but the plan has {num_shards}"
+            ),
+        }
+    }
+}
+
+impl std::error::Error for ShardError {}
 
 /// One self-contained index shard: a complete [`InvertedIndex`] over a
 /// subset of the collection plus the map from its local object ids back
@@ -75,6 +116,32 @@ impl Shard {
 
     pub fn is_empty(&self) -> bool {
         self.global_ids.is_empty()
+    }
+
+    /// Wrap a whole-collection index as a single shard whose local ids
+    /// *are* the global ids (`global_ids[i] == i`). This is how an
+    /// unsharded collection enters the live-mutation path: the existing
+    /// index becomes the first base shard without a rebuild.
+    pub fn identity(index: Arc<InvertedIndex>) -> Self {
+        let n = index.num_objects();
+        Shard {
+            index,
+            global_ids: Arc::new((0..n).collect()),
+        }
+    }
+
+    /// Rebuild this shard's `(stable id, object)` pairs by inverting its
+    /// index and zipping with the local→global map. Postings within an
+    /// object come back sorted (the index stores them that way); for
+    /// load-balance-capped indexes the reconstruction is lossy, exactly
+    /// as documented on [`InvertedIndex::reconstruct_objects`].
+    pub fn entries(&self) -> Vec<(ObjectId, Object)> {
+        self.index
+            .reconstruct_objects()
+            .into_iter()
+            .zip(self.global_ids.iter())
+            .map(|(obj, &id)| (id, obj))
+            .collect()
     }
 }
 
@@ -124,21 +191,21 @@ impl ShardPlan {
         num_shards: usize,
         assignment: &[usize],
         load_balance: Option<LoadBalanceConfig>,
-    ) -> Result<Self, String> {
+    ) -> Result<Self, ShardError> {
         if num_shards == 0 {
-            return Err("need at least one shard".into());
+            return Err(ShardError::ZeroShards);
         }
         if assignment.len() != objects.len() {
-            return Err(format!(
-                "assignment names {} objects but the collection has {}",
-                assignment.len(),
-                objects.len()
-            ));
+            return Err(ShardError::AssignmentLength {
+                named: assignment.len(),
+                have: objects.len(),
+            });
         }
         if let Some(&bad) = assignment.iter().find(|&&s| s >= num_shards) {
-            return Err(format!(
-                "assignment names shard {bad} but the plan has {num_shards}"
-            ));
+            return Err(ShardError::ShardOutOfRange {
+                shard: bad,
+                num_shards,
+            });
         }
         let mut builders: Vec<(IndexBuilder, Vec<ObjectId>)> = (0..num_shards)
             .map(|_| (IndexBuilder::new(), Vec::new()))
@@ -174,12 +241,19 @@ impl ShardPlan {
     /// into objects ([`InvertedIndex::reconstruct_objects`]) and
     /// [`build`](Self::build) a contiguous plan with the index's own
     /// load-balance configuration.
-    pub fn from_index(index: &InvertedIndex, num_shards: usize) -> Self {
-        Self::build(
+    ///
+    /// `num_shards == 0` is a [`ShardError::ZeroShards`] error; a count
+    /// larger than the collection is clamped (the documented
+    /// [`build`](Self::build) behaviour — no shard is created empty).
+    pub fn from_index(index: &InvertedIndex, num_shards: usize) -> Result<Self, ShardError> {
+        if num_shards == 0 {
+            return Err(ShardError::ZeroShards);
+        }
+        Ok(Self::build(
             &index.reconstruct_objects(),
             num_shards,
             index.load_balance(),
-        )
+        ))
     }
 
     /// The shards, in ascending global-id order.
@@ -220,6 +294,36 @@ impl std::fmt::Debug for ShardPlan {
 /// search's.
 pub fn merge_shard_topk(per_shard: Vec<Vec<TopHit>>, k: usize) -> (Vec<TopHit>, u32) {
     let candidates: Vec<TopHit> = per_shard.into_iter().flatten().collect();
+    let hits = partial_top_k(candidates, k);
+    let at = audit_threshold(&hits, k);
+    (hits, at)
+}
+
+/// [`merge_shard_topk`] for a *live* (mutable) collection: drop
+/// tombstoned (deleted) ids from the flattened per-shard candidates
+/// **before** truncating to `k`, then apply Theorem 3.1 to the filtered
+/// merged answer.
+///
+/// Filtering before truncation is what makes the live answer identical
+/// to a from-scratch rebuild without the deleted objects: as long as
+/// every shard contributed at least its own top-`k` *surviving* objects
+/// (the serving layer inflates the per-shard fetch to
+/// `k + tombstones.len()`, so at most `tombstones.len()` of a shard's
+/// hits can be dead), every object of the true live top-k reaches the
+/// merge, and `AT = MC_k + 1` is computed on live counts only.
+pub fn merge_shard_topk_filtered(
+    per_shard: Vec<Vec<TopHit>>,
+    k: usize,
+    tombstones: &HashSet<ObjectId>,
+) -> (Vec<TopHit>, u32) {
+    if tombstones.is_empty() {
+        return merge_shard_topk(per_shard, k);
+    }
+    let candidates: Vec<TopHit> = per_shard
+        .into_iter()
+        .flatten()
+        .filter(|h| !tombstones.contains(&h.id))
+        .collect();
     let hits = partial_top_k(candidates, k);
     let at = audit_threshold(&hits, k);
     (hits, at)
@@ -302,9 +406,21 @@ mod tests {
     #[test]
     fn assignment_is_validated_and_drops_empty_shards() {
         let objs = objects(6);
-        assert!(ShardPlan::from_assignment(&objs, 0, &[], None).is_err());
-        assert!(ShardPlan::from_assignment(&objs, 2, &[0, 1], None).is_err());
-        assert!(ShardPlan::from_assignment(&objs, 2, &[0, 1, 2, 0, 1, 0], None).is_err());
+        assert_eq!(
+            ShardPlan::from_assignment(&objs, 0, &[], None).unwrap_err(),
+            ShardError::ZeroShards,
+        );
+        assert_eq!(
+            ShardPlan::from_assignment(&objs, 2, &[0, 1], None).unwrap_err(),
+            ShardError::AssignmentLength { named: 2, have: 6 },
+        );
+        assert_eq!(
+            ShardPlan::from_assignment(&objs, 2, &[0, 1, 2, 0, 1, 0], None).unwrap_err(),
+            ShardError::ShardOutOfRange {
+                shard: 2,
+                num_shards: 2
+            },
+        );
         // shard 1 receives nothing and is dropped
         let plan = ShardPlan::from_assignment(&objs, 3, &[0, 2, 0, 2, 0, 2], None).unwrap();
         assert_eq!(plan.num_shards(), 2);
@@ -349,7 +465,7 @@ mod tests {
         let mut b = IndexBuilder::new();
         b.add_objects(objs.iter());
         let index = b.build(None);
-        let plan = ShardPlan::from_index(&index, 4);
+        let plan = ShardPlan::from_index(&index, 4).unwrap();
         assert_eq!(plan.num_objects(), 17);
         let mut rebuilt: Vec<(ObjectId, Object)> = Vec::new();
         for shard in plan.shards() {
@@ -380,5 +496,70 @@ mod tests {
         assert_eq!(hits.len(), 2, "fewer than k matched");
         assert_eq!(hits[0].id, 1, "ties break by ascending global id");
         assert_eq!(at, 1, "AT advances only when k objects matched");
+    }
+
+    #[test]
+    fn from_index_rejects_zero_shards() {
+        let index = IndexBuilder::new().build(None);
+        assert_eq!(
+            ShardPlan::from_index(&index, 0).unwrap_err(),
+            ShardError::ZeroShards
+        );
+        assert!(ShardError::ZeroShards.to_string().contains("shard"));
+    }
+
+    #[test]
+    fn identity_shard_maps_local_ids_to_themselves() {
+        let objs = objects(9);
+        let mut b = IndexBuilder::new();
+        b.add_objects(objs.iter());
+        let shard = Shard::identity(Arc::new(b.build(None)));
+        assert_eq!(shard.len(), 9);
+        assert_eq!(
+            shard.global_ids.as_slice(),
+            (0..9).collect::<Vec<ObjectId>>().as_slice()
+        );
+        let entries = shard.entries();
+        assert_eq!(entries.len(), 9);
+        for (id, obj) in entries {
+            let mut want = objs[id as usize].keywords.clone();
+            want.sort_unstable();
+            assert_eq!(obj.keywords, want);
+        }
+    }
+
+    /// Filtering tombstones before truncation equals a brute-force
+    /// rebuild without the deleted objects, provided each shard fetched
+    /// k + |tombstones| hits.
+    #[test]
+    fn filtered_merge_equals_rebuild_without_tombstoned_objects() {
+        let objs = objects(40);
+        let tombstones: HashSet<ObjectId> = [0, 3, 7, 14, 21, 35].into_iter().collect();
+        let assignment: Vec<usize> = (0..objs.len()).map(|i| (i * 5) % 3).collect();
+        let plan = ShardPlan::from_assignment(&objs, 3, &assignment, None).unwrap();
+        let query = Query::from_keywords(&[3, 101]);
+        for k in [1usize, 3, 7, 40] {
+            let k_eff = k + tombstones.len();
+            let per_shard: Vec<Vec<TopHit>> = plan
+                .shards()
+                .iter()
+                .map(|s| shard_topk(s, &objs, &query, k_eff))
+                .collect();
+            let (merged, at) = merge_shard_topk_filtered(per_shard, k, &tombstones);
+            // brute force over the surviving objects, ids preserved
+            let live_counts: Vec<TopHit> = objs
+                .iter()
+                .enumerate()
+                .filter(|(i, _)| !tombstones.contains(&(*i as ObjectId)))
+                .map(|(i, o)| TopHit {
+                    id: i as ObjectId,
+                    count: match_count(&query, o),
+                })
+                .filter(|h| h.count > 0)
+                .collect();
+            let expected = partial_top_k(live_counts, k);
+            assert_eq!(merged, expected, "k={k}");
+            assert_eq!(at, audit_threshold(&expected, k), "k={k}");
+        }
     }
 }

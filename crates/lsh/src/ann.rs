@@ -139,6 +139,23 @@ where
         Ok(self.transformer.to_query(&spec[..]))
     }
 
+    /// Decompose one point exactly like [`AnnIndex::build`] does,
+    /// validated like `encode`: the LSH transformer is fixed at build
+    /// time, so a live insert is a pure transformation. Points are not
+    /// stored (decode needs only the collision counts), so the default
+    /// no-op `store_item` stands.
+    fn decompose(&self, item: &Vec<f32>) -> Result<genie_core::model::Object, QueryBuildError> {
+        if item.is_empty() {
+            return Err(QueryBuildError::EmptyQuery);
+        }
+        if item.iter().any(|c| !c.is_finite()) {
+            return Err(QueryBuildError::NonFinite {
+                what: "data point coordinate",
+            });
+        }
+        Ok(self.transformer.to_object(&item[..]))
+    }
+
     fn decode(
         &self,
         _spec: &Vec<f32>,

@@ -13,7 +13,7 @@
 //! → [`Domain::decode`].
 
 use std::collections::HashMap;
-use std::sync::Arc;
+use std::sync::{Arc, RwLock};
 
 use genie_core::domain::{Domain, MatchHits};
 use genie_core::index::{IndexBuilder, InvertedIndex};
@@ -21,8 +21,13 @@ use genie_core::model::{KeywordId, Object, Query, QueryBuildError};
 use genie_core::topk::TopHit;
 
 /// A word-level inverted index over a corpus of short documents.
+///
+/// The vocabulary sits behind a lock so live inserts
+/// ([`Domain::decompose`]) can coin keyword ids for unseen words under
+/// `&self`; existing entries are never reassigned, so previously
+/// decomposed objects keep their meaning.
 pub struct DocumentIndex {
-    vocab: HashMap<String, KeywordId>,
+    vocab: RwLock<HashMap<String, KeywordId>>,
     index: Arc<InvertedIndex>,
     num_docs: usize,
 }
@@ -47,18 +52,20 @@ impl DocumentIndex {
             builder.add_object(&Object::new(kws));
         }
         Self {
-            vocab,
+            vocab: RwLock::new(vocab),
             index: Arc::new(builder.build(None)),
             num_docs: docs.len(),
         }
     }
 
+    /// Documents indexed at build time. Live inserts/deletes are
+    /// tracked by the serving layer (`Collection::len`), not here.
     pub fn num_documents(&self) -> usize {
         self.num_docs
     }
 
     pub fn vocabulary_size(&self) -> usize {
-        self.vocab.len()
+        self.vocab.read().unwrap().len()
     }
 
     pub fn inverted_index(&self) -> &Arc<InvertedIndex> {
@@ -68,9 +75,10 @@ impl DocumentIndex {
     /// Query over the distinct known words of `doc` (unknown words
     /// match nothing and are skipped).
     pub fn to_query<S: AsRef<str>>(&self, doc: &[S]) -> Query {
+        let vocab = self.vocab.read().unwrap();
         let mut kws: Vec<KeywordId> = doc
             .iter()
-            .filter_map(|w| self.vocab.get(w.as_ref()).copied())
+            .filter_map(|w| vocab.get(w.as_ref()).copied())
             .collect();
         kws.sort_unstable();
         kws.dedup();
@@ -103,6 +111,25 @@ impl Domain for DocumentIndex {
             return Err(QueryBuildError::EmptyQuery);
         }
         Ok(self.to_query(spec))
+    }
+
+    /// Decompose one document exactly like [`DocumentIndex::build`]
+    /// does: unseen words extend the vocabulary (first-seen order),
+    /// duplicates collapse to one keyword (binary model). An empty
+    /// document is legal here, as it is at build time — it simply
+    /// matches nothing.
+    fn decompose(&self, item: &Vec<String>) -> Result<Object, QueryBuildError> {
+        let mut vocab = self.vocab.write().unwrap();
+        let mut kws: Vec<KeywordId> = item
+            .iter()
+            .map(|w| {
+                let next = vocab.len() as KeywordId;
+                *vocab.entry(w.clone()).or_insert(next)
+            })
+            .collect();
+        kws.sort_unstable();
+        kws.dedup();
+        Ok(Object::new(kws))
     }
 
     fn decode(

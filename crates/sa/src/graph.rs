@@ -208,9 +208,14 @@ pub fn hungarian_min_cost(cost: &[Vec<i64>]) -> i64 {
 }
 
 /// A star inverted index over a set of graphs, searched through GENIE.
+///
+/// The stored graphs and the star vocabulary sit behind locks so live
+/// inserts (`Domain::decompose` / `Domain::store_item`) can grow them
+/// under `&self`; the store only appends and existing vocabulary
+/// entries are never reassigned.
 pub struct GraphIndex {
-    graphs: Vec<Graph>,
-    vocab: HashMap<(Star, u32), KeywordId>,
+    graphs: std::sync::RwLock<Vec<Graph>>,
+    vocab: std::sync::RwLock<HashMap<(Star, u32), KeywordId>>,
     index: std::sync::Arc<genie_core::index::InvertedIndex>,
 }
 
@@ -227,32 +232,38 @@ impl GraphIndex {
         let mut vocab: HashMap<(Star, u32), KeywordId> = HashMap::new();
         let mut builder = genie_core::index::IndexBuilder::new();
         for g in &graphs {
-            let mut occ: HashMap<Star, u32> = HashMap::new();
-            let kws: Vec<KeywordId> = stars(g)
-                .into_iter()
-                .map(|s| {
-                    let o = occ.entry(s.clone()).or_insert(0);
-                    let key = (s, *o);
-                    *o += 1;
-                    let next = vocab.len() as KeywordId;
-                    *vocab.entry(key).or_insert(next)
-                })
-                .collect();
+            let kws = Self::keywords_of(g, &mut vocab);
             builder.add_object(&Object::new(kws));
         }
         Self {
-            graphs,
-            vocab,
+            graphs: std::sync::RwLock::new(graphs),
+            vocab: std::sync::RwLock::new(vocab),
             index: std::sync::Arc::new(builder.build(None)),
         }
     }
 
-    pub fn num_graphs(&self) -> usize {
-        self.graphs.len()
+    fn keywords_of(g: &Graph, vocab: &mut HashMap<(Star, u32), KeywordId>) -> Vec<KeywordId> {
+        let mut occ: HashMap<Star, u32> = HashMap::new();
+        stars(g)
+            .into_iter()
+            .map(|s| {
+                let o = occ.entry(s.clone()).or_insert(0);
+                let key = (s, *o);
+                *o += 1;
+                let next = vocab.len() as KeywordId;
+                *vocab.entry(key).or_insert(next)
+            })
+            .collect()
     }
 
-    pub fn graph(&self, id: u32) -> &Graph {
-        &self.graphs[id as usize]
+    /// Graphs in the store (build-time set plus live inserts; deleted
+    /// graphs stay stored until a reindex).
+    pub fn num_graphs(&self) -> usize {
+        self.graphs.read().unwrap().len()
+    }
+
+    pub fn graph(&self, id: u32) -> Graph {
+        self.graphs.read().unwrap()[id as usize].clone()
     }
 
     pub fn inverted_index(&self) -> &std::sync::Arc<genie_core::index::InvertedIndex> {
@@ -261,6 +272,7 @@ impl GraphIndex {
 
     /// Query over the known stars of `q`.
     pub fn to_query(&self, q: &Graph) -> Query {
+        let vocab = self.vocab.read().unwrap();
         let mut occ: HashMap<Star, u32> = HashMap::new();
         let kws: Vec<KeywordId> = stars(q)
             .into_iter()
@@ -268,7 +280,7 @@ impl GraphIndex {
                 let o = occ.entry(s.clone()).or_insert(0);
                 let key = (s, *o);
                 *o += 1;
-                self.vocab.get(&key).copied()
+                vocab.get(&key).copied()
             })
             .collect();
         Query::from_keywords(&kws)
@@ -302,6 +314,29 @@ impl genie_core::domain::Domain for GraphIndex {
         Ok(self.to_query(spec))
     }
 
+    /// Decompose one graph exactly like [`GraphIndex::build`] does:
+    /// occurrence-tagged stars become keywords, unseen stars extend the
+    /// vocabulary. A graph with no nodes is a typed error, mirroring
+    /// `encode`.
+    fn decompose(
+        &self,
+        item: &Graph,
+    ) -> Result<genie_core::model::Object, genie_core::model::QueryBuildError> {
+        if item.is_empty() {
+            return Err(genie_core::model::QueryBuildError::EmptyQuery);
+        }
+        let mut vocab = self.vocab.write().unwrap();
+        Ok(Object::new(Self::keywords_of(item, &mut vocab)))
+    }
+
+    /// Graphs must be stored for decode's verification pass; ids are
+    /// dense and append-only.
+    fn store_item(&self, id: genie_core::model::ObjectId, item: Graph) {
+        let mut graphs = self.graphs.write().unwrap();
+        debug_assert_eq!(graphs.len(), id as usize, "stable ids arrive dense");
+        graphs.push(item);
+    }
+
     /// Over-fetch candidates for the verify step (shared-star counts
     /// only *filter* for the star mapping distance).
     fn candidates_for(&self, k: usize) -> usize {
@@ -318,11 +353,12 @@ impl genie_core::domain::Domain for GraphIndex {
         _k_candidates: usize,
         k: usize,
     ) -> Vec<GraphHit> {
+        let graphs = self.graphs.read().unwrap();
         let mut verified: Vec<GraphHit> = hits
             .iter()
             .map(|h| GraphHit {
                 id: h.id,
-                distance: star_mapping_distance(spec, &self.graphs[h.id as usize]),
+                distance: star_mapping_distance(spec, &graphs[h.id as usize]),
             })
             .collect();
         verified.sort_unstable_by(|a, b| a.distance.cmp(&b.distance).then(a.id.cmp(&b.id)));

@@ -252,6 +252,57 @@ impl Domain for RelationalIndex {
         self.encode_query(spec)
     }
 
+    /// Decompose one row exactly like [`RelationalIndex::build`] does,
+    /// with [`encode_row`](RelationalIndex::encode_row)'s panics
+    /// surfaced as typed errors: wrong arity, kind mismatches,
+    /// out-of-cardinality categories and non-finite numerics. The
+    /// schema is fixed at build time, so nothing grows here.
+    fn decompose(&self, item: &Vec<Value>) -> Result<Object, QueryBuildError> {
+        if item.len() != self.attrs.len() {
+            return Err(QueryBuildError::RowArity {
+                got: item.len(),
+                expected: self.attrs.len(),
+            });
+        }
+        let mut kws = Vec::with_capacity(item.len());
+        for (attr, &value) in item.iter().enumerate() {
+            let bucket = match (self.attrs[attr], value) {
+                (Attribute::Categorical { cardinality }, Value::Cat(c)) => {
+                    if c >= cardinality {
+                        return Err(QueryBuildError::ValueOutOfRange {
+                            attr,
+                            value: c,
+                            cardinality,
+                        });
+                    }
+                    c
+                }
+                (Attribute::Numeric { .. }, Value::Num(v)) => {
+                    if !v.is_finite() {
+                        return Err(QueryBuildError::NonFinite {
+                            what: "row cell value",
+                        });
+                    }
+                    self.bucket_of(attr, Value::Num(v))
+                }
+                (Attribute::Categorical { .. }, Value::Num(_)) => {
+                    return Err(QueryBuildError::TypeMismatch {
+                        attr,
+                        expected: "numeric",
+                    });
+                }
+                (Attribute::Numeric { .. }, Value::Cat(_)) => {
+                    return Err(QueryBuildError::TypeMismatch {
+                        attr,
+                        expected: "categorical",
+                    });
+                }
+            };
+            kws.push(self.keyword(attr, bucket));
+        }
+        Ok(Object::new(kws))
+    }
+
     fn decode(
         &self,
         _spec: &Vec<Condition>,

@@ -16,11 +16,11 @@
 //! strategy.
 
 use std::collections::HashMap;
-use std::sync::Arc;
+use std::sync::{Arc, RwLock};
 
 use genie_core::domain::Domain;
 use genie_core::index::{IndexBuilder, InvertedIndex};
-use genie_core::model::{KeywordId, Object, Query, QueryBuildError};
+use genie_core::model::{KeywordId, Object, ObjectId, Query, QueryBuildError};
 use genie_core::topk::TopHit;
 
 use crate::ngram::{ordered_ngrams, OrderedGram};
@@ -38,10 +38,16 @@ pub struct SequenceSearchReport {
 }
 
 /// An n-gram inverted index over a corpus of sequences.
+///
+/// The stored sequences and the gram vocabulary sit behind locks so
+/// live inserts ([`Domain::decompose`] / [`Domain::store_item`]) can
+/// grow them under `&self`; the store only ever appends (stable ids are
+/// dense and never reused) and existing vocabulary entries are never
+/// reassigned.
 pub struct SequenceIndex {
-    seqs: Vec<Vec<u8>>,
+    seqs: RwLock<Vec<Vec<u8>>>,
     n: usize,
-    vocab: HashMap<OrderedGram, KeywordId>,
+    vocab: RwLock<HashMap<OrderedGram, KeywordId>>,
     index: Arc<InvertedIndex>,
 }
 
@@ -61,9 +67,9 @@ impl SequenceIndex {
             builder.add_object(&Object::new(kws));
         }
         Self {
-            seqs,
+            seqs: RwLock::new(seqs),
             n,
-            vocab,
+            vocab: RwLock::new(vocab),
             index: Arc::new(builder.build(None)),
         }
     }
@@ -72,12 +78,14 @@ impl SequenceIndex {
         self.n
     }
 
+    /// Sequences in the store (build-time corpus plus live inserts;
+    /// deleted sequences stay stored until a reindex).
     pub fn num_sequences(&self) -> usize {
-        self.seqs.len()
+        self.seqs.read().unwrap().len()
     }
 
-    pub fn sequence(&self, id: u32) -> &[u8] {
-        &self.seqs[id as usize]
+    pub fn sequence(&self, id: u32) -> Vec<u8> {
+        self.seqs.read().unwrap()[id as usize].clone()
     }
 
     pub fn inverted_index(&self) -> &Arc<InvertedIndex> {
@@ -86,9 +94,10 @@ impl SequenceIndex {
 
     /// Query over the grams of `q` that exist in the vocabulary.
     pub fn to_query(&self, q: &[u8]) -> Query {
+        let vocab = self.vocab.read().unwrap();
         let kws: Vec<KeywordId> = ordered_ngrams(q, self.n)
             .into_iter()
-            .filter_map(|g| self.vocab.get(&g).copied())
+            .filter_map(|g| vocab.get(&g).copied())
             .collect();
         Query::from_keywords(&kws)
     }
@@ -124,6 +133,30 @@ impl Domain for SequenceIndex {
         Ok(self.to_query(spec))
     }
 
+    /// Decompose one sequence exactly like [`SequenceIndex::build`]
+    /// does: its ordered n-grams become keywords, unseen grams extend
+    /// the vocabulary. A sequence shorter than `n` has no grams and
+    /// simply never matches, as at build time.
+    fn decompose(&self, item: &Vec<u8>) -> Result<Object, QueryBuildError> {
+        let mut vocab = self.vocab.write().unwrap();
+        let kws: Vec<KeywordId> = ordered_ngrams(item, self.n)
+            .into_iter()
+            .map(|g| {
+                let next = vocab.len() as KeywordId;
+                *vocab.entry(g).or_insert(next)
+            })
+            .collect();
+        Ok(Object::new(kws))
+    }
+
+    /// Sequences must be stored for decode's verification pass; ids are
+    /// dense and append-only.
+    fn store_item(&self, id: ObjectId, item: Vec<u8>) {
+        let mut seqs = self.seqs.write().unwrap();
+        debug_assert_eq!(seqs.len(), id as usize, "stable ids arrive dense");
+        seqs.push(item);
+    }
+
     /// The paper retrieves `K ≥ k` candidates and verifies; default to
     /// the K = 32 the DBLP experiments use, scaled up for larger `k`.
     fn candidates_for(&self, k: usize) -> usize {
@@ -145,7 +178,14 @@ impl Domain for SequenceIndex {
                 count: h.count,
             })
             .collect();
-        let (verified, _) = verify_candidates(spec, &candidates, |id| self.sequence(id), self.n, k);
+        let seqs = self.seqs.read().unwrap();
+        let (verified, _) = verify_candidates(
+            spec,
+            &candidates,
+            |id| seqs[id as usize].as_slice(),
+            self.n,
+            k,
+        );
         // c_K: the K-th candidate's count, or 0 when GENIE returned
         // everything it had (exhaustive list)
         let c_k_th = if candidates.len() == k_candidates {
@@ -157,8 +197,10 @@ impl Domain for SequenceIndex {
             Some(worst) => exactness_certificate(spec.len(), c_k_th, worst.distance, self.n),
             // no candidate shared a single gram: the count filter
             // says nothing about the true top-k, so not certified
-            // (unless there is no data at all)
-            None => self.seqs.is_empty(),
+            // (unless there is no data at all; the store only grows, so
+            // a collection *emptied* by deletes stays uncertified here
+            // while a true rebuild would certify its empty answer)
+            None => seqs.is_empty(),
         };
         SequenceSearchReport {
             hits: verified,

@@ -226,9 +226,14 @@ fn forest_dist(a: &Postorder, b: &Postorder, i: usize, j: usize, tree_dist: &mut
 }
 
 /// A binary-branch inverted index over a forest, searched through GENIE.
+///
+/// The stored trees and the branch vocabulary sit behind locks so live
+/// inserts (`Domain::decompose` / `Domain::store_item`) can grow them
+/// under `&self`; the store only appends and existing vocabulary
+/// entries are never reassigned.
 pub struct TreeIndex {
-    trees: Vec<Tree>,
-    vocab: HashMap<(BinaryBranch, u32), KeywordId>,
+    trees: std::sync::RwLock<Vec<Tree>>,
+    vocab: std::sync::RwLock<HashMap<(BinaryBranch, u32), KeywordId>>,
     index: std::sync::Arc<genie_core::index::InvertedIndex>,
 }
 
@@ -249,8 +254,8 @@ impl TreeIndex {
             builder.add_object(&Object::new(kws));
         }
         Self {
-            trees,
-            vocab,
+            trees: std::sync::RwLock::new(trees),
+            vocab: std::sync::RwLock::new(vocab),
             index: std::sync::Arc::new(builder.build(None)),
         }
     }
@@ -272,25 +277,28 @@ impl TreeIndex {
     }
 
     fn lookup_keywords(&self, tree: &Tree) -> Vec<KeywordId> {
+        let vocab = self.vocab.read().unwrap();
         let mut occ: HashMap<BinaryBranch, u32> = HashMap::new();
         let mut kws = Vec::with_capacity(tree.len());
         for br in binary_branches(tree) {
             let o = occ.entry(br).or_insert(0);
             let key = (br, *o);
             *o += 1;
-            if let Some(&kw) = self.vocab.get(&key) {
+            if let Some(&kw) = vocab.get(&key) {
                 kws.push(kw);
             }
         }
         kws
     }
 
+    /// Trees in the store (build-time forest plus live inserts; deleted
+    /// trees stay stored until a reindex).
     pub fn num_trees(&self) -> usize {
-        self.trees.len()
+        self.trees.read().unwrap().len()
     }
 
-    pub fn tree(&self, id: u32) -> &Tree {
-        &self.trees[id as usize]
+    pub fn tree(&self, id: u32) -> Tree {
+        self.trees.read().unwrap()[id as usize].clone()
     }
 
     pub fn inverted_index(&self) -> &std::sync::Arc<genie_core::index::InvertedIndex> {
@@ -331,6 +339,29 @@ impl genie_core::domain::Domain for TreeIndex {
         Ok(self.to_query(spec))
     }
 
+    /// Decompose one tree exactly like [`TreeIndex::build`] does:
+    /// occurrence-tagged binary branches become keywords, unseen
+    /// branches extend the vocabulary. An empty tree is a typed error,
+    /// mirroring `encode`.
+    fn decompose(
+        &self,
+        item: &Tree,
+    ) -> Result<genie_core::model::Object, genie_core::model::QueryBuildError> {
+        if item.is_empty() {
+            return Err(genie_core::model::QueryBuildError::EmptyQuery);
+        }
+        let mut vocab = self.vocab.write().unwrap();
+        Ok(Object::new(Self::keywords_of(item, &mut vocab)))
+    }
+
+    /// Trees must be stored for decode's verification pass; ids are
+    /// dense and append-only.
+    fn store_item(&self, id: genie_core::model::ObjectId, item: Tree) {
+        let mut trees = self.trees.write().unwrap();
+        debug_assert_eq!(trees.len(), id as usize, "stable ids arrive dense");
+        trees.push(item);
+    }
+
     /// Over-fetch candidates for the verify step (shared-branch counts
     /// only *filter* for tree edit distance).
     fn candidates_for(&self, k: usize) -> usize {
@@ -347,11 +378,12 @@ impl genie_core::domain::Domain for TreeIndex {
         _k_candidates: usize,
         k: usize,
     ) -> Vec<TreeHit> {
+        let trees = self.trees.read().unwrap();
         let mut verified: Vec<TreeHit> = hits
             .iter()
             .map(|h| TreeHit {
                 id: h.id,
-                distance: tree_edit_distance(spec, &self.trees[h.id as usize]),
+                distance: tree_edit_distance(spec, &trees[h.id as usize]),
             })
             .collect();
         verified.sort_unstable_by(|a, b| a.distance.cmp(&b.distance).then(a.id.cmp(&b.id)));

@@ -25,10 +25,12 @@ use std::sync::{Arc, RwLock};
 
 use genie_core::backend::SearchBackend;
 use genie_core::domain::Domain;
-use genie_core::model::QueryBuildError;
+use genie_core::model::{ObjectId, QueryBuildError};
+use genie_core::shard::ShardError;
 
 use crate::service::{
-    BackendHealth, CollectionId, GenieService, ResponseTicket, ServiceConfig, ServiceStats,
+    BackendHealth, CollectionId, GenieService, MutateError, MutationStatus, ResponseTicket,
+    ServiceConfig, ServiceStats,
 };
 use crate::{QueryScheduler, SchedulerConfig};
 
@@ -57,6 +59,68 @@ impl std::error::Error for SearchError {}
 impl From<QueryBuildError> for SearchError {
     fn from(e: QueryBuildError) -> Self {
         Self::Build(e)
+    }
+}
+
+/// Why a [`GenieDb`] / [`Collection`] management operation failed —
+/// the typed counterpart of [`SearchError`] for everything that is not
+/// a query: opening the database, creating collections, reindexing,
+/// and live mutations.
+#[derive(Debug, Clone, PartialEq)]
+pub enum DbError {
+    /// An item (or query spec) failed the domain's typed validation;
+    /// nothing was indexed or mutated.
+    Build(QueryBuildError),
+    /// [`GenieDb::open`] was given an empty backend fleet.
+    NoBackends,
+    /// A degenerate shard count was requested (zero shards).
+    InvalidShards(ShardError),
+    /// A delete named an id that is not live in the collection (it
+    /// never existed, or was already deleted). The whole batch was
+    /// rejected — mutations are atomic.
+    UnknownId(ObjectId),
+    /// The serving layer failed (backend preparation, shutdown,
+    /// unknown collection).
+    Service(String),
+}
+
+impl std::fmt::Display for DbError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            Self::Build(e) => write!(f, "item build error: {e}"),
+            Self::NoBackends => f.write_str("GenieDb needs at least one backend"),
+            Self::InvalidShards(e) => write!(f, "invalid shard count: {e}"),
+            Self::UnknownId(id) => {
+                write!(
+                    f,
+                    "cannot delete object {id}: not a live id of this collection"
+                )
+            }
+            Self::Service(e) => write!(f, "service error: {e}"),
+        }
+    }
+}
+
+impl std::error::Error for DbError {}
+
+impl From<QueryBuildError> for DbError {
+    fn from(e: QueryBuildError) -> Self {
+        Self::Build(e)
+    }
+}
+
+impl From<ShardError> for DbError {
+    fn from(e: ShardError) -> Self {
+        Self::InvalidShards(e)
+    }
+}
+
+impl From<MutateError> for DbError {
+    fn from(e: MutateError) -> Self {
+        match e {
+            MutateError::UnknownId(id) => Self::UnknownId(id),
+            MutateError::Service(e) => Self::Service(e),
+        }
     }
 }
 
@@ -104,12 +168,12 @@ impl GenieDb {
         backends: Vec<Arc<dyn SearchBackend>>,
         scheduler: SchedulerConfig,
         service: ServiceConfig,
-    ) -> Result<Self, String> {
+    ) -> Result<Self, DbError> {
         if backends.is_empty() {
-            return Err("GenieDb needs at least one backend".into());
+            return Err(DbError::NoBackends);
         }
         let sched = QueryScheduler::new(backends.clone(), scheduler);
-        let service = GenieService::start_empty(sched, service)?;
+        let service = GenieService::start_empty(sched, service).map_err(DbError::Service)?;
         Ok(Self {
             service: Arc::new(service),
             backends,
@@ -117,7 +181,7 @@ impl GenieDb {
     }
 
     /// Single-backend database with default knobs.
-    pub fn single(backend: Arc<dyn SearchBackend>) -> Result<Self, String> {
+    pub fn single(backend: Arc<dyn SearchBackend>) -> Result<Self, DbError> {
         Self::open(
             vec![backend],
             SchedulerConfig::default(),
@@ -169,18 +233,22 @@ impl GenieDb {
         name: &str,
         config: D::Config,
         items: Vec<D::Item>,
-    ) -> Result<Collection<D>, String> {
+    ) -> Result<Collection<D>, DbError> {
         self.create_collection_sharded(name, config, items, 1)
     }
 
     /// [`create_collection`](Self::create_collection) with the indexed
-    /// data set split across `shards` self-contained index shards
-    /// (clamped to the number of objects; `<= 1` is the unsharded
-    /// path). Queries are unchanged for callers: every wave fans out to
-    /// one scheduler run per shard and the per-shard top-k lists are
-    /// merged into the global answer with the Theorem 3.1 certificate
-    /// on the merged list (see [`genie_core::shard`]).
-    /// [`Collection::reindex`] keeps the shard count.
+    /// data set split across `shards` self-contained index shards.
+    /// `shards == 0` is a typed [`DbError::InvalidShards`]; a count
+    /// larger than the number of objects is **clamped** to it (every
+    /// shard then holds exactly one object — documented, not an error,
+    /// because the corpus may legitimately be smaller than the
+    /// configured fan-out); `1` is the unsharded path. Queries are
+    /// unchanged for callers: every wave fans out to one scheduler run
+    /// per shard and the per-shard top-k lists are merged into the
+    /// global answer with the Theorem 3.1 certificate on the merged
+    /// list (see [`genie_core::shard`]). [`Collection::reindex`] keeps
+    /// the shard count.
     ///
     /// ```
     /// use std::sync::Arc;
@@ -207,11 +275,15 @@ impl GenieDb {
         config: D::Config,
         items: Vec<D::Item>,
         shards: usize,
-    ) -> Result<Collection<D>, String> {
+    ) -> Result<Collection<D>, DbError> {
+        if shards == 0 {
+            return Err(DbError::InvalidShards(ShardError::ZeroShards));
+        }
         let domain = D::create(config, items);
         let id = self
             .service
-            .add_collection_sharded(name, domain.index(), shards)?;
+            .add_collection_sharded(name, domain.index(), shards)
+            .map_err(DbError::Service)?;
         Ok(Collection {
             inner: Arc::new(CollectionInner {
                 name: name.to_owned(),
@@ -325,9 +397,13 @@ impl<D: Domain> Collection<D> {
         Arc::clone(&self.inner.domain.read().expect("domain lock"))
     }
 
-    /// Number of indexed objects.
+    /// Number of currently-live objects: base + delta minus tombstones
+    /// for a mutated collection, the indexed count otherwise.
     pub fn len(&self) -> usize {
-        self.domain().index().num_objects() as usize
+        self.inner
+            .service
+            .collection_len(self.inner.id)
+            .unwrap_or_else(|| self.domain().index().num_objects() as usize)
     }
 
     pub fn is_empty(&self) -> bool {
@@ -493,7 +569,7 @@ impl<D: Domain> Collection<D> {
     /// assert_eq!(graphs.len(), 2);
     /// assert_eq!(graphs.search(&h, 1).unwrap()[0].id, 1);
     /// ```
-    pub fn reindex(&self, config: D::Config, items: Vec<D::Item>) -> Result<f64, String> {
+    pub fn reindex(&self, config: D::Config, items: Vec<D::Item>) -> Result<f64, DbError> {
         let domain = Arc::new(D::create(config, items));
         // The write lock spans the service swap so the visible adapter
         // and the served index switch together. Same in-flight
@@ -508,9 +584,122 @@ impl<D: Domain> Collection<D> {
         let upload_sim_us = self
             .inner
             .service
-            .swap_collection(self.inner.id, domain.index())?;
+            .swap_collection(self.inner.id, domain.index())
+            .map_err(DbError::Service)?;
         *slot = domain;
         Ok(upload_sim_us)
+    }
+
+    /// Apply one **atomic mutation batch**: tombstone every id in
+    /// `deletes`, then append `inserts` to the collection's delta
+    /// shard, returning the stable [`ObjectId`]s assigned to the
+    /// inserts (insert order; never reused, surviving compaction).
+    /// Items are decomposed ([`Domain::decompose`]) and validated
+    /// up front — a malformed item or an unknown delete id is a typed
+    /// error and **nothing** is applied.
+    ///
+    /// Searches issued after this returns see exactly what a
+    /// from-scratch rebuild over the live items would return (ids,
+    /// counts, `AT` — see [`genie_core::delta`]). Accumulated debt is
+    /// folded into fresh base shards by background compaction
+    /// ([`crate::ServiceConfig::compact_after`]) or an explicit
+    /// [`compact`](Self::compact) — neither changes any answer.
+    ///
+    /// ```
+    /// use std::sync::Arc;
+    /// use genie_core::backend::CpuBackend;
+    /// use genie_sa::DocumentIndex;
+    /// use genie_service::GenieDb;
+    ///
+    /// let toks = |s: &str| s.split_whitespace().map(String::from).collect::<Vec<_>>();
+    /// let db = GenieDb::single(Arc::new(CpuBackend::new())).unwrap();
+    /// let docs = db
+    ///     .create_collection::<DocumentIndex>("live", (), vec![toks("old doc")])
+    ///     .unwrap();
+    /// let ids = docs.mutate(&[0], vec![toks("fresh gpu doc")]).unwrap();
+    /// assert_eq!(ids, vec![1], "ids are stable and never reused");
+    /// assert_eq!(docs.len(), 1);
+    /// assert_eq!(docs.search(&toks("fresh doc"), 1).unwrap().hits[0].id, 1);
+    /// assert!(docs.search(&toks("old"), 2).unwrap().hits.is_empty());
+    /// ```
+    pub fn mutate(
+        &self,
+        deletes: &[ObjectId],
+        inserts: Vec<D::Item>,
+    ) -> Result<Vec<ObjectId>, DbError> {
+        // Hold the adapter read lock across the whole batch so a racing
+        // reindex cannot swap the adapter between decompose and commit
+        // (lock order adapter-then-entry, the same as `reindex`).
+        let domain = self.inner.domain.read().expect("domain lock");
+        let objects = inserts
+            .iter()
+            .map(|item| domain.decompose(item))
+            .collect::<Result<Vec<_>, _>>()?;
+        let mut items: Vec<Option<D::Item>> = inserts.into_iter().map(Some).collect();
+        let ids = self.inner.service.mutate_collection(
+            self.inner.id,
+            deletes,
+            objects,
+            // fires after ids are final but before the serving swap, so
+            // the store holds the item before any search can return it
+            &mut |pos, id| {
+                let item = items[pos].take().expect("each insert is assigned one id");
+                domain.store_item(id, item);
+            },
+        )?;
+        Ok(ids)
+    }
+
+    /// Insert one item; returns its stable id.
+    pub fn insert(&self, item: D::Item) -> Result<ObjectId, DbError> {
+        Ok(self.mutate(&[], vec![item])?[0])
+    }
+
+    /// Insert a batch of items; returns their stable ids (one per
+    /// item, in order).
+    pub fn insert_many(&self, items: Vec<D::Item>) -> Result<Vec<ObjectId>, DbError> {
+        self.mutate(&[], items)
+    }
+
+    /// Delete one live object by id. Deleting an id that is not live
+    /// (never existed, or already deleted) is [`DbError::UnknownId`].
+    pub fn delete(&self, id: ObjectId) -> Result<(), DbError> {
+        self.mutate(&[id], Vec::new()).map(|_| ())
+    }
+
+    /// Delete a batch of live ids atomically: one unknown id rejects
+    /// the whole batch.
+    pub fn delete_many(&self, ids: &[ObjectId]) -> Result<(), DbError> {
+        self.mutate(ids, Vec::new()).map(|_| ())
+    }
+
+    /// Replace the live object `id` with `item` in one atomic batch;
+    /// returns the **new** id (ids are never reused, so a replacement
+    /// is a fresh identity — delete-then-reinsert behaves the same).
+    pub fn upsert(&self, id: ObjectId, item: D::Item) -> Result<ObjectId, DbError> {
+        Ok(self.mutate(&[id], vec![item])?[0])
+    }
+
+    /// Fold the pending delta shard and tombstones into fresh base
+    /// shards now (re-sharded at the configured count), instead of
+    /// waiting for the background compactor. Searches and mutations
+    /// proceed throughout; no answer changes. Returns whether a
+    /// compaction was applied (`false`: nothing to fold, or the base
+    /// moved underneath and the rebuild was discarded as stale).
+    pub fn compact(&self) -> Result<bool, DbError> {
+        self.inner
+            .service
+            .compact_collection(self.inner.id)
+            .map_err(DbError::Service)
+    }
+
+    /// Live-mutation debt: delta size, tombstone count, base shards,
+    /// next stable id. A never-mutated collection reports zero debt.
+    pub fn mutation_status(&self) -> MutationStatus {
+        self.inner
+            .service
+            .mutation_status(self.inner.id)
+            .expect("collection is registered for the life of the handle")
     }
 }
 
@@ -608,6 +797,15 @@ mod tests {
         fn encode(&self, spec: &Vec<u32>) -> Result<Query, QueryBuildError> {
             Query::try_from_keywords(spec, self.universe)
         }
+        fn decompose(&self, item: &Vec<u32>) -> Result<genie_core::model::Object, QueryBuildError> {
+            if let Some(&kw) = item.iter().find(|&&kw| kw >= self.universe) {
+                return Err(QueryBuildError::KeywordOutOfRange {
+                    keyword: kw,
+                    universe: self.universe,
+                });
+            }
+            Ok(item.clone().into())
+        }
         fn decode(
             &self,
             _spec: &Vec<u32>,
@@ -633,7 +831,58 @@ mod tests {
     fn open_rejects_an_empty_fleet() {
         let err = GenieDb::open(vec![], SchedulerConfig::default(), ServiceConfig::default())
             .unwrap_err();
-        assert!(err.contains("backend"), "{err}");
+        assert_eq!(err, DbError::NoBackends);
+        assert!(err.to_string().contains("backend"), "{err}");
+    }
+
+    #[test]
+    fn zero_shards_is_a_typed_error_and_oversharding_clamps() {
+        let db = db();
+        let err = db
+            .create_collection_sharded::<KeywordDomain>("z", 10, vec![vec![1]], 0)
+            .unwrap_err();
+        assert_eq!(
+            err,
+            DbError::InvalidShards(genie_core::shard::ShardError::ZeroShards)
+        );
+        // more shards than objects: documented clamp, not an error
+        let col = db
+            .create_collection_sharded::<KeywordDomain>("c", 10, vec![vec![1], vec![2]], 8)
+            .unwrap();
+        assert_eq!(col.shard_count(), 2);
+        assert_eq!(col.search(&vec![2], 1).unwrap().hits[0].id, 1);
+    }
+
+    #[test]
+    fn mutations_flow_through_the_typed_facade() {
+        let db = db();
+        let col = db
+            .create_collection::<KeywordDomain>("kw", 100, vec![vec![1, 2], vec![2, 3]])
+            .unwrap();
+        let id = col.insert(vec![1, 2, 3]).unwrap();
+        assert_eq!(id, 2);
+        assert_eq!(col.len(), 3);
+        assert_eq!(col.search(&vec![1, 2, 3], 1).unwrap().hits[0].id, 2);
+        col.delete(0).unwrap();
+        assert_eq!(col.len(), 2);
+        assert_eq!(col.delete(0), Err(DbError::UnknownId(0)), "already deleted");
+        // malformed insert: typed error, nothing applied
+        let before = col.mutation_status();
+        assert_eq!(
+            col.insert(vec![999]),
+            Err(DbError::Build(QueryBuildError::KeywordOutOfRange {
+                keyword: 999,
+                universe: 100
+            }))
+        );
+        assert_eq!(col.mutation_status(), before);
+        // upsert: old id dies, a fresh id is born
+        let new_id = col.upsert(1, vec![7]).unwrap();
+        assert_eq!(new_id, 3);
+        assert_eq!(col.search(&vec![7], 1).unwrap().hits[0].id, 3);
+        assert!(col.compact().unwrap());
+        assert_eq!(col.mutation_status().tombstones, 0);
+        assert_eq!(col.search(&vec![7], 1).unwrap().hits[0].id, 3);
     }
 
     #[test]

@@ -11,7 +11,13 @@
 //!   [`Domain`](genie_core::domain::Domain) implementation becomes a
 //!   [`Collection`] whose `search`/`submit` speak the domain's own
 //!   types and route through the shared service. No caller assembles a
-//!   raw [`Query`].
+//!   raw [`Query`]. Collections are **live**: typed
+//!   [`insert`](Collection::insert) / [`delete`](Collection::delete) /
+//!   [`upsert`](Collection::upsert) batches absorb into a delta shard
+//!   and tombstone set (no reindex), every answer provably equal to a
+//!   from-scratch rebuild, and a background compactor folds the debt
+//!   behind a generation swap. Failures are typed ([`DbError`],
+//!   [`MutateError`]) end to end.
 //! * [`GenieService`] — the **always-on front-end**: an admission queue
 //!   any thread can [`submit`](GenieService::submit) into for a
 //!   [`ResponseTicket`], with background dispatcher threads that cut
@@ -84,10 +90,10 @@
 mod db;
 mod service;
 
-pub use db::{Collection, GenieDb, SearchError, TypedTicket};
+pub use db::{Collection, DbError, GenieDb, SearchError, TypedTicket};
 pub use service::{
-    percentile_us, BackendHealth, CollectionId, GenieService, ResponseTicket, ServiceConfig,
-    ServiceStats, Trigger, DEFAULT_COLLECTION,
+    percentile_us, BackendHealth, CollectionId, GenieService, MutateError, MutationStatus,
+    ResponseTicket, ServiceConfig, ServiceStats, Trigger, DEFAULT_COLLECTION,
 };
 
 use std::collections::VecDeque;

@@ -75,16 +75,17 @@
 //! request through one final wave before the dispatchers exit, so no
 //! ticket is ever left dangling.
 
-use std::collections::{HashMap, VecDeque};
+use std::collections::{HashMap, HashSet, VecDeque};
 use std::sync::atomic::{AtomicU64, AtomicUsize, Ordering};
 use std::sync::mpsc::{channel, Receiver, RecvTimeoutError, Sender, TryRecvError};
 use std::sync::{Arc, Condvar, Mutex, RwLock};
 use std::thread::JoinHandle;
 use std::time::{Duration, Instant};
 
+use genie_core::delta::DeltaPlan;
 use genie_core::index::InvertedIndex;
-use genie_core::model::Query;
-use genie_core::shard::{merge_shard_topk, Shard, ShardPlan};
+use genie_core::model::{Object, ObjectId, Query};
+use genie_core::shard::{merge_shard_topk_filtered, Shard, ShardPlan};
 use genie_core::topk::TopHit;
 
 use crate::{
@@ -130,6 +131,15 @@ pub struct ServiceConfig {
     /// one re-admission probe run (a probe that fails re-retires it on
     /// the spot; a probe with no failure re-admits it).
     pub probe_after_runs: u64,
+    /// Mutation debt — pending delta inserts plus tombstones — at which
+    /// a mutation batch schedules a **background compaction** of its
+    /// collection (folding delta + tombstones into fresh base shards
+    /// behind the serving swap; see
+    /// [`mutate_collection`](GenieService::mutate_collection)). 0
+    /// disables automatic compaction; explicit
+    /// [`compact_collection`](GenieService::compact_collection) calls
+    /// still work.
+    pub compact_after: usize,
 }
 
 impl Default for ServiceConfig {
@@ -140,6 +150,7 @@ impl Default for ServiceConfig {
             cache_capacity: 1024,
             failure_threshold: 3,
             probe_after_runs: 8,
+            compact_after: 1024,
         }
     }
 }
@@ -196,6 +207,19 @@ pub struct ServiceStats {
     /// over waves, microseconds. `predicted_cost_us / actual_cost_us`
     /// is the cost model's lifetime fit on this traffic.
     pub actual_cost_us: f64,
+    /// Mutation batches applied through
+    /// [`mutate_collection`](GenieService::mutate_collection).
+    pub mutation_batches: u64,
+    /// Objects inserted live (delta inserts) across all collections.
+    pub inserted: u64,
+    /// Objects deleted live (tombstones written) across all collections.
+    pub deleted: u64,
+    /// Compactions applied (delta + tombstones folded into fresh base
+    /// shards).
+    pub compactions: u64,
+    /// Compaction runs discarded because the collection was swapped or
+    /// compacted by someone else while the rebuild ran off-lock.
+    pub stale_compactions: u64,
     /// Stage totals summed over waves.
     pub stages: StageProfile,
 }
@@ -406,11 +430,25 @@ struct PreparedShard {
     shard: Shard,
 }
 
-/// How one collection is served: one prepared index, or a fan-out over
-/// prepared shards whose answers are merged per request.
+/// How one collection is served: one prepared index, a fan-out over
+/// prepared shards whose answers are merged per request, or a **live**
+/// fan-out (immutable base shards + a mutable delta shard + tombstone
+/// filtering) for collections that have absorbed mutations.
 enum CollectionServing {
     Single(PreparedIndex),
     Sharded(Vec<PreparedShard>),
+    /// A mutated collection: base shards as of the last build or
+    /// compaction, the pending inserts prepared as one more shard, and
+    /// the deleted ids filtered out of every merged answer *before*
+    /// truncation to `k` (see [`genie_core::delta`] for why that equals
+    /// a from-scratch rebuild). Base handles are `Arc`-shared with
+    /// [`LiveState::base`] so a mutation batch re-prepares only the
+    /// delta, never the base.
+    Live {
+        base: Vec<Arc<PreparedShard>>,
+        delta: Option<Arc<PreparedShard>>,
+        tombstones: Arc<HashSet<ObjectId>>,
+    },
 }
 
 impl CollectionServing {
@@ -428,6 +466,14 @@ impl CollectionServing {
                     .expect("a sharded collection has at least one shard")
                     .prepared
             }
+            Self::Live { base, delta, .. } => {
+                &base
+                    .iter()
+                    .chain(delta.iter())
+                    .max_by_key(|s| s.prepared.index().num_objects())
+                    .expect("a live collection has at least one base shard")
+                    .prepared
+            }
         }
     }
 
@@ -435,20 +481,102 @@ impl CollectionServing {
         match self {
             Self::Single(_) => 1,
             Self::Sharded(shards) => shards.len(),
+            Self::Live { base, delta, .. } => base.len() + usize::from(delta.is_some()),
         }
     }
 }
 
-/// One registered collection: its serving state (prepared index or
-/// shard fan-out) and the shard count swaps must preserve.
+/// Object count of a collection that has never been mutated (a live
+/// collection's count lives in its [`DeltaPlan`] instead).
+fn frozen_len(serving: &CollectionServing) -> usize {
+    match serving {
+        CollectionServing::Single(prepared) => prepared.index().num_objects() as usize,
+        CollectionServing::Sharded(shards) => shards.iter().map(|s| s.shard.len()).sum(),
+        CollectionServing::Live { .. } => unreachable!("live collections carry a LiveState"),
+    }
+}
+
+/// Mutable state of a collection that has entered the live-mutation
+/// path: the authoritative [`DeltaPlan`] (membership, delta log,
+/// tombstones, stable-id assignment) plus the prepared base shards the
+/// serving snapshots are assembled from.
+struct LiveState {
+    plan: DeltaPlan,
+    /// Prepared counterparts of `plan.base()`, index-aligned. Mutation
+    /// batches clone these `Arc`s into the new serving snapshot instead
+    /// of re-preparing the (large) base.
+    base: Vec<Arc<PreparedShard>>,
+    /// A background compaction has been queued and not yet resolved;
+    /// suppresses duplicate enqueues while the compactor works.
+    compaction_queued: bool,
+}
+
+/// One registered collection: its serving state (prepared index, shard
+/// fan-out, or live base+delta), the shard count swaps and compactions
+/// must preserve, and the live-mutation state once mutations arrive.
 struct CollectionEntry {
     name: String,
     /// Shard count this collection was registered with;
-    /// [`GenieService::swap_collection`] re-shards new indexes at this
-    /// count.
+    /// [`GenieService::swap_collection`] re-shards new indexes (and
+    /// compaction re-shards the live set) at this count.
     configured_shards: usize,
     serving: CollectionServing,
+    /// `Some` once the collection absorbed its first mutation batch;
+    /// cleared by [`GenieService::swap_collection`] (a full reindex
+    /// supersedes the delta).
+    live: Option<LiveState>,
+    /// Bumped whenever base state is replaced wholesale (compaction
+    /// applied, index swapped). A compaction built against an older
+    /// epoch is discarded instead of applied.
+    epoch: u64,
 }
+
+/// Live-mutation debt of one collection — what
+/// [`GenieService::mutation_status`] reports.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct MutationStatus {
+    /// Currently-live objects (what [`GenieService::collection_len`]
+    /// returns).
+    pub live: usize,
+    /// Inserts pending in the delta shard (folded away by compaction).
+    pub delta: usize,
+    /// Deleted ids still being filtered at merge time (cleared by
+    /// compaction).
+    pub tombstones: usize,
+    /// Base shards currently serving.
+    pub base_shards: usize,
+    /// Stable ids assigned so far (ids are never reused, so this only
+    /// grows).
+    pub next_id: ObjectId,
+}
+
+/// Why [`GenieService::mutate_collection`] rejected a batch. Batches
+/// are atomic: any error means nothing was applied.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum MutateError {
+    /// A delete named an id that is not live in the collection (it
+    /// never existed, or was already deleted).
+    UnknownId(ObjectId),
+    /// The service could not apply the batch (unknown collection,
+    /// backend preparation failure).
+    Service(String),
+}
+
+impl std::fmt::Display for MutateError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            Self::UnknownId(id) => {
+                write!(
+                    f,
+                    "cannot delete object {id}: not a live id of this collection"
+                )
+            }
+            Self::Service(e) => f.write_str(e),
+        }
+    }
+}
+
+impl std::error::Error for MutateError {}
 
 struct ServiceInner {
     scheduler: QueryScheduler,
@@ -466,6 +594,9 @@ struct ServiceInner {
     /// Circuit-breaker knobs (see [`ServiceConfig`]).
     failure_threshold: u64,
     probe_after_runs: u64,
+    /// Mutation debt that schedules a background compaction (see
+    /// [`ServiceConfig::compact_after`]).
+    compact_after: usize,
     /// Largest backlog length the budget-aware size check has already
     /// planned and found *not* triggering. The backlog only grows
     /// between waves (waves drain it whole), so re-planning below this
@@ -702,16 +833,22 @@ impl ServiceInner {
     /// Serve one collection group: a single scheduler run for an
     /// unsharded collection, or a concurrent fan-out of one scheduler
     /// run per shard whose per-request top-k lists are translated to
-    /// global ids and recombined by [`merge_shard_topk`] — the merged
-    /// list ordered (count desc, id asc), truncated to each request's
-    /// own `k`, and certified with `AT = MC_k + 1` on the merged
-    /// answer. Any shard failing fails the whole group (a partial
-    /// answer would violate the count contract).
+    /// global ids and recombined by
+    /// [`merge_shard_topk_filtered`] — the merged list ordered
+    /// (count desc, id asc), tombstone-filtered *before* truncation to
+    /// each request's own `k`, and certified with `AT = MC_k + 1` on
+    /// the merged answer. For a live collection the delta shard joins
+    /// the fan-out and every per-shard fetch is inflated to
+    /// `k + |tombstones|`, which is what makes the filtered merge equal
+    /// a from-scratch rebuild (see [`genie_core::delta`]). Any shard
+    /// failing fails the whole group (a partial answer would violate
+    /// the count contract).
     fn run_group(
         &self,
         serving: &CollectionServing,
         requests: &[QueryRequest],
     ) -> Result<(Vec<QueryResponse>, GroupReport), String> {
+        let no_tombstones = HashSet::new();
         match serving {
             CollectionServing::Single(prepared) => {
                 let (responses, report) = self.run_scheduler(prepared, requests)?;
@@ -728,60 +865,98 @@ impl ServiceInner {
                 ))
             }
             CollectionServing::Sharded(shards) => {
-                let started = Instant::now();
-                let per_shard: Vec<Result<(Vec<QueryResponse>, ScheduleReport), String>> =
-                    std::thread::scope(|scope| {
-                        let handles: Vec<_> = shards
-                            .iter()
-                            .map(|shard| {
-                                scope.spawn(move || self.run_scheduler(&shard.prepared, requests))
-                            })
-                            .collect();
-                        handles
-                            .into_iter()
-                            .map(|h| h.join().expect("shard driver thread panicked"))
-                            .collect()
-                    });
-
-                let mut report = GroupReport {
-                    batches: 0,
-                    shard_runs: shards.len() as u64,
-                    wall_us: 0.0,
-                    predicted_cost_us: 0.0,
-                    actual_cost_us: 0.0,
-                    stages: StageProfile::default(),
-                };
-                // per request: one global-id hit list per shard
-                let mut gathered: Vec<Vec<Vec<TopHit>>> =
-                    vec![Vec::with_capacity(shards.len()); requests.len()];
-                for (shard, run) in shards.iter().zip(per_shard) {
-                    let (responses, shard_report) = run?;
-                    report.batches += shard_report.batches as u64;
-                    report.predicted_cost_us += shard_report.predicted_cost_us;
-                    report.actual_cost_us += shard_report.actual_cost_us;
-                    report.stages.accumulate(&shard_report.stages);
-                    for (slot, resp) in gathered.iter_mut().zip(responses) {
-                        slot.push(shard.shard.to_global(&resp.hits));
-                    }
-                }
-                let responses = requests
+                let shards: Vec<&PreparedShard> = shards.iter().collect();
+                self.run_fanout(&shards, requests, &no_tombstones)
+            }
+            CollectionServing::Live {
+                base,
+                delta,
+                tombstones,
+            } => {
+                let shards: Vec<&PreparedShard> = base
                     .iter()
-                    .zip(gathered)
-                    .map(|(req, lists)| {
-                        let (hits, audit_threshold) = merge_shard_topk(lists, req.k);
-                        QueryResponse {
-                            client_id: req.client_id,
-                            hits,
-                            audit_threshold,
-                        }
-                    })
+                    .map(Arc::as_ref)
+                    .chain(delta.iter().map(Arc::as_ref))
                     .collect();
-                // shards ran concurrently: the group's latency is this
-                // fan-out's wall clock, not the sum over shards
-                report.wall_us = genie_core::exec::elapsed_us(started);
-                Ok((responses, report))
+                self.run_fanout(&shards, requests, tombstones)
             }
         }
+    }
+
+    /// The concurrent per-shard fan-out shared by sharded and live
+    /// collections. With tombstones present, every per-shard fetch is
+    /// inflated to `k + |tombstones|` — at most `|tombstones|` of any
+    /// shard's hits can be dead, so each shard still contributes its
+    /// full surviving top-`k` and the filtered merge is exact.
+    fn run_fanout(
+        &self,
+        shards: &[&PreparedShard],
+        requests: &[QueryRequest],
+        tombstones: &HashSet<ObjectId>,
+    ) -> Result<(Vec<QueryResponse>, GroupReport), String> {
+        let started = Instant::now();
+        let inflated: Option<Vec<QueryRequest>> = (!tombstones.is_empty()).then(|| {
+            requests
+                .iter()
+                .map(|r| {
+                    let mut r = r.clone();
+                    r.k += tombstones.len();
+                    r
+                })
+                .collect()
+        });
+        let run_requests: &[QueryRequest] = inflated.as_deref().unwrap_or(requests);
+        let per_shard: Vec<Result<(Vec<QueryResponse>, ScheduleReport), String>> =
+            std::thread::scope(|scope| {
+                let handles: Vec<_> = shards
+                    .iter()
+                    .map(|shard| {
+                        scope.spawn(move || self.run_scheduler(&shard.prepared, run_requests))
+                    })
+                    .collect();
+                handles
+                    .into_iter()
+                    .map(|h| h.join().expect("shard driver thread panicked"))
+                    .collect()
+            });
+
+        let mut report = GroupReport {
+            batches: 0,
+            shard_runs: shards.len() as u64,
+            wall_us: 0.0,
+            predicted_cost_us: 0.0,
+            actual_cost_us: 0.0,
+            stages: StageProfile::default(),
+        };
+        // per request: one global-id hit list per shard
+        let mut gathered: Vec<Vec<Vec<TopHit>>> =
+            vec![Vec::with_capacity(shards.len()); requests.len()];
+        for (shard, run) in shards.iter().zip(per_shard) {
+            let (responses, shard_report) = run?;
+            report.batches += shard_report.batches as u64;
+            report.predicted_cost_us += shard_report.predicted_cost_us;
+            report.actual_cost_us += shard_report.actual_cost_us;
+            report.stages.accumulate(&shard_report.stages);
+            for (slot, resp) in gathered.iter_mut().zip(responses) {
+                slot.push(shard.shard.to_global(&resp.hits));
+            }
+        }
+        let responses = requests
+            .iter()
+            .zip(gathered)
+            .map(|(req, lists)| {
+                let (hits, audit_threshold) = merge_shard_topk_filtered(lists, req.k, tombstones);
+                QueryResponse {
+                    client_id: req.client_id,
+                    hits,
+                    audit_threshold,
+                }
+            })
+            .collect();
+        // shards ran concurrently: the group's latency is this
+        // fan-out's wall clock, not the sum over shards
+        report.wall_us = genie_core::exec::elapsed_us(started);
+        Ok((responses, report))
     }
 
     /// One breaker-aware scheduler run: compute the admitted-backend
@@ -901,6 +1076,127 @@ impl ServiceInner {
         }
     }
 
+    /// Materialise `slot`'s live-mutation state on its first mutation:
+    /// the current serving becomes the immutable base (an unsharded
+    /// collection enters as one [`Shard::identity`] — no rebuild) and a
+    /// [`DeltaPlan`] takes over membership and id assignment.
+    fn ensure_live(slot: &mut CollectionEntry) {
+        if slot.live.is_some() {
+            return;
+        }
+        let placeholder = CollectionServing::Sharded(Vec::new());
+        let base: Vec<Arc<PreparedShard>> = match std::mem::replace(&mut slot.serving, placeholder)
+        {
+            CollectionServing::Single(prepared) => {
+                let shard = Shard::identity(Arc::clone(prepared.index()));
+                vec![Arc::new(PreparedShard { prepared, shard })]
+            }
+            CollectionServing::Sharded(shards) => shards.into_iter().map(Arc::new).collect(),
+            CollectionServing::Live { .. } => unreachable!("live serving implies live state"),
+        };
+        let load_balance = base.first().and_then(|s| s.prepared.index().load_balance());
+        let plan =
+            DeltaPlan::from_base(base.iter().map(|s| s.shard.clone()).collect(), load_balance);
+        slot.serving = CollectionServing::Live {
+            base: base.clone(),
+            delta: None,
+            tombstones: Arc::new(HashSet::new()),
+        };
+        slot.live = Some(LiveState {
+            plan,
+            base,
+            compaction_queued: false,
+        });
+    }
+
+    /// One full compaction cycle for `collection`: snapshot under the
+    /// read lock, fold delta + tombstones into fresh base shards and
+    /// prepare them on every backend *lock-free* (searches and
+    /// mutations keep flowing against the old serving the whole time),
+    /// then swap under the write lock. The swap is invisible to
+    /// searches — rebuild equivalence means the answers before and
+    /// after are identical, so the result cache is deliberately NOT
+    /// invalidated. Returns `Ok(true)` if applied, `Ok(false)` when
+    /// there was nothing to fold or the collection's base changed
+    /// underneath (swap or concurrent compaction — the run is
+    /// discarded as stale).
+    fn compact_now(&self, collection: CollectionId) -> Result<bool, String> {
+        let Some(entry) = self.entry(collection) else {
+            return Ok(false);
+        };
+        let (snapshot, epoch) = {
+            let slot = entry.read().expect("collection lock");
+            let Some(state) = &slot.live else {
+                return Ok(false); // frozen collection: nothing to fold
+            };
+            if state.plan.delta_len() == 0 && state.plan.num_tombstones() == 0 {
+                return Ok(false); // no debt: the base is already exact
+            }
+            (state.plan.snapshot(slot.configured_shards), slot.epoch)
+        };
+        // the expensive part, off-lock: pure rebuild + backend uploads
+        let compacted = snapshot.compact();
+        let mut base = Vec::with_capacity(compacted.shards.len());
+        let mut prepare_err = None;
+        for shard in &compacted.shards {
+            match self.scheduler.prepare(&shard.index) {
+                Ok(prepared) => base.push(Arc::new(PreparedShard {
+                    prepared,
+                    shard: shard.clone(),
+                })),
+                Err(e) => {
+                    prepare_err = Some(e);
+                    break;
+                }
+            }
+        }
+
+        let mut slot = entry.write().expect("collection lock");
+        if let Some(state) = slot.live.as_mut() {
+            state.compaction_queued = false;
+        } else {
+            // reindexed to a frozen collection while we rebuilt
+            self.stats.lock().expect("stats lock").stale_compactions += 1;
+            return Ok(false);
+        }
+        if let Some(e) = prepare_err {
+            self.stats.lock().expect("stats lock").stale_compactions += 1;
+            return Err(format!(
+                "compaction of collection {collection} aborted: {e}"
+            ));
+        }
+        if slot.epoch != epoch {
+            self.stats.lock().expect("stats lock").stale_compactions += 1;
+            return Ok(false);
+        }
+        slot.epoch += 1;
+        let (delta, tombstones) = {
+            let state = slot.live.as_mut().expect("checked above");
+            state.plan.apply_compaction(compacted);
+            state.base = base.clone();
+            // mutations that raced the rebuild survive: the delta
+            // suffix past the snapshot and the post-snapshot tombstones
+            // go straight into the new serving snapshot
+            let delta = match state.plan.delta_shard() {
+                Some(shard) => Some(Arc::new(PreparedShard {
+                    prepared: self.scheduler.prepare(&shard.index)?,
+                    shard,
+                })),
+                None => None,
+            };
+            let tombstones: Arc<HashSet<ObjectId>> = Arc::new(state.plan.tombstones().collect());
+            (delta, tombstones)
+        };
+        slot.serving = CollectionServing::Live {
+            base,
+            delta,
+            tombstones,
+        };
+        drop(slot);
+        self.stats.lock().expect("stats lock").compactions += 1;
+        Ok(true)
+    }
+
     fn dispatcher_loop(&self) {
         loop {
             let (wave, trigger) = {
@@ -973,6 +1269,11 @@ pub fn percentile_us(sorted_us: &[f64], p: f64) -> f64 {
 pub struct GenieService {
     inner: Arc<ServiceInner>,
     dispatchers: Vec<JoinHandle<()>>,
+    /// The background compactor thread draining `compact_tx`.
+    compactor: Option<JoinHandle<()>>,
+    /// Queue feeding the compactor; dropped (→ `None`) at shutdown so
+    /// the thread's `recv` unblocks.
+    compact_tx: Mutex<Option<Sender<CollectionId>>>,
     next_client: AtomicU64,
     next_collection: AtomicU64,
 }
@@ -1041,6 +1342,7 @@ impl GenieService {
             max_queue_delay: config.max_queue_delay,
             failure_threshold: config.failure_threshold,
             probe_after_runs: config.probe_after_runs,
+            compact_after: config.compact_after,
             planned_len: AtomicUsize::new(0),
         });
         let dispatchers = (0..config.dispatchers)
@@ -1052,9 +1354,26 @@ impl GenieService {
                     .map_err(|e| format!("cannot spawn dispatcher: {e}"))
             })
             .collect::<Result<Vec<_>, _>>()?;
+        let (compact_tx, compact_rx) = channel::<CollectionId>();
+        let compactor = {
+            let inner = Arc::clone(&inner);
+            std::thread::Builder::new()
+                .name("genie-compact".into())
+                .spawn(move || {
+                    // a failed compaction leaves the old (equivalent)
+                    // serving in place; the error is recorded as a
+                    // stale_compactions tick inside compact_now
+                    while let Ok(cid) = compact_rx.recv() {
+                        let _ = inner.compact_now(cid);
+                    }
+                })
+                .map_err(|e| format!("cannot spawn compactor: {e}"))?
+        };
         Ok(Self {
             inner,
             dispatchers,
+            compactor: Some(compactor),
+            compact_tx: Mutex::new(Some(compact_tx)),
             next_client: AtomicU64::new(0),
             next_collection: AtomicU64::new(0),
         })
@@ -1139,6 +1458,8 @@ impl GenieService {
                     name: name.to_owned(),
                     configured_shards: shards,
                     serving,
+                    live: None,
+                    epoch: 0,
                 })),
             );
         id
@@ -1156,7 +1477,8 @@ impl GenieService {
                 self.inner.scheduler.prepare(index)?,
             ));
         }
-        self.prepare_plan(&ShardPlan::from_index(index, shards))
+        let plan = ShardPlan::from_index(index, shards).map_err(|e| e.to_string())?;
+        self.prepare_plan(&plan)
     }
 
     fn prepare_plan(&self, plan: &ShardPlan) -> Result<CollectionServing, String> {
@@ -1193,10 +1515,15 @@ impl GenieService {
         let upload_sim_us = match &serving {
             CollectionServing::Single(p) => p.upload_sim_us,
             CollectionServing::Sharded(s) => s.iter().map(|p| p.prepared.upload_sim_us).sum(),
+            CollectionServing::Live { .. } => unreachable!("prepare_serving never builds Live"),
         };
         {
             let mut slot = entry.write().expect("collection lock");
             slot.serving = serving;
+            // a full reindex supersedes any pending delta/tombstones,
+            // and invalidates any compaction racing against the old base
+            slot.live = None;
+            slot.epoch += 1;
         }
         self.inner
             .cache
@@ -1230,11 +1557,163 @@ impl GenieService {
     }
 
     /// Number of index shards `collection` is currently served from
-    /// (1 for unsharded collections, `None` for unknown ids).
+    /// (1 for unsharded collections; a live collection counts its base
+    /// shards plus the delta shard; `None` for unknown ids).
     pub fn collection_shards(&self, collection: CollectionId) -> Option<usize> {
         self.inner
             .entry(collection)
             .map(|e| e.read().expect("collection lock").serving.num_shards())
+    }
+
+    /// Currently-live objects in `collection` (`None` for unknown ids).
+    /// For a mutated collection this is base + delta minus tombstones —
+    /// the corpus a from-scratch rebuild would index.
+    pub fn collection_len(&self, collection: CollectionId) -> Option<usize> {
+        let entry = self.inner.entry(collection)?;
+        let slot = entry.read().expect("collection lock");
+        Some(match &slot.live {
+            Some(state) => state.plan.len(),
+            None => frozen_len(&slot.serving),
+        })
+    }
+
+    /// Live-mutation debt of `collection` (`None` for unknown ids). A
+    /// collection that has never been mutated reports zero delta and
+    /// tombstones.
+    pub fn mutation_status(&self, collection: CollectionId) -> Option<MutationStatus> {
+        let entry = self.inner.entry(collection)?;
+        let slot = entry.read().expect("collection lock");
+        Some(match &slot.live {
+            Some(state) => MutationStatus {
+                live: state.plan.len(),
+                delta: state.plan.delta_len(),
+                tombstones: state.plan.num_tombstones(),
+                base_shards: state.base.len(),
+                next_id: state.plan.next_id(),
+            },
+            None => {
+                let live = frozen_len(&slot.serving);
+                MutationStatus {
+                    live,
+                    delta: 0,
+                    tombstones: 0,
+                    base_shards: slot.serving.num_shards(),
+                    next_id: live as ObjectId,
+                }
+            }
+        })
+    }
+
+    /// Apply one **atomic mutation batch** to `collection`: validate
+    /// and tombstone every id in `deletes`, then append `inserts` to
+    /// the delta shard, assigning each a stable [`ObjectId`] (insert
+    /// order, never reused, surviving compaction). The whole batch is
+    /// validated and its delta shard prepared *before* anything becomes
+    /// visible, so a failed batch leaves the collection untouched.
+    ///
+    /// `on_assigned(position, id)` fires once per insert, after ids are
+    /// final but **before** the new serving state is swapped in — the
+    /// typed facade uses it to stash items into the domain's id-indexed
+    /// store so no search can ever return an id whose item is missing.
+    ///
+    /// Searches over the mutated collection return exactly what a
+    /// from-scratch rebuild over the live set would (counts, ids,
+    /// `AT = MC_k + 1` — see [`genie_core::delta`]); the collection's
+    /// result-cache entries are invalidated per batch. When the
+    /// accumulated debt (delta + tombstones) reaches
+    /// [`ServiceConfig::compact_after`], a background compaction is
+    /// scheduled automatically.
+    pub fn mutate_collection(
+        &self,
+        collection: CollectionId,
+        deletes: &[ObjectId],
+        inserts: Vec<Object>,
+        on_assigned: &mut dyn FnMut(usize, ObjectId),
+    ) -> Result<Vec<ObjectId>, MutateError> {
+        if deletes.is_empty() && inserts.is_empty() {
+            return Ok(Vec::new());
+        }
+        let num_inserts = inserts.len() as u64;
+        let entry = self
+            .inner
+            .entry(collection)
+            .ok_or_else(|| MutateError::Service(format!("unknown collection id {collection}")))?;
+        let mut slot = entry.write().expect("collection lock");
+        ServiceInner::ensure_live(&mut slot);
+        let (ids, want_compaction) = {
+            let state = slot.live.as_mut().expect("ensured above");
+            // stage the batch on a clone: a bad delete or a failed
+            // delta upload must not leave half a batch applied
+            let mut plan = state.plan.clone();
+            for &id in deletes {
+                if !plan.delete(id) {
+                    return Err(MutateError::UnknownId(id));
+                }
+            }
+            let ids: Vec<ObjectId> = inserts.into_iter().map(|o| plan.insert(o)).collect();
+            let delta = match plan.delta_shard() {
+                Some(shard) => Some(Arc::new(PreparedShard {
+                    prepared: self
+                        .inner
+                        .scheduler
+                        .prepare(&shard.index)
+                        .map_err(MutateError::Service)?,
+                    shard,
+                })),
+                None => None,
+            };
+            let tombstones: Arc<HashSet<ObjectId>> = Arc::new(plan.tombstones().collect());
+            // ids are final: let the caller stash the items before any
+            // search can return them
+            for (pos, &id) in ids.iter().enumerate() {
+                on_assigned(pos, id);
+            }
+            let debt = plan.delta_len() + plan.num_tombstones();
+            let want_compaction = self.inner.compact_after > 0
+                && debt >= self.inner.compact_after
+                && !state.compaction_queued;
+            if want_compaction {
+                state.compaction_queued = true;
+            }
+            state.plan = plan;
+            let base = state.base.clone();
+            slot.serving = CollectionServing::Live {
+                base,
+                delta,
+                tombstones,
+            };
+            (ids, want_compaction)
+        };
+        drop(slot);
+        {
+            let mut stats = self.inner.stats.lock().expect("stats lock");
+            stats.mutation_batches += 1;
+            stats.inserted += num_inserts;
+            stats.deleted += deletes.len() as u64;
+        }
+        self.inner
+            .cache
+            .lock()
+            .expect("cache lock")
+            .invalidate_collection(collection);
+        self.inner.planned_len.store(0, Ordering::Relaxed);
+        if want_compaction {
+            if let Some(tx) = &*self.compact_tx.lock().expect("compact queue lock") {
+                let _ = tx.send(collection);
+            }
+        }
+        Ok(ids)
+    }
+
+    /// Compact `collection` synchronously: fold the pending delta and
+    /// tombstones into fresh base shards (re-sharded at the configured
+    /// count), with the expensive rebuild running off-lock — searches
+    /// and mutations proceed throughout, and the final swap is
+    /// invisible to results (rebuild equivalence). Returns whether a
+    /// compaction was applied (`false`: nothing to fold, or the base
+    /// changed underneath and the run was discarded as stale).
+    pub fn compact_collection(&self, collection: CollectionId) -> Result<bool, String> {
+        self.inner.compact_now(collection)
     }
 
     /// Admit one query against the [`DEFAULT_COLLECTION`]; the returned
@@ -1314,6 +1793,13 @@ impl Drop for GenieService {
         }
         self.inner.wakeup.notify_all();
         for handle in self.dispatchers.drain(..) {
+            let _ = handle.join();
+        }
+        // dropping the sender unblocks the compactor's recv; any queued
+        // compactions are abandoned (the serving state stays valid — a
+        // compaction only trades debt for freshness, never correctness)
+        *self.compact_tx.lock().expect("compact queue lock") = None;
+        if let Some(handle) = self.compactor.take() {
             let _ = handle.join();
         }
     }

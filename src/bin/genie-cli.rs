@@ -5,7 +5,8 @@
 //! genie-cli docs  <corpus.txt> --query "<words>"  [-k 5] [--backend sim|cpu|multi]
 //! genie-cli fuzzy <corpus.txt> --query "<string>" [-k 3] [-K 64] [-n 3] [--backend ...]
 //! genie-cli serve <corpus.txt> [--domain docs|fuzzy] [--clients 8] [--requests 32]
-//!                              [--delay-ms 3] [--shards 1] [-k 5] [--backend ...]
+//!                              [--delay-ms 3] [--shards 1] [--mutate 0] [-k 5]
+//!                              [--backend ...]
 //! ```
 //!
 //! `docs` ranks lines by the number of distinct shared words (the
@@ -19,6 +20,12 @@
 //! shards: every wave fans out to one scheduler run per shard and the
 //! per-shard top-k lists are merged into the global answer
 //! (bit-compatible counts, `AT = MC_k + 1` on the merged list).
+//! `--mutate B` additionally runs a live-mutation workload while the
+//! submitters are searching: `B` batches, each inserting a copy of a
+//! corpus line into the served collection and deleting a previously
+//! inserted copy, all absorbed by the delta shard + tombstone set
+//! without any reindex or downtime; the run ends with an explicit
+//! compaction and a report of the mutation debt before/after.
 //! `--delay-ms 0` cuts a wave as soon as any request is queued. The `--backend` flag picks the execution engine: the
 //! simulated SIMT device (default, prints device counters), the
 //! pure-CPU backend, or a two-device multi-load backend.
@@ -33,7 +40,7 @@ fn usage() -> ! {
     eprintln!(
         "usage:\n  genie-cli docs  <corpus.txt> --query \"<words>\"  [-k N] [--backend sim|cpu|multi]\n  \
          genie-cli fuzzy <corpus.txt> --query \"<string>\" [-k N] [-K CANDS] [-n NGRAM] [--backend sim|cpu|multi]\n  \
-         genie-cli serve <corpus.txt> [--domain docs|fuzzy] [--clients N] [--requests M] [--delay-ms D] [--shards S] [-k N] [--backend sim|cpu|multi]"
+         genie-cli serve <corpus.txt> [--domain docs|fuzzy] [--clients N] [--requests M] [--delay-ms D] [--shards S] [--mutate B] [-k N] [--backend sim|cpu|multi]"
     );
     exit(2);
 }
@@ -51,6 +58,7 @@ struct Args {
     requests: usize,
     delay_ms: u64,
     shards: usize,
+    mutate: usize,
 }
 
 fn parse_args() -> Args {
@@ -71,6 +79,7 @@ fn parse_args() -> Args {
         requests: 32,
         delay_ms: 3,
         shards: 1,
+        mutate: 0,
     };
     let mut i = 2;
     while i < argv.len() {
@@ -135,6 +144,13 @@ fn parse_args() -> Args {
                     .get(i)
                     .and_then(|v| v.parse().ok())
                     .filter(|&s: &usize| s >= 1)
+                    .unwrap_or_else(|| usage());
+            }
+            "--mutate" => {
+                i += 1;
+                args.mutate = argv
+                    .get(i)
+                    .and_then(|v| v.parse().ok())
                     .unwrap_or_else(|| usage());
             }
             _ => usage(),
@@ -377,6 +393,69 @@ impl Resolver for SeqResolver {
     }
 }
 
+/// Run `batches` insert+delete rounds against the served collection
+/// while the submitter threads are searching it. Each round inserts a
+/// copy of one corpus line and, once a small window has built up,
+/// deletes the oldest previously inserted copy — original corpus ids
+/// are never touched, so every concurrent search still sees the full
+/// base corpus. All of it is absorbed by the delta shard + tombstone
+/// set; no reindex, no downtime.
+fn mutate_while_serving<D, F>(col: &Collection<D>, batches: usize, item_of: F, lines: usize)
+where
+    D: Domain,
+    F: Fn(usize) -> D::Item,
+{
+    let mut window: std::collections::VecDeque<ObjectId> = std::collections::VecDeque::new();
+    let (mut ins, mut del) = (0usize, 0usize);
+    for b in 0..batches {
+        let deletes: Vec<ObjectId> = if window.len() > 4 {
+            window.pop_front().into_iter().collect()
+        } else {
+            Vec::new()
+        };
+        match col.mutate(&deletes, vec![item_of(b % lines)]) {
+            Ok(ids) => {
+                ins += ids.len();
+                del += deletes.len();
+                window.extend(ids);
+            }
+            Err(e) => {
+                eprintln!("mutation batch rejected: {e}");
+                return;
+            }
+        }
+        // leave room for searches to interleave with the batches
+        std::thread::sleep(std::time::Duration::from_millis(1));
+    }
+    println!("mutator: {ins} inserts / {del} deletes absorbed while serving");
+}
+
+/// Compact whatever mutation debt the run left behind and report the
+/// before/after status of the collection.
+fn mutation_summary<D: Domain>(col: &Collection<D>) {
+    let before = col.mutation_status();
+    match col.compact() {
+        Ok(folded) => {
+            let after = col.mutation_status();
+            println!(
+                "mutation debt: delta {} + tombstones {} -> compacted ({}); {} live objects \
+                 across {} base shard(s), next id {}",
+                before.delta,
+                before.tombstones,
+                if folded {
+                    "base rebuilt"
+                } else {
+                    "nothing to fold"
+                },
+                after.live,
+                after.base_shards,
+                after.next_id
+            );
+        }
+        Err(e) => eprintln!("compaction failed: {e}"),
+    }
+}
+
 /// `serve`: index the corpus under `--domain`, start the shared
 /// service, drive it concurrently, report latency/occupancy/health.
 fn serve(args: &Args, lines: &[&str], db: &GenieDb) {
@@ -404,12 +483,33 @@ fn serve(args: &Args, lines: &[&str], db: &GenieDb) {
                 col.domain().vocabulary_size(),
                 col.shard_count()
             );
-            drive(
-                args,
-                docs.len(),
-                |i| col.submit(docs[i].clone(), args.k).ok(),
-                DocResolver,
-            )
+            let lat = std::thread::scope(|scope| {
+                let mutator = (args.mutate > 0).then(|| {
+                    let mcol = col.clone();
+                    scope.spawn(move || {
+                        mutate_while_serving(
+                            &mcol,
+                            args.mutate,
+                            |i| tokenize(lines[i]),
+                            lines.len(),
+                        )
+                    })
+                });
+                let lat = drive(
+                    args,
+                    docs.len(),
+                    |i| col.submit(docs[i].clone(), args.k).ok(),
+                    DocResolver,
+                );
+                if let Some(m) = mutator {
+                    m.join().expect("mutator thread never panics");
+                }
+                lat
+            });
+            if args.mutate > 0 {
+                mutation_summary(&col);
+            }
+            lat
         }
         _ => {
             let seqs: Vec<Vec<u8>> = lines.iter().map(|l| l.as_bytes().to_vec()).collect();
@@ -430,12 +530,33 @@ fn serve(args: &Args, lines: &[&str], db: &GenieDb) {
                 args.ngram,
                 col.shard_count()
             );
-            drive(
-                args,
-                seqs.len(),
-                |i| col.submit(seqs[i].clone(), args.k).ok(),
-                SeqResolver,
-            )
+            let lat = std::thread::scope(|scope| {
+                let mutator = (args.mutate > 0).then(|| {
+                    let mcol = col.clone();
+                    scope.spawn(move || {
+                        mutate_while_serving(
+                            &mcol,
+                            args.mutate,
+                            |i| lines[i].as_bytes().to_vec(),
+                            lines.len(),
+                        )
+                    })
+                });
+                let lat = drive(
+                    args,
+                    seqs.len(),
+                    |i| col.submit(seqs[i].clone(), args.k).ok(),
+                    SeqResolver,
+                );
+                if let Some(m) = mutator {
+                    m.join().expect("mutator thread never panics");
+                }
+                lat
+            });
+            if args.mutate > 0 {
+                mutation_summary(&col);
+            }
+            lat
         }
     };
 
@@ -455,6 +576,16 @@ fn serve(args: &Args, lines: &[&str], db: &GenieDb) {
         println!(
             "sharded dispatch: {} scheduler runs across {} shards",
             stats.shard_runs, args.shards
+        );
+    }
+    if stats.mutation_batches > 0 {
+        println!(
+            "mutations: {} batches ({} inserts / {} deletes), {} compaction(s) ({} stale)",
+            stats.mutation_batches,
+            stats.inserted,
+            stats.deleted,
+            stats.compactions,
+            stats.stale_compactions
         );
     }
     println!(

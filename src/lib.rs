@@ -66,9 +66,10 @@ pub mod prelude {
     pub use genie_lsh::{AnnIndex, AnnParams, Transformer};
     pub use genie_sa::{DocumentIndex, RelationalIndex, RelationalSchema, SequenceIndex};
     pub use genie_service::{
-        percentile_us, BackendHealth, Collection, CollectionId, GenieDb, GenieService,
-        PreparedIndex, QueryRequest, QueryResponse, QueryScheduler, ResponseTicket, ScheduleReport,
-        SchedulerConfig, SearchError, ServiceConfig, ServiceStats, TypedTicket,
+        percentile_us, BackendHealth, Collection, CollectionId, DbError, GenieDb, GenieService,
+        MutateError, MutationStatus, PreparedIndex, QueryRequest, QueryResponse, QueryScheduler,
+        ResponseTicket, ScheduleReport, SchedulerConfig, SearchError, ServiceConfig, ServiceStats,
+        TypedTicket,
     };
     pub use gpu_sim::{Device, DeviceConfig};
 }

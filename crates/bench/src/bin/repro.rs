@@ -20,6 +20,7 @@
 use genie_bench::cpu_kernel;
 use genie_bench::experiments as exp;
 use genie_bench::mutations;
+use genie_bench::net;
 use genie_bench::serving;
 use genie_bench::workloads::Scale;
 
@@ -31,7 +32,7 @@ fn main() {
              [--fig12] [--fig13] [--fig14] [--table1] [--table2] [--table4] \
              [--table5] [--table6] [--ext-structures] [--ext-tau] [--serving] \
              [--serving-smoke] [--shards N] [--cpu-kernel [--smoke]] \
-             [--mutations [--smoke]] [--check]"
+             [--mutations [--smoke]] [--net [--smoke]] [--check]"
         );
         std::process::exit(2);
     }
@@ -148,6 +149,22 @@ fn main() {
             all_checks_passed &= mutations::mutations_check(smoke);
         } else {
             mutations::mutations(smoke);
+        }
+    }
+    if has("--net") {
+        // the network load generator: real genie-client connections
+        // against a loopback NetServer, sky-bench-style server/full
+        // latency split across mixes, pipeline depths and churn.
+        // Deliberately not part of --all (it spins sockets + threads);
+        // `--smoke`/`--quick` routes the CI-sized run to the gitignored
+        // BENCH_net_smoke.json, and `--smoke --check` runs the live
+        // smoke plus a structural audit of the checked-in
+        // BENCH_net.json. Only the full run refreshes that baseline.
+        let smoke = has("--smoke") || has("--quick");
+        if checking {
+            all_checks_passed &= net::net_check(smoke);
+        } else {
+            net::net(smoke);
         }
     }
     if has("--serving-smoke") {

@@ -14,6 +14,10 @@
 //! * [`serving`] — the always-on serving workload: concurrent
 //!   submitters against a `GenieService`, reporting p50/p95/p99 request
 //!   latency and achieved batch occupancy vs `max_queue_delay`;
+//! * [`net`] — the network-serving load generator: real `genie-client`
+//!   connections against a loopback `NetServer`, sky-bench-style
+//!   server-vs-full latency percentiles across workload mixes,
+//!   pipeline depths and a connection-churn phase;
 //! * [`cpu_kernel`] — the host counting-kernel sweep: seed dense path
 //!   vs the sparse-aware scratch kernel across selectivity regimes;
 //! * [`json`] — the machine-readable baseline writer/parser behind
@@ -33,6 +37,7 @@ pub mod cpu_kernel;
 pub mod experiments;
 pub mod json;
 pub mod mutations;
+pub mod net;
 pub mod runners;
 pub mod serving;
 pub mod workloads;

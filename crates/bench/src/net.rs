@@ -1,0 +1,709 @@
+//! The network-serving load generator (`repro --net`): a sky-bench
+//! style harness driving a loopback [`NetServer`] through real
+//! `genie-client` connections.
+//!
+//! Where [`serving`](crate::serving) measures the in-process admission
+//! queue, this module measures the full network path: framed requests
+//! over TCP, per-connection pipelining, completion-order reply
+//! streaming — reporting **server latency** (send → first response
+//! byte) and **full latency** (send → response decoded) percentiles
+//! separately, the way sky-bench does, so protocol overhead and
+//! serving time are attributable apart.
+//!
+//! The `--check` gates are structural and dimensionless (every reply
+//! received, zero transport errors, pipelining actually batching,
+//! wire results identical to in-process results); raw latencies are
+//! recorded for trend reading, never gated.
+
+use std::collections::VecDeque;
+use std::sync::Arc;
+use std::time::Duration;
+
+use genie_client::Client;
+use genie_core::backend::CpuBackend;
+use genie_core::index::IndexBuilder;
+use genie_net::frame::{Request, Response};
+use genie_net::server::{NetServer, NetStats, ServerConfig};
+use genie_service::{
+    percentile_us, GenieService, QueryScheduler, SchedulerConfig, ServiceConfig, ServiceStats,
+};
+
+use crate::check::{self, GateRow};
+use crate::cpu_kernel::meta_fields;
+use crate::json::Json;
+use crate::workloads::{sift_bundle, MatchData, Scale};
+use crate::{ms, row};
+
+/// Request mixes the load generator cycles through.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Mix {
+    /// ~94% searches, ~6% mutation batches.
+    SearchHeavy,
+    /// Alternating searches and mutation batches.
+    MutateHeavy,
+    /// ~80% searches, ~20% mutation batches.
+    Mixed,
+}
+
+impl Mix {
+    pub fn name(self) -> &'static str {
+        match self {
+            Mix::SearchHeavy => "search_heavy",
+            Mix::MutateHeavy => "mutate_heavy",
+            Mix::Mixed => "mixed",
+        }
+    }
+
+    /// Every how-many-th request is a mutation batch.
+    fn mutate_every(self) -> usize {
+        match self {
+            Mix::SearchHeavy => 16,
+            Mix::MutateHeavy => 2,
+            Mix::Mixed => 5,
+        }
+    }
+}
+
+/// One network run's shape.
+#[derive(Debug, Clone, Copy)]
+pub struct NetWorkload {
+    /// Concurrent client connections.
+    pub connections: usize,
+    /// Requests each connection issues.
+    pub requests_per_connection: usize,
+    /// In-flight requests each connection keeps pipelined.
+    pub pipeline_depth: usize,
+    pub mix: Mix,
+    /// `k` every search asks for.
+    pub k: usize,
+    /// Tear the connection down and re-dial after this many requests
+    /// (0 = one connection for the whole run) — the churn phase.
+    pub churn_every: usize,
+}
+
+impl Default for NetWorkload {
+    fn default() -> Self {
+        Self {
+            connections: 8,
+            requests_per_connection: 120,
+            pipeline_depth: 8,
+            mix: Mix::SearchHeavy,
+            k: 10,
+            churn_every: 0,
+        }
+    }
+}
+
+/// What one network run measured.
+#[derive(Debug, Clone)]
+pub struct NetReport {
+    pub total_requests: usize,
+    /// Replies actually received (anything less means a request was
+    /// silently dropped — the cardinal sin the drain barrier prevents).
+    pub replies: usize,
+    /// Replies that were typed Error frames (0 in a healthy run).
+    pub remote_errors: usize,
+    pub server_p50_us: f64,
+    pub server_p95_us: f64,
+    pub server_p99_us: f64,
+    pub full_p50_us: f64,
+    pub full_p95_us: f64,
+    pub full_p99_us: f64,
+    /// Mean queries per executed service micro-batch — pipelined
+    /// connections must push this above 1.
+    pub batch_occupancy: f64,
+    pub net: NetStats,
+    pub stats: ServiceStats,
+}
+
+/// Stand up a loopback server over `data` and drive `workload`
+/// through real client connections.
+pub fn run_net_workload(data: &MatchData, workload: NetWorkload) -> NetReport {
+    let mut b = IndexBuilder::new();
+    b.add_objects(data.objects.iter());
+    let index = Arc::new(b.build(None));
+    let scheduler = QueryScheduler::new(
+        vec![Arc::new(CpuBackend::new()) as Arc<dyn genie_core::backend::SearchBackend>],
+        SchedulerConfig::default(),
+    );
+    let service = Arc::new(
+        GenieService::start_empty(
+            scheduler,
+            ServiceConfig {
+                max_queue_delay: Duration::from_millis(2),
+                dispatchers: 1,
+                ..Default::default()
+            },
+        )
+        .expect("config is valid"),
+    );
+    let collection = service
+        .add_collection("bench", &index)
+        .expect("host index always fits");
+    let handle = NetServer::spawn(Arc::clone(&service), "127.0.0.1:0", ServerConfig::default())
+        .expect("loopback bind");
+    let addr = handle.addr();
+
+    struct ConnTally {
+        server_us: Vec<f64>,
+        full_us: Vec<f64>,
+        remote_errors: usize,
+    }
+
+    let tallies: Vec<ConnTally> = std::thread::scope(|scope| {
+        let handles: Vec<_> = (0..workload.connections)
+            .map(|c| {
+                let queries = &data.queries;
+                scope.spawn(move || {
+                    let mut tally = ConnTally {
+                        server_us: Vec::with_capacity(workload.requests_per_connection),
+                        full_us: Vec::with_capacity(workload.requests_per_connection),
+                        remote_errors: 0,
+                    };
+                    let resolve = |tally: &mut ConnTally, pending: genie_client::Pending| {
+                        let reply = pending.wait().expect("the server answers every request");
+                        if matches!(reply.response, Response::Error { .. }) {
+                            tally.remote_errors += 1;
+                        }
+                        tally.server_us.push(reply.server_latency_us);
+                        tally.full_us.push(reply.full_latency_us);
+                    };
+                    let mut client = Client::connect(addr).expect("client connects");
+                    let mut window: VecDeque<genie_client::Pending> = VecDeque::new();
+                    let mutate_every = workload.mix.mutate_every();
+                    for j in 0..workload.requests_per_connection {
+                        if workload.churn_every > 0 && j > 0 && j % workload.churn_every == 0 {
+                            // churn: flush the window, hang up, re-dial
+                            while let Some(p) = window.pop_front() {
+                                resolve(&mut tally, p);
+                            }
+                            client = Client::connect(addr).expect("client reconnects");
+                        }
+                        let request = if (j + 1) % mutate_every == 0 {
+                            Request::Mutate {
+                                collection,
+                                deletes: vec![],
+                                inserts: vec![vec![
+                                    (c as u32 * 31 + j as u32) % 997,
+                                    (j as u32 * 7) % 997,
+                                ]],
+                            }
+                        } else {
+                            let q = &queries
+                                [(c * workload.requests_per_connection + j) % queries.len()];
+                            Request::Search {
+                                collection,
+                                k: workload.k as u32,
+                                query: q.clone(),
+                            }
+                        };
+                        window.push_back(client.send(&request).expect("send"));
+                        while window.len() >= workload.pipeline_depth.max(1) {
+                            let p = window.pop_front().expect("window non-empty");
+                            resolve(&mut tally, p);
+                        }
+                    }
+                    while let Some(p) = window.pop_front() {
+                        resolve(&mut tally, p);
+                    }
+                    tally
+                })
+            })
+            .collect();
+        handles.into_iter().map(|h| h.join().unwrap()).collect()
+    });
+
+    let net = handle.net_stats();
+    drop(handle); // shuts down + drains before we read the final stats
+    let stats = service.stats();
+
+    let mut server_us: Vec<f64> = tallies.iter().flat_map(|t| t.server_us.clone()).collect();
+    let mut full_us: Vec<f64> = tallies.iter().flat_map(|t| t.full_us.clone()).collect();
+    server_us.sort_by(|a, b| a.partial_cmp(b).unwrap());
+    full_us.sort_by(|a, b| a.partial_cmp(b).unwrap());
+    NetReport {
+        total_requests: workload.connections * workload.requests_per_connection,
+        replies: full_us.len(),
+        remote_errors: tallies.iter().map(|t| t.remote_errors).sum(),
+        server_p50_us: percentile_us(&server_us, 0.50),
+        server_p95_us: percentile_us(&server_us, 0.95),
+        server_p99_us: percentile_us(&server_us, 0.99),
+        full_p50_us: percentile_us(&full_us, 0.50),
+        full_p95_us: percentile_us(&full_us, 0.95),
+        full_p99_us: percentile_us(&full_us, 0.99),
+        batch_occupancy: stats.mean_batch_occupancy(),
+        net,
+        stats,
+    }
+}
+
+/// Wire-vs-in-process identity probe: one loopback server, the same
+/// queries asked through a client and through `submit_to`, hits and
+/// audit thresholds compared exactly. Returns whether every query
+/// agreed.
+pub fn identity_probe(data: &MatchData, probes: usize) -> bool {
+    let mut b = IndexBuilder::new();
+    b.add_objects(data.objects.iter());
+    let index = Arc::new(b.build(None));
+    let service = Arc::new(
+        GenieService::start_empty(
+            QueryScheduler::single(Arc::new(CpuBackend::new())),
+            ServiceConfig::default(),
+        )
+        .expect("config is valid"),
+    );
+    let collection = service
+        .add_collection("probe", &index)
+        .expect("host index always fits");
+    let handle = NetServer::spawn(Arc::clone(&service), "127.0.0.1:0", ServerConfig::default())
+        .expect("loopback bind");
+    let client = Client::connect(handle.addr()).expect("client connects");
+    for i in 0..probes {
+        let query = data.queries[i % data.queries.len()].clone();
+        let wire = client
+            .search(collection, 10, query.clone())
+            .expect("wire search");
+        let truth = service
+            .submit_to(collection, query, 10)
+            .wait()
+            .expect("in-process search");
+        if wire.hits != truth.hits || wire.audit_threshold != truth.audit_threshold {
+            return false;
+        }
+    }
+    true
+}
+
+fn net_json_row(name: &str, report: &NetReport) -> Json {
+    Json::obj(vec![
+        ("name", Json::str(name)),
+        ("requests", Json::int(report.total_requests as u64)),
+        ("replies", Json::int(report.replies as u64)),
+        ("remote_errors", Json::int(report.remote_errors as u64)),
+        ("server_p50_us", Json::num(report.server_p50_us)),
+        ("server_p95_us", Json::num(report.server_p95_us)),
+        ("server_p99_us", Json::num(report.server_p99_us)),
+        ("full_p50_us", Json::num(report.full_p50_us)),
+        ("full_p95_us", Json::num(report.full_p95_us)),
+        ("full_p99_us", Json::num(report.full_p99_us)),
+        ("batch_occupancy", Json::num(report.batch_occupancy)),
+        ("frames_in", Json::int(report.net.frames_in)),
+        ("frames_out", Json::int(report.net.frames_out)),
+        ("protocol_errors", Json::int(report.net.protocol_errors)),
+        ("io_drops", Json::int(report.net.io_drops)),
+        ("slow_reader_drops", Json::int(report.net.slow_reader_drops)),
+        ("accepted", Json::int(report.net.accepted)),
+        ("waves", Json::int(report.stats.waves)),
+        ("mutation_batches", Json::int(report.stats.mutation_batches)),
+    ])
+}
+
+/// The sweep grid both the recorder and the checker walk: every row is
+/// `(row name, workload)`.
+fn sweep(requests_per_connection: usize) -> Vec<(String, NetWorkload)> {
+    let base = NetWorkload {
+        requests_per_connection,
+        ..Default::default()
+    };
+    let mut rows = Vec::new();
+    for depth in [1usize, 4, 16] {
+        rows.push((
+            format!("depth={depth}"),
+            NetWorkload {
+                pipeline_depth: depth,
+                ..base
+            },
+        ));
+    }
+    for mix in [Mix::SearchHeavy, Mix::MutateHeavy, Mix::Mixed] {
+        rows.push((format!("mix={}", mix.name()), NetWorkload { mix, ..base }));
+    }
+    rows.push((
+        "churn".into(),
+        NetWorkload {
+            pipeline_depth: 4,
+            churn_every: (requests_per_connection / 4).max(1),
+            ..base
+        },
+    ));
+    rows
+}
+
+fn net_data(scale: Scale) -> MatchData {
+    let (data, _) = sift_bundle(
+        Scale {
+            n: scale.n.min(5_000),
+            num_queries: 256,
+        },
+        8,
+        77,
+    );
+    data
+}
+
+const FULL_REQUESTS: usize = 120;
+const SMOKE_REQUESTS: usize = 32;
+
+fn print_report(name: &str, report: &NetReport, widths: &[usize]) {
+    row(
+        &[
+            name.into(),
+            ms(report.server_p50_us),
+            ms(report.server_p99_us),
+            ms(report.full_p50_us),
+            ms(report.full_p99_us),
+            format!("{:.1}", report.batch_occupancy),
+            format!("{}/{}", report.replies, report.total_requests),
+            report.remote_errors.to_string(),
+        ],
+        widths,
+    );
+}
+
+/// `repro --net [--smoke]`: the pipeline-depth sweep, the workload-mix
+/// sweep and the churn phase, plus the identity probe. The full run
+/// refreshes the checked-in `BENCH_net.json`; `--smoke` routes to the
+/// gitignored `BENCH_net_smoke.json`.
+pub fn net(smoke: bool) {
+    println!("\n=== Network serving — loopback genie-client load generator ===");
+    let scale = if smoke {
+        Scale {
+            n: 400,
+            num_queries: 64,
+        }
+    } else {
+        Scale::default()
+    };
+    let data = net_data(scale);
+    let requests = if smoke { SMOKE_REQUESTS } else { FULL_REQUESTS };
+    let widths = [18, 9, 9, 9, 9, 11, 10, 7];
+    row(
+        &[
+            "workload".into(),
+            "srv p50".into(),
+            "srv p99".into(),
+            "full p50".into(),
+            "full p99".into(),
+            "occupancy".into(),
+            "replies".into(),
+            "errors".into(),
+        ],
+        &widths,
+    );
+    let mut rows = Vec::new();
+    for (name, workload) in sweep(requests) {
+        let report = run_net_workload(&data, workload);
+        assert_eq!(
+            report.replies, report.total_requests,
+            "{name}: every request must be answered"
+        );
+        assert_eq!(
+            report.remote_errors, 0,
+            "{name}: healthy runs see no error frames"
+        );
+        assert_eq!(
+            report.net.protocol_errors, 0,
+            "{name}: no protocol errors on loopback"
+        );
+        print_report(&name, &report, &widths);
+        rows.push(net_json_row(&name, &report));
+    }
+
+    let identity_ok = identity_probe(&data, 16);
+    assert!(identity_ok, "wire results must equal in-process results");
+    println!("identity probe: wire == in-process on 16 queries");
+
+    let path = if smoke {
+        "BENCH_net_smoke.json"
+    } else {
+        "BENCH_net.json"
+    };
+    let threads = {
+        use genie_core::backend::SearchBackend;
+        CpuBackend::new().capabilities().devices
+    };
+    let mut fields = vec![
+        ("bench", Json::str("net")),
+        ("n", Json::int(data.objects.len() as u64)),
+        ("query_pool", Json::int(data.queries.len() as u64)),
+        ("smoke", Json::Bool(smoke)),
+        (
+            "connections",
+            Json::int(NetWorkload::default().connections as u64),
+        ),
+        ("requests_per_connection", Json::int(requests as u64)),
+        ("identity_ok", Json::Bool(identity_ok)),
+    ];
+    fields.extend(meta_fields(threads));
+    fields.push(("rows", Json::arr(rows)));
+    let doc = Json::Obj(
+        fields
+            .into_iter()
+            .map(|(k, v)| (k.to_string(), v))
+            .collect(),
+    );
+    doc.write_to_file(path)
+        .unwrap_or_else(|e| panic!("cannot write {path}: {e}"));
+    println!("baseline written to {path}");
+}
+
+/// The `--net --check` gate: fresh trials of every baseline row vs
+/// `BENCH_net.json`, gating only structural/dimensionless facts:
+///
+/// * **completeness** — every request answered (exact);
+/// * **cleanliness** — zero protocol errors, io drops and error frames
+///   (exact);
+/// * **pipelining** — rows the baseline shows batching (occupancy > 1)
+///   must still batch;
+/// * **identity** — wire results equal in-process results.
+///
+/// Latencies are recorded in the baseline for trend reading, not gated.
+pub fn net_check(smoke: bool) -> bool {
+    if smoke {
+        return net_smoke_check();
+    }
+    let baseline = check::load_baseline("BENCH_net.json");
+    const TRIALS: usize = 3;
+    println!("\n=== Net check — {TRIALS} trials vs checked-in BENCH_net.json ===");
+    let data = net_data(Scale::default());
+
+    let grid = sweep(FULL_REQUESTS);
+    let mut trials: Vec<Vec<NetReport>> = Vec::new();
+    for t in 0..TRIALS {
+        println!("trial {}/{TRIALS} ...", t + 1);
+        trials.push(
+            grid.iter()
+                .map(|(_, w)| run_net_workload(&data, *w))
+                .collect(),
+        );
+    }
+
+    let rows = baseline
+        .get("rows")
+        .and_then(Json::as_arr)
+        .unwrap_or_else(|| panic!("baseline has no rows array — re-run --net to refresh"));
+    let mut verdicts = Vec::new();
+    for (i, (name, _)) in grid.iter().enumerate() {
+        let base = check::find_row(rows, "name", name);
+        let reports: Vec<&NetReport> = trials.iter().map(|t| &t[i]).collect();
+        verdicts.push(check::judge(GateRow {
+            name: format!("{name}/all_replies_received"),
+            baseline: 1.0,
+            trials: reports
+                .iter()
+                .map(|r| (r.replies == r.total_requests) as u64 as f64)
+                .collect(),
+            floor: 1.0,
+        }));
+        verdicts.push(check::judge(GateRow {
+            name: format!("{name}/zero_transport_errors"),
+            baseline: 1.0,
+            trials: reports
+                .iter()
+                .map(|r| {
+                    (r.remote_errors == 0 && r.net.protocol_errors == 0 && r.net.io_drops == 0)
+                        as u64 as f64
+                })
+                .collect(),
+            floor: 1.0,
+        }));
+        if check::field(base, "batch_occupancy") > 1.0 {
+            verdicts.push(check::judge(GateRow {
+                name: format!("{name}/pipelining_batches"),
+                baseline: 1.0,
+                trials: reports
+                    .iter()
+                    .map(|r| (r.batch_occupancy > 1.0) as u64 as f64)
+                    .collect(),
+                floor: 1.0,
+            }));
+        }
+        verdicts.push(check::judge(GateRow {
+            name: format!("{name}/latency_split_ordered"),
+            baseline: 1.0,
+            trials: reports
+                .iter()
+                .map(|r| (r.server_p50_us <= r.full_p50_us) as u64 as f64)
+                .collect(),
+            floor: 1.0,
+        }));
+    }
+    verdicts.push(check::judge(GateRow {
+        name: "identity/wire_equals_in_process".into(),
+        baseline: 1.0,
+        trials: (0..TRIALS)
+            .map(|_| identity_probe(&data, 16) as u64 as f64)
+            .collect(),
+        floor: 1.0,
+    }));
+
+    check::report("net", &verdicts, "CHECK_net.json")
+}
+
+/// CI smoke: a small live run of every sweep row with hard asserts,
+/// then a structural audit of the *checked-in* `BENCH_net.json` (rows
+/// present, every row complete and clean, the deep-pipeline row
+/// batching, the identity probe recorded green) — catching a stale or
+/// hand-mangled baseline without a full-scale re-run.
+pub fn net_smoke_check() -> bool {
+    net_smoke();
+
+    let baseline = check::load_baseline("BENCH_net.json");
+    let mut verdicts = Vec::new();
+    let mut structural = |name: String, ok: bool| {
+        verdicts.push(check::judge(GateRow {
+            name,
+            baseline: 1.0,
+            trials: vec![ok as u64 as f64],
+            floor: 1.0,
+        }));
+    };
+
+    let rows = baseline
+        .get("rows")
+        .and_then(Json::as_arr)
+        .unwrap_or_else(|| panic!("baseline has no rows array"));
+    structural("baseline/rows_nonempty".into(), !rows.is_empty());
+    for row in rows {
+        let name = row.get("name").and_then(Json::as_str).unwrap_or("?");
+        structural(
+            format!("baseline/{name}_all_replies"),
+            check::field(row, "replies") == check::field(row, "requests"),
+        );
+        structural(
+            format!("baseline/{name}_clean"),
+            check::field(row, "protocol_errors") == 0.0
+                && check::field(row, "remote_errors") == 0.0,
+        );
+        structural(
+            format!("baseline/{name}_latency_split"),
+            check::field(row, "server_p50_us") <= check::field(row, "full_p50_us"),
+        );
+    }
+    let deep = check::find_row(rows, "name", "depth=16");
+    structural(
+        "baseline/depth16_pipelining_batches".into(),
+        check::field(deep, "batch_occupancy") > 1.0,
+    );
+    structural(
+        "baseline/identity_ok".into(),
+        baseline.get("identity_ok") == Some(&Json::Bool(true)),
+    );
+
+    check::report("net_smoke", &verdicts, "CHECK_net_smoke.json")
+}
+
+/// The live CI smoke body: every sweep row at smoke scale with hard
+/// asserts (completeness, cleanliness, deep-pipeline batching), plus
+/// the identity probe.
+pub fn net_smoke() {
+    println!("\n=== Net smoke (CI): loopback load generator, all sweep rows ===");
+    let data = net_data(Scale {
+        n: 400,
+        num_queries: 64,
+    });
+    let widths = [18, 9, 9, 9, 9, 11, 10, 7];
+    row(
+        &[
+            "workload".into(),
+            "srv p50".into(),
+            "srv p99".into(),
+            "full p50".into(),
+            "full p99".into(),
+            "occupancy".into(),
+            "replies".into(),
+            "errors".into(),
+        ],
+        &widths,
+    );
+    for (name, workload) in sweep(SMOKE_REQUESTS) {
+        let report = run_net_workload(&data, workload);
+        assert_eq!(
+            report.replies, report.total_requests,
+            "{name}: every request must be answered"
+        );
+        assert_eq!(report.remote_errors, 0, "{name}: no error frames");
+        assert_eq!(report.net.protocol_errors, 0, "{name}: no protocol errors");
+        assert_eq!(report.net.io_drops, 0, "{name}: no io drops on loopback");
+        assert!(
+            report.server_p50_us > 0.0 && report.server_p50_us <= report.full_p50_us,
+            "{name}: the latency split must be ordered"
+        );
+        if name == "depth=16" {
+            assert!(
+                report.batch_occupancy > 1.0,
+                "{name}: deep pipelining must batch across requests: {:?}",
+                report.stats
+            );
+        }
+        print_report(&name, &report, &widths);
+    }
+    assert!(
+        identity_probe(&data, 16),
+        "wire results must equal in-process results"
+    );
+    println!("identity probe OK; net smoke OK");
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn small_net_workload_is_complete_and_clean() {
+        let data = net_data(Scale {
+            n: 300,
+            num_queries: 32,
+        });
+        let report = run_net_workload(
+            &data,
+            NetWorkload {
+                connections: 3,
+                requests_per_connection: 12,
+                pipeline_depth: 4,
+                mix: Mix::Mixed,
+                ..Default::default()
+            },
+        );
+        assert_eq!(report.total_requests, 36);
+        assert_eq!(report.replies, 36);
+        assert_eq!(report.remote_errors, 0);
+        assert_eq!(report.net.protocol_errors, 0);
+        assert!(report.server_p50_us > 0.0);
+        assert!(report.server_p50_us <= report.full_p50_us);
+        assert!(report.stats.mutation_batches > 0, "the mix must mutate");
+    }
+
+    #[test]
+    fn churn_reconnects_and_still_answers_everything() {
+        let data = net_data(Scale {
+            n: 300,
+            num_queries: 32,
+        });
+        let report = run_net_workload(
+            &data,
+            NetWorkload {
+                connections: 2,
+                requests_per_connection: 20,
+                pipeline_depth: 2,
+                churn_every: 5,
+                ..Default::default()
+            },
+        );
+        assert_eq!(report.replies, 40);
+        assert!(
+            report.net.accepted >= 8,
+            "churn must re-dial: {:?}",
+            report.net
+        );
+    }
+
+    #[test]
+    fn identity_probe_agrees() {
+        let data = net_data(Scale {
+            n: 300,
+            num_queries: 32,
+        });
+        assert!(identity_probe(&data, 8));
+    }
+}

@@ -1,0 +1,565 @@
+//! genie-client — a pipelined TCP client for the `genie-net` protocol.
+//!
+//! One [`Client`] owns one connection. Requests go out through
+//! [`send`](Client::send) (fire-and-forget, returns a [`Pending`] to
+//! resolve later — this is what pipelining looks like) or
+//! [`call`](Client::call) (send + wait). A background reader thread
+//! matches response frames to in-flight requests by id, so replies may
+//! arrive in any order — the server streams them in *completion*
+//! order, not submission order.
+//!
+//! Every [`Reply`] carries the sky-bench latency split:
+//!
+//! * **server latency** — send to the first byte of the response's
+//!   length prefix arriving. What the serving stack (queue + wave +
+//!   writer) cost, as observable from the client.
+//! * **full latency** — send to the response completely read and
+//!   decoded. Adds the response transfer itself; the gap between the
+//!   two is the payload-streaming cost a slow network inflates.
+//!
+//! Typed conveniences ([`search`](Client::search),
+//! [`mutate`](Client::mutate), ...) cover the full facade surface and
+//! turn remote `Error` frames into [`ClientError::Remote`].
+
+use std::collections::HashMap;
+use std::io::{Read, Write};
+use std::net::{Shutdown, TcpStream, ToSocketAddrs};
+use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
+use std::sync::mpsc::{channel, Receiver, Sender};
+use std::sync::{Arc, Mutex};
+use std::thread::JoinHandle;
+use std::time::{Duration, Instant};
+
+use genie_core::model::Query;
+use genie_core::topk::TopHit;
+use genie_net::frame::{
+    decode_response, encode_request, CollectionInfo, Request, Response, WireError,
+    DEFAULT_MAX_FRAME_LEN, HANDSHAKE_REQUEST_ID, PROTOCOL_VERSION,
+};
+
+/// The word → keyword-id convention `genie-server` and the genie-cli
+/// network tools share: FNV-1a over the lowercased word, folded into
+/// a 20-bit universe. Hashing on both ends lets a remote client build
+/// raw [`Query`]s against a line corpus without shipping the server's
+/// vocabulary over the wire (rare collisions merely merge two words
+/// into one keyword — fine for match counting, wrong for a real
+/// dictionary, which is why the typed domains don't use this).
+pub fn keyword_of(word: &str) -> u32 {
+    let mut hash: u32 = 0x811c_9dc5;
+    for b in word.trim().to_lowercase().bytes() {
+        hash ^= u32::from(b);
+        hash = hash.wrapping_mul(0x0100_0193);
+    }
+    hash & 0xf_ffff
+}
+
+/// Client-side connection knobs.
+#[derive(Debug, Clone)]
+pub struct ClientConfig {
+    /// Auth token for the Hello frame (empty = none).
+    pub token: String,
+    /// Largest response frame body the client will accept.
+    pub max_frame_len: u32,
+    /// Bound on the handshake round-trip.
+    pub handshake_timeout: Duration,
+}
+
+impl Default for ClientConfig {
+    fn default() -> Self {
+        Self {
+            token: String::new(),
+            max_frame_len: DEFAULT_MAX_FRAME_LEN,
+            handshake_timeout: Duration::from_secs(5),
+        }
+    }
+}
+
+/// Why a request (or the connection carrying it) failed on the client.
+#[derive(Debug, Clone, PartialEq)]
+pub enum ClientError {
+    /// Socket-level failure (connect, write, or the reader died).
+    Io(String),
+    /// The server's bytes did not decode as a protocol frame.
+    Protocol(String),
+    /// The handshake was answered with a typed Reject.
+    Rejected(WireError),
+    /// The request was answered with a typed Error frame.
+    Remote(WireError),
+    /// The connection closed before this request's reply arrived.
+    ConnectionClosed,
+    /// The reply decoded fine but had the wrong kind for the request.
+    Unexpected(String),
+}
+
+impl std::fmt::Display for ClientError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            Self::Io(e) => write!(f, "i/o failure: {e}"),
+            Self::Protocol(e) => write!(f, "protocol violation: {e}"),
+            Self::Rejected(e) => write!(f, "handshake rejected: {e}"),
+            Self::Remote(e) => write!(f, "server error: {e}"),
+            Self::ConnectionClosed => f.write_str("connection closed before the reply arrived"),
+            Self::Unexpected(e) => write!(f, "unexpected reply: {e}"),
+        }
+    }
+}
+
+impl std::error::Error for ClientError {}
+
+/// One matched response with its latency split (microseconds).
+#[derive(Debug, Clone, PartialEq)]
+pub struct Reply {
+    pub response: Response,
+    /// Send → first response byte observed (sky-bench "server latency").
+    pub server_latency_us: f64,
+    /// Send → response fully read and decoded ("full latency").
+    pub full_latency_us: f64,
+}
+
+/// A search reply unpacked by the typed conveniences.
+#[derive(Debug, Clone, PartialEq)]
+pub struct SearchReply {
+    /// Adaptive rounds consumed (1 for plain searches).
+    pub rounds: u32,
+    /// Final `AT` — `AT - 1` is the k-th match count.
+    pub audit_threshold: u32,
+    pub hits: Vec<TopHit>,
+    pub server_latency_us: f64,
+    pub full_latency_us: f64,
+}
+
+struct InFlight {
+    sent_at: Instant,
+    tx: Sender<Result<Reply, ClientError>>,
+}
+
+struct ClientShared {
+    pending: Mutex<HashMap<u64, InFlight>>,
+    closed: AtomicBool,
+}
+
+/// A claim on one pipelined request's future reply.
+pub struct Pending {
+    id: u64,
+    rx: Receiver<Result<Reply, ClientError>>,
+}
+
+impl Pending {
+    /// The request id the reply will be matched by.
+    pub fn request_id(&self) -> u64 {
+        self.id
+    }
+
+    /// Block until the reply arrives (or the connection dies).
+    pub fn wait(self) -> Result<Reply, ClientError> {
+        self.rx.recv().unwrap_or(Err(ClientError::ConnectionClosed))
+    }
+
+    /// Block up to `timeout`; `None` means no reply yet.
+    pub fn wait_timeout(&self, timeout: Duration) -> Option<Result<Reply, ClientError>> {
+        match self.rx.recv_timeout(timeout) {
+            Ok(r) => Some(r),
+            Err(std::sync::mpsc::RecvTimeoutError::Timeout) => None,
+            Err(std::sync::mpsc::RecvTimeoutError::Disconnected) => {
+                Some(Err(ClientError::ConnectionClosed))
+            }
+        }
+    }
+}
+
+/// One handshaken connection to a genie-net server.
+pub struct Client {
+    writer: Mutex<TcpStream>,
+    stream: TcpStream,
+    shared: Arc<ClientShared>,
+    next_id: AtomicU64,
+    reader: Option<JoinHandle<()>>,
+}
+
+impl Client {
+    /// Connect with defaults (no auth token).
+    pub fn connect(addr: impl ToSocketAddrs) -> Result<Self, ClientError> {
+        Self::connect_with(addr, ClientConfig::default())
+    }
+
+    /// Connect and run the handshake: Hello out, Welcome (or a typed
+    /// Reject, surfaced as [`ClientError::Rejected`]) back.
+    pub fn connect_with(
+        addr: impl ToSocketAddrs,
+        config: ClientConfig,
+    ) -> Result<Self, ClientError> {
+        let io = |e: std::io::Error| ClientError::Io(e.to_string());
+        let mut stream = TcpStream::connect(addr).map_err(io)?;
+        let _ = stream.set_nodelay(true);
+        stream
+            .set_read_timeout(Some(config.handshake_timeout))
+            .map_err(io)?;
+        let hello = encode_request(
+            HANDSHAKE_REQUEST_ID,
+            &Request::Hello {
+                version: PROTOCOL_VERSION,
+                token: config.token.clone(),
+            },
+        );
+        stream.write_all(&hello).map_err(io)?;
+        let body = match genie_net::frame::read_frame(&mut stream, config.max_frame_len) {
+            Ok(Some(body)) => body,
+            Ok(None) => return Err(ClientError::ConnectionClosed),
+            Err(genie_net::frame::FrameReadError::TooLarge { len, max }) => {
+                return Err(ClientError::Protocol(format!(
+                    "handshake reply declared {len} bytes (cap {max})"
+                )))
+            }
+            Err(genie_net::frame::FrameReadError::Io(e)) => return Err(io(e)),
+        };
+        match decode_response(&body) {
+            Ok((HANDSHAKE_REQUEST_ID, Response::Welcome { .. })) => {}
+            Ok((HANDSHAKE_REQUEST_ID, Response::Reject { error })) => {
+                return Err(ClientError::Rejected(error))
+            }
+            Ok((id, r)) => {
+                return Err(ClientError::Unexpected(format!(
+                    "handshake answered with request id {id}, kind {r:?}"
+                )))
+            }
+            Err(e) => return Err(ClientError::Protocol(e.to_string())),
+        }
+        stream.set_read_timeout(None).map_err(io)?;
+        let shared = Arc::new(ClientShared {
+            pending: Mutex::new(HashMap::new()),
+            closed: AtomicBool::new(false),
+        });
+        let reader_stream = stream.try_clone().map_err(io)?;
+        let writer = stream.try_clone().map_err(io)?;
+        let reader_shared = Arc::clone(&shared);
+        let reader = std::thread::Builder::new()
+            .name("genie-client-read".into())
+            .spawn(move || reader_loop(reader_stream, reader_shared, config.max_frame_len))
+            .map_err(io)?;
+        Ok(Self {
+            writer: Mutex::new(writer),
+            stream,
+            shared,
+            next_id: AtomicU64::new(1),
+            reader: Some(reader),
+        })
+    }
+
+    /// Send one request without waiting — the pipelining primitive.
+    /// Resolve the returned [`Pending`] whenever convenient; replies
+    /// to other in-flight requests keep flowing meanwhile.
+    pub fn send(&self, request: &Request) -> Result<Pending, ClientError> {
+        if self.shared.closed.load(Ordering::Acquire) {
+            return Err(ClientError::ConnectionClosed);
+        }
+        let id = self.next_id.fetch_add(1, Ordering::Relaxed);
+        let (tx, rx) = channel();
+        let bytes = encode_request(id, request);
+        {
+            // insert before writing: a reply cannot race past its entry
+            let mut pending = self.shared.pending.lock().expect("pending lock");
+            pending.insert(
+                id,
+                InFlight {
+                    sent_at: Instant::now(),
+                    tx,
+                },
+            );
+        }
+        let wrote = {
+            let mut w = self.writer.lock().expect("writer lock");
+            w.write_all(&bytes)
+        };
+        if let Err(e) = wrote {
+            self.shared
+                .pending
+                .lock()
+                .expect("pending lock")
+                .remove(&id);
+            return Err(ClientError::Io(e.to_string()));
+        }
+        Ok(Pending { id, rx })
+    }
+
+    /// Send and wait for the reply.
+    pub fn call(&self, request: &Request) -> Result<Reply, ClientError> {
+        self.send(request)?.wait()
+    }
+
+    /// Requests currently awaiting replies.
+    pub fn in_flight(&self) -> usize {
+        self.shared.pending.lock().expect("pending lock").len()
+    }
+
+    // ------------------------------------------------------------------
+    // typed conveniences — the full facade surface
+    // ------------------------------------------------------------------
+
+    /// Top-`k` match-count search.
+    pub fn search(
+        &self,
+        collection: u64,
+        k: u32,
+        query: Query,
+    ) -> Result<SearchReply, ClientError> {
+        let reply = self.call(&Request::Search {
+            collection,
+            k,
+            query,
+        })?;
+        unpack_search(reply)
+    }
+
+    /// Adaptive search over a candidate-count schedule.
+    pub fn search_adaptive(
+        &self,
+        collection: u64,
+        k: u32,
+        schedule: Vec<u32>,
+        query: Query,
+    ) -> Result<SearchReply, ClientError> {
+        let reply = self.call(&Request::SearchAdaptive {
+            collection,
+            k,
+            schedule,
+            query,
+        })?;
+        unpack_search(reply)
+    }
+
+    /// Insert one object; returns its assigned stable id.
+    pub fn insert(&self, collection: u64, keywords: Vec<u32>) -> Result<u32, ClientError> {
+        let reply = self.call(&Request::Insert {
+            collection,
+            keywords,
+        })?;
+        match unpack(reply)? {
+            Response::Ids { ids } if ids.len() == 1 => Ok(ids[0]),
+            r => Err(unexpected("a single assigned id", &r)),
+        }
+    }
+
+    /// Delete objects by id.
+    pub fn delete(&self, collection: u64, ids: Vec<u32>) -> Result<(), ClientError> {
+        let reply = self.call(&Request::Delete { collection, ids })?;
+        match unpack(reply)? {
+            Response::Ack => Ok(()),
+            r => Err(unexpected("an Ack", &r)),
+        }
+    }
+
+    /// Atomically delete `id` and insert a replacement; returns the
+    /// replacement's new id.
+    pub fn upsert(&self, collection: u64, id: u32, keywords: Vec<u32>) -> Result<u32, ClientError> {
+        let reply = self.call(&Request::Upsert {
+            collection,
+            id,
+            keywords,
+        })?;
+        match unpack(reply)? {
+            Response::Ids { ids } if ids.len() == 1 => Ok(ids[0]),
+            r => Err(unexpected("a single assigned id", &r)),
+        }
+    }
+
+    /// Atomic mutation batch; returns the inserted objects' ids in
+    /// order.
+    pub fn mutate(
+        &self,
+        collection: u64,
+        deletes: Vec<u32>,
+        inserts: Vec<Vec<u32>>,
+    ) -> Result<Vec<u32>, ClientError> {
+        let reply = self.call(&Request::Mutate {
+            collection,
+            deletes,
+            inserts,
+        })?;
+        match unpack(reply)? {
+            Response::Ids { ids } => Ok(ids),
+            Response::Ack => Ok(Vec::new()),
+            r => Err(unexpected("assigned ids", &r)),
+        }
+    }
+
+    /// Fold pending mutations into fresh base shards; returns whether
+    /// anything was folded.
+    pub fn compact(&self, collection: u64) -> Result<bool, ClientError> {
+        let reply = self.call(&Request::Compact { collection })?;
+        match unpack(reply)? {
+            Response::Compacted { applied } => Ok(applied),
+            r => Err(unexpected("a Compacted reply", &r)),
+        }
+    }
+
+    /// Live/delta/tombstone bookkeeping of one collection:
+    /// `(live, delta, tombstones, base_shards, next_id)`.
+    pub fn mutation_status(
+        &self,
+        collection: u64,
+    ) -> Result<(u64, u64, u64, u64, u32), ClientError> {
+        let reply = self.call(&Request::MutationStatus { collection })?;
+        match unpack(reply)? {
+            Response::MutationStatus {
+                live,
+                delta,
+                tombstones,
+                base_shards,
+                next_id,
+            } => Ok((live, delta, tombstones, base_shards, next_id)),
+            r => Err(unexpected("a MutationStatus reply", &r)),
+        }
+    }
+
+    /// Build a new collection server-side; returns its id.
+    pub fn create_collection(
+        &self,
+        name: &str,
+        shards: u32,
+        objects: Vec<Vec<u32>>,
+    ) -> Result<u64, ClientError> {
+        let reply = self.call(&Request::CreateCollection {
+            name: name.to_owned(),
+            shards,
+            objects,
+        })?;
+        match unpack(reply)? {
+            Response::Created { collection } => Ok(collection),
+            r => Err(unexpected("a Created reply", &r)),
+        }
+    }
+
+    /// Rebuild a collection over new objects; returns the simulated
+    /// upload time of the swap.
+    pub fn reindex(&self, collection: u64, objects: Vec<Vec<u32>>) -> Result<f64, ClientError> {
+        let reply = self.call(&Request::Reindex {
+            collection,
+            objects,
+        })?;
+        match unpack(reply)? {
+            Response::Reindexed { upload_sim_us } => Ok(upload_sim_us),
+            r => Err(unexpected("a Reindexed reply", &r)),
+        }
+    }
+
+    /// Registered collections with shard counts and live sizes.
+    pub fn list_collections(&self) -> Result<Vec<CollectionInfo>, ClientError> {
+        let reply = self.call(&Request::ListCollections)?;
+        match unpack(reply)? {
+            Response::Collections { entries } => Ok(entries),
+            r => Err(unexpected("a Collections reply", &r)),
+        }
+    }
+
+    /// Flat server + service counters snapshot.
+    pub fn stats(&self) -> Result<Vec<(String, f64)>, ClientError> {
+        let reply = self.call(&Request::Stats)?;
+        match unpack(reply)? {
+            Response::Stats { fields } => Ok(fields),
+            r => Err(unexpected("a Stats reply", &r)),
+        }
+    }
+}
+
+impl Drop for Client {
+    fn drop(&mut self) {
+        self.shared.closed.store(true, Ordering::Release);
+        let _ = self.stream.shutdown(Shutdown::Both);
+        if let Some(reader) = self.reader.take() {
+            let _ = reader.join();
+        }
+    }
+}
+
+fn unexpected(wanted: &str, got: &Response) -> ClientError {
+    ClientError::Unexpected(format!("wanted {wanted}, got {got:?}"))
+}
+
+/// Strip the transport envelope: a typed Error frame becomes
+/// [`ClientError::Remote`], everything else passes through.
+fn unpack(reply: Reply) -> Result<Response, ClientError> {
+    match reply.response {
+        Response::Error { error } => Err(ClientError::Remote(error)),
+        r => Ok(r),
+    }
+}
+
+fn unpack_search(reply: Reply) -> Result<SearchReply, ClientError> {
+    let (server_latency_us, full_latency_us) = (reply.server_latency_us, reply.full_latency_us);
+    match unpack(reply)? {
+        Response::Search {
+            rounds,
+            audit_threshold,
+            hits,
+        } => Ok(SearchReply {
+            rounds,
+            audit_threshold,
+            hits,
+            server_latency_us,
+            full_latency_us,
+        }),
+        r => Err(unexpected("a Search reply", &r)),
+    }
+}
+
+/// Read length-prefixed frames forever, stamping the server-latency
+/// instant the moment the length prefix lands (the first bytes of the
+/// response on the wire) and the full-latency instant once the body is
+/// decoded. Exits — failing all in-flight requests — when the socket
+/// closes or the stream stops making sense.
+fn reader_loop(mut stream: TcpStream, shared: Arc<ClientShared>, max_frame_len: u32) {
+    loop {
+        let mut len_bytes = [0u8; 4];
+        if read_exact(&mut stream, &mut len_bytes).is_err() {
+            break;
+        }
+        let first_byte_at = Instant::now();
+        let len = u32::from_le_bytes(len_bytes);
+        if len < 9 || len > max_frame_len {
+            break; // stream out of sync or abusive: fail everything
+        }
+        let mut body = vec![0u8; len as usize];
+        if read_exact(&mut stream, &mut body).is_err() {
+            break;
+        }
+        let (id, response) = match decode_response(&body) {
+            Ok(decoded) => decoded,
+            Err(_) => break,
+        };
+        let done_at = Instant::now();
+        let entry = shared.pending.lock().expect("pending lock").remove(&id);
+        if let Some(entry) = entry {
+            let us = |d: Duration| d.as_secs_f64() * 1e6;
+            let _ = entry.tx.send(Ok(Reply {
+                response,
+                server_latency_us: us(first_byte_at.duration_since(entry.sent_at)),
+                full_latency_us: us(done_at.duration_since(entry.sent_at)),
+            }));
+        }
+        // unmatched ids (id 0 included) are dropped: the server only
+        // sends them for connection-scoped failures we surface below
+    }
+    shared.closed.store(true, Ordering::Release);
+    let mut pending = shared.pending.lock().expect("pending lock");
+    for (_, entry) in pending.drain() {
+        let _ = entry.tx.send(Err(ClientError::ConnectionClosed));
+    }
+}
+
+fn read_exact(stream: &mut TcpStream, buf: &mut [u8]) -> std::io::Result<()> {
+    let mut filled = 0;
+    while filled < buf.len() {
+        match stream.read(&mut buf[filled..]) {
+            Ok(0) => {
+                return Err(std::io::Error::new(
+                    std::io::ErrorKind::UnexpectedEof,
+                    "socket closed",
+                ))
+            }
+            Ok(n) => filled += n,
+            Err(e) if e.kind() == std::io::ErrorKind::Interrupted => {}
+            Err(e) => return Err(e),
+        }
+    }
+    Ok(())
+}

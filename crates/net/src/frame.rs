@@ -1,0 +1,1345 @@
+//! Frame codec: typed [`Request`]/[`Response`] values ⇄ length-prefixed
+//! wire frames, plus the [`WireError`] taxonomy that mirrors the
+//! in-process error types on the wire.
+//!
+//! See the [`protocol`](crate::protocol) module for the normative frame
+//! layout, handshake state machine and error-code table. Everything
+//! here is pure buffer work — no sockets — so the torture suite can
+//! hammer the decoder with truncated/garbage/oversized inputs directly.
+
+use genie_core::model::{Query, QueryBuildError, QueryItem};
+use genie_core::topk::TopHit;
+
+use crate::wire::{ByteReader, ByteWriter, DecodeError};
+
+/// The protocol version this build speaks. A [`Request::Hello`]
+/// carrying any other version is rejected with
+/// [`WireError::UnsupportedVersion`].
+pub const PROTOCOL_VERSION: u16 = 1;
+
+/// The handshake magic leading every [`Request::Hello`] payload. A
+/// connection whose first frame does not carry it is not speaking this
+/// protocol at all and is dropped after a typed reject.
+pub const HELLO_MAGIC: [u8; 4] = *b"GNET";
+
+/// Default cap on one frame's body length (kind byte + request id +
+/// payload). Frames declaring more are answered with
+/// [`WireError::TooLarge`] and the connection is dropped without
+/// reading (let alone allocating) the oversized body.
+pub const DEFAULT_MAX_FRAME_LEN: u32 = 8 * 1024 * 1024;
+
+/// Request ids `0` is reserved for handshake frames (Hello / Welcome /
+/// Reject), which precede pipelining.
+pub const HANDSHAKE_REQUEST_ID: u64 = 0;
+
+// Frame kind bytes. Requests sit below 0x80, responses at or above it.
+const KIND_HELLO: u8 = 0x01;
+const KIND_SEARCH: u8 = 0x10;
+const KIND_SEARCH_ADAPTIVE: u8 = 0x11;
+const KIND_INSERT: u8 = 0x12;
+const KIND_DELETE: u8 = 0x13;
+const KIND_UPSERT: u8 = 0x14;
+const KIND_MUTATE: u8 = 0x15;
+const KIND_COMPACT: u8 = 0x16;
+const KIND_MUTATION_STATUS: u8 = 0x17;
+const KIND_CREATE_COLLECTION: u8 = 0x18;
+const KIND_REINDEX: u8 = 0x19;
+const KIND_LIST_COLLECTIONS: u8 = 0x1A;
+const KIND_STATS: u8 = 0x1B;
+
+const KIND_WELCOME: u8 = 0x81;
+const KIND_REJECT: u8 = 0x82;
+const KIND_SEARCH_OK: u8 = 0x90;
+const KIND_IDS_OK: u8 = 0x91;
+const KIND_ACK: u8 = 0x92;
+const KIND_COMPACT_OK: u8 = 0x93;
+const KIND_STATUS_OK: u8 = 0x94;
+const KIND_CREATED: u8 = 0x95;
+const KIND_REINDEXED: u8 = 0x96;
+const KIND_COLLECTIONS: u8 = 0x97;
+const KIND_STATS_OK: u8 = 0x98;
+const KIND_ERROR: u8 = 0xE0;
+
+/// One client→server frame body (request id carried alongside).
+#[derive(Debug, Clone, PartialEq)]
+pub enum Request {
+    /// Handshake opener: protocol version + optional auth token
+    /// (empty string = none). Must be the first frame on a connection.
+    Hello { version: u16, token: String },
+    /// Top-`k` match-count search against one collection.
+    Search {
+        collection: u64,
+        k: u32,
+        query: Query,
+    },
+    /// Adaptive search: one search per candidate count in `schedule`,
+    /// answered by the first *saturated* round (fewer hits than asked —
+    /// a larger K cannot add more) or the last round otherwise.
+    SearchAdaptive {
+        collection: u64,
+        k: u32,
+        schedule: Vec<u32>,
+        query: Query,
+    },
+    /// Insert one object (its keyword multiset); replies with the
+    /// assigned stable id.
+    Insert { collection: u64, keywords: Vec<u32> },
+    /// Delete objects by id.
+    Delete { collection: u64, ids: Vec<u32> },
+    /// Delete `id` and insert a replacement in one atomic batch;
+    /// replies with the replacement's new id.
+    Upsert {
+        collection: u64,
+        id: u32,
+        keywords: Vec<u32>,
+    },
+    /// General mutation batch: deletes then inserts, atomic.
+    Mutate {
+        collection: u64,
+        deletes: Vec<u32>,
+        inserts: Vec<Vec<u32>>,
+    },
+    /// Fold pending delta + tombstones into fresh base shards.
+    Compact { collection: u64 },
+    /// Live/delta/tombstone bookkeeping of one collection.
+    MutationStatus { collection: u64 },
+    /// Build a new collection from raw objects, sharded `shards` ways.
+    CreateCollection {
+        name: String,
+        shards: u32,
+        objects: Vec<Vec<u32>>,
+    },
+    /// Rebuild an existing collection over new objects.
+    Reindex {
+        collection: u64,
+        objects: Vec<Vec<u32>>,
+    },
+    /// Registered collections with shard counts and live sizes.
+    ListCollections,
+    /// Server + service counters snapshot.
+    Stats,
+}
+
+/// One entry of a [`Response::Collections`] listing.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct CollectionInfo {
+    pub id: u64,
+    pub name: String,
+    pub shards: u32,
+    pub len: u64,
+}
+
+/// One server→client frame body (request id carried alongside).
+#[derive(Debug, Clone, PartialEq)]
+pub enum Response {
+    /// Handshake accepted; the server speaks `version`.
+    Welcome { version: u16 },
+    /// Handshake rejected; the connection closes after this frame.
+    Reject { error: WireError },
+    /// Answer to `Search`/`SearchAdaptive`. `rounds` is 1 for plain
+    /// searches, the number of schedule rounds consumed for adaptive.
+    Search {
+        rounds: u32,
+        audit_threshold: u32,
+        hits: Vec<TopHit>,
+    },
+    /// Ids assigned by `Insert`/`Upsert`/`Mutate` (in insert order).
+    Ids { ids: Vec<u32> },
+    /// Success without payload (`Delete`).
+    Ack,
+    /// Whether a `Compact` actually folded anything.
+    Compacted { applied: bool },
+    /// Answer to `MutationStatus`.
+    MutationStatus {
+        live: u64,
+        delta: u64,
+        tombstones: u64,
+        base_shards: u64,
+        next_id: u32,
+    },
+    /// Id of a freshly created collection.
+    Created { collection: u64 },
+    /// Simulated upload time of a `Reindex` swap.
+    Reindexed { upload_sim_us: f64 },
+    /// Answer to `ListCollections`.
+    Collections { entries: Vec<CollectionInfo> },
+    /// Answer to `Stats`: flat name→value counters (service counters
+    /// first, then the server's `net/...` connection counters).
+    Stats { fields: Vec<(String, f64)> },
+    /// Typed failure of the tagged request — see [`WireError`].
+    Error { error: WireError },
+}
+
+/// `QueryBuildError` as it travels the wire. Identical taxonomy, but
+/// `&'static str` payloads become owned strings on decode — use
+/// [`BuildError::from`] to convert outbound and compare variants
+/// inbound.
+#[derive(Debug, Clone, PartialEq)]
+pub enum BuildError {
+    EmptyQuery,
+    EmptyRange {
+        lo: u32,
+        hi: u32,
+    },
+    KeywordOutOfRange {
+        keyword: u32,
+        universe: u32,
+    },
+    NonFinite {
+        what: String,
+    },
+    Negative {
+        what: String,
+    },
+    EmptyNumericRange {
+        attr: u64,
+        lo: f64,
+        hi: f64,
+    },
+    UnknownAttribute {
+        attr: u64,
+        num_attributes: u64,
+    },
+    TypeMismatch {
+        attr: u64,
+        expected: String,
+    },
+    ValueOutOfRange {
+        attr: u64,
+        value: u32,
+        cardinality: u32,
+    },
+    RowArity {
+        got: u64,
+        expected: u64,
+    },
+}
+
+impl From<QueryBuildError> for BuildError {
+    fn from(e: QueryBuildError) -> Self {
+        match e {
+            QueryBuildError::EmptyQuery => Self::EmptyQuery,
+            QueryBuildError::EmptyRange { lo, hi } => Self::EmptyRange { lo, hi },
+            QueryBuildError::KeywordOutOfRange { keyword, universe } => {
+                Self::KeywordOutOfRange { keyword, universe }
+            }
+            QueryBuildError::NonFinite { what } => Self::NonFinite { what: what.into() },
+            QueryBuildError::Negative { what } => Self::Negative { what: what.into() },
+            QueryBuildError::EmptyNumericRange { attr, lo, hi } => Self::EmptyNumericRange {
+                attr: attr as u64,
+                lo,
+                hi,
+            },
+            QueryBuildError::UnknownAttribute {
+                attr,
+                num_attributes,
+            } => Self::UnknownAttribute {
+                attr: attr as u64,
+                num_attributes: num_attributes as u64,
+            },
+            QueryBuildError::TypeMismatch { attr, expected } => Self::TypeMismatch {
+                attr: attr as u64,
+                expected: expected.into(),
+            },
+            QueryBuildError::ValueOutOfRange {
+                attr,
+                value,
+                cardinality,
+            } => Self::ValueOutOfRange {
+                attr: attr as u64,
+                value,
+                cardinality,
+            },
+            QueryBuildError::RowArity { got, expected } => Self::RowArity {
+                got: got as u64,
+                expected: expected as u64,
+            },
+        }
+    }
+}
+
+impl std::fmt::Display for BuildError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            Self::EmptyQuery => write!(f, "query spec has no items"),
+            Self::EmptyRange { lo, hi } => write!(f, "empty keyword range [{lo}, {hi}] (lo > hi)"),
+            Self::KeywordOutOfRange { keyword, universe } => {
+                write!(f, "keyword {keyword} outside the universe 0..{universe}")
+            }
+            Self::NonFinite { what } => write!(f, "{what} must be finite (got NaN or infinity)"),
+            Self::Negative { what } => write!(f, "{what} must be non-negative"),
+            Self::EmptyNumericRange { attr, lo, hi } => {
+                write!(f, "empty numeric range [{lo}, {hi}] on attribute {attr}")
+            }
+            Self::UnknownAttribute {
+                attr,
+                num_attributes,
+            } => write!(
+                f,
+                "attribute {attr} out of range (schema has {num_attributes})"
+            ),
+            Self::TypeMismatch { attr, expected } => {
+                write!(f, "attribute {attr} is not {expected}")
+            }
+            Self::ValueOutOfRange {
+                attr,
+                value,
+                cardinality,
+            } => write!(
+                f,
+                "value {value} out of range for attribute {attr} (cardinality {cardinality})"
+            ),
+            Self::RowArity { got, expected } => write!(
+                f,
+                "row has {got} cells but the schema has {expected} attributes"
+            ),
+        }
+    }
+}
+
+/// The full wire error taxonomy — what an [`Response::Error`] (or a
+/// handshake [`Response::Reject`]) carries. Mirrors the in-process
+/// types: `QueryBuildError` → [`WireError::Build`], `DbError`/
+/// `MutateError` variants → the corresponding variants here, plus the
+/// transport-only conditions (malformed frame, oversized frame,
+/// version mismatch, auth failure, shutdown).
+#[derive(Debug, Clone, PartialEq)]
+pub enum WireError {
+    /// The frame could not be decoded (truncated body, unknown kind,
+    /// trailing bytes, bad UTF-8 ...). The connection is dropped after
+    /// this frame — the stream can no longer be trusted to be in sync.
+    Protocol(String),
+    /// A frame declared a body longer than the server's cap.
+    TooLarge { len: u64, max: u64 },
+    /// Handshake version mismatch.
+    UnsupportedVersion { got: u16, want: u16 },
+    /// Handshake token mismatch.
+    Auth(String),
+    /// The server is draining; no new requests are admitted.
+    ShuttingDown,
+    /// A request named a collection id the service does not have.
+    UnknownCollection(u64),
+    /// A delete/upsert named an object id that is not live
+    /// (mirrors `MutateError::UnknownId`; the batch was not applied).
+    UnknownId(u32),
+    /// Mirrors `DbError::NoBackends`.
+    NoBackends,
+    /// Mirrors `DbError::InvalidShards`.
+    InvalidShards(String),
+    /// Operational service failure (mirrors `DbError::Service` /
+    /// `MutateError::Service` / `SearchError::Service`).
+    Service(String),
+    /// The query/item failed typed validation (mirrors
+    /// `QueryBuildError` via [`BuildError`]).
+    Build(BuildError),
+}
+
+impl std::fmt::Display for WireError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            Self::Protocol(d) => write!(f, "protocol error: {d}"),
+            Self::TooLarge { len, max } => {
+                write!(f, "frame of {len} bytes exceeds the {max}-byte cap")
+            }
+            Self::UnsupportedVersion { got, want } => {
+                write!(
+                    f,
+                    "unsupported protocol version {got} (server speaks {want})"
+                )
+            }
+            Self::Auth(d) => write!(f, "authentication failed: {d}"),
+            Self::ShuttingDown => write!(f, "server is shutting down"),
+            Self::UnknownCollection(id) => write!(f, "unknown collection id {id}"),
+            Self::UnknownId(id) => write!(f, "cannot delete unknown object id {id}"),
+            Self::NoBackends => write!(f, "no backends configured"),
+            Self::InvalidShards(d) => write!(f, "invalid shard configuration: {d}"),
+            Self::Service(d) => write!(f, "service error: {d}"),
+            Self::Build(e) => write!(f, "{e}"),
+        }
+    }
+}
+
+impl std::error::Error for WireError {}
+
+impl From<QueryBuildError> for WireError {
+    fn from(e: QueryBuildError) -> Self {
+        Self::Build(e.into())
+    }
+}
+
+// ---- error codes (see crate::protocol for the normative table) ----
+
+const ERR_PROTOCOL: u16 = 1;
+const ERR_TOO_LARGE: u16 = 2;
+const ERR_UNSUPPORTED_VERSION: u16 = 3;
+const ERR_AUTH: u16 = 4;
+const ERR_SHUTTING_DOWN: u16 = 5;
+const ERR_UNKNOWN_COLLECTION: u16 = 6;
+const ERR_UNKNOWN_ID: u16 = 7;
+const ERR_NO_BACKENDS: u16 = 8;
+const ERR_INVALID_SHARDS: u16 = 9;
+const ERR_SERVICE: u16 = 10;
+const ERR_BUILD_EMPTY_QUERY: u16 = 100;
+const ERR_BUILD_EMPTY_RANGE: u16 = 101;
+const ERR_BUILD_KEYWORD_OUT_OF_RANGE: u16 = 102;
+const ERR_BUILD_NON_FINITE: u16 = 103;
+const ERR_BUILD_NEGATIVE: u16 = 104;
+const ERR_BUILD_EMPTY_NUMERIC_RANGE: u16 = 105;
+const ERR_BUILD_UNKNOWN_ATTRIBUTE: u16 = 106;
+const ERR_BUILD_TYPE_MISMATCH: u16 = 107;
+const ERR_BUILD_VALUE_OUT_OF_RANGE: u16 = 108;
+const ERR_BUILD_ROW_ARITY: u16 = 109;
+
+impl WireError {
+    /// The numeric code this error travels under (protocol §errors).
+    pub fn code(&self) -> u16 {
+        match self {
+            Self::Protocol(_) => ERR_PROTOCOL,
+            Self::TooLarge { .. } => ERR_TOO_LARGE,
+            Self::UnsupportedVersion { .. } => ERR_UNSUPPORTED_VERSION,
+            Self::Auth(_) => ERR_AUTH,
+            Self::ShuttingDown => ERR_SHUTTING_DOWN,
+            Self::UnknownCollection(_) => ERR_UNKNOWN_COLLECTION,
+            Self::UnknownId(_) => ERR_UNKNOWN_ID,
+            Self::NoBackends => ERR_NO_BACKENDS,
+            Self::InvalidShards(_) => ERR_INVALID_SHARDS,
+            Self::Service(_) => ERR_SERVICE,
+            Self::Build(b) => match b {
+                BuildError::EmptyQuery => ERR_BUILD_EMPTY_QUERY,
+                BuildError::EmptyRange { .. } => ERR_BUILD_EMPTY_RANGE,
+                BuildError::KeywordOutOfRange { .. } => ERR_BUILD_KEYWORD_OUT_OF_RANGE,
+                BuildError::NonFinite { .. } => ERR_BUILD_NON_FINITE,
+                BuildError::Negative { .. } => ERR_BUILD_NEGATIVE,
+                BuildError::EmptyNumericRange { .. } => ERR_BUILD_EMPTY_NUMERIC_RANGE,
+                BuildError::UnknownAttribute { .. } => ERR_BUILD_UNKNOWN_ATTRIBUTE,
+                BuildError::TypeMismatch { .. } => ERR_BUILD_TYPE_MISMATCH,
+                BuildError::ValueOutOfRange { .. } => ERR_BUILD_VALUE_OUT_OF_RANGE,
+                BuildError::RowArity { .. } => ERR_BUILD_ROW_ARITY,
+            },
+        }
+    }
+
+    fn encode(&self, w: &mut ByteWriter) {
+        w.put_u16(self.code());
+        match self {
+            Self::Protocol(d) | Self::Auth(d) | Self::InvalidShards(d) | Self::Service(d) => {
+                w.put_str(d)
+            }
+            Self::TooLarge { len, max } => {
+                w.put_u64(*len);
+                w.put_u64(*max);
+            }
+            Self::UnsupportedVersion { got, want } => {
+                w.put_u16(*got);
+                w.put_u16(*want);
+            }
+            Self::ShuttingDown | Self::NoBackends => {}
+            Self::UnknownCollection(id) => w.put_u64(*id),
+            Self::UnknownId(id) => w.put_u32(*id),
+            Self::Build(b) => match b {
+                BuildError::EmptyQuery => {}
+                BuildError::EmptyRange { lo, hi } => {
+                    w.put_u32(*lo);
+                    w.put_u32(*hi);
+                }
+                BuildError::KeywordOutOfRange { keyword, universe } => {
+                    w.put_u32(*keyword);
+                    w.put_u32(*universe);
+                }
+                BuildError::NonFinite { what } | BuildError::Negative { what } => w.put_str(what),
+                BuildError::EmptyNumericRange { attr, lo, hi } => {
+                    w.put_u64(*attr);
+                    w.put_f64(*lo);
+                    w.put_f64(*hi);
+                }
+                BuildError::UnknownAttribute {
+                    attr,
+                    num_attributes,
+                } => {
+                    w.put_u64(*attr);
+                    w.put_u64(*num_attributes);
+                }
+                BuildError::TypeMismatch { attr, expected } => {
+                    w.put_u64(*attr);
+                    w.put_str(expected);
+                }
+                BuildError::ValueOutOfRange {
+                    attr,
+                    value,
+                    cardinality,
+                } => {
+                    w.put_u64(*attr);
+                    w.put_u32(*value);
+                    w.put_u32(*cardinality);
+                }
+                BuildError::RowArity { got, expected } => {
+                    w.put_u64(*got);
+                    w.put_u64(*expected);
+                }
+            },
+        }
+    }
+
+    fn decode(r: &mut ByteReader<'_>) -> Result<Self, DecodeError> {
+        let code = r.get_u16("error code")?;
+        Ok(match code {
+            ERR_PROTOCOL => Self::Protocol(r.get_str("protocol detail")?),
+            ERR_TOO_LARGE => Self::TooLarge {
+                len: r.get_u64("oversized len")?,
+                max: r.get_u64("frame cap")?,
+            },
+            ERR_UNSUPPORTED_VERSION => Self::UnsupportedVersion {
+                got: r.get_u16("got version")?,
+                want: r.get_u16("want version")?,
+            },
+            ERR_AUTH => Self::Auth(r.get_str("auth detail")?),
+            ERR_SHUTTING_DOWN => Self::ShuttingDown,
+            ERR_UNKNOWN_COLLECTION => Self::UnknownCollection(r.get_u64("collection id")?),
+            ERR_UNKNOWN_ID => Self::UnknownId(r.get_u32("object id")?),
+            ERR_NO_BACKENDS => Self::NoBackends,
+            ERR_INVALID_SHARDS => Self::InvalidShards(r.get_str("shards detail")?),
+            ERR_SERVICE => Self::Service(r.get_str("service detail")?),
+            ERR_BUILD_EMPTY_QUERY => Self::Build(BuildError::EmptyQuery),
+            ERR_BUILD_EMPTY_RANGE => Self::Build(BuildError::EmptyRange {
+                lo: r.get_u32("range lo")?,
+                hi: r.get_u32("range hi")?,
+            }),
+            ERR_BUILD_KEYWORD_OUT_OF_RANGE => Self::Build(BuildError::KeywordOutOfRange {
+                keyword: r.get_u32("keyword")?,
+                universe: r.get_u32("universe")?,
+            }),
+            ERR_BUILD_NON_FINITE => Self::Build(BuildError::NonFinite {
+                what: r.get_str("what")?,
+            }),
+            ERR_BUILD_NEGATIVE => Self::Build(BuildError::Negative {
+                what: r.get_str("what")?,
+            }),
+            ERR_BUILD_EMPTY_NUMERIC_RANGE => Self::Build(BuildError::EmptyNumericRange {
+                attr: r.get_u64("attr")?,
+                lo: r.get_f64("numeric lo")?,
+                hi: r.get_f64("numeric hi")?,
+            }),
+            ERR_BUILD_UNKNOWN_ATTRIBUTE => Self::Build(BuildError::UnknownAttribute {
+                attr: r.get_u64("attr")?,
+                num_attributes: r.get_u64("num attributes")?,
+            }),
+            ERR_BUILD_TYPE_MISMATCH => Self::Build(BuildError::TypeMismatch {
+                attr: r.get_u64("attr")?,
+                expected: r.get_str("expected kind")?,
+            }),
+            ERR_BUILD_VALUE_OUT_OF_RANGE => Self::Build(BuildError::ValueOutOfRange {
+                attr: r.get_u64("attr")?,
+                value: r.get_u32("value")?,
+                cardinality: r.get_u32("cardinality")?,
+            }),
+            ERR_BUILD_ROW_ARITY => Self::Build(BuildError::RowArity {
+                got: r.get_u64("got arity")?,
+                expected: r.get_u64("expected arity")?,
+            }),
+            _ => {
+                return Err(DecodeError::BadTag {
+                    what: "error code",
+                    tag: (code & 0xFF) as u8,
+                })
+            }
+        })
+    }
+}
+
+fn put_query(w: &mut ByteWriter, query: &Query) {
+    w.put_u32(query.items.len() as u32);
+    for item in &query.items {
+        w.put_u32(item.lo);
+        w.put_u32(item.hi);
+    }
+}
+
+fn get_query(r: &mut ByteReader<'_>) -> Result<Query, DecodeError> {
+    let n = r.get_count("query items")?;
+    let mut items = Vec::with_capacity(n);
+    for _ in 0..n {
+        let lo = r.get_u32("item lo")?;
+        let hi = r.get_u32("item hi")?;
+        items.push(QueryItem { lo, hi });
+    }
+    Ok(Query::new(items))
+}
+
+fn put_objects(w: &mut ByteWriter, objects: &[Vec<u32>]) {
+    w.put_u32(objects.len() as u32);
+    for o in objects {
+        w.put_u32s(o);
+    }
+}
+
+fn get_objects(r: &mut ByteReader<'_>) -> Result<Vec<Vec<u32>>, DecodeError> {
+    let n = r.get_count("object list")?;
+    let mut out = Vec::with_capacity(n);
+    for _ in 0..n {
+        out.push(r.get_u32s("object keywords")?);
+    }
+    Ok(out)
+}
+
+/// Encode one request as a complete frame (length prefix included).
+pub fn encode_request(request_id: u64, request: &Request) -> Vec<u8> {
+    let mut w = ByteWriter::with_capacity(64);
+    w.put_u32(0); // length backpatched below
+    match request {
+        Request::Hello { version, token } => {
+            w.put_u8(KIND_HELLO);
+            w.put_u64(request_id);
+            for b in HELLO_MAGIC {
+                w.put_u8(b);
+            }
+            w.put_u16(*version);
+            w.put_str(token);
+        }
+        Request::Search {
+            collection,
+            k,
+            query,
+        } => {
+            w.put_u8(KIND_SEARCH);
+            w.put_u64(request_id);
+            w.put_u64(*collection);
+            w.put_u32(*k);
+            put_query(&mut w, query);
+        }
+        Request::SearchAdaptive {
+            collection,
+            k,
+            schedule,
+            query,
+        } => {
+            w.put_u8(KIND_SEARCH_ADAPTIVE);
+            w.put_u64(request_id);
+            w.put_u64(*collection);
+            w.put_u32(*k);
+            w.put_u32s(schedule);
+            put_query(&mut w, query);
+        }
+        Request::Insert {
+            collection,
+            keywords,
+        } => {
+            w.put_u8(KIND_INSERT);
+            w.put_u64(request_id);
+            w.put_u64(*collection);
+            w.put_u32s(keywords);
+        }
+        Request::Delete { collection, ids } => {
+            w.put_u8(KIND_DELETE);
+            w.put_u64(request_id);
+            w.put_u64(*collection);
+            w.put_u32s(ids);
+        }
+        Request::Upsert {
+            collection,
+            id,
+            keywords,
+        } => {
+            w.put_u8(KIND_UPSERT);
+            w.put_u64(request_id);
+            w.put_u64(*collection);
+            w.put_u32(*id);
+            w.put_u32s(keywords);
+        }
+        Request::Mutate {
+            collection,
+            deletes,
+            inserts,
+        } => {
+            w.put_u8(KIND_MUTATE);
+            w.put_u64(request_id);
+            w.put_u64(*collection);
+            w.put_u32s(deletes);
+            put_objects(&mut w, inserts);
+        }
+        Request::Compact { collection } => {
+            w.put_u8(KIND_COMPACT);
+            w.put_u64(request_id);
+            w.put_u64(*collection);
+        }
+        Request::MutationStatus { collection } => {
+            w.put_u8(KIND_MUTATION_STATUS);
+            w.put_u64(request_id);
+            w.put_u64(*collection);
+        }
+        Request::CreateCollection {
+            name,
+            shards,
+            objects,
+        } => {
+            w.put_u8(KIND_CREATE_COLLECTION);
+            w.put_u64(request_id);
+            w.put_str(name);
+            w.put_u32(*shards);
+            put_objects(&mut w, objects);
+        }
+        Request::Reindex {
+            collection,
+            objects,
+        } => {
+            w.put_u8(KIND_REINDEX);
+            w.put_u64(request_id);
+            w.put_u64(*collection);
+            put_objects(&mut w, objects);
+        }
+        Request::ListCollections => {
+            w.put_u8(KIND_LIST_COLLECTIONS);
+            w.put_u64(request_id);
+        }
+        Request::Stats => {
+            w.put_u8(KIND_STATS);
+            w.put_u64(request_id);
+        }
+    }
+    finish_frame(w)
+}
+
+/// Encode one response as a complete frame (length prefix included).
+pub fn encode_response(request_id: u64, response: &Response) -> Vec<u8> {
+    let mut w = ByteWriter::with_capacity(64);
+    w.put_u32(0); // length backpatched below
+    match response {
+        Response::Welcome { version } => {
+            w.put_u8(KIND_WELCOME);
+            w.put_u64(request_id);
+            w.put_u16(*version);
+        }
+        Response::Reject { error } => {
+            w.put_u8(KIND_REJECT);
+            w.put_u64(request_id);
+            error.encode(&mut w);
+        }
+        Response::Search {
+            rounds,
+            audit_threshold,
+            hits,
+        } => {
+            w.put_u8(KIND_SEARCH_OK);
+            w.put_u64(request_id);
+            w.put_u32(*rounds);
+            w.put_u32(*audit_threshold);
+            w.put_u32(hits.len() as u32);
+            for h in hits {
+                w.put_u32(h.id);
+                w.put_u32(h.count);
+            }
+        }
+        Response::Ids { ids } => {
+            w.put_u8(KIND_IDS_OK);
+            w.put_u64(request_id);
+            w.put_u32s(ids);
+        }
+        Response::Ack => {
+            w.put_u8(KIND_ACK);
+            w.put_u64(request_id);
+        }
+        Response::Compacted { applied } => {
+            w.put_u8(KIND_COMPACT_OK);
+            w.put_u64(request_id);
+            w.put_u8(u8::from(*applied));
+        }
+        Response::MutationStatus {
+            live,
+            delta,
+            tombstones,
+            base_shards,
+            next_id,
+        } => {
+            w.put_u8(KIND_STATUS_OK);
+            w.put_u64(request_id);
+            w.put_u64(*live);
+            w.put_u64(*delta);
+            w.put_u64(*tombstones);
+            w.put_u64(*base_shards);
+            w.put_u32(*next_id);
+        }
+        Response::Created { collection } => {
+            w.put_u8(KIND_CREATED);
+            w.put_u64(request_id);
+            w.put_u64(*collection);
+        }
+        Response::Reindexed { upload_sim_us } => {
+            w.put_u8(KIND_REINDEXED);
+            w.put_u64(request_id);
+            w.put_f64(*upload_sim_us);
+        }
+        Response::Collections { entries } => {
+            w.put_u8(KIND_COLLECTIONS);
+            w.put_u64(request_id);
+            w.put_u32(entries.len() as u32);
+            for e in entries {
+                w.put_u64(e.id);
+                w.put_str(&e.name);
+                w.put_u32(e.shards);
+                w.put_u64(e.len);
+            }
+        }
+        Response::Stats { fields } => {
+            w.put_u8(KIND_STATS_OK);
+            w.put_u64(request_id);
+            w.put_u32(fields.len() as u32);
+            for (name, value) in fields {
+                w.put_str(name);
+                w.put_f64(*value);
+            }
+        }
+        Response::Error { error } => {
+            w.put_u8(KIND_ERROR);
+            w.put_u64(request_id);
+            error.encode(&mut w);
+        }
+    }
+    finish_frame(w)
+}
+
+/// Backpatch the 4-byte length prefix over the assembled frame.
+fn finish_frame(w: ByteWriter) -> Vec<u8> {
+    let mut bytes = w.into_vec();
+    let body_len = (bytes.len() - 4) as u32;
+    bytes[..4].copy_from_slice(&body_len.to_le_bytes());
+    bytes
+}
+
+/// Decode one request frame body (everything after the length prefix).
+pub fn decode_request(body: &[u8]) -> Result<(u64, Request), DecodeError> {
+    let mut r = ByteReader::new(body);
+    let kind = r.get_u8("frame kind")?;
+    let request_id = r.get_u64("request id")?;
+    let request = match kind {
+        KIND_HELLO => {
+            let mut magic = [0u8; 4];
+            for b in &mut magic {
+                *b = r.get_u8("hello magic")?;
+            }
+            if magic != HELLO_MAGIC {
+                return Err(DecodeError::BadTag {
+                    what: "hello magic",
+                    tag: magic[0],
+                });
+            }
+            Request::Hello {
+                version: r.get_u16("hello version")?,
+                token: r.get_str("hello token")?,
+            }
+        }
+        KIND_SEARCH => Request::Search {
+            collection: r.get_u64("collection id")?,
+            k: r.get_u32("k")?,
+            query: get_query(&mut r)?,
+        },
+        KIND_SEARCH_ADAPTIVE => Request::SearchAdaptive {
+            collection: r.get_u64("collection id")?,
+            k: r.get_u32("k")?,
+            schedule: r.get_u32s("schedule")?,
+            query: get_query(&mut r)?,
+        },
+        KIND_INSERT => Request::Insert {
+            collection: r.get_u64("collection id")?,
+            keywords: r.get_u32s("keywords")?,
+        },
+        KIND_DELETE => Request::Delete {
+            collection: r.get_u64("collection id")?,
+            ids: r.get_u32s("ids")?,
+        },
+        KIND_UPSERT => Request::Upsert {
+            collection: r.get_u64("collection id")?,
+            id: r.get_u32("object id")?,
+            keywords: r.get_u32s("keywords")?,
+        },
+        KIND_MUTATE => Request::Mutate {
+            collection: r.get_u64("collection id")?,
+            deletes: r.get_u32s("deletes")?,
+            inserts: get_objects(&mut r)?,
+        },
+        KIND_COMPACT => Request::Compact {
+            collection: r.get_u64("collection id")?,
+        },
+        KIND_MUTATION_STATUS => Request::MutationStatus {
+            collection: r.get_u64("collection id")?,
+        },
+        KIND_CREATE_COLLECTION => Request::CreateCollection {
+            name: r.get_str("collection name")?,
+            shards: r.get_u32("shards")?,
+            objects: get_objects(&mut r)?,
+        },
+        KIND_REINDEX => Request::Reindex {
+            collection: r.get_u64("collection id")?,
+            objects: get_objects(&mut r)?,
+        },
+        KIND_LIST_COLLECTIONS => Request::ListCollections,
+        KIND_STATS => Request::Stats,
+        tag => {
+            return Err(DecodeError::BadTag {
+                what: "request kind",
+                tag,
+            })
+        }
+    };
+    r.finish()?;
+    Ok((request_id, request))
+}
+
+/// Decode one response frame body (everything after the length prefix).
+pub fn decode_response(body: &[u8]) -> Result<(u64, Response), DecodeError> {
+    let mut r = ByteReader::new(body);
+    let kind = r.get_u8("frame kind")?;
+    let request_id = r.get_u64("request id")?;
+    let response = match kind {
+        KIND_WELCOME => Response::Welcome {
+            version: r.get_u16("welcome version")?,
+        },
+        KIND_REJECT => Response::Reject {
+            error: WireError::decode(&mut r)?,
+        },
+        KIND_SEARCH_OK => {
+            let rounds = r.get_u32("rounds")?;
+            let audit_threshold = r.get_u32("audit threshold")?;
+            let n = r.get_count("hits")?;
+            let mut hits = Vec::with_capacity(n);
+            for _ in 0..n {
+                let id = r.get_u32("hit id")?;
+                let count = r.get_u32("hit count")?;
+                hits.push(TopHit { id, count });
+            }
+            Response::Search {
+                rounds,
+                audit_threshold,
+                hits,
+            }
+        }
+        KIND_IDS_OK => Response::Ids {
+            ids: r.get_u32s("ids")?,
+        },
+        KIND_ACK => Response::Ack,
+        KIND_COMPACT_OK => Response::Compacted {
+            applied: r.get_u8("applied")? != 0,
+        },
+        KIND_STATUS_OK => Response::MutationStatus {
+            live: r.get_u64("live")?,
+            delta: r.get_u64("delta")?,
+            tombstones: r.get_u64("tombstones")?,
+            base_shards: r.get_u64("base shards")?,
+            next_id: r.get_u32("next id")?,
+        },
+        KIND_CREATED => Response::Created {
+            collection: r.get_u64("collection id")?,
+        },
+        KIND_REINDEXED => Response::Reindexed {
+            upload_sim_us: r.get_f64("upload time")?,
+        },
+        KIND_COLLECTIONS => {
+            let n = r.get_count("collection entries")?;
+            let mut entries = Vec::with_capacity(n);
+            for _ in 0..n {
+                entries.push(CollectionInfo {
+                    id: r.get_u64("collection id")?,
+                    name: r.get_str("collection name")?,
+                    shards: r.get_u32("shards")?,
+                    len: r.get_u64("len")?,
+                });
+            }
+            Response::Collections { entries }
+        }
+        KIND_STATS_OK => {
+            let n = r.get_count("stats fields")?;
+            let mut fields = Vec::with_capacity(n);
+            for _ in 0..n {
+                let name = r.get_str("field name")?;
+                let value = r.get_f64("field value")?;
+                fields.push((name, value));
+            }
+            Response::Stats { fields }
+        }
+        KIND_ERROR => Response::Error {
+            error: WireError::decode(&mut r)?,
+        },
+        tag => {
+            return Err(DecodeError::BadTag {
+                what: "response kind",
+                tag,
+            })
+        }
+    };
+    r.finish()?;
+    Ok((request_id, response))
+}
+
+/// What [`read_frame`] can fail with.
+#[derive(Debug)]
+pub enum FrameReadError {
+    /// The socket failed mid-frame (includes EOF *inside* a frame —
+    /// only an EOF exactly on a frame boundary is a clean close).
+    Io(std::io::Error),
+    /// The length prefix declared a body beyond the cap. The body was
+    /// **not** read; the stream is unusable past this point.
+    TooLarge { len: u64, max: u64 },
+}
+
+impl std::fmt::Display for FrameReadError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            Self::Io(e) => write!(f, "i/o error reading frame: {e}"),
+            Self::TooLarge { len, max } => {
+                write!(
+                    f,
+                    "incoming frame of {len} bytes exceeds the {max}-byte cap"
+                )
+            }
+        }
+    }
+}
+
+impl std::error::Error for FrameReadError {}
+
+/// Read one length-prefixed frame body from `r`.
+///
+/// Returns `Ok(None)` on a clean close (EOF exactly at a frame
+/// boundary). A frame longer than `max_len` is rejected without
+/// reading or allocating its body. Interrupted reads are retried;
+/// timeouts surface as [`FrameReadError::Io`] with
+/// `WouldBlock`/`TimedOut` so pollers can distinguish them.
+pub fn read_frame(
+    r: &mut impl std::io::Read,
+    max_len: u32,
+) -> Result<Option<Vec<u8>>, FrameReadError> {
+    let mut len_bytes = [0u8; 4];
+    match read_exact_or_eof(r, &mut len_bytes) {
+        Ok(false) => return Ok(None),
+        Ok(true) => {}
+        Err(e) => return Err(FrameReadError::Io(e)),
+    }
+    let len = u32::from_le_bytes(len_bytes);
+    if len > max_len {
+        return Err(FrameReadError::TooLarge {
+            len: len as u64,
+            max: max_len as u64,
+        });
+    }
+    let mut body = vec![0u8; len as usize];
+    r.read_exact(&mut body).map_err(FrameReadError::Io)?;
+    Ok(Some(body))
+}
+
+/// `read_exact`, except an EOF *before the first byte* reports
+/// `Ok(false)` instead of an error.
+fn read_exact_or_eof(r: &mut impl std::io::Read, buf: &mut [u8]) -> std::io::Result<bool> {
+    let mut filled = 0;
+    while filled < buf.len() {
+        match r.read(&mut buf[filled..]) {
+            Ok(0) if filled == 0 => return Ok(false),
+            Ok(0) => {
+                return Err(std::io::Error::new(
+                    std::io::ErrorKind::UnexpectedEof,
+                    "connection closed mid-frame",
+                ))
+            }
+            Ok(n) => filled += n,
+            Err(e) if e.kind() == std::io::ErrorKind::Interrupted => {}
+            // a timeout with some of the prefix already read must keep
+            // the partial bytes: the caller retries into the same frame
+            Err(e) if filled == 0 => return Err(e),
+            Err(e)
+                if matches!(
+                    e.kind(),
+                    std::io::ErrorKind::WouldBlock | std::io::ErrorKind::TimedOut
+                ) =>
+            {
+                // mid-prefix timeout: keep waiting for the rest — the
+                // frame has begun, so the bytes are on their way
+                continue;
+            }
+            Err(e) => return Err(e),
+        }
+    }
+    Ok(true)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn sample_requests() -> Vec<Request> {
+        vec![
+            Request::Hello {
+                version: PROTOCOL_VERSION,
+                token: "secret".into(),
+            },
+            Request::Search {
+                collection: 3,
+                k: 10,
+                query: Query::new(vec![QueryItem::range(2, 9), QueryItem::exact(40)]),
+            },
+            Request::SearchAdaptive {
+                collection: 0,
+                k: 5,
+                schedule: vec![5, 10, 20],
+                query: Query::from_keywords(&[1, 2, 3]),
+            },
+            Request::Insert {
+                collection: 1,
+                keywords: vec![7, 7, 9],
+            },
+            Request::Delete {
+                collection: 1,
+                ids: vec![0, 4],
+            },
+            Request::Upsert {
+                collection: 1,
+                id: 2,
+                keywords: vec![11],
+            },
+            Request::Mutate {
+                collection: 2,
+                deletes: vec![5],
+                inserts: vec![vec![1, 2], vec![], vec![3]],
+            },
+            Request::Compact { collection: 2 },
+            Request::MutationStatus { collection: 2 },
+            Request::CreateCollection {
+                name: "docs".into(),
+                shards: 4,
+                objects: vec![vec![0, 1], vec![2]],
+            },
+            Request::Reindex {
+                collection: 0,
+                objects: vec![vec![9]],
+            },
+            Request::ListCollections,
+            Request::Stats,
+        ]
+    }
+
+    fn sample_responses() -> Vec<Response> {
+        vec![
+            Response::Welcome {
+                version: PROTOCOL_VERSION,
+            },
+            Response::Reject {
+                error: WireError::UnsupportedVersion { got: 9, want: 1 },
+            },
+            Response::Search {
+                rounds: 2,
+                audit_threshold: 4,
+                hits: vec![TopHit { id: 8, count: 3 }, TopHit { id: 2, count: 3 }],
+            },
+            Response::Ids { ids: vec![10, 11] },
+            Response::Ack,
+            Response::Compacted { applied: true },
+            Response::MutationStatus {
+                live: 100,
+                delta: 3,
+                tombstones: 1,
+                base_shards: 2,
+                next_id: 104,
+            },
+            Response::Created { collection: 7 },
+            Response::Reindexed {
+                upload_sim_us: 123.5,
+            },
+            Response::Collections {
+                entries: vec![CollectionInfo {
+                    id: 0,
+                    name: "default".into(),
+                    shards: 1,
+                    len: 42,
+                }],
+            },
+            Response::Stats {
+                fields: vec![("served".into(), 9.0), ("net/frames_in".into(), 21.0)],
+            },
+            Response::Error {
+                error: WireError::Build(BuildError::KeywordOutOfRange {
+                    keyword: 900,
+                    universe: 100,
+                }),
+            },
+        ]
+    }
+
+    #[test]
+    fn requests_round_trip() {
+        for (i, req) in sample_requests().into_iter().enumerate() {
+            let frame = encode_request(i as u64 + 1, &req);
+            let body = &frame[4..];
+            assert_eq!(
+                u32::from_le_bytes(frame[..4].try_into().unwrap()) as usize,
+                body.len()
+            );
+            let (id, back) = decode_request(body).unwrap();
+            assert_eq!(id, i as u64 + 1);
+            assert_eq!(back, req);
+        }
+    }
+
+    #[test]
+    fn responses_round_trip() {
+        for (i, resp) in sample_responses().into_iter().enumerate() {
+            let frame = encode_response(i as u64 + 100, &resp);
+            let (id, back) = decode_response(&frame[4..]).unwrap();
+            assert_eq!(id, i as u64 + 100);
+            assert_eq!(back, resp);
+        }
+    }
+
+    #[test]
+    fn every_wire_error_round_trips_with_its_code() {
+        let errors = vec![
+            WireError::Protocol("bad frame".into()),
+            WireError::TooLarge {
+                len: 1 << 40,
+                max: 8 << 20,
+            },
+            WireError::UnsupportedVersion { got: 2, want: 1 },
+            WireError::Auth("token mismatch".into()),
+            WireError::ShuttingDown,
+            WireError::UnknownCollection(3),
+            WireError::UnknownId(77),
+            WireError::NoBackends,
+            WireError::InvalidShards("zero shards".into()),
+            WireError::Service("backend gone".into()),
+            WireError::Build(BuildError::EmptyQuery),
+            WireError::Build(BuildError::EmptyRange { lo: 5, hi: 2 }),
+            WireError::Build(BuildError::KeywordOutOfRange {
+                keyword: 9,
+                universe: 4,
+            }),
+            WireError::Build(BuildError::NonFinite {
+                what: "weight".into(),
+            }),
+            WireError::Build(BuildError::Negative {
+                what: "radius".into(),
+            }),
+            WireError::Build(BuildError::EmptyNumericRange {
+                attr: 1,
+                lo: 3.0,
+                hi: 1.0,
+            }),
+            WireError::Build(BuildError::UnknownAttribute {
+                attr: 9,
+                num_attributes: 3,
+            }),
+            WireError::Build(BuildError::TypeMismatch {
+                attr: 0,
+                expected: "numeric".into(),
+            }),
+            WireError::Build(BuildError::ValueOutOfRange {
+                attr: 2,
+                value: 9,
+                cardinality: 4,
+            }),
+            WireError::Build(BuildError::RowArity {
+                got: 2,
+                expected: 3,
+            }),
+        ];
+        let mut seen_codes = std::collections::HashSet::new();
+        for e in errors {
+            assert!(seen_codes.insert(e.code()), "duplicate code {}", e.code());
+            let frame = encode_response(5, &Response::Error { error: e.clone() });
+            let (_, back) = decode_response(&frame[4..]).unwrap();
+            assert_eq!(back, Response::Error { error: e });
+        }
+    }
+
+    #[test]
+    fn build_errors_mirror_query_build_error_displays() {
+        // the client-facing message matches the in-process one, so an
+        // application can switch transports without changing its error
+        // handling
+        let cases: Vec<QueryBuildError> = vec![
+            QueryBuildError::EmptyQuery,
+            QueryBuildError::EmptyRange { lo: 5, hi: 2 },
+            QueryBuildError::KeywordOutOfRange {
+                keyword: 9,
+                universe: 4,
+            },
+            QueryBuildError::NonFinite { what: "weight" },
+            QueryBuildError::Negative { what: "radius" },
+            QueryBuildError::EmptyNumericRange {
+                attr: 1,
+                lo: 3.0,
+                hi: 1.0,
+            },
+            QueryBuildError::UnknownAttribute {
+                attr: 9,
+                num_attributes: 3,
+            },
+            QueryBuildError::TypeMismatch {
+                attr: 0,
+                expected: "numeric",
+            },
+            QueryBuildError::ValueOutOfRange {
+                attr: 2,
+                value: 9,
+                cardinality: 4,
+            },
+            QueryBuildError::RowArity {
+                got: 2,
+                expected: 3,
+            },
+        ];
+        for e in cases {
+            let wire: BuildError = e.clone().into();
+            assert_eq!(wire.to_string(), e.to_string());
+        }
+    }
+
+    #[test]
+    fn truncated_frames_never_panic() {
+        for req in sample_requests() {
+            let frame = encode_request(1, &req);
+            let body = &frame[4..];
+            for cut in 0..body.len() {
+                assert!(decode_request(&body[..cut]).is_err());
+            }
+        }
+        for resp in sample_responses() {
+            let frame = encode_response(1, &resp);
+            let body = &frame[4..];
+            for cut in 0..body.len() {
+                assert!(decode_response(&body[..cut]).is_err());
+            }
+        }
+    }
+
+    #[test]
+    fn trailing_garbage_is_rejected() {
+        let mut frame = encode_request(1, &Request::Stats);
+        frame.push(0xAB);
+        assert!(matches!(
+            decode_request(&frame[4..]),
+            Err(DecodeError::TrailingBytes { .. })
+        ));
+    }
+
+    #[test]
+    fn read_frame_enforces_the_cap_and_handles_eof() {
+        use std::io::Cursor;
+        // clean EOF at a boundary
+        assert!(read_frame(&mut Cursor::new(vec![]), 1024)
+            .unwrap()
+            .is_none());
+        // EOF mid-prefix
+        assert!(read_frame(&mut Cursor::new(vec![1, 0]), 1024).is_err());
+        // EOF mid-body
+        let mut partial = 10u32.to_le_bytes().to_vec();
+        partial.extend_from_slice(&[1, 2, 3]);
+        assert!(read_frame(&mut Cursor::new(partial), 1024).is_err());
+        // over-cap length prefix rejected without reading the body
+        let huge = u32::MAX.to_le_bytes().to_vec();
+        assert!(matches!(
+            read_frame(&mut Cursor::new(huge), 1024),
+            Err(FrameReadError::TooLarge { .. })
+        ));
+        // a well-formed frame comes back whole
+        let frame = encode_request(9, &Request::ListCollections);
+        let body = read_frame(&mut Cursor::new(frame.clone()), 1024)
+            .unwrap()
+            .unwrap();
+        assert_eq!(body, frame[4..].to_vec());
+    }
+}

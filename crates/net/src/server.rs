@@ -1,0 +1,988 @@
+//! The serving loop: [`NetServer`] accepts TCP connections and fronts
+//! a [`GenieService`] with the framed protocol of
+//! [`protocol`](crate::protocol).
+//!
+//! # Per-connection architecture
+//!
+//! Every accepted connection gets a **reader** thread (the spawned
+//! connection thread itself) and a **writer** thread joined by a job
+//! channel:
+//!
+//! * The reader performs the handshake, then decodes request frames.
+//!   Searches are admitted to the service's batching queue — their
+//!   [`ResponseTicket`]s travel to the writer, which is what makes the
+//!   connection *pipelined*: the reader is already decoding the next
+//!   frame while earlier searches wait for their wave. Mutations and
+//!   admin requests execute inline (they are synchronous in the
+//!   service) and ship to the writer as finished frames.
+//! * The writer streams replies in **completion order**: finished
+//!   frames go out immediately, ticket jobs go out whenever their wave
+//!   resolves them — a slow search never blocks a later quick
+//!   mutation's reply.
+//!
+//! Failures degrade per the protocol's rules: semantic errors answer
+//! the one request; undecodable/oversized frames and dead sockets get
+//! a best-effort error frame, a counter bump, and the connection is
+//! dropped. Sibling connections never notice, and the server never
+//! panics on input.
+//!
+//! # Shutdown drain
+//!
+//! [`ServerHandle::shutdown`] stops the accept loop, flips the shared
+//! [`ConnectionRegistry`] into draining and waits (bounded by
+//! [`ServerConfig::drain_timeout`]) for every connection to flush its
+//! accepted replies — the no-silently-dropped-request guarantee.
+
+use std::io::Write;
+use std::net::{Shutdown, SocketAddr, TcpListener, TcpStream, ToSocketAddrs};
+use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
+use std::sync::mpsc::{channel, Receiver, Sender, TryRecvError};
+use std::sync::Arc;
+use std::thread::JoinHandle;
+use std::time::Duration;
+
+use genie_core::index::IndexBuilder;
+use genie_core::model::{Object, Query};
+use genie_service::{
+    ConnectionRegistry, GenieService, MutateError, ResponseTicket, ServiceStats, TicketResult,
+};
+
+use crate::frame::{
+    self, CollectionInfo, FrameReadError, Request, Response, WireError, HANDSHAKE_REQUEST_ID,
+    PROTOCOL_VERSION,
+};
+
+/// Knobs of one [`NetServer`].
+#[derive(Debug, Clone)]
+pub struct ServerConfig {
+    /// Required auth token; `None` accepts any Hello token.
+    pub auth_token: Option<String>,
+    /// Per-frame body cap; larger declared lengths drop the connection
+    /// without reading the body.
+    pub max_frame_len: u32,
+    /// How long a fresh connection may take to send its Hello frame.
+    pub handshake_timeout: Duration,
+    /// Reader poll interval — bounds how quickly an idle connection
+    /// notices server shutdown.
+    pub read_poll: Duration,
+    /// Socket write timeout; tripping it marks the client a slow
+    /// reader and drops the connection.
+    pub write_timeout: Duration,
+    /// Bound on the shutdown drain barrier.
+    pub drain_timeout: Duration,
+}
+
+impl Default for ServerConfig {
+    fn default() -> Self {
+        Self {
+            auth_token: None,
+            max_frame_len: frame::DEFAULT_MAX_FRAME_LEN,
+            handshake_timeout: Duration::from_secs(5),
+            read_poll: Duration::from_millis(50),
+            write_timeout: Duration::from_secs(5),
+            drain_timeout: Duration::from_secs(10),
+        }
+    }
+}
+
+/// Lifetime connection/frame counters of one server, snapshot via
+/// [`ServerHandle::net_stats`].
+#[derive(Debug, Clone, Copy, Default, PartialEq)]
+pub struct NetStats {
+    /// Connections accepted and handed to a reader/writer pair.
+    pub accepted: u64,
+    /// Connections turned away because the server was draining.
+    pub rejected_draining: u64,
+    /// Handshakes rejected (bad magic/version/token, or no Hello
+    /// within the handshake timeout).
+    pub handshake_rejects: u64,
+    /// Frames that failed to decode (connection dropped each time).
+    pub protocol_errors: u64,
+    /// Frames rejected on their declared length alone.
+    pub oversized_frames: u64,
+    /// Connections dropped by socket errors or mid-frame EOF.
+    pub io_drops: u64,
+    /// Connections dropped because the client stopped draining its
+    /// socket and the write timeout tripped.
+    pub slow_reader_drops: u64,
+    /// Request frames decoded.
+    pub frames_in: u64,
+    /// Response frames fully written.
+    pub frames_out: u64,
+    /// Search requests admitted to the service queue.
+    pub requests_admitted: u64,
+    /// Error frames sent (request-scoped failures).
+    pub errors_sent: u64,
+}
+
+impl NetStats {
+    /// Flat `net/...` name→value rows, the server's share of a
+    /// [`Response::Stats`] payload.
+    pub fn fields(&self) -> Vec<(String, f64)> {
+        vec![
+            ("net/accepted".into(), self.accepted as f64),
+            (
+                "net/rejected_draining".into(),
+                self.rejected_draining as f64,
+            ),
+            (
+                "net/handshake_rejects".into(),
+                self.handshake_rejects as f64,
+            ),
+            ("net/protocol_errors".into(), self.protocol_errors as f64),
+            ("net/oversized_frames".into(), self.oversized_frames as f64),
+            ("net/io_drops".into(), self.io_drops as f64),
+            (
+                "net/slow_reader_drops".into(),
+                self.slow_reader_drops as f64,
+            ),
+            ("net/frames_in".into(), self.frames_in as f64),
+            ("net/frames_out".into(), self.frames_out as f64),
+            (
+                "net/requests_admitted".into(),
+                self.requests_admitted as f64,
+            ),
+            ("net/errors_sent".into(), self.errors_sent as f64),
+        ]
+    }
+}
+
+#[derive(Debug, Default)]
+struct Counters {
+    accepted: AtomicU64,
+    rejected_draining: AtomicU64,
+    handshake_rejects: AtomicU64,
+    protocol_errors: AtomicU64,
+    oversized_frames: AtomicU64,
+    io_drops: AtomicU64,
+    slow_reader_drops: AtomicU64,
+    frames_in: AtomicU64,
+    frames_out: AtomicU64,
+    requests_admitted: AtomicU64,
+    errors_sent: AtomicU64,
+}
+
+impl Counters {
+    fn snapshot(&self) -> NetStats {
+        let ld = |c: &AtomicU64| c.load(Ordering::Relaxed);
+        NetStats {
+            accepted: ld(&self.accepted),
+            rejected_draining: ld(&self.rejected_draining),
+            handshake_rejects: ld(&self.handshake_rejects),
+            protocol_errors: ld(&self.protocol_errors),
+            oversized_frames: ld(&self.oversized_frames),
+            io_drops: ld(&self.io_drops),
+            slow_reader_drops: ld(&self.slow_reader_drops),
+            frames_in: ld(&self.frames_in),
+            frames_out: ld(&self.frames_out),
+            requests_admitted: ld(&self.requests_admitted),
+            errors_sent: ld(&self.errors_sent),
+        }
+    }
+}
+
+fn bump(c: &AtomicU64) {
+    c.fetch_add(1, Ordering::Relaxed);
+}
+
+struct Shared {
+    service: Arc<GenieService>,
+    config: ServerConfig,
+    registry: ConnectionRegistry,
+    counters: Counters,
+    shutdown: AtomicBool,
+}
+
+/// Namespace for [`NetServer::spawn`].
+pub struct NetServer;
+
+impl NetServer {
+    /// Bind `addr`, start the accept loop, and serve `service` until
+    /// the returned handle shuts down. Bind to port 0 for an
+    /// OS-assigned port (see [`ServerHandle::addr`]).
+    pub fn spawn(
+        service: Arc<GenieService>,
+        addr: impl ToSocketAddrs,
+        config: ServerConfig,
+    ) -> std::io::Result<ServerHandle> {
+        let listener = TcpListener::bind(addr)?;
+        let addr = listener.local_addr()?;
+        let shared = Arc::new(Shared {
+            service,
+            config,
+            registry: ConnectionRegistry::new(),
+            counters: Counters::default(),
+            shutdown: AtomicBool::new(false),
+        });
+        let accept_shared = Arc::clone(&shared);
+        let accept = std::thread::Builder::new()
+            .name("genie-net-accept".into())
+            .spawn(move || accept_loop(listener, accept_shared))?;
+        Ok(ServerHandle {
+            addr,
+            shared,
+            accept: Some(accept),
+        })
+    }
+}
+
+/// A running server. Dropping it shuts the server down (draining
+/// in-flight connections); call [`shutdown`](Self::shutdown) directly
+/// to observe whether the drain completed in time.
+pub struct ServerHandle {
+    addr: SocketAddr,
+    shared: Arc<Shared>,
+    accept: Option<JoinHandle<()>>,
+}
+
+impl ServerHandle {
+    /// The bound address (the actual port when bound to port 0).
+    pub fn addr(&self) -> SocketAddr {
+        self.addr
+    }
+
+    /// Snapshot of the connection/frame counters.
+    pub fn net_stats(&self) -> NetStats {
+        self.shared.counters.snapshot()
+    }
+
+    /// Connections currently registered (handshaken or flushing).
+    pub fn active_connections(&self) -> usize {
+        self.shared.registry.active()
+    }
+
+    /// Stop accepting, drain every live connection (bounded by
+    /// [`ServerConfig::drain_timeout`]) and join the accept loop.
+    /// Returns whether the drain fully completed; idempotent —
+    /// repeat calls return `true` without re-draining.
+    pub fn shutdown(&mut self) -> bool {
+        if self.shared.shutdown.swap(true, Ordering::AcqRel) {
+            return true;
+        }
+        self.shared.registry.begin_drain();
+        // unblock the accept loop with a throwaway connection
+        if let Ok(s) = TcpStream::connect(self.addr) {
+            drop(s);
+        }
+        if let Some(accept) = self.accept.take() {
+            let _ = accept.join();
+        }
+        self.shared
+            .registry
+            .await_drained(self.shared.config.drain_timeout)
+    }
+}
+
+impl Drop for ServerHandle {
+    fn drop(&mut self) {
+        self.shutdown();
+    }
+}
+
+fn accept_loop(listener: TcpListener, shared: Arc<Shared>) {
+    loop {
+        let stream = match listener.accept() {
+            Ok((stream, _)) => stream,
+            Err(_) => {
+                if shared.shutdown.load(Ordering::Acquire) {
+                    return;
+                }
+                continue;
+            }
+        };
+        if shared.shutdown.load(Ordering::Acquire) {
+            return; // the self-connect wakeup, or a late arrival
+        }
+        let Some(guard) = shared.registry.register() else {
+            bump(&shared.counters.rejected_draining);
+            reject_and_drop(stream, &shared, WireError::ShuttingDown);
+            continue;
+        };
+        bump(&shared.counters.accepted);
+        let conn_shared = Arc::clone(&shared);
+        let spawned = std::thread::Builder::new()
+            .name("genie-net-conn".into())
+            .spawn(move || {
+                serve_connection(stream, conn_shared, guard);
+            });
+        if spawned.is_err() {
+            bump(&shared.counters.io_drops);
+        }
+    }
+}
+
+/// Best-effort typed reject on a connection we will not serve.
+fn reject_and_drop(mut stream: TcpStream, shared: &Shared, error: WireError) {
+    let _ = stream.set_write_timeout(Some(shared.config.write_timeout));
+    let body = frame::encode_response(HANDSHAKE_REQUEST_ID, &Response::Reject { error });
+    let _ = stream.write_all(&body);
+    let _ = stream.shutdown(Shutdown::Both);
+}
+
+/// One queued reply-in-progress on the writer side.
+enum Job {
+    /// A finished frame, writable immediately.
+    Done(Vec<u8>),
+    /// Ticketed search rounds; writable once the wave resolves them.
+    Tickets {
+        request_id: u64,
+        final_k: u32,
+        /// `(candidate count, ticket)` in schedule order.
+        rounds: Vec<(u32, ResponseTicket)>,
+        results: Vec<Option<TicketResult>>,
+    },
+}
+
+impl Job {
+    /// Poll every unresolved ticket; `true` once the job is writable.
+    fn ready(&mut self) -> bool {
+        match self {
+            Job::Done(_) => true,
+            Job::Tickets {
+                rounds, results, ..
+            } => {
+                for (i, (_, ticket)) in rounds.iter().enumerate() {
+                    if results[i].is_none() {
+                        results[i] = ticket.try_take();
+                    }
+                }
+                results.iter().all(|r| r.is_some())
+            }
+        }
+    }
+
+    /// Block up to `timeout` on the first unresolved ticket (no-op for
+    /// finished frames).
+    fn wait_a_little(&mut self, timeout: Duration) {
+        if let Job::Tickets {
+            rounds, results, ..
+        } = self
+        {
+            for (i, (_, ticket)) in rounds.iter().enumerate() {
+                if results[i].is_none() {
+                    results[i] = ticket.wait_timeout(timeout);
+                    return;
+                }
+            }
+        }
+    }
+
+    /// Encode the finished reply. Only call once [`ready`](Self::ready)
+    /// returned `true`.
+    fn into_frame(self) -> (Vec<u8>, bool) {
+        match self {
+            Job::Done(bytes) => (bytes, false),
+            Job::Tickets {
+                request_id,
+                final_k,
+                rounds,
+                results,
+            } => {
+                let response = assemble_search_reply(final_k, &rounds, results);
+                let is_error = matches!(response, Response::Error { .. });
+                (frame::encode_response(request_id, &response), is_error)
+            }
+        }
+    }
+}
+
+/// Fold resolved schedule rounds into one Search reply: the first
+/// *saturated* round (fewer hits than its candidate count — a larger K
+/// cannot add more) or the last round, truncated to the requested `k`.
+fn assemble_search_reply(
+    final_k: u32,
+    rounds: &[(u32, ResponseTicket)],
+    results: Vec<Option<TicketResult>>,
+) -> Response {
+    let mut chosen = results.len() - 1;
+    for (i, result) in results.iter().enumerate() {
+        match result {
+            Some(Ok(resp)) if resp.hits.len() < rounds[i].0 as usize => {
+                chosen = i;
+                break;
+            }
+            _ => {}
+        }
+    }
+    let result = results
+        .into_iter()
+        .nth(chosen)
+        .flatten()
+        .expect("only assembled once every round resolved");
+    match result {
+        Ok(resp) => {
+            let mut hits = resp.hits;
+            hits.truncate(final_k as usize);
+            Response::Search {
+                rounds: (chosen + 1) as u32,
+                audit_threshold: resp.audit_threshold,
+                hits,
+            }
+        }
+        Err(e) => Response::Error {
+            error: service_error(e),
+        },
+    }
+}
+
+/// Map a service error string onto the wire taxonomy.
+fn service_error(e: String) -> WireError {
+    if e.contains("shutting down") {
+        WireError::ShuttingDown
+    } else if e.contains("no backends") {
+        WireError::NoBackends
+    } else {
+        WireError::Service(e)
+    }
+}
+
+fn mutate_error(collection: u64, e: MutateError) -> WireError {
+    match e {
+        MutateError::UnknownId(id) => WireError::UnknownId(id),
+        MutateError::Service(s) => {
+            if s.contains("unknown collection") {
+                WireError::UnknownCollection(collection)
+            } else {
+                service_error(s)
+            }
+        }
+    }
+}
+
+/// Serve one handshaken-or-not connection to completion. This is the
+/// reader thread; it owns the writer thread it spawns.
+fn serve_connection(stream: TcpStream, shared: Arc<Shared>, guard: genie_service::ConnectionGuard) {
+    // the guard must outlive the writer join below: every accepted
+    // request's reply is flushed before the drain barrier releases
+    let _guard = guard;
+    let Some((mut read_half, write_half)) = handshake(stream, &shared) else {
+        return;
+    };
+    let (tx, rx) = channel::<Job>();
+    let writer_shared = Arc::clone(&shared);
+    let writer = std::thread::Builder::new()
+        .name("genie-net-write".into())
+        .spawn(move || writer_loop(write_half, rx, writer_shared));
+    let Ok(writer) = writer else {
+        bump(&shared.counters.io_drops);
+        return;
+    };
+    reader_loop(&mut read_half, &shared, &tx);
+    // dropping the channel tells the writer to flush what remains and
+    // exit; the socket shuts down only after that flush
+    drop(tx);
+    let _ = writer.join();
+    let _ = read_half.shutdown(Shutdown::Both);
+}
+
+/// Run the handshake: first frame must be a well-formed Hello with the
+/// right version and token. Returns the reader/writer socket halves on
+/// success; on failure the connection is rejected/dropped here.
+fn handshake(stream: TcpStream, shared: &Shared) -> Option<(TcpStream, TcpStream)> {
+    let config = &shared.config;
+    let _ = stream.set_nodelay(true);
+    if stream
+        .set_read_timeout(Some(config.handshake_timeout))
+        .is_err()
+    {
+        bump(&shared.counters.io_drops);
+        return None;
+    }
+    let mut read_half = stream;
+    let body = match frame::read_frame(&mut read_half, config.max_frame_len) {
+        Ok(Some(body)) => body,
+        Ok(None) => {
+            // connected and went away without a word — the shutdown
+            // self-connect does exactly this
+            return None;
+        }
+        Err(FrameReadError::TooLarge { len, max }) => {
+            bump(&shared.counters.oversized_frames);
+            bump(&shared.counters.handshake_rejects);
+            reject_and_drop(read_half, shared, WireError::TooLarge { len, max });
+            return None;
+        }
+        Err(FrameReadError::Io(_)) => {
+            bump(&shared.counters.handshake_rejects);
+            return None;
+        }
+    };
+    let error = match frame::decode_request(&body) {
+        Ok((HANDSHAKE_REQUEST_ID, Request::Hello { version, token })) => {
+            if version != PROTOCOL_VERSION {
+                Some(WireError::UnsupportedVersion {
+                    got: version,
+                    want: PROTOCOL_VERSION,
+                })
+            } else {
+                match &config.auth_token {
+                    Some(want) if *want != token => {
+                        Some(WireError::Auth("invalid auth token".into()))
+                    }
+                    _ => None,
+                }
+            }
+        }
+        Ok(_) => Some(WireError::Protocol(
+            "first frame must be Hello with request id 0".into(),
+        )),
+        Err(e) => Some(WireError::Protocol(format!("bad hello frame: {e}"))),
+    };
+    if let Some(error) = error {
+        bump(&shared.counters.handshake_rejects);
+        reject_and_drop(read_half, shared, error);
+        return None;
+    }
+    let Ok(mut write_half) = read_half.try_clone() else {
+        bump(&shared.counters.io_drops);
+        return None;
+    };
+    let _ = write_half.set_write_timeout(Some(config.write_timeout));
+    let welcome = frame::encode_response(
+        HANDSHAKE_REQUEST_ID,
+        &Response::Welcome {
+            version: PROTOCOL_VERSION,
+        },
+    );
+    if write_half.write_all(&welcome).is_err() {
+        bump(&shared.counters.io_drops);
+        return None;
+    }
+    bump(&shared.counters.frames_out);
+    if read_half.set_read_timeout(Some(config.read_poll)).is_err() {
+        bump(&shared.counters.io_drops);
+        return None;
+    }
+    Some((read_half, write_half))
+}
+
+/// Decode frames and dispatch them until EOF, a protocol breach, a
+/// socket error, or server shutdown.
+fn reader_loop(read_half: &mut TcpStream, shared: &Shared, tx: &Sender<Job>) {
+    loop {
+        let body = match frame::read_frame(read_half, shared.config.max_frame_len) {
+            Ok(Some(body)) => body,
+            Ok(None) => return, // clean close
+            Err(FrameReadError::TooLarge { len, max }) => {
+                bump(&shared.counters.oversized_frames);
+                send_error(
+                    tx,
+                    shared,
+                    HANDSHAKE_REQUEST_ID,
+                    WireError::TooLarge { len, max },
+                );
+                return;
+            }
+            Err(FrameReadError::Io(e)) => {
+                use std::io::ErrorKind;
+                if matches!(e.kind(), ErrorKind::WouldBlock | ErrorKind::TimedOut) {
+                    // poll tick: keep serving unless shutting down
+                    if shared.shutdown.load(Ordering::Acquire) {
+                        return;
+                    }
+                    continue;
+                }
+                bump(&shared.counters.io_drops);
+                return;
+            }
+        };
+        bump(&shared.counters.frames_in);
+        let (request_id, request) = match frame::decode_request(&body) {
+            Ok(decoded) => decoded,
+            Err(e) => {
+                bump(&shared.counters.protocol_errors);
+                // the id field may still be intact — tag the error with
+                // it so the client can match the failure to a request
+                let id = salvage_request_id(&body);
+                send_error(tx, shared, id, WireError::Protocol(e.to_string()));
+                return; // stream may be out of sync: drop
+            }
+        };
+        if shared.shutdown.load(Ordering::Acquire) {
+            send_error(tx, shared, request_id, WireError::ShuttingDown);
+            return;
+        }
+        if request_id == HANDSHAKE_REQUEST_ID {
+            bump(&shared.counters.protocol_errors);
+            send_error(
+                tx,
+                shared,
+                request_id,
+                WireError::Protocol("request id 0 is reserved for the handshake".into()),
+            );
+            return;
+        }
+        if tx.send(dispatch(shared, request_id, request)).is_err() {
+            return; // writer already dropped the connection
+        }
+    }
+}
+
+/// Best-effort undecodable-frame id salvage: the `u64` after the kind
+/// byte, when the body got that far.
+fn salvage_request_id(body: &[u8]) -> u64 {
+    match body.get(1..9) {
+        Some(bytes) => u64::from_le_bytes(bytes.try_into().expect("sliced to 8 bytes")),
+        None => HANDSHAKE_REQUEST_ID,
+    }
+}
+
+fn send_error(tx: &Sender<Job>, shared: &Shared, request_id: u64, error: WireError) {
+    bump(&shared.counters.errors_sent);
+    let body = frame::encode_response(request_id, &Response::Error { error });
+    let _ = tx.send(Job::Done(body));
+}
+
+/// Turn one decoded request into a writer job — a ticket set for
+/// searches, a finished frame for everything else.
+fn dispatch(shared: &Shared, request_id: u64, request: Request) -> Job {
+    let service = &shared.service;
+    let done = |response: Response| {
+        if matches!(response, Response::Error { .. }) {
+            bump(&shared.counters.errors_sent);
+        }
+        Job::Done(frame::encode_response(request_id, &response))
+    };
+    // pre-check the collection so unknown ids answer with the typed
+    // error instead of a formatted Service string at wave time
+    if let Some(collection) = request.collection() {
+        if service.collection_len(collection).is_none() {
+            return done(Response::Error {
+                error: WireError::UnknownCollection(collection),
+            });
+        }
+    }
+    match request {
+        Request::Hello { .. } => done(Response::Error {
+            error: WireError::Protocol("Hello is only valid as the first frame".into()),
+        }),
+        Request::Search {
+            collection,
+            k,
+            query,
+        } => submit_rounds(shared, request_id, collection, k, vec![k], query),
+        Request::SearchAdaptive {
+            collection,
+            k,
+            schedule,
+            query,
+        } => {
+            if schedule.is_empty() {
+                return done(Response::Error {
+                    error: WireError::Service("adaptive schedule must be non-empty".into()),
+                });
+            }
+            submit_rounds(shared, request_id, collection, k, schedule, query)
+        }
+        Request::Insert {
+            collection,
+            keywords,
+        } => done(
+            match service.mutate_collection(
+                collection,
+                &[],
+                vec![Object { keywords }],
+                &mut |_, _| {},
+            ) {
+                Ok(ids) => Response::Ids { ids },
+                Err(e) => Response::Error {
+                    error: mutate_error(collection, e),
+                },
+            },
+        ),
+        Request::Delete { collection, ids } => done(
+            match service.mutate_collection(collection, &ids, Vec::new(), &mut |_, _| {}) {
+                Ok(_) => Response::Ack,
+                Err(e) => Response::Error {
+                    error: mutate_error(collection, e),
+                },
+            },
+        ),
+        Request::Upsert {
+            collection,
+            id,
+            keywords,
+        } => done(
+            match service.mutate_collection(
+                collection,
+                &[id],
+                vec![Object { keywords }],
+                &mut |_, _| {},
+            ) {
+                Ok(ids) => Response::Ids { ids },
+                Err(e) => Response::Error {
+                    error: mutate_error(collection, e),
+                },
+            },
+        ),
+        Request::Mutate {
+            collection,
+            deletes,
+            inserts,
+        } => {
+            let inserts = inserts
+                .into_iter()
+                .map(|keywords| Object { keywords })
+                .collect();
+            done(
+                match service.mutate_collection(collection, &deletes, inserts, &mut |_, _| {}) {
+                    Ok(ids) => Response::Ids { ids },
+                    Err(e) => Response::Error {
+                        error: mutate_error(collection, e),
+                    },
+                },
+            )
+        }
+        Request::Compact { collection } => done(match service.compact_collection(collection) {
+            Ok(applied) => Response::Compacted { applied },
+            Err(e) => Response::Error {
+                error: service_error(e),
+            },
+        }),
+        Request::MutationStatus { collection } => done(match service.mutation_status(collection) {
+            Some(s) => Response::MutationStatus {
+                live: s.live as u64,
+                delta: s.delta as u64,
+                tombstones: s.tombstones as u64,
+                base_shards: s.base_shards as u64,
+                next_id: s.next_id,
+            },
+            None => Response::Error {
+                error: WireError::UnknownCollection(collection),
+            },
+        }),
+        Request::CreateCollection {
+            name,
+            shards,
+            objects,
+        } => {
+            let index = build_index(&objects);
+            done(
+                match service.add_collection_sharded(&name, &index, shards as usize) {
+                    Ok(id) => Response::Created { collection: id },
+                    Err(e) => Response::Error {
+                        error: if e.contains("shard") {
+                            WireError::InvalidShards(e)
+                        } else {
+                            service_error(e)
+                        },
+                    },
+                },
+            )
+        }
+        Request::Reindex {
+            collection,
+            objects,
+        } => {
+            let index = build_index(&objects);
+            done(match service.swap_collection(collection, &index) {
+                Ok(upload_sim_us) => Response::Reindexed { upload_sim_us },
+                Err(e) => Response::Error {
+                    error: service_error(e),
+                },
+            })
+        }
+        Request::ListCollections => {
+            let entries = service
+                .collection_names()
+                .into_iter()
+                .map(|(id, name)| CollectionInfo {
+                    id,
+                    name,
+                    shards: service.collection_shards(id).unwrap_or(0) as u32,
+                    len: service.collection_len(id).unwrap_or(0) as u64,
+                })
+                .collect();
+            done(Response::Collections { entries })
+        }
+        Request::Stats => {
+            let mut fields = service_stats_fields(&service.stats());
+            fields.extend(shared.counters.snapshot().fields());
+            fields.push((
+                "net/active_connections".into(),
+                shared.registry.active() as f64,
+            ));
+            done(Response::Stats { fields })
+        }
+    }
+}
+
+/// Validate and admit one search round per schedule entry (they land
+/// in the same wave), handing the tickets to the writer.
+fn submit_rounds(
+    shared: &Shared,
+    request_id: u64,
+    collection: u64,
+    k: u32,
+    schedule: Vec<u32>,
+    query: Query,
+) -> Job {
+    let error = |error: WireError| {
+        bump(&shared.counters.errors_sent);
+        Job::Done(frame::encode_response(
+            request_id,
+            &Response::Error { error },
+        ))
+    };
+    if k == 0 || schedule.contains(&0) {
+        return error(WireError::Service("k must be at least 1".into()));
+    }
+    if let Err(e) = Query::try_new(query.items.clone()) {
+        return error(WireError::from(e));
+    }
+    let rounds: Vec<(u32, ResponseTicket)> = schedule
+        .iter()
+        .map(|&kc| {
+            bump(&shared.counters.requests_admitted);
+            (
+                kc,
+                shared
+                    .service
+                    .submit_to(collection, query.clone(), kc as usize),
+            )
+        })
+        .collect();
+    let results = vec![None; rounds.len()];
+    Job::Tickets {
+        request_id,
+        final_k: k,
+        rounds,
+        results,
+    }
+}
+
+fn build_index(objects: &[Vec<u32>]) -> Arc<genie_core::index::InvertedIndex> {
+    let mut builder = IndexBuilder::new();
+    for keywords in objects {
+        builder.add_object(&Object {
+            keywords: keywords.clone(),
+        });
+    }
+    Arc::new(builder.build(None))
+}
+
+impl Request {
+    /// The collection id a request targets, if any — what the serving
+    /// loop pre-validates.
+    fn collection(&self) -> Option<u64> {
+        match self {
+            Request::Search { collection, .. }
+            | Request::SearchAdaptive { collection, .. }
+            | Request::Insert { collection, .. }
+            | Request::Delete { collection, .. }
+            | Request::Upsert { collection, .. }
+            | Request::Mutate { collection, .. }
+            | Request::Compact { collection }
+            | Request::MutationStatus { collection }
+            | Request::Reindex { collection, .. } => Some(*collection),
+            Request::Hello { .. }
+            | Request::CreateCollection { .. }
+            | Request::ListCollections
+            | Request::Stats => None,
+        }
+    }
+}
+
+/// Flatten the service counters into name→value rows for the Stats
+/// frame (mirrors [`ServiceStats`] field for field).
+pub fn service_stats_fields(s: &ServiceStats) -> Vec<(String, f64)> {
+    vec![
+        ("service/submitted".into(), s.submitted as f64),
+        ("service/served".into(), s.served as f64),
+        ("service/failed_requests".into(), s.failed_requests as f64),
+        ("service/cache_hits".into(), s.cache_hits as f64),
+        ("service/size_triggers".into(), s.size_triggers as f64),
+        (
+            "service/deadline_triggers".into(),
+            s.deadline_triggers as f64,
+        ),
+        ("service/shutdown_flushes".into(), s.shutdown_flushes as f64),
+        ("service/waves".into(), s.waves as f64),
+        ("service/failed_waves".into(), s.failed_waves as f64),
+        ("service/batches".into(), s.batches as f64),
+        ("service/shard_runs".into(), s.shard_runs as f64),
+        ("service/batched_requests".into(), s.batched_requests as f64),
+        ("service/wall_us".into(), s.wall_us),
+        ("service/predicted_cost_us".into(), s.predicted_cost_us),
+        ("service/actual_cost_us".into(), s.actual_cost_us),
+        ("service/mutation_batches".into(), s.mutation_batches as f64),
+        ("service/inserted".into(), s.inserted as f64),
+        ("service/deleted".into(), s.deleted as f64),
+        ("service/compactions".into(), s.compactions as f64),
+        (
+            "service/stale_compactions".into(),
+            s.stale_compactions as f64,
+        ),
+        (
+            "service/mean_batch_occupancy".into(),
+            s.mean_batch_occupancy(),
+        ),
+    ]
+}
+
+/// Stream finished replies in completion order until the reader hangs
+/// up and the queue is flushed, or the socket dies.
+fn writer_loop(mut stream: TcpStream, rx: Receiver<Job>, shared: Arc<Shared>) {
+    let mut queue: Vec<Job> = Vec::new();
+    let mut disconnected = false;
+    loop {
+        // 1. pull everything the reader has queued, without blocking
+        loop {
+            match rx.try_recv() {
+                Ok(job) => queue.push(job),
+                Err(TryRecvError::Empty) => break,
+                Err(TryRecvError::Disconnected) => {
+                    disconnected = true;
+                    break;
+                }
+            }
+        }
+        // 2. write every job that is ready, preserving completion order
+        let mut wrote = false;
+        let mut i = 0;
+        while i < queue.len() {
+            if queue[i].ready() {
+                let (bytes, _) = queue.remove(i).into_frame();
+                match stream.write_all(&bytes) {
+                    Ok(()) => {
+                        bump(&shared.counters.frames_out);
+                        wrote = true;
+                    }
+                    Err(e) => {
+                        use std::io::ErrorKind;
+                        if matches!(e.kind(), ErrorKind::WouldBlock | ErrorKind::TimedOut) {
+                            bump(&shared.counters.slow_reader_drops);
+                        } else {
+                            bump(&shared.counters.io_drops);
+                        }
+                        let _ = stream.shutdown(Shutdown::Both);
+                        return;
+                    }
+                }
+            } else {
+                i += 1;
+            }
+        }
+        if wrote {
+            continue; // new jobs may have become ready meanwhile
+        }
+        if disconnected && queue.is_empty() {
+            return; // reader gone, everything flushed
+        }
+        // 3. idle: park briefly on the oldest incomplete ticket, or on
+        // the channel when only finished work can arrive
+        match queue.iter_mut().find(|j| matches!(j, Job::Tickets { .. })) {
+            Some(job) => job.wait_a_little(Duration::from_millis(5)),
+            None => {
+                if disconnected {
+                    continue;
+                }
+                match rx.recv_timeout(Duration::from_millis(50)) {
+                    Ok(job) => queue.push(job),
+                    Err(std::sync::mpsc::RecvTimeoutError::Timeout) => {}
+                    Err(std::sync::mpsc::RecvTimeoutError::Disconnected) => disconnected = true,
+                }
+            }
+        }
+    }
+}

@@ -1,0 +1,315 @@
+//! Little-endian byte-level primitives behind the frame codec.
+//!
+//! [`ByteWriter`] appends fixed-width integers, floats and
+//! length-prefixed strings/sequences to a growable buffer;
+//! [`ByteReader`] reads them back with *every* failure mode surfaced as
+//! a typed [`DecodeError`] — truncation, declared lengths that overrun
+//! the buffer, and invalid UTF-8 all decode to errors, never panics.
+//! The torture suite feeds the reader arbitrary prefixes and garbage,
+//! so any `unwrap`/slice-index here would be a server crash.
+
+/// Why a buffer failed to decode. [`std::fmt::Display`] gives the
+/// human-readable detail carried into
+/// [`WireError::Protocol`](crate::frame::WireError::Protocol) frames.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum DecodeError {
+    /// The buffer ended before the field being read.
+    Truncated {
+        /// What was being read when the bytes ran out.
+        what: &'static str,
+    },
+    /// A length prefix declares more elements than the remaining bytes
+    /// could possibly hold (caught *before* allocating).
+    LengthOverrun {
+        what: &'static str,
+        declared: u64,
+        remaining: usize,
+    },
+    /// A string field holds invalid UTF-8.
+    BadUtf8 { what: &'static str },
+    /// An enum tag byte has no defined meaning.
+    BadTag { what: &'static str, tag: u8 },
+    /// The frame decoded fully but bytes were left over (a frame must
+    /// be exactly its declared payload — trailing garbage means the
+    /// stream is out of sync).
+    TrailingBytes { left: usize },
+}
+
+impl std::fmt::Display for DecodeError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            Self::Truncated { what } => write!(f, "truncated while reading {what}"),
+            Self::LengthOverrun {
+                what,
+                declared,
+                remaining,
+            } => write!(
+                f,
+                "{what} declares {declared} elements but only {remaining} bytes remain"
+            ),
+            Self::BadUtf8 { what } => write!(f, "{what} is not valid UTF-8"),
+            Self::BadTag { what, tag } => write!(f, "unknown {what} tag 0x{tag:02x}"),
+            Self::TrailingBytes { left } => write!(f, "{left} trailing bytes after frame payload"),
+        }
+    }
+}
+
+impl std::error::Error for DecodeError {}
+
+/// Append-only little-endian buffer builder.
+#[derive(Debug, Default)]
+pub struct ByteWriter {
+    buf: Vec<u8>,
+}
+
+impl ByteWriter {
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    pub fn with_capacity(cap: usize) -> Self {
+        Self {
+            buf: Vec::with_capacity(cap),
+        }
+    }
+
+    pub fn into_vec(self) -> Vec<u8> {
+        self.buf
+    }
+
+    pub fn len(&self) -> usize {
+        self.buf.len()
+    }
+
+    pub fn is_empty(&self) -> bool {
+        self.buf.is_empty()
+    }
+
+    pub fn put_u8(&mut self, v: u8) {
+        self.buf.push(v);
+    }
+
+    pub fn put_u16(&mut self, v: u16) {
+        self.buf.extend_from_slice(&v.to_le_bytes());
+    }
+
+    pub fn put_u32(&mut self, v: u32) {
+        self.buf.extend_from_slice(&v.to_le_bytes());
+    }
+
+    pub fn put_u64(&mut self, v: u64) {
+        self.buf.extend_from_slice(&v.to_le_bytes());
+    }
+
+    pub fn put_f64(&mut self, v: f64) {
+        self.buf.extend_from_slice(&v.to_le_bytes());
+    }
+
+    /// UTF-8 string with a u32 byte-length prefix.
+    pub fn put_str(&mut self, s: &str) {
+        self.put_u32(s.len() as u32);
+        self.buf.extend_from_slice(s.as_bytes());
+    }
+
+    /// `u32` sequence with a u32 element-count prefix.
+    pub fn put_u32s(&mut self, vs: &[u32]) {
+        self.put_u32(vs.len() as u32);
+        for &v in vs {
+            self.put_u32(v);
+        }
+    }
+}
+
+/// Cursor over a received frame body. Reads consume;
+/// [`finish`](Self::finish) asserts the payload was exactly consumed.
+#[derive(Debug)]
+pub struct ByteReader<'a> {
+    buf: &'a [u8],
+    pos: usize,
+}
+
+impl<'a> ByteReader<'a> {
+    pub fn new(buf: &'a [u8]) -> Self {
+        Self { buf, pos: 0 }
+    }
+
+    pub fn remaining(&self) -> usize {
+        self.buf.len() - self.pos
+    }
+
+    fn take(&mut self, n: usize, what: &'static str) -> Result<&'a [u8], DecodeError> {
+        if self.remaining() < n {
+            return Err(DecodeError::Truncated { what });
+        }
+        let s = &self.buf[self.pos..self.pos + n];
+        self.pos += n;
+        Ok(s)
+    }
+
+    pub fn get_u8(&mut self, what: &'static str) -> Result<u8, DecodeError> {
+        Ok(self.take(1, what)?[0])
+    }
+
+    pub fn get_u16(&mut self, what: &'static str) -> Result<u16, DecodeError> {
+        Ok(u16::from_le_bytes(self.take(2, what)?.try_into().unwrap()))
+    }
+
+    pub fn get_u32(&mut self, what: &'static str) -> Result<u32, DecodeError> {
+        Ok(u32::from_le_bytes(self.take(4, what)?.try_into().unwrap()))
+    }
+
+    pub fn get_u64(&mut self, what: &'static str) -> Result<u64, DecodeError> {
+        Ok(u64::from_le_bytes(self.take(8, what)?.try_into().unwrap()))
+    }
+
+    pub fn get_f64(&mut self, what: &'static str) -> Result<f64, DecodeError> {
+        Ok(f64::from_le_bytes(self.take(8, what)?.try_into().unwrap()))
+    }
+
+    /// Length-prefixed UTF-8 string written by [`ByteWriter::put_str`].
+    pub fn get_str(&mut self, what: &'static str) -> Result<String, DecodeError> {
+        let len = self.get_u32(what)? as usize;
+        if len > self.remaining() {
+            return Err(DecodeError::LengthOverrun {
+                what,
+                declared: len as u64,
+                remaining: self.remaining(),
+            });
+        }
+        let bytes = self.take(len, what)?;
+        String::from_utf8(bytes.to_vec()).map_err(|_| DecodeError::BadUtf8 { what })
+    }
+
+    /// Length-prefixed `u32` sequence written by
+    /// [`ByteWriter::put_u32s`]. The declared count is validated
+    /// against the remaining bytes *before* allocating, so a forged
+    /// 4-billion-element prefix costs nothing.
+    pub fn get_u32s(&mut self, what: &'static str) -> Result<Vec<u32>, DecodeError> {
+        let len = self.get_u32(what)? as usize;
+        if len.saturating_mul(4) > self.remaining() {
+            return Err(DecodeError::LengthOverrun {
+                what,
+                declared: len as u64,
+                remaining: self.remaining(),
+            });
+        }
+        let mut out = Vec::with_capacity(len);
+        for _ in 0..len {
+            out.push(self.get_u32(what)?);
+        }
+        Ok(out)
+    }
+
+    /// Read a u32 element count, validated so that even one byte per
+    /// element could not overrun the buffer. Generic guard for
+    /// sequences of variable-width elements.
+    pub fn get_count(&mut self, what: &'static str) -> Result<usize, DecodeError> {
+        let len = self.get_u32(what)? as usize;
+        if len > self.remaining() {
+            return Err(DecodeError::LengthOverrun {
+                what,
+                declared: len as u64,
+                remaining: self.remaining(),
+            });
+        }
+        Ok(len)
+    }
+
+    /// Succeeds only when every payload byte was consumed.
+    pub fn finish(self) -> Result<(), DecodeError> {
+        if self.remaining() != 0 {
+            return Err(DecodeError::TrailingBytes {
+                left: self.remaining(),
+            });
+        }
+        Ok(())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn round_trips_every_primitive() {
+        let mut w = ByteWriter::new();
+        w.put_u8(7);
+        w.put_u16(u16::MAX);
+        w.put_u32(123_456);
+        w.put_u64(u64::MAX - 1);
+        w.put_f64(-2.5);
+        w.put_str("héllo");
+        w.put_u32s(&[1, 2, 3]);
+        let bytes = w.into_vec();
+        let mut r = ByteReader::new(&bytes);
+        assert_eq!(r.get_u8("a").unwrap(), 7);
+        assert_eq!(r.get_u16("b").unwrap(), u16::MAX);
+        assert_eq!(r.get_u32("c").unwrap(), 123_456);
+        assert_eq!(r.get_u64("d").unwrap(), u64::MAX - 1);
+        assert_eq!(r.get_f64("e").unwrap(), -2.5);
+        assert_eq!(r.get_str("f").unwrap(), "héllo");
+        assert_eq!(r.get_u32s("g").unwrap(), vec![1, 2, 3]);
+        r.finish().unwrap();
+    }
+
+    #[test]
+    fn every_truncation_is_a_typed_error() {
+        let mut w = ByteWriter::new();
+        w.put_str("payload");
+        w.put_u32s(&[9, 8, 7]);
+        let bytes = w.into_vec();
+        for cut in 0..bytes.len() {
+            let mut r = ByteReader::new(&bytes[..cut]);
+            let ok = r
+                .get_str("s")
+                .and_then(|_| r.get_u32s("v"))
+                .and_then(|_| r.finish());
+            assert!(ok.is_err(), "prefix of {cut} bytes decoded");
+        }
+    }
+
+    #[test]
+    fn oversized_length_prefix_is_rejected_before_allocating() {
+        let mut w = ByteWriter::new();
+        w.put_u32(u32::MAX); // declares 4 billion elements
+        let bytes = w.into_vec();
+        let mut r = ByteReader::new(&bytes);
+        assert!(matches!(
+            r.get_u32s("huge"),
+            Err(DecodeError::LengthOverrun { .. })
+        ));
+        let mut r = ByteReader::new(&bytes);
+        assert!(matches!(
+            r.get_str("huge"),
+            Err(DecodeError::LengthOverrun { .. })
+        ));
+    }
+
+    #[test]
+    fn invalid_utf8_is_a_typed_error() {
+        let mut w = ByteWriter::new();
+        w.put_u32(2);
+        w.put_u8(0xFF);
+        w.put_u8(0xFE);
+        let bytes = w.into_vec();
+        let mut r = ByteReader::new(&bytes);
+        assert_eq!(
+            r.get_str("s").unwrap_err(),
+            DecodeError::BadUtf8 { what: "s" }
+        );
+    }
+
+    #[test]
+    fn trailing_bytes_fail_finish() {
+        let mut w = ByteWriter::new();
+        w.put_u32(1);
+        w.put_u8(0);
+        let bytes = w.into_vec();
+        let mut r = ByteReader::new(&bytes);
+        r.get_u32("v").unwrap();
+        assert_eq!(
+            r.finish().unwrap_err(),
+            DecodeError::TrailingBytes { left: 1 }
+        );
+    }
+}

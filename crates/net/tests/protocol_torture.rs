@@ -1,0 +1,199 @@
+//! Adversarial input: truncated, oversized, mis-versioned and garbage
+//! frames must produce a typed error frame or a clean drop — never a
+//! panic, and never corruption of neighboring connections.
+
+mod common;
+
+use std::io::{Read, Write};
+use std::net::TcpStream;
+use std::sync::{Arc, Mutex, OnceLock};
+use std::time::Duration;
+
+use common::{objects, query, start_server};
+use genie_client::Client;
+use genie_net::frame::{
+    encode_request, read_frame, Request, Response, WireError, PROTOCOL_VERSION,
+};
+use genie_net::server::{ServerConfig, ServerHandle};
+use genie_service::{GenieService, DEFAULT_COLLECTION};
+use proptest::prelude::*;
+
+const UNIVERSE: u32 = 64;
+const TORTURE_FRAME_CAP: u32 = 64 * 1024;
+
+struct Fixture {
+    _service: Arc<GenieService>,
+    handle: Mutex<ServerHandle>,
+    addr: std::net::SocketAddr,
+}
+
+/// One server shared by every proptest case in this file — the point
+/// is exactly that hundreds of hostile connections hit the *same*
+/// server and it keeps serving.
+fn fixture() -> &'static Fixture {
+    static FIXTURE: OnceLock<Fixture> = OnceLock::new();
+    FIXTURE.get_or_init(|| {
+        let data = objects(80, UNIVERSE, 6, 0x70a7);
+        let config = ServerConfig {
+            // keep hostile half-open connections from pinning threads
+            handshake_timeout: Duration::from_millis(500),
+            max_frame_len: TORTURE_FRAME_CAP,
+            ..ServerConfig::default()
+        };
+        let (service, handle) = start_server(&data, config);
+        let addr = handle.addr();
+        Fixture {
+            _service: service,
+            handle: Mutex::new(handle),
+            addr,
+        }
+    })
+}
+
+/// The health probe: a fresh well-behaved client must still be served.
+fn assert_server_healthy(tag: &str) {
+    let client = Client::connect(fixture().addr)
+        .unwrap_or_else(|e| panic!("server unreachable after {tag}: {e}"));
+    let reply = client
+        .search(DEFAULT_COLLECTION, 5, query(UNIVERSE, 1))
+        .unwrap_or_else(|e| panic!("server unhealthy after {tag}: {e}"));
+    assert!(reply.hits.len() <= 5);
+}
+
+fn handshake(stream: &mut TcpStream) {
+    stream
+        .write_all(&encode_request(
+            0,
+            &Request::Hello {
+                version: PROTOCOL_VERSION,
+                token: String::new(),
+            },
+        ))
+        .expect("hello");
+    let _ = stream.set_read_timeout(Some(Duration::from_secs(10)));
+    read_frame(stream, TORTURE_FRAME_CAP)
+        .expect("welcome readable")
+        .expect("welcome present");
+}
+
+/// Read frames until the peer closes; never blocks forever.
+fn drain_until_close(stream: &mut TcpStream) {
+    let _ = stream.set_read_timeout(Some(Duration::from_secs(10)));
+    let mut buf = [0u8; 4096];
+    loop {
+        match stream.read(&mut buf) {
+            Ok(0) => return,
+            Ok(_) => {}
+            Err(_) => return,
+        }
+    }
+}
+
+fn sample_request(i: usize) -> Request {
+    match i % 4 {
+        0 => Request::Search {
+            collection: DEFAULT_COLLECTION,
+            k: 5,
+            query: query(UNIVERSE, i as u64),
+        },
+        1 => Request::Mutate {
+            collection: DEFAULT_COLLECTION,
+            deletes: vec![],
+            inserts: vec![vec![1, 2], vec![3]],
+        },
+        2 => Request::ListCollections,
+        _ => Request::Stats,
+    }
+}
+
+proptest! {
+    /// A valid frame truncated at any byte → clean drop or typed
+    /// error; the server survives every time.
+    #[test]
+    fn truncated_frames_never_wedge_the_server(which in 0usize..4, cut_bp in 0u32..10_000) {
+        let mut stream = TcpStream::connect(fixture().addr).expect("connect");
+        handshake(&mut stream);
+        let full = encode_request(7, &sample_request(which));
+        let cut = (full.len() - 1) * cut_bp as usize / 10_000;
+        stream.write_all(&full[..cut]).expect("write truncated");
+        // half-close: the server sees EOF mid-frame
+        let _ = stream.shutdown(std::net::Shutdown::Write);
+        drain_until_close(&mut stream);
+        assert_server_healthy("a truncated frame");
+    }
+
+    /// Arbitrary garbage after a valid handshake → typed error frame
+    /// or drop, never a panic.
+    #[test]
+    fn garbage_after_handshake_degrades_cleanly(
+        bytes in proptest::collection::vec(0u8..=255, 1..200),
+    ) {
+        let mut stream = TcpStream::connect(fixture().addr).expect("connect");
+        handshake(&mut stream);
+        let _ = stream.write_all(&bytes);
+        let _ = stream.shutdown(std::net::Shutdown::Write);
+        drain_until_close(&mut stream);
+        assert_server_healthy("garbage bytes");
+    }
+
+    /// Garbage *instead of* a handshake.
+    #[test]
+    fn garbage_handshakes_are_rejected(
+        bytes in proptest::collection::vec(0u8..=255, 1..64),
+    ) {
+        let mut stream = TcpStream::connect(fixture().addr).expect("connect");
+        let _ = stream.write_all(&bytes);
+        let _ = stream.shutdown(std::net::Shutdown::Write);
+        drain_until_close(&mut stream);
+        assert_server_healthy("a garbage handshake");
+    }
+
+    /// Any version other than 1 is rejected with the typed
+    /// UnsupportedVersion error naming the wanted version.
+    #[test]
+    fn wrong_versions_get_typed_rejects(raw in 2u16..1000) {
+        // map one value onto 0 so the below-current case is covered too
+        let version = if raw == 2 { 0 } else { raw };
+        let mut stream = TcpStream::connect(fixture().addr).expect("connect");
+        stream
+            .write_all(&encode_request(0, &Request::Hello { version, token: String::new() }))
+            .expect("hello");
+        let _ = stream.set_read_timeout(Some(Duration::from_secs(10)));
+        let body = read_frame(&mut stream, TORTURE_FRAME_CAP)
+            .expect("reject readable")
+            .expect("reject present");
+        let (id, response) = genie_net::frame::decode_response(&body).expect("typed reject");
+        prop_assert_eq!(id, 0);
+        match response {
+            Response::Reject { error: WireError::UnsupportedVersion { got, want } } => {
+                prop_assert_eq!(got, version);
+                prop_assert_eq!(want, PROTOCOL_VERSION);
+            }
+            other => panic!("wanted UnsupportedVersion, got {other:?}"),
+        }
+        drain_until_close(&mut stream);
+        assert_server_healthy("a mis-versioned hello");
+    }
+
+    /// Length prefixes beyond the cap are refused without reading the
+    /// body, while a *neighbor* connection keeps serving mid-abuse.
+    #[test]
+    fn oversized_lengths_are_refused_without_allocation(
+        declared in TORTURE_FRAME_CAP + 1..u32::MAX,
+    ) {
+        let neighbor = Client::connect(fixture().addr).expect("neighbor connects");
+        let mut stream = TcpStream::connect(fixture().addr).expect("connect");
+        handshake(&mut stream);
+        let before = fixture().handle.lock().unwrap().net_stats().oversized_frames;
+        stream.write_all(&declared.to_le_bytes()).expect("length prefix");
+        // no body follows — the declared length alone must get us dropped
+        drain_until_close(&mut stream);
+        let after = fixture().handle.lock().unwrap().net_stats().oversized_frames;
+        prop_assert!(after > before, "the oversize counter must bump");
+        // the neighbor never noticed
+        let reply = neighbor
+            .search(DEFAULT_COLLECTION, 5, query(UNIVERSE, 2))
+            .expect("neighbor survives sibling abuse");
+        prop_assert!(reply.hits.len() <= 5);
+    }
+}

@@ -299,6 +299,13 @@ impl GenieDb {
         &self.service
     }
 
+    /// An owning handle on the shared service, for front-ends that
+    /// outlive this facade value (e.g. a network server's connection
+    /// threads). The service shuts down when the last handle drops.
+    pub fn service_handle(&self) -> Arc<GenieService> {
+        Arc::clone(&self.service)
+    }
+
     /// The backend fleet, in scheduler order.
     pub fn backends(&self) -> &[Arc<dyn SearchBackend>] {
         &self.backends

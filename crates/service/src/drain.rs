@@ -1,0 +1,170 @@
+//! The connection registry behind graceful network shutdown.
+//!
+//! [`GenieService`](crate::GenieService) has always drained its own
+//! admission queue on drop (the final flush wave), but a *network*
+//! front-end adds a second in-flight population the service cannot see:
+//! connections whose reader already decoded and submitted a request and
+//! whose writer has not yet flushed the reply bytes to the socket.
+//! Tearing the listener down while those writers run silently drops
+//! accepted requests — the reply exists, but nobody sends it.
+//!
+//! [`ConnectionRegistry`] closes that gap with a counted barrier:
+//! every live connection holds a [`ConnectionGuard`]; shutdown flips
+//! the registry into *draining* (new registrations are refused, so the
+//! accept loop turns arrivals away), and [`await_drained`]
+//! (ConnectionRegistry::await_drained) blocks until every guard is
+//! dropped — i.e. every writer has flushed and every reader has exited
+//! — or the timeout expires. Only then may the service itself be
+//! dropped.
+
+use std::sync::{Arc, Condvar, Mutex};
+use std::time::{Duration, Instant};
+
+#[derive(Debug, Default)]
+struct RegistryState {
+    active: usize,
+    draining: bool,
+}
+
+#[derive(Debug, Default)]
+struct RegistryInner {
+    state: Mutex<RegistryState>,
+    drained: Condvar,
+}
+
+/// A counted shutdown barrier for network connections (or any other
+/// out-of-process request source). Clone handles freely — all clones
+/// share one barrier.
+#[derive(Debug, Clone, Default)]
+pub struct ConnectionRegistry {
+    inner: Arc<RegistryInner>,
+}
+
+impl ConnectionRegistry {
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Register one live connection. Returns `None` once draining has
+    /// begun — the caller must turn the connection away instead of
+    /// serving it half-shut-down.
+    pub fn register(&self) -> Option<ConnectionGuard> {
+        let mut state = self.inner.state.lock().expect("registry lock");
+        if state.draining {
+            return None;
+        }
+        state.active += 1;
+        Some(ConnectionGuard {
+            inner: Arc::clone(&self.inner),
+        })
+    }
+
+    /// Connections currently registered.
+    pub fn active(&self) -> usize {
+        self.inner.state.lock().expect("registry lock").active
+    }
+
+    /// Whether [`begin_drain`](Self::begin_drain) has been called.
+    pub fn draining(&self) -> bool {
+        self.inner.state.lock().expect("registry lock").draining
+    }
+
+    /// Flip into draining: every subsequent [`register`](Self::register)
+    /// returns `None`. Idempotent. Existing guards are unaffected —
+    /// their connections finish flushing and drop naturally.
+    pub fn begin_drain(&self) {
+        let mut state = self.inner.state.lock().expect("registry lock");
+        state.draining = true;
+        drop(state);
+        // wake any waiter even if active was already 0, so a drain of
+        // an idle server returns immediately
+        self.inner.drained.notify_all();
+    }
+
+    /// Block until every registered connection has dropped its guard,
+    /// or `timeout` expires. Returns whether the barrier fully drained.
+    /// Call [`begin_drain`](Self::begin_drain) first, or late arrivals
+    /// can re-raise the count while this waits.
+    pub fn await_drained(&self, timeout: Duration) -> bool {
+        let deadline = Instant::now() + timeout;
+        let mut state = self.inner.state.lock().expect("registry lock");
+        while state.active > 0 {
+            let left = deadline.saturating_duration_since(Instant::now());
+            if left.is_zero() {
+                return false;
+            }
+            let (next, _) = self
+                .inner
+                .drained
+                .wait_timeout(state, left)
+                .expect("registry lock");
+            state = next;
+        }
+        true
+    }
+}
+
+/// One live connection's membership in a [`ConnectionRegistry`]. Drop
+/// it when — and only when — the connection has fully flushed its
+/// replies; the drop is what releases the shutdown barrier.
+#[derive(Debug)]
+pub struct ConnectionGuard {
+    inner: Arc<RegistryInner>,
+}
+
+impl Drop for ConnectionGuard {
+    fn drop(&mut self) {
+        let mut state = self.inner.state.lock().expect("registry lock");
+        state.active -= 1;
+        let none_left = state.active == 0;
+        drop(state);
+        if none_left {
+            self.inner.drained.notify_all();
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn registers_counts_and_drains() {
+        let reg = ConnectionRegistry::new();
+        assert_eq!(reg.active(), 0);
+        let a = reg.register().unwrap();
+        let b = reg.register().unwrap();
+        assert_eq!(reg.active(), 2);
+        drop(a);
+        assert_eq!(reg.active(), 1);
+        reg.begin_drain();
+        assert!(reg.register().is_none(), "draining refuses new arrivals");
+        assert!(
+            !reg.await_drained(Duration::from_millis(10)),
+            "a held guard must block the barrier"
+        );
+        drop(b);
+        assert!(reg.await_drained(Duration::from_millis(10)));
+        assert_eq!(reg.active(), 0);
+    }
+
+    #[test]
+    fn draining_an_idle_registry_returns_immediately() {
+        let reg = ConnectionRegistry::new();
+        reg.begin_drain();
+        assert!(reg.draining());
+        assert!(reg.await_drained(Duration::ZERO));
+    }
+
+    #[test]
+    fn barrier_releases_from_another_thread() {
+        let reg = ConnectionRegistry::new();
+        let guard = reg.register().unwrap();
+        reg.begin_drain();
+        let reg2 = reg.clone();
+        let handle = std::thread::spawn(move || reg2.await_drained(Duration::from_secs(5)));
+        std::thread::sleep(Duration::from_millis(20));
+        drop(guard);
+        assert!(handle.join().unwrap(), "drop must wake the waiter");
+    }
+}

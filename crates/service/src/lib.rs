@@ -88,12 +88,14 @@
 //! serving path exists to produce.
 
 mod db;
+mod drain;
 mod service;
 
 pub use db::{Collection, DbError, GenieDb, SearchError, TypedTicket};
+pub use drain::{ConnectionGuard, ConnectionRegistry};
 pub use service::{
     percentile_us, BackendHealth, CollectionId, GenieService, MutateError, MutationStatus,
-    ResponseTicket, ServiceConfig, ServiceStats, Trigger, DEFAULT_COLLECTION,
+    ResponseTicket, ServiceConfig, ServiceStats, TicketResult, Trigger, DEFAULT_COLLECTION,
 };
 
 use std::collections::VecDeque;

@@ -524,10 +524,15 @@ fn background_compaction_folds_debt_automatically() {
     for i in 0..4 {
         col.insert(toks(&format!("doc number {i}"))).unwrap();
     }
+    // The compactor is only guaranteed to fold the debt that existed
+    // when its trigger fired: if it runs between the 3rd and 4th
+    // insert, one insert legitimately stays in the delta (debt 1 <
+    // compact_after) — so wait for the debt to drop BELOW the trigger
+    // threshold, not for zero.
     let deadline = std::time::Instant::now() + std::time::Duration::from_secs(10);
     loop {
         let status = col.mutation_status();
-        if status.delta == 0 && status.tombstones == 0 {
+        if status.delta < 3 && status.tombstones == 0 && db.stats().compactions >= 1 {
             break;
         }
         assert!(

@@ -7,6 +7,8 @@
 //! genie-cli serve <corpus.txt> [--domain docs|fuzzy] [--clients 8] [--requests 32]
 //!                              [--delay-ms 3] [--shards 1] [--mutate 0] [-k 5]
 //!                              [--backend ...]
+//! genie-cli net-serve <corpus.txt> [--listen 127.0.0.1:7007] [--token T] [--backend ...]
+//! genie-cli net-query <addr> --query "<words>" [-k 5] [--collection 0] [--token T]
 //! ```
 //!
 //! `docs` ranks lines by the number of distinct shared words (the
@@ -29,18 +31,29 @@
 //! `--delay-ms 0` cuts a wave as soon as any request is queued. The `--backend` flag picks the execution engine: the
 //! simulated SIMT device (default, prints device counters), the
 //! pure-CPU backend, or a two-device multi-load backend.
+//!
+//! `net-serve` exposes the corpus over the genie-net TCP protocol
+//! (each line indexed under the hashed-word convention of
+//! [`genie_client::keyword_of`]) until stdin reaches EOF; `net-query`
+//! connects to such a server — or to the standalone `genie-server`
+//! binary — hashes the query words the same way, and prints the hits
+//! alongside the sky-bench server/full latency split.
 
 use std::process::exit;
 use std::sync::Arc;
 
 use genie::prelude::*;
 use genie::sa::SequenceSearchReport;
+use genie_client::{keyword_of, Client, ClientConfig};
+use genie_net::server::{NetServer, ServerConfig};
 
 fn usage() -> ! {
     eprintln!(
         "usage:\n  genie-cli docs  <corpus.txt> --query \"<words>\"  [-k N] [--backend sim|cpu|multi]\n  \
          genie-cli fuzzy <corpus.txt> --query \"<string>\" [-k N] [-K CANDS] [-n NGRAM] [--backend sim|cpu|multi]\n  \
-         genie-cli serve <corpus.txt> [--domain docs|fuzzy] [--clients N] [--requests M] [--delay-ms D] [--shards S] [--mutate B] [-k N] [--backend sim|cpu|multi]"
+         genie-cli serve <corpus.txt> [--domain docs|fuzzy] [--clients N] [--requests M] [--delay-ms D] [--shards S] [--mutate B] [-k N] [--backend sim|cpu|multi]\n  \
+         genie-cli net-serve <corpus.txt> [--listen ADDR] [--token T] [--backend sim|cpu|multi]\n  \
+         genie-cli net-query <addr> --query \"<words>\" [-k N] [--collection C] [--token T]"
     );
     exit(2);
 }
@@ -59,6 +72,9 @@ struct Args {
     delay_ms: u64,
     shards: usize,
     mutate: usize,
+    listen: String,
+    token: String,
+    collection: u64,
 }
 
 fn parse_args() -> Args {
@@ -80,6 +96,9 @@ fn parse_args() -> Args {
         delay_ms: 3,
         shards: 1,
         mutate: 0,
+        listen: "127.0.0.1:7007".to_string(),
+        token: String::new(),
+        collection: 0,
     };
     let mut i = 2;
     while i < argv.len() {
@@ -153,11 +172,26 @@ fn parse_args() -> Args {
                     .and_then(|v| v.parse().ok())
                     .unwrap_or_else(|| usage());
             }
+            "--listen" => {
+                i += 1;
+                args.listen = argv.get(i).unwrap_or_else(|| usage()).clone();
+            }
+            "--token" => {
+                i += 1;
+                args.token = argv.get(i).unwrap_or_else(|| usage()).clone();
+            }
+            "--collection" => {
+                i += 1;
+                args.collection = argv
+                    .get(i)
+                    .and_then(|v| v.parse().ok())
+                    .unwrap_or_else(|| usage());
+            }
             _ => usage(),
         }
         i += 1;
     }
-    if args.query.is_empty() && args.mode != "serve" {
+    if args.query.is_empty() && args.mode != "serve" && args.mode != "net-serve" {
         usage();
     }
     if args.domain != "docs" && args.domain != "fuzzy" {
@@ -215,6 +249,11 @@ fn open_db(args: &Args, lines: usize) -> (GenieDb, Arc<dyn SearchBackend>) {
 
 fn main() {
     let args = parse_args();
+    if args.mode == "net-query" {
+        // here the positional argument is a server address, not a file
+        net_query(&args);
+        return;
+    }
     let raw = match std::fs::read_to_string(&args.corpus) {
         Ok(s) => s,
         Err(e) => {
@@ -262,6 +301,11 @@ fn main() {
         }
         "serve" => {
             serve(&args, &lines, &db);
+            device_counters(&*backend);
+            return;
+        }
+        "net-serve" => {
+            net_serve(&args, &lines, &db);
             device_counters(&*backend);
             return;
         }
@@ -453,6 +497,103 @@ fn mutation_summary<D: Domain>(col: &Collection<D>) {
             );
         }
         Err(e) => eprintln!("compaction failed: {e}"),
+    }
+}
+
+/// `net-serve`: index the corpus under the shared hashed-word
+/// convention, expose the service over TCP, run until stdin EOF, then
+/// drain and report.
+fn net_serve(args: &Args, lines: &[&str], db: &GenieDb) {
+    use std::io::Read;
+
+    let objects: Vec<Object> = lines
+        .iter()
+        .map(|l| Object {
+            keywords: l.split_whitespace().map(keyword_of).collect(),
+        })
+        .collect();
+    let mut builder = IndexBuilder::new();
+    builder.add_objects(objects.iter());
+    let index = Arc::new(builder.build(None));
+    let service = db.service_handle();
+    let collection = service
+        .add_collection_sharded(&args.corpus, &index, args.shards)
+        .unwrap_or_else(|e| {
+            eprintln!("cannot register corpus: {e}");
+            exit(1);
+        });
+    let config = ServerConfig {
+        auth_token: (!args.token.is_empty()).then(|| args.token.clone()),
+        ..ServerConfig::default()
+    };
+    let mut handle = NetServer::spawn(service, args.listen.as_str(), config).unwrap_or_else(|e| {
+        eprintln!("cannot bind {}: {e}", args.listen);
+        exit(1);
+    });
+    println!(
+        "serving {} lines as collection {collection} on {} — query with \
+         `genie-cli net-query {} --query \"...\" --collection {collection}`",
+        lines.len(),
+        handle.addr(),
+        handle.addr(),
+    );
+    println!("stdin EOF stops the server");
+    let mut sink = Vec::new();
+    let _ = std::io::stdin().read_to_end(&mut sink);
+    println!("draining ...");
+    let drained = handle.shutdown();
+    let net = handle.net_stats();
+    println!(
+        "drained: {drained}; {} connections accepted, {} frames in / {} out, \
+         {} protocol errors",
+        net.accepted, net.frames_in, net.frames_out, net.protocol_errors
+    );
+}
+
+/// `net-query`: connect to a genie-net server, hash the query words
+/// the way `net-serve`/`genie-server` hashed the corpus, print hits
+/// plus the sky-bench latency split.
+fn net_query(args: &Args) {
+    let config = ClientConfig {
+        token: args.token.clone(),
+        ..ClientConfig::default()
+    };
+    let client = Client::connect_with(args.corpus.as_str(), config).unwrap_or_else(|e| {
+        eprintln!("cannot connect to {}: {e}", args.corpus);
+        exit(1);
+    });
+    let keywords: Vec<u32> = args.query.split_whitespace().map(keyword_of).collect();
+    let reply = client
+        .search(
+            args.collection,
+            args.k as u32,
+            Query::from_keywords(&keywords),
+        )
+        .unwrap_or_else(|e| {
+            eprintln!("query rejected: {e}");
+            exit(1);
+        });
+    println!(
+        "top-{} of collection {} by shared words (audit threshold {}):",
+        args.k, args.collection, reply.audit_threshold
+    );
+    for hit in &reply.hits {
+        println!("  [{} shared] object {}", hit.count, hit.id);
+    }
+    println!(
+        "server latency {:.2} ms, full latency {:.2} ms",
+        reply.server_latency_us / 1000.0,
+        reply.full_latency_us / 1000.0
+    );
+    match client.list_collections() {
+        Ok(collections) => {
+            let names: Vec<String> = collections
+                .iter()
+                .map(|c| format!("{} = {:?} ({} objects)", c.id, c.name, c.len))
+                .collect();
+            println!("served collections: {}", names.join(", "));
+        }
+        Err(e) => eprintln!("list-collections failed: {e}"),
     }
 }
 

@@ -1,0 +1,200 @@
+//! genie-server — serve a plain-text corpus over the genie-net TCP
+//! protocol.
+//!
+//! ```text
+//! genie-server <corpus.txt> [--listen 127.0.0.1:7007] [--token T]
+//!              [--backend sim|cpu] [--delay-ms 2] [--shards 1]
+//! ```
+//!
+//! Each non-empty line of the corpus becomes one object whose keywords
+//! are the FNV-hashed lowercased words of the line (the
+//! [`genie_client::keyword_of`] convention, so remote clients can build
+//! queries without the server's vocabulary). The collection is served
+//! as the default collection; clients may create further collections
+//! over the wire. The server runs until stdin reaches EOF (pipe
+//! `</dev/null` for "run until killed", press Ctrl-D interactively),
+//! then drains in-flight connections and reports its counters.
+//!
+//! Query it with `genie-cli net-query <addr> --query "words"`, a
+//! [`genie_client::Client`], or anything speaking the versioned frame
+//! protocol documented in [`genie_net::protocol`].
+
+use std::io::Read;
+use std::process::exit;
+use std::sync::Arc;
+use std::time::Duration;
+
+use genie::prelude::*;
+use genie_client::keyword_of;
+use genie_net::server::{NetServer, ServerConfig};
+
+fn usage() -> ! {
+    eprintln!(
+        "usage: genie-server <corpus.txt> [--listen ADDR] [--token T] \
+         [--backend sim|cpu] [--delay-ms D] [--shards S]"
+    );
+    exit(2);
+}
+
+struct Args {
+    corpus: String,
+    listen: String,
+    token: Option<String>,
+    backend: String,
+    delay_ms: u64,
+    shards: usize,
+}
+
+fn parse_args() -> Args {
+    let argv: Vec<String> = std::env::args().skip(1).collect();
+    if argv.is_empty() {
+        usage();
+    }
+    let mut args = Args {
+        corpus: argv[0].clone(),
+        listen: "127.0.0.1:7007".to_string(),
+        token: None,
+        backend: "cpu".to_string(),
+        delay_ms: 2,
+        shards: 1,
+    };
+    let mut i = 1;
+    while i < argv.len() {
+        match argv[i].as_str() {
+            "--listen" => {
+                i += 1;
+                args.listen = argv.get(i).unwrap_or_else(|| usage()).clone();
+            }
+            "--token" => {
+                i += 1;
+                args.token = Some(argv.get(i).unwrap_or_else(|| usage()).clone());
+            }
+            "--backend" => {
+                i += 1;
+                args.backend = argv.get(i).unwrap_or_else(|| usage()).clone();
+            }
+            "--delay-ms" => {
+                i += 1;
+                args.delay_ms = argv
+                    .get(i)
+                    .and_then(|v| v.parse().ok())
+                    .unwrap_or_else(|| usage());
+            }
+            "--shards" => {
+                i += 1;
+                args.shards = argv
+                    .get(i)
+                    .and_then(|v| v.parse().ok())
+                    .filter(|&s: &usize| s >= 1)
+                    .unwrap_or_else(|| usage());
+            }
+            _ => usage(),
+        }
+        i += 1;
+    }
+    args
+}
+
+fn main() {
+    let args = parse_args();
+    let raw = match std::fs::read_to_string(&args.corpus) {
+        Ok(s) => s,
+        Err(e) => {
+            eprintln!("cannot read {}: {e}", args.corpus);
+            exit(1);
+        }
+    };
+    let objects: Vec<Object> = raw
+        .lines()
+        .filter(|l| !l.trim().is_empty())
+        .map(|l| Object {
+            keywords: l.split_whitespace().map(keyword_of).collect(),
+        })
+        .collect();
+    if objects.is_empty() {
+        eprintln!("{} holds no non-empty lines", args.corpus);
+        exit(1);
+    }
+
+    let backend: Arc<dyn SearchBackend> = match args.backend.as_str() {
+        "cpu" => Arc::new(CpuBackend::new()),
+        "sim" => Arc::new(Engine::new(Arc::new(Device::with_defaults()))),
+        _ => usage(),
+    };
+    let mut builder = IndexBuilder::new();
+    builder.add_objects(objects.iter());
+    let index = Arc::new(builder.build(None));
+    let service = Arc::new(
+        GenieService::start_empty(
+            QueryScheduler::single(backend),
+            ServiceConfig {
+                max_queue_delay: Duration::from_millis(args.delay_ms),
+                ..Default::default()
+            },
+        )
+        .unwrap_or_else(|e| {
+            eprintln!("cannot start service: {e}");
+            exit(1);
+        }),
+    );
+    let collection = service
+        .add_collection_sharded(&args.corpus, &index, args.shards)
+        .unwrap_or_else(|e| {
+            eprintln!("cannot register corpus: {e}");
+            exit(1);
+        });
+
+    let config = ServerConfig {
+        auth_token: args.token.clone(),
+        ..ServerConfig::default()
+    };
+    let mut handle = match NetServer::spawn(Arc::clone(&service), args.listen.as_str(), config) {
+        Ok(h) => h,
+        Err(e) => {
+            eprintln!("cannot bind {}: {e}", args.listen);
+            exit(1);
+        }
+    };
+    println!(
+        "serving {} objects from {} (collection id {}, {} shard{}) on {}{}",
+        objects.len(),
+        args.corpus,
+        collection,
+        args.shards,
+        if args.shards == 1 { "" } else { "s" },
+        handle.addr(),
+        if args.token.is_some() {
+            " [token required]"
+        } else {
+            ""
+        },
+    );
+    println!("stdin EOF stops the server (pipe </dev/null to run until killed)");
+
+    // block until stdin closes — the portable no-dependency stop signal
+    let mut sink = Vec::new();
+    let _ = std::io::stdin().read_to_end(&mut sink);
+
+    println!("stdin closed — draining in-flight connections ...");
+    let drained = handle.shutdown();
+    let net = handle.net_stats();
+    let stats = service.stats();
+    println!(
+        "drained: {drained}; {} connections accepted, {} frames in / {} out, \
+         {} requests admitted, {} protocol errors, {} io drops",
+        net.accepted,
+        net.frames_in,
+        net.frames_out,
+        net.requests_admitted,
+        net.protocol_errors,
+        net.io_drops
+    );
+    println!(
+        "service: {} served over {} waves, occupancy {:.1} queries/batch, \
+         {} mutation batches",
+        stats.served,
+        stats.waves,
+        stats.mean_batch_occupancy(),
+        stats.mutation_batches
+    );
+}

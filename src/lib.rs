@@ -48,9 +48,11 @@
 //! ```
 
 pub use genie_baselines as baselines;
+pub use genie_client as client;
 pub use genie_core as core;
 pub use genie_datasets as datasets;
 pub use genie_lsh as lsh;
+pub use genie_net as net;
 pub use genie_sa as sa;
 pub use genie_service as service;
 pub use gpu_sim;

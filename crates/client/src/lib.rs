@@ -278,6 +278,25 @@ impl Client {
                 .remove(&id);
             return Err(ClientError::Io(e.to_string()));
         }
+        // the reader may have died (setting `closed` and draining
+        // `pending`) between the check above and our insert, while the
+        // write still succeeded on the half-closed socket. Re-check: if
+        // the entry is still there under a closed connection, nobody
+        // will ever resolve it — remove it and fail now instead of
+        // letting Pending::wait() block forever. If the entry is gone,
+        // the reader either answered it or drained it with an error;
+        // the channel already holds the outcome.
+        if self.shared.closed.load(Ordering::Acquire)
+            && self
+                .shared
+                .pending
+                .lock()
+                .expect("pending lock")
+                .remove(&id)
+                .is_some()
+        {
+            return Err(ClientError::ConnectionClosed);
+        }
         Ok(Pending { id, rx })
     }
 

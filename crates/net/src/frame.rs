@@ -995,67 +995,145 @@ impl std::fmt::Display for FrameReadError {
 
 impl std::error::Error for FrameReadError {}
 
-/// Read one length-prefixed frame body from `r`.
+/// What one [`FrameReader::read`] call produced.
+#[derive(Debug)]
+pub enum FrameProgress {
+    /// One complete frame body.
+    Frame(Vec<u8>),
+    /// Clean close: EOF exactly on a frame boundary.
+    Eof,
+    /// The read timed out (`WouldBlock`/`TimedOut` on a socket with a
+    /// read timeout). Partial prefix/body bytes are retained in the
+    /// reader — call [`FrameReader::read`] again to continue the same
+    /// frame. `mid_frame` says whether a frame has started, so pollers
+    /// can tell an idle tick from a stalled sender.
+    TimedOut {
+        /// Some bytes of the current frame have already arrived.
+        mid_frame: bool,
+    },
+}
+
+/// Incremental length-prefixed frame decoder that survives read
+/// timeouts.
+///
+/// Serving loops poll sockets with short read timeouts (to notice
+/// shutdown); a frame whose bytes straddle a timeout must not lose the
+/// bytes already consumed, or the stream desyncs and mid-body bytes
+/// get parsed as a fresh length prefix. `FrameReader` keeps the
+/// partial prefix/body across [`FrameProgress::TimedOut`] returns and
+/// resumes exactly where it stopped — the caller decides how long a
+/// stalled frame may keep waiting (and can check shutdown flags or
+/// deadlines between calls, so a trickling peer can never pin its
+/// thread forever).
+#[derive(Debug, Default)]
+pub struct FrameReader {
+    len_bytes: [u8; 4],
+    /// Prefix bytes read so far (0..=4).
+    prefix_filled: usize,
+    /// Allocated once the prefix is complete and under the cap.
+    body: Option<Vec<u8>>,
+    body_filled: usize,
+}
+
+impl FrameReader {
+    /// A reader positioned on a frame boundary.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Some bytes of the current frame have arrived but the frame is
+    /// not complete.
+    pub fn mid_frame(&self) -> bool {
+        self.prefix_filled > 0 || self.body.is_some()
+    }
+
+    /// Pull bytes from `r` until a full frame, EOF, or a timeout.
+    ///
+    /// A frame whose prefix declares more than `max_len` bytes is
+    /// rejected without allocating or reading its body; the stream is
+    /// unusable past that point. Interrupted reads are retried; EOF
+    /// mid-frame is an [`FrameReadError::Io`] with `UnexpectedEof`.
+    pub fn read(
+        &mut self,
+        r: &mut impl std::io::Read,
+        max_len: u32,
+    ) -> Result<FrameProgress, FrameReadError> {
+        loop {
+            let mid_frame = self.mid_frame();
+            let (buf, filled) = match &mut self.body {
+                Some(body) => (&mut body[..], &mut self.body_filled),
+                None => (&mut self.len_bytes[..], &mut self.prefix_filled),
+            };
+            if *filled < buf.len() {
+                match r.read(&mut buf[*filled..]) {
+                    Ok(0) if !mid_frame => return Ok(FrameProgress::Eof),
+                    Ok(0) => {
+                        return Err(FrameReadError::Io(std::io::Error::new(
+                            std::io::ErrorKind::UnexpectedEof,
+                            "connection closed mid-frame",
+                        )))
+                    }
+                    Ok(n) => {
+                        *filled += n;
+                        continue;
+                    }
+                    Err(e) if e.kind() == std::io::ErrorKind::Interrupted => continue,
+                    Err(e)
+                        if matches!(
+                            e.kind(),
+                            std::io::ErrorKind::WouldBlock | std::io::ErrorKind::TimedOut
+                        ) =>
+                    {
+                        return Ok(FrameProgress::TimedOut { mid_frame })
+                    }
+                    Err(e) => return Err(FrameReadError::Io(e)),
+                }
+            }
+            if self.body.is_none() {
+                let len = u32::from_le_bytes(self.len_bytes);
+                if len > max_len {
+                    return Err(FrameReadError::TooLarge {
+                        len: len as u64,
+                        max: max_len as u64,
+                    });
+                }
+                self.body = Some(vec![0u8; len as usize]);
+                self.body_filled = 0;
+                continue;
+            }
+            let body = self.body.take().expect("checked above");
+            self.prefix_filled = 0;
+            self.body_filled = 0;
+            return Ok(FrameProgress::Frame(body));
+        }
+    }
+}
+
+/// Read one length-prefixed frame body from `r`, blocking-style.
 ///
 /// Returns `Ok(None)` on a clean close (EOF exactly at a frame
 /// boundary). A frame longer than `max_len` is rejected without
-/// reading or allocating its body. Interrupted reads are retried;
-/// timeouts surface as [`FrameReadError::Io`] with
-/// `WouldBlock`/`TimedOut` so pollers can distinguish them.
+/// reading or allocating its body. Interrupted reads are retried; a
+/// read timeout (at any point in the frame) surfaces as
+/// [`FrameReadError::Io`] with `TimedOut`. Poll-style callers that
+/// must survive timeouts without losing frame bytes use
+/// [`FrameReader`] directly.
 pub fn read_frame(
     r: &mut impl std::io::Read,
     max_len: u32,
 ) -> Result<Option<Vec<u8>>, FrameReadError> {
-    let mut len_bytes = [0u8; 4];
-    match read_exact_or_eof(r, &mut len_bytes) {
-        Ok(false) => return Ok(None),
-        Ok(true) => {}
-        Err(e) => return Err(FrameReadError::Io(e)),
+    match FrameReader::new().read(r, max_len)? {
+        FrameProgress::Frame(body) => Ok(Some(body)),
+        FrameProgress::Eof => Ok(None),
+        FrameProgress::TimedOut { mid_frame } => Err(FrameReadError::Io(std::io::Error::new(
+            std::io::ErrorKind::TimedOut,
+            if mid_frame {
+                "read timed out mid-frame"
+            } else {
+                "read timed out on a frame boundary"
+            },
+        ))),
     }
-    let len = u32::from_le_bytes(len_bytes);
-    if len > max_len {
-        return Err(FrameReadError::TooLarge {
-            len: len as u64,
-            max: max_len as u64,
-        });
-    }
-    let mut body = vec![0u8; len as usize];
-    r.read_exact(&mut body).map_err(FrameReadError::Io)?;
-    Ok(Some(body))
-}
-
-/// `read_exact`, except an EOF *before the first byte* reports
-/// `Ok(false)` instead of an error.
-fn read_exact_or_eof(r: &mut impl std::io::Read, buf: &mut [u8]) -> std::io::Result<bool> {
-    let mut filled = 0;
-    while filled < buf.len() {
-        match r.read(&mut buf[filled..]) {
-            Ok(0) if filled == 0 => return Ok(false),
-            Ok(0) => {
-                return Err(std::io::Error::new(
-                    std::io::ErrorKind::UnexpectedEof,
-                    "connection closed mid-frame",
-                ))
-            }
-            Ok(n) => filled += n,
-            Err(e) if e.kind() == std::io::ErrorKind::Interrupted => {}
-            // a timeout with some of the prefix already read must keep
-            // the partial bytes: the caller retries into the same frame
-            Err(e) if filled == 0 => return Err(e),
-            Err(e)
-                if matches!(
-                    e.kind(),
-                    std::io::ErrorKind::WouldBlock | std::io::ErrorKind::TimedOut
-                ) =>
-            {
-                // mid-prefix timeout: keep waiting for the rest — the
-                // frame has begun, so the bytes are on their way
-                continue;
-            }
-            Err(e) => return Err(e),
-        }
-    }
-    Ok(true)
 }
 
 #[cfg(test)]
@@ -1341,5 +1419,95 @@ mod tests {
             .unwrap()
             .unwrap();
         assert_eq!(body, frame[4..].to_vec());
+    }
+
+    /// Yields one byte per read, returning `WouldBlock` between every
+    /// pair of bytes — the worst-case trickling sender against a socket
+    /// with a read timeout.
+    struct TrickleRead {
+        bytes: Vec<u8>,
+        pos: usize,
+        give_next: bool,
+    }
+
+    impl std::io::Read for TrickleRead {
+        fn read(&mut self, buf: &mut [u8]) -> std::io::Result<usize> {
+            if self.pos == self.bytes.len() {
+                return Ok(0);
+            }
+            if !self.give_next {
+                self.give_next = true;
+                return Err(std::io::Error::new(
+                    std::io::ErrorKind::WouldBlock,
+                    "simulated poll timeout",
+                ));
+            }
+            self.give_next = false;
+            buf[0] = self.bytes[self.pos];
+            self.pos += 1;
+            Ok(1)
+        }
+    }
+
+    /// Timeouts at *every* byte boundary — inside the prefix and inside
+    /// the body — must never desync the stream: every frame decodes
+    /// whole and in order (the REVIEW regression for mid-body
+    /// timeouts being parsed as fresh length prefixes).
+    #[test]
+    fn frame_reader_survives_timeouts_at_every_byte() {
+        let requests = sample_requests();
+        let mut wire = Vec::new();
+        for (i, req) in requests.iter().enumerate() {
+            wire.extend_from_slice(&encode_request(i as u64, req));
+        }
+        let mut r = TrickleRead {
+            bytes: wire,
+            pos: 0,
+            give_next: false,
+        };
+        let mut reader = FrameReader::new();
+        let mut decoded = Vec::new();
+        let mut timeouts = 0usize;
+        loop {
+            match reader.read(&mut r, DEFAULT_MAX_FRAME_LEN).unwrap() {
+                FrameProgress::Frame(body) => {
+                    decoded.push(decode_request(&body).unwrap());
+                }
+                FrameProgress::Eof => break,
+                FrameProgress::TimedOut { .. } => timeouts += 1,
+            }
+        }
+        assert!(timeouts > 0, "the trickle must actually time out");
+        assert_eq!(decoded.len(), requests.len());
+        for (i, (req, (id, got))) in requests.iter().zip(&decoded).enumerate() {
+            assert_eq!(*id, i as u64);
+            assert_eq!(got, req);
+        }
+    }
+
+    /// A frame boundary timeout reports `mid_frame: false`; once any
+    /// byte of the prefix has arrived it reports `mid_frame: true`.
+    #[test]
+    fn frame_reader_reports_mid_frame() {
+        let frame = encode_request(3, &Request::Stats);
+        let mut r = TrickleRead {
+            bytes: frame,
+            pos: 0,
+            give_next: false,
+        };
+        let mut reader = FrameReader::new();
+        assert!(matches!(
+            reader.read(&mut r, 1024).unwrap(),
+            FrameProgress::TimedOut { mid_frame: false }
+        ));
+        assert!(!reader.mid_frame());
+        // consume one byte, then hit the next timeout
+        match reader.read(&mut r, 1024).unwrap() {
+            FrameProgress::TimedOut { mid_frame } => {
+                assert!(mid_frame);
+                assert!(reader.mid_frame());
+            }
+            other => panic!("expected a mid-frame timeout, got {other:?}"),
+        }
     }
 }

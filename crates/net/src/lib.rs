@@ -27,8 +27,8 @@ pub mod wire;
 
 pub use frame::{
     decode_request, decode_response, encode_request, encode_response, read_frame, BuildError,
-    CollectionInfo, FrameReadError, Request, Response, WireError, DEFAULT_MAX_FRAME_LEN,
-    HANDSHAKE_REQUEST_ID, HELLO_MAGIC, PROTOCOL_VERSION,
+    CollectionInfo, FrameProgress, FrameReadError, FrameReader, Request, Response, WireError,
+    DEFAULT_MAX_FRAME_LEN, HANDSHAKE_REQUEST_ID, HELLO_MAGIC, PROTOCOL_VERSION,
 };
 pub use server::{NetServer, NetStats, ServerConfig, ServerHandle};
 pub use wire::{ByteReader, ByteWriter, DecodeError};

@@ -39,17 +39,19 @@ use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
 use std::sync::mpsc::{channel, Receiver, Sender, TryRecvError};
 use std::sync::Arc;
 use std::thread::JoinHandle;
-use std::time::Duration;
+use std::time::{Duration, Instant};
 
 use genie_core::index::IndexBuilder;
 use genie_core::model::{Object, Query};
+use genie_core::shard::ShardError;
 use genie_service::{
-    ConnectionRegistry, GenieService, MutateError, ResponseTicket, ServiceStats, TicketResult,
+    ConnectionRegistry, GenieService, MutateError, ResponseTicket, ServiceError, ServiceStats,
+    TicketResult,
 };
 
 use crate::frame::{
-    self, CollectionInfo, FrameReadError, Request, Response, WireError, HANDSHAKE_REQUEST_ID,
-    PROTOCOL_VERSION,
+    self, CollectionInfo, FrameProgress, FrameReadError, FrameReader, Request, Response, WireError,
+    HANDSHAKE_REQUEST_ID, PROTOCOL_VERSION,
 };
 
 /// Knobs of one [`NetServer`].
@@ -287,6 +289,9 @@ fn accept_loop(listener: TcpListener, shared: Arc<Shared>) {
                 if shared.shutdown.load(Ordering::Acquire) {
                     return;
                 }
+                // a persistent accept error (EMFILE under connection
+                // pressure, say) must not spin this thread at 100% CPU
+                std::thread::sleep(Duration::from_millis(50));
                 continue;
             }
         };
@@ -425,27 +430,22 @@ fn assemble_search_reply(
     }
 }
 
-/// Map a service error string onto the wire taxonomy.
-fn service_error(e: String) -> WireError {
-    if e.contains("shutting down") {
-        WireError::ShuttingDown
-    } else if e.contains("no backends") {
-        WireError::NoBackends
-    } else {
-        WireError::Service(e)
+/// Translate the service's typed error onto the wire taxonomy — a
+/// variant-for-variant mapping, never a classification of message
+/// strings.
+fn service_error(e: ServiceError) -> WireError {
+    match e {
+        ServiceError::ShuttingDown => WireError::ShuttingDown,
+        ServiceError::UnknownCollection(id) => WireError::UnknownCollection(id),
+        ServiceError::InvalidShards(e) => WireError::InvalidShards(e.to_string()),
+        ServiceError::Internal(e) => WireError::Service(e),
     }
 }
 
-fn mutate_error(collection: u64, e: MutateError) -> WireError {
+fn mutate_error(e: MutateError) -> WireError {
     match e {
         MutateError::UnknownId(id) => WireError::UnknownId(id),
-        MutateError::Service(s) => {
-            if s.contains("unknown collection") {
-                WireError::UnknownCollection(collection)
-            } else {
-                service_error(s)
-            }
-        }
+        MutateError::Service(e) => service_error(e),
     }
 }
 
@@ -481,30 +481,43 @@ fn serve_connection(stream: TcpStream, shared: Arc<Shared>, guard: genie_service
 fn handshake(stream: TcpStream, shared: &Shared) -> Option<(TcpStream, TcpStream)> {
     let config = &shared.config;
     let _ = stream.set_nodelay(true);
-    if stream
-        .set_read_timeout(Some(config.handshake_timeout))
-        .is_err()
-    {
+    // poll-grade read timeout: the Hello may trickle in byte by byte,
+    // and the loop below enforces the *total* handshake deadline (and
+    // notices server shutdown) between polls — a client stalling
+    // mid-prefix can neither desync the stream nor pin this thread (and
+    // its drain guard) past the handshake timeout
+    if stream.set_read_timeout(Some(config.read_poll)).is_err() {
         bump(&shared.counters.io_drops);
         return None;
     }
     let mut read_half = stream;
-    let body = match frame::read_frame(&mut read_half, config.max_frame_len) {
-        Ok(Some(body)) => body,
-        Ok(None) => {
-            // connected and went away without a word — the shutdown
-            // self-connect does exactly this
-            return None;
-        }
-        Err(FrameReadError::TooLarge { len, max }) => {
-            bump(&shared.counters.oversized_frames);
-            bump(&shared.counters.handshake_rejects);
-            reject_and_drop(read_half, shared, WireError::TooLarge { len, max });
-            return None;
-        }
-        Err(FrameReadError::Io(_)) => {
-            bump(&shared.counters.handshake_rejects);
-            return None;
+    let deadline = Instant::now() + config.handshake_timeout;
+    let mut reader = FrameReader::new();
+    let body = loop {
+        match reader.read(&mut read_half, config.max_frame_len) {
+            Ok(FrameProgress::Frame(body)) => break body,
+            Ok(FrameProgress::Eof) => {
+                // connected and went away without a word — the shutdown
+                // self-connect does exactly this
+                return None;
+            }
+            Ok(FrameProgress::TimedOut { .. }) => {
+                if shared.shutdown.load(Ordering::Acquire) || Instant::now() >= deadline {
+                    // no complete Hello within the handshake window
+                    bump(&shared.counters.handshake_rejects);
+                    return None;
+                }
+            }
+            Err(FrameReadError::TooLarge { len, max }) => {
+                bump(&shared.counters.oversized_frames);
+                bump(&shared.counters.handshake_rejects);
+                reject_and_drop(read_half, shared, WireError::TooLarge { len, max });
+                return None;
+            }
+            Err(FrameReadError::Io(_)) => {
+                bump(&shared.counters.handshake_rejects);
+                return None;
+            }
         }
     };
     let error = match frame::decode_request(&body) {
@@ -549,20 +562,34 @@ fn handshake(stream: TcpStream, shared: &Shared) -> Option<(TcpStream, TcpStream
         return None;
     }
     bump(&shared.counters.frames_out);
-    if read_half.set_read_timeout(Some(config.read_poll)).is_err() {
-        bump(&shared.counters.io_drops);
-        return None;
-    }
+    // the read timeout is already read_poll — exactly what the serving
+    // reader_loop polls with
     Some((read_half, write_half))
 }
 
 /// Decode frames and dispatch them until EOF, a protocol breach, a
 /// socket error, or server shutdown.
+///
+/// The [`FrameReader`] persists across poll ticks: a frame whose bytes
+/// straddle the `read_poll` timeout (large frames, congested links,
+/// incremental writers) resumes exactly where it stopped instead of
+/// re-parsing mid-body bytes as a fresh length prefix, and a stalled
+/// mid-frame sender still lets this thread observe server shutdown on
+/// every tick.
 fn reader_loop(read_half: &mut TcpStream, shared: &Shared, tx: &Sender<Job>) {
+    let mut reader = FrameReader::new();
     loop {
-        let body = match frame::read_frame(read_half, shared.config.max_frame_len) {
-            Ok(Some(body)) => body,
-            Ok(None) => return, // clean close
+        let body = match reader.read(read_half, shared.config.max_frame_len) {
+            Ok(FrameProgress::Frame(body)) => body,
+            Ok(FrameProgress::Eof) => return, // clean close
+            Ok(FrameProgress::TimedOut { .. }) => {
+                // poll tick: keep serving unless shutting down (partial
+                // frame bytes stay buffered in the reader)
+                if shared.shutdown.load(Ordering::Acquire) {
+                    return;
+                }
+                continue;
+            }
             Err(FrameReadError::TooLarge { len, max }) => {
                 bump(&shared.counters.oversized_frames);
                 send_error(
@@ -573,15 +600,7 @@ fn reader_loop(read_half: &mut TcpStream, shared: &Shared, tx: &Sender<Job>) {
                 );
                 return;
             }
-            Err(FrameReadError::Io(e)) => {
-                use std::io::ErrorKind;
-                if matches!(e.kind(), ErrorKind::WouldBlock | ErrorKind::TimedOut) {
-                    // poll tick: keep serving unless shutting down
-                    if shared.shutdown.load(Ordering::Acquire) {
-                        return;
-                    }
-                    continue;
-                }
+            Err(FrameReadError::Io(_)) => {
                 bump(&shared.counters.io_drops);
                 return;
             }
@@ -686,7 +705,7 @@ fn dispatch(shared: &Shared, request_id: u64, request: Request) -> Job {
             ) {
                 Ok(ids) => Response::Ids { ids },
                 Err(e) => Response::Error {
-                    error: mutate_error(collection, e),
+                    error: mutate_error(e),
                 },
             },
         ),
@@ -694,7 +713,7 @@ fn dispatch(shared: &Shared, request_id: u64, request: Request) -> Job {
             match service.mutate_collection(collection, &ids, Vec::new(), &mut |_, _| {}) {
                 Ok(_) => Response::Ack,
                 Err(e) => Response::Error {
-                    error: mutate_error(collection, e),
+                    error: mutate_error(e),
                 },
             },
         ),
@@ -711,7 +730,7 @@ fn dispatch(shared: &Shared, request_id: u64, request: Request) -> Job {
             ) {
                 Ok(ids) => Response::Ids { ids },
                 Err(e) => Response::Error {
-                    error: mutate_error(collection, e),
+                    error: mutate_error(e),
                 },
             },
         ),
@@ -728,7 +747,7 @@ fn dispatch(shared: &Shared, request_id: u64, request: Request) -> Job {
                 match service.mutate_collection(collection, &deletes, inserts, &mut |_, _| {}) {
                     Ok(ids) => Response::Ids { ids },
                     Err(e) => Response::Error {
-                        error: mutate_error(collection, e),
+                        error: mutate_error(e),
                     },
                 },
             )
@@ -756,16 +775,19 @@ fn dispatch(shared: &Shared, request_id: u64, request: Request) -> Job {
             shards,
             objects,
         } => {
+            // mirror GenieDb::create_collection_sharded: a zero shard
+            // count is a typed validation error, not a silent clamp
+            if shards == 0 {
+                return done(Response::Error {
+                    error: WireError::InvalidShards(ShardError::ZeroShards.to_string()),
+                });
+            }
             let index = build_index(&objects);
             done(
                 match service.add_collection_sharded(&name, &index, shards as usize) {
                     Ok(id) => Response::Created { collection: id },
                     Err(e) => Response::Error {
-                        error: if e.contains("shard") {
-                            WireError::InvalidShards(e)
-                        } else {
-                            service_error(e)
-                        },
+                        error: service_error(e),
                     },
                 },
             )

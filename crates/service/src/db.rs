@@ -30,7 +30,7 @@ use genie_core::shard::ShardError;
 
 use crate::service::{
     BackendHealth, CollectionId, GenieService, MutateError, MutationStatus, ResponseTicket,
-    ServiceConfig, ServiceStats,
+    ServiceConfig, ServiceError, ServiceStats,
 };
 use crate::{QueryScheduler, SchedulerConfig};
 
@@ -42,7 +42,7 @@ pub enum SearchError {
     Build(QueryBuildError),
     /// The service could not serve the request (wave failure,
     /// shutdown, unknown collection).
-    Service(String),
+    Service(ServiceError),
 }
 
 impl std::fmt::Display for SearchError {
@@ -81,7 +81,7 @@ pub enum DbError {
     UnknownId(ObjectId),
     /// The serving layer failed (backend preparation, shutdown,
     /// unknown collection).
-    Service(String),
+    Service(ServiceError),
 }
 
 impl std::fmt::Display for DbError {
@@ -173,7 +173,8 @@ impl GenieDb {
             return Err(DbError::NoBackends);
         }
         let sched = QueryScheduler::new(backends.clone(), scheduler);
-        let service = GenieService::start_empty(sched, service).map_err(DbError::Service)?;
+        let service = GenieService::start_empty(sched, service)
+            .map_err(|e| DbError::Service(ServiceError::Internal(e)))?;
         Ok(Self {
             service: Arc::new(service),
             backends,

@@ -95,7 +95,8 @@ pub use db::{Collection, DbError, GenieDb, SearchError, TypedTicket};
 pub use drain::{ConnectionGuard, ConnectionRegistry};
 pub use service::{
     percentile_us, BackendHealth, CollectionId, GenieService, MutateError, MutationStatus,
-    ResponseTicket, ServiceConfig, ServiceStats, TicketResult, Trigger, DEFAULT_COLLECTION,
+    ResponseTicket, ServiceConfig, ServiceError, ServiceStats, TicketResult, Trigger,
+    DEFAULT_COLLECTION,
 };
 
 use std::collections::VecDeque;

@@ -85,7 +85,7 @@ use std::time::{Duration, Instant};
 use genie_core::delta::DeltaPlan;
 use genie_core::index::InvertedIndex;
 use genie_core::model::{Object, ObjectId, Query};
-use genie_core::shard::{merge_shard_topk_filtered, Shard, ShardPlan};
+use genie_core::shard::{merge_shard_topk_filtered, Shard, ShardError, ShardPlan};
 use genie_core::topk::TopHit;
 
 use crate::{
@@ -279,9 +279,38 @@ struct Breaker {
     probe_in_flight: bool,
 }
 
+/// Why the serving layer failed a request or a collection-management
+/// operation — the typed taxonomy front-ends (the network server, the
+/// typed facade) translate without parsing message strings.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum ServiceError {
+    /// The service is shutting down; the request was not served.
+    ShuttingDown,
+    /// No collection is registered under this id.
+    UnknownCollection(CollectionId),
+    /// A degenerate shard plan was requested.
+    InvalidShards(ShardError),
+    /// Backend preparation or wave execution failed. The message is
+    /// diagnostic only — front-ends must not match on its contents.
+    Internal(String),
+}
+
+impl std::fmt::Display for ServiceError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            Self::ShuttingDown => f.write_str("service is shutting down"),
+            Self::UnknownCollection(id) => write!(f, "unknown collection id {id}"),
+            Self::InvalidShards(e) => write!(f, "invalid shard plan: {e}"),
+            Self::Internal(e) => f.write_str(e),
+        }
+    }
+}
+
+impl std::error::Error for ServiceError {}
+
 /// What a ticket resolves to: the routed response, or the error that
 /// stopped its wave.
-pub type TicketResult = Result<QueryResponse, String>;
+pub type TicketResult = Result<QueryResponse, ServiceError>;
 
 /// A claim on one submitted request's future response.
 ///
@@ -307,9 +336,7 @@ impl ResponseTicket {
 
     /// Block until the response arrives.
     pub fn wait(self) -> TicketResult {
-        self.rx
-            .recv()
-            .unwrap_or_else(|_| Err("service dropped the request without serving it".into()))
+        self.rx.recv().unwrap_or_else(|_| Err(dropped_unserved()))
     }
 
     /// Block up to `timeout`; `None` means not served yet.
@@ -317,9 +344,7 @@ impl ResponseTicket {
         match self.rx.recv_timeout(timeout) {
             Ok(r) => Some(r),
             Err(RecvTimeoutError::Timeout) => None,
-            Err(RecvTimeoutError::Disconnected) => {
-                Some(Err("service dropped the request without serving it".into()))
-            }
+            Err(RecvTimeoutError::Disconnected) => Some(Err(dropped_unserved())),
         }
     }
 
@@ -328,11 +353,13 @@ impl ResponseTicket {
         match self.rx.try_recv() {
             Ok(r) => Some(r),
             Err(TryRecvError::Empty) => None,
-            Err(TryRecvError::Disconnected) => {
-                Some(Err("service dropped the request without serving it".into()))
-            }
+            Err(TryRecvError::Disconnected) => Some(Err(dropped_unserved())),
         }
     }
+}
+
+fn dropped_unserved() -> ServiceError {
+    ServiceError::Internal("service dropped the request without serving it".into())
 }
 
 /// One admitted request waiting for its wave.
@@ -559,7 +586,7 @@ pub enum MutateError {
     UnknownId(ObjectId),
     /// The service could not apply the batch (unknown collection,
     /// backend preparation failure).
-    Service(String),
+    Service(ServiceError),
 }
 
 impl std::fmt::Display for MutateError {
@@ -571,7 +598,7 @@ impl std::fmt::Display for MutateError {
                     "cannot delete object {id}: not a live id of this collection"
                 )
             }
-            Self::Service(e) => f.write_str(e),
+            Self::Service(e) => write!(f, "{e}"),
         }
     }
 }
@@ -728,7 +755,7 @@ impl ServiceInner {
         let mut failed_misses = 0u64;
         let mut any_failed = false;
         // (group, outcome) pairs resolved after stats are accounted
-        type GroupOutcome = (Vec<Pending>, Result<Vec<QueryResponse>, String>);
+        type GroupOutcome = (Vec<Pending>, Result<Vec<QueryResponse>, ServiceError>);
         let mut outcomes: Vec<GroupOutcome> = Vec::new();
 
         for cid in group_order {
@@ -736,7 +763,7 @@ impl ServiceInner {
             let Some(entry) = self.entry(cid) else {
                 failed_misses += group.len() as u64;
                 any_failed = true;
-                outcomes.push((group, Err(format!("unknown collection id {cid}"))));
+                outcomes.push((group, Err(ServiceError::UnknownCollection(cid))));
                 continue;
             };
             let requests: Vec<QueryRequest> = group.iter().map(|p| p.request.clone()).collect();
@@ -775,7 +802,7 @@ impl ServiceInner {
                 Err(e) => {
                     failed_misses += group.len() as u64;
                     any_failed = true;
-                    outcomes.push((group, Err(e)));
+                    outcomes.push((group, Err(ServiceError::Internal(e))));
                 }
             }
         }
@@ -1120,7 +1147,7 @@ impl ServiceInner {
     /// there was nothing to fold or the collection's base changed
     /// underneath (swap or concurrent compaction — the run is
     /// discarded as stale).
-    fn compact_now(&self, collection: CollectionId) -> Result<bool, String> {
+    fn compact_now(&self, collection: CollectionId) -> Result<bool, ServiceError> {
         let Some(entry) = self.entry(collection) else {
             return Ok(false);
         };
@@ -1161,9 +1188,9 @@ impl ServiceInner {
         }
         if let Some(e) = prepare_err {
             self.stats.lock().expect("stats lock").stale_compactions += 1;
-            return Err(format!(
+            return Err(ServiceError::Internal(format!(
                 "compaction of collection {collection} aborted: {e}"
-            ));
+            )));
         }
         if slot.epoch != epoch {
             self.stats.lock().expect("stats lock").stale_compactions += 1;
@@ -1179,7 +1206,10 @@ impl ServiceInner {
             // go straight into the new serving snapshot
             let delta = match state.plan.delta_shard() {
                 Some(shard) => Some(Arc::new(PreparedShard {
-                    prepared: self.scheduler.prepare(&shard.index)?,
+                    prepared: self
+                        .scheduler
+                        .prepare(&shard.index)
+                        .map_err(ServiceError::Internal)?,
                     shard,
                 })),
                 None => None,
@@ -1387,7 +1417,9 @@ impl GenieService {
         config: ServiceConfig,
     ) -> Result<Self, String> {
         let service = Self::start_empty(scheduler, config)?;
-        let id = service.add_collection("default", index)?;
+        let id = service
+            .add_collection("default", index)
+            .map_err(|e| e.to_string())?;
         debug_assert_eq!(id, DEFAULT_COLLECTION);
         Ok(service)
     }
@@ -1411,7 +1443,7 @@ impl GenieService {
         &self,
         name: &str,
         index: &Arc<InvertedIndex>,
-    ) -> Result<CollectionId, String> {
+    ) -> Result<CollectionId, ServiceError> {
         self.add_collection_sharded(name, index, 1)
     }
 
@@ -1427,7 +1459,7 @@ impl GenieService {
         name: &str,
         index: &Arc<InvertedIndex>,
         shards: usize,
-    ) -> Result<CollectionId, String> {
+    ) -> Result<CollectionId, ServiceError> {
         let serving = self.prepare_serving(index, shards)?;
         Ok(self.register(name, shards.max(1), serving))
     }
@@ -1441,7 +1473,7 @@ impl GenieService {
         &self,
         name: &str,
         plan: &ShardPlan,
-    ) -> Result<CollectionId, String> {
+    ) -> Result<CollectionId, ServiceError> {
         let serving = self.prepare_plan(plan)?;
         Ok(self.register(name, plan.num_shards(), serving))
     }
@@ -1471,26 +1503,33 @@ impl GenieService {
         &self,
         index: &Arc<InvertedIndex>,
         shards: usize,
-    ) -> Result<CollectionServing, String> {
+    ) -> Result<CollectionServing, ServiceError> {
         if shards <= 1 {
             return Ok(CollectionServing::Single(
-                self.inner.scheduler.prepare(index)?,
+                self.inner
+                    .scheduler
+                    .prepare(index)
+                    .map_err(ServiceError::Internal)?,
             ));
         }
-        let plan = ShardPlan::from_index(index, shards).map_err(|e| e.to_string())?;
+        let plan = ShardPlan::from_index(index, shards).map_err(ServiceError::InvalidShards)?;
         self.prepare_plan(&plan)
     }
 
-    fn prepare_plan(&self, plan: &ShardPlan) -> Result<CollectionServing, String> {
+    fn prepare_plan(&self, plan: &ShardPlan) -> Result<CollectionServing, ServiceError> {
         let mut shards = Vec::with_capacity(plan.num_shards());
         for shard in plan.shards() {
             shards.push(PreparedShard {
-                prepared: self.inner.scheduler.prepare(&shard.index)?,
+                prepared: self
+                    .inner
+                    .scheduler
+                    .prepare(&shard.index)
+                    .map_err(ServiceError::Internal)?,
                 shard: shard.clone(),
             });
         }
         if shards.is_empty() {
-            return Err("a shard plan must hold at least one shard".into());
+            return Err(ServiceError::InvalidShards(ShardError::ZeroShards));
         }
         Ok(CollectionServing::Sharded(shards))
     }
@@ -1505,11 +1544,11 @@ impl GenieService {
         &self,
         collection: CollectionId,
         index: &Arc<InvertedIndex>,
-    ) -> Result<f64, String> {
+    ) -> Result<f64, ServiceError> {
         let entry = self
             .inner
             .entry(collection)
-            .ok_or_else(|| format!("unknown collection id {collection}"))?;
+            .ok_or(ServiceError::UnknownCollection(collection))?;
         let shards = entry.read().expect("collection lock").configured_shards;
         let serving = self.prepare_serving(index, shards)?;
         let upload_sim_us = match &serving {
@@ -1538,7 +1577,7 @@ impl GenieService {
 
     /// [`swap_collection`](Self::swap_collection) on the
     /// [`DEFAULT_COLLECTION`].
-    pub fn swap_index(&self, index: &Arc<InvertedIndex>) -> Result<f64, String> {
+    pub fn swap_index(&self, index: &Arc<InvertedIndex>) -> Result<f64, ServiceError> {
         self.swap_collection(DEFAULT_COLLECTION, index)
     }
 
@@ -1634,10 +1673,9 @@ impl GenieService {
             return Ok(Vec::new());
         }
         let num_inserts = inserts.len() as u64;
-        let entry = self
-            .inner
-            .entry(collection)
-            .ok_or_else(|| MutateError::Service(format!("unknown collection id {collection}")))?;
+        let entry = self.inner.entry(collection).ok_or(MutateError::Service(
+            ServiceError::UnknownCollection(collection),
+        ))?;
         let mut slot = entry.write().expect("collection lock");
         ServiceInner::ensure_live(&mut slot);
         let (ids, want_compaction) = {
@@ -1657,7 +1695,7 @@ impl GenieService {
                         .inner
                         .scheduler
                         .prepare(&shard.index)
-                        .map_err(MutateError::Service)?,
+                        .map_err(|e| MutateError::Service(ServiceError::Internal(e)))?,
                     shard,
                 })),
                 None => None,
@@ -1712,7 +1750,7 @@ impl GenieService {
     /// invisible to results (rebuild equivalence). Returns whether a
     /// compaction was applied (`false`: nothing to fold, or the base
     /// changed underneath and the run was discarded as stale).
-    pub fn compact_collection(&self, collection: CollectionId) -> Result<bool, String> {
+    pub fn compact_collection(&self, collection: CollectionId) -> Result<bool, ServiceError> {
         self.inner.compact_now(collection)
     }
 
@@ -1742,7 +1780,7 @@ impl GenieService {
         {
             let mut q = self.inner.queue.lock().expect("queue lock");
             if q.shutdown {
-                let _ = tx.send(Err("service is shutting down".into()));
+                let _ = tx.send(Err(ServiceError::ShuttingDown));
             } else {
                 q.pending.push_back(Pending {
                     collection,
@@ -1953,7 +1991,7 @@ mod tests {
             .submit_to(99, Query::from_keywords(&[1]), 3)
             .wait()
             .unwrap_err();
-        assert!(err.contains("unknown collection"), "{err}");
+        assert_eq!(err, ServiceError::UnknownCollection(99));
         let stats = service.stats();
         assert_eq!(stats.failed_requests, 1);
         assert_eq!(stats.served, 0);

@@ -21,6 +21,7 @@ use genie_bench::cpu_kernel;
 use genie_bench::experiments as exp;
 use genie_bench::mutations;
 use genie_bench::net;
+use genie_bench::placement;
 use genie_bench::serving;
 use genie_bench::workloads::Scale;
 
@@ -32,7 +33,8 @@ fn main() {
              [--fig12] [--fig13] [--fig14] [--table1] [--table2] [--table4] \
              [--table5] [--table6] [--ext-structures] [--ext-tau] [--serving] \
              [--serving-smoke] [--shards N] [--cpu-kernel [--smoke]] \
-             [--mutations [--smoke]] [--net [--smoke]] [--check]"
+             [--mutations [--smoke]] [--net [--smoke]] \
+             [--placement [--smoke]] [--check]"
         );
         std::process::exit(2);
     }
@@ -165,6 +167,22 @@ fn main() {
             all_checks_passed &= net::net_check(smoke);
         } else {
             net::net(smoke);
+        }
+    }
+    if has("--placement") {
+        // the skew-aware placement workload: skewed corpus on a
+        // heterogeneous fleet (CPU + throttled sims), static broadcast
+        // vs the learning placement loop. Deliberately not part of
+        // --all (the throttle spins real wall-clock); `--smoke` routes
+        // the CI-sized run to the gitignored BENCH_placement_smoke.json
+        // and `--quick` to BENCH_placement_quick.json; only the full
+        // run refreshes the checked-in BENCH_placement.json.
+        let smoke = has("--smoke");
+        let quick = has("--quick");
+        if checking {
+            all_checks_passed &= placement::placement_check(smoke || quick);
+        } else {
+            placement::placement(smoke, quick && !smoke);
         }
     }
     if has("--serving-smoke") {

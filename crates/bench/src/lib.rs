@@ -18,6 +18,10 @@
 //!   connections against a loopback `NetServer`, sky-bench-style
 //!   server-vs-full latency percentiles across workload mixes,
 //!   pipeline depths and a connection-churn phase;
+//! * [`placement`] — the skew-aware placement workload: a skewed corpus
+//!   on a heterogeneous fleet (CPU + throttled sims), static broadcast
+//!   vs the learning placement loop (online per-backend cost model,
+//!   hot-shard detection, background rebalancing) converging p95 down;
 //! * [`cpu_kernel`] — the host counting-kernel sweep: seed dense path
 //!   vs the sparse-aware scratch kernel across selectivity regimes;
 //! * [`json`] — the machine-readable baseline writer/parser behind
@@ -38,6 +42,7 @@ pub mod experiments;
 pub mod json;
 pub mod mutations;
 pub mod net;
+pub mod placement;
 pub mod runners;
 pub mod serving;
 pub mod workloads;

@@ -1,0 +1,794 @@
+//! The skew-aware placement workload: a heterogeneous fleet (one
+//! full-speed CPU backend plus two artificially throttled "sim"
+//! devices) serves a skewed corpus where one shard owns nearly all the
+//! scanned postings. Static broadcast dispatch drags every wave down
+//! to the slowest device; the placement loop — online per-backend cost
+//! model, hot-shard detection, background rebalancing — learns the
+//! fleet asymmetry from served traffic alone and converges request
+//! p95 down by routing shards off the throttled devices.
+//!
+//! As with the other service benches, raw microseconds are recorded
+//! for trend reading but never gated; the `--check` gates are
+//! dimensionless indicators (every request resolved, answers identical
+//! to broadcast, the detector and rebalancer fired, the cost model
+//! separated the fleet, placed p95 beat broadcast p95) that hold on
+//! any host — the ~1.5 ms/query throttle dwarfs host noise by design.
+
+use std::sync::Arc;
+use std::time::{Duration, Instant};
+
+use genie_core::backend::{BackendCaps, BackendIndex, CpuBackend, SearchBackend};
+use genie_core::exec::SearchOutput;
+use genie_core::index::{IndexBuilder, InvertedIndex};
+use genie_core::model::{Object, Query};
+use genie_service::{
+    percentile_us, CollectionId, GenieService, QueryScheduler, SchedulerConfig, ServiceConfig,
+    ServiceStats,
+};
+
+use crate::check::{self, GateRow};
+use crate::cpu_kernel::meta_fields;
+use crate::json::Json;
+use crate::{ms, row};
+
+/// The keyword carried by every hot-shard object (and by ~80% of the
+/// query stream): all of its postings live in shard 0.
+const HOT_KEYWORD: u32 = 0;
+
+/// A [`CpuBackend`] throttled to a fixed per-query latency — a stand-in
+/// for a congested or simply slower device in a heterogeneous fleet.
+/// Results are exactly the CPU backend's (the throttle is pure sleep),
+/// so any placement over this fleet answers identically; only the
+/// latency differs, which is the property the bench isolates.
+pub struct ThrottledSim {
+    inner: CpuBackend,
+    per_query: Duration,
+}
+
+impl ThrottledSim {
+    pub fn new(per_query: Duration) -> Self {
+        Self {
+            inner: CpuBackend::new(),
+            per_query,
+        }
+    }
+}
+
+impl SearchBackend for ThrottledSim {
+    fn capabilities(&self) -> BackendCaps {
+        BackendCaps {
+            name: "sim-throttled",
+            ..self.inner.capabilities()
+        }
+    }
+    fn upload(&self, index: Arc<InvertedIndex>) -> Result<BackendIndex, String> {
+        self.inner.upload(index)
+    }
+    fn search_batch(&self, index: &BackendIndex, queries: &[Query], k: usize) -> SearchOutput {
+        std::thread::sleep(self.per_query * queries.len() as u32);
+        self.inner.search_batch(index, queries, k)
+    }
+    fn as_any(&self) -> &dyn std::any::Any {
+        self
+    }
+}
+
+/// One placement run's shape.
+#[derive(Debug, Clone, Copy)]
+pub struct PlacementWorkload {
+    /// Corpus size; split contiguously across `shards`, with every
+    /// object of shard 0 carrying `HOT_KEYWORD`.
+    pub objects: usize,
+    pub shards: usize,
+    /// Requests per dispatch wave (each wave is one group run, i.e.
+    /// one sample in the hot-shard detector's sliding window).
+    pub wave_size: usize,
+    /// Warm-up waves driven before the measured phase (broadcast) /
+    /// before convergence polling starts (placed).
+    pub warmup_waves: usize,
+    /// Requests in the measured phase of each scenario.
+    pub measured_requests: usize,
+    /// Waves per recorded convergence phase of the placed scenario.
+    pub phase_waves: usize,
+    /// Convergence phases driven before giving up.
+    pub max_phases: usize,
+    pub k: usize,
+    /// The sim devices' per-query throttle.
+    pub throttle_us: u64,
+    /// Hot-shard detector window (group runs) for the placed scenario.
+    pub rebalance_window: usize,
+    /// Postings-share threshold beyond which a shard is hot.
+    pub skew_threshold: f64,
+}
+
+/// What one placement run measured.
+#[derive(Debug, Clone)]
+pub struct PlacementReport {
+    pub broadcast_p50_us: f64,
+    pub broadcast_p95_us: f64,
+    pub placed_p50_us: f64,
+    pub placed_p95_us: f64,
+    /// p95 of each convergence phase of the placed scenario, in order —
+    /// the "p95 converges down" trajectory.
+    pub phase_p95_us: Vec<f64>,
+    pub expected: usize,
+    pub resolved: usize,
+    /// Placed answers equal broadcast answers (ids, counts, `AT`) on a
+    /// query sample.
+    pub answers_identical: bool,
+    /// The background rebalancer applied at least one plan.
+    pub rebalance_fired: bool,
+    /// Every throttled backend's learned per-query cost (priced at the
+    /// collection's representative postings volume) exceeds the CPU
+    /// backend's — the online model separated the fleet.
+    pub cost_model_learned: bool,
+    /// The final plan routes no shard to a throttled backend.
+    pub converged: bool,
+    /// Final placement (per base shard, assigned backend indexes).
+    pub placement: Vec<Vec<usize>>,
+    /// `(name, queries, learned_base_us, learned_us_per_posting,
+    /// cost_observations)` per fleet backend, in fleet order.
+    pub backends: Vec<(String, u64, f64, f64, u64)>,
+    pub placed_stats: ServiceStats,
+}
+
+fn skewed_corpus(workload: &PlacementWorkload) -> Arc<InvertedIndex> {
+    let hot = workload.objects / workload.shards.max(1);
+    let mut b = IndexBuilder::new();
+    for i in 0..workload.objects {
+        let keywords = if i < hot {
+            // shard 0: the hot keyword plus a small hot vocabulary
+            vec![HOT_KEYWORD, 1 + (i as u32) % 7]
+        } else {
+            // the cold shards share a disjoint, thinner vocabulary
+            vec![10 + (i as u32) % 13]
+        };
+        b.add_object(&Object { keywords });
+    }
+    Arc::new(b.build(None))
+}
+
+/// The query mix: ~80% hot (every posting in shard 0), ~20% cold.
+fn query_for(j: usize) -> Query {
+    if j % 5 < 4 {
+        Query::from_keywords(&[HOT_KEYWORD, 1 + (j as u32) % 7])
+    } else {
+        Query::from_keywords(&[10 + (j as u32) % 13])
+    }
+}
+
+/// Distinct `k` values cycled across each wave's requests. Micro-batches
+/// never span `(collection, k)` groups and the dispatcher's size trigger
+/// fires once one group reaches `max_batch_queries`, so cycling `k`
+/// keeps whole `wave_size`-request bursts together as one wave of
+/// `K_SPREAD` micro-batches. One batch per wave would re-reduce the
+/// broadcast baseline to a thread-spawn race (whoever pops first wins,
+/// usually the CPU); several batches guarantee the throttled devices
+/// pull real work under broadcast — the load the placement loop exists
+/// to route around.
+const K_SPREAD: usize = 4;
+
+fn service_for(
+    workload: &PlacementWorkload,
+    rebalance_window: usize,
+) -> (GenieService, CollectionId) {
+    let throttle = Duration::from_micros(workload.throttle_us);
+    let fleet: Vec<Arc<dyn SearchBackend>> = vec![
+        Arc::new(CpuBackend::new()),
+        Arc::new(ThrottledSim::new(throttle)),
+        Arc::new(ThrottledSim::new(throttle)),
+    ];
+    // one micro-batch per (collection, k) group per wave: every wave
+    // splits into K_SPREAD batches across the fleet, so the throttled
+    // devices actually serve under broadcast — both to drag latency
+    // (the baseline being beaten) and to feed the online cost model
+    // the observations rebalancing decides from
+    let scheduler = QueryScheduler::new(
+        fleet,
+        SchedulerConfig {
+            max_batch_queries: (workload.wave_size / K_SPREAD).max(1),
+            ..SchedulerConfig::default()
+        },
+    );
+    let service = GenieService::start_empty(
+        scheduler,
+        ServiceConfig {
+            max_queue_delay: Duration::from_millis(1),
+            dispatchers: 1,
+            cache_capacity: 0, // repeated hot queries must execute, not memoise
+            compact_after: 0,
+            rebalance_window,
+            skew_threshold: workload.skew_threshold,
+            ..Default::default()
+        },
+    )
+    .expect("config is valid");
+    let collection = service
+        .add_collection_sharded("skewed", &skewed_corpus(workload), workload.shards)
+        .expect("corpus always fits");
+    (service, collection)
+}
+
+/// Drive `waves` waves of `wave_size` requests starting at query
+/// cursor `at`, appending per-request latencies to `latencies`.
+/// Returns `(expected, resolved)` request counts.
+fn drive_waves(
+    service: &GenieService,
+    collection: CollectionId,
+    workload: &PlacementWorkload,
+    at: &mut usize,
+    waves: usize,
+    latencies: &mut Vec<f64>,
+) -> (usize, usize) {
+    let mut expected = 0;
+    let mut resolved = 0;
+    for _ in 0..waves {
+        let tickets: Vec<_> = (0..workload.wave_size)
+            .map(|i| {
+                let q = query_for(*at);
+                *at += 1;
+                expected += 1;
+                // cycle k so the burst forms one multi-batch wave (see
+                // K_SPREAD); answers are audited at workload.k alone
+                service.submit_to(collection, q, workload.k + (i % K_SPREAD))
+            })
+            .collect();
+        for ticket in tickets {
+            let submitted = ticket.submitted_at();
+            if ticket.wait().is_ok() {
+                resolved += 1;
+                latencies.push(submitted.elapsed().as_secs_f64() * 1e6);
+            }
+        }
+    }
+    (expected, resolved)
+}
+
+fn assigns_any_sim(placement: &[Vec<usize>]) -> bool {
+    // fleet order is fixed: backend 0 is the CPU, 1 and 2 the sims
+    placement
+        .iter()
+        .any(|backends| backends.iter().any(|&b| b != 0))
+}
+
+/// Run `workload`: a static-broadcast scenario and a placement-enabled
+/// scenario over the same skewed corpus and query stream, then audit
+/// that placement changed only the latency.
+pub fn run_placement_workload(workload: &PlacementWorkload) -> PlacementReport {
+    let mut expected = 0;
+    let mut resolved = 0;
+
+    // --- scenario 1: static broadcast (rebalancing disabled) ---
+    let (broadcast, bcast_col) = service_for(workload, 0);
+    let mut cursor = 0usize;
+    let mut scratch = Vec::new();
+    let (e, r) = drive_waves(
+        &broadcast,
+        bcast_col,
+        workload,
+        &mut cursor,
+        workload.warmup_waves,
+        &mut scratch,
+    );
+    expected += e;
+    resolved += r;
+    let mut bcast_lat = Vec::new();
+    let measured_waves = workload.measured_requests.div_ceil(workload.wave_size);
+    let (e, r) = drive_waves(
+        &broadcast,
+        bcast_col,
+        workload,
+        &mut cursor,
+        measured_waves,
+        &mut bcast_lat,
+    );
+    expected += e;
+    resolved += r;
+    bcast_lat.sort_by(|a, b| a.partial_cmp(b).expect("finite"));
+
+    // --- scenario 2: placement loop on, same corpus and stream ---
+    let (placed, placed_col) = service_for(workload, workload.rebalance_window);
+    let mut cursor = 0usize;
+    let mut phase_p95 = Vec::new();
+    let mut first = Vec::new();
+    let (e, r) = drive_waves(
+        &placed,
+        placed_col,
+        workload,
+        &mut cursor,
+        workload.warmup_waves,
+        &mut first,
+    );
+    expected += e;
+    resolved += r;
+    first.sort_by(|a, b| a.partial_cmp(b).expect("finite"));
+    phase_p95.push(percentile_us(&first, 0.95));
+    // keep serving phases until the plan routes around the throttled
+    // devices (each phase feeds the detector window and the online
+    // cost model, so convergence is self-reinforcing) or we give up
+    let mut converged = false;
+    for _ in 0..workload.max_phases {
+        let placement = placed
+            .collection_placement(placed_col)
+            .expect("collection is registered");
+        if placed.stats().rebalances >= 1 && !assigns_any_sim(&placement) {
+            converged = true;
+            break;
+        }
+        let mut phase = Vec::new();
+        let (e, r) = drive_waves(
+            &placed,
+            placed_col,
+            workload,
+            &mut cursor,
+            workload.phase_waves,
+            &mut phase,
+        );
+        expected += e;
+        resolved += r;
+        phase.sort_by(|a, b| a.partial_cmp(b).expect("finite"));
+        phase_p95.push(percentile_us(&phase, 0.95));
+        // the detector hands plans to the background rebalancer; give
+        // it a beat before deciding the phase did not converge
+        let deadline = Instant::now() + Duration::from_millis(500);
+        while Instant::now() < deadline {
+            let placement = placed
+                .collection_placement(placed_col)
+                .expect("collection is registered");
+            if placed.stats().rebalances >= 1 && !assigns_any_sim(&placement) {
+                break;
+            }
+            std::thread::sleep(Duration::from_millis(5));
+        }
+    }
+    let placement = placed
+        .collection_placement(placed_col)
+        .expect("collection is registered");
+    converged = converged || (placed.stats().rebalances >= 1 && !assigns_any_sim(&placement));
+
+    // measured phase on the converged plan
+    let mut placed_lat = Vec::new();
+    let (e, r) = drive_waves(
+        &placed,
+        placed_col,
+        workload,
+        &mut cursor,
+        measured_waves,
+        &mut placed_lat,
+    );
+    expected += e;
+    resolved += r;
+    placed_lat.sort_by(|a, b| a.partial_cmp(b).expect("finite"));
+    phase_p95.push(percentile_us(&placed_lat, 0.95));
+
+    // --- audit: placement changed the latency, not one answer ---
+    let mut answers_identical = true;
+    for j in 0..32 {
+        let q = query_for(j);
+        let a = broadcast
+            .submit_to(bcast_col, q.clone(), workload.k)
+            .wait()
+            .expect("broadcast serves");
+        let b = placed
+            .submit_to(placed_col, q, workload.k)
+            .wait()
+            .expect("placed serves");
+        let a_pairs: Vec<(u32, u32)> = a.hits.iter().map(|h| (h.id, h.count)).collect();
+        let b_pairs: Vec<(u32, u32)> = b.hits.iter().map(|h| (h.id, h.count)).collect();
+        if a_pairs != b_pairs || a.audit_threshold != b.audit_threshold {
+            answers_identical = false;
+        }
+    }
+
+    let placed_stats = placed.stats();
+    let health = placed.backend_health();
+    // the fleet separation the model must learn is *per query*, not per
+    // posting — a pure-sleep throttle lands in base_us — so price each
+    // backend's model at the collection's representative per-query
+    // postings volume, exactly as the rebalancer scores capacity
+    let rep_postings = placed
+        .shard_stats(placed_col)
+        .map(|totals| {
+            let (queries, postings) = totals
+                .iter()
+                .fold((0u64, 0u64), |(q, p), t| (q + t.queries, p + t.postings));
+            if queries > 0 {
+                postings as f64 / queries as f64
+            } else {
+                0.0
+            }
+        })
+        .unwrap_or(0.0);
+    let per_query = |h: &genie_service::BackendHealth| {
+        h.cost_model.base_us + h.cost_model.us_per_posting * rep_postings
+    };
+    let cpu_cost = health
+        .iter()
+        .find(|h| h.name == "cpu")
+        .map(per_query)
+        .unwrap_or(0.0);
+    let cost_model_learned = health
+        .iter()
+        .filter(|h| h.name == "sim-throttled")
+        .all(|h| h.cost_observations > 0 && per_query(h) > cpu_cost);
+    let backends = health
+        .iter()
+        .map(|h| {
+            (
+                h.name.to_string(),
+                h.queries,
+                h.cost_model.base_us,
+                h.cost_model.us_per_posting,
+                h.cost_observations,
+            )
+        })
+        .collect();
+
+    PlacementReport {
+        broadcast_p50_us: percentile_us(&bcast_lat, 0.50),
+        broadcast_p95_us: percentile_us(&bcast_lat, 0.95),
+        placed_p50_us: percentile_us(&placed_lat, 0.50),
+        placed_p95_us: percentile_us(&placed_lat, 0.95),
+        phase_p95_us: phase_p95,
+        expected,
+        resolved,
+        answers_identical,
+        rebalance_fired: placed_stats.rebalances >= 1,
+        cost_model_learned,
+        converged,
+        placement,
+        backends,
+        placed_stats,
+    }
+}
+
+fn workload_for(smoke: bool) -> PlacementWorkload {
+    // waves are deliberately large relative to `max_batch_queries`:
+    // each shard run must hold more micro-batches than the CPU backend
+    // can drain before the throttled workers' threads wake, or
+    // broadcast never actually engages the slow devices and the
+    // baseline being beaten is a coin flip of thread-spawn latency
+    if smoke {
+        // the corpus stays full-size: CPU batches must cost more than
+        // a thread spawn or broadcast never engages the sims (smoke
+        // saves time through fewer waves, not a smaller index)
+        PlacementWorkload {
+            objects: 4_096,
+            shards: 4,
+            wave_size: 32,
+            warmup_waves: 12,
+            measured_requests: 128,
+            phase_waves: 8,
+            max_phases: 6,
+            k: 10,
+            throttle_us: 1_500,
+            rebalance_window: 8,
+            skew_threshold: 0.5,
+        }
+    } else {
+        PlacementWorkload {
+            objects: 4_096,
+            shards: 4,
+            wave_size: 64,
+            warmup_waves: 16,
+            measured_requests: 512,
+            phase_waves: 8,
+            max_phases: 8,
+            k: 10,
+            throttle_us: 1_500,
+            rebalance_window: 8,
+            skew_threshold: 0.5,
+        }
+    }
+}
+
+/// The structural assertions both the recording run and every check
+/// trial must satisfy — a placement run that loses a request, changes
+/// an answer, never rebalances, never separates the fleet, or fails to
+/// beat broadcast is broken regardless of host timing.
+fn assert_run_sane(report: &PlacementReport) {
+    assert_eq!(
+        report.resolved, report.expected,
+        "every request must resolve"
+    );
+    assert!(
+        report.answers_identical,
+        "placement changed an answer — the invariant the whole layer rests on"
+    );
+    assert!(
+        report.rebalance_fired,
+        "the detector/rebalancer never fired: {:?}",
+        report.placed_stats
+    );
+    assert!(
+        report.cost_model_learned,
+        "the online cost model never separated the throttled devices: {:?}",
+        report.backends
+    );
+    assert!(
+        report.converged,
+        "the plan still routes to throttled devices: {:?}",
+        report.placement
+    );
+    assert!(
+        report.placed_p95_us < report.broadcast_p95_us,
+        "placed p95 ({}) must beat broadcast p95 ({})",
+        report.placed_p95_us,
+        report.broadcast_p95_us
+    );
+}
+
+fn report_json(report: &PlacementReport) -> Json {
+    Json::obj(vec![
+        ("broadcast_p50_us", Json::num(report.broadcast_p50_us)),
+        ("broadcast_p95_us", Json::num(report.broadcast_p95_us)),
+        ("placed_p50_us", Json::num(report.placed_p50_us)),
+        ("placed_p95_us", Json::num(report.placed_p95_us)),
+        (
+            "phase_p95_us",
+            Json::arr(report.phase_p95_us.iter().map(|&v| Json::num(v)).collect()),
+        ),
+        ("expected", Json::int(report.expected as u64)),
+        ("resolved", Json::int(report.resolved as u64)),
+        ("answers_identical", Json::Bool(report.answers_identical)),
+        ("rebalance_fired", Json::Bool(report.rebalance_fired)),
+        ("cost_model_learned", Json::Bool(report.cost_model_learned)),
+        ("converged", Json::Bool(report.converged)),
+        (
+            "placement",
+            Json::arr(
+                report
+                    .placement
+                    .iter()
+                    .map(|backends| {
+                        Json::arr(backends.iter().map(|&b| Json::int(b as u64)).collect())
+                    })
+                    .collect(),
+            ),
+        ),
+        (
+            "backends",
+            Json::arr(
+                report
+                    .backends
+                    .iter()
+                    .map(|(name, queries, base, rate, obs)| {
+                        Json::obj(vec![
+                            ("name", Json::str(name)),
+                            ("queries", Json::int(*queries)),
+                            ("learned_base_us", Json::num(*base)),
+                            ("learned_us_per_posting", Json::num(*rate)),
+                            ("cost_observations", Json::int(*obs)),
+                        ])
+                    })
+                    .collect(),
+            ),
+        ),
+        (
+            "placed_shard_runs",
+            Json::int(report.placed_stats.placed_shard_runs),
+        ),
+        (
+            "hot_shard_events",
+            Json::int(report.placed_stats.hot_shard_events),
+        ),
+        ("rebalances", Json::int(report.placed_stats.rebalances)),
+        (
+            "stale_rebalances",
+            Json::int(report.placed_stats.stale_rebalances),
+        ),
+    ])
+}
+
+/// Placement experiment: skewed corpus on a heterogeneous fleet,
+/// static broadcast vs the learning placement loop. Emits
+/// `BENCH_placement.json` (full run, checked in),
+/// `BENCH_placement_smoke.json` (CI smoke, gitignored) or
+/// `BENCH_placement_quick.json` (`--quick`, gitignored — quick numbers
+/// are not comparable with the checked-in full-scale baseline).
+pub fn placement(smoke: bool, quick: bool) {
+    let workload = workload_for(smoke || quick);
+    println!(
+        "\n=== Skew-aware placement — n = {}, {} shards, fleet = cpu + 2 sims throttled {} us/query ===",
+        workload.objects, workload.shards, workload.throttle_us
+    );
+    let report = run_placement_workload(&workload);
+    assert_run_sane(&report);
+
+    let widths = [11, 10, 10];
+    row(
+        &["dispatch".into(), "p50(ms)".into(), "p95(ms)".into()],
+        &widths,
+    );
+    row(
+        &[
+            "broadcast".into(),
+            ms(report.broadcast_p50_us),
+            ms(report.broadcast_p95_us),
+        ],
+        &widths,
+    );
+    row(
+        &[
+            "placed".into(),
+            ms(report.placed_p50_us),
+            ms(report.placed_p95_us),
+        ],
+        &widths,
+    );
+    println!(
+        "convergence p95 trajectory (ms): {}",
+        report
+            .phase_p95_us
+            .iter()
+            .map(|&v| ms(v))
+            .collect::<Vec<_>>()
+            .join(" -> ")
+    );
+    println!(
+        "final placement: {:?}  (rebalances {}, hot-shard events {})",
+        report.placement, report.placed_stats.rebalances, report.placed_stats.hot_shard_events
+    );
+    for (name, queries, base, rate, obs) in &report.backends {
+        println!(
+            "  backend {name}: {queries} queries, learned {base:.1} us + {rate:.4} us/posting ({obs} observations)"
+        );
+    }
+
+    let path = if smoke {
+        "BENCH_placement_smoke.json"
+    } else if quick {
+        "BENCH_placement_quick.json"
+    } else {
+        "BENCH_placement.json"
+    };
+    let threads = CpuBackend::new().capabilities().devices;
+    let mut fields = vec![
+        ("bench", Json::str("placement")),
+        ("smoke", Json::Bool(smoke)),
+        ("quick", Json::Bool(quick)),
+        ("objects", Json::int(workload.objects as u64)),
+        ("shards", Json::int(workload.shards as u64)),
+        ("wave_size", Json::int(workload.wave_size as u64)),
+        ("throttle_us", Json::int(workload.throttle_us)),
+        (
+            "rebalance_window",
+            Json::int(workload.rebalance_window as u64),
+        ),
+        ("skew_threshold", Json::num(workload.skew_threshold)),
+    ];
+    fields.extend(meta_fields(threads));
+    fields.push(("run", report_json(&report)));
+    let doc = Json::Obj(
+        fields
+            .into_iter()
+            .map(|(k, v)| (k.to_string(), v))
+            .collect(),
+    );
+    doc.write_to_file(path)
+        .unwrap_or_else(|e| panic!("cannot write {path}: {e}"));
+    println!("\nbaseline written to {path}");
+}
+
+/// The `--placement --check` gate: fresh runs vs the checked-in
+/// `BENCH_placement.json`, gating only dimensionless structural
+/// indicators. Raw latencies are host property and are recorded, not
+/// gated — except as the ordering `placed p95 < broadcast p95`, which
+/// the 1.5 ms/query throttle makes host-independent. In smoke mode the
+/// (smaller) smoke workload runs but gates against the same checked-in
+/// full baseline: every gated indicator is scale-invariant.
+pub fn placement_check(smoke: bool) -> bool {
+    let baseline = check::load_baseline("BENCH_placement.json");
+    let base_run = baseline.get("run").expect("baseline has a run object");
+    let trials = if smoke { 2 } else { 3 };
+    println!("\n=== Placement check — {trials} trials vs checked-in BENCH_placement.json ===");
+    let workload = workload_for(smoke);
+
+    let mut reports = Vec::new();
+    for t in 0..trials {
+        println!("trial {}/{trials} ...", t + 1);
+        let report = run_placement_workload(&workload);
+        assert_run_sane(&report);
+        reports.push(report);
+    }
+
+    let base_bool = |name: &str| base_run.get(name).and_then(Json::as_bool).unwrap_or(false);
+    let mut verdicts = Vec::new();
+    let indicator = |name: &str, baseline_ok: bool, ok: Vec<bool>| GateRow {
+        name: name.into(),
+        baseline: baseline_ok as u64 as f64,
+        trials: ok.into_iter().map(|b| b as u64 as f64).collect(),
+        floor: 1.0,
+    };
+    verdicts.push(check::judge(indicator(
+        "placement/all_requests_resolved",
+        check::field(base_run, "resolved") == check::field(base_run, "expected"),
+        reports.iter().map(|r| r.resolved == r.expected).collect(),
+    )));
+    verdicts.push(check::judge(indicator(
+        "placement/answers_identical",
+        base_bool("answers_identical"),
+        reports.iter().map(|r| r.answers_identical).collect(),
+    )));
+    verdicts.push(check::judge(indicator(
+        "placement/rebalance_fired",
+        base_bool("rebalance_fired"),
+        reports.iter().map(|r| r.rebalance_fired).collect(),
+    )));
+    verdicts.push(check::judge(indicator(
+        "placement/cost_model_learned",
+        base_bool("cost_model_learned"),
+        reports.iter().map(|r| r.cost_model_learned).collect(),
+    )));
+    verdicts.push(check::judge(indicator(
+        "placement/converged",
+        base_bool("converged"),
+        reports.iter().map(|r| r.converged).collect(),
+    )));
+    verdicts.push(check::judge(indicator(
+        "placement/placed_beats_broadcast_p95",
+        check::field(base_run, "placed_p95_us") < check::field(base_run, "broadcast_p95_us"),
+        reports
+            .iter()
+            .map(|r| r.placed_p95_us < r.broadcast_p95_us)
+            .collect(),
+    )));
+
+    let path = if smoke {
+        "CHECK_placement_smoke.json"
+    } else {
+        "CHECK_placement.json"
+    };
+    check::report("placement", &verdicts, path)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn tiny_workload_converges_and_answers_match() {
+        let workload = PlacementWorkload {
+            objects: 2_048,
+            shards: 2,
+            wave_size: 32,
+            warmup_waves: 10,
+            measured_requests: 64,
+            phase_waves: 8,
+            max_phases: 6,
+            k: 5,
+            throttle_us: 1_500,
+            rebalance_window: 4,
+            skew_threshold: 0.5,
+        };
+        let report = run_placement_workload(&workload);
+        assert_eq!(report.resolved, report.expected);
+        assert!(report.answers_identical);
+        assert!(report.rebalance_fired);
+        assert!(report.converged, "placement: {:?}", report.placement);
+        // the placed-beats-broadcast latency ordering is asserted by
+        // the full-size workload (`repro --placement [--smoke]`), not
+        // here: at this tiny measured phase (two waves) the ordering
+        // degenerates to a thread-spawn race
+    }
+
+    #[test]
+    fn throttled_sim_answers_exactly_like_the_cpu() {
+        let mut b = IndexBuilder::new();
+        for i in 0..64u32 {
+            b.add_object(&Object {
+                keywords: vec![i % 5, 5 + i % 3],
+            });
+        }
+        let index = Arc::new(b.build(None));
+        let cpu = CpuBackend::new();
+        let sim = ThrottledSim::new(Duration::from_micros(50));
+        let ci = cpu.upload(Arc::clone(&index)).expect("upload");
+        let si = sim.upload(index).expect("upload");
+        let queries = vec![Query::from_keywords(&[0, 5]), Query::from_keywords(&[4])];
+        let a = cpu.search_batch(&ci, &queries, 5);
+        let b = sim.search_batch(&si, &queries, 5);
+        assert_eq!(a.results, b.results);
+        assert_eq!(a.audit_thresholds, b.audit_thresholds);
+    }
+}

@@ -167,6 +167,10 @@ impl Pending {
     }
 }
 
+/// One backend's `(stat name, value)` rows in a
+/// [`Client::fleet_health`] group.
+pub type BackendStatRows = Vec<(String, f64)>;
+
 /// One handshaken connection to a genie-net server.
 pub struct Client {
     writer: Mutex<TcpStream>,
@@ -477,6 +481,34 @@ impl Client {
             Response::Stats { fields } => Ok(fields),
             r => Err(unexpected("a Stats reply", &r)),
         }
+    }
+
+    /// The fleet's remote health table, regrouped from the Stats
+    /// frame's `backend/{i}/{name}/{stat}` rows (see
+    /// `genie_net::protocol`, "Stats fields and compatibility"): one
+    /// `(backend name, stat rows)` group per backend, fleet order.
+    /// Includes each backend's learned scan-cost model
+    /// (`learned_base_us` / `learned_us_per_posting`) and breaker state
+    /// (`retired`, `failed`), so operators read capacity and health
+    /// without shell access to the server.
+    pub fn fleet_health(&self) -> Result<Vec<(String, BackendStatRows)>, ClientError> {
+        let mut groups: Vec<(String, BackendStatRows)> = Vec::new();
+        for (name, value) in self.stats()? {
+            // backend/{i}/{name}/{stat}; i is ascending in fleet order,
+            // so encounter order is fleet order
+            let mut parts = name.splitn(4, '/');
+            let (Some("backend"), Some(idx), Some(backend), Some(stat)) =
+                (parts.next(), parts.next(), parts.next(), parts.next())
+            else {
+                continue;
+            };
+            let label = format!("{idx}/{backend}");
+            match groups.last_mut() {
+                Some((last, rows)) if *last == label => rows.push((stat.to_owned(), value)),
+                _ => groups.push((label, vec![(stat.to_owned(), value)])),
+            }
+        }
+        Ok(groups)
     }
 }
 

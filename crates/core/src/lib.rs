@@ -18,6 +18,9 @@
 //!   across self-contained index shards (local→global id maps) and
 //!   merge per-shard top-k into the global answer with the Theorem 3.1
 //!   certificate, for the serving layer's shard fan-out;
+//! * **shard placement** ([`placement`]) — capacity-aware
+//!   shard→backend assignment for the serving fleet, count/AT-identical
+//!   to broadcast by construction;
 //! * **live mutations** ([`delta`]) — an LSM-style mutable delta shard
 //!   plus tombstone set over the immutable base shards, with a
 //!   snapshot/compact/apply background-compaction protocol, so
@@ -80,6 +83,7 @@ pub mod index;
 pub mod io;
 pub mod model;
 pub mod multiload;
+pub mod placement;
 pub mod shard;
 pub mod topk;
 
@@ -98,6 +102,7 @@ pub mod prelude {
     pub use crate::multiload::{
         build_parts, multi_device_search, multi_load_search, IndexPart, MultiLoadReport,
     };
+    pub use crate::placement::{PlacementError, PlacementPlan};
     pub use crate::shard::{
         merge_shard_topk, merge_shard_topk_filtered, Shard, ShardError, ShardPlan,
     };

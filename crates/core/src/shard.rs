@@ -109,6 +109,12 @@ impl Shard {
             .collect()
     }
 
+    /// Whether the collection-global id `id` lives in this shard
+    /// (binary search — `global_ids` is strictly increasing).
+    pub fn contains_global(&self, id: ObjectId) -> bool {
+        self.global_ids.binary_search(&id).is_ok()
+    }
+
     /// Objects in this shard.
     pub fn len(&self) -> usize {
         self.global_ids.len()

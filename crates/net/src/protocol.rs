@@ -118,6 +118,36 @@
 //! larger K could not add more — or the last round otherwise. `rounds`
 //! reports how many schedule entries were consumed.
 //!
+//! # Stats fields and compatibility
+//!
+//! The `Stats` response is a flat list of `(name, value)` rows — a
+//! self-describing map, not a positional struct. Clients MUST look
+//! names up by key and ignore rows they do not recognise; servers MAY
+//! append new rows in any release without a version bump. That is the
+//! protocol's only extension mechanism, and it keeps every v1 client
+//! compatible with every v1 server.
+//!
+//! Three row families are currently emitted:
+//!
+//! * `service/...` — the serving counters, mirroring
+//!   [`ServiceStats`](genie_service::ServiceStats) field for field
+//!   (e.g. `service/waves`, `service/cache_hits`). Since the placement
+//!   extension this family also carries `service/placed_shard_runs`,
+//!   `service/hot_shard_events`, `service/rebalances`,
+//!   `service/stale_rebalances`, and the fleet-mean learned cost model
+//!   (`service/learned_base_us`, `service/learned_us_per_posting`,
+//!   `service/cost_observations`).
+//! * `backend/{i}/{name}/...` — one group per fleet backend, in fleet
+//!   order: lifetime usage (`batches`, `queries`, `failed`, `retired`,
+//!   `probes` — booleans encode as 0/1) and the backend's **learned**
+//!   scan-cost model (`learned_base_us`, `learned_us_per_posting`,
+//!   `cost_observations`), the scheduler's online EWMA of
+//!   predicted-vs-actual wave cost. `retired`/`failed` expose circuit-
+//!   breaker state remotely; the learned rows expose per-backend
+//!   capacity as rebalancing sees it.
+//! * `net/...` — transport counters of the serving process
+//!   (`net/frames_in`, `net/active_connections`, ...).
+//!
 //! # Error frames and codes
 //!
 //! A failed request is answered with an `Error` frame (kind `0xE0`)

@@ -45,8 +45,8 @@ use genie_core::index::IndexBuilder;
 use genie_core::model::{Object, Query};
 use genie_core::shard::ShardError;
 use genie_service::{
-    ConnectionRegistry, GenieService, MutateError, ResponseTicket, ServiceError, ServiceStats,
-    TicketResult,
+    BackendHealth, ConnectionRegistry, GenieService, MutateError, ResponseTicket, ServiceError,
+    ServiceStats, TicketResult,
 };
 
 use crate::frame::{
@@ -438,6 +438,10 @@ fn service_error(e: ServiceError) -> WireError {
         ServiceError::ShuttingDown => WireError::ShuttingDown,
         ServiceError::UnknownCollection(id) => WireError::UnknownCollection(id),
         ServiceError::InvalidShards(e) => WireError::InvalidShards(e.to_string()),
+        // no wire operation installs placement plans (rebalancing is
+        // server-local), so this variant can only surface as a
+        // diagnostic if that ever changes
+        ServiceError::InvalidPlacement(e) => WireError::Service(format!("invalid placement: {e}")),
         ServiceError::Internal(e) => WireError::Service(e),
     }
 }
@@ -819,6 +823,7 @@ fn dispatch(shared: &Shared, request_id: u64, request: Request) -> Job {
         }
         Request::Stats => {
             let mut fields = service_stats_fields(&service.stats());
+            fields.extend(backend_health_fields(&service.backend_health()));
             fields.extend(shared.counters.snapshot().fields());
             fields.push((
                 "net/active_connections".into(),
@@ -939,7 +944,47 @@ pub fn service_stats_fields(s: &ServiceStats) -> Vec<(String, f64)> {
             "service/mean_batch_occupancy".into(),
             s.mean_batch_occupancy(),
         ),
+        // placement + learned-cost counters ride behind the v1 rows:
+        // Stats consumers look names up by key, so appending rows is
+        // wire-compatible (see `genie_net::protocol`, "Compatibility")
+        (
+            "service/placed_shard_runs".into(),
+            s.placed_shard_runs as f64,
+        ),
+        ("service/hot_shard_events".into(), s.hot_shard_events as f64),
+        ("service/rebalances".into(), s.rebalances as f64),
+        ("service/stale_rebalances".into(), s.stale_rebalances as f64),
+        ("service/learned_base_us".into(), s.learned_base_us),
+        (
+            "service/learned_us_per_posting".into(),
+            s.learned_us_per_posting,
+        ),
+        (
+            "service/cost_observations".into(),
+            s.cost_observations as f64,
+        ),
     ]
+}
+
+/// Flatten the fleet's health table into name→value rows for the Stats
+/// frame: `backend/{i}/{name}/...` per backend, in fleet order. The
+/// learned cost-model rows surface the scheduler's online EWMA (see
+/// [`BackendHealth`]) so remote operators watch per-backend capacity
+/// without shell access to the server.
+pub fn backend_health_fields(health: &[BackendHealth]) -> Vec<(String, f64)> {
+    let mut fields = Vec::with_capacity(health.len() * 8);
+    for (i, b) in health.iter().enumerate() {
+        let key = |stat: &str| format!("backend/{i}/{}/{stat}", b.name);
+        fields.push((key("batches"), b.batches as f64));
+        fields.push((key("queries"), b.queries as f64));
+        fields.push((key("failed"), b.failed as f64));
+        fields.push((key("retired"), u64::from(b.retired) as f64));
+        fields.push((key("probes"), b.probes as f64));
+        fields.push((key("learned_base_us"), b.cost_model.base_us));
+        fields.push((key("learned_us_per_posting"), b.cost_model.us_per_posting));
+        fields.push((key("cost_observations"), b.cost_observations as f64));
+    }
+    fields
 }
 
 /// Stream finished replies in completion order until the reader hangs

@@ -317,3 +317,51 @@ fn stats_frame_merges_service_and_net_counters() {
     assert_eq!(get("net/active_connections"), 1.0);
     assert!(get("net/protocol_errors") == 0.0);
 }
+
+/// The placement extension's trailing Stats rows: fleet-health and
+/// learned-cost fields ride behind the v1 rows (`backend/{i}/...` per
+/// backend plus the new `service/...` counters), and the client's
+/// `fleet_health` regrouping recovers them per backend.
+#[test]
+fn stats_frame_carries_fleet_health_and_learned_costs() {
+    let data = objects(50, UNIVERSE, 6, 0x0f1e);
+    let (_service, handle) = start_server(&data, ServerConfig::default());
+    let client = Client::connect(handle.addr()).expect("connect");
+    client
+        .search(DEFAULT_COLLECTION, 5, query(UNIVERSE, 1))
+        .expect("search");
+    let fields = client.stats().expect("stats");
+    let get = |name: &str| {
+        fields
+            .iter()
+            .find(|(n, _)| n == name)
+            .unwrap_or_else(|| panic!("stats must carry {name}"))
+            .1
+    };
+    // new service counters exist (placement inactive: zeros are fine)
+    assert_eq!(get("service/rebalances"), 0.0);
+    assert_eq!(get("service/hot_shard_events"), 0.0);
+    // the learned model starts at the (positive) seed and has already
+    // folded this search's wave
+    assert!(get("service/learned_base_us") > 0.0);
+    assert!(get("service/learned_us_per_posting") > 0.0);
+    assert!(get("service/cost_observations") >= 1.0);
+    // per-backend rows: the single-cpu fleet of start_server
+    assert!(get("backend/0/cpu/queries") >= 1.0);
+    assert_eq!(get("backend/0/cpu/retired"), 0.0);
+    assert!(get("backend/0/cpu/learned_us_per_posting") > 0.0);
+    // the client-side regrouping sees the same backend
+    let fleet = client.fleet_health().expect("fleet health");
+    assert_eq!(fleet.len(), 1);
+    assert_eq!(fleet[0].0, "0/cpu");
+    let rows = &fleet[0].1;
+    let row = |name: &str| {
+        rows.iter()
+            .find(|(n, _)| n == name)
+            .unwrap_or_else(|| panic!("fleet health must carry {name}"))
+            .1
+    };
+    assert!(row("queries") >= 1.0);
+    assert!(row("cost_observations") >= 1.0);
+    assert_eq!(row("queries"), get("backend/0/cpu/queries"));
+}

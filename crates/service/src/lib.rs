@@ -95,8 +95,8 @@ pub use db::{Collection, DbError, GenieDb, SearchError, TypedTicket};
 pub use drain::{ConnectionGuard, ConnectionRegistry};
 pub use service::{
     percentile_us, BackendHealth, CollectionId, GenieService, MutateError, MutationStatus,
-    ResponseTicket, ServiceConfig, ServiceError, ServiceStats, TicketResult, Trigger,
-    DEFAULT_COLLECTION,
+    ResponseTicket, ServiceConfig, ServiceError, ServiceStats, ShardRunStats, TicketResult,
+    Trigger, DEFAULT_COLLECTION,
 };
 
 use std::collections::VecDeque;
@@ -161,10 +161,14 @@ pub struct SchedulerConfig {
     /// sparse ones. `None` (the default) packs by count and memory
     /// only. Cost packing never changes results, only grouping.
     pub batch_cost_budget_us: Option<f64>,
-    /// How predicted postings are priced into microseconds; only
-    /// consulted when [`batch_cost_budget_us`](Self::batch_cost_budget_us)
-    /// is set (and by the predicted-vs-actual accounting in
-    /// [`ScheduleReport`]).
+    /// The **seed** for the online per-backend cost model: every
+    /// backend starts pricing predicted postings with this
+    /// [`ScanCostModel`], then drifts toward its own observed
+    /// predicted-vs-actual ratio after every wave (see
+    /// [`OnlineCostModel`]). Wave packing and the predicted-vs-actual
+    /// accounting in [`ScheduleReport`] use the *learned* fleet model
+    /// ([`QueryScheduler::cost_model`]), not this constant — the hand
+    /// calibration only decides where learning starts.
     pub cost_model: ScanCostModel,
 }
 
@@ -215,6 +219,119 @@ impl ScanCostModel {
     /// [`BackendIndex::predicted_scan_postings`](genie_core::backend::BackendIndex::predicted_scan_postings)).
     pub fn predict_us(&self, postings: u64) -> f64 {
         self.base_us + self.us_per_posting * postings as f64
+    }
+
+    /// Predicted microseconds for a whole batch: `queries` queries
+    /// scanning `postings` postings in total.
+    pub fn predict_batch_us(&self, queries: u64, postings: u64) -> f64 {
+        self.base_us * queries as f64 + self.us_per_posting * postings as f64
+    }
+}
+
+/// One backend's learned [`ScanCostModel`] plus how many wave
+/// observations shaped it.
+#[derive(Debug, Clone, Copy)]
+pub struct BackendCostModel {
+    pub model: ScanCostModel,
+    /// Waves with at least one query on this backend folded so far;
+    /// `0` means the model is still the configured seed.
+    pub observations: u64,
+}
+
+/// Per-backend scan-cost models learned **online** from
+/// predicted-vs-actual gaps.
+///
+/// Every backend starts at the configured seed
+/// ([`SchedulerConfig::cost_model`]). After each wave, every backend
+/// that served at least one query contributes one observation: the
+/// ratio of its measured `search_batch` wall-clock to what its *own
+/// current* model predicted for the queries/postings it served. Both
+/// coefficients move toward the observation with a multiplicative EWMA,
+/// each weighted by its share of the prediction — `base_us` learns from
+/// sparse (per-query-overhead-dominated) waves, `us_per_posting` from
+/// dense ones:
+///
+/// ```text
+/// ratio  = clamp(actual / predicted, 1/32, 32)
+/// w_base = base_us * queries / predicted      (w_post = 1 - w_base)
+/// base_us        *= 1 + α·w_base·(ratio - 1)
+/// us_per_posting *= 1 + α·w_post·(ratio - 1)
+/// ```
+///
+/// At the fixed point each backend's model predicts its own wall-clock,
+/// which is exactly what placement needs: the reciprocal of a backend's
+/// learned `us_per_posting` is its capacity score, and a throttled
+/// device prices itself out of the fleet within a few waves. This
+/// replaces the hand-calibrated constants for wave packing — the
+/// scheduler packs with the learned fleet-mean model
+/// ([`QueryScheduler::cost_model`]).
+pub struct OnlineCostModel {
+    alpha: f64,
+    state: Mutex<Vec<BackendCostModel>>,
+}
+
+/// A single observation may move the model by at most this factor.
+const MAX_OBSERVED_RATIO: f64 = 32.0;
+
+impl OnlineCostModel {
+    /// EWMA weight of one observation.
+    pub const ALPHA: f64 = 0.2;
+
+    /// All `num_backends` models start at `seed`.
+    pub fn new(seed: ScanCostModel, num_backends: usize) -> Self {
+        Self {
+            alpha: Self::ALPHA,
+            state: Mutex::new(vec![
+                BackendCostModel {
+                    model: seed,
+                    observations: 0,
+                };
+                num_backends
+            ]),
+        }
+    }
+
+    /// Fold one wave's per-backend usage into the models.
+    pub fn observe(&self, per_backend: &[BackendUsage]) {
+        let mut state = self.state.lock().expect("cost model poisoned");
+        for (s, u) in state.iter_mut().zip(per_backend) {
+            if u.queries == 0 || u.actual_cost_us <= 0.0 {
+                continue;
+            }
+            let predicted = s.model.predict_batch_us(u.queries as u64, u.postings);
+            if predicted <= 0.0 || !predicted.is_finite() {
+                continue;
+            }
+            let ratio =
+                (u.actual_cost_us / predicted).clamp(1.0 / MAX_OBSERVED_RATIO, MAX_OBSERVED_RATIO);
+            let w_base = (s.model.base_us * u.queries as f64) / predicted;
+            let w_post = 1.0 - w_base;
+            s.model.base_us *= 1.0 + self.alpha * w_base * (ratio - 1.0);
+            s.model.us_per_posting *= 1.0 + self.alpha * w_post * (ratio - 1.0);
+            s.observations += 1;
+        }
+    }
+
+    /// Snapshot of every backend's learned model, fleet order.
+    pub fn snapshot(&self) -> Vec<BackendCostModel> {
+        self.state.lock().expect("cost model poisoned").clone()
+    }
+
+    /// The fleet model used for wave packing: the mean of the backends
+    /// that have observations (any backend may take any batch off the
+    /// shared queue), or the seed while nothing has been observed.
+    pub fn fleet_model(&self) -> ScanCostModel {
+        let state = self.state.lock().expect("cost model poisoned");
+        let observed: Vec<&BackendCostModel> =
+            state.iter().filter(|s| s.observations > 0).collect();
+        if observed.is_empty() {
+            return state[0].model;
+        }
+        let n = observed.len() as f64;
+        ScanCostModel {
+            base_us: observed.iter().map(|s| s.model.base_us).sum::<f64>() / n,
+            us_per_posting: observed.iter().map(|s| s.model.us_per_posting).sum::<f64>() / n,
+        }
     }
 }
 
@@ -280,6 +397,17 @@ impl PreparedIndex {
             .map(|r| model.predict_us(bindex.predicted_scan_postings(&r.query)))
             .collect()
     }
+
+    /// Predicted postings scanned by each request (the raw,
+    /// model-independent quantity behind
+    /// [`predicted_costs`](Self::predicted_costs)).
+    pub fn predicted_postings(&self, requests: &[QueryRequest]) -> Vec<u64> {
+        let bindex = &self.bindexes[0]; // every backend shares the index
+        requests
+            .iter()
+            .map(|r| bindex.predicted_scan_postings(&r.query))
+            .collect()
+    }
 }
 
 /// One backend's share of a run.
@@ -288,6 +416,9 @@ pub struct BackendUsage {
     pub name: &'static str,
     pub batches: usize,
     pub queries: usize,
+    /// Predicted postings scanned by the batches this backend served —
+    /// the device-independent work measure the online cost model prices.
+    pub postings: u64,
     pub stages: StageProfile,
     /// Predicted scan cost of the batches this backend served,
     /// microseconds (see [`ScheduleReport::predicted_cost_us`]).
@@ -441,6 +572,8 @@ pub fn plan_batches_with_cost(
 pub struct QueryScheduler {
     backends: Vec<Arc<dyn SearchBackend>>,
     config: SchedulerConfig,
+    /// Per-backend scan-cost models, learned from every wave served.
+    online: OnlineCostModel,
 }
 
 impl QueryScheduler {
@@ -470,7 +603,12 @@ impl QueryScheduler {
                  (use None to pack by count and memory only)"
             );
         }
-        Self { backends, config }
+        let online = OnlineCostModel::new(config.cost_model, backends.len());
+        Self {
+            backends,
+            config,
+            online,
+        }
     }
 
     /// Single-backend scheduler with default batching policy.
@@ -480,6 +618,19 @@ impl QueryScheduler {
 
     pub fn config(&self) -> &SchedulerConfig {
         &self.config
+    }
+
+    /// The learned fleet-mean [`ScanCostModel`] wave packing and the
+    /// size trigger price postings with — starts at the configured
+    /// seed, then tracks observed `search_batch` wall-clock (see
+    /// [`OnlineCostModel`]).
+    pub fn cost_model(&self) -> ScanCostModel {
+        self.online.fleet_model()
+    }
+
+    /// Every backend's learned cost model, fleet order.
+    pub fn backend_cost_models(&self) -> Vec<BackendCostModel> {
+        self.online.snapshot()
     }
 
     /// The fleet this scheduler dispatches over, in construction order.
@@ -576,8 +727,11 @@ impl QueryScheduler {
 
         let budget = self.effective_budget(prepared);
         // per-request predicted scan cost: drives cost packing when the
-        // budget is set, and the predicted-vs-actual report either way
-        let costs = prepared.predicted_costs(requests, &self.config.cost_model);
+        // budget is set, and the predicted-vs-actual report either way.
+        // Priced with the *learned* fleet model, not the seed constants.
+        let model = self.cost_model();
+        let postings = prepared.predicted_postings(requests);
+        let costs: Vec<f64> = postings.iter().map(|&p| model.predict_us(p)).collect();
         let batches = plan_batches_with_cost(
             requests,
             index.num_objects() as usize,
@@ -618,11 +772,13 @@ impl QueryScheduler {
                     let queue_cv = &queue_cv;
                     let slots = &slots;
                     let costs = &costs;
+                    let postings = &postings;
                     Some(scope.spawn(move || {
                         let mut usage = BackendUsage {
                             name: backend.capabilities().name,
                             batches: 0,
                             queries: 0,
+                            postings: 0,
                             stages: StageProfile::default(),
                             predicted_cost_us: 0.0,
                             actual_cost_us: 0.0,
@@ -676,6 +832,8 @@ impl QueryScheduler {
                             usage.actual_cost_us += elapsed_us(batch_started);
                             usage.predicted_cost_us +=
                                 batch.requests.iter().map(|&i| costs[i]).sum::<f64>();
+                            usage.postings +=
+                                batch.requests.iter().map(|&i| postings[i]).sum::<u64>();
                             usage.batches += 1;
                             usage.queries += batch.requests.len();
                             usage.stages.accumulate(&out.profile);
@@ -707,6 +865,7 @@ impl QueryScheduler {
                         name: backend.capabilities().name,
                         batches: 0,
                         queries: 0,
+                        postings: 0,
                         stages: StageProfile::default(),
                         predicted_cost_us: 0.0,
                         actual_cost_us: 0.0,
@@ -721,6 +880,9 @@ impl QueryScheduler {
             report.predicted_cost_us += usage.predicted_cost_us;
             report.actual_cost_us += usage.actual_cost_us;
         }
+        // every wave is a calibration sample: fold predicted-vs-actual
+        // into the per-backend online cost models
+        self.online.observe(&usages);
         report.per_backend = usages;
         report.wall_us = elapsed_us(started);
 
@@ -752,6 +914,35 @@ impl QueryScheduler {
             })
             .collect();
         Ok((responses, report))
+    }
+
+    /// [`run_prepared_active`](Self::run_prepared_active) further
+    /// restricted to a placement's `assigned` backends: a backend runs
+    /// this sub-wave only when it is both healthy (`active`, the
+    /// circuit breaker's mask) *and* assigned to the shard being
+    /// served. Placement **fails open**: when the intersection is empty
+    /// — every assigned backend is retired — the sub-wave falls back to
+    /// the full active fleet rather than failing, because any
+    /// shard→backend assignment yields count/AT-identical answers (see
+    /// [`genie_core::placement`]). Both masks are fleet-ordered.
+    pub fn run_prepared_placed(
+        &self,
+        prepared: &PreparedIndex,
+        requests: &[QueryRequest],
+        active: &[bool],
+        assigned: &[bool],
+    ) -> Result<(Vec<QueryResponse>, ScheduleReport), String> {
+        assert_eq!(
+            assigned.len(),
+            self.backends.len(),
+            "assigned mask must cover the whole fleet"
+        );
+        let effective: Vec<bool> = active.iter().zip(assigned).map(|(&a, &p)| a && p).collect();
+        if effective.iter().any(|&e| e) {
+            self.run_prepared_active(prepared, requests, &effective)
+        } else {
+            self.run_prepared_active(prepared, requests, active)
+        }
     }
 }
 
@@ -1041,5 +1232,118 @@ mod tests {
             report.predicted_cost_us,
             report.per_backend[0].predicted_cost_us
         );
+    }
+
+    fn small_index() -> Arc<genie_core::index::InvertedIndex> {
+        let objects: Vec<Object> = (0..20).map(|i| Object::new(vec![i % 5])).collect();
+        let mut b = IndexBuilder::new();
+        b.add_objects(objects.iter());
+        Arc::new(b.build(None))
+    }
+
+    #[test]
+    fn placed_dispatch_routes_only_to_assigned_backends() {
+        let index = small_index();
+        let scheduler = QueryScheduler::new(
+            vec![Arc::new(CpuBackend::new()), Arc::new(CpuBackend::new())],
+            SchedulerConfig::default(),
+        );
+        let prepared = scheduler.prepare(&index).unwrap();
+        let reqs: Vec<QueryRequest> = (0..6)
+            .map(|i| QueryRequest::new(i, Query::from_keywords(&[i as u32 % 5]), 3))
+            .collect();
+        let (responses, report) = scheduler
+            .run_prepared_placed(&prepared, &reqs, &[true, true], &[false, true])
+            .unwrap();
+        assert_eq!(responses.len(), 6);
+        assert_eq!(report.per_backend[0].queries, 0, "unassigned backend idle");
+        assert_eq!(report.per_backend[1].queries, 6);
+    }
+
+    #[test]
+    fn placed_dispatch_fails_open_when_every_assigned_backend_is_retired() {
+        let index = small_index();
+        let scheduler = QueryScheduler::new(
+            vec![Arc::new(CpuBackend::new()), Arc::new(CpuBackend::new())],
+            SchedulerConfig::default(),
+        );
+        let prepared = scheduler.prepare(&index).unwrap();
+        let reqs = vec![QueryRequest::new(0, Query::from_keywords(&[2]), 4)];
+        // shard assigned to backend 1, but the breaker retired it: the
+        // sub-wave must fall back to the active fleet, not fail
+        let (responses, report) = scheduler
+            .run_prepared_placed(&prepared, &reqs, &[true, false], &[false, true])
+            .unwrap();
+        assert_eq!(responses.len(), 1);
+        assert!(!responses[0].hits.is_empty());
+        assert_eq!(report.per_backend[0].queries, 1);
+        assert_eq!(report.per_backend[1].queries, 0);
+    }
+
+    #[test]
+    fn online_model_learns_each_backend_toward_its_observed_cost() {
+        let seed = ScanCostModel::default();
+        let online = OnlineCostModel::new(seed, 2);
+        let usage = |queries: usize, postings: u64, actual: f64| BackendUsage {
+            name: "t",
+            batches: 1,
+            queries,
+            postings,
+            stages: StageProfile::default(),
+            predicted_cost_us: 0.0,
+            actual_cost_us: actual,
+            failed: None,
+        };
+        // backend 0 runs 10x slower than the seed predicts on a dense
+        // wave; backend 1 matches the seed exactly
+        for _ in 0..60 {
+            let dense_predicted = seed.predict_batch_us(4, 100_000);
+            online.observe(&[
+                usage(4, 100_000, 10.0 * dense_predicted),
+                usage(4, 100_000, dense_predicted),
+            ]);
+        }
+        let models = online.snapshot();
+        assert!(models[0].observations >= 60);
+        assert!(
+            models[0].model.us_per_posting > 5.0 * seed.us_per_posting,
+            "slow backend's dense coefficient must inflate, got {}",
+            models[0].model.us_per_posting
+        );
+        assert!(
+            models[1].model.us_per_posting < 2.0 * seed.us_per_posting,
+            "well-predicted backend stays near the seed"
+        );
+        // the packing model follows the observed fleet, not the seed
+        let fleet = online.fleet_model();
+        assert!(fleet.us_per_posting > seed.us_per_posting);
+
+        // sparse waves steer base_us instead
+        let sparse = OnlineCostModel::new(seed, 1);
+        for _ in 0..60 {
+            let sparse_predicted = seed.predict_batch_us(8, 0);
+            sparse.observe(&[usage(8, 0, 4.0 * sparse_predicted)]);
+        }
+        let m = sparse.snapshot()[0].model;
+        assert!(m.base_us > 2.0 * seed.base_us);
+        assert!(
+            (m.us_per_posting - seed.us_per_posting).abs() < 1e-9,
+            "no postings observed, the dense coefficient must not move"
+        );
+    }
+
+    #[test]
+    fn scheduler_folds_observations_after_every_wave() {
+        let index = small_index();
+        let scheduler = QueryScheduler::single(Arc::new(CpuBackend::new()));
+        let prepared = scheduler.prepare(&index).unwrap();
+        assert_eq!(scheduler.backend_cost_models()[0].observations, 0);
+        for wave in 0..3 {
+            let reqs = vec![QueryRequest::new(wave, Query::from_keywords(&[1]), 4)];
+            scheduler.run_prepared(&prepared, &reqs).unwrap();
+        }
+        let m = scheduler.backend_cost_models()[0];
+        assert_eq!(m.observations, 3);
+        assert!(m.model.base_us > 0.0 && m.model.us_per_posting > 0.0);
     }
 }

@@ -85,6 +85,7 @@ use std::time::{Duration, Instant};
 use genie_core::delta::DeltaPlan;
 use genie_core::index::InvertedIndex;
 use genie_core::model::{Object, ObjectId, Query};
+use genie_core::placement::PlacementPlan;
 use genie_core::shard::{merge_shard_topk_filtered, Shard, ShardError, ShardPlan};
 use genie_core::topk::TopHit;
 
@@ -140,6 +141,18 @@ pub struct ServiceConfig {
     /// [`compact_collection`](GenieService::compact_collection) calls
     /// still work.
     pub compact_after: usize,
+    /// Hot-shard detector: a shard of a sharded collection is **hot**
+    /// when its share of postings scanned across the observation window
+    /// exceeds this fraction (postings are the device-independent cost
+    /// signal — see [`genie_core::placement`] for the heuristic). A hot
+    /// shard queues a background rebalance of its collection.
+    pub skew_threshold: f64,
+    /// Group runs per sliding observation window; detection fires only
+    /// on a full window. 0 disables hot-shard detection and automatic
+    /// rebalancing (explicit
+    /// [`rebalance_collection`](GenieService::rebalance_collection)
+    /// calls still work).
+    pub rebalance_window: usize,
 }
 
 impl Default for ServiceConfig {
@@ -151,6 +164,8 @@ impl Default for ServiceConfig {
             failure_threshold: 3,
             probe_after_runs: 8,
             compact_after: 1024,
+            skew_threshold: 0.6,
+            rebalance_window: 32,
         }
     }
 }
@@ -220,6 +235,27 @@ pub struct ServiceStats {
     /// Compaction runs discarded because the collection was swapped or
     /// compacted by someone else while the rebuild ran off-lock.
     pub stale_compactions: u64,
+    /// Shard runs routed to a strict subset of the fleet by a
+    /// [`PlacementPlan`] (broadcast runs don't count).
+    pub placed_shard_runs: u64,
+    /// Times the hot-shard detector fired (a shard's postings share
+    /// exceeded [`ServiceConfig::skew_threshold`] over a full window).
+    pub hot_shard_events: u64,
+    /// Placement plans applied by rebalancing (background or explicit).
+    pub rebalances: u64,
+    /// Rebalance runs discarded because the collection's base changed
+    /// (swap/compaction) while the plan was being derived.
+    pub stale_rebalances: u64,
+    /// Learned fleet-mean cost model (filled at snapshot time from the
+    /// scheduler's online per-backend models — see
+    /// [`OnlineCostModel`](crate::OnlineCostModel)): fixed per-query
+    /// microseconds...
+    pub learned_base_us: f64,
+    /// ...and marginal microseconds per scanned posting.
+    pub learned_us_per_posting: f64,
+    /// Wave observations folded into the per-backend cost models so
+    /// far, summed over the fleet (0 = still at the configured seed).
+    pub cost_observations: u64,
     /// Stage totals summed over waves.
     pub stages: StageProfile,
 }
@@ -262,6 +298,32 @@ pub struct BackendHealth {
     /// Re-admission probe runs this backend has been granted while
     /// retired.
     pub probes: u64,
+    /// This backend's **learned** scan-cost model (EWMA of observed
+    /// predicted-vs-actual per wave — see
+    /// [`OnlineCostModel`](crate::OnlineCostModel)). Its reciprocal
+    /// `us_per_posting` is the capacity score rebalancing places shards
+    /// by.
+    pub cost_model: crate::ScanCostModel,
+    /// Wave observations folded into `cost_model` (0 = still the seed).
+    pub cost_observations: u64,
+}
+
+/// Lifetime per-shard run accounting of one sharded collection, in
+/// shard order (a live collection's last slot is the delta shard while
+/// one is mounted) — what
+/// [`GenieService::shard_stats`] reports and the hot-shard detector
+/// watches.
+#[derive(Debug, Clone, Copy, Default, PartialEq)]
+pub struct ShardRunStats {
+    /// Queries fanned out to this shard (every group request visits
+    /// every shard).
+    pub queries: u64,
+    /// Postings this shard's index predicted it would scan for those
+    /// queries — the device-independent work measure.
+    pub postings: u64,
+    /// Host wall-clock its scheduler runs' `search_batch` calls took,
+    /// microseconds.
+    pub observed_us: f64,
 }
 
 /// Private circuit-breaker state tracked next to one backend's public
@@ -290,6 +352,10 @@ pub enum ServiceError {
     UnknownCollection(CollectionId),
     /// A degenerate shard plan was requested.
     InvalidShards(ShardError),
+    /// A placement plan does not fit the collection or the fleet (wrong
+    /// shard count, wrong fleet size, or a degenerate plan). The
+    /// message is diagnostic only, like [`Internal`](Self::Internal).
+    InvalidPlacement(String),
     /// Backend preparation or wave execution failed. The message is
     /// diagnostic only — front-ends must not match on its contents.
     Internal(String),
@@ -301,6 +367,7 @@ impl std::fmt::Display for ServiceError {
             Self::ShuttingDown => f.write_str("service is shutting down"),
             Self::UnknownCollection(id) => write!(f, "unknown collection id {id}"),
             Self::InvalidShards(e) => write!(f, "invalid shard plan: {e}"),
+            Self::InvalidPlacement(e) => write!(f, "invalid placement: {e}"),
             Self::Internal(e) => f.write_str(e),
         }
     }
@@ -556,6 +623,14 @@ struct CollectionEntry {
     /// applied, index swapped). A compaction built against an older
     /// epoch is discarded instead of applied.
     epoch: u64,
+    /// Shard→backend assignment of the **base** shards (`None` =
+    /// broadcast; a live collection's delta shard always broadcasts).
+    /// Honored only while it covers exactly the current base shards and
+    /// the whole fleet — a compaction that changes the shard count
+    /// drops it back to broadcast. Answers are count/AT-identical under
+    /// any assignment (see [`genie_core::placement`]), so swapping a
+    /// plan never invalidates the result cache.
+    placement: Option<Arc<PlacementPlan>>,
 }
 
 /// Live-mutation debt of one collection — what
@@ -624,6 +699,15 @@ struct ServiceInner {
     /// Mutation debt that schedules a background compaction (see
     /// [`ServiceConfig::compact_after`]).
     compact_after: usize,
+    /// Hot-shard knobs (see [`ServiceConfig::skew_threshold`] /
+    /// [`ServiceConfig::rebalance_window`]).
+    skew_threshold: f64,
+    rebalance_window: usize,
+    /// Per-collection shard observation windows + lifetime totals.
+    shard_stats: Mutex<HashMap<CollectionId, ShardWindow>>,
+    /// Queue feeding the rebalancer thread; dropped (→ `None`) at
+    /// shutdown so the thread's `recv` unblocks.
+    rebalance_tx: Mutex<Option<Sender<CollectionId>>>,
     /// Largest backlog length the budget-aware size check has already
     /// planned and found *not* triggering. The backlog only grows
     /// between waves (waves drain it whole), so re-planning below this
@@ -636,6 +720,38 @@ struct ServiceInner {
 struct HealthState {
     slots: Vec<BackendHealth>,
     breakers: Vec<Breaker>,
+}
+
+/// One group run's per-shard observation, shard order (delta shard
+/// last for live collections).
+struct ShardSample {
+    queries: u64,
+    postings: u64,
+    actual_us: f64,
+}
+
+/// One collection's sliding shard-observation window plus lifetime
+/// totals.
+#[derive(Default)]
+struct ShardWindow {
+    /// Newest-last per-run postings samples (one `Vec` per observed
+    /// group run), truncated to
+    /// [`ServiceConfig::rebalance_window`] runs.
+    window: VecDeque<Vec<u64>>,
+    totals: Vec<ShardRunStats>,
+    /// A rebalance is queued and not yet resolved; suppresses duplicate
+    /// enqueues while the rebalancer works.
+    rebalance_queued: bool,
+}
+
+/// Base shards a placement plan must cover for `serving` (the delta
+/// shard of a live collection is excluded — it always broadcasts).
+fn base_shards(serving: &CollectionServing) -> usize {
+    match serving {
+        CollectionServing::Single(_) => 1,
+        CollectionServing::Sharded(shards) => shards.len(),
+        CollectionServing::Live { base, .. } => base.len(),
+    }
 }
 
 impl ServiceInner {
@@ -697,8 +813,10 @@ impl ServiceInner {
             if budget.is_none() && cost_budget.is_none() {
                 continue; // unbounded: only the cap can close a batch
             }
+            // the *learned* fleet model, so a drifted fleet cuts waves
+            // by its actual microseconds, not the hand-tuned seed's
             let costs = cost_budget
-                .map(|_| prepared.predicted_costs(&requests, &self.scheduler.config().cost_model));
+                .map(|_| prepared.predicted_costs(&requests, &self.scheduler.cost_model()));
             let batches = plan_batches_with_cost(
                 &requests,
                 prepared.index().num_objects() as usize,
@@ -747,6 +865,7 @@ impl ServiceInner {
 
         let mut wave_batches = 0u64;
         let mut wave_shard_runs = 0u64;
+        let mut wave_placed_runs = 0u64;
         let mut wave_wall_us = 0.0;
         let mut wave_predicted_us = 0.0;
         let mut wave_actual_us = 0.0;
@@ -773,7 +892,7 @@ impl ServiceInner {
             let (run, run_generation) = {
                 let entry = entry.read().expect("collection lock");
                 let generation = self.cache.lock().expect("cache lock").generation(cid);
-                (self.run_group(&entry.serving, &requests), generation)
+                (self.run_group(&entry, &requests), generation)
             };
             match run {
                 Ok((responses, report)) => {
@@ -782,7 +901,11 @@ impl ServiceInner {
                     wave_wall_us += report.wall_us;
                     wave_predicted_us += report.predicted_cost_us;
                     wave_actual_us += report.actual_cost_us;
+                    wave_placed_runs += report.placed_runs;
                     wave_stages.accumulate(&report.stages);
+                    if !report.per_shard.is_empty() {
+                        self.observe_shard_run(cid, &report.per_shard);
+                    }
                     served_misses += group.len() as u64;
                     let mut cache = self.cache.lock().expect("cache lock");
                     // a swap_collection mid-run bumped the generation:
@@ -815,6 +938,7 @@ impl ServiceInner {
             stats.cache_hits += cache_hits;
             stats.batches += wave_batches;
             stats.shard_runs += wave_shard_runs;
+            stats.placed_shard_runs += wave_placed_runs;
             stats.wall_us += wave_wall_us;
             stats.predicted_cost_us += wave_predicted_us;
             stats.actual_cost_us += wave_actual_us;
@@ -872,13 +996,20 @@ impl ServiceInner {
     /// the count contract).
     fn run_group(
         &self,
-        serving: &CollectionServing,
+        entry: &CollectionEntry,
         requests: &[QueryRequest],
     ) -> Result<(Vec<QueryResponse>, GroupReport), String> {
         let no_tombstones = HashSet::new();
-        match serving {
+        // honor the placement plan only while it still describes the
+        // current base shards and the whole fleet; a mismatched plan
+        // (raced by swap/compaction) silently broadcasts
+        let placement: Option<&PlacementPlan> = entry.placement.as_deref().filter(|p| {
+            p.num_shards() == base_shards(&entry.serving)
+                && p.num_backends() == self.scheduler.backends().len()
+        });
+        match &entry.serving {
             CollectionServing::Single(prepared) => {
-                let (responses, report) = self.run_scheduler(prepared, requests)?;
+                let (responses, report) = self.run_scheduler(prepared, requests, None)?;
                 Ok((
                     responses,
                     GroupReport {
@@ -888,12 +1019,14 @@ impl ServiceInner {
                         predicted_cost_us: report.predicted_cost_us,
                         actual_cost_us: report.actual_cost_us,
                         stages: report.stages,
+                        per_shard: Vec::new(),
+                        placed_runs: 0,
                     },
                 ))
             }
             CollectionServing::Sharded(shards) => {
                 let shards: Vec<&PreparedShard> = shards.iter().collect();
-                self.run_fanout(&shards, requests, &no_tombstones)
+                self.run_fanout(&shards, placement, requests, &no_tombstones)
             }
             CollectionServing::Live {
                 base,
@@ -905,40 +1038,66 @@ impl ServiceInner {
                     .map(Arc::as_ref)
                     .chain(delta.iter().map(Arc::as_ref))
                     .collect();
-                self.run_fanout(&shards, requests, tombstones)
+                self.run_fanout(&shards, placement, requests, tombstones)
             }
         }
     }
 
     /// The concurrent per-shard fan-out shared by sharded and live
-    /// collections. With tombstones present, every per-shard fetch is
-    /// inflated to `k + |tombstones|` — at most `|tombstones|` of any
-    /// shard's hits can be dead, so each shard still contributes its
-    /// full surviving top-`k` and the filtered merge is exact.
+    /// collections. With tombstones present, each shard's fetch is
+    /// inflated to `k + dead(shard)` where `dead(shard)` counts only
+    /// the tombstones whose ids live in *that* shard — at most that
+    /// many of the shard's hits can be dead, so each shard still
+    /// contributes its full surviving top-`k` and the filtered merge is
+    /// exact. (Inflating by the *total* tombstone count is also exact
+    /// but over-fetches from every shard holding none of the dead ids.)
+    ///
+    /// With a [`PlacementPlan`], each base shard's scheduler run is
+    /// masked to its assigned backends; shards past the plan (a live
+    /// collection's delta shard) broadcast.
     fn run_fanout(
         &self,
         shards: &[&PreparedShard],
+        placement: Option<&PlacementPlan>,
         requests: &[QueryRequest],
         tombstones: &HashSet<ObjectId>,
     ) -> Result<(Vec<QueryResponse>, GroupReport), String> {
         let started = Instant::now();
-        let inflated: Option<Vec<QueryRequest>> = (!tombstones.is_empty()).then(|| {
-            requests
-                .iter()
-                .map(|r| {
-                    let mut r = r.clone();
-                    r.k += tombstones.len();
-                    r
+        // per-shard fetch inflation (None = the shard holds no dead ids
+        // and can borrow the shared request slice unchanged)
+        let inflated: Vec<Option<Vec<QueryRequest>>> = shards
+            .iter()
+            .map(|shard| {
+                let dead = tombstones
+                    .iter()
+                    .filter(|&&id| shard.shard.contains_global(id))
+                    .count();
+                (dead > 0).then(|| {
+                    requests
+                        .iter()
+                        .map(|r| {
+                            let mut r = r.clone();
+                            r.k += dead;
+                            r
+                        })
+                        .collect()
                 })
-                .collect()
-        });
-        let run_requests: &[QueryRequest] = inflated.as_deref().unwrap_or(requests);
+            })
+            .collect();
+        // per-shard backend masks (None = broadcast)
+        let masks: Vec<Option<Vec<bool>>> = (0..shards.len())
+            .map(|i| placement.and_then(|p| (i < p.num_shards()).then(|| p.mask_of(i))))
+            .collect();
         let per_shard: Vec<Result<(Vec<QueryResponse>, ScheduleReport), String>> =
             std::thread::scope(|scope| {
                 let handles: Vec<_> = shards
                     .iter()
-                    .map(|shard| {
-                        scope.spawn(move || self.run_scheduler(&shard.prepared, run_requests))
+                    .enumerate()
+                    .map(|(i, shard)| {
+                        let shard = *shard;
+                        let reqs: &[QueryRequest] = inflated[i].as_deref().unwrap_or(requests);
+                        let mask = masks[i].as_deref();
+                        scope.spawn(move || self.run_scheduler(&shard.prepared, reqs, mask))
                     })
                     .collect();
                 handles
@@ -954,6 +1113,11 @@ impl ServiceInner {
             predicted_cost_us: 0.0,
             actual_cost_us: 0.0,
             stages: StageProfile::default(),
+            per_shard: Vec::with_capacity(shards.len()),
+            placed_runs: masks
+                .iter()
+                .filter(|m| m.as_ref().is_some_and(|m| m.iter().any(|&b| !b)))
+                .count() as u64,
         };
         // per request: one global-id hit list per shard
         let mut gathered: Vec<Vec<Vec<TopHit>>> =
@@ -964,6 +1128,11 @@ impl ServiceInner {
             report.predicted_cost_us += shard_report.predicted_cost_us;
             report.actual_cost_us += shard_report.actual_cost_us;
             report.stages.accumulate(&shard_report.stages);
+            report.per_shard.push(ShardSample {
+                queries: requests.len() as u64,
+                postings: shard_report.per_backend.iter().map(|u| u.postings).sum(),
+                actual_us: shard_report.actual_cost_us,
+            });
             for (slot, resp) in gathered.iter_mut().zip(responses) {
                 slot.push(shard.shard.to_global(&resp.hits));
             }
@@ -989,15 +1158,33 @@ impl ServiceInner {
     /// One breaker-aware scheduler run: compute the admitted-backend
     /// mask (granting due probes), execute, and fold the run's
     /// per-backend usage back into health and breaker state.
+    ///
+    /// `assigned` is a placement mask over the fleet (`None` =
+    /// broadcast). Backends granted a re-admission probe join the mask
+    /// even when unassigned — a probe's verdict must never be starved
+    /// by placement — and the scheduler fails open to the full active
+    /// set if the placement excludes every live backend.
     fn run_scheduler(
         &self,
         prepared: &PreparedIndex,
         requests: &[QueryRequest],
+        assigned: Option<&[bool]>,
     ) -> Result<(Vec<QueryResponse>, ScheduleReport), String> {
         let (active, probing) = self.admit_backends();
-        let run = self
-            .scheduler
-            .run_prepared_active(prepared, requests, &active);
+        let run = match assigned {
+            Some(assigned) => {
+                let assigned: Vec<bool> = assigned
+                    .iter()
+                    .zip(&probing)
+                    .map(|(&a, &p)| a || p)
+                    .collect();
+                self.scheduler
+                    .run_prepared_placed(prepared, requests, &active, &assigned)
+            }
+            None => self
+                .scheduler
+                .run_prepared_active(prepared, requests, &active),
+        };
         match &run {
             Ok((_, report)) => self.accumulate_health(&report.per_backend, &active, &probing),
             // the run died without per-backend usage: release any probe
@@ -1101,6 +1288,166 @@ impl ServiceInner {
                 breaker.probe_in_flight = false; // the probe reported back
             }
         }
+    }
+
+    /// Fold one fan-out run's per-shard samples into the collection's
+    /// lifetime totals and sliding window, and fire the hot-shard
+    /// detector: once the window is full, a shard whose share of the
+    /// windowed postings exceeds `skew_threshold` queues a background
+    /// rebalance. Postings (not microseconds) are the skew signal — see
+    /// [`genie_core::placement`] for why.
+    fn observe_shard_run(&self, collection: CollectionId, samples: &[ShardSample]) {
+        let mut stats = self.shard_stats.lock().expect("shard stats lock");
+        let state = stats.entry(collection).or_default();
+        if state.totals.len() != samples.len() {
+            // shard count changed (mutation mounted/dropped the delta
+            // shard, compaction re-sharded): lifetime totals restart and
+            // the window's stale rows no longer vote
+            state.totals = vec![ShardRunStats::default(); samples.len()];
+            state.window.clear();
+        }
+        for (t, s) in state.totals.iter_mut().zip(samples) {
+            t.queries += s.queries;
+            t.postings += s.postings;
+            t.observed_us += s.actual_us;
+        }
+        if self.rebalance_window == 0 || samples.len() < 2 {
+            return; // detection disabled, or nothing to place
+        }
+        state
+            .window
+            .push_back(samples.iter().map(|s| s.postings).collect());
+        while state.window.len() > self.rebalance_window {
+            state.window.pop_front();
+        }
+        if state.window.len() < self.rebalance_window || state.rebalance_queued {
+            return;
+        }
+        let mut sums = vec![0u64; samples.len()];
+        for row in &state.window {
+            for (sum, &p) in sums.iter_mut().zip(row) {
+                *sum += p;
+            }
+        }
+        let total: u64 = sums.iter().sum();
+        let hot = total > 0
+            && sums
+                .iter()
+                .any(|&s| s as f64 / total as f64 > self.skew_threshold);
+        if !hot {
+            return;
+        }
+        state.rebalance_queued = true;
+        drop(stats);
+        self.stats.lock().expect("stats lock").hot_shard_events += 1;
+        if let Some(tx) = &*self.rebalance_tx.lock().expect("rebalance queue lock") {
+            let _ = tx.send(collection);
+        }
+    }
+
+    /// Derive and apply a fresh [`PlacementPlan`] for `collection` from
+    /// the windowed per-shard postings (shard costs) and the learned
+    /// per-backend cost models (capacity scores, retired backends
+    /// scoring zero). The derivation runs under the *read* lock; the
+    /// apply re-checks the epoch under the write lock and discards the
+    /// plan as stale if the base changed underneath. Applying a plan
+    /// bumps neither the epoch nor the cache generation — placement
+    /// never changes answers (see [`genie_core::placement`]), only who
+    /// computes them. Returns whether a new plan was applied.
+    fn rebalance_now(&self, collection: CollectionId) -> Result<bool, ServiceError> {
+        // every attempt — applied, stale, or no-op — resets the window
+        // and the queued flag: detection starts a fresh observation
+        // period (the cooldown that stops rebalance thrash)
+        let finish = |applied: bool| {
+            let mut stats = self.shard_stats.lock().expect("shard stats lock");
+            if let Some(state) = stats.get_mut(&collection) {
+                state.window.clear();
+                state.rebalance_queued = false;
+            }
+            Ok(applied)
+        };
+        let Some(entry) = self.entry(collection) else {
+            return finish(false);
+        };
+        let (num_base, epoch) = {
+            let slot = entry.read().expect("collection lock");
+            (base_shards(&slot.serving), slot.epoch)
+        };
+        if num_base < 2 {
+            return finish(false); // a single shard has nowhere to move
+        }
+        // shard costs: windowed postings sums (uniform when the window
+        // holds no usable rows — e.g. an explicit rebalance before any
+        // traffic)
+        let mut costs = vec![0.0f64; num_base];
+        let rep_postings = {
+            let stats = self.shard_stats.lock().expect("shard stats lock");
+            let mut rep = 0.0f64;
+            if let Some(state) = stats.get(&collection) {
+                for row in state.window.iter().filter(|r| r.len() >= num_base) {
+                    for (c, &p) in costs.iter_mut().zip(row) {
+                        *c += p as f64;
+                    }
+                }
+                // representative per-query postings volume of one shard
+                // run on this collection, from the lifetime totals
+                let (queries, postings) = state
+                    .totals
+                    .iter()
+                    .fold((0u64, 0u64), |(q, p), t| (q + t.queries, p + t.postings));
+                if queries > 0 {
+                    rep = postings as f64 / queries as f64;
+                }
+            }
+            rep
+        };
+        if costs.iter().all(|&c| c <= 0.0) {
+            costs = vec![1.0; num_base];
+        }
+        // capacity scores: the reciprocal of each backend's learned
+        // *per-query* cost at this collection's representative postings
+        // volume — base_us must participate, because a slow device's
+        // overhead is per query, not per posting (a pure-sleep throttle
+        // lands entirely in base_us). Retired backends score zero
+        // (excluded); a backend with no observations yet keeps its
+        // optimistic seed score — if the optimism is misplaced, serving
+        // the shards it wins produces exactly the observations the next
+        // window corrects it with.
+        let models = self.scheduler.backend_cost_models();
+        let retired: Vec<bool> = {
+            let health = self.health.lock().expect("health lock");
+            health.slots.iter().map(|s| s.retired).collect()
+        };
+        let scores: Vec<f64> = models
+            .iter()
+            .zip(&retired)
+            .map(|(m, &r)| {
+                if r {
+                    0.0
+                } else {
+                    let per_query = m.model.base_us + m.model.us_per_posting * rep_postings;
+                    1.0 / per_query.max(f64::MIN_POSITIVE)
+                }
+            })
+            .collect();
+        let plan = PlacementPlan::balanced(&costs, &scores)
+            .map_err(|e| ServiceError::InvalidPlacement(e.to_string()))?;
+        let mut slot = entry.write().expect("collection lock");
+        if slot.epoch != epoch {
+            self.stats.lock().expect("stats lock").stale_rebalances += 1;
+            return finish(false);
+        }
+        let unchanged = match &slot.placement {
+            Some(current) => **current == plan,
+            None => plan.is_broadcast(),
+        };
+        if unchanged {
+            return finish(false);
+        }
+        slot.placement = Some(Arc::new(plan));
+        drop(slot);
+        self.stats.lock().expect("stats lock").rebalances += 1;
+        finish(true)
     }
 
     /// Materialise `slot`'s live-mutation state on its first mutation:
@@ -1217,6 +1564,16 @@ impl ServiceInner {
             let tombstones: Arc<HashSet<ObjectId>> = Arc::new(state.plan.tombstones().collect());
             (delta, tombstones)
         };
+        // a placement plan only remains honored while it covers exactly
+        // the current base shards; compaction at a different count drops
+        // it back to broadcast (the rebalancer will re-derive one)
+        if slot
+            .placement
+            .as_ref()
+            .is_some_and(|p| p.num_shards() != base.len())
+        {
+            slot.placement = None;
+        }
         slot.serving = CollectionServing::Live {
             base,
             delta,
@@ -1272,6 +1629,11 @@ struct GroupReport {
     predicted_cost_us: f64,
     actual_cost_us: f64,
     stages: StageProfile,
+    /// Per-shard observations of a fan-out run (empty for unsharded
+    /// groups), feeding the hot-shard detector.
+    per_shard: Vec<ShardSample>,
+    /// Shard runs this group routed to a strict subset of the fleet.
+    placed_runs: u64,
 }
 
 /// `plan_batches` emits batches in ascending-`k` order, so a same-`k`
@@ -1304,6 +1666,10 @@ pub struct GenieService {
     /// Queue feeding the compactor; dropped (→ `None`) at shutdown so
     /// the thread's `recv` unblocks.
     compact_tx: Mutex<Option<Sender<CollectionId>>>,
+    /// The background rebalancer thread draining
+    /// [`ServiceInner::rebalance_tx`] (the sender lives on the inner so
+    /// the hot-shard detector can enqueue from inside a wave).
+    rebalancer: Option<JoinHandle<()>>,
     next_client: AtomicU64,
     next_collection: AtomicU64,
 }
@@ -1341,6 +1707,7 @@ impl GenieService {
         // a zero max_queue_delay is legal: it means "cut a wave as soon
         // as the queue is non-empty" (no cross-time batching; the
         // dispatcher still parks on the condvar when idle)
+        let seed_model = scheduler.config().cost_model;
         let slots: Vec<BackendHealth> = scheduler
             .backends()
             .iter()
@@ -1352,6 +1719,8 @@ impl GenieService {
                 last_error: None,
                 retired: false,
                 probes: 0,
+                cost_model: seed_model,
+                cost_observations: 0,
             })
             .collect();
         let health = HealthState {
@@ -1373,6 +1742,10 @@ impl GenieService {
             failure_threshold: config.failure_threshold,
             probe_after_runs: config.probe_after_runs,
             compact_after: config.compact_after,
+            skew_threshold: config.skew_threshold,
+            rebalance_window: config.rebalance_window,
+            shard_stats: Mutex::new(HashMap::new()),
+            rebalance_tx: Mutex::new(None),
             planned_len: AtomicUsize::new(0),
         });
         let dispatchers = (0..config.dispatchers)
@@ -1399,11 +1772,28 @@ impl GenieService {
                 })
                 .map_err(|e| format!("cannot spawn compactor: {e}"))?
         };
+        let (rebalance_tx, rebalance_rx) = channel::<CollectionId>();
+        let rebalancer = {
+            let inner = Arc::clone(&inner);
+            std::thread::Builder::new()
+                .name("genie-rebalance".into())
+                .spawn(move || {
+                    // a failed derivation leaves the old (equivalent)
+                    // placement in place; stale applies are counted
+                    // inside rebalance_now
+                    while let Ok(cid) = rebalance_rx.recv() {
+                        let _ = inner.rebalance_now(cid);
+                    }
+                })
+                .map_err(|e| format!("cannot spawn rebalancer: {e}"))?
+        };
+        *inner.rebalance_tx.lock().expect("rebalance queue lock") = Some(rebalance_tx);
         Ok(Self {
             inner,
             dispatchers,
             compactor: Some(compactor),
             compact_tx: Mutex::new(Some(compact_tx)),
+            rebalancer: Some(rebalancer),
             next_client: AtomicU64::new(0),
             next_collection: AtomicU64::new(0),
         })
@@ -1492,6 +1882,7 @@ impl GenieService {
                     serving,
                     live: None,
                     epoch: 0,
+                    placement: None,
                 })),
             );
         id
@@ -1563,6 +1954,9 @@ impl GenieService {
             // and invalidates any compaction racing against the old base
             slot.live = None;
             slot.epoch += 1;
+            // the plan described the old base shards; rebalancing will
+            // derive a fresh one from post-swap traffic
+            slot.placement = None;
         }
         self.inner
             .cache
@@ -1799,15 +2193,116 @@ impl GenieService {
         }
     }
 
-    /// Snapshot of the serving counters.
+    /// Snapshot of the serving counters. The `learned_*` fields are
+    /// filled at snapshot time from the scheduler's online per-backend
+    /// cost models (fleet mean).
     pub fn stats(&self) -> ServiceStats {
-        *self.inner.stats.lock().expect("stats lock")
+        let mut stats = *self.inner.stats.lock().expect("stats lock");
+        let fleet = self.inner.scheduler.cost_model();
+        stats.learned_base_us = fleet.base_us;
+        stats.learned_us_per_posting = fleet.us_per_posting;
+        stats.cost_observations = self
+            .inner
+            .scheduler
+            .backend_cost_models()
+            .iter()
+            .map(|m| m.observations)
+            .sum();
+        stats
     }
 
     /// Per-backend lifetime usage and failure counts (fleet order) —
-    /// see [`BackendHealth`].
+    /// see [`BackendHealth`]. Each slot carries the backend's current
+    /// **learned** cost model from the scheduler's online EWMA.
     pub fn backend_health(&self) -> Vec<BackendHealth> {
-        self.inner.health.lock().expect("health lock").slots.clone()
+        let mut slots = self.inner.health.lock().expect("health lock").slots.clone();
+        for (slot, learned) in slots
+            .iter_mut()
+            .zip(self.inner.scheduler.backend_cost_models())
+        {
+            slot.cost_model = learned.model;
+            slot.cost_observations = learned.observations;
+        }
+        slots
+    }
+
+    /// Lifetime per-shard run accounting of `collection`, shard order
+    /// (`None` for unknown ids; empty until its first fan-out run —
+    /// unsharded collections never report). The hot-shard detector
+    /// watches the same postings signal over a sliding window.
+    pub fn shard_stats(&self, collection: CollectionId) -> Option<Vec<ShardRunStats>> {
+        self.inner.entry(collection)?;
+        Some(
+            self.inner
+                .shard_stats
+                .lock()
+                .expect("shard stats lock")
+                .get(&collection)
+                .map(|s| s.totals.clone())
+                .unwrap_or_default(),
+        )
+    }
+
+    /// The shard→backend assignment `collection` is currently served
+    /// with, one backend list per **base** shard (`None` for unknown
+    /// ids). A collection without an applied plan reports the broadcast
+    /// assignment (every shard on every backend).
+    pub fn collection_placement(&self, collection: CollectionId) -> Option<Vec<Vec<usize>>> {
+        let entry = self.inner.entry(collection)?;
+        let slot = entry.read().expect("collection lock");
+        Some(match &slot.placement {
+            Some(plan) => plan.assignments().to_vec(),
+            None => {
+                let fleet: Vec<usize> = (0..self.inner.scheduler.backends().len()).collect();
+                vec![fleet; base_shards(&slot.serving)]
+            }
+        })
+    }
+
+    /// Install an explicit [`PlacementPlan`] for `collection`'s base
+    /// shards (rebalancing may later replace it). The plan must cover
+    /// exactly the current base shard count and the whole fleet.
+    /// Answers are unchanged by construction — the result cache is
+    /// deliberately not invalidated.
+    pub fn set_collection_placement(
+        &self,
+        collection: CollectionId,
+        plan: PlacementPlan,
+    ) -> Result<(), ServiceError> {
+        let entry = self
+            .inner
+            .entry(collection)
+            .ok_or(ServiceError::UnknownCollection(collection))?;
+        let mut slot = entry.write().expect("collection lock");
+        let num_base = base_shards(&slot.serving);
+        if plan.num_shards() != num_base {
+            return Err(ServiceError::InvalidPlacement(format!(
+                "plan covers {} shards but the collection serves {num_base} base shards",
+                plan.num_shards()
+            )));
+        }
+        let fleet = self.inner.scheduler.backends().len();
+        if plan.num_backends() != fleet {
+            return Err(ServiceError::InvalidPlacement(format!(
+                "plan assumes {} backends but the fleet has {fleet}",
+                plan.num_backends()
+            )));
+        }
+        slot.placement = Some(Arc::new(plan));
+        Ok(())
+    }
+
+    /// Derive and apply a placement plan for `collection` *now*, from
+    /// the observed shard costs and the learned per-backend capacities
+    /// (what the background rebalancer does when the hot-shard detector
+    /// fires). Returns whether a new plan was applied (`false`: nothing
+    /// to place, the derived plan equals the current one, or the base
+    /// changed underneath and the run was discarded as stale).
+    pub fn rebalance_collection(&self, collection: CollectionId) -> Result<bool, ServiceError> {
+        self.inner
+            .entry(collection)
+            .ok_or(ServiceError::UnknownCollection(collection))?;
+        self.inner.rebalance_now(collection)
     }
 
     /// Requests currently queued (admitted, wave not yet cut).
@@ -1838,6 +2333,16 @@ impl Drop for GenieService {
         // compaction only trades debt for freshness, never correctness)
         *self.compact_tx.lock().expect("compact queue lock") = None;
         if let Some(handle) = self.compactor.take() {
+            let _ = handle.join();
+        }
+        // same protocol for the rebalancer; an abandoned rebalance only
+        // forgoes a performance improvement, never correctness
+        *self
+            .inner
+            .rebalance_tx
+            .lock()
+            .expect("rebalance queue lock") = None;
+        if let Some(handle) = self.rebalancer.take() {
             let _ = handle.join();
         }
     }

@@ -8,7 +8,7 @@
 //!                              [--delay-ms 3] [--shards 1] [--mutate 0] [-k 5]
 //!                              [--backend ...]
 //! genie-cli net-serve <corpus.txt> [--listen 127.0.0.1:7007] [--token T] [--backend ...]
-//! genie-cli net-query <addr> --query "<words>" [-k 5] [--collection 0] [--token T]
+//! genie-cli net-query <addr> [--query "<words>"] [--stats] [-k 5] [--collection 0] [--token T]
 //! ```
 //!
 //! `docs` ranks lines by the number of distinct shared words (the
@@ -53,7 +53,7 @@ fn usage() -> ! {
          genie-cli fuzzy <corpus.txt> --query \"<string>\" [-k N] [-K CANDS] [-n NGRAM] [--backend sim|cpu|multi]\n  \
          genie-cli serve <corpus.txt> [--domain docs|fuzzy] [--clients N] [--requests M] [--delay-ms D] [--shards S] [--mutate B] [-k N] [--backend sim|cpu|multi]\n  \
          genie-cli net-serve <corpus.txt> [--listen ADDR] [--token T] [--backend sim|cpu|multi]\n  \
-         genie-cli net-query <addr> --query \"<words>\" [-k N] [--collection C] [--token T]"
+         genie-cli net-query <addr> [--query \"<words>\"] [--stats] [-k N] [--collection C] [--token T]"
     );
     exit(2);
 }
@@ -75,6 +75,7 @@ struct Args {
     listen: String,
     token: String,
     collection: u64,
+    stats: bool,
 }
 
 fn parse_args() -> Args {
@@ -99,6 +100,7 @@ fn parse_args() -> Args {
         listen: "127.0.0.1:7007".to_string(),
         token: String::new(),
         collection: 0,
+        stats: false,
     };
     let mut i = 2;
     while i < argv.len() {
@@ -187,11 +189,16 @@ fn parse_args() -> Args {
                     .and_then(|v| v.parse().ok())
                     .unwrap_or_else(|| usage());
             }
+            "--stats" => args.stats = true,
             _ => usage(),
         }
         i += 1;
     }
-    if args.query.is_empty() && args.mode != "serve" && args.mode != "net-serve" {
+    if args.query.is_empty()
+        && args.mode != "serve"
+        && args.mode != "net-serve"
+        && !(args.mode == "net-query" && args.stats)
+    {
         usage();
     }
     if args.domain != "docs" && args.domain != "fuzzy" {
@@ -552,7 +559,9 @@ fn net_serve(args: &Args, lines: &[&str], db: &GenieDb) {
 
 /// `net-query`: connect to a genie-net server, hash the query words
 /// the way `net-serve`/`genie-server` hashed the corpus, print hits
-/// plus the sky-bench latency split.
+/// plus the sky-bench latency split. `--stats` additionally (or, with
+/// no `--query`, exclusively) prints the remote fleet's health and
+/// learned per-backend cost models from the Stats frame.
 fn net_query(args: &Args) {
     let config = ClientConfig {
         token: args.token.clone(),
@@ -562,6 +571,12 @@ fn net_query(args: &Args) {
         eprintln!("cannot connect to {}: {e}", args.corpus);
         exit(1);
     });
+    if args.stats {
+        net_stats(&client);
+        if args.query.is_empty() {
+            return;
+        }
+    }
     let keywords: Vec<u32> = args.query.split_whitespace().map(keyword_of).collect();
     let reply = client
         .search(
@@ -594,6 +609,68 @@ fn net_query(args: &Args) {
             println!("served collections: {}", names.join(", "));
         }
         Err(e) => eprintln!("list-collections failed: {e}"),
+    }
+}
+
+/// Remote fleet health: the `backend/...` and placement-related
+/// `service/...` rows of the Stats frame, regrouped per backend.
+fn net_stats(client: &Client) {
+    let fields = client.stats().unwrap_or_else(|e| {
+        eprintln!("stats rejected: {e}");
+        exit(1);
+    });
+    let get = |name: &str| {
+        fields
+            .iter()
+            .find(|(n, _)| n == name)
+            .map(|&(_, v)| v)
+            .unwrap_or(0.0)
+    };
+    println!(
+        "service: {} served / {} waves, {} placed shard runs, {} hot-shard events, \
+         {} rebalances ({} stale)",
+        get("service/served"),
+        get("service/waves"),
+        get("service/placed_shard_runs"),
+        get("service/hot_shard_events"),
+        get("service/rebalances"),
+        get("service/stale_rebalances"),
+    );
+    println!(
+        "learned fleet cost model: base {:.3} us/query + {:.6} us/posting \
+         ({} wave observations)",
+        get("service/learned_base_us"),
+        get("service/learned_us_per_posting"),
+        get("service/cost_observations"),
+    );
+    match client.fleet_health() {
+        Ok(groups) if !groups.is_empty() => {
+            for (backend, rows) in groups {
+                let row = |name: &str| {
+                    rows.iter()
+                        .find(|(n, _)| n == name)
+                        .map(|&(_, v)| v)
+                        .unwrap_or(0.0)
+                };
+                println!(
+                    "backend {backend}: {} batches / {} queries, {} failures{}, learned \
+                     {:.3} us/query + {:.6} us/posting ({} obs)",
+                    row("batches"),
+                    row("queries"),
+                    row("failed"),
+                    if row("retired") > 0.0 {
+                        " [RETIRED]"
+                    } else {
+                        ""
+                    },
+                    row("learned_base_us"),
+                    row("learned_us_per_posting"),
+                    row("cost_observations"),
+                );
+            }
+        }
+        Ok(_) => println!("server reports no backend rows (pre-placement server?)"),
+        Err(e) => eprintln!("fleet-health failed: {e}"),
     }
 }
 
@@ -715,8 +792,21 @@ fn serve(args: &Args, lines: &[&str], db: &GenieDb) {
     );
     if stats.shard_runs > 0 {
         println!(
-            "sharded dispatch: {} scheduler runs across {} shards",
-            stats.shard_runs, args.shards
+            "sharded dispatch: {} scheduler runs across {} shards ({} placement-routed)",
+            stats.shard_runs, args.shards, stats.placed_shard_runs
+        );
+    }
+    if stats.hot_shard_events > 0 || stats.rebalances > 0 {
+        println!(
+            "placement: {} hot-shard events, {} rebalances ({} stale)",
+            stats.hot_shard_events, stats.rebalances, stats.stale_rebalances
+        );
+    }
+    if stats.cost_observations > 0 {
+        println!(
+            "learned fleet cost model: base {:.3} us/query + {:.6} us/posting \
+             ({} wave observations)",
+            stats.learned_base_us, stats.learned_us_per_posting, stats.cost_observations
         );
     }
     if stats.mutation_batches > 0 {
@@ -743,12 +833,16 @@ fn serve(args: &Args, lines: &[&str], db: &GenieDb) {
     );
     for h in db.backend_health() {
         println!(
-            "backend {}: {} batches / {} queries served, {} failures{}{}",
+            "backend {}: {} batches / {} queries served, {} failures{}, learned \
+             {:.3} us/query + {:.6} us/posting ({} obs){}",
             h.name,
             h.batches,
             h.queries,
             h.failed,
             if h.retired { " [RETIRED]" } else { "" },
+            h.cost_model.base_us,
+            h.cost_model.us_per_posting,
+            h.cost_observations,
             h.last_error
                 .as_deref()
                 .map(|e| format!(" (last: {e})"))

@@ -18,6 +18,7 @@
 //! band can never silently widen past a real regression.
 
 use genie_bench::cpu_kernel;
+use genie_bench::durability;
 use genie_bench::experiments as exp;
 use genie_bench::mutations;
 use genie_bench::net;
@@ -34,7 +35,7 @@ fn main() {
              [--table5] [--table6] [--ext-structures] [--ext-tau] [--serving] \
              [--serving-smoke] [--shards N] [--cpu-kernel [--smoke]] \
              [--mutations [--smoke]] [--net [--smoke]] \
-             [--placement [--smoke]] [--check]"
+             [--placement [--smoke]] [--durability [--smoke]] [--check]"
         );
         std::process::exit(2);
     }
@@ -183,6 +184,22 @@ fn main() {
             all_checks_passed &= placement::placement_check(smoke || quick);
         } else {
             placement::placement(smoke, quick && !smoke);
+        }
+    }
+    if has("--durability") {
+        // the kill-and-restart durability gate: spawns the real
+        // genie-server binary with --data-dir, SIGKILLs it mid-load,
+        // restarts, and gates on acked recovery + answer identity.
+        // Deliberately not part of --all (it spawns processes and
+        // binds sockets); needs `cargo build --bin genie-server`
+        // first. `--smoke`/`--quick` routes the CI-sized run to the
+        // gitignored BENCH_durability_smoke.json; only the full run
+        // refreshes the checked-in BENCH_durability.json.
+        let smoke = has("--smoke") || has("--quick");
+        if checking {
+            all_checks_passed &= durability::durability_check(smoke);
+        } else {
+            durability::durability(smoke);
         }
     }
     if has("--serving-smoke") {

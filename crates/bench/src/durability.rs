@@ -1,0 +1,848 @@
+//! The kill-and-restart durability gate (`repro --durability`).
+//!
+//! Where `crates/store/tests/recovery_props.rs` proves recovery
+//! correctness against *simulated* crashes (truncate-at-every-byte,
+//! bit flips, fault-injected writes), this harness proves it against
+//! the real thing: it spawns the actual `genie-server` binary with
+//! `--data-dir`, drives acknowledged mutations over real TCP through
+//! `genie-client`, **SIGKILLs the process mid-load**, restarts it, and
+//! gates on
+//!
+//! * **acked durability** — every acknowledged insert is present after
+//!   the restart, at its original id;
+//! * **prefix atomicity** — of the requests still in flight when the
+//!   process died, exactly a prefix (in connection order) survives;
+//! * **answer identity** — after the restart (and an over-the-wire
+//!   compaction) every probe query answers hit-for-hit and
+//!   AT-identically to a fresh in-process index built over the known
+//!   surviving objects;
+//! * **checkpoint hygiene** — a graceful shutdown folds the journal
+//!   into a snapshot, and the next start replays zero events.
+//!
+//! All gates are structural booleans (they hold on any host at any
+//! speed); recovery wall-clock is recorded for trend reading, never
+//! gated.
+
+use std::io::{BufRead, BufReader};
+use std::path::{Path, PathBuf};
+use std::process::{Child, ChildStdin, ChildStdout, Command, Stdio};
+use std::sync::atomic::{AtomicUsize, Ordering};
+use std::sync::Arc;
+use std::time::{Duration, Instant};
+
+use genie_client::{keyword_of, Client};
+use genie_core::backend::CpuBackend;
+use genie_core::index::IndexBuilder;
+use genie_core::model::{Object, Query, QueryItem};
+use genie_net::frame::Request;
+use genie_service::{GenieService, QueryScheduler, ServiceConfig};
+
+use crate::check::{self, GateRow};
+use crate::cpu_kernel::meta_fields;
+use crate::json::Json;
+use crate::{ms, row};
+
+/// One run's shape.
+#[derive(Debug, Clone, Copy)]
+pub struct DurabilityWorkload {
+    /// Lines in the corpus the server indexes at first boot.
+    pub corpus_n: usize,
+    /// SIGKILL cycles (each: load → kill → restart → verify).
+    pub cycles: usize,
+    /// Acknowledged inserts per cycle before the kill.
+    pub inserts_per_cycle: usize,
+    /// Requests fired without awaiting their replies just before the
+    /// kill — the genuinely in-flight load whose surviving prefix the
+    /// restart must reconcile.
+    pub inflight_at_kill: usize,
+    /// `k` every probe search asks for.
+    pub k: usize,
+}
+
+impl Default for DurabilityWorkload {
+    fn default() -> Self {
+        Self {
+            corpus_n: 400,
+            cycles: 2,
+            inserts_per_cycle: 48,
+            inflight_at_kill: 3,
+            k: 10,
+        }
+    }
+}
+
+/// What one boot of the server reported on stdout.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Boot {
+    pub recovered_collections: usize,
+    pub snapshot_gen: u64,
+    pub events_replayed: usize,
+    pub events_skipped: usize,
+    pub torn_tail_bytes: usize,
+    pub serving_len: usize,
+    pub collection: u64,
+    pub addr: String,
+}
+
+/// One boot's row in the report table.
+#[derive(Debug, Clone)]
+pub struct BootRow {
+    pub name: String,
+    pub boot: Boot,
+    pub boot_ms: f64,
+}
+
+/// What one full kill-and-restart run measured.
+#[derive(Debug, Clone)]
+pub struct DurabilityReport {
+    pub corpus_n: usize,
+    pub acked_inserts: usize,
+    /// In-flight requests at each kill that turned out to have been
+    /// journaled (summed) — the surviving prefixes.
+    pub inflight_recovered: usize,
+    /// Probe queries compared wire-vs-mirror, across all restarts.
+    pub identity_probes: usize,
+    pub identity_ok: bool,
+    /// Every restart served exactly the reconciled object count.
+    pub lengths_ok: bool,
+    /// A post-checkpoint boot observed `snapshot_gen > 0`.
+    pub snapshot_recovery_used: bool,
+    /// Events replayed by the boot after the graceful (checkpointing)
+    /// shutdown — must be 0.
+    pub clean_restart_replayed: usize,
+    pub boots: Vec<BootRow>,
+}
+
+// ---------------------------------------------------------------------
+// Server process plumbing
+// ---------------------------------------------------------------------
+
+/// Locate the `genie-server` binary next to the running executable
+/// (`target/<profile>/`), tolerating test harnesses under `deps/`.
+pub fn server_binary() -> Option<PathBuf> {
+    let exe = std::env::current_exe().ok()?;
+    let mut dir = exe.parent()?;
+    if dir.file_name().is_some_and(|n| n == "deps") {
+        dir = dir.parent()?;
+    }
+    let candidate = dir.join(format!("genie-server{}", std::env::consts::EXE_SUFFIX));
+    candidate.is_file().then_some(candidate)
+}
+
+struct TempDir(PathBuf);
+
+impl TempDir {
+    fn new(tag: &str) -> Self {
+        static NONCE: AtomicUsize = AtomicUsize::new(0);
+        let path = std::env::temp_dir().join(format!(
+            "genie-durability-{tag}-{}-{}",
+            std::process::id(),
+            NONCE.fetch_add(1, Ordering::Relaxed)
+        ));
+        let _ = std::fs::remove_dir_all(&path);
+        std::fs::create_dir_all(&path).expect("temp dir creates");
+        Self(path)
+    }
+}
+
+impl Drop for TempDir {
+    fn drop(&mut self) {
+        let _ = std::fs::remove_dir_all(&self.0);
+    }
+}
+
+struct Server {
+    child: Child,
+    /// Held open: the server runs until its stdin reaches EOF.
+    stdin: Option<ChildStdin>,
+    stdout: BufReader<ChildStdout>,
+    boot: Boot,
+    boot_ms: f64,
+}
+
+/// Parse `recovered {n} collection(s) from {dir}: snapshot gen {g},
+/// {r} journal event(s) replayed ({s} skipped), {t} torn byte(s)
+/// dropped` — the directory may contain digits, so everything after
+/// the colon is parsed positionally.
+fn parse_recovered(line: &str) -> Option<(usize, u64, usize, usize, usize)> {
+    let rest = line.strip_prefix("recovered ")?;
+    let count: usize = rest.split_whitespace().next()?.parse().ok()?;
+    let tail = rest.split_once(": snapshot gen ")?.1;
+    let mut nums = tail
+        .split(|c: char| !c.is_ascii_digit())
+        .filter(|s| !s.is_empty())
+        .map(|s| s.parse::<u64>().ok());
+    let gen = nums.next()??;
+    let replayed = nums.next()?? as usize;
+    let skipped = nums.next()?? as usize;
+    let torn = nums.next()?? as usize;
+    Some((count, gen, replayed, skipped, torn))
+}
+
+/// Parse `serving {len} objects from {path} (collection id {c}, ...)
+/// on {addr}[ [token required]]`.
+fn parse_serving(line: &str) -> Option<(usize, u64, String)> {
+    let rest = line.strip_prefix("serving ")?;
+    let len: usize = rest.split_whitespace().next()?.parse().ok()?;
+    let after_id = rest.split_once("(collection id ")?.1;
+    let collection: u64 = after_id
+        .split(&[',', ')'][..])
+        .next()?
+        .trim()
+        .parse()
+        .ok()?;
+    let addr = rest.rsplit_once(" on ")?.1.split_whitespace().next()?;
+    Some((len, collection, addr.to_string()))
+}
+
+/// Parse `checkpointed data dir at snapshot gen {g}`.
+fn parse_checkpoint_gen(line: &str) -> Option<u64> {
+    line.strip_prefix("checkpointed data dir at snapshot gen ")?
+        .trim()
+        .parse()
+        .ok()
+}
+
+fn spawn_server(bin: &Path, corpus: &Path, data_dir: &Path) -> Server {
+    let started = Instant::now();
+    let mut child = Command::new(bin)
+        .arg(corpus)
+        .args(["--listen", "127.0.0.1:0", "--backend", "cpu"])
+        .arg("--data-dir")
+        .arg(data_dir)
+        .stdin(Stdio::piped())
+        .stdout(Stdio::piped())
+        .stderr(Stdio::inherit())
+        .spawn()
+        .unwrap_or_else(|e| panic!("cannot spawn {}: {e}", bin.display()));
+    let stdin = child.stdin.take();
+    let mut stdout = BufReader::new(child.stdout.take().expect("stdout piped"));
+
+    let mut recovered = None;
+    let mut serving = None;
+    let mut line = String::new();
+    while serving.is_none() {
+        line.clear();
+        let n = stdout.read_line(&mut line).expect("server stdout readable");
+        assert!(n > 0, "genie-server exited before serving (see stderr)");
+        let line = line.trim_end();
+        if let Some(r) = parse_recovered(line) {
+            recovered = Some(r);
+        } else if let Some(s) = parse_serving(line) {
+            serving = Some(s);
+        }
+    }
+    let (serving_len, collection, addr) = serving.expect("loop exits on serving line");
+    let (recovered_collections, snapshot_gen, events_replayed, events_skipped, torn_tail_bytes) =
+        recovered.expect("durable boots always print the recovery line");
+    Server {
+        child,
+        stdin,
+        stdout,
+        boot: Boot {
+            recovered_collections,
+            snapshot_gen,
+            events_replayed,
+            events_skipped,
+            torn_tail_bytes,
+            serving_len,
+            collection,
+            addr,
+        },
+        boot_ms: started.elapsed().as_secs_f64() * 1e3,
+    }
+}
+
+impl Server {
+    /// SIGKILL — no drain, no checkpoint, mid-whatever-it-was-doing.
+    fn kill(mut self) {
+        self.child.kill().expect("SIGKILL delivers");
+        let _ = self.child.wait();
+    }
+
+    /// Graceful stop: close stdin, let the server drain and
+    /// checkpoint, return the checkpointed snapshot generation.
+    fn stop(mut self) -> Option<u64> {
+        drop(self.stdin.take());
+        let mut gen = None;
+        let mut line = String::new();
+        loop {
+            line.clear();
+            if self.stdout.read_line(&mut line).unwrap_or(0) == 0 {
+                break;
+            }
+            if let Some(g) = parse_checkpoint_gen(line.trim_end()) {
+                gen = Some(g);
+            }
+        }
+        let _ = self.child.wait();
+        gen
+    }
+}
+
+// ---------------------------------------------------------------------
+// The harness
+// ---------------------------------------------------------------------
+
+fn write_corpus(dir: &Path, n: usize) -> PathBuf {
+    let path = dir.join("corpus.txt");
+    let mut text = String::new();
+    for i in 0..n {
+        text.push_str(&format!("alpha{i} beta{} corpus shared\n", i % 7));
+    }
+    std::fs::write(&path, text).expect("corpus writes");
+    path
+}
+
+/// The local mirror of one corpus line — must match the server's
+/// `keyword_of`-per-word convention exactly.
+fn corpus_object(i: usize) -> Object {
+    Object {
+        keywords: format!("alpha{i} beta{} corpus shared", i % 7)
+            .split_whitespace()
+            .map(keyword_of)
+            .collect(),
+    }
+}
+
+/// Keywords of the `seq`-th inserted object: one (mostly) unique
+/// keyword plus a tag shared by every insert.
+fn insert_keywords(seq: usize) -> Vec<u32> {
+    vec![
+        (0xABCD_u32.wrapping_mul(seq as u32 + 1)) & 0xf_ffff,
+        keyword_of("durability"),
+    ]
+}
+
+/// Probe queries covering inserted uniques, the shared tag, and
+/// corpus words.
+fn probe_queries(total_inserts: usize) -> Vec<Query> {
+    let mut queries = vec![
+        Query::new(vec![QueryItem::exact(keyword_of("durability"))]),
+        Query::new(vec![
+            QueryItem::exact(keyword_of("corpus")),
+            QueryItem::exact(keyword_of("shared")),
+        ]),
+        Query::new(vec![
+            QueryItem::exact(keyword_of("alpha3")),
+            QueryItem::exact(keyword_of("beta3")),
+        ]),
+    ];
+    for seq in (0..total_inserts).step_by(3) {
+        queries.push(Query::new(vec![
+            QueryItem::exact(insert_keywords(seq)[0]),
+            QueryItem::exact(keyword_of("durability")),
+        ]));
+    }
+    queries
+}
+
+/// Wire answers vs a fresh in-process index over `mirror`: hits and
+/// audit thresholds must agree exactly. Returns probes compared and
+/// whether all agreed.
+fn identity_probe(
+    client: &Client,
+    collection: u64,
+    mirror: &[Object],
+    queries: &[Query],
+    k: usize,
+) -> (usize, bool) {
+    let mut b = IndexBuilder::new();
+    b.add_objects(mirror.iter());
+    let index = Arc::new(b.build(None));
+    let truth = Arc::new(
+        GenieService::start_empty(
+            QueryScheduler::single(Arc::new(CpuBackend::new())),
+            ServiceConfig::default(),
+        )
+        .expect("config is valid"),
+    );
+    let truth_col = truth.add_collection("mirror", &index).expect("fits");
+    let mut ok = true;
+    for q in queries {
+        let wire = client
+            .search(collection, k as u32, q.clone())
+            .expect("wire search serves");
+        let expected = truth
+            .submit_to(truth_col, q.clone(), k)
+            .wait()
+            .expect("mirror search serves");
+        if wire.hits != expected.hits || wire.audit_threshold != expected.audit_threshold {
+            ok = false;
+        }
+    }
+    (queries.len(), ok)
+}
+
+/// Run the full kill-and-restart cycle against a real `genie-server`.
+pub fn run_kill_restart(workload: DurabilityWorkload) -> DurabilityReport {
+    let bin = server_binary().expect(
+        "genie-server binary not found next to this executable — \
+         build it first (cargo build --bin genie-server)",
+    );
+    let dir = TempDir::new("kill");
+    let corpus = write_corpus(&dir.0, workload.corpus_n);
+    let data_dir = dir.0.join("data");
+
+    // the mirror: every object the server must be serving, in id order
+    let mut mirror: Vec<Object> = (0..workload.corpus_n).map(corpus_object).collect();
+    let mut seq = 0usize; // global insert sequence → keywords
+    let mut boots = Vec::new();
+    let mut acked_inserts = 0usize;
+    let mut inflight_recovered = 0usize;
+    let mut identity_probes = 0usize;
+    let mut identity_ok = true;
+    let mut lengths_ok = true;
+    let mut snapshot_recovery_used = false;
+
+    let mut server = spawn_server(&bin, &corpus, &data_dir);
+    assert_eq!(server.boot.recovered_collections, 0, "first boot is empty");
+    assert_eq!(server.boot.serving_len, workload.corpus_n);
+    let collection = server.boot.collection;
+    boots.push(BootRow {
+        name: "boot".into(),
+        boot: server.boot.clone(),
+        boot_ms: server.boot_ms,
+    });
+
+    for cycle in 0..workload.cycles {
+        let client = Client::connect(server.boot.addr.as_str()).expect("client connects");
+
+        // acked load: every reply in hand before the kill, so each of
+        // these objects MUST survive, at its assigned id
+        for _ in 0..workload.inserts_per_cycle {
+            let kws = insert_keywords(seq);
+            let id = client.insert(collection, kws.clone()).expect("insert acks");
+            assert_eq!(
+                id as usize,
+                mirror.len(),
+                "ids are assigned sequentially on one connection"
+            );
+            mirror.push(Object { keywords: kws });
+            acked_inserts += 1;
+            seq += 1;
+            if seq.is_multiple_of(8) {
+                // interleave searches: the kill lands mid-serving too
+                let q = Query::new(vec![QueryItem::exact(keyword_of("durability"))]);
+                let reply = client.search(collection, workload.k as u32, q);
+                assert!(reply.is_ok(), "search under load serves");
+            }
+        }
+
+        // in-flight load: fire and do NOT await — the kill races the
+        // server's journal appends, and exactly a prefix may survive
+        let inflight: Vec<Vec<u32>> = (0..workload.inflight_at_kill)
+            .map(|j| insert_keywords(seq + j))
+            .collect();
+        for kws in &inflight {
+            let _ = client.send(&Request::Insert {
+                collection,
+                keywords: kws.clone(),
+            });
+        }
+        std::thread::sleep(Duration::from_millis(20));
+        server.kill();
+        drop(client);
+
+        // restart: journal replay must bring back every acked insert
+        // plus a prefix (possibly empty) of the in-flight ones
+        server = spawn_server(&bin, &corpus, &data_dir);
+        assert_eq!(server.boot.recovered_collections, 1, "corpus recovers");
+        assert_eq!(server.boot.collection, collection, "stable collection id");
+        if server.boot.snapshot_gen > 0 {
+            snapshot_recovery_used = true;
+        }
+        let survivors = server.boot.serving_len;
+        let floor = mirror.len();
+        if survivors < floor || survivors > floor + inflight.len() {
+            lengths_ok = false;
+        }
+        assert!(
+            survivors >= floor,
+            "cycle {cycle}: an acked insert vanished: {survivors} < {floor}"
+        );
+        assert!(
+            survivors <= floor + inflight.len(),
+            "cycle {cycle}: more objects than were ever sent: {survivors}"
+        );
+        // reconcile: the survivors are a prefix of the in-flight sends
+        for kws in inflight.iter().take(survivors - floor) {
+            mirror.push(Object {
+                keywords: kws.clone(),
+            });
+            inflight_recovered += 1;
+        }
+        seq += survivors - floor;
+        boots.push(BootRow {
+            name: format!("kill{}", cycle + 1),
+            boot: server.boot.clone(),
+            boot_ms: server.boot_ms,
+        });
+
+        // fold the replayed delta over the wire, then the identity
+        // gate: wire answers == fresh in-process index over the mirror
+        let client = Client::connect(server.boot.addr.as_str()).expect("client reconnects");
+        client.compact(collection).expect("remote compaction runs");
+        let queries = probe_queries(seq);
+        let (probes, ok) = identity_probe(&client, collection, &mirror, &queries, workload.k);
+        identity_probes += probes;
+        identity_ok &= ok;
+        assert!(
+            ok,
+            "cycle {cycle}: recovered answers diverged from the mirror"
+        );
+        drop(client);
+    }
+
+    // graceful shutdown checkpoints; the next boot must replay nothing
+    let checkpoint_gen = server.stop();
+    assert!(
+        checkpoint_gen.is_some_and(|g| g > 0),
+        "graceful shutdown must checkpoint"
+    );
+    let server = spawn_server(&bin, &corpus, &data_dir);
+    let clean_restart_replayed = server.boot.events_replayed;
+    if server.boot.serving_len != mirror.len() {
+        lengths_ok = false;
+    }
+    if server.boot.snapshot_gen > 0 {
+        snapshot_recovery_used = true;
+    }
+    boots.push(BootRow {
+        name: "clean".into(),
+        boot: server.boot.clone(),
+        boot_ms: server.boot_ms,
+    });
+    let client = Client::connect(server.boot.addr.as_str()).expect("client connects");
+    let queries = probe_queries(seq);
+    let (probes, ok) = identity_probe(&client, collection, &mirror, &queries, workload.k);
+    identity_probes += probes;
+    identity_ok &= ok;
+    drop(client);
+    server.stop();
+
+    DurabilityReport {
+        corpus_n: workload.corpus_n,
+        acked_inserts,
+        inflight_recovered,
+        identity_probes,
+        identity_ok,
+        lengths_ok,
+        snapshot_recovery_used,
+        clean_restart_replayed,
+        boots,
+    }
+}
+
+// ---------------------------------------------------------------------
+// Recording, printing, gating
+// ---------------------------------------------------------------------
+
+fn report_json(report: &DurabilityReport, workload: DurabilityWorkload, smoke: bool) -> Json {
+    let rows: Vec<Json> = report
+        .boots
+        .iter()
+        .map(|b| {
+            Json::obj(vec![
+                ("name", Json::str(&b.name)),
+                ("recovered", Json::int(b.boot.recovered_collections as u64)),
+                ("snapshot_gen", Json::int(b.boot.snapshot_gen)),
+                ("replayed", Json::int(b.boot.events_replayed as u64)),
+                ("skipped", Json::int(b.boot.events_skipped as u64)),
+                ("torn_bytes", Json::int(b.boot.torn_tail_bytes as u64)),
+                ("serving_len", Json::int(b.boot.serving_len as u64)),
+                ("boot_ms", Json::num(b.boot_ms)),
+            ])
+        })
+        .collect();
+    let threads = {
+        use genie_core::backend::SearchBackend;
+        CpuBackend::new().capabilities().devices
+    };
+    let mut fields = vec![
+        ("bench", Json::str("durability")),
+        ("smoke", Json::Bool(smoke)),
+        ("corpus_n", Json::int(report.corpus_n as u64)),
+        ("cycles", Json::int(workload.cycles as u64)),
+        ("acked_inserts", Json::int(report.acked_inserts as u64)),
+        (
+            "inflight_recovered",
+            Json::int(report.inflight_recovered as u64),
+        ),
+        ("identity_probes", Json::int(report.identity_probes as u64)),
+        ("identity_ok", Json::Bool(report.identity_ok)),
+        ("lengths_ok", Json::Bool(report.lengths_ok)),
+        (
+            "snapshot_recovery_used",
+            Json::Bool(report.snapshot_recovery_used),
+        ),
+        (
+            "clean_restart_replayed",
+            Json::int(report.clean_restart_replayed as u64),
+        ),
+    ];
+    fields.extend(meta_fields(threads));
+    fields.push(("rows", Json::arr(rows)));
+    Json::Obj(
+        fields
+            .into_iter()
+            .map(|(k, v)| (k.to_string(), v))
+            .collect(),
+    )
+}
+
+fn print_report(report: &DurabilityReport) {
+    let widths = [8, 10, 13, 9, 9, 12, 9];
+    row(
+        &[
+            "boot".into(),
+            "recovered".into(),
+            "snapshot gen".into(),
+            "replayed".into(),
+            "skipped".into(),
+            "serving len".into(),
+            "boot ms".into(),
+        ],
+        &widths,
+    );
+    for b in &report.boots {
+        row(
+            &[
+                b.name.clone(),
+                b.boot.recovered_collections.to_string(),
+                b.boot.snapshot_gen.to_string(),
+                b.boot.events_replayed.to_string(),
+                b.boot.events_skipped.to_string(),
+                b.boot.serving_len.to_string(),
+                ms(b.boot_ms * 1e3),
+            ],
+            &widths,
+        );
+    }
+    println!(
+        "{} acked insert(s), {} in-flight survivor(s), identity {} over {} probe(s), \
+         clean restart replayed {}",
+        report.acked_inserts,
+        report.inflight_recovered,
+        if report.identity_ok { "OK" } else { "DIVERGED" },
+        report.identity_probes,
+        report.clean_restart_replayed
+    );
+}
+
+fn smoke_workload() -> DurabilityWorkload {
+    DurabilityWorkload {
+        corpus_n: 120,
+        cycles: 1,
+        inserts_per_cycle: 16,
+        inflight_at_kill: 3,
+        k: 10,
+    }
+}
+
+/// `repro --durability [--smoke]`: run the kill-and-restart cycle and
+/// record the baseline. The full run refreshes the checked-in
+/// `BENCH_durability.json`; `--smoke` routes to the gitignored
+/// `BENCH_durability_smoke.json`.
+pub fn durability(smoke: bool) {
+    println!("\n=== Durability — kill-and-restart against a real genie-server ===");
+    let workload = if smoke {
+        smoke_workload()
+    } else {
+        DurabilityWorkload::default()
+    };
+    let report = run_kill_restart(workload);
+    print_report(&report);
+    assert!(
+        report.identity_ok,
+        "recovered answers must match the mirror"
+    );
+    assert!(
+        report.lengths_ok,
+        "every restart must serve the reconciled count"
+    );
+    assert_eq!(
+        report.clean_restart_replayed, 0,
+        "checkpoint folds the journal"
+    );
+    assert!(
+        report.snapshot_recovery_used,
+        "at least one boot must recover through a snapshot"
+    );
+
+    let path = if smoke {
+        "BENCH_durability_smoke.json"
+    } else {
+        "BENCH_durability.json"
+    };
+    report_json(&report, workload, smoke)
+        .write_to_file(path)
+        .unwrap_or_else(|e| panic!("cannot write {path}: {e}"));
+    println!("baseline written to {path}");
+}
+
+/// `repro --durability --check`: fresh trials of the full cycle, every
+/// gate structural (booleans that hold on any host); `--smoke --check`
+/// runs the live CI-sized cycle plus a structural audit of the
+/// checked-in `BENCH_durability.json`.
+pub fn durability_check(smoke: bool) -> bool {
+    if smoke {
+        return durability_smoke_check();
+    }
+    const TRIALS: usize = 2;
+    println!("\n=== Durability check — {TRIALS} kill-and-restart trials ===");
+    let reports: Vec<DurabilityReport> = (0..TRIALS)
+        .map(|t| {
+            println!("trial {}/{TRIALS} ...", t + 1);
+            run_kill_restart(DurabilityWorkload::default())
+        })
+        .collect();
+    let gate = |name: &str, per_trial: Vec<bool>| {
+        check::judge(GateRow {
+            name: name.into(),
+            baseline: 1.0,
+            trials: per_trial.into_iter().map(|b| b as u64 as f64).collect(),
+            floor: 1.0,
+        })
+    };
+    let verdicts = vec![
+        gate(
+            "durability/identity_after_sigkill",
+            reports.iter().map(|r| r.identity_ok).collect(),
+        ),
+        gate(
+            "durability/acked_inserts_all_recovered",
+            reports.iter().map(|r| r.lengths_ok).collect(),
+        ),
+        gate(
+            "durability/snapshot_recovery_used",
+            reports.iter().map(|r| r.snapshot_recovery_used).collect(),
+        ),
+        gate(
+            "durability/clean_restart_replays_zero",
+            reports
+                .iter()
+                .map(|r| r.clean_restart_replayed == 0)
+                .collect(),
+        ),
+    ];
+    check::report("durability", &verdicts, "CHECK_durability.json")
+}
+
+/// The CI smoke gate: a live small kill-and-restart cycle (hard
+/// asserts inside), then a structural audit of the checked-in
+/// `BENCH_durability.json` so a stale or hand-mangled baseline fails
+/// without a full-scale re-run.
+pub fn durability_smoke_check() -> bool {
+    println!("\n=== Durability smoke (CI): kill-and-restart, one cycle ===");
+    let report = run_kill_restart(smoke_workload());
+    print_report(&report);
+    assert!(
+        report.identity_ok,
+        "recovered answers must match the mirror"
+    );
+    assert!(
+        report.lengths_ok,
+        "every restart must serve the reconciled count"
+    );
+    assert_eq!(
+        report.clean_restart_replayed, 0,
+        "checkpoint folds the journal"
+    );
+
+    let baseline = check::load_baseline("BENCH_durability.json");
+    let mut verdicts = Vec::new();
+    let mut structural = |name: String, ok: bool| {
+        verdicts.push(check::judge(GateRow {
+            name,
+            baseline: 1.0,
+            trials: vec![ok as u64 as f64],
+            floor: 1.0,
+        }));
+    };
+    structural(
+        "baseline/identity_ok".into(),
+        baseline.get("identity_ok") == Some(&Json::Bool(true)),
+    );
+    structural(
+        "baseline/lengths_ok".into(),
+        baseline.get("lengths_ok") == Some(&Json::Bool(true)),
+    );
+    structural(
+        "baseline/snapshot_recovery_used".into(),
+        baseline.get("snapshot_recovery_used") == Some(&Json::Bool(true)),
+    );
+    structural(
+        "baseline/clean_restart_replayed_zero".into(),
+        check::field(&baseline, "clean_restart_replayed") == 0.0,
+    );
+    let rows = baseline
+        .get("rows")
+        .and_then(Json::as_arr)
+        .unwrap_or_else(|| panic!("baseline has no rows array"));
+    structural("baseline/rows_nonempty".into(), !rows.is_empty());
+    structural(
+        "baseline/clean_boot_recovers_collection".into(),
+        check::field(check::find_row(rows, "name", "clean"), "recovered") == 1.0,
+    );
+    structural(
+        "live/smoke_cycle_passed".into(),
+        report.identity_ok && report.lengths_ok,
+    );
+
+    check::report("durability_smoke", &verdicts, "CHECK_durability_smoke.json")
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn recovery_line_parses() {
+        let line = "recovered 1 collection(s) from /tmp/genie-42-7/data: snapshot gen 2, \
+                    17 journal event(s) replayed (3 skipped), 5 torn byte(s) dropped";
+        assert_eq!(parse_recovered(line), Some((1, 2, 17, 3, 5)));
+        assert_eq!(parse_recovered("serving 10 objects"), None);
+    }
+
+    #[test]
+    fn serving_line_parses_with_digits_in_paths() {
+        let line = "serving 403 objects from /tmp/genie-9/corpus.txt (collection id 7, \
+                    2 shards) on 127.0.0.1:45123 [token required]";
+        assert_eq!(
+            parse_serving(line),
+            Some((403, 7, "127.0.0.1:45123".to_string()))
+        );
+    }
+
+    #[test]
+    fn checkpoint_line_parses() {
+        assert_eq!(
+            parse_checkpoint_gen("checkpointed data dir at snapshot gen 4"),
+            Some(4)
+        );
+        assert_eq!(parse_checkpoint_gen("drained: true"), None);
+    }
+
+    #[test]
+    fn mirror_matches_server_keyword_convention() {
+        // the corpus writer and the mirror must agree word-for-word
+        let dir = TempDir::new("unit");
+        let path = write_corpus(&dir.0, 9);
+        let raw = std::fs::read_to_string(path).unwrap();
+        for (i, line) in raw.lines().enumerate() {
+            let server_view: Vec<u32> = line.split_whitespace().map(keyword_of).collect();
+            assert_eq!(server_view, corpus_object(i).keywords);
+        }
+    }
+
+    #[test]
+    fn insert_keywords_carry_the_shared_tag() {
+        for seq in 0..50 {
+            let kws = insert_keywords(seq);
+            assert_eq!(kws.len(), 2);
+            assert_eq!(kws[1], keyword_of("durability"));
+            assert!(kws[0] <= 0xf_ffff);
+        }
+    }
+}

@@ -18,6 +18,10 @@
 //!   connections against a loopback `NetServer`, sky-bench-style
 //!   server-vs-full latency percentiles across workload mixes,
 //!   pipeline depths and a connection-churn phase;
+//! * [`durability`] — the kill-and-restart durability gate: a real
+//!   `genie-server --data-dir` process SIGKILLed mid-load, restarted,
+//!   and gated on acked-batch recovery and wire-vs-mirror answer
+//!   identity;
 //! * [`placement`] — the skew-aware placement workload: a skewed corpus
 //!   on a heterogeneous fleet (CPU + throttled sims), static broadcast
 //!   vs the learning placement loop (online per-backend cost model,
@@ -38,6 +42,7 @@
 
 pub mod check;
 pub mod cpu_kernel;
+pub mod durability;
 pub mod experiments;
 pub mod json;
 pub mod mutations;

@@ -99,6 +99,67 @@ impl DeltaPlan {
         }
     }
 
+    /// Rebuild a plan from externally persisted state (a snapshot plus
+    /// replayed journal suffix), validating the invariants
+    /// [`from_base`](Self::from_base)-built plans enjoy by construction.
+    ///
+    /// Unlike `from_base`, the caller supplies `next_id` explicitly:
+    /// deriving it from the largest *live* id would reuse an id whenever
+    /// the newest object had been tombstoned, violating the never-reuse
+    /// contract that keeps caller-held ids and the id-indexed item
+    /// stores valid across restarts.
+    pub fn restore(
+        base: Vec<Shard>,
+        delta: Vec<(ObjectId, Object)>,
+        tombstones: Vec<ObjectId>,
+        next_id: ObjectId,
+        load_balance: Option<LoadBalanceConfig>,
+    ) -> Result<Self, RestoreError> {
+        let mut live = BTreeSet::new();
+        let mut max_seen: Option<ObjectId> = None;
+        for shard in &base {
+            if !shard.global_ids.windows(2).all(|w| w[0] < w[1]) {
+                return Err(RestoreError::UnsortedShardIds);
+            }
+            for &id in shard.global_ids.iter() {
+                if !live.insert(id) {
+                    return Err(RestoreError::DuplicateId(id));
+                }
+                max_seen = Some(max_seen.map_or(id, |m: ObjectId| m.max(id)));
+            }
+        }
+        let mut prev: Option<ObjectId> = None;
+        for &(id, _) in &delta {
+            if prev.is_some_and(|p| p >= id) {
+                return Err(RestoreError::UnsortedDeltaIds);
+            }
+            prev = Some(id);
+            if !live.insert(id) {
+                return Err(RestoreError::DuplicateId(id));
+            }
+            max_seen = Some(max_seen.map_or(id, |m: ObjectId| m.max(id)));
+        }
+        let tombstones: BTreeSet<ObjectId> = tombstones.into_iter().collect();
+        for &id in &tombstones {
+            live.remove(&id);
+            max_seen = Some(max_seen.map_or(id, |m: ObjectId| m.max(id)));
+        }
+        if max_seen.is_some_and(|m| next_id <= m) {
+            return Err(RestoreError::NextIdTooSmall {
+                next_id,
+                max_seen: max_seen.unwrap_or(0),
+            });
+        }
+        Ok(Self {
+            base,
+            delta,
+            tombstones,
+            live,
+            next_id,
+            load_balance,
+        })
+    }
+
     /// Insert an object, assigning the next stable id. O(1) amortized;
     /// the delta index itself is rebuilt by
     /// [`delta_shard`](Self::delta_shard) per mutation *batch*, not per
@@ -150,6 +211,19 @@ impl DeltaPlan {
     /// Inserts pending in the delta (including since-tombstoned ones).
     pub fn delta_len(&self) -> usize {
         self.delta.len()
+    }
+
+    /// The pending `(stable id, object)` delta entries, in insertion
+    /// order — what a durability layer must persist to replay the
+    /// un-compacted suffix of the mutation history.
+    pub fn delta_entries(&self) -> &[(ObjectId, Object)] {
+        &self.delta
+    }
+
+    /// The load-balance config the delta shard (and any compaction) is
+    /// built with.
+    pub fn load_balance(&self) -> Option<LoadBalanceConfig> {
+        self.load_balance
     }
 
     /// Ids deleted since the last compaction.
@@ -212,6 +286,43 @@ impl DeltaPlan {
         self.base = compacted.shards;
     }
 }
+
+/// Why a persisted [`DeltaPlan`] state was rejected by
+/// [`DeltaPlan::restore`] — each variant names the violated invariant,
+/// so a recovery layer can surface *what* about the on-disk state was
+/// inconsistent rather than panicking or serving wrong answers.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum RestoreError {
+    /// A base shard's local→global id map was not strictly increasing.
+    UnsortedShardIds,
+    /// Delta entry ids were not strictly increasing (they are assigned
+    /// in insertion order and never reused, so any persisted delta must
+    /// be too).
+    UnsortedDeltaIds,
+    /// The same stable id appeared twice across base shards + delta.
+    DuplicateId(ObjectId),
+    /// `next_id` was not past every persisted id — accepting it would
+    /// eventually reuse an id.
+    NextIdTooSmall {
+        next_id: ObjectId,
+        max_seen: ObjectId,
+    },
+}
+
+impl std::fmt::Display for RestoreError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            Self::UnsortedShardIds => write!(f, "base shard ids not strictly increasing"),
+            Self::UnsortedDeltaIds => write!(f, "delta ids not strictly increasing"),
+            Self::DuplicateId(id) => write!(f, "stable id {id} appears twice"),
+            Self::NextIdTooSmall { next_id, max_seen } => {
+                write!(f, "next_id {next_id} <= max persisted id {max_seen}")
+            }
+        }
+    }
+}
+
+impl std::error::Error for RestoreError {}
 
 impl std::fmt::Debug for DeltaPlan {
     fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
@@ -455,6 +566,83 @@ mod tests {
         assert_eq!(plan.base().len(), 1, "one empty shard stays registrable");
         assert!(plan.base()[0].is_empty());
         assert_eq!(plan.insert(obj(&[9])), 2, "ids still never reused");
+    }
+
+    #[test]
+    fn restore_roundtrips_a_mutated_plan() {
+        let objects: Vec<Object> = (0..12).map(|i| obj(&[i % 4, 50 + i % 3])).collect();
+        let mut plan = base_plan(&objects, 2);
+        for i in 0..5 {
+            plan.insert(obj(&[i % 4, 50 + (i + 2) % 3]));
+        }
+        for id in [0, 4, 13, 16] {
+            assert!(plan.delete(id));
+        }
+        let restored = DeltaPlan::restore(
+            plan.base().to_vec(),
+            plan.delta_entries().to_vec(),
+            plan.tombstones().collect(),
+            plan.next_id(),
+            plan.load_balance(),
+        )
+        .expect("roundtrip restore");
+        assert_eq!(restored.live_ids(), plan.live_ids());
+        assert_eq!(restored.next_id(), plan.next_id());
+        assert_eq!(restored.delta_len(), plan.delta_len());
+        assert_eq!(restored.num_tombstones(), plan.num_tombstones());
+        let query = Query::from_keywords(&[2, 51]);
+        assert_equivalent(&restored, &query, "restored");
+    }
+
+    #[test]
+    fn restore_preserves_next_id_past_tombstoned_tail() {
+        // the newest id is dead: from_base would re-derive next_id = 2
+        // and reuse id 2; restore must keep the explicit value
+        let mut plan = base_plan(&[obj(&[1]), obj(&[2])], 1);
+        let tail = plan.insert(obj(&[3]));
+        assert!(plan.delete(tail));
+        let mut restored = DeltaPlan::restore(
+            plan.base().to_vec(),
+            plan.delta_entries().to_vec(),
+            plan.tombstones().collect(),
+            plan.next_id(),
+            None,
+        )
+        .unwrap();
+        assert_eq!(restored.next_id(), 3);
+        assert_eq!(restored.insert(obj(&[4])), 3, "no id reuse");
+    }
+
+    #[test]
+    fn restore_rejects_inconsistent_state() {
+        let base = ShardPlan::build(&[obj(&[1]), obj(&[2])], 1, None)
+            .shards()
+            .to_vec();
+        // duplicate id across base and delta
+        let err = DeltaPlan::restore(base.clone(), vec![(1, obj(&[9]))], vec![], 3, None);
+        assert_eq!(err.unwrap_err(), RestoreError::DuplicateId(1));
+        // unsorted delta
+        let err = DeltaPlan::restore(
+            base.clone(),
+            vec![(5, obj(&[9])), (3, obj(&[9]))],
+            vec![],
+            6,
+            None,
+        );
+        assert_eq!(err.unwrap_err(), RestoreError::UnsortedDeltaIds);
+        // next_id inside the persisted id range (incl. tombstones)
+        let err = DeltaPlan::restore(base.clone(), vec![], vec![5], 4, None);
+        assert!(matches!(
+            err.unwrap_err(),
+            RestoreError::NextIdTooSmall { next_id: 4, .. }
+        ));
+        // unsorted shard ids
+        let bad = Shard {
+            index: base[0].index.clone(),
+            global_ids: Arc::new(vec![1, 0]),
+        };
+        let err = DeltaPlan::restore(vec![bad], vec![], vec![], 2, None);
+        assert_eq!(err.unwrap_err(), RestoreError::UnsortedShardIds);
     }
 
     /// Mutations racing the lock-free compact(): inserts after the

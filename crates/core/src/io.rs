@@ -79,7 +79,21 @@ pub fn encode_index(index: &InvertedIndex) -> Bytes {
     buf.freeze()
 }
 
+/// A u64 size field that must index host memory. Rejecting values that
+/// don't fit `usize` (32-bit hosts) keeps a corrupt snapshot from
+/// silently truncating a size through an `as` cast.
+fn size_field(raw: u64) -> Result<usize, DecodeError> {
+    usize::try_from(raw).map_err(|_| DecodeError::Corrupt("size field exceeds usize"))
+}
+
 /// Deserialise an index previously produced by [`encode_index`].
+///
+/// Every length prefix is validated against the bytes actually present
+/// **before** any allocation is sized from it, and all derived byte
+/// counts use checked arithmetic — a corrupt or adversarial buffer can
+/// produce only a typed [`DecodeError`], never a huge allocation, an
+/// overflow or a panic (the discipline of `genie_net::wire`'s
+/// `ByteReader`, applied to the snapshot codec).
 pub fn decode_index(mut buf: impl Buf) -> Result<InvertedIndex, DecodeError> {
     if buf.remaining() < 8 {
         return Err(DecodeError::Truncated);
@@ -94,18 +108,21 @@ pub fn decode_index(mut buf: impl Buf) -> Result<InvertedIndex, DecodeError> {
         return Err(DecodeError::UnsupportedVersion(version));
     }
     let flags = buf.get_u16_le();
+    if flags & !1 != 0 {
+        return Err(DecodeError::Corrupt("unknown flag bits set"));
+    }
     if buf.remaining() < 16 {
         return Err(DecodeError::Truncated);
     }
     let num_objects = buf.get_u32_le();
     let max_object_len = buf.get_u32_le() as usize;
-    let longest_list = buf.get_u64_le() as usize;
+    let longest_list = size_field(buf.get_u64_le())?;
     let load_balance = if flags & 1 != 0 {
         if buf.remaining() < 8 {
             return Err(DecodeError::Truncated);
         }
         Some(LoadBalanceConfig {
-            max_list_len: buf.get_u64_le() as usize,
+            max_list_len: size_field(buf.get_u64_le())?,
         })
     } else {
         None
@@ -114,7 +131,12 @@ pub fn decode_index(mut buf: impl Buf) -> Result<InvertedIndex, DecodeError> {
         return Err(DecodeError::Truncated);
     }
     let num_entries = buf.get_u32_le() as usize;
-    if buf.remaining() < num_entries * 12 {
+    let entry_bytes = num_entries
+        .checked_mul(12)
+        .ok_or(DecodeError::Corrupt("entry count overflows byte length"))?;
+    if buf.remaining() < entry_bytes {
+        // declared length validated against the buffer *before* the
+        // Vec below is sized from it
         return Err(DecodeError::Truncated);
     }
     let mut entries = Vec::with_capacity(num_entries);
@@ -129,7 +151,10 @@ pub fn decode_index(mut buf: impl Buf) -> Result<InvertedIndex, DecodeError> {
         return Err(DecodeError::Truncated);
     }
     let list_len = buf.get_u32_le() as usize;
-    if buf.remaining() < list_len * 4 {
+    let list_bytes = list_len
+        .checked_mul(4)
+        .ok_or(DecodeError::Corrupt("list length overflows byte length"))?;
+    if buf.remaining() < list_bytes {
         return Err(DecodeError::Truncated);
     }
     let mut list_array = Vec::with_capacity(list_len);
@@ -139,8 +164,12 @@ pub fn decode_index(mut buf: impl Buf) -> Result<InvertedIndex, DecodeError> {
     // structural validation
     let mut last_kw = None;
     for e in &entries {
-        if (e.start as usize + e.len as usize) > list_array.len() {
+        // u64 arithmetic: u32 start + u32 len cannot overflow it
+        if (e.start as u64 + e.len as u64) > list_array.len() as u64 {
             return Err(DecodeError::Corrupt("entry points past the List Array"));
+        }
+        if e.len as usize > longest_list {
+            return Err(DecodeError::Corrupt("entry longer than longest_list"));
         }
         if let Some(prev) = last_kw {
             if e.keyword < prev {
@@ -212,6 +241,66 @@ mod tests {
         for cut in 0..bytes.len() {
             let res = decode_index(&bytes[..cut]);
             assert!(res.is_err(), "prefix of {cut} bytes decoded successfully");
+        }
+    }
+
+    /// A corrupt length prefix declaring ~4 billion entries on a tiny
+    /// buffer must fail via the remaining-bytes validation *before* any
+    /// allocation is sized from it (a huge `with_capacity` would abort
+    /// the process — worse than a panic).
+    #[test]
+    fn absurd_length_prefixes_fail_without_allocating() {
+        let mut raw = encode_index(&sample(None)).to_vec();
+        let entry_count_at = 24; // header (no LB) ends here
+        raw[entry_count_at..entry_count_at + 4].copy_from_slice(&u32::MAX.to_le_bytes());
+        assert_eq!(decode_index(&raw[..]).unwrap_err(), DecodeError::Truncated);
+
+        // same for the List Array length prefix
+        let mut raw = encode_index(&sample(None)).to_vec();
+        let n = raw.len();
+        raw[n - 4 * 100 - 4..n - 4 * 100].copy_from_slice(&u32::MAX.to_le_bytes());
+        assert!(decode_index(&raw[..]).is_err());
+    }
+
+    #[test]
+    fn rejects_unknown_flag_bits() {
+        let mut raw = encode_index(&sample(None)).to_vec();
+        raw[6] |= 0x02;
+        assert!(matches!(
+            decode_index(&raw[..]),
+            Err(DecodeError::Corrupt(_))
+        ));
+    }
+
+    #[test]
+    fn rejects_inconsistent_longest_list() {
+        let mut raw = encode_index(&sample(None)).to_vec();
+        // longest_list lives at offset 16..24; zero it while entries
+        // still carry non-empty lists
+        raw[16..24].copy_from_slice(&0u64.to_le_bytes());
+        assert!(matches!(
+            decode_index(&raw[..]),
+            Err(DecodeError::Corrupt(_))
+        ));
+    }
+
+    /// Bit-flip torture at the codec layer: flipping any single bit
+    /// must never panic; a successful decode must still uphold the
+    /// structural invariants (checksums live a layer up, in
+    /// genie-store's record frames).
+    #[test]
+    fn bit_flips_never_panic() {
+        let bytes = encode_index(&sample(Some(LoadBalanceConfig { max_list_len: 4 })));
+        for pos in 0..bytes.len() {
+            for bit in 0..8 {
+                let mut raw = bytes.to_vec();
+                raw[pos] ^= 1 << bit;
+                if let Ok(idx) = decode_index(&raw[..]) {
+                    // decoded fine — invariants must hold
+                    let n = idx.num_objects();
+                    assert!(idx.list_array().iter().all(|&o| n == 0 || o < n));
+                }
+            }
         }
     }
 

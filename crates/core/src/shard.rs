@@ -95,6 +95,15 @@ pub struct Shard {
     pub global_ids: Arc<Vec<ObjectId>>,
 }
 
+impl std::fmt::Debug for Shard {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        // summarise: dumping postings lists would swamp any log line
+        f.debug_struct("Shard")
+            .field("objects", &self.global_ids.len())
+            .finish_non_exhaustive()
+    }
+}
+
 impl Shard {
     /// Translate a shard-local hit list to collection-global ids. The
     /// relative order is unchanged: the local→global map is strictly

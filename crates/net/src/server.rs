@@ -442,6 +442,7 @@ fn service_error(e: ServiceError) -> WireError {
         // server-local), so this variant can only surface as a
         // diagnostic if that ever changes
         ServiceError::InvalidPlacement(e) => WireError::Service(format!("invalid placement: {e}")),
+        ServiceError::Persist(e) => WireError::Service(format!("persistence failure: {e}")),
         ServiceError::Internal(e) => WireError::Service(e),
     }
 }
@@ -963,6 +964,9 @@ pub fn service_stats_fields(s: &ServiceStats) -> Vec<(String, f64)> {
             "service/cost_observations".into(),
             s.cost_observations as f64,
         ),
+        ("service/journaled_events".into(), s.journaled_events as f64),
+        ("service/checkpoints".into(), s.checkpoints as f64),
+        ("service/persist_errors".into(), s.persist_errors as f64),
     ]
 }
 

@@ -79,6 +79,14 @@ pub enum DbError {
     /// never existed, or was already deleted). The whole batch was
     /// rejected — mutations are atomic.
     UnknownId(ObjectId),
+    /// [`GenieDb::open_at`] could not recover the on-disk state: a
+    /// typed [`genie_store::RecoverError`], flattened to its message.
+    /// Nothing was registered — the caller decides between fsck,
+    /// restore-from-backup, and starting fresh.
+    Recover(String),
+    /// The durability layer could not journal or checkpoint. The
+    /// operation was **not** applied (write-ahead discipline).
+    Persist(String),
     /// The serving layer failed (backend preparation, shutdown,
     /// unknown collection).
     Service(ServiceError),
@@ -96,6 +104,8 @@ impl std::fmt::Display for DbError {
                     "cannot delete object {id}: not a live id of this collection"
                 )
             }
+            Self::Recover(e) => write!(f, "recovery failed: {e}"),
+            Self::Persist(e) => write!(f, "persistence failure: {e}"),
             Self::Service(e) => write!(f, "service error: {e}"),
         }
     }
@@ -150,12 +160,16 @@ impl From<MutateError> for DbError {
 pub struct GenieDb {
     service: Arc<GenieService>,
     backends: Vec<Arc<dyn SearchBackend>>,
+    /// What [`open_at`](Self::open_at) recovered (`None` for the
+    /// in-memory constructors).
+    recovery: Option<genie_store::RecoveryReport>,
 }
 
 impl std::fmt::Debug for GenieDb {
     fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
         f.debug_struct("GenieDb")
             .field("backends", &self.backends.len())
+            .field("recovery", &self.recovery)
             .field("service", &self.service)
             .finish()
     }
@@ -178,6 +192,7 @@ impl GenieDb {
         Ok(Self {
             service: Arc::new(service),
             backends,
+            recovery: None,
         })
     }
 
@@ -188,6 +203,76 @@ impl GenieDb {
             SchedulerConfig::default(),
             ServiceConfig::default(),
         )
+    }
+
+    /// Open a **durable** database rooted at `path`: recover whatever a
+    /// previous process persisted there (snapshots + journal replay,
+    /// re-registered under their original collection ids), then journal
+    /// every collection lifecycle and mutation event from here on.
+    /// A fresh/empty directory is a valid empty database; damaged state
+    /// is a typed [`DbError::Recover`] — never a panic, never partial
+    /// registration. See [`genie_store`] for the format and crash
+    /// guarantees, and [`recovery`](Self::recovery) for what was found.
+    ///
+    /// Recovered collections come back at the raw match-count level
+    /// (the journal stores encoded objects, not domain items), so they
+    /// are served via [`service`](Self::service) by id/name; typed
+    /// [`Collection`] handles exist for collections created through
+    /// *this* facade instance, whose in-memory domain adapters do the
+    /// encoding. Front-ends that need typed answers across restarts
+    /// re-create their adapters (e.g. the server re-indexes its corpus
+    /// configuration) — answers are identical either way.
+    pub fn open_at(
+        path: impl AsRef<std::path::Path>,
+        backends: Vec<Arc<dyn SearchBackend>>,
+        scheduler: SchedulerConfig,
+        service: ServiceConfig,
+    ) -> Result<Self, DbError> {
+        Self::open_at_vfs(
+            Arc::new(genie_store::DiskVfs),
+            path,
+            backends,
+            scheduler,
+            service,
+        )
+    }
+
+    /// [`open_at`](Self::open_at) over an explicit [`genie_store::Vfs`]
+    /// — what the crash-recovery property tests run against (in-memory
+    /// and fault-injecting filesystems).
+    pub fn open_at_vfs(
+        vfs: Arc<dyn genie_store::Vfs>,
+        path: impl AsRef<std::path::Path>,
+        backends: Vec<Arc<dyn SearchBackend>>,
+        scheduler: SchedulerConfig,
+        service: ServiceConfig,
+    ) -> Result<Self, DbError> {
+        let mut db = Self::open(backends, scheduler, service)?;
+        let recovered = genie_store::DurableStore::open(vfs, path)
+            .map_err(|e| DbError::Recover(e.to_string()))?;
+        db.service
+            .restore_collections(recovered.collections)
+            .map_err(DbError::Service)?;
+        db.service.attach_store(Arc::new(recovered.store));
+        db.recovery = Some(recovered.report);
+        Ok(db)
+    }
+
+    /// What [`open_at`](Self::open_at) recovered; `None` for purely
+    /// in-memory databases.
+    pub fn recovery(&self) -> Option<&genie_store::RecoveryReport> {
+        self.recovery.as_ref()
+    }
+
+    /// Snapshot every collection into the durable store and prune
+    /// superseded journal generations (also runs automatically after
+    /// background compactions). `Ok(None)` when the database is not
+    /// durable.
+    pub fn checkpoint(&self) -> Result<Option<u64>, DbError> {
+        self.service.checkpoint().map_err(|e| match e {
+            ServiceError::Persist(msg) => DbError::Persist(msg),
+            other => DbError::Service(other),
+        })
     }
 
     /// Index `items` under domain `D` and register the result as a new

@@ -93,6 +93,9 @@ mod service;
 
 pub use db::{Collection, DbError, GenieDb, SearchError, TypedTicket};
 pub use drain::{ConnectionGuard, ConnectionRegistry};
+// the durability types that appear in this crate's public signatures
+// ([`GenieDb::open_at_vfs`], [`GenieService::attach_store`], ...)
+pub use genie_store::{DiskVfs, DurableStore, MemVfs, RecoveredCollection, RecoveryReport, Vfs};
 pub use service::{
     percentile_us, BackendHealth, CollectionId, GenieService, MutateError, MutationStatus,
     ResponseTicket, ServiceConfig, ServiceError, ServiceStats, ShardRunStats, TicketResult,

@@ -83,11 +83,14 @@ use std::thread::JoinHandle;
 use std::time::{Duration, Instant};
 
 use genie_core::delta::DeltaPlan;
-use genie_core::index::InvertedIndex;
+use genie_core::index::{InvertedIndex, LoadBalanceConfig};
 use genie_core::model::{Object, ObjectId, Query};
 use genie_core::placement::PlacementPlan;
 use genie_core::shard::{merge_shard_topk_filtered, Shard, ShardError, ShardPlan};
 use genie_core::topk::TopHit;
+use genie_store::{
+    CollectionState, DurableStore, JournalEvent, PlacementSpec, RecoveredCollection,
+};
 
 use crate::{
     plan_batches_with_cost, Batch, PreparedIndex, QueryRequest, QueryResponse, QueryScheduler,
@@ -256,6 +259,15 @@ pub struct ServiceStats {
     /// Wave observations folded into the per-backend cost models so
     /// far, summed over the fleet (0 = still at the configured seed).
     pub cost_observations: u64,
+    /// Events appended (and fsynced) to the attached
+    /// [`DurableStore`]'s journal. 0 when no store is attached.
+    pub journaled_events: u64,
+    /// Snapshot checkpoints completed against the attached store.
+    pub checkpoints: u64,
+    /// Journal appends or checkpoints that failed. A failed append
+    /// also failed its operation (write-ahead discipline); a failed
+    /// checkpoint is tolerated — the journal still covers the history.
+    pub persist_errors: u64,
     /// Stage totals summed over waves.
     pub stages: StageProfile,
 }
@@ -356,6 +368,11 @@ pub enum ServiceError {
     /// shard count, wrong fleet size, or a degenerate plan). The
     /// message is diagnostic only, like [`Internal`](Self::Internal).
     InvalidPlacement(String),
+    /// The durability layer could not journal or checkpoint the
+    /// operation. Write-ahead discipline holds: the in-memory state the
+    /// caller tried to change was **not** applied. The message is
+    /// diagnostic only, like [`Internal`](Self::Internal).
+    Persist(String),
     /// Backend preparation or wave execution failed. The message is
     /// diagnostic only — front-ends must not match on its contents.
     Internal(String),
@@ -368,6 +385,7 @@ impl std::fmt::Display for ServiceError {
             Self::UnknownCollection(id) => write!(f, "unknown collection id {id}"),
             Self::InvalidShards(e) => write!(f, "invalid shard plan: {e}"),
             Self::InvalidPlacement(e) => write!(f, "invalid placement: {e}"),
+            Self::Persist(e) => write!(f, "persistence failure: {e}"),
             Self::Internal(e) => f.write_str(e),
         }
     }
@@ -631,6 +649,13 @@ struct CollectionEntry {
     /// any assignment (see [`genie_core::placement`]), so swapping a
     /// plan never invalidates the result cache.
     placement: Option<Arc<PlacementPlan>>,
+    /// Sequence number of the last journal event persisted for this
+    /// collection (1 = the `Create` event; restored collections resume
+    /// from their recovered seq). Recovery skips replayed events at or
+    /// below the snapshot's seq, so this chain is what makes replay
+    /// idempotent. Advanced even with no store attached, so attaching
+    /// one later still yields a gap the recovery path reports typed.
+    persist_seq: u64,
 }
 
 /// Live-mutation debt of one collection — what
@@ -714,6 +739,12 @@ struct ServiceInner {
     /// length cannot change the answer — this bounds the `plan_batches`
     /// calls under the queue lock to one per new backlog length.
     planned_len: AtomicUsize,
+    /// Durability layer, if one was attached. Lifecycle and mutation
+    /// events are journaled (write-ahead) before they commit in memory;
+    /// compaction triggers a snapshot checkpoint instead of an event
+    /// (replaying the pre-compaction history rebuilds an
+    /// answer-equivalent plan — see [`genie_store`]'s format spec).
+    store: RwLock<Option<Arc<DurableStore>>>,
 }
 
 /// The lifetime health table plus the breaker state riding beside it.
@@ -742,6 +773,35 @@ struct ShardWindow {
     /// A rebalance is queued and not yet resolved; suppresses duplicate
     /// enqueues while the rebalancer works.
     rebalance_queued: bool,
+}
+
+/// The base shards of `serving` as the journal and snapshots record
+/// them (an unsharded collection persists as one [`Shard::identity`] —
+/// `Arc`-shared, so no index data is copied).
+fn shards_of(serving: &CollectionServing) -> Vec<Shard> {
+    match serving {
+        CollectionServing::Single(prepared) => {
+            vec![Shard::identity(Arc::clone(prepared.index()))]
+        }
+        CollectionServing::Sharded(shards) => shards.iter().map(|s| s.shard.clone()).collect(),
+        CollectionServing::Live { base, .. } => base.iter().map(|s| s.shard.clone()).collect(),
+    }
+}
+
+/// The load-balance config replay must rebuild delta shards with —
+/// taken from the first base shard, matching [`ensure_live`]'s choice.
+///
+/// [`ensure_live`]: ServiceInner::ensure_live
+fn load_balance_of(shards: &[Shard]) -> Option<LoadBalanceConfig> {
+    shards.first().and_then(|s| s.index.load_balance())
+}
+
+/// A [`PlacementPlan`] reduced to the journal's serializable spec.
+fn placement_spec(plan: &PlacementPlan) -> PlacementSpec {
+    PlacementSpec {
+        num_backends: plan.num_backends(),
+        assignments: plan.assignments().to_vec(),
+    }
 }
 
 /// Base shards a placement plan must cover for `serving` (the delta
@@ -1444,6 +1504,17 @@ impl ServiceInner {
         if unchanged {
             return finish(false);
         }
+        let seq = slot.persist_seq + 1;
+        if let Err(e) = self.journal(&JournalEvent::Placement {
+            collection,
+            seq,
+            placement: Some(placement_spec(&plan)),
+        }) {
+            drop(slot);
+            let _ = finish(false); // reset the window either way
+            return Err(e);
+        }
+        slot.persist_seq = seq;
         slot.placement = Some(Arc::new(plan));
         drop(slot);
         self.stats.lock().expect("stats lock").rebalances += 1;
@@ -1581,7 +1652,103 @@ impl ServiceInner {
         };
         drop(slot);
         self.stats.lock().expect("stats lock").compactions += 1;
+        // Compaction is NOT journaled: replaying the pre-compaction
+        // history rebuilds an answer-equivalent plan. A checkpoint here
+        // folds the compacted state into a fresh snapshot so the old
+        // journal (and the delta it re-derives) can be pruned. Failure
+        // is tolerated (counted in `persist_errors` by `checkpoint_now`)
+        // — the journal still covers the full history.
+        let _ = self.checkpoint_now();
         Ok(true)
+    }
+
+    /// The attached durability layer, if any.
+    fn store(&self) -> Option<Arc<DurableStore>> {
+        self.store.read().expect("store lock").clone()
+    }
+
+    /// Write-ahead append: persist `event` (fsynced) *before* the
+    /// caller commits the matching in-memory change. No attached store
+    /// is a no-op; a journal failure is a typed [`ServiceError::Persist`]
+    /// and the caller must leave its state untouched.
+    fn journal(&self, event: &JournalEvent) -> Result<(), ServiceError> {
+        let Some(store) = self.store() else {
+            return Ok(());
+        };
+        match store.append(event) {
+            Ok(()) => {
+                self.stats.lock().expect("stats lock").journaled_events += 1;
+                Ok(())
+            }
+            Err(e) => {
+                self.stats.lock().expect("stats lock").persist_errors += 1;
+                Err(ServiceError::Persist(e.to_string()))
+            }
+        }
+    }
+
+    /// Capture every registered collection as a snapshot-ready state,
+    /// id-ascending. Per-entry read locks only — concurrent mutations
+    /// serialize against each entry and land either in its captured
+    /// state (higher `persist_seq`) or in the journal generations the
+    /// checkpoint keeps; replay's seq skip makes both orders converge.
+    fn persist_states(&self) -> Vec<CollectionState> {
+        let entries: Vec<(CollectionId, Arc<RwLock<CollectionEntry>>)> = {
+            let map = self.collections.read().expect("collections lock");
+            let mut pairs: Vec<_> = map.iter().map(|(id, e)| (*id, Arc::clone(e))).collect();
+            pairs.sort_by_key(|(id, _)| *id);
+            pairs
+        };
+        entries
+            .into_iter()
+            .map(|(id, entry)| {
+                let slot = entry.read().expect("collection lock");
+                let spec = slot.placement.as_deref().map(placement_spec);
+                match &slot.live {
+                    Some(state) => CollectionState::capture(
+                        id,
+                        slot.persist_seq,
+                        &slot.name,
+                        slot.configured_shards,
+                        &state.plan,
+                        spec,
+                    ),
+                    None => {
+                        // frozen collection: base-only plan, no debt
+                        let base = shards_of(&slot.serving);
+                        let lb = load_balance_of(&base);
+                        let plan = DeltaPlan::from_base(base, lb);
+                        CollectionState::capture(
+                            id,
+                            slot.persist_seq,
+                            &slot.name,
+                            slot.configured_shards,
+                            &plan,
+                            spec,
+                        )
+                    }
+                }
+            })
+            .collect()
+    }
+
+    /// Snapshot every collection and prune superseded journal/snapshot
+    /// generations. `Ok(None)` when no store is attached; failures are
+    /// counted in [`ServiceStats::persist_errors`] *and* returned.
+    fn checkpoint_now(&self) -> Result<Option<u64>, ServiceError> {
+        let Some(store) = self.store() else {
+            return Ok(None);
+        };
+        match store.checkpoint_with(|| self.persist_states()) {
+            Ok(gen) => {
+                self.stats.lock().expect("stats lock").checkpoints += 1;
+                Ok(Some(gen))
+            }
+            Err(e) => {
+                self.stats.lock().expect("stats lock").persist_errors += 1;
+                Err(ServiceError::Persist(e.to_string()))
+            }
+        }
     }
 
     fn dispatcher_loop(&self) {
@@ -1747,6 +1914,7 @@ impl GenieService {
             shard_stats: Mutex::new(HashMap::new()),
             rebalance_tx: Mutex::new(None),
             planned_len: AtomicUsize::new(0),
+            store: RwLock::new(None),
         });
         let dispatchers = (0..config.dispatchers)
             .map(|i| {
@@ -1851,7 +2019,7 @@ impl GenieService {
         shards: usize,
     ) -> Result<CollectionId, ServiceError> {
         let serving = self.prepare_serving(index, shards)?;
-        Ok(self.register(name, shards.max(1), serving))
+        self.register(name, shards.max(1), serving)
     }
 
     /// Register a collection from an explicit [`ShardPlan`] (arbitrary
@@ -1865,11 +2033,29 @@ impl GenieService {
         plan: &ShardPlan,
     ) -> Result<CollectionId, ServiceError> {
         let serving = self.prepare_plan(plan)?;
-        Ok(self.register(name, plan.num_shards(), serving))
+        self.register(name, plan.num_shards(), serving)
     }
 
-    fn register(&self, name: &str, shards: usize, serving: CollectionServing) -> CollectionId {
+    fn register(
+        &self,
+        name: &str,
+        shards: usize,
+        serving: CollectionServing,
+    ) -> Result<CollectionId, ServiceError> {
         let id = self.next_collection.fetch_add(1, Ordering::Relaxed);
+        // write-ahead: a journal failure means no registration at all
+        // (the burned id is harmless — ids need not be dense)
+        if self.inner.store().is_some() {
+            let base = shards_of(&serving);
+            self.inner.journal(&JournalEvent::Create {
+                collection: id,
+                seq: 1,
+                name: name.to_owned(),
+                configured_shards: shards,
+                load_balance: load_balance_of(&base),
+                base,
+            })?;
+        }
         self.inner
             .collections
             .write()
@@ -1883,9 +2069,10 @@ impl GenieService {
                     live: None,
                     epoch: 0,
                     placement: None,
+                    persist_seq: 1,
                 })),
             );
-        id
+        Ok(id)
     }
 
     /// Prepare the serving state for one index at `shards` shards (1 =
@@ -1949,6 +2136,19 @@ impl GenieService {
         };
         {
             let mut slot = entry.write().expect("collection lock");
+            // write-ahead: journal the swap before committing it — a
+            // persistence failure leaves the old serving fully intact
+            let seq = slot.persist_seq + 1;
+            if self.inner.store().is_some() {
+                let base = shards_of(&serving);
+                self.inner.journal(&JournalEvent::Swap {
+                    collection,
+                    seq,
+                    load_balance: load_balance_of(&base),
+                    base,
+                })?;
+            }
+            slot.persist_seq = seq;
             slot.serving = serving;
             // a full reindex supersedes any pending delta/tombstones,
             // and invalidates any compaction racing against the old base
@@ -2072,8 +2272,13 @@ impl GenieService {
         ))?;
         let mut slot = entry.write().expect("collection lock");
         ServiceInner::ensure_live(&mut slot);
+        // the journal needs its own copy of the inserts (staging
+        // consumes them); skip the clone entirely when nothing persists
+        let journal_inserts = self.inner.store().is_some().then(|| inserts.clone());
         let (ids, want_compaction) = {
+            let seq = slot.persist_seq + 1;
             let state = slot.live.as_mut().expect("ensured above");
+            let first_id = state.plan.next_id();
             // stage the batch on a clone: a bad delete or a failed
             // delta upload must not leave half a batch applied
             let mut plan = state.plan.clone();
@@ -2095,6 +2300,22 @@ impl GenieService {
                 None => None,
             };
             let tombstones: Arc<HashSet<ObjectId>> = Arc::new(plan.tombstones().collect());
+            // write-ahead: the batch is fsynced in the journal before
+            // any search can observe it — a persistence failure aborts
+            // the batch with nothing applied. Replay re-runs the same
+            // deletes and re-assigns ids from the same `first_id`, so
+            // recovery re-derives exactly the ids handed out here.
+            if let Some(journal_inserts) = journal_inserts {
+                self.inner
+                    .journal(&JournalEvent::Mutate {
+                        collection,
+                        seq,
+                        first_id,
+                        deletes: deletes.to_vec(),
+                        inserts: journal_inserts,
+                    })
+                    .map_err(MutateError::Service)?;
+            }
             // ids are final: let the caller stash the items before any
             // search can return them
             for (pos, &id) in ids.iter().enumerate() {
@@ -2109,6 +2330,7 @@ impl GenieService {
             }
             state.plan = plan;
             let base = state.base.clone();
+            slot.persist_seq = seq;
             slot.serving = CollectionServing::Live {
                 base,
                 delta,
@@ -2146,6 +2368,106 @@ impl GenieService {
     /// changed underneath and the run was discarded as stale).
     pub fn compact_collection(&self, collection: CollectionId) -> Result<bool, ServiceError> {
         self.inner.compact_now(collection)
+    }
+
+    /// Attach a durability layer: from here on, collection lifecycle
+    /// and mutation events are journaled (write-ahead, fsynced) before
+    /// they commit, and compactions trigger snapshot checkpoints.
+    ///
+    /// Attach **before** creating collections (or right after
+    /// [`restore_collections`](Self::restore_collections)) — events for
+    /// collections created while detached were never journaled, so a
+    /// later recovery would report their seq chain as gapped.
+    pub fn attach_store(&self, store: Arc<DurableStore>) {
+        *self.inner.store.write().expect("store lock") = Some(store);
+    }
+
+    /// Re-register collections recovered by [`DurableStore::open`]
+    /// under their original ids, preparing every base (and delta) shard
+    /// on every backend. Restoration journals nothing — the recovered
+    /// seq chain continues where it left off. Fails if an id is already
+    /// taken (restore into an empty service, before creating new
+    /// collections) or a persisted placement no longer fits the fleet
+    /// (the plan is dropped to broadcast, not an error).
+    pub fn restore_collections(
+        &self,
+        recovered: Vec<RecoveredCollection>,
+    ) -> Result<(), ServiceError> {
+        let fleet = self.inner.scheduler.backends().len();
+        for rec in recovered {
+            if self.inner.entry(rec.id).is_some() {
+                return Err(ServiceError::Internal(format!(
+                    "cannot restore collection {} ({:?}): id already registered",
+                    rec.id, rec.name
+                )));
+            }
+            let mut base = Vec::with_capacity(rec.plan.base().len());
+            for shard in rec.plan.base() {
+                base.push(Arc::new(PreparedShard {
+                    prepared: self
+                        .inner
+                        .scheduler
+                        .prepare(&shard.index)
+                        .map_err(ServiceError::Internal)?,
+                    shard: shard.clone(),
+                }));
+            }
+            let delta = match rec.plan.delta_shard() {
+                Some(shard) => Some(Arc::new(PreparedShard {
+                    prepared: self
+                        .inner
+                        .scheduler
+                        .prepare(&shard.index)
+                        .map_err(ServiceError::Internal)?,
+                    shard,
+                })),
+                None => None,
+            };
+            let tombstones: Arc<HashSet<ObjectId>> = Arc::new(rec.plan.tombstones().collect());
+            // a persisted plan is only honored if it still fits this
+            // fleet and the recovered base — placement never changes
+            // answers, so dropping to broadcast is always safe
+            let placement = rec.placement.and_then(|spec| {
+                (spec.num_backends == fleet)
+                    .then(|| PlacementPlan::new(spec.assignments, spec.num_backends).ok())
+                    .flatten()
+                    .filter(|p| p.num_shards() == base.len())
+                    .map(Arc::new)
+            });
+            let entry = Arc::new(RwLock::new(CollectionEntry {
+                name: rec.name,
+                configured_shards: rec.configured_shards,
+                serving: CollectionServing::Live {
+                    base: base.clone(),
+                    delta,
+                    tombstones,
+                },
+                live: Some(LiveState {
+                    plan: rec.plan,
+                    base,
+                    compaction_queued: false,
+                }),
+                epoch: 0,
+                placement,
+                persist_seq: rec.seq,
+            }));
+            self.inner
+                .collections
+                .write()
+                .expect("collections lock")
+                .insert(rec.id, entry);
+            self.next_collection
+                .fetch_max(rec.id + 1, Ordering::Relaxed);
+        }
+        Ok(())
+    }
+
+    /// Snapshot every collection into the attached store and prune the
+    /// superseded journal/snapshot generations (what compaction does in
+    /// the background). Returns the new snapshot generation, or
+    /// `Ok(None)` when no store is attached.
+    pub fn checkpoint(&self) -> Result<Option<u64>, ServiceError> {
+        self.inner.checkpoint_now()
     }
 
     /// Admit one query against the [`DEFAULT_COLLECTION`]; the returned
@@ -2288,6 +2610,15 @@ impl GenieService {
                 plan.num_backends()
             )));
         }
+        // write-ahead: recovery re-applies the plan (placement never
+        // changes answers, but the operator's routing choice survives)
+        let seq = slot.persist_seq + 1;
+        self.inner.journal(&JournalEvent::Placement {
+            collection,
+            seq,
+            placement: Some(placement_spec(&plan)),
+        })?;
+        slot.persist_seq = seq;
         slot.placement = Some(Arc::new(plan));
         Ok(())
     }

@@ -1,0 +1,361 @@
+//! Byte-level plumbing shared by every on-disk structure: CRC-32
+//! checksums, the `[len | crc | payload]` record frame, and a
+//! bounds-checked little-endian reader/writer pair.
+//!
+//! The reader follows the `genie_net::wire::ByteReader` discipline:
+//! every length prefix is validated against the bytes actually present
+//! *before* any allocation is sized from it, every failure is a typed
+//! [`FormatError`], and nothing in this module can panic on arbitrary
+//! input — the property the truncate-at-every-byte and bit-flip suites
+//! in `tests/recovery_props.rs` exercise end to end.
+
+use genie_core::io::DecodeError;
+
+/// Hard upper bound on one record's payload. Far above any record this
+/// system writes; a length prefix past it is definitionally garbage
+/// (e.g. a bit flip in the frame header), not a large record.
+pub const MAX_RECORD: usize = 1 << 30;
+
+/// CRC-32 (IEEE 802.3, reflected polynomial `0xEDB88320`) — the same
+/// checksum ZIP/PNG use. Table-driven, built at first use.
+pub fn crc32(data: &[u8]) -> u32 {
+    static TABLE: std::sync::OnceLock<[u32; 256]> = std::sync::OnceLock::new();
+    let table = TABLE.get_or_init(|| {
+        let mut t = [0u32; 256];
+        for (i, slot) in t.iter_mut().enumerate() {
+            let mut c = i as u32;
+            for _ in 0..8 {
+                c = if c & 1 != 0 {
+                    0xEDB8_8320 ^ (c >> 1)
+                } else {
+                    c >> 1
+                };
+            }
+            *slot = c;
+        }
+        t
+    });
+    let mut crc = !0u32;
+    for &b in data {
+        crc = table[((crc ^ b as u32) & 0xFF) as usize] ^ (crc >> 8);
+    }
+    !crc
+}
+
+/// Why a byte sequence failed to parse. Every decoding path in this
+/// crate funnels into these variants — corrupt input can name *what*
+/// was wrong but can never panic or over-allocate.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum FormatError {
+    /// Input ended before the declared structure.
+    Eof,
+    /// A magic tag didn't match the expected structure.
+    BadMagic,
+    /// A structure version this build doesn't understand.
+    UnsupportedVersion(u16),
+    /// A semantic check failed (names the violated rule).
+    Invalid(&'static str),
+    /// An embedded [`genie_core::io`] index payload failed to decode.
+    Index(DecodeError),
+}
+
+impl std::fmt::Display for FormatError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            Self::Eof => write!(f, "unexpected end of input"),
+            Self::BadMagic => write!(f, "bad magic"),
+            Self::UnsupportedVersion(v) => write!(f, "unsupported format version {v}"),
+            Self::Invalid(what) => write!(f, "invalid structure: {what}"),
+            Self::Index(e) => write!(f, "embedded index: {e}"),
+        }
+    }
+}
+
+impl std::error::Error for FormatError {}
+
+impl From<DecodeError> for FormatError {
+    fn from(e: DecodeError) -> Self {
+        Self::Index(e)
+    }
+}
+
+/// Bounds-checked little-endian cursor over a byte slice.
+pub struct Reader<'a> {
+    buf: &'a [u8],
+    pos: usize,
+}
+
+impl<'a> Reader<'a> {
+    pub fn new(buf: &'a [u8]) -> Self {
+        Self { buf, pos: 0 }
+    }
+
+    pub fn remaining(&self) -> usize {
+        self.buf.len() - self.pos
+    }
+
+    pub fn is_empty(&self) -> bool {
+        self.remaining() == 0
+    }
+
+    /// Consume exactly `n` bytes.
+    pub fn take(&mut self, n: usize) -> Result<&'a [u8], FormatError> {
+        if self.remaining() < n {
+            return Err(FormatError::Eof);
+        }
+        let s = &self.buf[self.pos..self.pos + n];
+        self.pos += n;
+        Ok(s)
+    }
+
+    pub fn u8(&mut self) -> Result<u8, FormatError> {
+        Ok(self.take(1)?[0])
+    }
+
+    pub fn u16(&mut self) -> Result<u16, FormatError> {
+        let b = self.take(2)?;
+        Ok(u16::from_le_bytes([b[0], b[1]]))
+    }
+
+    pub fn u32(&mut self) -> Result<u32, FormatError> {
+        let b = self.take(4)?;
+        Ok(u32::from_le_bytes([b[0], b[1], b[2], b[3]]))
+    }
+
+    pub fn u64(&mut self) -> Result<u64, FormatError> {
+        let b = self.take(8)?;
+        Ok(u64::from_le_bytes([
+            b[0], b[1], b[2], b[3], b[4], b[5], b[6], b[7],
+        ]))
+    }
+
+    /// A `u32` element count, validated against the bytes remaining
+    /// (each element needs at least `elem_bytes` more bytes), so a
+    /// corrupt count can never size a huge allocation.
+    pub fn count(&mut self, elem_bytes: usize) -> Result<usize, FormatError> {
+        let n = self.u32()? as usize;
+        if n.checked_mul(elem_bytes.max(1))
+            .is_none_or(|total| total > self.remaining())
+        {
+            return Err(FormatError::Eof);
+        }
+        Ok(n)
+    }
+
+    /// A `u32` length-prefixed byte slice.
+    pub fn bytes(&mut self) -> Result<&'a [u8], FormatError> {
+        let n = self.count(1)?;
+        self.take(n)
+    }
+
+    /// A `u32` length-prefixed UTF-8 string.
+    pub fn string(&mut self) -> Result<String, FormatError> {
+        let raw = self.bytes()?;
+        String::from_utf8(raw.to_vec()).map_err(|_| FormatError::Invalid("non-UTF-8 string"))
+    }
+
+    /// A `u32` count-prefixed vector of `u32`s.
+    pub fn vec_u32(&mut self) -> Result<Vec<u32>, FormatError> {
+        let n = self.count(4)?;
+        let mut v = Vec::with_capacity(n);
+        for _ in 0..n {
+            v.push(self.u32()?);
+        }
+        Ok(v)
+    }
+
+    /// Parsing must consume the whole structure: trailing bytes mean
+    /// the length prefix and the content disagree.
+    pub fn finish(self) -> Result<(), FormatError> {
+        if self.is_empty() {
+            Ok(())
+        } else {
+            Err(FormatError::Invalid("trailing bytes"))
+        }
+    }
+}
+
+/// Little-endian writer; the mirror of [`Reader`].
+#[derive(Default)]
+pub struct Writer {
+    out: Vec<u8>,
+}
+
+impl Writer {
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    pub fn u8(&mut self, v: u8) {
+        self.out.push(v);
+    }
+
+    pub fn u16(&mut self, v: u16) {
+        self.out.extend_from_slice(&v.to_le_bytes());
+    }
+
+    pub fn u32(&mut self, v: u32) {
+        self.out.extend_from_slice(&v.to_le_bytes());
+    }
+
+    pub fn u64(&mut self, v: u64) {
+        self.out.extend_from_slice(&v.to_le_bytes());
+    }
+
+    /// A `u32` count prefix. Callers pass collection lengths; anything
+    /// past `u32::MAX` is a logic error upstream, not valid data.
+    pub fn count(&mut self, n: usize) {
+        self.u32(u32::try_from(n).expect("collection too large for u32 count"));
+    }
+
+    pub fn bytes(&mut self, b: &[u8]) {
+        self.count(b.len());
+        self.out.extend_from_slice(b);
+    }
+
+    pub fn string(&mut self, s: &str) {
+        self.bytes(s.as_bytes());
+    }
+
+    pub fn vec_u32(&mut self, v: &[u32]) {
+        self.count(v.len());
+        for &x in v {
+            self.u32(x);
+        }
+    }
+
+    pub fn into_bytes(self) -> Vec<u8> {
+        self.out
+    }
+}
+
+/// Append one `[len u32 | crc u32 | payload]` frame to `out`.
+pub fn frame(out: &mut Vec<u8>, payload: &[u8]) {
+    assert!(
+        !payload.is_empty() && payload.len() <= MAX_RECORD,
+        "record payload out of bounds"
+    );
+    out.extend_from_slice(&(payload.len() as u32).to_le_bytes());
+    out.extend_from_slice(&crc32(payload).to_le_bytes());
+    out.extend_from_slice(payload);
+}
+
+/// How a [`scan_frame`] attempt ended.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum Frame<'a> {
+    /// A complete record whose checksum verified.
+    Ok { payload: &'a [u8], next: usize },
+    /// Input ended exactly on a record boundary.
+    End,
+    /// The frame header or payload runs past the end of input — the
+    /// signature of a write torn by a crash. Only legal at the tail of
+    /// the final journal file.
+    Torn,
+    /// A complete record whose stored CRC does not match its payload:
+    /// bit rot, not a torn write.
+    ChecksumMismatch,
+    /// The length prefix itself is garbage (zero or past
+    /// [`MAX_RECORD`]).
+    BadLength,
+}
+
+/// Try to read one frame at `pos`.
+pub fn scan_frame(buf: &[u8], pos: usize) -> Frame<'_> {
+    let rest = &buf[pos..];
+    if rest.is_empty() {
+        return Frame::End;
+    }
+    if rest.len() < 8 {
+        return Frame::Torn;
+    }
+    let len = u32::from_le_bytes([rest[0], rest[1], rest[2], rest[3]]) as usize;
+    if len == 0 || len > MAX_RECORD {
+        return Frame::BadLength;
+    }
+    let stored_crc = u32::from_le_bytes([rest[4], rest[5], rest[6], rest[7]]);
+    if rest.len() < 8 + len {
+        return Frame::Torn;
+    }
+    let payload = &rest[8..8 + len];
+    if crc32(payload) != stored_crc {
+        return Frame::ChecksumMismatch;
+    }
+    Frame::Ok {
+        payload,
+        next: pos + 8 + len,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn crc32_matches_known_vectors() {
+        // the classic IEEE test vector
+        assert_eq!(crc32(b"123456789"), 0xCBF4_3926);
+        assert_eq!(crc32(b""), 0);
+        assert_ne!(crc32(b"abc"), crc32(b"abd"));
+    }
+
+    #[test]
+    fn frame_roundtrip_and_boundary_scan() {
+        let mut buf = Vec::new();
+        frame(&mut buf, b"hello");
+        frame(&mut buf, b"world!");
+        let Frame::Ok { payload, next } = scan_frame(&buf, 0) else {
+            panic!("first frame");
+        };
+        assert_eq!(payload, b"hello");
+        let Frame::Ok { payload, next } = scan_frame(&buf, next) else {
+            panic!("second frame");
+        };
+        assert_eq!(payload, b"world!");
+        assert_eq!(scan_frame(&buf, next), Frame::End);
+    }
+
+    #[test]
+    fn truncated_frames_read_as_torn_and_flips_as_mismatch() {
+        let mut buf = Vec::new();
+        frame(&mut buf, b"payload");
+        for cut in 1..buf.len() {
+            assert_eq!(scan_frame(&buf[..cut], 0), Frame::Torn, "cut {cut}");
+        }
+        for pos in 8..buf.len() {
+            let mut flipped = buf.clone();
+            flipped[pos] ^= 0x40;
+            assert_eq!(
+                scan_frame(&flipped, 0),
+                Frame::ChecksumMismatch,
+                "flip at {pos}"
+            );
+        }
+        // a zeroed length prefix is garbage, not a record
+        let mut zeroed = buf.clone();
+        zeroed[..4].copy_from_slice(&0u32.to_le_bytes());
+        assert_eq!(scan_frame(&zeroed, 0), Frame::BadLength);
+    }
+
+    #[test]
+    fn reader_validates_counts_before_allocating() {
+        // declares u32::MAX elements with 4 bytes of content
+        let mut w = Writer::new();
+        w.u32(u32::MAX);
+        w.u32(7);
+        let mut r = Reader::new(w.out.as_slice());
+        assert_eq!(r.vec_u32().unwrap_err(), FormatError::Eof);
+    }
+
+    #[test]
+    fn reader_rejects_trailing_bytes() {
+        let mut w = Writer::new();
+        w.u32(5);
+        w.u8(0);
+        let mut r = Reader::new(w.out.as_slice());
+        assert_eq!(r.u32().unwrap(), 5);
+        assert_eq!(
+            r.finish().unwrap_err(),
+            FormatError::Invalid("trailing bytes")
+        );
+    }
+}

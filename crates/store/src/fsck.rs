@@ -1,0 +1,270 @@
+//! Offline store inspection: `genie-cli store-fsck <dir>`.
+//!
+//! Fsck is strictly read-only — unlike [`crate::DurableStore::open`] it never
+//! starts a new journal generation, so running it against a live or
+//! crashed store directory changes nothing. It reports two layers:
+//!
+//! * **physical** — per journal file: generation, byte size, complete
+//!   records, checksum failures, torn-tail bytes and the recoverable
+//!   byte prefix; per snapshot generation: files present and whether
+//!   each decodes;
+//! * **logical** — whether a full recovery
+//!   (`recover_image`) succeeds, and what it yields
+//!   (collections, events replayed) or the typed error it stops on.
+
+use std::path::Path;
+
+use crate::format::{self, Frame};
+use crate::store::{
+    journal_gens, journal_path, parse_header, read_manifest, recover_image, JOURNAL_MAGIC,
+    SNAPSHOT_MAGIC,
+};
+use crate::vfs::Vfs;
+
+/// Physical scan of one journal file.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct JournalFsck {
+    pub gen: u64,
+    pub bytes: usize,
+    /// Complete records whose checksum verified.
+    pub records: usize,
+    /// Complete records whose checksum did NOT verify (the scan cannot
+    /// resync past the first, so this is 0 or 1).
+    pub checksum_failures: usize,
+    /// Structurally garbage frames encountered (0 or 1).
+    pub corrupt_frames: usize,
+    /// Bytes in a torn (half-written) tail.
+    pub torn_tail_bytes: usize,
+    /// Byte length of the longest cleanly scannable prefix.
+    pub recoverable_prefix: usize,
+}
+
+/// Physical scan of one snapshot file.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct SnapshotFsck {
+    pub file: String,
+    pub bytes: usize,
+    pub ok: bool,
+    /// The decode error, when `!ok`.
+    pub error: Option<String>,
+}
+
+/// The full fsck verdict.
+#[derive(Debug)]
+pub struct FsckReport {
+    /// The manifest's snapshot generation; `None` when the store has
+    /// never checkpointed; `Err` when the manifest is unreadable.
+    pub manifest_gen: Result<Option<u64>, String>,
+    /// Snapshot generations on disk (including superseded ones a
+    /// crashed cleanup left behind), each with its files.
+    pub snapshots: Vec<(u64, Vec<SnapshotFsck>)>,
+    pub journals: Vec<JournalFsck>,
+    /// The logical verdict: collections and replayed events on
+    /// success, the typed recovery error otherwise.
+    pub recovery: Result<FsckRecovery, String>,
+}
+
+/// What a successful logical recovery of the directory yields.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct FsckRecovery {
+    pub collections: Vec<(u64, String, usize)>,
+    pub events_replayed: usize,
+    pub events_skipped: usize,
+    pub torn_tail_bytes: usize,
+}
+
+impl FsckReport {
+    /// True when the directory recovers cleanly with no physical
+    /// damage beyond (legal) torn tails.
+    pub fn healthy(&self) -> bool {
+        self.recovery.is_ok()
+            && self
+                .journals
+                .iter()
+                .all(|j| j.checksum_failures == 0 && j.corrupt_frames == 0)
+            && self
+                .snapshots
+                .iter()
+                .flat_map(|(_, files)| files)
+                .all(|s| s.ok)
+    }
+}
+
+impl std::fmt::Display for FsckReport {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match &self.manifest_gen {
+            Ok(Some(gen)) => writeln!(f, "manifest: snapshot generation {gen}")?,
+            Ok(None) => writeln!(f, "manifest: absent (no checkpoint yet)")?,
+            Err(e) => writeln!(f, "manifest: UNREADABLE — {e}")?,
+        }
+        for (gen, files) in &self.snapshots {
+            writeln!(f, "snapshots/{gen}: {} file(s)", files.len())?;
+            for s in files {
+                match &s.error {
+                    None => writeln!(f, "  {} — {} bytes, ok", s.file, s.bytes)?,
+                    Some(e) => writeln!(f, "  {} — {} bytes, BAD: {e}", s.file, s.bytes)?,
+                }
+            }
+        }
+        for j in &self.journals {
+            write!(
+                f,
+                "journal/{:06}.log — {} bytes, {} record(s), recoverable prefix {} bytes",
+                j.gen, j.bytes, j.records, j.recoverable_prefix
+            )?;
+            if j.torn_tail_bytes > 0 {
+                write!(f, ", torn tail {} bytes", j.torn_tail_bytes)?;
+            }
+            if j.checksum_failures > 0 {
+                write!(f, ", CHECKSUM FAILURE")?;
+            }
+            if j.corrupt_frames > 0 {
+                write!(f, ", CORRUPT FRAME")?;
+            }
+            writeln!(f)?;
+        }
+        match &self.recovery {
+            Ok(r) => {
+                writeln!(
+                    f,
+                    "recovery: OK — {} collection(s), {} event(s) replayed, {} skipped",
+                    r.collections.len(),
+                    r.events_replayed,
+                    r.events_skipped
+                )?;
+                for (id, name, live) in &r.collections {
+                    writeln!(f, "  collection {id} {name:?}: {live} live object(s)")?;
+                }
+            }
+            Err(e) => writeln!(f, "recovery: FAILED — {e}")?,
+        }
+        writeln!(
+            f,
+            "verdict: {}",
+            if self.healthy() { "healthy" } else { "DAMAGED" }
+        )
+    }
+}
+
+/// Inspect a store directory without modifying it.
+pub fn fsck(vfs: &dyn Vfs, root: impl AsRef<Path>) -> FsckReport {
+    let root = root.as_ref();
+    let manifest_gen = read_manifest(vfs, root).map_err(|e| e.to_string());
+
+    let mut snapshots = Vec::new();
+    let snap_root = root.join("snapshots");
+    let mut gens: Vec<u64> = vfs
+        .list(&snap_root)
+        .unwrap_or_default()
+        .into_iter()
+        .filter_map(|name| name.parse().ok())
+        .collect();
+    gens.sort_unstable();
+    for gen in gens {
+        let dir = snap_root.join(format!("{gen}"));
+        let mut files = Vec::new();
+        for name in vfs.list(&dir).unwrap_or_default() {
+            if !name.ends_with(".snap") {
+                continue;
+            }
+            let entry = match vfs.read(&dir.join(&name)) {
+                Err(e) => SnapshotFsck {
+                    file: name,
+                    bytes: 0,
+                    ok: false,
+                    error: Some(e.to_string()),
+                },
+                Ok(bytes) => {
+                    let verdict = parse_header(SNAPSHOT_MAGIC, &bytes)
+                        .map_err(|e| e.to_string())
+                        .and_then(
+                            |(_, header_len)| match format::scan_frame(&bytes, header_len) {
+                                Frame::Ok { payload, next } if next == bytes.len() => {
+                                    crate::state::decode_state(payload)
+                                        .map(|_| ())
+                                        .map_err(|e| e.to_string())
+                                }
+                                other => Err(format!("snapshot record unreadable ({other:?})")),
+                            },
+                        );
+                    SnapshotFsck {
+                        file: name,
+                        bytes: bytes.len(),
+                        ok: verdict.is_ok(),
+                        error: verdict.err(),
+                    }
+                }
+            };
+            files.push(entry);
+        }
+        files.sort_by(|a, b| a.file.cmp(&b.file));
+        snapshots.push((gen, files));
+    }
+
+    let mut journals = Vec::new();
+    for gen in journal_gens(vfs, root).unwrap_or_default() {
+        let bytes = vfs.read(&journal_path(root, gen)).unwrap_or_default();
+        let mut scan = JournalFsck {
+            gen,
+            bytes: bytes.len(),
+            records: 0,
+            checksum_failures: 0,
+            corrupt_frames: 0,
+            torn_tail_bytes: 0,
+            recoverable_prefix: 0,
+        };
+        match parse_header(JOURNAL_MAGIC, &bytes) {
+            Err(crate::format::FormatError::Eof) => {
+                scan.torn_tail_bytes = bytes.len();
+            }
+            Err(_) => {
+                scan.corrupt_frames = 1;
+            }
+            Ok((_, header_len)) => {
+                let mut pos = header_len;
+                loop {
+                    match format::scan_frame(&bytes, pos) {
+                        Frame::End => break,
+                        Frame::Ok { next, .. } => {
+                            scan.records += 1;
+                            pos = next;
+                        }
+                        Frame::Torn => {
+                            scan.torn_tail_bytes = bytes.len() - pos;
+                            break;
+                        }
+                        Frame::ChecksumMismatch => {
+                            scan.checksum_failures = 1;
+                            break;
+                        }
+                        Frame::BadLength => {
+                            scan.corrupt_frames = 1;
+                            break;
+                        }
+                    }
+                }
+                scan.recoverable_prefix = pos;
+            }
+        }
+        journals.push(scan);
+    }
+
+    let recovery = recover_image(vfs, root)
+        .map(|(collections, report)| FsckRecovery {
+            collections: collections
+                .iter()
+                .map(|c| (c.id, c.name.clone(), c.plan.len()))
+                .collect(),
+            events_replayed: report.events_replayed,
+            events_skipped: report.events_skipped,
+            torn_tail_bytes: report.torn_tail_bytes,
+        })
+        .map_err(|e| e.to_string());
+
+    FsckReport {
+        manifest_gen,
+        snapshots,
+        journals,
+        recovery,
+    }
+}

@@ -1,0 +1,411 @@
+//! The storage abstraction the store writes through, and the fault
+//! machinery the torture tests inject through it.
+//!
+//! Three implementations:
+//!
+//! * [`DiskVfs`] — the real thing: fsync-disciplined appends
+//!   (`sync_data` after every journal write), atomic replace via
+//!   tmp-file + `rename` + parent-directory fsync;
+//! * [`MemVfs`] — an in-process file map with the same semantics,
+//!   cheap to [`fork`](MemVfs::fork) so a test can crash ten thousand
+//!   alternate histories of one run (truncate the journal at byte `i`,
+//!   flip bit `b`, …) without touching the disk;
+//! * [`FaultyVfs`] — wraps any [`Vfs`] with a byte budget: once spent,
+//!   writes fail *after persisting a prefix* — exactly what a torn
+//!   write on a dying disk leaves behind — proving recovery correctness
+//!   when the disk itself misbehaves mid-write.
+
+use std::collections::BTreeMap;
+use std::io::{self, Write as _};
+use std::path::{Path, PathBuf};
+use std::sync::atomic::{AtomicI64, Ordering};
+use std::sync::{Arc, Mutex};
+
+/// What the durability layer needs from storage. Every mutation of the
+/// store directory goes through exactly these calls, so substituting
+/// [`MemVfs`]/[`FaultyVfs`] covers the store's entire I/O surface.
+pub trait Vfs: Send + Sync + std::fmt::Debug {
+    /// Read a whole file.
+    fn read(&self, path: &Path) -> io::Result<Vec<u8>>;
+    /// Append to a file (creating it if absent) and flush to stable
+    /// storage before returning — the journal's durability point.
+    fn append_sync(&self, path: &Path, data: &[u8]) -> io::Result<()>;
+    /// Replace a file's content atomically: after a crash the file
+    /// holds either the old bytes or the new bytes, never a mix.
+    fn write_atomic(&self, path: &Path, data: &[u8]) -> io::Result<()>;
+    /// Create a directory and its ancestors.
+    fn create_dir_all(&self, path: &Path) -> io::Result<()>;
+    /// Names of the direct children of `dir` (files and directories).
+    /// A missing directory reads as empty.
+    fn list(&self, dir: &Path) -> io::Result<Vec<String>>;
+    /// Delete a file; deleting a missing file is not an error.
+    fn remove_file(&self, path: &Path) -> io::Result<()>;
+    /// Delete a directory tree; missing is not an error.
+    fn remove_dir_all(&self, path: &Path) -> io::Result<()>;
+    /// Does a file exist at `path`?
+    fn exists(&self, path: &Path) -> bool;
+}
+
+/// The real filesystem, fsync-disciplined.
+#[derive(Debug, Default, Clone)]
+pub struct DiskVfs;
+
+fn sync_parent_dir(path: &Path) -> io::Result<()> {
+    if let Some(parent) = path.parent() {
+        // directory fsync makes the rename itself durable; some
+        // filesystems (and platforms) don't support opening a dir for
+        // sync — degrade gracefully rather than fail the write
+        if let Ok(dir) = std::fs::File::open(parent) {
+            let _ = dir.sync_all();
+        }
+    }
+    Ok(())
+}
+
+impl Vfs for DiskVfs {
+    fn read(&self, path: &Path) -> io::Result<Vec<u8>> {
+        std::fs::read(path)
+    }
+
+    fn append_sync(&self, path: &Path, data: &[u8]) -> io::Result<()> {
+        let mut f = std::fs::OpenOptions::new()
+            .create(true)
+            .append(true)
+            .open(path)?;
+        f.write_all(data)?;
+        f.sync_data()
+    }
+
+    fn write_atomic(&self, path: &Path, data: &[u8]) -> io::Result<()> {
+        let tmp = path.with_extension("tmp");
+        {
+            let mut f = std::fs::File::create(&tmp)?;
+            f.write_all(data)?;
+            f.sync_all()?;
+        }
+        std::fs::rename(&tmp, path)?;
+        sync_parent_dir(path)
+    }
+
+    fn create_dir_all(&self, path: &Path) -> io::Result<()> {
+        std::fs::create_dir_all(path)
+    }
+
+    fn list(&self, dir: &Path) -> io::Result<Vec<String>> {
+        match std::fs::read_dir(dir) {
+            Err(e) if e.kind() == io::ErrorKind::NotFound => Ok(Vec::new()),
+            Err(e) => Err(e),
+            Ok(entries) => {
+                let mut names = Vec::new();
+                for entry in entries {
+                    names.push(entry?.file_name().to_string_lossy().into_owned());
+                }
+                names.sort();
+                Ok(names)
+            }
+        }
+    }
+
+    fn remove_file(&self, path: &Path) -> io::Result<()> {
+        match std::fs::remove_file(path) {
+            Err(e) if e.kind() == io::ErrorKind::NotFound => Ok(()),
+            other => other,
+        }
+    }
+
+    fn remove_dir_all(&self, path: &Path) -> io::Result<()> {
+        match std::fs::remove_dir_all(path) {
+            Err(e) if e.kind() == io::ErrorKind::NotFound => Ok(()),
+            other => other,
+        }
+    }
+
+    fn exists(&self, path: &Path) -> bool {
+        path.is_file()
+    }
+}
+
+/// An in-memory filesystem: a path → bytes map with the [`Vfs`]
+/// semantics. Directories are implicit (a file's ancestors exist).
+#[derive(Debug, Default)]
+pub struct MemVfs {
+    files: Mutex<BTreeMap<PathBuf, Vec<u8>>>,
+}
+
+impl MemVfs {
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Deep-copy the current file map — the "crash point" primitive:
+    /// fork the world, mangle the copy, recover from it, repeat.
+    pub fn fork(&self) -> Self {
+        Self {
+            files: Mutex::new(self.files.lock().unwrap().clone()),
+        }
+    }
+
+    /// All file paths, sorted.
+    pub fn paths(&self) -> Vec<PathBuf> {
+        self.files.lock().unwrap().keys().cloned().collect()
+    }
+
+    /// Truncate a file to `len` bytes (no-op past its length) —
+    /// simulates a crash mid-append.
+    pub fn truncate(&self, path: &Path, len: usize) {
+        if let Some(data) = self.files.lock().unwrap().get_mut(path) {
+            data.truncate(len);
+        }
+    }
+
+    /// XOR one byte of a file — simulates bit rot.
+    pub fn flip(&self, path: &Path, offset: usize, mask: u8) {
+        if let Some(data) = self.files.lock().unwrap().get_mut(path) {
+            if let Some(b) = data.get_mut(offset) {
+                *b ^= mask;
+            }
+        }
+    }
+
+    /// Byte length of a file, if present.
+    pub fn len_of(&self, path: &Path) -> Option<usize> {
+        self.files.lock().unwrap().get(path).map(Vec::len)
+    }
+}
+
+impl Vfs for MemVfs {
+    fn read(&self, path: &Path) -> io::Result<Vec<u8>> {
+        self.files
+            .lock()
+            .unwrap()
+            .get(path)
+            .cloned()
+            .ok_or_else(|| io::Error::new(io::ErrorKind::NotFound, "no such file"))
+    }
+
+    fn append_sync(&self, path: &Path, data: &[u8]) -> io::Result<()> {
+        self.files
+            .lock()
+            .unwrap()
+            .entry(path.to_path_buf())
+            .or_default()
+            .extend_from_slice(data);
+        Ok(())
+    }
+
+    fn write_atomic(&self, path: &Path, data: &[u8]) -> io::Result<()> {
+        self.files
+            .lock()
+            .unwrap()
+            .insert(path.to_path_buf(), data.to_vec());
+        Ok(())
+    }
+
+    fn create_dir_all(&self, _path: &Path) -> io::Result<()> {
+        Ok(())
+    }
+
+    fn list(&self, dir: &Path) -> io::Result<Vec<String>> {
+        let files = self.files.lock().unwrap();
+        let mut names: Vec<String> = files
+            .keys()
+            .filter_map(|p| p.strip_prefix(dir).ok())
+            .filter_map(|rest| rest.components().next())
+            .map(|c| c.as_os_str().to_string_lossy().into_owned())
+            .collect();
+        names.sort();
+        names.dedup();
+        Ok(names)
+    }
+
+    fn remove_file(&self, path: &Path) -> io::Result<()> {
+        self.files.lock().unwrap().remove(path);
+        Ok(())
+    }
+
+    fn remove_dir_all(&self, path: &Path) -> io::Result<()> {
+        self.files
+            .lock()
+            .unwrap()
+            .retain(|p, _| !p.starts_with(path));
+        Ok(())
+    }
+
+    fn exists(&self, path: &Path) -> bool {
+        self.files.lock().unwrap().contains_key(path)
+    }
+}
+
+/// A [`Vfs`] wrapper with a byte budget: writes consume it, and the
+/// write that would overdraw persists only the affordable *prefix*
+/// before failing — a torn write, as left by a crashing disk. Reads
+/// and deletes are unaffected.
+#[derive(Debug)]
+pub struct FaultyVfs {
+    inner: Arc<dyn Vfs>,
+    /// Bytes writable before failure; negative = exhausted.
+    budget: AtomicI64,
+}
+
+impl FaultyVfs {
+    pub fn new(inner: Arc<dyn Vfs>, budget_bytes: i64) -> Self {
+        Self {
+            inner,
+            budget: AtomicI64::new(budget_bytes),
+        }
+    }
+
+    /// Refill the budget (the "disk replaced" moment of a test).
+    pub fn set_budget(&self, budget_bytes: i64) {
+        self.budget.store(budget_bytes, Ordering::SeqCst);
+    }
+
+    /// Take up to `want` bytes from the budget. Returns how many may
+    /// actually be written; `Err` (with the affordable prefix length)
+    /// when the write must fail.
+    fn charge(&self, want: usize) -> Result<(), usize> {
+        let before = self.budget.fetch_sub(want as i64, Ordering::SeqCst);
+        if before >= want as i64 {
+            Ok(())
+        } else {
+            Err(before.max(0) as usize)
+        }
+    }
+}
+
+fn disk_full() -> io::Error {
+    io::Error::other("injected fault: write failed mid-way")
+}
+
+impl Vfs for FaultyVfs {
+    fn read(&self, path: &Path) -> io::Result<Vec<u8>> {
+        self.inner.read(path)
+    }
+
+    fn append_sync(&self, path: &Path, data: &[u8]) -> io::Result<()> {
+        match self.charge(data.len()) {
+            Ok(()) => self.inner.append_sync(path, data),
+            Err(prefix) => {
+                // the torn tail: a prefix of the record reaches the
+                // platter, the rest never does
+                if prefix > 0 {
+                    self.inner.append_sync(path, &data[..prefix])?;
+                }
+                Err(disk_full())
+            }
+        }
+    }
+
+    fn write_atomic(&self, path: &Path, data: &[u8]) -> io::Result<()> {
+        match self.charge(data.len()) {
+            Ok(()) => self.inner.write_atomic(path, data),
+            // atomic replace torn mid-write: the tmp file is garbage,
+            // the rename never happens, the target keeps its old bytes
+            Err(_) => Err(disk_full()),
+        }
+    }
+
+    fn create_dir_all(&self, path: &Path) -> io::Result<()> {
+        self.inner.create_dir_all(path)
+    }
+
+    fn list(&self, dir: &Path) -> io::Result<Vec<String>> {
+        self.inner.list(dir)
+    }
+
+    fn remove_file(&self, path: &Path) -> io::Result<()> {
+        self.inner.remove_file(path)
+    }
+
+    fn remove_dir_all(&self, path: &Path) -> io::Result<()> {
+        self.inner.remove_dir_all(path)
+    }
+
+    fn exists(&self, path: &Path) -> bool {
+        self.inner.exists(path)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn memvfs_list_sees_files_and_implicit_dirs() {
+        let vfs = MemVfs::new();
+        let root = Path::new("/store");
+        vfs.append_sync(&root.join("journal/000001.log"), b"x")
+            .unwrap();
+        vfs.write_atomic(&root.join("snapshots/3/c0.snap"), b"y")
+            .unwrap();
+        vfs.write_atomic(&root.join("MANIFEST"), b"z").unwrap();
+        assert_eq!(
+            vfs.list(root).unwrap(),
+            vec!["MANIFEST", "journal", "snapshots"]
+        );
+        assert_eq!(vfs.list(&root.join("snapshots")).unwrap(), vec!["3"]);
+        assert_eq!(
+            vfs.list(&root.join("missing")).unwrap(),
+            Vec::<String>::new()
+        );
+    }
+
+    #[test]
+    fn memvfs_fork_isolates_histories() {
+        let vfs = MemVfs::new();
+        let p = Path::new("/f");
+        vfs.append_sync(p, b"abcdef").unwrap();
+        let fork = vfs.fork();
+        fork.truncate(p, 3);
+        fork.flip(p, 0, 0xFF);
+        assert_eq!(vfs.read(p).unwrap(), b"abcdef");
+        assert_ne!(fork.read(p).unwrap(), b"abc");
+        assert_eq!(fork.read(p).unwrap().len(), 3);
+    }
+
+    #[test]
+    fn faulty_vfs_tears_appends_at_the_budget() {
+        let mem = Arc::new(MemVfs::new());
+        let faulty = FaultyVfs::new(mem.clone(), 10);
+        let p = Path::new("/j");
+        faulty.append_sync(p, b"12345678").unwrap();
+        // 2 bytes of budget left: the next append persists exactly the
+        // affordable prefix and fails
+        let err = faulty.append_sync(p, b"ABCDEF").unwrap_err();
+        assert_eq!(err.to_string(), disk_full().to_string());
+        assert_eq!(mem.read(p).unwrap(), b"12345678AB");
+        // exhausted: nothing further lands
+        assert!(faulty.append_sync(p, b"Z").is_err());
+        assert_eq!(mem.read(p).unwrap(), b"12345678AB");
+    }
+
+    #[test]
+    fn faulty_vfs_never_tears_atomic_writes() {
+        let mem = Arc::new(MemVfs::new());
+        let p = Path::new("/m");
+        mem.write_atomic(p, b"old").unwrap();
+        let faulty = FaultyVfs::new(mem.clone(), 2);
+        assert!(faulty.write_atomic(p, b"newer-bytes").is_err());
+        assert_eq!(mem.read(p).unwrap(), b"old", "old content intact");
+    }
+
+    #[test]
+    fn disk_vfs_roundtrip_in_tempdir() {
+        let dir = std::env::temp_dir().join(format!("genie_vfs_test_{}", std::process::id()));
+        let vfs = DiskVfs;
+        vfs.create_dir_all(&dir.join("journal")).unwrap();
+        let j = dir.join("journal/000001.log");
+        vfs.append_sync(&j, b"abc").unwrap();
+        vfs.append_sync(&j, b"def").unwrap();
+        assert_eq!(vfs.read(&j).unwrap(), b"abcdef");
+        vfs.write_atomic(&dir.join("MANIFEST"), b"m1").unwrap();
+        vfs.write_atomic(&dir.join("MANIFEST"), b"m2").unwrap();
+        assert_eq!(vfs.read(&dir.join("MANIFEST")).unwrap(), b"m2");
+        assert_eq!(vfs.list(&dir).unwrap(), vec!["MANIFEST", "journal"]);
+        assert!(vfs.exists(&dir.join("MANIFEST")));
+        vfs.remove_file(&dir.join("MANIFEST")).unwrap();
+        vfs.remove_file(&dir.join("MANIFEST")).unwrap();
+        vfs.remove_dir_all(&dir).unwrap();
+        assert_eq!(vfs.list(&dir).unwrap(), Vec::<String>::new());
+    }
+}

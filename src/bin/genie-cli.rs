@@ -53,7 +53,8 @@ fn usage() -> ! {
          genie-cli fuzzy <corpus.txt> --query \"<string>\" [-k N] [-K CANDS] [-n NGRAM] [--backend sim|cpu|multi]\n  \
          genie-cli serve <corpus.txt> [--domain docs|fuzzy] [--clients N] [--requests M] [--delay-ms D] [--shards S] [--mutate B] [-k N] [--backend sim|cpu|multi]\n  \
          genie-cli net-serve <corpus.txt> [--listen ADDR] [--token T] [--backend sim|cpu|multi]\n  \
-         genie-cli net-query <addr> [--query \"<words>\"] [--stats] [-k N] [--collection C] [--token T]"
+         genie-cli net-query <addr> [--query \"<words>\"] [--stats] [-k N] [--collection C] [--token T]\n  \
+         genie-cli store-fsck <data-dir>"
     );
     exit(2);
 }
@@ -197,6 +198,7 @@ fn parse_args() -> Args {
     if args.query.is_empty()
         && args.mode != "serve"
         && args.mode != "net-serve"
+        && args.mode != "store-fsck"
         && !(args.mode == "net-query" && args.stats)
     {
         usage();
@@ -205,6 +207,18 @@ fn parse_args() -> Args {
         usage();
     }
     args
+}
+
+/// Offline inspector for a server `--data-dir`: a physical scan of
+/// every snapshot and journal file (frame-by-frame, CRC-checked) plus
+/// a logical recovery dry-run — strictly read-only, so it is safe on a
+/// directory another process is serving from. Exit code 0 = healthy
+/// (torn journal tails from a crash are legal and count as healthy),
+/// 1 = damaged.
+fn store_fsck(dir: &str) -> ! {
+    let report = genie::store::fsck(&genie::store::DiskVfs, std::path::Path::new(dir));
+    print!("{report}");
+    exit(if report.healthy() { 0 } else { 1 });
 }
 
 fn make_backend(name: &str, corpus_lines: usize) -> Arc<dyn SearchBackend> {
@@ -260,6 +274,10 @@ fn main() {
         // here the positional argument is a server address, not a file
         net_query(&args);
         return;
+    }
+    if args.mode == "store-fsck" {
+        // here the positional argument is a data directory, not a file
+        store_fsck(&args.corpus);
     }
     let raw = match std::fs::read_to_string(&args.corpus) {
         Ok(s) => s,

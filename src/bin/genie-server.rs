@@ -4,6 +4,7 @@
 //! ```text
 //! genie-server <corpus.txt> [--listen 127.0.0.1:7007] [--token T]
 //!              [--backend sim|cpu] [--delay-ms 2] [--shards 1]
+//!              [--data-dir DIR]
 //! ```
 //!
 //! Each non-empty line of the corpus becomes one object whose keywords
@@ -18,6 +19,15 @@
 //! Query it with `genie-cli net-query <addr> --query "words"`, a
 //! [`genie_client::Client`], or anything speaking the versioned frame
 //! protocol documented in [`genie_net::protocol`].
+//!
+//! With `--data-dir DIR` the server is **durable**: on startup it
+//! recovers every collection a previous process journaled there
+//! (snapshots + write-ahead journal replay — crash-safe at any kill
+//! point, see [`genie::store`]), and from then on every collection
+//! lifecycle and mutation event is fsynced to the journal before it is
+//! acknowledged. A corpus collection recovered under the same name is
+//! reused as-is instead of being re-indexed. Inspect a data directory
+//! offline with `genie-cli store-fsck DIR`.
 
 use std::io::Read;
 use std::process::exit;
@@ -31,7 +41,7 @@ use genie_net::server::{NetServer, ServerConfig};
 fn usage() -> ! {
     eprintln!(
         "usage: genie-server <corpus.txt> [--listen ADDR] [--token T] \
-         [--backend sim|cpu] [--delay-ms D] [--shards S]"
+         [--backend sim|cpu] [--delay-ms D] [--shards S] [--data-dir DIR]"
     );
     exit(2);
 }
@@ -43,6 +53,7 @@ struct Args {
     backend: String,
     delay_ms: u64,
     shards: usize,
+    data_dir: Option<String>,
 }
 
 fn parse_args() -> Args {
@@ -57,6 +68,7 @@ fn parse_args() -> Args {
         backend: "cpu".to_string(),
         delay_ms: 2,
         shards: 1,
+        data_dir: None,
     };
     let mut i = 1;
     while i < argv.len() {
@@ -87,6 +99,10 @@ fn parse_args() -> Args {
                     .and_then(|v| v.parse().ok())
                     .filter(|&s: &usize| s >= 1)
                     .unwrap_or_else(|| usage());
+            }
+            "--data-dir" => {
+                i += 1;
+                args.data_dir = Some(argv.get(i).unwrap_or_else(|| usage()).clone());
             }
             _ => usage(),
         }
@@ -121,9 +137,6 @@ fn main() {
         "sim" => Arc::new(Engine::new(Arc::new(Device::with_defaults()))),
         _ => usage(),
     };
-    let mut builder = IndexBuilder::new();
-    builder.add_objects(objects.iter());
-    let index = Arc::new(builder.build(None));
     let service = Arc::new(
         GenieService::start_empty(
             QueryScheduler::single(backend),
@@ -137,12 +150,58 @@ fn main() {
             exit(1);
         }),
     );
-    let collection = service
-        .add_collection_sharded(&args.corpus, &index, args.shards)
-        .unwrap_or_else(|e| {
-            eprintln!("cannot register corpus: {e}");
-            exit(1);
-        });
+
+    // durable mode: recover what a previous process journaled here,
+    // then write-ahead journal every event from now on
+    if let Some(dir) = &args.data_dir {
+        let recovered = genie::store::DurableStore::open(Arc::new(genie::store::DiskVfs), dir)
+            .unwrap_or_else(|e| {
+                eprintln!("cannot recover {dir}: {e}");
+                eprintln!("inspect the damage offline with `genie-cli store-fsck {dir}`");
+                exit(1);
+            });
+        let report = recovered.report.clone();
+        let count = recovered.collections.len();
+        service
+            .restore_collections(recovered.collections)
+            .unwrap_or_else(|e| {
+                eprintln!("cannot re-register recovered collections: {e}");
+                exit(1);
+            });
+        service.attach_store(Arc::new(recovered.store));
+        println!(
+            "recovered {count} collection(s) from {dir}: snapshot gen {}, \
+             {} journal event(s) replayed ({} skipped), {} torn byte(s) dropped",
+            report.snapshot_gen,
+            report.events_replayed,
+            report.events_skipped,
+            report.torn_tail_bytes
+        );
+    }
+
+    // a collection recovered under the corpus name is served as-is
+    // (its journaled mutations included); otherwise index and register
+    let collection = match service
+        .collection_names()
+        .into_iter()
+        .find(|(_, name)| name == &args.corpus)
+    {
+        Some((id, _)) => {
+            println!("reusing recovered collection {id} for {}", args.corpus);
+            id
+        }
+        None => {
+            let mut builder = IndexBuilder::new();
+            builder.add_objects(objects.iter());
+            let index = Arc::new(builder.build(None));
+            service
+                .add_collection_sharded(&args.corpus, &index, args.shards)
+                .unwrap_or_else(|e| {
+                    eprintln!("cannot register corpus: {e}");
+                    exit(1);
+                })
+        }
+    };
 
     let config = ServerConfig {
         auth_token: args.token.clone(),
@@ -157,7 +216,7 @@ fn main() {
     };
     println!(
         "serving {} objects from {} (collection id {}, {} shard{}) on {}{}",
-        objects.len(),
+        service.collection_len(collection).unwrap_or(objects.len()),
         args.corpus,
         collection,
         args.shards,
@@ -177,6 +236,18 @@ fn main() {
 
     println!("stdin closed — draining in-flight connections ...");
     let drained = handle.shutdown();
+    if args.data_dir.is_some() {
+        // graceful exit: fold the journal into a fresh snapshot so the
+        // next start replays nothing (a kill here is still safe — the
+        // journal alone recovers the same state)
+        match service.checkpoint() {
+            Ok(generation) => println!(
+                "checkpointed data dir at snapshot gen {}",
+                generation.unwrap_or(0)
+            ),
+            Err(e) => eprintln!("final checkpoint failed (journal still recovers): {e}"),
+        }
+    }
     let net = handle.net_stats();
     let stats = service.stats();
     println!(

@@ -55,6 +55,7 @@ pub use genie_lsh as lsh;
 pub use genie_net as net;
 pub use genie_sa as sa;
 pub use genie_service as service;
+pub use genie_store as store;
 pub use gpu_sim;
 
 #[doc(inline)]
